@@ -1,0 +1,41 @@
+# doxmeter build targets. Everything is pure-stdlib Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-quick examples run-pipeline clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
+bench:
+	$(GO) test -bench=. -benchmem -run NONE .
+
+# Faster spot check of the headline artifacts.
+bench-quick:
+	$(GO) test -bench='Table1|Table10|Figure1' -benchtime=3x -run NONE .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gamerdox
+	$(GO) run ./examples/monitorosn
+	$(GO) run ./examples/notifyservice
+
+run-pipeline:
+	$(GO) run ./cmd/doxpipeline -scale 0.05
+
+# Artifacts required by the reproduction checklist.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f dox.model figure2.dot test_output.txt bench_output.txt

@@ -1,0 +1,533 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation section, plus ablations of the design choices DESIGN.md calls
+// out. Each bench prints the regenerated artifact (paper-vs-measured) once
+// and then measures the dominant computation as its op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The shared study (scale 0.05 ≈ 87k documents) is built once per process.
+package doxmeter
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"doxmeter/internal/abuse"
+	"doxmeter/internal/classifier"
+	"doxmeter/internal/core"
+	"doxmeter/internal/dedup"
+	"doxmeter/internal/experiments"
+	"doxmeter/internal/extract"
+	"doxmeter/internal/htmltext"
+	"doxmeter/internal/label"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sgd"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/textgen"
+	"doxmeter/internal/tfidf"
+)
+
+// benchScale sizes the shared study. 0.4 ≈ 695k documents and ~1,800
+// unique doxes — large enough that every Table 10 row carries tens of
+// accounts (the paper's rows carry 87–361; the Instagram rows are the
+// binding constraint) while a full bench run stays under ~15 minutes.
+// Lower it for quick spot checks.
+const benchScale = 0.4
+
+var (
+	studyOnce sync.Once
+	benchS    *core.Study
+	studyErr  error
+)
+
+// benchStudy builds the shared study on first use.
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		s, err := core.NewStudy(core.StudyConfig{Seed: 1709, Scale: benchScale})
+		if err != nil {
+			studyErr = err
+			return
+		}
+		if err := s.Run(context.Background()); err != nil {
+			studyErr = err
+			return
+		}
+		benchS = s
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return benchS
+}
+
+// printOnce writes an artifact to stdout exactly once per bench.
+var printed sync.Map
+
+func printOnce(key, artifact string) {
+	if _, loaded := printed.LoadOrStore(key, true); !loaded {
+		fmt.Fprintf(os.Stdout, "\n%s\n", artifact)
+	}
+}
+
+func BenchmarkTable1Classifier(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("table1", experiments.Table1(s).String())
+	doc := s.Doxes[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Classifier.IsDox(doc)
+	}
+}
+
+func BenchmarkTable2Extractor(b *testing.B) {
+	s := benchStudy(b)
+	rows := experiments.MeasureTable2(s, 125)
+	printOnce("table2", experiments.Table2(rows).String())
+	doc := s.Doxes[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = extract.Extract(doc)
+	}
+}
+
+func BenchmarkTable3Deletion(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("table3", experiments.Table3(s).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.DeletionCheck()
+	}
+}
+
+func BenchmarkTable4Collection(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("table4", experiments.Table4(s).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.OSNCounts()
+	}
+}
+
+func BenchmarkTable5Demographics(b *testing.B) {
+	s := benchStudy(b)
+	agg, _ := s.LabelSample(s.Cfg.LabelSample)
+	printOnce("table5", experiments.Table5(agg).String())
+	doc := s.Doxes[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = label.Apply(doc)
+	}
+}
+
+func BenchmarkTable6Categories(b *testing.B) {
+	s := benchStudy(b)
+	agg, _ := s.LabelSample(s.Cfg.LabelSample)
+	printOnce("table6", experiments.Table6(agg).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg2, _ := s.LabelSample(64)
+		_ = agg2
+	}
+}
+
+func BenchmarkTable7Communities(b *testing.B) {
+	s := benchStudy(b)
+	agg, _ := s.LabelSample(s.Cfg.LabelSample)
+	printOnce("table7", experiments.Table7(agg).String())
+	doc := s.Doxes[len(s.Doxes)/2].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = label.Apply(doc)
+	}
+}
+
+func BenchmarkTable8Motivations(b *testing.B) {
+	s := benchStudy(b)
+	agg, _ := s.LabelSample(s.Cfg.LabelSample)
+	printOnce("table8", experiments.Table8(agg).String())
+	doc := s.Doxes[len(s.Doxes)/3].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = label.Apply(doc)
+	}
+}
+
+func BenchmarkTable9OSNCounts(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("table9", experiments.Table9(s).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.OSNCounts()
+	}
+}
+
+func BenchmarkTable10StatusChanges(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("table10", experiments.Table10(s).String())
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Changes(hist, monitor.ByNetwork(netid.Facebook))
+	}
+}
+
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("figure1", experiments.Figure1(s).String())
+	// Op: one document through the per-document pipeline stages.
+	g := textgen.New(sim.NewWorld(sim.Default(55, 0.01)))
+	r := randutil.New(55)
+	raw := g.BenignBoardPost(r)
+	d := dedup.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text := htmltext.Convert(raw)
+		if s.Classifier.IsDox(text) {
+			ex := extract.Extract(text)
+			d.Check(fmt.Sprint(i), text, ex.AccountSetKey())
+		}
+	}
+}
+
+func BenchmarkFigure2Cliques(b *testing.B) {
+	s := benchStudy(b)
+	tbl, dot := experiments.Figure2(s)
+	printOnce("figure2", tbl.String()+fmt.Sprintf("\n(DOT output: %d bytes; render with graphviz)\n", len(dot)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.BuildDoxerNetwork(4)
+	}
+}
+
+func BenchmarkFigure3StatusTimeline(b *testing.B) {
+	s := benchStudy(b)
+	for _, network := range []netid.Network{netid.Facebook, netid.Instagram} {
+		pre, post, summary := experiments.Figure3(s, network)
+		printOnce("figure3-"+network.Slug(), summary.String()+"\n"+pre.String()+"\n"+post.String())
+	}
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Strip(hist, monitor.ByNetwork(netid.Facebook))
+	}
+}
+
+func BenchmarkSection63Timing(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("sec63", experiments.Section63(s).String())
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Timing(hist, func(h *monitor.History) bool { return !h.Control })
+	}
+}
+
+func BenchmarkSection532Comments(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("sec532", experiments.Section532(s).String())
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Commenters(hist)
+	}
+}
+
+func BenchmarkSectionAbuseComments(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("secabuse", experiments.SectionAbuse(s).String())
+	comment := "we know where you live now, check pastebin"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = abuse.IsAbusive(comment)
+	}
+}
+
+func BenchmarkSectionCompromise(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("seccompromise", experiments.SectionCompromise(s).String())
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Compromises(hist, func(h *monitor.History) bool { return !h.Control })
+	}
+}
+
+func BenchmarkSectionActivityMetric(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("secactivity", experiments.SectionActivity(s).String())
+	hist := s.Monitor.Histories()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Changes(hist, monitor.Active(5, monitor.Controls()))
+	}
+}
+
+func BenchmarkSection41GeoValidation(b *testing.B) {
+	s := benchStudy(b)
+	printOnce("sec41", experiments.Section41(s).String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ValidateGeo(50)
+	}
+}
+
+func BenchmarkSectionMirrors(b *testing.B) {
+	s := benchStudy(b)
+	tbl, err := experiments.SectionMirrors(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("secmirrors", tbl.String())
+	doc := s.Doxes[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := extract.Extract(doc)
+		_, _ = s.Deduper.Peek(doc, ex.AccountSetKey())
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// trainVariant trains a classifier variant on the shared study's labeled
+// corpus and reports its dox-class metrics.
+func trainVariant(b *testing.B, name string, opts classifier.Options) {
+	s := benchStudy(b)
+	examples := s.Gen.TrainingSet()
+	exs := make([]classifier.Example, len(examples))
+	for i, ex := range examples {
+		exs[i] = classifier.Example{Body: ex.Body, IsDox: ex.IsDox}
+	}
+	_, res, err := classifier.TrainEval(rand.New(rand.NewSource(99)), exs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dox := res.Report[0]
+	printOnce("ablation-"+name, fmt.Sprintf("Ablation %-22s dox P=%.3f R=%.3f F1=%.3f (default: see Table 1)",
+		name, dox.Precision, dox.Recall, dox.F1))
+}
+
+func BenchmarkAblationSublinearTF(b *testing.B) {
+	trainVariant(b, "sublinear-tf", classifier.Options{TFIDF: tfidf.Options{SublinearTF: true}})
+	b.ResetTimer()
+	vz := tfidf.NewVectorizer(tfidf.Options{SublinearTF: true})
+	vz.Fit([]string{"alpha beta gamma", "beta gamma delta"})
+	for i := 0; i < b.N; i++ {
+		_ = vz.Transform("alpha beta beta gamma gamma gamma")
+	}
+}
+
+func BenchmarkAblationBigrams(b *testing.B) {
+	trainVariant(b, "unigram+bigram", classifier.Options{TFIDF: tfidf.Options{Bigrams: true}})
+	vz := tfidf.NewVectorizer(tfidf.Options{Bigrams: true})
+	vz.Fit([]string{"alpha beta gamma", "beta gamma delta"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vz.Transform("alpha beta beta gamma gamma gamma")
+	}
+}
+
+func BenchmarkAblationLogLoss(b *testing.B) {
+	trainVariant(b, "log-loss", classifier.Options{SGD: sgd.Options{Loss: sgd.Log}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkAblationEpochs1(b *testing.B) {
+	trainVariant(b, "epochs=1", classifier.Options{SGD: sgd.Options{Epochs: 1}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkAblationEpochs5(b *testing.B) {
+	trainVariant(b, "epochs=5", classifier.Options{SGD: sgd.Options{Epochs: 5}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkAblationDedupBodyOnly measures how many near-duplicates survive
+// when de-duplication uses body hashes alone (no account sets) — the
+// paper's §3.1.4 motivation for the account-set pass.
+func BenchmarkAblationDedupBodyOnly(b *testing.B) {
+	g := textgen.New(sim.NewWorld(sim.Default(77, 0.05)))
+	corpus := g.Corpus()
+	var doxBodies []string
+	var keys []string
+	for _, site := range textgen.AllSites() {
+		for _, doc := range corpus.Streams[site] {
+			if !doc.IsDox() {
+				continue
+			}
+			text := doc.Body
+			if doc.HTML {
+				text = htmltext.Convert(text)
+			}
+			doxBodies = append(doxBodies, text)
+			keys = append(keys, extract.Extract(text).AccountSetKey())
+		}
+	}
+	run := func(useAccounts bool) dedup.Stats {
+		d := dedup.New()
+		for i, body := range doxBodies {
+			key := ""
+			if useAccounts {
+				key = keys[i]
+			}
+			d.Check(fmt.Sprint(i), body, key)
+		}
+		return d.Stats()
+	}
+	full := run(true)
+	bodyOnly := run(false)
+	printOnce("ablation-dedup", fmt.Sprintf(
+		"Ablation dedup: with account sets %d dups (%d exact + %d account); body-only %d dups — %d near-duplicates survive",
+		full.TotalDups(), full.ExactDups, full.AccntDups, bodyOnly.TotalDups(), full.AccntDups))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = run(true)
+	}
+}
+
+// BenchmarkAblationScheduleCoverage measures what fraction of ground-truth
+// status transitions the paper's 0/1/2/3/7/weekly schedule actually
+// observed, versus a weekly-only schedule's theoretical coverage.
+func BenchmarkAblationScheduleCoverage(b *testing.B) {
+	s := benchStudy(b)
+	hist := s.Monitor.Histories()
+	var observed, truth int
+	for _, h := range hist {
+		if h.Control || !h.Verified || len(h.Obs) < 2 {
+			continue
+		}
+		a, ok := s.Universe.Lookup(h.Ref)
+		if !ok {
+			continue
+		}
+		// Ground truth: did the account's status differ at any two of our
+		// scheduled visit times? Compare against whether the account
+		// changed at all inside the observation window.
+		start, end := h.Obs[0].Time, h.Obs[len(h.Obs)-1].Time
+		if a.StatusAt(start) != a.StatusAt(end) {
+			truth++
+			first, _ := h.FirstStatus()
+			last, _ := h.LastStatus()
+			if first != last {
+				observed++
+			}
+		}
+	}
+	cov := 0.0
+	if truth > 0 {
+		cov = float64(observed) / float64(truth)
+	}
+	printOnce("ablation-schedule", fmt.Sprintf(
+		"Ablation schedule: paper schedule observed %d/%d (%.0f%%) of end-to-end ground-truth status changes",
+		observed, truth, cov*100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.Changes(hist, monitor.ByNetwork(netid.Instagram))
+	}
+}
+
+// BenchmarkAblationExtractorGreedy compares the reference extractor's
+// abstain-on-ambiguity policy against a greedy first-candidate policy on
+// ambiguous account lines: greedy recovers more accounts but pollutes the
+// dedup identity with wrong guesses (§3.1.3's motivation for conservatism).
+func BenchmarkAblationExtractorGreedy(b *testing.B) {
+	s := benchStudy(b)
+	r := randutil.New(4242)
+	victims := randutil.PickN(r, s.World.TrainVictims, 300)
+	type score struct{ hit, wrong, total int }
+	eval := func(opts extract.Options) score {
+		rr := randutil.New(777)
+		var sc score
+		for _, v := range victims {
+			render := s.Gen.Dox(rr, v)
+			ex := extract.ExtractWith(render.Body, opts)
+			for n, user := range v.OSN {
+				sc.total++
+				switch ex.Accounts[n] {
+				case user:
+					sc.hit++
+				case "":
+				default:
+					sc.wrong++
+				}
+			}
+		}
+		return sc
+	}
+	ref := eval(extract.Options{})
+	greedy := eval(extract.Options{Greedy: true})
+	printOnce("ablation-extractor", fmt.Sprintf(
+		"Ablation extractor: reference %d/%d correct, %d wrong; greedy %d/%d correct, %d wrong (wrong guesses corrupt dedup identity)",
+		ref.hit, ref.total, ref.wrong, greedy.hit, greedy.total, greedy.wrong))
+	doc := s.Doxes[0].Text
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = extract.ExtractWith(doc, extract.Options{Greedy: true})
+	}
+}
+
+// BenchmarkAblationThresholdSweep traces the classifier's precision/recall
+// trade-off across decision thresholds — the curve on which the paper's
+// Table 1 operating point sits.
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	s := benchStudy(b)
+	examples := s.Gen.TrainingSet()
+	exs := make([]classifier.Example, len(examples))
+	for i, ex := range examples {
+		exs[i] = classifier.Example{Body: ex.Body, IsDox: ex.IsDox}
+	}
+	var lines []string
+	for _, th := range []float64{-0.4, -0.2, -0.05, 0.06, 0.2, 0.4, 0.8} {
+		_, res, err := classifier.TrainEval(rand.New(rand.NewSource(31)), exs, classifier.Options{Threshold: th})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dox := res.Report[0]
+		lines = append(lines, fmt.Sprintf("  threshold %+5.2f: dox P=%.3f R=%.3f F1=%.3f", th, dox.Precision, dox.Recall, dox.F1))
+	}
+	printOnce("ablation-threshold", "Ablation threshold sweep (paper operating point: P=.81 R=.89):\n"+
+		joinLines(lines))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// BenchmarkStudyEndToEnd measures a complete miniature study per op.
+func BenchmarkStudyEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewStudy(core.StudyConfig{Seed: int64(100 + i), Scale: 0.002, ControlSample: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,129 @@
+// Command doxdetect trains the paper's dox classifier and classifies files
+// from the command line or stdin. Models can be persisted and reloaded, so
+// a deployment trains once and classifies cheaply.
+//
+// Usage:
+//
+//	doxdetect -train -model dox.model [-seed 1] [-scale 0.01]
+//	doxdetect -model dox.model file.txt [file2.txt ...]
+//	cat paste.txt | doxdetect -model dox.model
+//
+// Output: one line per input, "DOX <score> <name>" or "ok <score> <name>".
+// With -extract, detected doxes also print the extracted accounts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"doxmeter/internal/classifier"
+	"doxmeter/internal/extract"
+	"doxmeter/internal/htmltext"
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/textgen"
+)
+
+func main() {
+	var (
+		train     = flag.Bool("train", false, "train a new model on the synthetic labeled corpus and save it")
+		modelPath = flag.String("model", "dox.model", "model file path")
+		seed      = flag.Int64("seed", 1, "training seed")
+		scale     = flag.Float64("scale", 0.01, "world scale used when training")
+		doExtract = flag.Bool("extract", false, "print extracted accounts for detected doxes")
+	)
+	flag.Parse()
+
+	if *train {
+		if err := trainModel(*modelPath, *seed, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(fmt.Errorf("open model (train one with -train): %w", err))
+	}
+	clf, err := classifier.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if flag.NArg() == 0 {
+		body, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		classify(clf, "<stdin>", string(body), *doExtract)
+		return
+	}
+	for _, path := range flag.Args() {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		classify(clf, path, string(body), *doExtract)
+	}
+}
+
+func trainModel(path string, seed int64, scale float64) error {
+	g := textgen.New(sim.NewWorld(sim.Default(seed, scale)))
+	var docs []string
+	var labels []bool
+	for _, ex := range g.TrainingSet() {
+		docs = append(docs, ex.Body)
+		labels = append(labels, ex.IsDox)
+	}
+	clf, err := classifier.Train(randutil.New(seed), docs, labels, classifier.Options{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := clf.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained on %d labeled documents (%d-term vocabulary), saved to %s\n",
+		len(docs), clf.VocabSize(), path)
+	return nil
+}
+
+func classify(clf *classifier.Classifier, name, body string, doExtract bool) {
+	text := body
+	if htmltext.IsProbablyHTML(text) {
+		text = htmltext.Convert(text)
+	}
+	score := clf.Score(text)
+	if score >= 0 {
+		fmt.Printf("DOX %+.3f %s\n", score, name)
+		if doExtract {
+			ex := extract.Extract(text)
+			for _, ref := range ex.AccountRefs() {
+				fmt.Printf("  account: %s\n", ref)
+			}
+			for _, e := range ex.Emails {
+				fmt.Printf("  email:   %s\n", e)
+			}
+			for _, p := range ex.Phones {
+				fmt.Printf("  phone:   %s\n", p)
+			}
+			for _, ip := range ex.IPs {
+				fmt.Printf("  ip:      %s\n", ip)
+			}
+		}
+	} else {
+		fmt.Printf("ok  %+.3f %s\n", score, name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doxdetect:", err)
+	os.Exit(1)
+}

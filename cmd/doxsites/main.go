@@ -1,0 +1,90 @@
+// Command doxsites stands up the simulated text-sharing sites and social
+// networks on local ports for interactive exploration: the same services
+// the pipeline crawls, plus an admin endpoint that advances the virtual
+// clock so you can watch posts appear and doxed accounts lock down.
+//
+// Usage:
+//
+//	doxsites [-scale 0.01] [-seed 42] [-addr 127.0.0.1:8420]
+//
+// Endpoints (all under one address):
+//
+//	/pastebin/api_scraping.php?since=0&limit=50
+//	/pastebin/api_scrape_item.php?i=<key>
+//	/4chan/{b,pol}/catalog.json            /4chan/{b,pol}/thread/<no>.json
+//	/8ch/{pol,baphomet}/catalog.json       ...
+//	/osn/{network}/{username}              /osn/instagram/id/<n>
+//	/admin/clock                           — current virtual time
+//	/admin/advance?days=7                  — move the clock forward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"doxmeter/internal/osn"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+	"doxmeter/internal/sites"
+	"doxmeter/internal/textgen"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.01, "corpus scale factor")
+		seed  = flag.Int64("seed", 42, "world seed")
+		addr  = flag.String("addr", "127.0.0.1:8420", "listen address")
+	)
+	flag.Parse()
+
+	world := sim.NewWorld(sim.Default(*seed, *scale))
+	gen := textgen.New(world)
+	corpus := gen.Corpus()
+	clock := simclock.NewClock(simclock.Period1.Start)
+
+	pastebin := sites.NewPastebin(clock, corpus.Streams[textgen.SitePastebin], sites.DefaultDeletionModel(), *seed+1)
+	fourchan := sites.NewBoardSite(clock, map[string][]textgen.Doc{
+		"b":   corpus.Streams[textgen.SiteFourchanB],
+		"pol": corpus.Streams[textgen.SiteFourchanPol],
+	}, *seed+2)
+	eightch := sites.NewBoardSite(clock, map[string][]textgen.Doc{
+		"pol":      corpus.Streams[textgen.SiteEightchPol],
+		"baphomet": corpus.Streams[textgen.SiteEightchBapho],
+	}, *seed+3)
+	universe := osn.NewUniverse(clock, world, *seed+4)
+
+	mux := http.NewServeMux()
+	mux.Handle("/pastebin/", http.StripPrefix("/pastebin", pastebin.Handler()))
+	mux.Handle("/4chan/", http.StripPrefix("/4chan", fourchan.Handler()))
+	mux.Handle("/8ch/", http.StripPrefix("/8ch", eightch.Handler()))
+	mux.Handle("/osn/", http.StripPrefix("/osn", universe.Handler()))
+	mux.HandleFunc("/admin/clock", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, clock.Now().Format(time.RFC3339))
+	})
+	mux.HandleFunc("/admin/advance", func(w http.ResponseWriter, req *http.Request) {
+		days := 1
+		if s := req.URL.Query().Get("days"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 || v > 3650 {
+				http.Error(w, "bad days", http.StatusBadRequest)
+				return
+			}
+			days = v
+		}
+		now := clock.Advance(time.Duration(days) * simclock.Day)
+		fmt.Fprintln(w, now.Format(time.RFC3339))
+	})
+
+	fmt.Printf("doxsites serving %d documents and %d social accounts on http://%s\n",
+		corpus.TotalDocs(), len(universe.Accounts()), *addr)
+	fmt.Printf("virtual clock starts at %s; advance with /admin/advance?days=N\n",
+		clock.Now().Format("2006-01-02"))
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "doxsites:", err)
+		os.Exit(1)
+	}
+}

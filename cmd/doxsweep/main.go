@@ -1,0 +1,139 @@
+// Command doxsweep quantifies run-to-run variance: it executes the full
+// study across several seeds (and optionally scales) and reports mean and
+// spread for the headline metrics, so readers can tell which digits of
+// EXPERIMENTS.md are signal and which are sampling noise.
+//
+// Usage:
+//
+//	doxsweep [-seeds 5] [-scale 0.02] [-scales 0.01,0.02,0.05]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"doxmeter/internal/core"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/report"
+	"doxmeter/internal/simclock"
+)
+
+// runMetrics are the headline numbers extracted from one study run.
+type runMetrics struct {
+	flaggedRate   float64 // flagged / collected
+	dupFraction   float64 // duplicates / flagged
+	doxPrecision  float64 // Table 1 dox precision
+	doxRecall     float64 // Table 1 dox recall
+	fbPreMorePriv float64 // Table 10 Facebook pre-filter more-private
+	ctrlAnyChange float64 // Table 10 control any-change
+}
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 5, "number of seeds per scale")
+		scale  = flag.Float64("scale", 0.02, "scale when -scales is not given")
+		scales = flag.String("scales", "", "comma-separated list of scales to sweep")
+	)
+	flag.Parse()
+
+	var scaleList []float64
+	if *scales != "" {
+		for _, s := range strings.Split(*scales, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad scale %q", s))
+			}
+			scaleList = append(scaleList, v)
+		}
+	} else {
+		scaleList = []float64{*scale}
+	}
+
+	t := report.NewTable("Seed sweep: mean ± stddev over seeds (paper values for reference)",
+		"Scale", "Seeds", "Flagged rate %", "Dup fraction %", "Dox P", "Dox R", "FB pre more-priv %", "Control change %")
+	for _, sc := range scaleList {
+		var runs []runMetrics
+		for i := 0; i < *seeds; i++ {
+			m, err := runOnce(int64(1000+i*37), sc)
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, m)
+			fmt.Fprintf(os.Stderr, "scale %.3f seed %d done\n", sc, 1000+i*37)
+		}
+		t.AddRowF(
+			fmt.Sprintf("%.3f", sc),
+			fmt.Sprint(len(runs)),
+			meanSD(runs, func(m runMetrics) float64 { return 100 * m.flaggedRate }),
+			meanSD(runs, func(m runMetrics) float64 { return 100 * m.dupFraction }),
+			meanSD(runs, func(m runMetrics) float64 { return m.doxPrecision }),
+			meanSD(runs, func(m runMetrics) float64 { return m.doxRecall }),
+			meanSD(runs, func(m runMetrics) float64 { return 100 * m.fbPreMorePriv }),
+			meanSD(runs, func(m runMetrics) float64 { return 100 * m.ctrlAnyChange }),
+		)
+	}
+	t.AddNote("paper: flagged 0.32%%, dup 18.1%%, dox P/R .81/.89, FB pre more-private 22.0%%, control 0.2%%")
+	fmt.Println(t)
+}
+
+func runOnce(seed int64, scale float64) (runMetrics, error) {
+	start := time.Now()
+	s, err := core.NewStudy(core.StudyConfig{Seed: seed, Scale: scale})
+	if err != nil {
+		return runMetrics{}, err
+	}
+	defer s.Close()
+	if err := s.Run(context.Background()); err != nil {
+		return runMetrics{}, err
+	}
+	_ = start
+	flagged := s.FlaggedByPeriod[1] + s.FlaggedByPeriod[2]
+	stats := s.Deduper.Stats()
+	hist := s.Monitor.Histories()
+	fb := monitor.Changes(hist, monitor.DoxedDuring(simclock.Period1, netid.Facebook))
+	ctrl := monitor.Changes(hist, monitor.Controls())
+	m := runMetrics{
+		doxPrecision:  s.ClfEval.Report[0].Precision,
+		doxRecall:     s.ClfEval.Report[0].Recall,
+		fbPreMorePriv: fb.MorePrivateRate(),
+		ctrlAnyChange: ctrl.AnyChangeRate(),
+	}
+	if s.Collected > 0 {
+		m.flaggedRate = float64(flagged) / float64(s.Collected)
+	}
+	if stats.Total() > 0 {
+		m.dupFraction = float64(stats.TotalDups()) / float64(stats.Total())
+	}
+	return m, nil
+}
+
+// meanSD formats "mean±sd" for a metric across runs.
+func meanSD(runs []runMetrics, get func(runMetrics) float64) string {
+	var sum float64
+	for _, r := range runs {
+		sum += get(r)
+	}
+	mean := sum / float64(len(runs))
+	var varSum float64
+	for _, r := range runs {
+		d := get(r) - mean
+		varSum += d * d
+	}
+	sd := 0.0
+	if len(runs) > 1 {
+		sd = math.Sqrt(varSum / float64(len(runs)-1))
+	}
+	return fmt.Sprintf("%.2f±%.2f", mean, sd)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doxsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Package doxmeter is a from-scratch Go reproduction of "Fifteen Minutes of
+// Unwanted Fame: Detecting and Characterizing Doxing" (Snyder, Doerfler,
+// Kanich, McCoy — IMC 2017): the first quantitative, large-scale
+// measurement of doxing.
+//
+// The system comprises a five-stage measurement pipeline — text-sharing
+// site crawlers, an html2text normalizer, a TF-IDF + SGD dox classifier, a
+// social-account extractor, account-set de-duplication, and a scheduled
+// account monitor — plus the paper's analyses (content labeling, doxer
+// network cliques, validation studies, anti-abuse filter effects) and its
+// proposed mitigations (a dox-notification service, an anti-SWATing
+// watchlist, and a threat-exchange feed).
+//
+// Because the paper's substrate was the 2016 live internet, every external
+// dependency is replaced by a calibrated simulation (see DESIGN.md): the
+// pipeline itself only ever sees crawled text and HTTP responses, and the
+// benchmark harness in bench_test.go regenerates every table and figure in
+// the paper's evaluation, printing paper-vs-measured values side by side.
+//
+// Entry points:
+//
+//	cmd/doxpipeline  — run the full study end to end
+//	cmd/doxbench     — regenerate all tables and figures
+//	cmd/doxdetect    — train/classify from the command line
+//	cmd/doxsites     — stand up the simulated services interactively
+//	cmd/doxnotify    — run the mitigation services
+//	examples/        — four runnable walkthroughs of the public pipeline
+package doxmeter

@@ -1,0 +1,3 @@
+module doxmeter
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package abuse is a lexicon-based abusive-comment detector.
+//
+// The paper's initial plan for measuring filter effectiveness was to count
+// abusive comments on doxed accounts (§6.3); the authors abandoned it
+// because community norms made labeling unreliable, and fell back to
+// account-status changes. We reproduce the abandoned approach as a simple,
+// transparent baseline: a harassment lexicon with phrase weights and a
+// threshold. On the simulated comment streams — where harassment is
+// explicit — it performs well, which is exactly the gap the paper calls
+// out: real community-specific abuse is far subtler than lexicons capture.
+package abuse
+
+import (
+	"strings"
+)
+
+// phrase weights: higher means stronger harassment signal. Phrases are
+// matched case-insensitively on whole substrings.
+var lexicon = map[string]float64{
+	// Dox-contextual threats.
+	"we know where you live": 3,
+	"cant hide":              2.5,
+	"can't hide":             2.5,
+	"check pastebin":         3,
+	"your number is":         2.5,
+	"kept your mouth shut":   2,
+	"new fame":               1.5,
+	"kicking in":             1.5,
+	// Generic harassment.
+	"delete your account": 2,
+	"kill yourself":       3,
+	"nobody likes you":    2,
+	"watch your back":     3,
+	"you deserve":         1.5,
+	"everyone knows":      1.5,
+	// Mild pile-on signals.
+	"lol":   0.3,
+	"loser": 1,
+}
+
+// DefaultThreshold is the abusive/benign decision boundary.
+const DefaultThreshold = 1.5
+
+// Score sums lexicon weights present in the comment.
+func Score(comment string) float64 {
+	lower := strings.ToLower(comment)
+	var total float64
+	for phrase, w := range lexicon {
+		if strings.Contains(lower, phrase) {
+			total += w
+		}
+	}
+	return total
+}
+
+// IsAbusive applies the default threshold.
+func IsAbusive(comment string) bool {
+	return Score(comment) >= DefaultThreshold
+}
+
+// Stats aggregates abuse measurements over a comment set.
+type Stats struct {
+	Total   int
+	Abusive int
+}
+
+// Rate returns the abusive fraction.
+func (s Stats) Rate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Abusive) / float64(s.Total)
+}
+
+// Measure classifies a batch of comments.
+func Measure(comments []string) Stats {
+	var s Stats
+	for _, c := range comments {
+		s.Total++
+		if IsAbusive(c) {
+			s.Abusive++
+		}
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package abuse
+
+import (
+	"testing"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+)
+
+func TestObviousHarassment(t *testing.T) {
+	abusive := []string{
+		"we know where you live now",
+		"you cant hide anymore",
+		"check pastebin everyone knows",
+		"your number is everywhere now, delete your account",
+		"watch your back loser",
+	}
+	for _, c := range abusive {
+		if !IsAbusive(c) {
+			t.Errorf("harassment not detected: %q (score %.1f)", c, Score(c))
+		}
+	}
+}
+
+func TestBenignComments(t *testing.T) {
+	benign := []string{
+		"nice shot", "love this", "where is this?", "happy birthday!!",
+		"what camera do you use", "goals", "first", "sick edit",
+	}
+	for _, c := range benign {
+		if IsAbusive(c) {
+			t.Errorf("benign comment flagged: %q (score %.1f)", c, Score(c))
+		}
+	}
+}
+
+func TestMildSignalsBelowThreshold(t *testing.T) {
+	if IsAbusive("lol") {
+		t.Error("single mild signal should stay below threshold")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	if !IsAbusive("WE KNOW WHERE YOU LIVE") {
+		t.Error("uppercase harassment missed")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	s := Measure([]string{"nice shot", "we know where you live", "love this"})
+	if s.Total != 3 || s.Abusive != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Rate() < 0.3 || s.Rate() > 0.34 {
+		t.Fatalf("rate = %f", s.Rate())
+	}
+	if (Stats{}).Rate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+}
+
+// TestAgainstUniverseGroundTruth checks the detector against the simulated
+// comment streams: abusive comments (planted post-dox) must score far
+// higher than organic ones.
+func TestAgainstUniverseGroundTruth(t *testing.T) {
+	w := sim.NewWorld(sim.Default(91, 0.2))
+	clock := simclock.NewClock(simclock.Period1.Start)
+	u := osn.NewUniverse(clock, w, 91)
+	doxAt := simclock.Period1.Start.Add(simclock.Day)
+	var tp, fn, fp, tn int
+	for _, v := range w.Victims {
+		user, ok := v.OSN[netid.Facebook]
+		if !ok {
+			continue
+		}
+		ref := netid.Ref{Network: netid.Facebook, Username: user}
+		u.TriggerAbuse(ref, doxAt)
+		a, _ := u.Lookup(ref)
+		for _, c := range a.CommentsAt(simclock.Period2.End) {
+			pred := IsAbusive(c.Text)
+			switch {
+			case c.Abusive && pred:
+				tp++
+			case c.Abusive && !pred:
+				fn++
+			case !c.Abusive && pred:
+				fp++
+			default:
+				tn++
+			}
+		}
+	}
+	if tp+fn < 100 {
+		t.Fatalf("too few abusive comments generated: %d", tp+fn)
+	}
+	recall := float64(tp) / float64(tp+fn)
+	if recall < 0.7 {
+		t.Errorf("abuse recall %.3f on explicit harassment", recall)
+	}
+	if fp > 0 {
+		precision := float64(tp) / float64(tp+fp)
+		if precision < 0.9 {
+			t.Errorf("abuse precision %.3f", precision)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// service is one locally served simulated site.
+type service struct {
+	BaseURL string
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// serveLocal binds a handler to a loopback port and serves it in the
+// background. The study owns several of these (pastebin, the two chans, the
+// OSN profile service) for its lifetime.
+func serveLocal(h http.Handler) (*service, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: listen: %w", err)
+	}
+	s := &service{
+		BaseURL: "http://" + ln.Addr().String(),
+		srv:     &http.Server{Handler: h},
+		ln:      ln,
+	}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else is
+		// invisible here but surfaces as crawler errors upstream.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close shuts the service down.
+func (s *service) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,335 @@
+// Package core orchestrates the paper's end-to-end measurement (Figure 1):
+// synthetic world → simulated sites → crawlers → html2text → TF-IDF/SGD dox
+// classifier → OSN account extractor → de-duplication → account monitor —
+// followed by the paper's analyses (content labeling, doxer networks, geo
+// and deletion validation, status-change measurement).
+//
+// Everything downstream of the generator operates only on crawled text and
+// HTTP responses; ground truth is consulted exclusively by the benchmarks
+// that grade the pipeline's output.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"doxmeter/internal/classifier"
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/dedup"
+	"doxmeter/internal/extract"
+	"doxmeter/internal/htmltext"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+	"doxmeter/internal/sites"
+	"doxmeter/internal/textgen"
+)
+
+// StudyConfig parameterizes a full study run.
+type StudyConfig struct {
+	Seed  int64
+	Scale float64
+	// ControlSample is the Instagram random-sample size; 0 scales the
+	// paper's 13,392 by Scale with a floor of 1,000.
+	ControlSample int
+	// Classifier overrides; zero value reproduces the paper's setup.
+	Classifier classifier.Options
+	// LabelSample is how many flagged doxes the analyst labels; 0 uses
+	// the paper's 464 (capped at the number available).
+	LabelSample int
+	// Progress, when non-nil, receives one line per study day.
+	Progress io.Writer
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.ControlSample == 0 {
+		c.ControlSample = int(13392 * c.Scale)
+		if c.ControlSample < 1000 {
+			c.ControlSample = 1000
+		}
+	}
+	if c.LabelSample == 0 {
+		c.LabelSample = 464
+	}
+	return c
+}
+
+// DoxRecord is one classifier-flagged, de-duplicated dox document.
+type DoxRecord struct {
+	DocID      string
+	Site       string
+	Posted     time.Time
+	Period     int // 1 or 2
+	Text       string
+	Extraction *extract.Extraction
+}
+
+// Study owns a full pipeline run. Create with NewStudy, execute with Run,
+// then read Results.
+type Study struct {
+	Cfg   StudyConfig
+	World *sim.World
+	Gen   *textgen.Generator
+	Clock *simclock.Clock
+
+	Universe *osn.Universe
+	Pastebin *sites.Pastebin
+	Fourchan *sites.BoardSite
+	Eightch  *sites.BoardSite
+
+	Classifier *classifier.Classifier
+	ClfEval    classifier.EvalResult
+	Deduper    *dedup.Deduper
+	Monitor    *monitor.Monitor
+
+	services []*service
+	crawlers struct {
+		pastebin *crawler.Pastebin
+		boards   []*crawler.Board
+	}
+	rng *rand.Rand
+
+	// Results, populated by Run.
+	Collected       int
+	CollectedBySite map[string]int
+	FlaggedByPeriod [3]int // index 1 and 2
+	Doxes           []*DoxRecord
+	osnBaseURL      string
+	pastebinP1Docs  []crawler.Doc   // period-1 pastebin docs for Table 3
+	flaggedP1       map[string]bool // period-1 pastebin IDs flagged as dox
+	corpus          *textgen.Corpus
+}
+
+// Corpus exposes the generated document population (ground truth; used by
+// graders and secondary-venue analyses, never by the pipeline itself).
+func (s *Study) Corpus() *textgen.Corpus { return s.corpus }
+
+// NewStudy builds the world, trains the classifier (recording its Table 1
+// evaluation), and stands up the simulated services.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	cfg = cfg.withDefaults()
+	s := &Study{
+		Cfg:             cfg,
+		Clock:           simclock.NewClock(simclock.Period1.Start),
+		Deduper:         dedup.New(),
+		CollectedBySite: make(map[string]int),
+		flaggedP1:       make(map[string]bool),
+		rng:             randutil.New(cfg.Seed ^ 0x636f7265), // "core"
+	}
+	s.World = sim.NewWorld(sim.Default(cfg.Seed, cfg.Scale))
+	s.Gen = textgen.New(s.World)
+
+	// Train and evaluate the classifier on the labeled corpus (§3.1.2).
+	examples := s.Gen.TrainingSet()
+	exs := make([]classifier.Example, len(examples))
+	for i, ex := range examples {
+		exs[i] = classifier.Example{Body: ex.Body, IsDox: ex.IsDox}
+	}
+	clf, eval, err := classifier.TrainEval(randutil.Derive(s.rng, "train"), exs, cfg.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	s.Classifier, s.ClfEval = clf, eval
+
+	// Generate the corpus and stand up the sites. The corpus is retained
+	// (strings are shared with the site copies, so this is cheap) for
+	// post-study analyses that need ground truth or secondary venues.
+	corpus := s.Gen.Corpus()
+	s.corpus = corpus
+	s.Pastebin = sites.NewPastebin(s.Clock, corpus.Streams[textgen.SitePastebin], sites.DefaultDeletionModel(), cfg.Seed+1)
+	s.Fourchan = sites.NewBoardSite(s.Clock, map[string][]textgen.Doc{
+		"b":   corpus.Streams[textgen.SiteFourchanB],
+		"pol": corpus.Streams[textgen.SiteFourchanPol],
+	}, cfg.Seed+2)
+	s.Eightch = sites.NewBoardSite(s.Clock, map[string][]textgen.Doc{
+		"pol":      corpus.Streams[textgen.SiteEightchPol],
+		"baphomet": corpus.Streams[textgen.SiteEightchBapho],
+	}, cfg.Seed+3)
+
+	// The OSN universe reacts to doxes when they are *posted*, independent
+	// of whether our pipeline finds them: scan ground truth for each
+	// victim's first posting and inform the universe.
+	s.Universe = osn.NewUniverse(s.Clock, s.World, cfg.Seed+4)
+	firstDox := map[int]time.Time{}
+	for _, site := range textgen.AllSites() {
+		for i := range corpus.Streams[site] {
+			doc := &corpus.Streams[site][i]
+			if !doc.IsDox() {
+				continue
+			}
+			v := doc.Truth.Victim
+			if t, ok := firstDox[v.ID]; !ok || doc.Posted.Before(t) {
+				firstDox[v.ID] = doc.Posted
+			}
+		}
+	}
+	for _, v := range s.World.Victims {
+		t, ok := firstDox[v.ID]
+		if !ok {
+			continue
+		}
+		for n, user := range v.OSN {
+			ref := netid.Ref{Network: n, Username: user}
+			s.Universe.RecordDox(ref, t)
+			s.Universe.TriggerAbuse(ref, t)
+		}
+	}
+
+	// Serve everything over loopback HTTP.
+	pbSvc, err := serveLocal(s.Pastebin.Handler())
+	if err != nil {
+		return nil, err
+	}
+	fourSvc, err := serveLocal(s.Fourchan.Handler())
+	if err != nil {
+		return nil, err
+	}
+	eightSvc, err := serveLocal(s.Eightch.Handler())
+	if err != nil {
+		return nil, err
+	}
+	osnSvc, err := serveLocal(s.Universe.Handler())
+	if err != nil {
+		return nil, err
+	}
+	s.services = []*service{pbSvc, fourSvc, eightSvc, osnSvc}
+	s.osnBaseURL = osnSvc.BaseURL
+
+	opts := crawler.Options{}
+	s.crawlers.pastebin = crawler.NewPastebin(pbSvc.BaseURL, opts)
+	s.crawlers.boards = []*crawler.Board{
+		crawler.NewBoard(fourSvc.BaseURL, "b", "4chan/b", opts),
+		crawler.NewBoard(fourSvc.BaseURL, "pol", "4chan/pol", opts),
+		crawler.NewBoard(eightSvc.BaseURL, "pol", "8ch/pol", opts),
+		crawler.NewBoard(eightSvc.BaseURL, "baphomet", "8ch/baphomet", opts),
+	}
+	s.Monitor = monitor.New(s.Clock, osnSvc.BaseURL, simclock.Period2.End, nil)
+	return s, nil
+}
+
+// Close shuts down the simulated services.
+func (s *Study) Close() {
+	for _, svc := range s.services {
+		_ = svc.Close()
+	}
+}
+
+// Run executes the full two-period study.
+func (s *Study) Run(ctx context.Context) error {
+	// Register the Instagram control sample at study start (§6.2.1).
+	ctrlRng := randutil.Derive(s.rng, "control")
+	maxID := s.Universe.MaxInstagramID()
+	for i := 0; i < s.Cfg.ControlSample; i++ {
+		s.Monitor.TrackControl(1+ctrlRng.Int63n(maxID), simclock.Period1.Start)
+	}
+
+	if err := s.runPeriod(ctx, simclock.Period1, 1); err != nil {
+		return err
+	}
+	// Jump the inter-period gap (no collection happened there).
+	s.Clock.Set(simclock.Period2.Start)
+	if err := s.runPeriod(ctx, simclock.Period2, 2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runPeriod advances day by day through one collection period.
+func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) error {
+	if s.Clock.Now().Before(p.Start) {
+		s.Clock.Set(p.Start)
+	}
+	for day := 0; ; day++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.collectOnce(ctx, p, periodNo); err != nil {
+			return err
+		}
+		if err := s.Monitor.ProcessDue(ctx); err != nil {
+			return err
+		}
+		if s.Cfg.Progress != nil {
+			fmt.Fprintf(s.Cfg.Progress, "%s day %3d: collected=%d flagged=%d unique-doxes=%d\n",
+				p.Name, day, s.Collected, s.FlaggedByPeriod[1]+s.FlaggedByPeriod[2], len(s.Doxes))
+		}
+		if !s.Clock.Now().Before(p.End) {
+			return nil
+		}
+		s.Clock.Advance(simclock.Day)
+	}
+}
+
+// collectOnce polls every source and pushes new documents through the
+// pipeline. Boards were only crawled in period 2 (§3.1.1).
+func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int) error {
+	docs, err := s.crawlers.pastebin.Poll(ctx)
+	if err != nil {
+		return fmt.Errorf("pastebin poll: %w", err)
+	}
+	if periodNo == 2 {
+		for _, bc := range s.crawlers.boards {
+			more, err := bc.Poll(ctx)
+			if err != nil {
+				return fmt.Errorf("%s poll: %w", bc.SiteName, err)
+			}
+			docs = append(docs, more...)
+		}
+	}
+	for i := range docs {
+		s.process(&docs[i], periodNo, p)
+	}
+	return nil
+}
+
+// process runs one collected document through classify → extract → dedup →
+// monitor.
+func (s *Study) process(doc *crawler.Doc, periodNo int, p simclock.Period) {
+	s.Collected++
+	s.CollectedBySite[doc.Site]++
+	if periodNo == 1 && doc.Site == "pastebin" {
+		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: doc.Site, ID: doc.ID, Posted: doc.Posted})
+	}
+	text := doc.Body
+	if doc.HTML || htmltext.IsProbablyHTML(text) {
+		text = htmltext.Convert(text)
+	}
+	if !s.Classifier.IsDox(text) {
+		return
+	}
+	s.FlaggedByPeriod[periodNo]++
+	if periodNo == 1 && doc.Site == "pastebin" {
+		s.flaggedP1[doc.ID] = true
+	}
+	ex := extract.Extract(text)
+	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, text, ex.AccountSetKey())
+	if verdict != dedup.Unique {
+		return
+	}
+	rec := &DoxRecord{
+		DocID:      doc.ID,
+		Site:       doc.Site,
+		Posted:     doc.Posted,
+		Period:     periodNo,
+		Text:       text,
+		Extraction: ex,
+	}
+	s.Doxes = append(s.Doxes, rec)
+	// Monitor the referenced accounts on the four tracked networks,
+	// starting now (when we observed the dox) until the period ends.
+	now := s.Clock.Now()
+	for _, n := range netid.Monitored() {
+		if user, ok := ex.Accounts[n]; ok {
+			s.Monitor.TrackUntil(netid.Ref{Network: n, Username: user}, now, p.End)
+		}
+	}
+}

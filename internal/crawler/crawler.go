@@ -1,0 +1,350 @@
+// Package crawler implements the collection stage of the paper's pipeline
+// (§3.1.1): incremental HTTP crawlers for a pastebin-style scraping API and
+// for 4chan/8ch-style board JSON APIs.
+//
+// Each crawler is a poller: Poll performs one incremental sweep, returning
+// only documents not seen in previous sweeps. The study driver interleaves
+// clock advancement with polling, exactly as the paper's collection
+// infrastructure tailed the live sites for thirteen weeks. Transient HTTP
+// failures are retried with backoff; a configurable minimum request
+// interval provides the polite rate limiting a real deployment needs.
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Doc is one collected document, normalized across sources.
+type Doc struct {
+	Site   string
+	ID     string
+	Title  string
+	Body   string
+	HTML   bool
+	Posted time.Time
+}
+
+// Options configures shared crawler behaviour.
+type Options struct {
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+	// MinInterval is the minimum spacing between requests (0 = none).
+	MinInterval time.Duration
+	// Retries is how many times a failed request is retried (default 2).
+	Retries int
+	// Backoff is the base retry backoff (default 50ms, doubled per retry).
+	Backoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// fetcher performs rate-limited, retrying GETs.
+type fetcher struct {
+	opts     Options
+	mu       sync.Mutex
+	lastReq  time.Time
+	requests int64
+}
+
+func newFetcher(opts Options) *fetcher {
+	return &fetcher{opts: opts.withDefaults()}
+}
+
+// errNotFound marks 404s, which are terminal (no retry).
+var errNotFound = errors.New("not found")
+
+// get fetches a URL, honoring rate limits and retrying transient errors.
+func (f *fetcher) get(ctx context.Context, url string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(f.opts.Backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := f.throttle(ctx); err != nil {
+			return nil, err
+		}
+		body, err := f.once(ctx, url)
+		if err == nil {
+			return body, nil
+		}
+		if errors.Is(err, errNotFound) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("crawler: %s failed after %d attempts: %w", url, f.opts.Retries+1, lastErr)
+}
+
+func (f *fetcher) once(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	f.mu.Lock()
+	f.requests++
+	f.mu.Unlock()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, errNotFound
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}
+
+// throttle enforces the minimum request interval.
+func (f *fetcher) throttle(ctx context.Context) error {
+	if f.opts.MinInterval <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	now := time.Now()
+	next := f.lastReq.Add(f.opts.MinInterval)
+	if next.Before(now) {
+		next = now
+	}
+	f.lastReq = next // reserve the slot
+	wait := next.Sub(now)
+	f.mu.Unlock()
+	if wait <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(wait):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Requests returns the number of HTTP requests issued so far.
+func (f *fetcher) Requests() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.requests
+}
+
+// Pastebin incrementally crawls a pastebin-style scraping API.
+type Pastebin struct {
+	BaseURL  string
+	SiteName string
+	PageSize int
+
+	f      *fetcher
+	mu     sync.Mutex
+	cursor int64
+	seen   map[string]bool
+}
+
+// NewPastebin builds the crawler; baseURL has no trailing slash.
+func NewPastebin(baseURL string, opts Options) *Pastebin {
+	return &Pastebin{
+		BaseURL:  baseURL,
+		SiteName: "pastebin",
+		PageSize: 250,
+		f:        newFetcher(opts),
+		seen:     make(map[string]bool),
+	}
+}
+
+type pasteMeta struct {
+	Key   string `json:"key"`
+	Title string `json:"title"`
+	Date  int64  `json:"date"`
+}
+
+// Poll sweeps the listing from the current cursor, fetching every new paste
+// body. Pastes that vanish between listing and fetch (deletions) are
+// skipped, matching a live crawler's race.
+func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
+	var out []Doc
+	for {
+		c.mu.Lock()
+		cursor := c.cursor
+		c.mu.Unlock()
+		raw, err := c.f.get(ctx, fmt.Sprintf("%s/api_scraping.php?since=%d&limit=%d", c.BaseURL, cursor, c.PageSize))
+		if err != nil {
+			return out, err
+		}
+		var page []pasteMeta
+		if err := json.Unmarshal(raw, &page); err != nil {
+			return out, fmt.Errorf("crawler: bad listing: %w", err)
+		}
+		if len(page) == 0 {
+			return out, nil
+		}
+		progressed := false
+		for _, m := range page {
+			c.mu.Lock()
+			dup := c.seen[m.Key]
+			if !dup {
+				c.seen[m.Key] = true
+				progressed = true
+			}
+			if m.Date > c.cursor {
+				c.cursor = m.Date
+			}
+			c.mu.Unlock()
+			if dup {
+				continue
+			}
+			body, err := c.f.get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, m.Key))
+			if errors.Is(err, errNotFound) {
+				continue // deleted between listing and fetch
+			}
+			if err != nil {
+				return out, err
+			}
+			out = append(out, Doc{
+				Site: c.SiteName, ID: m.Key, Title: m.Title,
+				Body: string(body), Posted: time.Unix(m.Date, 0).UTC(),
+			})
+		}
+		// A page of only boundary-second duplicates means the stream is
+		// exhausted; avoid spinning.
+		if !progressed && len(page) < c.PageSize {
+			return out, nil
+		}
+		if !progressed {
+			return out, nil
+		}
+	}
+}
+
+// Requests exposes the underlying request count.
+func (c *Pastebin) Requests() int64 { return c.f.Requests() }
+
+// Board incrementally crawls one board of a chan-style JSON API.
+type Board struct {
+	BaseURL  string
+	Board    string
+	SiteName string
+
+	f        *fetcher
+	mu       sync.Mutex
+	lastMod  map[int64]int64 // thread no -> last_modified handled
+	seenPost map[int64]bool
+}
+
+// NewBoard builds a board crawler. siteName labels collected docs (e.g.
+// "4chan/b").
+func NewBoard(baseURL, board, siteName string, opts Options) *Board {
+	return &Board{
+		BaseURL:  baseURL,
+		Board:    board,
+		SiteName: siteName,
+		f:        newFetcher(opts),
+		lastMod:  make(map[int64]int64),
+		seenPost: make(map[int64]bool),
+	}
+}
+
+type catalogPage struct {
+	Page    int `json:"page"`
+	Threads []struct {
+		No           int64 `json:"no"`
+		LastModified int64 `json:"last_modified"`
+	} `json:"threads"`
+}
+
+type threadJSON struct {
+	Posts []struct {
+		No   int64  `json:"no"`
+		Time int64  `json:"time"`
+		Com  string `json:"com"`
+	} `json:"posts"`
+}
+
+// Poll fetches the catalog and re-reads every thread with new activity,
+// returning posts not seen before.
+func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
+	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/catalog.json", c.BaseURL, c.Board))
+	if err != nil {
+		return nil, err
+	}
+	var pages []catalogPage
+	if err := json.Unmarshal(raw, &pages); err != nil {
+		return nil, fmt.Errorf("crawler: bad catalog: %w", err)
+	}
+	var out []Doc
+	for _, page := range pages {
+		for _, th := range page.Threads {
+			c.mu.Lock()
+			handled := c.lastMod[th.No]
+			c.mu.Unlock()
+			if th.LastModified <= handled {
+				continue
+			}
+			docs, err := c.pollThread(ctx, th.No)
+			if err != nil {
+				if errors.Is(err, errNotFound) {
+					continue // thread pruned between catalog and fetch
+				}
+				return out, err
+			}
+			out = append(out, docs...)
+			c.mu.Lock()
+			c.lastMod[th.No] = th.LastModified
+			c.mu.Unlock()
+		}
+	}
+	return out, nil
+}
+
+func (c *Board) pollThread(ctx context.Context, no int64) ([]Doc, error) {
+	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/thread/%d.json", c.BaseURL, c.Board, no))
+	if err != nil {
+		return nil, err
+	}
+	var tj threadJSON
+	if err := json.Unmarshal(raw, &tj); err != nil {
+		return nil, fmt.Errorf("crawler: bad thread %d: %w", no, err)
+	}
+	var out []Doc
+	for _, p := range tj.Posts {
+		c.mu.Lock()
+		dup := c.seenPost[p.No]
+		if !dup {
+			c.seenPost[p.No] = true
+		}
+		c.mu.Unlock()
+		if dup {
+			continue
+		}
+		out = append(out, Doc{
+			Site: c.SiteName, ID: fmt.Sprintf("%s-%d", c.Board, p.No),
+			Body: p.Com, HTML: true, Posted: time.Unix(p.Time, 0).UTC(),
+		})
+	}
+	return out, nil
+}
+
+// Requests exposes the underlying request count.
+func (c *Board) Requests() int64 { return c.f.Requests() }

@@ -1,0 +1,227 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+	"doxmeter/internal/sites"
+	"doxmeter/internal/textgen"
+)
+
+func smallCorpus(t *testing.T) *textgen.Corpus {
+	t.Helper()
+	return textgen.New(sim.NewWorld(sim.Default(41, 0.001))).Corpus()
+}
+
+func TestPastebinIncrementalCrawl(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SitePastebin]
+	clock := simclock.NewClock(simclock.Period1.Start)
+	pb := sites.NewPastebin(clock, docs, sites.DeletionModel{}, 1)
+	srv := httptest.NewServer(pb.Handler())
+	defer srv.Close()
+
+	c := NewPastebin(srv.URL, Options{})
+	ctx := context.Background()
+
+	collected := map[string]string{}
+	// Advance week by week through both periods, polling at each step,
+	// with a final poll at the very end of collection.
+	poll := func() {
+		got, err := c.Poll(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range got {
+			if _, dup := collected[d.ID]; dup {
+				t.Fatalf("document %s collected twice", d.ID)
+			}
+			collected[d.ID] = d.Body
+			if d.Posted.After(clock.Now()) {
+				t.Fatal("collected a future document")
+			}
+		}
+	}
+	for day := simclock.Period1.Start; day.Before(simclock.Period2.End); day = day.Add(7 * simclock.Day) {
+		clock.Set(day)
+		poll()
+	}
+	clock.Set(simclock.Period2.End)
+	poll()
+	if len(collected) != len(docs) {
+		t.Fatalf("collected %d of %d pastes", len(collected), len(docs))
+	}
+	for _, d := range docs {
+		if body, ok := collected[d.ID]; !ok || body != d.Body {
+			t.Fatalf("paste %s missing or corrupted", d.ID)
+		}
+	}
+}
+
+func TestPastebinSkipsDeleted(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SitePastebin]
+	clock := simclock.NewClock(simclock.Period2.End.Add(90 * simclock.Day))
+	// Everything deleted long ago: listing still shows them (metadata),
+	// bodies 404; the crawler must skip, not fail.
+	pb := sites.NewPastebin(clock, docs, sites.DeletionModel{DoxRate: 1, OtherRate: 1}, 2)
+	srv := httptest.NewServer(pb.Handler())
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{})
+	got, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("collected %d bodies from fully deleted site", len(got))
+	}
+}
+
+func TestBoardIncrementalCrawl(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SiteFourchanB]
+	clock := simclock.NewClock(simclock.Period2.Start)
+	site := sites.NewBoardSite(clock, map[string][]textgen.Doc{"b": docs}, 3)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	c := NewBoard(srv.URL, "b", "4chan/b", Options{})
+	ctx := context.Background()
+	seen := map[string]bool{}
+	total := 0
+	for day := simclock.Period2.Start; !day.After(simclock.Period2.End); day = day.Add(7 * simclock.Day) {
+		clock.Set(day)
+		got, err := c.Poll(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range got {
+			if seen[d.ID] {
+				t.Fatalf("post %s collected twice", d.ID)
+			}
+			seen[d.ID] = true
+			if !d.HTML {
+				t.Fatal("board post not marked HTML")
+			}
+			total++
+		}
+	}
+	if total != len(docs) {
+		t.Fatalf("collected %d of %d posts", total, len(docs))
+	}
+}
+
+func TestBoardCatalogCaching(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SiteEightchPol]
+	clock := simclock.NewClock(simclock.Period2.End) // all visible
+	site := sites.NewBoardSite(clock, map[string][]textgen.Doc{"pol": docs}, 4)
+	srv := httptest.NewServer(site.Handler())
+	defer srv.Close()
+
+	c := NewBoard(srv.URL, "pol", "8ch/pol", Options{})
+	ctx := context.Background()
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := c.Requests()
+	// Second poll with no new content: only the catalog should be fetched.
+	got, err := c.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("idle poll returned %d posts", len(got))
+	}
+	if c.Requests() != afterFirst+1 {
+		t.Fatalf("idle poll used %d requests, want 1 (catalog only)", c.Requests()-afterFirst)
+	}
+}
+
+func TestRetryOnTransientErrors(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{Retries: 3, Backoff: time.Millisecond})
+	if _, err := c.Poll(context.Background()); err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if atomic.LoadInt32(&calls) != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{Retries: 2, Backoff: time.Millisecond})
+	if _, err := c.Poll(context.Background()); err == nil {
+		t.Fatal("permanent failure not reported")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := NewPastebin(srv.URL, Options{})
+	start := time.Now()
+	_, err := c.Poll(ctx)
+	if err == nil {
+		t.Fatal("cancelled poll succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation not honored promptly")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{MinInterval: 30 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Poll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("4 rate-limited polls took only %v", elapsed)
+	}
+}
+
+func TestBadJSONSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{not json`))
+	}))
+	defer srv.Close()
+	if _, err := NewPastebin(srv.URL, Options{}).Poll(context.Background()); err == nil {
+		t.Error("bad listing JSON accepted")
+	}
+	if _, err := NewBoard(srv.URL, "b", "x", Options{}).Poll(context.Background()); err == nil {
+		t.Error("bad catalog JSON accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package dedup
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"doxmeter/internal/extract"
+	"doxmeter/internal/htmltext"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/textgen"
+)
+
+func TestExactDuplicate(t *testing.T) {
+	d := New()
+	if v, _ := d.Check("a", "dox body here", "k1"); v != Unique {
+		t.Fatalf("first doc = %v", v)
+	}
+	v, first := d.Check("b", "dox body here", "k1")
+	if v != ExactDuplicate {
+		t.Fatalf("identical body = %v", v)
+	}
+	if first != "a" {
+		t.Fatalf("original = %q", first)
+	}
+}
+
+func TestWhitespaceNormalization(t *testing.T) {
+	d := New()
+	d.Check("a", "line one\nline two\n", "")
+	if v, _ := d.Check("b", "line one   \r\nline two", ""); v != ExactDuplicate {
+		t.Errorf("whitespace variant = %v, want exact duplicate", v)
+	}
+}
+
+func TestAccountDuplicate(t *testing.T) {
+	d := New()
+	d.Check("a", "original body", "facebook:u1|twitter:u2")
+	v, first := d.Check("b", "reposted with UPDATE section", "facebook:u1|twitter:u2")
+	if v != AccountDuplicate {
+		t.Fatalf("same accounts = %v", v)
+	}
+	if first != "a" {
+		t.Fatalf("original = %q", first)
+	}
+	// Different account set: unique.
+	if v, _ := d.Check("c", "another body", "facebook:u9"); v != Unique {
+		t.Errorf("different accounts = %v", v)
+	}
+}
+
+func TestNoAccountsNeverNearDup(t *testing.T) {
+	d := New()
+	d.Check("a", "body one", "")
+	if v, _ := d.Check("b", "body two", ""); v != Unique {
+		t.Errorf("account-less docs matched: %v", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New()
+	d.Check("a", "x", "k")
+	d.Check("b", "x", "k")
+	d.Check("c", "y", "k")
+	d.Check("d", "z", "")
+	s := d.Stats()
+	if s.Unique != 2 || s.ExactDups != 1 || s.AccntDups != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TotalDups() != 2 || s.Total() != 4 {
+		t.Fatalf("totals = %d/%d", s.TotalDups(), s.Total())
+	}
+	if d.SeenBodies() != 3 {
+		t.Fatalf("seen bodies = %d", d.SeenBodies())
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Check(fmt.Sprintf("%d-%d", w, i), fmt.Sprintf("body-%d", i), fmt.Sprintf("k%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.Total() != 1600 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	if s.Unique != 200 {
+		t.Fatalf("unique = %d, want 200", s.Unique)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Unique.String() != "unique" || ExactDuplicate.String() != "exact-duplicate" ||
+		AccountDuplicate.String() != "account-duplicate" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+// TestAgainstCorpus runs the real extract->dedup path over the generated
+// dox population and checks the paper's §3.1.4 structure: ~18% duplicates,
+// exact rarer than near, and no false duplicate verdicts across distinct
+// victims.
+func TestAgainstCorpus(t *testing.T) {
+	g := textgen.New(sim.NewWorld(sim.Default(21, 0.05)))
+	corpus := g.Corpus()
+	d := New()
+	r := rand.New(rand.NewSource(1))
+	_ = r
+	victimOf := map[string]int{} // first-seen doc ID -> victim
+	var falseDups, trueDoxes int
+	for _, site := range textgen.AllSites() {
+		for _, doc := range corpus.Streams[site] {
+			if !doc.IsDox() {
+				continue
+			}
+			trueDoxes++
+			body := doc.Body
+			if doc.HTML {
+				body = htmltext.Convert(body)
+			}
+			e := extract.Extract(body)
+			v, first := d.Check(doc.ID, body, e.AccountSetKey())
+			switch v {
+			case Unique:
+				victimOf[doc.ID] = doc.Truth.Victim.ID
+			default:
+				if victimOf[first] != doc.Truth.Victim.ID {
+					falseDups++
+				}
+			}
+		}
+	}
+	s := d.Stats()
+	if s.Total() != trueDoxes {
+		t.Fatalf("classified %d of %d doxes", s.Total(), trueDoxes)
+	}
+	dupFrac := float64(s.TotalDups()) / float64(s.Total())
+	// Generator plants 18.1%; detection misses near-dups of account-less
+	// doxes, so accept a band below that.
+	if dupFrac < 0.10 || dupFrac > 0.25 {
+		t.Errorf("detected duplicate fraction %.3f, want ~0.15-0.18 (§3.1.4)", dupFrac)
+	}
+	if s.ExactDups >= s.AccntDups {
+		t.Errorf("exact dups (%d) should be rarer than account dups (%d)", s.ExactDups, s.AccntDups)
+	}
+	if frac := float64(falseDups) / float64(s.Total()); frac > 0.01 {
+		t.Errorf("false duplicate rate %.4f (%d docs): distinct victims conflated", frac, falseDups)
+	}
+	// Shape check against the paper's absolute proportions.
+	exactFrac := float64(s.ExactDups) / float64(s.Total())
+	if math.Abs(exactFrac-0.039) > 0.025 {
+		t.Errorf("exact-dup fraction %.3f, want ~0.039", exactFrac)
+	}
+}
+
+func TestPeekNonMutating(t *testing.T) {
+	d := New()
+	d.Check("a", "body", "k1")
+	if v, first := d.Peek("body", ""); v != ExactDuplicate || first != "a" {
+		t.Fatalf("peek exact = %v/%q", v, first)
+	}
+	if v, first := d.Peek("different text", "k1"); v != AccountDuplicate || first != "a" {
+		t.Fatalf("peek account = %v/%q", v, first)
+	}
+	if v, _ := d.Peek("novel", "k9"); v != Unique {
+		t.Fatalf("peek novel = %v", v)
+	}
+	// Peek must not record: stats and seen sets unchanged.
+	if s := d.Stats(); s.Total() != 1 || s.Unique != 1 {
+		t.Fatalf("peek mutated stats: %+v", s)
+	}
+	if d.SeenBodies() != 1 {
+		t.Fatalf("peek recorded a body")
+	}
+	// A novel peeked doc is still Unique when checked later.
+	if v, _ := d.Check("b", "novel", "k9"); v != Unique {
+		t.Fatalf("post-peek check = %v", v)
+	}
+}

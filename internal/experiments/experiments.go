@@ -1,0 +1,408 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation from a completed core.Study. Each Build function returns a
+// renderable artifact annotated with the paper's reported values, so the
+// benchmark harness and cmd/doxbench print paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"doxmeter/internal/abuse"
+	"doxmeter/internal/core"
+	"doxmeter/internal/label"
+	"doxmeter/internal/metrics"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/report"
+	"doxmeter/internal/simclock"
+)
+
+// Table1 reproduces the classifier evaluation.
+func Table1(s *core.Study) *report.Table {
+	t := report.NewTable("Table 1: dox classifier precision/recall (paper: Dox .81/.89/.85, Not .99/.98/.99)",
+		"Label", "Precision", "Recall", "F1", "# Samples")
+	for _, row := range s.ClfEval.Report {
+		t.AddRowF(row.Label,
+			fmt.Sprintf("%.2f", row.Precision),
+			fmt.Sprintf("%.2f", row.Recall),
+			fmt.Sprintf("%.2f", row.F1),
+			fmt.Sprint(row.Samples))
+	}
+	t.AddNote("split: random 2/3 train, 1/3 eval over %d labeled files", s.ClfEval.TrainSize+s.ClfEval.TestSize)
+	return t
+}
+
+// ExtractorAccuracy is the per-label Table 2 measurement input: the study
+// does not retain render ground truth, so Table 2 is produced by the bench
+// against a fresh hand-labeled sample; this type carries the rows.
+type ExtractorAccuracy struct {
+	Label    string
+	Included float64 // fraction of sampled doxes including the item
+	Accuracy float64 // extraction accuracy over those
+	Paper    float64 // paper's reported accuracy
+}
+
+// Table2 renders extractor accuracy rows.
+func Table2(rows []ExtractorAccuracy) *report.Table {
+	t := report.NewTable("Table 2: OSN extractor accuracy (paper accuracy in last column)",
+		"Label", "% Doxes Including", "Extractor Accuracy", "Paper")
+	for _, r := range rows {
+		t.AddRowF(r.Label, report.Pct(r.Included), report.Pct(r.Accuracy), report.Pct(r.Paper))
+	}
+	t.AddNote("measured over a 125-file hand-labeled sample, as in §3.1.3")
+	return t
+}
+
+// Table3 reproduces the deletion validation.
+func Table3(s *core.Study) *report.Table {
+	del := s.DeletionCheck()
+	t := report.NewTable("Table 3: pastebin deletion one month after posting (paper: dox 12.8%, other 4.2%)",
+		"Type", "# of Files", "# Deleted", "% Deleted")
+	t.AddRowF("Dox", fmt.Sprint(del.Dox.N), fmt.Sprint(del.Dox.Hits), report.Pct(del.Dox.Rate()))
+	t.AddRowF("Other", fmt.Sprint(del.Other.N), fmt.Sprint(del.Other.Hits), report.Pct(del.Other.Rate()))
+	ratio := 0.0
+	if del.Other.Rate() > 0 {
+		ratio = del.Dox.Rate() / del.Other.Rate()
+	}
+	t.AddNote("dox/other deletion ratio = %.1fx (paper: >3x)", ratio)
+	return t
+}
+
+// Table4 reproduces the collection statistics.
+func Table4(s *core.Study) *report.Table {
+	scale := s.Cfg.Scale
+	t := report.NewTable(fmt.Sprintf("Table 4: collection statistics at scale %.3f (paper values scaled alongside)", scale),
+		"Statistic", "Measured", "Paper (scaled)", "Paper (full)")
+	row := func(name string, measured int, paperFull int) {
+		t.AddRowF(name, fmt.Sprint(measured), fmt.Sprintf("%.0f", float64(paperFull)*scale), fmt.Sprint(paperFull))
+	}
+	flagged := s.FlaggedByPeriod[1] + s.FlaggedByPeriod[2]
+	row("Text files recorded", s.Collected, 1737887)
+	row("Classified as a dox", flagged, 5530)
+	row("Doxes without duplicates", len(s.Doxes), 4528)
+	agg, _ := s.LabelSample(s.Cfg.LabelSample)
+	row("Doxes manually labeled", agg.N, 464)
+	t.AddNote("period split: %d flagged pre-filter, %d post-filter (paper: 2,976 / 2,554)",
+		s.FlaggedByPeriod[1], s.FlaggedByPeriod[2])
+	return t
+}
+
+// Table5 reproduces victim demographics.
+func Table5(agg label.Aggregate) *report.Table {
+	t := report.NewTable("Table 5: victim demographics (paper: ages 10-74 mean 21.7; 82.2% male; 64.5% USA)",
+		"Statistic", "Measured", "Paper")
+	min, max, mean := agg.AgeStats()
+	n := float64(agg.N)
+	t.AddRowF("Min Age", fmt.Sprint(min), "10")
+	t.AddRowF("Max Age", fmt.Sprint(max), "74")
+	t.AddRowF("Mean Age", fmt.Sprintf("%.1f", mean), "21.7")
+	t.AddRowF("Gender (Female) %", report.Pct(float64(agg.Female)/n), "16.3")
+	t.AddRowF("Gender (Male) %", report.Pct(float64(agg.Male)/n), "82.2")
+	t.AddRowF("Gender (Other) %", report.Pct(float64(agg.Other)/n), "0.4")
+	if agg.USA+agg.Foreign > 0 {
+		t.AddRowF("Located in USA %", report.Pct(float64(agg.USA)/float64(agg.USA+agg.Foreign)), "64.5")
+	}
+	t.AddNote("of %d labeled doxes", agg.N)
+	return t
+}
+
+// Table6 reproduces the sensitive-category frequencies.
+func Table6(agg label.Aggregate) *report.Table {
+	t := report.NewTable("Table 6: disclosed sensitive categories (of labeled doxes)",
+		"Category", "# of Doxes", "% Measured", "% Paper")
+	n := float64(agg.N)
+	row := func(name string, count int, paper string) {
+		t.AddRowF(name, fmt.Sprint(count), report.Pct(float64(count)/n), paper)
+	}
+	row("Address (any)", agg.Address, "90.1")
+	row("Phone Number", agg.Phone, "61.2")
+	row("Family Info", agg.Family, "50.6")
+	row("Email", agg.Email, "53.7")
+	row("Address (zip)", agg.Zip, "48.9")
+	row("Date of Birth", agg.DOB, "33.4")
+	row("School", agg.School, "10.3")
+	row("Usernames", agg.Usernames, "40.1")
+	row("ISP", agg.ISP, "21.6")
+	row("IP Address", agg.IP, "40.3")
+	row("Passwords", agg.Passwords, "8.6")
+	row("Physical Traits", agg.Physical, "2.6")
+	row("Criminal Records", agg.Criminal, "1.3")
+	row("Social Security #", agg.SSN, "2.6")
+	row("Credit Card #", agg.CreditCard, "4.3")
+	row("Other Financial Info", agg.Financial, "8.8")
+	return t
+}
+
+// Table7 reproduces victim communities.
+func Table7(agg label.Aggregate) *report.Table {
+	t := report.NewTable("Table 7: victims by community (paper: gamer 11.4%, hacker 3.7%, celebrity 1.1%)",
+		"Category", "# of Doxes", "% Measured", "% Paper")
+	n := float64(agg.N)
+	t.AddRowF("Hacker", fmt.Sprint(agg.Hacker), report.Pct(float64(agg.Hacker)/n), "3.7")
+	t.AddRowF("Gamer", fmt.Sprint(agg.Gamer), report.Pct(float64(agg.Gamer)/n), "11.4")
+	t.AddRowF("Celebrity", fmt.Sprint(agg.Celebrity), report.Pct(float64(agg.Celebrity)/n), "1.1")
+	total := agg.Hacker + agg.Gamer + agg.Celebrity
+	t.AddRowF("Total", fmt.Sprint(total), report.Pct(float64(total)/n), "16.2")
+	return t
+}
+
+// Table8 reproduces doxer motivations.
+func Table8(agg label.Aggregate) *report.Table {
+	t := report.NewTable("Table 8: stated motivations (paper: justice 14.7%, revenge 11.2%, competitive 1.5%, political 1.1%)",
+		"Motivation", "# of Doxes", "% Measured", "% Paper")
+	n := float64(agg.N)
+	t.AddRowF("Competitive", fmt.Sprint(agg.Competitive), report.Pct(float64(agg.Competitive)/n), "1.5")
+	t.AddRowF("Revenge", fmt.Sprint(agg.Revenge), report.Pct(float64(agg.Revenge)/n), "11.2")
+	t.AddRowF("Justice", fmt.Sprint(agg.Justice), report.Pct(float64(agg.Justice)/n), "14.7")
+	t.AddRowF("Political", fmt.Sprint(agg.Political), report.Pct(float64(agg.Political)/n), "1.1")
+	total := agg.Competitive + agg.Revenge + agg.Justice + agg.Political
+	t.AddRowF("Total", fmt.Sprint(total), report.Pct(float64(total)/n), "28.4")
+	return t
+}
+
+// Table9 reproduces OSN reference counts.
+func Table9(s *core.Study) *report.Table {
+	counts := s.OSNCounts()
+	t := report.NewTable("Table 9: dox files referencing each network",
+		"Social Network", "# Doxes", "% Measured", "% Paper")
+	paper := map[netid.Network]string{
+		netid.Facebook: "17.8", netid.GooglePlus: "7.3", netid.Twitter: "8.1",
+		netid.Instagram: "7.5", netid.YouTube: "5.7", netid.Twitch: "3.3",
+	}
+	n := float64(len(s.Doxes))
+	for _, net := range []netid.Network{netid.Facebook, netid.GooglePlus, netid.Twitter, netid.Instagram, netid.YouTube, netid.Twitch} {
+		t.AddRowF(net.String(), fmt.Sprint(counts[net]), report.Pct(float64(counts[net])/n), paper[net])
+	}
+	return t
+}
+
+// Table10 reproduces the status-change comparison.
+func Table10(s *core.Study) *report.Table {
+	hist := s.Monitor.Histories()
+	t := report.NewTable("Table 10: account status changes over the measurement period",
+		"Account Condition", "% More Private", "% More Public", "% Any Change", "Total #", "Paper (priv/pub/any)")
+	addRow := func(name string, st monitor.ChangeStats, paper string) {
+		t.AddRowF(name, report.Pct(st.MorePrivateRate()), report.Pct(st.MorePublicRate()),
+			report.Pct(st.AnyChangeRate()), fmt.Sprint(st.Total), paper)
+	}
+	addRow("Instagram Default", monitor.Changes(hist, monitor.Controls()), "0.1/0.1/0.2")
+	addRow("Instagram Doxed (pre filter)", monitor.Changes(hist, monitor.DoxedDuring(simclock.Period1, netid.Instagram)), "17.2/8.1/32.2")
+	addRow("Instagram Doxed (post filter)", monitor.Changes(hist, monitor.DoxedDuring(simclock.Period2, netid.Instagram)), "5.7/1.4/9.9")
+	addRow("Facebook Doxed (pre filter)", monitor.Changes(hist, monitor.DoxedDuring(simclock.Period1, netid.Facebook)), "22.0/2.0/24.6")
+	addRow("Facebook Doxed (post filter)", monitor.Changes(hist, monitor.DoxedDuring(simclock.Period2, netid.Facebook)), "3.0/<0.1/3.3")
+	addRow("Twitter Doxed", monitor.Changes(hist, monitor.ByNetwork(netid.Twitter)), "6.9/2.6/10.5")
+	addRow("YouTube Doxed", monitor.Changes(hist, monitor.ByNetwork(netid.YouTube)), "0.5/0.0/1.0")
+
+	doxedIG := monitor.Changes(hist, monitor.ByNetwork(netid.Instagram))
+	ctrl := monitor.Changes(hist, monitor.Controls())
+	p := metrics.TwoProportionP(
+		metrics.Proportion{Hits: doxedIG.AnyChange, N: doxedIG.Total},
+		metrics.Proportion{Hits: ctrl.AnyChange, N: ctrl.Total})
+	t.AddNote("doxed-vs-control two-proportion p = %.2g (paper: asymptotically zero)", p)
+	return t
+}
+
+// Figure1 prints the pipeline funnel.
+func Figure1(s *core.Study) *report.Table {
+	t := report.NewTable("Figure 1: pipeline funnel (measured counts at this scale)",
+		"Stage", "Count")
+	flagged := s.FlaggedByPeriod[1] + s.FlaggedByPeriod[2]
+	stats := s.Deduper.Stats()
+	t.AddRowF("Collected documents", fmt.Sprint(s.Collected))
+	var sites []string
+	for site := range s.CollectedBySite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		t.AddRowF("  "+site, fmt.Sprint(s.CollectedBySite[site]))
+	}
+	t.AddRowF("Classified as dox", fmt.Sprint(flagged))
+	t.AddRowF("Duplicates removed", fmt.Sprint(stats.TotalDups()))
+	t.AddRowF("  exact-body duplicates", fmt.Sprint(stats.ExactDups))
+	t.AddRowF("  account-set duplicates", fmt.Sprint(stats.AccntDups))
+	t.AddRowF("Unique doxes", fmt.Sprint(len(s.Doxes)))
+	verified, nonexistent := monitor.VerifiedCount(s.Monitor.Histories())
+	t.AddRowF("Monitored accounts (verified)", fmt.Sprint(verified))
+	t.AddRowF("Dropped by verifier (nonexistent)", fmt.Sprint(nonexistent))
+	return t
+}
+
+// Figure2 summarizes the doxer clique analysis and returns the DOT source.
+func Figure2(s *core.Study) (*report.Table, string) {
+	net := s.BuildDoxerNetwork(4)
+	t := report.NewTable("Figure 2: doxer cliques (paper: 61 of 251 doxers in cliques >= 4, largest 11)",
+		"Statistic", "Measured", "Paper")
+	t.AddRowF("Credited doxers", fmt.Sprint(net.CreditedDoxers), "251")
+	t.AddRowF("With Twitter handles", fmt.Sprint(net.WithTwitter), "213")
+	t.AddRowF("Private Twitter accounts", fmt.Sprint(net.PrivateTwitter), "34")
+	t.AddRowF("Cliques of >= 4", fmt.Sprint(len(net.Cliques)), "-")
+	t.AddRowF("Doxers in such cliques", fmt.Sprint(net.InCliques), "61")
+	t.AddRowF("Largest clique", fmt.Sprint(net.LargestClique), "11")
+	var dot strings.Builder
+	var keep []string
+	for _, c := range net.Cliques {
+		keep = append(keep, c...)
+	}
+	_ = net.Graph.WriteDOT(&dot, "doxer-cliques", keep)
+	return t, dot.String()
+}
+
+// Figure3 builds the pre/post-filter status strips for a network.
+func Figure3(s *core.Study, network netid.Network) (pre, post report.StripSeries, summary *report.Table) {
+	hist := s.Monitor.Histories()
+	build := func(p simclock.Period, name string) report.StripSeries {
+		points := monitor.Strip(hist, monitor.DoxedDuring(p, network))
+		days := make([]report.StripDay, len(points))
+		for i, pt := range points {
+			days[i] = report.StripDay{Day: pt.Day, Public: pt.Public, Private: pt.Private, Inactive: pt.Inactive}
+		}
+		return report.StripSeries{Title: fmt.Sprintf("Figure 3: %s %s (status of accounts that changed within 14 days of the dox)", network, name), Days: days}
+	}
+	pre = build(simclock.Period1, "pre-filtering")
+	post = build(simclock.Period2, "post-filtering")
+
+	summary = report.NewTable(fmt.Sprintf("Figure 3 summary: %s accounts changing status within 14 days", network),
+		"Period", "Changed", "Tracked", "% Changed", "Paper")
+	paperPre, paperPost := "43 (22.5%)", "6 (1.7%)"
+	if network == netid.Instagram {
+		paperPre, paperPost = "12 (13.8%)", "7 (5.0%)"
+	}
+	c1, t1 := monitor.ChangersWithin(hist, monitor.DoxedDuring(simclock.Period1, network), 14)
+	c2, t2 := monitor.ChangersWithin(hist, monitor.DoxedDuring(simclock.Period2, network), 14)
+	summary.AddRowF("pre-filter", fmt.Sprint(c1), fmt.Sprint(t1), report.Pct(safeDiv(c1, t1)), paperPre)
+	summary.AddRowF("post-filter", fmt.Sprint(c2), fmt.Sprint(t2), report.Pct(safeDiv(c2, t2)), paperPost)
+	return pre, post, summary
+}
+
+// Section63 reports the change-timing measurements.
+func Section63(s *core.Study) *report.Table {
+	tm := monitor.Timing(s.Monitor.Histories(), func(h *monitor.History) bool { return !h.Control })
+	t := report.NewTable("§6.3: timing of more-private changes after the dox appears",
+		"Window", "Measured", "Paper")
+	if tm.TotalMorePrivate > 0 {
+		t.AddRowF("within 24 hours", report.Pct(float64(tm.Within1Day)/float64(tm.TotalMorePrivate)), "35.8")
+		t.AddRowF("within 7 days", report.Pct(float64(tm.Within7Days)/float64(tm.TotalMorePrivate)), "90.6")
+	}
+	t.AddNote("over %d observed more-private changes", tm.TotalMorePrivate)
+	return t
+}
+
+// Section532 reports the commenter-network null result.
+func Section532(s *core.Study) *report.Table {
+	cs := monitor.Commenters(s.Monitor.Histories())
+	t := report.NewTable("§5.3.2: comments on doxed accounts",
+		"Statistic", "Measured", "Paper")
+	t.AddRowF("Comments recorded", fmt.Sprint(cs.Comments), "33,570")
+	t.AddRowF("Distinct commenters", fmt.Sprint(cs.Commenters), "9,792")
+	t.AddRowF("Commenters on multiple accounts", fmt.Sprint(cs.CrossAccountUsers), "0")
+	return t
+}
+
+// SectionCompromise tests the paper's §6.2.2 hypothesis for the unexpected
+// "more public" transitions: account takeover. The monitor records
+// defacement banners; footnote 7 reports two manually-found cases and that
+// an automated detector was out of reach — here the banner heuristic makes
+// the takeover share measurable.
+func SectionCompromise(s *core.Study) *report.Table {
+	hist := s.Monitor.Histories()
+	t := report.NewTable("§6.2.2: accounts that opened up after a dox — takeover share",
+		"Population", "More-public accounts", "Defaced (compromised)")
+	for _, network := range netid.Monitored() {
+		cs := monitor.Compromises(hist, monitor.ByNetwork(network))
+		if cs.MorePublic == 0 {
+			continue
+		}
+		t.AddRowF(network.String(), fmt.Sprint(cs.MorePublic), fmt.Sprint(cs.Defaced))
+	}
+	all := monitor.Compromises(hist, func(h *monitor.History) bool { return !h.Control })
+	t.AddRowF("All doxed", fmt.Sprint(all.MorePublic), fmt.Sprint(all.Defaced))
+	t.AddNote("paper: 'one possibility is that the increased account openness is a result of accounts being taken over by attackers' (footnote 7: two defaced accounts found manually)")
+	return t
+}
+
+// SectionActivity runs the comparison the paper defers to future work
+// (§6.2.1): restricting both the doxed population and the random control
+// sample to *active* accounts before comparing status-change rates, to rule
+// out the objection that the control sample is polluted by abandoned
+// accounts that would never change status anyway.
+func SectionActivity(s *core.Study) *report.Table {
+	hist := s.Monitor.Histories()
+	t := report.NewTable("§6.2.1 future work: status changes restricted to active accounts (>= 5 visible posts)",
+		"Population", "% Any Change (all)", "% Any Change (active)", "n all", "n active")
+	add := func(name string, f monitor.Filter) {
+		all := monitor.Changes(hist, f)
+		act := monitor.Changes(hist, monitor.Active(5, f))
+		t.AddRowF(name, report.Pct(all.AnyChangeRate()), report.Pct(act.AnyChangeRate()),
+			fmt.Sprint(all.Total), fmt.Sprint(act.Total))
+	}
+	add("Instagram control", monitor.Controls())
+	add("Instagram doxed", monitor.ByNetwork(netid.Instagram))
+	add("Facebook doxed", monitor.ByNetwork(netid.Facebook))
+	t.AddNote("the doxed-vs-control gap must survive the activity restriction for Table 10's conclusion to hold")
+	return t
+}
+
+// SectionAbuse reproduces the paper's *abandoned* §6.3 approach — counting
+// abusive comments on doxed accounts before and after filter deployment —
+// using the lexicon baseline in internal/abuse. On synthetic streams the
+// filter effect is visible directly; the paper abandoned this on real data
+// because community-norm labeling was unreliable.
+func SectionAbuse(s *core.Study) *report.Table {
+	t := report.NewTable("§6.3 (abandoned approach): abusive comments per doxed account, by filter era",
+		"Network / era", "Accounts", "Comments", "Abusive", "Abusive/account")
+	for _, network := range []netid.Network{netid.Facebook, netid.Instagram} {
+		for _, p := range []simclock.Period{simclock.Period1, simclock.Period2} {
+			var accounts, comments, abusive int
+			for _, h := range s.Monitor.Histories() {
+				if h.Control || h.Ref.Network != network || !p.Contains(h.DoxSeenAt) || !h.Verified {
+					continue
+				}
+				var last []monitor.CommentObs
+				for _, o := range h.Obs {
+					if len(o.Comments) > 0 {
+						last = o.Comments
+					}
+				}
+				accounts++
+				comments += len(last)
+				for _, c := range last {
+					if abuse.IsAbusive(c.Text) {
+						abusive++
+					}
+				}
+			}
+			perAcct := 0.0
+			if accounts > 0 {
+				perAcct = float64(abusive) / float64(accounts)
+			}
+			t.AddRowF(fmt.Sprintf("%s %s", network, p.Name), fmt.Sprint(accounts),
+				fmt.Sprint(comments), fmt.Sprint(abusive), fmt.Sprintf("%.2f", perAcct))
+		}
+	}
+	t.AddNote("filters should cut the abusive volume post-deployment; status changes fall with it (Table 10)")
+	return t
+}
+
+// Section41 reports the geolocation validation.
+func Section41(s *core.Study) *report.Table {
+	v := s.ValidateGeo(50)
+	t := report.NewTable("§4.1: IP-vs-postal validation (paper: of 36, 32 close, 1 adjacent, 3 far; only 4 exact)",
+		"Bucket", "Measured", "Paper")
+	t.AddRowF("Sampled doxes with IP", fmt.Sprint(v.Sampled), "50")
+	t.AddRowF("With postal address too", fmt.Sprint(v.Usable), "36")
+	t.AddRowF("Same state/region", fmt.Sprint(v.ExactCity+v.SameState), "32")
+	t.AddRowF("  of which exact city", fmt.Sprint(v.ExactCity), "4")
+	t.AddRowF("Adjacent state", fmt.Sprint(v.Adjacent), "1")
+	t.AddRowF("Far away", fmt.Sprint(v.Far), "3")
+	return t
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"doxmeter/internal/core"
+	"doxmeter/internal/netid"
+)
+
+var shared *core.Study
+
+func study(t *testing.T) *core.Study {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	s, err := core.NewStudy(core.StudyConfig{Seed: 3, Scale: 0.01, ControlSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	shared = s
+	return s
+}
+
+func TestAllTablesRender(t *testing.T) {
+	s := study(t)
+	agg, _ := s.LabelSample(100)
+	artifacts := map[string]string{
+		"table1":  Table1(s).String(),
+		"table2":  Table2(MeasureTable2(s, 125)).String(),
+		"table3":  Table3(s).String(),
+		"table4":  Table4(s).String(),
+		"table5":  Table5(agg).String(),
+		"table6":  Table6(agg).String(),
+		"table7":  Table7(agg).String(),
+		"table8":  Table8(agg).String(),
+		"table9":  Table9(s).String(),
+		"table10": Table10(s).String(),
+		"figure1": Figure1(s).String(),
+		"sec63":   Section63(s).String(),
+		"sec532":  Section532(s).String(),
+		"sec41":   Section41(s).String(),
+	}
+	for name, out := range artifacts {
+		if len(out) < 40 {
+			t.Errorf("%s render too short:\n%s", name, out)
+		}
+		if !strings.Contains(out, "\n") {
+			t.Errorf("%s not multi-line", name)
+		}
+	}
+	// Spot checks on paper annotations.
+	if !strings.Contains(artifacts["table1"], "0.81") && !strings.Contains(artifacts["table1"], ".81") {
+		t.Error("table1 missing paper reference values")
+	}
+	if !strings.Contains(artifacts["table10"], "17.2/8.1/32.2") {
+		t.Error("table10 missing paper row annotations")
+	}
+	if !strings.Contains(artifacts["table6"], "90.1") {
+		t.Error("table6 missing paper address rate")
+	}
+}
+
+func TestFigure2DOT(t *testing.T) {
+	s := study(t)
+	tbl, dot := Figure2(s)
+	if tbl.NumRows() < 5 {
+		t.Fatalf("figure2 table rows = %d", tbl.NumRows())
+	}
+	if !strings.HasPrefix(dot, "graph ") || !strings.Contains(dot, "--") {
+		t.Errorf("figure2 DOT malformed:\n%.200s", dot)
+	}
+}
+
+func TestFigure3BothNetworks(t *testing.T) {
+	s := study(t)
+	for _, n := range []netid.Network{netid.Facebook, netid.Instagram} {
+		pre, post, summary := Figure3(s, n)
+		if len(pre.Days) != 15 || len(post.Days) != 15 {
+			t.Fatalf("%v strips have %d/%d days", n, len(pre.Days), len(post.Days))
+		}
+		if summary.NumRows() != 2 {
+			t.Fatalf("%v summary rows = %d", n, summary.NumRows())
+		}
+	}
+}
+
+func TestMeasureTable2Rows(t *testing.T) {
+	s := study(t)
+	rows := MeasureTable2(s, 125)
+	if len(rows) != 11 {
+		t.Fatalf("table2 rows = %d, want 11 (paper)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("%s accuracy %.3f out of range", r.Label, r.Accuracy)
+		}
+		if r.Paper <= 0 {
+			t.Errorf("%s missing paper value", r.Label)
+		}
+	}
+	// Shape: Instagram should beat Phone, as in the paper.
+	var ig, phone float64
+	for _, r := range rows {
+		switch r.Label {
+		case "Instagram":
+			ig = r.Accuracy
+		case "Phone":
+			phone = r.Accuracy
+		}
+	}
+	if ig <= phone {
+		t.Errorf("Instagram accuracy %.3f should exceed Phone %.3f (Table 2)", ig, phone)
+	}
+}
+
+func TestSectionMirrors(t *testing.T) {
+	s := study(t)
+	tbl, err := SectionMirrors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Mirror files crawled") {
+		t.Fatalf("mirror table malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "copies") {
+		t.Errorf("mirror table missing redundancy note:\n%s", out)
+	}
+}
+
+func TestSectionActivityAndAbuse(t *testing.T) {
+	s := study(t)
+	act := SectionActivity(s).String()
+	if !strings.Contains(act, "Instagram control") || !strings.Contains(act, "active") {
+		t.Errorf("activity table malformed:\n%s", act)
+	}
+	ab := SectionAbuse(s).String()
+	if !strings.Contains(ab, "pre-filter") || !strings.Contains(ab, "Abusive/account") {
+		t.Errorf("abuse table malformed:\n%s", ab)
+	}
+}

@@ -1,0 +1,36 @@
+package extract
+
+import "testing"
+
+// FuzzExtract ensures the extractor is total: arbitrary text never panics
+// and never yields structurally invalid results.
+func FuzzExtract(f *testing.F) {
+	seeds := []string{
+		"",
+		"Name: John Smith\nAge: 21",
+		"FB user1\nfbs: a - b - c",
+		"Dropped by A and @b, thanks to C (@c)",
+		"IP: 999.999.999.999 Phone: (000) 000-0000",
+		"Facebook: https://facebook.com/....",
+		"Skype:;:;:;",
+		"age: -5\nage: 101\nAge: 55",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e := Extract(s)
+		for n, u := range e.Accounts {
+			if u == "" {
+				t.Fatalf("empty username stored for %v", n)
+			}
+		}
+		if e.Age < 0 || e.Age > 99 {
+			t.Fatalf("age out of range: %d", e.Age)
+		}
+		// Key determinism.
+		if e.AccountSetKey() != Extract(s).AccountSetKey() {
+			t.Fatal("extraction not deterministic")
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package feed implements the paper's proposed threat-exchange integration
+// (§7.1): a feed of detected dox URLs and the social accounts they
+// reference, for OSN operators (the paper names Facebook's Threat Exchange)
+// to consume — notifying victims, enabling stricter filtering, and watching
+// for account compromise.
+//
+// The feed is an append-only log with cursor-based replay and long-poll
+// subscription, exposed as JSON lines over HTTP.
+package feed
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"doxmeter/internal/netid"
+)
+
+// Event is one detected dox.
+type Event struct {
+	Seq      int64     `json:"seq"`
+	Site     string    `json:"site"`
+	URL      string    `json:"url"`
+	SeenAt   time.Time `json:"seen_at"`
+	Accounts []string  `json:"accounts"` // network:username keys
+}
+
+// Log is the append-only event log. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	waiter chan struct{}
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{waiter: make(chan struct{})}
+}
+
+// Publish appends a detection event and wakes any long-pollers. It returns
+// the assigned sequence number.
+func (l *Log) Publish(site, url string, seenAt time.Time, accounts []netid.Ref) int64 {
+	keys := make([]string, len(accounts))
+	for i, a := range accounts {
+		keys[i] = a.Key()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := int64(len(l.events) + 1)
+	l.events = append(l.events, Event{Seq: seq, Site: site, URL: url, SeenAt: seenAt, Accounts: keys})
+	close(l.waiter)
+	l.waiter = make(chan struct{})
+	return seq
+}
+
+// After returns up to limit events with Seq > cursor.
+func (l *Log) After(cursor int64, limit int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= int64(len(l.events)) {
+		return nil
+	}
+	out := l.events[cursor:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	cp := make([]Event, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Len returns the total number of published events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// wait returns a channel closed at the next publish.
+func (l *Log) wait() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiter
+}
+
+// Handler exposes the feed:
+//
+//	GET /events?cursor=N&limit=M            — replay events after N
+//	GET /events?cursor=N&wait=1s            — long-poll for new events
+//
+// Responses are JSON lines, one event per line.
+func (l *Log) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		cursor := int64(0)
+		if s := q.Get("cursor"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad cursor", http.StatusBadRequest)
+				return
+			}
+			cursor = v
+		}
+		limit := 1000
+		if s := q.Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		events := l.After(cursor, limit)
+		if len(events) == 0 && q.Get("wait") != "" {
+			d, err := time.ParseDuration(q.Get("wait"))
+			if err != nil || d <= 0 || d > time.Minute {
+				http.Error(w, "bad wait", http.StatusBadRequest)
+				return
+			}
+			select {
+			case <-l.wait():
+				events = l.After(cursor, limit)
+			case <-time.After(d):
+			case <-req.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		_ = bw.Flush()
+	})
+	return mux
+}
+
+// URLFor formats the canonical paste URL for a detection (what the paper
+// would hand Facebook: "a feed of pastebin.com URLs").
+func URLFor(site, id string) string {
+	if site == "pastebin" {
+		return fmt.Sprintf("https://pastebin.example/%s", id)
+	}
+	return fmt.Sprintf("https://%s.example/%s", site, id)
+}

@@ -1,0 +1,142 @@
+package feed
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doxmeter/internal/netid"
+)
+
+func TestPublishAndReplay(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		seq := l.Publish("pastebin", URLFor("pastebin", "abc"), time.Now(), []netid.Ref{
+			{Network: netid.Facebook, Username: "user1"},
+		})
+		if seq != int64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	all := l.After(0, 0)
+	if len(all) != 5 {
+		t.Fatalf("replay = %d events", len(all))
+	}
+	tail := l.After(3, 0)
+	if len(tail) != 2 || tail[0].Seq != 4 {
+		t.Fatalf("cursor replay = %v", tail)
+	}
+	if got := l.After(99, 0); got != nil {
+		t.Fatalf("beyond-end replay = %v", got)
+	}
+	limited := l.After(0, 2)
+	if len(limited) != 2 {
+		t.Fatalf("limited replay = %d", len(limited))
+	}
+	if all[0].Accounts[0] != "facebook:user1" {
+		t.Fatalf("account key = %q", all[0].Accounts[0])
+	}
+}
+
+func TestHTTPReplay(t *testing.T) {
+	l := NewLog()
+	l.Publish("pastebin", "u1", time.Now(), nil)
+	l.Publish("4chan/b", "u2", time.Now(), nil)
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events?cursor=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 || events[1].Site != "4chan/b" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestHTTPLongPoll(t *testing.T) {
+	l := NewLog()
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	done := make(chan []Event, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/events?cursor=0&wait=5s")
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var events []Event
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var e Event
+			_ = json.Unmarshal(sc.Bytes(), &e)
+			events = append(events, e)
+		}
+		done <- events
+	}()
+	time.Sleep(50 * time.Millisecond)
+	l.Publish("pastebin", "late", time.Now(), nil)
+	select {
+	case events := <-done:
+		if len(events) != 1 || events[0].URL != "late" {
+			t.Fatalf("long poll got %v", events)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+}
+
+func TestHTTPLongPollTimeout(t *testing.T) {
+	l := NewLog()
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/events?cursor=0&wait=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond || elapsed > 3*time.Second {
+		t.Fatalf("timeout poll took %v", elapsed)
+	}
+}
+
+func TestHTTPBadParams(t *testing.T) {
+	srv := httptest.NewServer(NewLog().Handler())
+	defer srv.Close()
+	for _, q := range []string{"cursor=-1", "cursor=abc", "limit=0", "limit=x", "wait=2h", "wait=bogus"} {
+		resp, _ := http.Get(srv.URL + "/events?" + q)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestURLFor(t *testing.T) {
+	if u := URLFor("pastebin", "k1"); !strings.Contains(u, "pastebin") || !strings.Contains(u, "k1") {
+		t.Errorf("URLFor = %q", u)
+	}
+	if u := URLFor("4chan/b", "12"); !strings.Contains(u, "4chan") {
+		t.Errorf("URLFor = %q", u)
+	}
+}

@@ -1,0 +1,227 @@
+// Package geo is a synthetic IP-geolocation substrate.
+//
+// The paper validates dox files by geolocating the victim's listed IP address
+// and checking it against the listed postal address (§4.1: of 36 doxes with
+// both fields, 32 geolocated to the same state/region, 1 to an adjacent
+// state, 3 far away). A MaxMind-style commercial database is not available
+// offline, so this package provides the closest equivalent: a deterministic
+// registry of regions (US states plus a handful of countries), each with
+// cities and dedicated IP space, and a reverse lookup from IP to location.
+//
+// The IP plan is intentionally simple and collision-free: region i owns the
+// /8 whose first octet is FirstOctetBase+i, and the second octet selects the
+// city. This keeps Lookup O(1) and makes the validation experiment purely
+// about the join logic, exactly as in the paper.
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// FirstOctetBase is the first octet assigned to region index 0.
+const FirstOctetBase = 60
+
+// Region is a US state or a foreign country.
+type Region struct {
+	Code     string   // postal abbreviation ("IL") or ISO-ish country code ("UK")
+	Name     string   // display name
+	Country  string   // "USA" for states, country name otherwise
+	Cities   []string // cities with dedicated IP space, index = second octet
+	Adjacent []string // codes of bordering regions (same country)
+}
+
+// IsUSA reports whether the region is a US state.
+func (rg Region) IsUSA() bool { return rg.Country == "USA" }
+
+// Proximity classifies how close two geolocated regions are, mirroring the
+// paper's three §4.1 buckets plus the exact-city case.
+type Proximity int
+
+const (
+	// ProximityFar means different, non-bordering regions (or different
+	// countries) — the paper's "significantly different" bucket.
+	ProximityFar Proximity = iota
+	// ProximityAdjacent means different but bordering regions — the paper's
+	// "ambiguous" bucket (1 of 36).
+	ProximityAdjacent
+	// ProximitySame means the same state/province/region — the paper's
+	// "close match" bucket (32 of 36).
+	ProximitySame
+	// ProximityExactCity is a Same match where even the city agrees — the
+	// paper found only 4 of the 32 close matches were exact, and uses that
+	// as evidence doxers are not deriving the postal address from the IP.
+	ProximityExactCity
+)
+
+// String implements fmt.Stringer.
+func (p Proximity) String() string {
+	switch p {
+	case ProximityExactCity:
+		return "exact-city"
+	case ProximitySame:
+		return "same-region"
+	case ProximityAdjacent:
+		return "adjacent"
+	default:
+		return "far"
+	}
+}
+
+// Location is the result of an IP lookup.
+type Location struct {
+	Region Region
+	City   string
+}
+
+// DB is the geolocation database. It is immutable after construction and
+// safe for concurrent use.
+type DB struct {
+	regions []Region
+	byCode  map[string]int
+}
+
+// NewDB builds the default database: all 50 US states plus DC and eight
+// foreign countries common in English-language paste sites.
+func NewDB() *DB {
+	db := &DB{byCode: make(map[string]int, len(regions))}
+	db.regions = regions
+	for i, rg := range regions {
+		db.byCode[rg.Code] = i
+	}
+	return db
+}
+
+// Regions returns all regions in index order.
+func (db *DB) Regions() []Region { return db.regions }
+
+// USStates returns only the US regions.
+func (db *DB) USStates() []Region {
+	out := make([]Region, 0, 51)
+	for _, rg := range db.regions {
+		if rg.IsUSA() {
+			out = append(out, rg)
+		}
+	}
+	return out
+}
+
+// ByCode returns the region with the given code.
+func (db *DB) ByCode(code string) (Region, bool) {
+	i, ok := db.byCode[strings.ToUpper(code)]
+	if !ok {
+		return Region{}, false
+	}
+	return db.regions[i], true
+}
+
+// IPFor allocates a random IP inside the block owned by (regionCode, city).
+// An unknown region yields an IP outside all allocated space; an unknown city
+// falls back to the region's first city block.
+func (db *DB) IPFor(r *rand.Rand, regionCode, city string) string {
+	i, ok := db.byCode[strings.ToUpper(regionCode)]
+	if !ok {
+		return fmt.Sprintf("203.0.%d.%d", r.Intn(256), 1+r.Intn(254))
+	}
+	cityIdx := 0
+	for j, c := range db.regions[i].Cities {
+		if c == city {
+			cityIdx = j
+			break
+		}
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", FirstOctetBase+i, cityIdx, r.Intn(256), 1+r.Intn(254))
+}
+
+// Lookup geolocates an IPv4 address. It returns false for malformed
+// addresses and addresses outside the allocated plan.
+func (db *DB) Lookup(ip string) (Location, bool) {
+	parts := strings.Split(strings.TrimSpace(ip), ".")
+	if len(parts) != 4 {
+		return Location{}, false
+	}
+	octets := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return Location{}, false
+		}
+		octets[i] = v
+	}
+	idx := octets[0] - FirstOctetBase
+	if idx < 0 || idx >= len(db.regions) {
+		return Location{}, false
+	}
+	rg := db.regions[idx]
+	city := rg.Cities[octets[1]%len(rg.Cities)]
+	return Location{Region: rg, City: city}, true
+}
+
+// Compare classifies the proximity of an IP-derived location to a postal
+// region and city, implementing the paper's §4.1 buckets.
+func (db *DB) Compare(loc Location, postalRegionCode, postalCity string) Proximity {
+	postal, ok := db.ByCode(postalRegionCode)
+	if !ok {
+		return ProximityFar
+	}
+	if loc.Region.Code == postal.Code {
+		if loc.City == postalCity {
+			return ProximityExactCity
+		}
+		return ProximitySame
+	}
+	if loc.Region.Country != postal.Country {
+		return ProximityFar
+	}
+	for _, adj := range loc.Region.Adjacent {
+		if adj == postal.Code {
+			return ProximityAdjacent
+		}
+	}
+	return ProximityFar
+}
+
+// AdjacentTo returns a region bordering the given one, or the region itself
+// when it has no neighbours (e.g. island countries).
+func (db *DB) AdjacentTo(r *rand.Rand, regionCode string) Region {
+	rg, ok := db.ByCode(regionCode)
+	if !ok || len(rg.Adjacent) == 0 {
+		return rg
+	}
+	code := rg.Adjacent[r.Intn(len(rg.Adjacent))]
+	out, _ := db.ByCode(code)
+	return out
+}
+
+// FarFrom returns a region that is neither the given region nor adjacent to
+// it, preferring a different country about half the time as the paper's far
+// bucket includes "a far away state or country".
+func (db *DB) FarFrom(r *rand.Rand, regionCode string) Region {
+	rg, _ := db.ByCode(regionCode)
+	adj := make(map[string]bool, len(rg.Adjacent))
+	for _, a := range rg.Adjacent {
+		adj[a] = true
+	}
+	for tries := 0; tries < 100; tries++ {
+		cand := db.regions[r.Intn(len(db.regions))]
+		if cand.Code == rg.Code || adj[cand.Code] {
+			continue
+		}
+		return cand
+	}
+	return rg
+}
+
+// ZipFor returns a deterministic-prefix synthetic zip code for a region: the
+// first two digits identify the region, the rest are random. This gives the
+// labeling pipeline a "zip-code level precision" field to detect without
+// needing a real zip database.
+func ZipFor(rnd *rand.Rand, db *DB, regionCode string) string {
+	i, ok := db.byCode[strings.ToUpper(regionCode)]
+	if !ok {
+		i = 0
+	}
+	return fmt.Sprintf("%02d%03d", 10+i%89, rnd.Intn(1000))
+}

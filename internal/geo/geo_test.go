@@ -1,0 +1,229 @@
+package geo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	db := NewDB()
+	codes := map[string]bool{}
+	for _, rg := range db.Regions() {
+		if rg.Code == "" || rg.Name == "" || rg.Country == "" {
+			t.Fatalf("region %+v missing fields", rg)
+		}
+		if codes[rg.Code] {
+			t.Fatalf("duplicate region code %q", rg.Code)
+		}
+		codes[rg.Code] = true
+		if len(rg.Cities) == 0 {
+			t.Fatalf("region %s has no cities", rg.Code)
+		}
+		for _, adj := range rg.Adjacent {
+			other, ok := db.ByCode(adj)
+			if !ok {
+				t.Fatalf("region %s lists unknown neighbour %q", rg.Code, adj)
+			}
+			if other.Country != rg.Country {
+				t.Fatalf("region %s lists cross-country neighbour %s", rg.Code, adj)
+			}
+		}
+	}
+	if got := len(db.USStates()); got != 51 {
+		t.Fatalf("US state count = %d, want 51 (50 states + DC)", got)
+	}
+}
+
+func TestAdjacencySymmetry(t *testing.T) {
+	db := NewDB()
+	for _, rg := range db.Regions() {
+		for _, adj := range rg.Adjacent {
+			other, _ := db.ByCode(adj)
+			found := false
+			for _, back := range other.Adjacent {
+				if back == rg.Code {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("adjacency not symmetric: %s -> %s but not back", rg.Code, adj)
+			}
+		}
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(1))
+	for _, rg := range db.Regions() {
+		for _, city := range rg.Cities {
+			ip := db.IPFor(r, rg.Code, city)
+			loc, ok := db.Lookup(ip)
+			if !ok {
+				t.Fatalf("Lookup(%s) failed for %s/%s", ip, rg.Code, city)
+			}
+			if loc.Region.Code != rg.Code {
+				t.Fatalf("IP %s for %s resolved to %s", ip, rg.Code, loc.Region.Code)
+			}
+			if loc.City != city {
+				t.Fatalf("IP %s for city %s resolved to %s", ip, city, loc.City)
+			}
+		}
+	}
+}
+
+func TestIPRoundTripProperty(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(2))
+	n := len(db.Regions())
+	f := func(regionIdx, cityIdx uint8) bool {
+		rg := db.Regions()[int(regionIdx)%n]
+		city := rg.Cities[int(cityIdx)%len(rg.Cities)]
+		ip := db.IPFor(r, rg.Code, city)
+		loc, ok := db.Lookup(ip)
+		return ok && loc.Region.Code == rg.Code && loc.City == city
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	for _, bad := range []string{
+		"", "not-an-ip", "1.2.3", "1.2.3.4.5", "300.1.1.1", "-1.2.3.4",
+		"10.0.0.1",      // below the allocated plan
+		"250.10.10.10",  // above the allocated plan
+		"60.0.0.x",      // non-numeric octet
+		"60.0.0.999999", // out of octet range
+	} {
+		if _, ok := db.Lookup(bad); ok {
+			t.Errorf("Lookup(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestLookupUnknownRegionIPFor(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(3))
+	ip := db.IPFor(r, "ZZ", "Nowhere")
+	if _, ok := db.Lookup(ip); ok {
+		t.Errorf("unknown-region IP %s should not geolocate", ip)
+	}
+}
+
+func TestCompareBuckets(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(4))
+	il, _ := db.ByCode("IL")
+
+	sameCity := db.IPFor(r, "IL", "Chicago")
+	loc, _ := db.Lookup(sameCity)
+	if got := db.Compare(loc, "IL", "Chicago"); got != ProximityExactCity {
+		t.Errorf("same city => %v, want exact-city", got)
+	}
+	if got := db.Compare(loc, "IL", "Springfield"); got != ProximitySame {
+		t.Errorf("same state different city => %v, want same-region", got)
+	}
+	// Adjacent: Wisconsin borders Illinois.
+	wiIP := db.IPFor(r, "WI", "Madison")
+	wiLoc, _ := db.Lookup(wiIP)
+	if got := db.Compare(wiLoc, "IL", "Chicago"); got != ProximityAdjacent {
+		t.Errorf("WI vs IL => %v, want adjacent", got)
+	}
+	// Far: California does not border Illinois.
+	caIP := db.IPFor(r, "CA", "Los Angeles")
+	caLoc, _ := db.Lookup(caIP)
+	if got := db.Compare(caLoc, "IL", "Chicago"); got != ProximityFar {
+		t.Errorf("CA vs IL => %v, want far", got)
+	}
+	// Cross-country is always far even if hypothetically adjacent-listed.
+	ukIP := db.IPFor(r, "UK", "London")
+	ukLoc, _ := db.Lookup(ukIP)
+	if got := db.Compare(ukLoc, "IL", "Chicago"); got != ProximityFar {
+		t.Errorf("UK vs IL => %v, want far", got)
+	}
+	if got := db.Compare(loc, "ZZ", "Nowhere"); got != ProximityFar {
+		t.Errorf("unknown postal region => %v, want far", got)
+	}
+	_ = il
+}
+
+func TestAdjacentToAndFarFrom(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		adj := db.AdjacentTo(r, "IL")
+		ok := false
+		for _, code := range []string{"WI", "IA", "MO", "KY", "IN"} {
+			if adj.Code == code {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("AdjacentTo(IL) = %s, not a neighbour", adj.Code)
+		}
+		far := db.FarFrom(r, "IL")
+		if far.Code == "IL" {
+			t.Fatal("FarFrom(IL) returned IL")
+		}
+		for _, code := range []string{"WI", "IA", "MO", "KY", "IN"} {
+			if far.Code == code {
+				t.Fatalf("FarFrom(IL) returned adjacent %s", far.Code)
+			}
+		}
+	}
+	// Island regions fall back to themselves.
+	hi := db.AdjacentTo(r, "HI")
+	if hi.Code != "HI" {
+		t.Fatalf("AdjacentTo(HI) = %s, want HI (no neighbours)", hi.Code)
+	}
+}
+
+func TestZipFor(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(6))
+	z1 := ZipFor(r, db, "IL")
+	z2 := ZipFor(r, db, "IL")
+	if len(z1) != 5 || len(z2) != 5 {
+		t.Fatalf("zip length wrong: %q %q", z1, z2)
+	}
+	if z1[:2] != z2[:2] {
+		t.Fatalf("zip prefix not stable for same region: %q vs %q", z1, z2)
+	}
+	zCA := ZipFor(r, db, "CA")
+	if zCA[:2] == z1[:2] {
+		t.Fatalf("different regions share zip prefix: %q vs %q", zCA, z1)
+	}
+}
+
+func TestProximityString(t *testing.T) {
+	cases := map[Proximity]string{
+		ProximityExactCity: "exact-city",
+		ProximitySame:      "same-region",
+		ProximityAdjacent:  "adjacent",
+		ProximityFar:       "far",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestCityIPSpaceUniqueAcrossRegions(t *testing.T) {
+	db := NewDB()
+	r := rand.New(rand.NewSource(7))
+	firstOctets := map[string]bool{}
+	for _, rg := range db.Regions() {
+		ip := db.IPFor(r, rg.Code, rg.Cities[0])
+		octet := strings.SplitN(ip, ".", 2)[0]
+		if firstOctets[octet] {
+			t.Fatalf("regions share first octet %s", octet)
+		}
+		firstOctets[octet] = true
+	}
+}

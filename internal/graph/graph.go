@@ -1,0 +1,248 @@
+// Package graph provides the undirected-graph machinery behind the paper's
+// doxer-network analysis (§5.3.2, Figure 2): nodes are doxer aliases,
+// edges come from credit co-occurrence and Twitter follow relationships,
+// and the reported structure is the set of maximal cliques of size >= 4.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Graph is an undirected simple graph over string-labeled nodes.
+type Graph struct {
+	adj map[string]map[string]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[string]map[string]bool)}
+}
+
+// AddNode ensures a node exists.
+func (g *Graph) AddNode(n string) {
+	if g.adj[n] == nil {
+		g.adj[n] = make(map[string]bool)
+	}
+}
+
+// AddEdge connects a and b (no self loops).
+func (g *Graph) AddEdge(a, b string) {
+	if a == b {
+		return
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether a and b are connected.
+func (g *Graph) HasEdge(a, b string) bool { return g.adj[a][b] }
+
+// Nodes returns all nodes, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Degree returns a node's degree.
+func (g *Graph) Degree(n string) int { return len(g.adj[n]) }
+
+// Components returns the connected components, each sorted, largest first.
+func (g *Graph) Components() [][]string {
+	seen := make(map[string]bool, len(g.adj))
+	var comps [][]string
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for nbr := range g.adj[n] {
+				if !seen[nbr] {
+					seen[nbr] = true
+					stack = append(stack, nbr)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// MaximalCliques enumerates all maximal cliques using Bron–Kerbosch with
+// pivoting. Each clique is sorted; the result is ordered largest first.
+func (g *Graph) MaximalCliques() [][]string {
+	if len(g.adj) == 0 {
+		return nil
+	}
+	var cliques [][]string
+	all := g.Nodes()
+	p := make(map[string]bool, len(all))
+	for _, n := range all {
+		p[n] = true
+	}
+	g.bronKerbosch(nil, p, make(map[string]bool), &cliques)
+	for _, c := range cliques {
+		sort.Strings(c)
+	}
+	sort.Slice(cliques, func(i, j int) bool {
+		if len(cliques[i]) != len(cliques[j]) {
+			return len(cliques[i]) > len(cliques[j])
+		}
+		return strings.Join(cliques[i], ",") < strings.Join(cliques[j], ",")
+	})
+	return cliques
+}
+
+func (g *Graph) bronKerbosch(r []string, p, x map[string]bool, out *[][]string) {
+	if len(p) == 0 && len(x) == 0 {
+		clique := make([]string, len(r))
+		copy(clique, r)
+		*out = append(*out, clique)
+		return
+	}
+	// Pivot: the vertex in P ∪ X with the most neighbours in P.
+	var pivot string
+	best := -1
+	for _, set := range []map[string]bool{p, x} {
+		for v := range set {
+			cnt := 0
+			for nbr := range g.adj[v] {
+				if p[nbr] {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best, pivot = cnt, v
+			}
+		}
+	}
+	// Candidates: P \ N(pivot), iterated in sorted order for determinism.
+	var cands []string
+	for v := range p {
+		if !g.adj[pivot][v] {
+			cands = append(cands, v)
+		}
+	}
+	sort.Strings(cands)
+	for _, v := range cands {
+		np := make(map[string]bool)
+		nx := make(map[string]bool)
+		for nbr := range g.adj[v] {
+			if p[nbr] {
+				np[nbr] = true
+			}
+			if x[nbr] {
+				nx[nbr] = true
+			}
+		}
+		g.bronKerbosch(append(r, v), np, nx, out)
+		delete(p, v)
+		x[v] = true
+	}
+}
+
+// CliquesAtLeast returns maximal cliques with >= k nodes.
+func (g *Graph) CliquesAtLeast(k int) [][]string {
+	var out [][]string
+	for _, c := range g.MaximalCliques() {
+		if len(c) >= k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NodesInCliques returns the distinct nodes covered by the given cliques —
+// the paper's "61 of 251 doxers" statistic.
+func NodesInCliques(cliques [][]string) []string {
+	seen := make(map[string]bool)
+	for _, c := range cliques {
+		for _, n := range c {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteDOT emits the graph (restricted to the given nodes; nil = all) in
+// Graphviz DOT format, for regenerating the Figure 2 rendering.
+func (g *Graph) WriteDOT(w io.Writer, name string, only []string) error {
+	include := map[string]bool{}
+	if only == nil {
+		for n := range g.adj {
+			include[n] = true
+		}
+	} else {
+		for _, n := range only {
+			include[n] = true
+		}
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		if !include[n] {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %q;\n", n); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.Nodes() {
+		if !include[a] {
+			continue
+		}
+		nbrs := make([]string, 0, len(g.adj[a]))
+		for b := range g.adj[a] {
+			nbrs = append(nbrs, b)
+		}
+		sort.Strings(nbrs)
+		for _, b := range nbrs {
+			if a < b && include[b] {
+				if _, err := fmt.Fprintf(w, "  %q -- %q;\n", a, b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func complete(nodes ...string) *Graph {
+	g := New()
+	for i, a := range nodes {
+		for _, b := range nodes[i+1:] {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+func TestBasics(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "a") // self loop ignored
+	g.AddNode("lonely")
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge("a", "c") {
+		t.Error("phantom edge")
+	}
+	if g.Degree("b") != 2 || g.Degree("lonely") != 0 {
+		t.Error("degrees wrong")
+	}
+	// Duplicate edges don't double count.
+	g.AddEdge("a", "b")
+	if g.NumEdges() != 2 {
+		t.Error("duplicate edge counted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("x", "y")
+	g.AddNode("solo")
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != "a" {
+		t.Fatalf("largest component = %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != "solo" {
+		t.Fatalf("singleton = %v", comps[2])
+	}
+}
+
+func TestTriangleClique(t *testing.T) {
+	g := complete("a", "b", "c")
+	g.AddEdge("c", "d") // pendant
+	cliques := g.MaximalCliques()
+	if len(cliques) != 2 {
+		t.Fatalf("cliques = %v", cliques)
+	}
+	if strings.Join(cliques[0], ",") != "a,b,c" {
+		t.Fatalf("largest clique = %v", cliques[0])
+	}
+	if strings.Join(cliques[1], ",") != "c,d" {
+		t.Fatalf("second clique = %v", cliques[1])
+	}
+}
+
+func TestKnownCliqueStructure(t *testing.T) {
+	// Two overlapping K4s sharing an edge.
+	g := complete("a", "b", "c", "d")
+	for i, x := range []string{"c", "d", "e", "f"} {
+		for _, y := range []string{"c", "d", "e", "f"}[i+1:] {
+			g.AddEdge(x, y)
+		}
+	}
+	cliques := g.CliquesAtLeast(4)
+	if len(cliques) != 2 {
+		t.Fatalf("K4 count = %d (%v)", len(cliques), cliques)
+	}
+	nodes := NodesInCliques(cliques)
+	if len(nodes) != 6 {
+		t.Fatalf("covered nodes = %v", nodes)
+	}
+}
+
+func TestCompleteGraphSingleClique(t *testing.T) {
+	nodes := make([]string, 11)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%02d", i)
+	}
+	g := complete(nodes...)
+	cliques := g.MaximalCliques()
+	if len(cliques) != 1 || len(cliques[0]) != 11 {
+		t.Fatalf("K11 cliques = %d, largest %d", len(cliques), len(cliques[0]))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g := New()
+	if got := g.MaximalCliques(); len(got) != 0 {
+		t.Fatalf("empty graph cliques = %v", got)
+	}
+	g.AddNode("a")
+	cliques := g.MaximalCliques()
+	if len(cliques) != 1 || len(cliques[0]) != 1 {
+		t.Fatalf("singleton cliques = %v", cliques)
+	}
+}
+
+func TestCliqueProperty(t *testing.T) {
+	// Every reported clique is actually a clique and is maximal.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 12
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("v%d", i)
+			g.AddNode(names[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.35 {
+					g.AddEdge(names[i], names[j])
+				}
+			}
+		}
+		for _, c := range g.MaximalCliques() {
+			for i, a := range c {
+				for _, b := range c[i+1:] {
+					if !g.HasEdge(a, b) {
+						return false // not a clique
+					}
+				}
+			}
+			// Maximality: no vertex outside c is adjacent to all of c.
+			for _, v := range names {
+				in := false
+				for _, m := range c {
+					if m == v {
+						in = true
+					}
+				}
+				if in {
+					continue
+				}
+				all := true
+				for _, m := range c {
+					if !g.HasEdge(v, m) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return false // not maximal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueCoverageProperty(t *testing.T) {
+	// Every edge appears in at least one maximal clique.
+	r := rand.New(rand.NewSource(9))
+	g := New()
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if r.Float64() < 0.4 {
+				g.AddEdge(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", j))
+			}
+		}
+	}
+	cliques := g.MaximalCliques()
+	for _, a := range g.Nodes() {
+		for _, b := range g.Nodes() {
+			if a >= b || !g.HasEdge(a, b) {
+				continue
+			}
+			covered := false
+			for _, c := range cliques {
+				hasA, hasB := false, false
+				for _, n := range c {
+					hasA = hasA || n == a
+					hasB = hasB || n == b
+				}
+				if hasA && hasB {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("edge %s-%s in no maximal clique", a, b)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := complete("a", "b", "c")
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "fig2", nil); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{`graph "fig2"`, `"a" -- "b"`, `"a" -- "c"`, `"b" -- "c"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Restricted output excludes other nodes.
+	sb.Reset()
+	if err := g.WriteDOT(&sb, "sub", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `"c"`) {
+		t.Error("restricted DOT leaked excluded node")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		g.AddEdge("x", "y")
+		g.AddEdge("y", "z")
+		g.AddEdge("x", "z")
+		g.AddEdge("z", "w")
+		return g
+	}
+	a := fmt.Sprint(build().MaximalCliques())
+	b := fmt.Sprint(build().MaximalCliques())
+	if a != b {
+		t.Error("clique enumeration not deterministic")
+	}
+}

@@ -1,0 +1,209 @@
+// Package htmltext converts HTML fragments to semantically equivalent plain
+// text, mirroring the role html2text plays in the paper's pipeline (§3.1.2):
+// postings scraped from 4chan.org and 8ch.net arrive as HTML and must be
+// normalized before TF-IDF vectorization so that markup tokens do not leak
+// into the vocabulary.
+//
+// The converter implements the transformations the paper calls out — list
+// tags become indented, newline-separated items — plus the handful of
+// block/inline rules needed for imageboard HTML: <br> and block elements
+// break lines, <blockquote> is prefixed with "> ", scripts and styles are
+// dropped wholesale, and entities are decoded. It is a single-pass scanner
+// with no allocation proportional to tag depth; malformed HTML degrades to
+// text rather than erroring, which is what a crawler needs.
+package htmltext
+
+import (
+	"html"
+	"strings"
+)
+
+// Convert renders an HTML fragment as plain text.
+func Convert(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	var (
+		i          int
+		listDepth  int
+		ordinal    []int // per-depth ordered-list counters; 0 = unordered
+		skipUntil  string
+		atLineHead = true
+	)
+	writeText := func(s string) {
+		if s == "" {
+			return
+		}
+		b.WriteString(s)
+		atLineHead = strings.HasSuffix(s, "\n")
+	}
+	newline := func() {
+		if !atLineHead {
+			b.WriteByte('\n')
+			atLineHead = true
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		if c != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			var text string
+			if j < 0 {
+				text = src[i:]
+				i = len(src)
+			} else {
+				text = src[i : i+j]
+				i += j
+			}
+			if skipUntil == "" {
+				writeText(html.UnescapeString(text))
+			}
+			continue
+		}
+		end := strings.IndexByte(src[i:], '>')
+		if end < 0 {
+			// Unterminated tag: treat the rest as text.
+			if skipUntil == "" {
+				writeText(html.UnescapeString(src[i:]))
+			}
+			break
+		}
+		tag := src[i+1 : i+end]
+		i += end + 1
+		name, closing := parseTag(tag)
+		if skipUntil != "" {
+			if closing && name == skipUntil {
+				skipUntil = ""
+			}
+			continue
+		}
+		switch name {
+		case "script", "style":
+			if !closing {
+				skipUntil = name
+			}
+		case "br":
+			b.WriteByte('\n')
+			atLineHead = true
+		case "p", "div", "tr", "h1", "h2", "h3", "h4", "h5", "h6", "table":
+			newline()
+		case "blockquote":
+			newline()
+			if !closing {
+				writeText("> ")
+			}
+		case "ul":
+			if closing {
+				if listDepth > 0 {
+					listDepth--
+					ordinal = ordinal[:listDepth]
+				}
+			} else {
+				listDepth++
+				ordinal = append(ordinal, 0)
+			}
+			newline()
+		case "ol":
+			if closing {
+				if listDepth > 0 {
+					listDepth--
+					ordinal = ordinal[:listDepth]
+				}
+			} else {
+				listDepth++
+				ordinal = append(ordinal, 1)
+			}
+			newline()
+		case "li":
+			if closing {
+				newline()
+				continue
+			}
+			newline()
+			indent := listDepth
+			if indent < 1 {
+				indent = 1
+			}
+			writeText(strings.Repeat("  ", indent))
+			if listDepth > 0 && ordinal[listDepth-1] > 0 {
+				writeText(itoa(ordinal[listDepth-1]) + ". ")
+				ordinal[listDepth-1]++
+			} else {
+				writeText("* ")
+			}
+		}
+	}
+	return collapse(b.String())
+}
+
+// parseTag extracts the lowercase tag name and whether it is a closing tag.
+// Attributes and self-closing slashes are ignored.
+func parseTag(tag string) (name string, closing bool) {
+	tag = strings.TrimSpace(tag)
+	if strings.HasPrefix(tag, "/") {
+		closing = true
+		tag = tag[1:]
+	}
+	tag = strings.TrimSuffix(tag, "/")
+	for j := 0; j < len(tag); j++ {
+		if tag[j] == ' ' || tag[j] == '\t' || tag[j] == '\n' {
+			tag = tag[:j]
+			break
+		}
+	}
+	return strings.ToLower(strings.TrimSpace(tag)), closing
+}
+
+// collapse trims trailing spaces and folds runs of 3+ newlines to 2.
+func collapse(s string) string {
+	lines := strings.Split(s, "\n")
+	out := make([]string, 0, len(lines))
+	blank := 0
+	for _, ln := range lines {
+		ln = strings.TrimRight(ln, " \t")
+		if ln == "" {
+			blank++
+			if blank > 1 {
+				continue
+			}
+		} else {
+			blank = 0
+		}
+		out = append(out, ln)
+	}
+	// Trim leading/trailing blank lines.
+	for len(out) > 0 && out[0] == "" {
+		out = out[1:]
+	}
+	for len(out) > 0 && out[len(out)-1] == "" {
+		out = out[:len(out)-1]
+	}
+	return strings.Join(out, "\n")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// IsProbablyHTML reports whether a document looks like HTML rather than
+// plain text, so the pipeline can decide whether conversion is needed.
+func IsProbablyHTML(s string) bool {
+	sample := s
+	if len(sample) > 2048 {
+		sample = sample[:2048]
+	}
+	tags := 0
+	for _, marker := range []string{"<br", "<p", "<div", "<span", "<a ", "<ul", "<li", "</"} {
+		tags += strings.Count(strings.ToLower(sample), marker)
+	}
+	return tags >= 2
+}

@@ -1,0 +1,321 @@
+// Package label reimplements the paper's manual content labeling (§3.2) as
+// a deterministic analyst: given only the text of a dox file, it records
+// the victim's demographic traits (Table 5), which categories of sensitive
+// information are disclosed (Table 6), the victim's web community
+// (Table 7, using the paper's "more than two such accounts" rule), and the
+// doxer's stated motivation (Table 8).
+//
+// The paper's labels were produced by humans reading explicit markers —
+// "why I doxed this person" prescripts, account lists, field labels — and
+// the same markers are what this labeler keys on. Unlike the extractor, it
+// may use prose-level cues (a human reads "the kid is twenty six years
+// old"), so its coverage is deliberately broader.
+package label
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"doxmeter/internal/sim"
+)
+
+// Labels is the analyst's record for one dox file.
+type Labels struct {
+	// Demographics (Table 5).
+	Age        int // 0 when not determinable
+	Gender     sim.Gender
+	HasUSA     bool // address present and in the USA
+	HasForeign bool // address present, outside the USA
+
+	// Sensitive categories (Table 6).
+	Address    bool
+	Zip        bool
+	Phone      bool
+	Family     bool
+	Email      bool
+	DOB        bool
+	School     bool
+	Usernames  bool
+	ISP        bool
+	IP         bool
+	Passwords  bool
+	Physical   bool
+	Criminal   bool
+	SSN        bool
+	CreditCard bool
+	Financial  bool
+
+	// Community (Table 7) and motivation (Table 8).
+	Community sim.Community
+	Motive    sim.Motive
+}
+
+var (
+	ageLineRe   = regexp.MustCompile(`(?im)^\s*age\s*[:;\-]?\s*(\d{1,2})\b`)
+	ageProseRe  = regexp.MustCompile(`(?i)\b([a-z]+ty)[ -]([a-z]+) years old`)
+	genderRe    = regexp.MustCompile(`(?im)^\s*gender\s*[:;\-]\s*(\w+)`)
+	addressRe   = regexp.MustCompile(`(?im)^\s*(address|lives at)\s*[:;\-]`)
+	zipRe       = regexp.MustCompile(`(?im)(^\s*zip\s*[:;\-]?\s*\d{5}\b)|([A-Z]{2}\s+\d{5}\b)|(,\s*[A-Z]{2}\s\d{5})`)
+	phoneRe     = regexp.MustCompile(`(?im)(^\s*(phone|cell|phone number)\b)|(\(?\d{3}\)?[-.\s]\d{3}[-.\s]?\d{4})|(\+1\d{10})|(number is [\d ]{15,})`)
+	familyRe    = regexp.MustCompile(`(?im)^\s*(family\s*:|mother\s*:|father\s*:|brother\s*:|sister\s*:|cousin\s*:)`)
+	emailRe     = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+	dobRe       = regexp.MustCompile(`(?im)^\s*(dob|date of birth|born)\s*[:;\-]`)
+	schoolRe    = regexp.MustCompile(`(?im)^\s*school\s*[:;\-]`)
+	usernamesRe = regexp.MustCompile(`(?im)^\s*other usernames\s*[:;\-]`)
+	ispRe       = regexp.MustCompile(`(?im)^\s*isp\s*[:;\-]`)
+	ipRe        = regexp.MustCompile(`(?im)(^\s*ip(\s*address|-addr)?\s*[:;\-])|(\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b)`)
+	passwordRe  = regexp.MustCompile(`(?i)password`)
+	physicalRe  = regexp.MustCompile(`(?im)^\s*height\s*[:;\-]?\s*\d`)
+	criminalRe  = regexp.MustCompile(`(?i)criminal record|misdemeanor|\bDUI\b|shoplifting`)
+	ssnRe       = regexp.MustCompile(`(?im)(^\s*ssn\s*[:;\-])|(\b\d{3}-\d{2}-\d{4}\b)`)
+	ccRe        = regexp.MustCompile(`(?im)(^\s*cc\s*[:;\-])|(\b4\d{15}\b)`)
+	financialRe = regexp.MustCompile(`(?i)paypal|bank account|balance`)
+	reasonRe    = regexp.MustCompile(`(?im)^\s*reason\s*[:;\-]\s*(.+)$`)
+	countryRe   = regexp.MustCompile(`(?im)^\s*country\s*[:;\-]\s*(.+)$`)
+	foundOnRe   = regexp.MustCompile(`(?m)^\s+([a-z0-9.-]+\.(?:com|net|org|io|sh|gg|to|in|tv))/\S+`)
+	celebrityRe = regexp.MustCompile(`(?i)yes, that .+ — the `)
+)
+
+// spelled number words for prose ages ("twenty six" and the informal
+// "twoty six" doxers type).
+var tensWords = map[string]int{
+	"twoty": 20, "twenty": 20, "threety": 30, "thirty": 30, "fourty": 40,
+	"forty": 40, "fivety": 50, "fifty": 50, "sixty": 60, "seventy": 70,
+	"onety": 10, "ten": 10,
+}
+
+var onesWords = map[string]int{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4,
+	"five": 5, "six": 6, "seven": 7, "eight": 8, "nine": 9,
+}
+
+// Community site knowledge (§5.2.3): the analyst recognizes gaming and
+// hacking/cybercrime communities by domain.
+var gamingDomains = map[string]bool{
+	"steamcommunity.com": true, "gamebattles.com": true, "minecraftforum.net": true,
+	"speedrun.com": true, "osu.ppy.sh": true, "battlelog.battlefield.com": true,
+	"op.gg": true, "xboxgamertag.com": true, "psnprofiles.com": true,
+	"faceit.com": true, "esea.net": true, "smashboards.com": true,
+	"curseforge.com": true, "roblox.com": true, "runescape.com": true, "twitch.tv": true,
+}
+
+var hackingDomains = map[string]bool{
+	"hackforums.net": true, "nulled.io": true, "raidforums.io": true,
+	"exploit.in": true, "0x00sec.org": true, "greysec.net": true,
+	"cracked.to": true, "leakforums.net": true, "binrev.com": true,
+	"evilzone.org": true,
+}
+
+// Motivation keyword banks (Table 8 definitions, §5.3.1).
+var motiveKeywords = []struct {
+	motive sim.Motive
+	words  []string
+}{
+	{sim.MotiveJustice, []string{"scam", "snitch", "law enforcement", "ripped off", "someone had to"}},
+	{sim.MotiveRevenge, []string{"my girl", "talk to me like that", "attention whore", "banned me", "what you get"}},
+	{sim.MotiveCompetitive, []string{"undoxable", "opsec", "practice run", "nobody is hidden", "took me"}},
+	{sim.MotivePolitical, []string{"klan", "cp ", "fur farm", "spread this everywhere", "exposing another", "animals deserve"}},
+}
+
+// Apply labels one dox body.
+func Apply(text string) Labels {
+	var l Labels
+
+	// Age: labeled line first, then prose.
+	if m := ageLineRe.FindStringSubmatch(text); m != nil {
+		if v, err := strconv.Atoi(m[1]); err == nil && v >= 5 && v <= 99 {
+			l.Age = v
+		}
+	}
+	if l.Age == 0 {
+		if m := ageProseRe.FindStringSubmatch(strings.ToLower(text)); m != nil {
+			if tens, ok := tensWords[m[1]]; ok {
+				if ones, ok := onesWords[m[2]]; ok {
+					l.Age = tens + ones
+				}
+			}
+		}
+	}
+
+	if m := genderRe.FindStringSubmatch(text); m != nil {
+		switch strings.ToLower(m[1]) {
+		case "male", "m", "man", "boy":
+			l.Gender = sim.GenderMale
+		case "female", "f", "woman", "girl":
+			l.Gender = sim.GenderFemale
+		default:
+			l.Gender = sim.GenderOther
+		}
+	}
+
+	l.Address = addressRe.MatchString(text)
+	l.Zip = l.Address && zipRe.MatchString(text)
+	l.Phone = phoneRe.MatchString(text)
+	l.Family = familyRe.MatchString(text)
+	l.Email = emailRe.MatchString(text)
+	l.DOB = dobRe.MatchString(text)
+	l.School = schoolRe.MatchString(text)
+	l.Usernames = usernamesRe.MatchString(text)
+	l.ISP = ispRe.MatchString(text)
+	l.IP = ipRe.MatchString(text)
+	l.Passwords = passwordRe.MatchString(text)
+	l.Physical = physicalRe.MatchString(text)
+	l.Criminal = criminalRe.MatchString(text)
+	l.SSN = ssnRe.MatchString(text)
+	l.CreditCard = ccRe.MatchString(text)
+	l.Financial = financialRe.MatchString(text)
+
+	// Location: a country line decides directly; otherwise a US state
+	// abbreviation or name near the address implies USA.
+	if l.Address {
+		if m := countryRe.FindStringSubmatch(text); m != nil {
+			if strings.Contains(strings.ToUpper(m[1]), "USA") {
+				l.HasUSA = true
+			} else {
+				l.HasForeign = true
+			}
+		} else {
+			l.HasUSA = true // state-coded addresses without a country line
+		}
+	}
+
+	// Community (more than two recognized accounts, §5.2.3).
+	gaming, hacking := 0, 0
+	for _, m := range foundOnRe.FindAllStringSubmatch(text, -1) {
+		switch {
+		case gamingDomains[m[1]]:
+			gaming++
+		case hackingDomains[m[1]]:
+			hacking++
+		}
+	}
+	switch {
+	case gaming > 2:
+		l.Community = sim.CommunityGamer
+	case hacking > 2:
+		l.Community = sim.CommunityHacker
+	case celebrityRe.MatchString(text):
+		l.Community = sim.CommunityCelebrity
+	}
+
+	// Motivation from the "why I doxed this person" pre/postscript.
+	if m := reasonRe.FindStringSubmatch(text); m != nil {
+		reason := strings.ToLower(m[1])
+		for _, mk := range motiveKeywords {
+			for _, w := range mk.words {
+				if strings.Contains(reason, w) {
+					l.Motive = mk.motive
+					break
+				}
+			}
+			if l.Motive != sim.MotiveNone {
+				break
+			}
+		}
+	}
+	return l
+}
+
+// Aggregate accumulates labels into Table 5–8 style counts.
+type Aggregate struct {
+	N int
+
+	// Table 5.
+	Ages    []int
+	Male    int
+	Female  int
+	Other   int
+	USA     int
+	Foreign int
+
+	// Table 6 counters.
+	Address, Zip, Phone, Family, Email, DOB, School, Usernames,
+	ISP, IP, Passwords, Physical, Criminal, SSN, CreditCard, Financial int
+
+	// Table 7.
+	Gamer, Hacker, Celebrity int
+
+	// Table 8.
+	Justice, Revenge, Competitive, Political int
+}
+
+// Add folds one label set into the aggregate.
+func (a *Aggregate) Add(l Labels) {
+	a.N++
+	if l.Age > 0 {
+		a.Ages = append(a.Ages, l.Age)
+	}
+	switch l.Gender {
+	case sim.GenderMale:
+		a.Male++
+	case sim.GenderFemale:
+		a.Female++
+	case sim.GenderOther:
+		a.Other++
+	}
+	if l.HasUSA {
+		a.USA++
+	}
+	if l.HasForeign {
+		a.Foreign++
+	}
+	inc := func(c *int, b bool) {
+		if b {
+			*c++
+		}
+	}
+	inc(&a.Address, l.Address)
+	inc(&a.Zip, l.Zip)
+	inc(&a.Phone, l.Phone)
+	inc(&a.Family, l.Family)
+	inc(&a.Email, l.Email)
+	inc(&a.DOB, l.DOB)
+	inc(&a.School, l.School)
+	inc(&a.Usernames, l.Usernames)
+	inc(&a.ISP, l.ISP)
+	inc(&a.IP, l.IP)
+	inc(&a.Passwords, l.Passwords)
+	inc(&a.Physical, l.Physical)
+	inc(&a.Criminal, l.Criminal)
+	inc(&a.SSN, l.SSN)
+	inc(&a.CreditCard, l.CreditCard)
+	inc(&a.Financial, l.Financial)
+	switch l.Community {
+	case sim.CommunityGamer:
+		a.Gamer++
+	case sim.CommunityHacker:
+		a.Hacker++
+	case sim.CommunityCelebrity:
+		a.Celebrity++
+	}
+	switch l.Motive {
+	case sim.MotiveJustice:
+		a.Justice++
+	case sim.MotiveRevenge:
+		a.Revenge++
+	case sim.MotiveCompetitive:
+		a.Competitive++
+	case sim.MotivePolitical:
+		a.Political++
+	}
+}
+
+// AgeStats returns min, max and mean of labeled ages.
+func (a *Aggregate) AgeStats() (min, max int, mean float64) {
+	if len(a.Ages) == 0 {
+		return 0, 0, 0
+	}
+	min, max = a.Ages[0], a.Ages[0]
+	sum := 0
+	for _, v := range a.Ages {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, float64(sum) / float64(len(a.Ages))
+}

@@ -1,0 +1,211 @@
+package label
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/textgen"
+)
+
+func TestApplyExplicitMarkers(t *testing.T) {
+	text := `==== DOX ====
+Reason: this guy scammed at least six people on the marketplace and kept the money
+
+Alias: shadowwolf
+Name: John Smith
+Age: 23
+Gender: male
+Address: 12 Oak St, Chicago, IL 60601
+Phone: (312) 555-0142
+Email: john@example.com
+DOB: 01/02/1993
+IP: 74.12.3.4
+ISP: Comcast Cable
+School: Lincoln High School
+Other usernames: shadow, wolfie
+Password (old leak): hunter2x99
+Height: 5'10"  Weight: 180 lbs
+Criminal record: DUI 2013
+SSN: 123-45-6789
+CC: 4111111111111111 exp 01/19
+Paypal: john@example.com  (balance unknown)
+
+Family:
+  Mother: Jane Smith
+`
+	l := Apply(text)
+	if l.Age != 23 {
+		t.Errorf("age = %d", l.Age)
+	}
+	if l.Gender != sim.GenderMale {
+		t.Errorf("gender = %v", l.Gender)
+	}
+	if !l.HasUSA || l.HasForeign {
+		t.Errorf("location flags = %v/%v", l.HasUSA, l.HasForeign)
+	}
+	for name, got := range map[string]bool{
+		"address": l.Address, "zip": l.Zip, "phone": l.Phone, "family": l.Family,
+		"email": l.Email, "dob": l.DOB, "school": l.School, "usernames": l.Usernames,
+		"isp": l.ISP, "ip": l.IP, "passwords": l.Passwords, "physical": l.Physical,
+		"criminal": l.Criminal, "ssn": l.SSN, "cc": l.CreditCard, "financial": l.Financial,
+	} {
+		if !got {
+			t.Errorf("category %s not detected", name)
+		}
+	}
+	if l.Motive != sim.MotiveJustice {
+		t.Errorf("motive = %v, want justice", l.Motive)
+	}
+}
+
+func TestApplyEmptyDox(t *testing.T) {
+	l := Apply("just a random paste with nothing in it")
+	if l.Address || l.Phone || l.SSN || l.Age != 0 || l.Motive != sim.MotiveNone {
+		t.Errorf("empty text produced labels: %+v", l)
+	}
+}
+
+func TestProseAge(t *testing.T) {
+	if l := Apply("the kid is twoty six years old btw"); l.Age != 26 {
+		t.Errorf("prose age = %d, want 26", l.Age)
+	}
+	if l := Apply("she is twenty one years old"); l.Age != 21 {
+		t.Errorf("prose age = %d, want 21", l.Age)
+	}
+}
+
+func TestForeignCountry(t *testing.T) {
+	l := Apply("Address: 5 High Street\nCity: London\nCountry: United Kingdom\n")
+	if l.HasUSA || !l.HasForeign {
+		t.Errorf("foreign address misclassified: usa=%v foreign=%v", l.HasUSA, l.HasForeign)
+	}
+	l = Apply("Lives at: 12 Oak St Chicago IL 60601\nCountry: USA\n")
+	if !l.HasUSA {
+		t.Error("explicit USA not detected")
+	}
+}
+
+func TestCommunityRules(t *testing.T) {
+	gamer := `Found on:
+  steamcommunity.com/xyz
+  minecraftforum.net/xyz
+  speedrun.com/xyz
+`
+	if l := Apply(gamer); l.Community != sim.CommunityGamer {
+		t.Errorf("3 gaming accounts => %v, want gamer", l.Community)
+	}
+	// Exactly two gaming accounts: below the "more than two" threshold.
+	twoOnly := `Found on:
+  steamcommunity.com/xyz
+  speedrun.com/xyz
+`
+	if l := Apply(twoOnly); l.Community != sim.CommunityNone {
+		t.Errorf("2 gaming accounts => %v, want none", l.Community)
+	}
+	hacker := `Found on:
+  hackforums.net/xyz
+  nulled.io/xyz
+  exploit.in/xyz
+`
+	if l := Apply(hacker); l.Community != sim.CommunityHacker {
+		t.Errorf("3 hacking accounts => %v, want hacker", l.Community)
+	}
+	celeb := "Yes, THAT Jordan — the famous youtuber.\n"
+	if l := Apply(celeb); l.Community != sim.CommunityCelebrity {
+		t.Errorf("celebrity marker => %v", l.Community)
+	}
+}
+
+func TestMotiveKeywords(t *testing.T) {
+	cases := map[string]sim.Motive{
+		"Reason: he thought he could talk to me like that and get away with it":      sim.MotiveRevenge,
+		"Reason: he said he was undoxable. took me 20 minutes":                       sim.MotiveCompetitive,
+		"Reason: exposing another klan member, they live among you":                  sim.MotivePolitical,
+		"Reason: he has been snitching to the mods and working with law enforcement": sim.MotiveJustice,
+		"no reason line at all": sim.MotiveNone,
+	}
+	for text, want := range cases {
+		if got := Apply(text).Motive; got != want {
+			t.Errorf("Apply(%q).Motive = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestAggregateAgainstGroundTruth(t *testing.T) {
+	// Label rendered doxes and compare against the victims' ground truth:
+	// the analyst must recover explicit markers essentially perfectly on
+	// full/terse renders.
+	w := sim.NewWorld(sim.Default(17, 0.25))
+	g := textgen.New(w)
+	r := rand.New(rand.NewSource(2))
+	var agg Aggregate
+	full := 0
+	for _, v := range w.Victims {
+		d := g.Dox(r, v)
+		if d.Style == textgen.StyleForm {
+			continue // lazy template fills omit fields by design
+		}
+		full++
+		l := Apply(d.Body)
+		if v.Fields.Address != l.Address {
+			t.Fatalf("address label %v, truth %v\n%s", l.Address, v.Fields.Address, d.Body)
+		}
+		if v.Fields.SSN != l.SSN {
+			t.Fatalf("ssn label %v, truth %v", l.SSN, v.Fields.SSN)
+		}
+		if v.Fields.Family != l.Family {
+			t.Fatalf("family label %v, truth %v", l.Family, v.Fields.Family)
+		}
+		if v.Motive != l.Motive {
+			t.Fatalf("motive label %v, truth %v\n%s", l.Motive, v.Motive, d.Body)
+		}
+		if v.Community != l.Community {
+			t.Fatalf("community label %v, truth %v\n%s", l.Community, v.Community, d.Body)
+		}
+		if v.Gender != sim.GenderUnstated && l.Gender != v.Gender {
+			t.Fatalf("gender label %v, truth %v", l.Gender, v.Gender)
+		}
+		agg.Add(l)
+	}
+	if agg.N != full {
+		t.Fatalf("aggregated %d of %d", agg.N, full)
+	}
+	// Table 5/6 shape checks on the aggregate.
+	n := float64(agg.N)
+	if rate := float64(agg.Address) / n; math.Abs(rate-0.901) > 0.05 {
+		t.Errorf("address rate %.3f, want ~0.901 (Table 6)", rate)
+	}
+	if rate := float64(agg.Male) / n; math.Abs(rate-0.822) > 0.05 {
+		t.Errorf("male rate %.3f, want ~0.822 (Table 5)", rate)
+	}
+	min, max, mean := agg.AgeStats()
+	if min < 5 || max > 80 || math.Abs(mean-21.7) > 2.5 {
+		t.Errorf("age stats min=%d max=%d mean=%.1f, want ~[10,74] mean 21.7", min, max, mean)
+	}
+	if usaRate := float64(agg.USA) / float64(agg.USA+agg.Foreign); math.Abs(usaRate-0.645) > 0.07 {
+		t.Errorf("USA rate %.3f, want ~0.645 (Table 5)", usaRate)
+	}
+}
+
+func TestAggregateEmptyAgeStats(t *testing.T) {
+	var a Aggregate
+	min, max, mean := a.AgeStats()
+	if min != 0 || max != 0 || mean != 0 {
+		t.Error("empty aggregate should produce zero age stats")
+	}
+}
+
+func TestLabelsOnBenignText(t *testing.T) {
+	// The analyst only ever sees classifier-flagged files, but labeling a
+	// benign paste must not panic and should produce near-empty labels.
+	w := sim.NewWorld(sim.Default(19, 0.01))
+	g := textgen.New(w)
+	r := randutil.New(3)
+	for i := 0; i < 100; i++ {
+		_, body := g.BenignPaste(r)
+		_ = Apply(body)
+	}
+}

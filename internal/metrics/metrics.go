@@ -1,0 +1,192 @@
+// Package metrics provides the evaluation statistics the paper reports:
+// per-class precision/recall/F1 (Table 1), extraction accuracy (Table 2),
+// and the two-proportion significance test behind the Table 10 claim that
+// p-values on the doxed-vs-control comparisons are "asymptotically zero".
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(actual, predicted bool) {
+	switch {
+	case actual && predicted:
+		c.TP++
+	case actual && !predicted:
+		c.FN++
+	case !actual && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision is TP / (TP + FP); 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN); 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is (TP + TN) / total.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Negated returns the confusion matrix from the negative class's point of
+// view, as the paper's Table 1 reports a "Not" row.
+func (c Confusion) Negated() Confusion {
+	return Confusion{TP: c.TN, TN: c.TP, FP: c.FN, FN: c.FP}
+}
+
+// Support returns the number of actual-positive samples.
+func (c Confusion) Support() int { return c.TP + c.FN }
+
+// String implements fmt.Stringer.
+func (c Confusion) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f (tp=%d fp=%d tn=%d fn=%d)",
+		c.Precision(), c.Recall(), c.F1(), c.TP, c.FP, c.TN, c.FN)
+}
+
+// ClassReport mirrors one row of the paper's Table 1.
+type ClassReport struct {
+	Label     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Samples   int
+}
+
+// Report builds the Table 1 style per-class report (Dox row, Not row,
+// weighted average) from a positive-class confusion matrix.
+func Report(c Confusion) []ClassReport {
+	neg := c.Negated()
+	dox := ClassReport{Label: "Dox", Precision: c.Precision(), Recall: c.Recall(), F1: c.F1(), Samples: c.Support()}
+	not := ClassReport{Label: "Not", Precision: neg.Precision(), Recall: neg.Recall(), F1: neg.F1(), Samples: neg.Support()}
+	total := float64(dox.Samples + not.Samples)
+	var avg ClassReport
+	avg.Label = "Avg / Total"
+	avg.Samples = dox.Samples + not.Samples
+	if total > 0 {
+		wd, wn := float64(dox.Samples)/total, float64(not.Samples)/total
+		avg.Precision = wd*dox.Precision + wn*not.Precision
+		avg.Recall = wd*dox.Recall + wn*not.Recall
+		avg.F1 = wd*dox.F1 + wn*not.F1
+	}
+	return []ClassReport{dox, not, avg}
+}
+
+// Proportion is a count over a sample size.
+type Proportion struct {
+	Hits int
+	N    int
+}
+
+// Rate returns Hits/N, or 0 for empty samples.
+func (p Proportion) Rate() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.N)
+}
+
+// TwoProportionZ computes the pooled two-proportion z statistic for
+// H0: p1 == p2.
+func TwoProportionZ(a, b Proportion) float64 {
+	if a.N == 0 || b.N == 0 {
+		return 0
+	}
+	p1, p2 := a.Rate(), b.Rate()
+	pool := float64(a.Hits+b.Hits) / float64(a.N+b.N)
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(a.N) + 1/float64(b.N)))
+	if se == 0 {
+		return 0
+	}
+	return (p1 - p2) / se
+}
+
+// PValueTwoSided converts a z statistic to a two-sided p-value using the
+// complementary error function.
+func PValueTwoSided(z float64) float64 {
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// TwoProportionP is the convenience composition used by the Table 10 bench.
+func TwoProportionP(a, b Proportion) float64 {
+	return PValueTwoSided(TwoProportionZ(a, b))
+}
+
+// Mean returns the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0..1) of xs by linear interpolation on a
+// sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	insertionSort(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

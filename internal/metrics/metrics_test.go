@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %f", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("recall = %f", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("accuracy = %f", got)
+	}
+	if c.Total() != 5 || c.Support() != 3 {
+		t.Errorf("total=%d support=%d", c.Total(), c.Support())
+	}
+}
+
+func TestEmptyConfusionSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should yield zeros, not NaN")
+	}
+}
+
+func TestF1HarmonicMean(t *testing.T) {
+	c := Confusion{TP: 80, FP: 20, FN: 10}
+	p, r := c.Precision(), c.Recall()
+	want := 2 * p * r / (p + r)
+	if got := c.F1(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %f, want %f", got, want)
+	}
+}
+
+func TestNegated(t *testing.T) {
+	c := Confusion{TP: 5, FP: 3, TN: 90, FN: 2}
+	n := c.Negated()
+	if n.TP != 90 || n.TN != 5 || n.FP != 2 || n.FN != 3 {
+		t.Fatalf("negated = %+v", n)
+	}
+	if n.Negated() != c {
+		t.Error("double negation should round trip")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	// Approximate the paper's Table 1 numbers: dox P=.81 R=.89 over 258
+	// samples, not P=.99 R=.98 over 3546.
+	c := Confusion{TP: 230, FN: 28, FP: 54, TN: 3492}
+	rep := Report(c)
+	if len(rep) != 3 {
+		t.Fatalf("report rows = %d", len(rep))
+	}
+	if rep[0].Label != "Dox" || rep[1].Label != "Not" || rep[2].Label != "Avg / Total" {
+		t.Fatalf("labels = %v %v %v", rep[0].Label, rep[1].Label, rep[2].Label)
+	}
+	if rep[0].Samples != 258 || rep[1].Samples != 3546 {
+		t.Errorf("supports = %d/%d", rep[0].Samples, rep[1].Samples)
+	}
+	if math.Abs(rep[0].Precision-0.81) > 0.01 || math.Abs(rep[0].Recall-0.89) > 0.01 {
+		t.Errorf("dox P/R = %.3f/%.3f", rep[0].Precision, rep[0].Recall)
+	}
+	if rep[1].Precision < 0.98 {
+		t.Errorf("not-class precision = %.3f", rep[1].Precision)
+	}
+	// Weighted average dominated by the big class.
+	if rep[2].Precision < 0.95 || rep[2].F1 < 0.95 {
+		t.Errorf("avg P=%.3f F1=%.3f", rep[2].Precision, rep[2].F1)
+	}
+}
+
+func TestPrecisionRecallBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		inRange := func(x float64) bool { return x >= 0 && x <= 1 && !math.IsNaN(x) }
+		return inRange(p) && inRange(r) && inRange(f1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Identical proportions: z == 0.
+	if z := TwoProportionZ(Proportion{50, 100}, Proportion{50, 100}); z != 0 {
+		t.Errorf("equal proportions z = %f", z)
+	}
+	// Dramatic difference (doxed vs control, Table 10 style): huge |z|.
+	z := TwoProportionZ(Proportion{28, 87}, Proportion{27, 13392})
+	if z < 10 {
+		t.Errorf("doxed-vs-control z = %f, want >> 0", z)
+	}
+	if p := PValueTwoSided(z); p > 1e-20 {
+		t.Errorf("p-value %g, want asymptotically zero (paper §6.2.2)", p)
+	}
+	// Symmetry: swapping flips sign.
+	if a, b := TwoProportionZ(Proportion{10, 100}, Proportion{20, 100}),
+		TwoProportionZ(Proportion{20, 100}, Proportion{10, 100}); math.Abs(a+b) > 1e-12 {
+		t.Errorf("z not antisymmetric: %f vs %f", a, b)
+	}
+}
+
+func TestTwoProportionEdgeCases(t *testing.T) {
+	if z := TwoProportionZ(Proportion{0, 0}, Proportion{5, 10}); z != 0 {
+		t.Error("empty sample should give z=0")
+	}
+	if z := TwoProportionZ(Proportion{0, 10}, Proportion{0, 20}); z != 0 {
+		t.Error("zero pooled rate should give z=0, not NaN")
+	}
+	if z := TwoProportionZ(Proportion{10, 10}, Proportion{20, 20}); z != 0 {
+		t.Error("all-hits pooled rate should give z=0, not NaN")
+	}
+}
+
+func TestPValueRange(t *testing.T) {
+	if p := PValueTwoSided(0); math.Abs(p-1) > 1e-12 {
+		t.Errorf("p(z=0) = %f, want 1", p)
+	}
+	if p := PValueTwoSided(1.96); math.Abs(p-0.05) > 0.001 {
+		t.Errorf("p(z=1.96) = %f, want ~0.05", p)
+	}
+	if p := TwoProportionP(Proportion{90, 100}, Proportion{10, 100}); p > 1e-10 {
+		t.Errorf("extreme difference p = %g", p)
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Mean(xs); math.Abs(got-3.875) > 1e-12 {
+		t.Errorf("mean = %f", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %f", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Errorf("q1 = %f", got)
+	}
+	med := Quantile(xs, 0.5)
+	if med < 3 || med > 4 {
+		t.Errorf("median = %f", med)
+	}
+	if Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestProportionRate(t *testing.T) {
+	if got := (Proportion{3, 12}).Rate(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("rate = %f", got)
+	}
+	if got := (Proportion{0, 0}).Rate(); got != 0 {
+		t.Errorf("empty rate = %f", got)
+	}
+}

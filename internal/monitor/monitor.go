@@ -1,0 +1,324 @@
+// Package monitor implements the final stage of the paper's pipeline
+// (§3.1.5): verifying and repeatedly scraping the online-social-network
+// accounts referenced in dox files.
+//
+// Each tracked account is visited on the paper's schedule — immediately
+// when the dox is observed, then one, two, three and seven days later, then
+// every seven days — and classified as public, private or inactive from its
+// profile page. First-visit 404s mark the account nonexistent (the
+// "Account Verifier" box in the paper's Figure 1): fabricated accounts in
+// joke doxes and extraction noise fall out here. For public accounts the
+// scraper also records the text and authors of visible comments, which
+// feeds the §5.3.2 commenter-network analysis.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/simclock"
+)
+
+// scheduleOffsets is the paper's revisit schedule in days; after the last
+// fixed offset, visits continue every seven days.
+var scheduleOffsets = []int{0, 1, 2, 3, 7}
+
+// Observation is one scrape result.
+type Observation struct {
+	Time     time.Time
+	Status   osn.Status
+	Defaced  bool         // profile carried a takeover banner (footnote 7)
+	Comments []CommentObs // populated only for public accounts
+}
+
+// CommentObs is a comment visible on a public account.
+type CommentObs struct {
+	Author string
+	Text   string
+}
+
+// History is the full observation record for one tracked account.
+type History struct {
+	Ref       netid.Ref
+	NumericID int64 // Instagram control sample tracking, 0 otherwise
+	Control   bool  // true for random-sample accounts
+	DoxSeenAt time.Time
+	Verified  bool // first visit found the account (even if private)
+	// Activity is the visible post count from the first public
+	// observation, or -1 when the account was never seen public — the
+	// §6.2.1 "activity metric" the paper proposes as future work.
+	Activity int
+	Obs      []Observation
+
+	nextIdx  int
+	nextDue  time.Time
+	endAt    time.Time // zero means the monitor-wide end
+	finished bool
+}
+
+// FirstStatus returns the initial observed status.
+func (h *History) FirstStatus() (osn.Status, bool) {
+	if len(h.Obs) == 0 {
+		return 0, false
+	}
+	return h.Obs[0].Status, true
+}
+
+// LastStatus returns the most recent observed status.
+func (h *History) LastStatus() (osn.Status, bool) {
+	if len(h.Obs) == 0 {
+		return 0, false
+	}
+	return h.Obs[len(h.Obs)-1].Status, true
+}
+
+// StatusOnDay returns the last observed status on or before the given
+// day offset from DoxSeenAt, carrying earlier observations forward.
+func (h *History) StatusOnDay(day int) (osn.Status, bool) {
+	cutoff := h.DoxSeenAt.Add(time.Duration(day)*simclock.Day + 12*time.Hour)
+	var st osn.Status
+	found := false
+	for _, o := range h.Obs {
+		if o.Time.After(cutoff) {
+			break
+		}
+		st = o.Status
+		found = true
+	}
+	return st, found
+}
+
+// ChangedWithin reports whether the observed status changed at least once
+// within the first `days` days, and when the first change was observed.
+func (h *History) ChangedWithin(days int) (bool, time.Time) {
+	if len(h.Obs) < 2 {
+		return false, time.Time{}
+	}
+	cutoff := h.DoxSeenAt.Add(time.Duration(days) * simclock.Day)
+	prev := h.Obs[0].Status
+	for _, o := range h.Obs[1:] {
+		if o.Time.After(cutoff) {
+			break
+		}
+		if o.Status != prev {
+			return true, o.Time
+		}
+		prev = o.Status
+	}
+	return false, time.Time{}
+}
+
+// Monitor tracks accounts and scrapes them on schedule. Safe for concurrent
+// use; ProcessDue serializes scraping internally.
+type Monitor struct {
+	clock   *simclock.Clock
+	baseURL string
+	client  *http.Client
+	endAt   time.Time
+
+	mu        sync.Mutex
+	histories map[string]*History
+	requests  int64
+}
+
+// New builds a monitor scraping the OSN service at baseURL until endAt.
+func New(clock *simclock.Clock, baseURL string, endAt time.Time, client *http.Client) *Monitor {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Monitor{
+		clock:     clock,
+		baseURL:   baseURL,
+		client:    client,
+		endAt:     endAt,
+		histories: make(map[string]*History),
+	}
+}
+
+// Track begins monitoring an account first seen in a dox at seenAt. Already
+// tracked accounts are ignored (dox reposts).
+func (m *Monitor) Track(ref netid.Ref, seenAt time.Time) {
+	m.TrackUntil(ref, seenAt, time.Time{})
+}
+
+// TrackUntil tracks an account with an explicit monitoring horizon — the
+// study stops revisiting accounts when their collection period ends. A zero
+// endAt uses the monitor-wide horizon.
+func (m *Monitor) TrackUntil(ref netid.Ref, seenAt, endAt time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := ref.Key()
+	if _, ok := m.histories[key]; ok {
+		return
+	}
+	m.histories[key] = &History{Ref: ref, DoxSeenAt: seenAt, nextDue: seenAt, endAt: endAt, Activity: -1}
+}
+
+// TrackControl begins monitoring an Instagram account by numeric ID as part
+// of the random control sample (§6.2.1).
+func (m *Monitor) TrackControl(id int64, seenAt time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := fmt.Sprintf("igid:%d", id)
+	if _, ok := m.histories[key]; ok {
+		return
+	}
+	m.histories[key] = &History{
+		Ref:       netid.Ref{Network: netid.Instagram, Username: fmt.Sprintf("id-%d", id)},
+		NumericID: id,
+		Control:   true,
+		DoxSeenAt: seenAt,
+		nextDue:   seenAt,
+		Activity:  -1,
+	}
+}
+
+// Histories returns all tracked histories, sorted by account key.
+func (m *Monitor) Histories() []*History {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.histories))
+	for k := range m.histories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*History, len(keys))
+	for i, k := range keys {
+		out[i] = m.histories[k]
+	}
+	return out
+}
+
+// Requests returns the number of profile fetches performed.
+func (m *Monitor) Requests() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests
+}
+
+// ProcessDue visits every account whose next scheduled check is due at the
+// current virtual time. Call it after each clock advance.
+func (m *Monitor) ProcessDue(ctx context.Context) error {
+	now := m.clock.Now()
+	m.mu.Lock()
+	var due []*History
+	for _, h := range m.histories {
+		if !h.finished && !h.nextDue.After(now) {
+			due = append(due, h)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].Ref.Key() < due[j].Ref.Key() })
+	for _, h := range due {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		status, comments, activity, defaced, found, err := m.scrape(ctx, h)
+		if err != nil {
+			return err
+		}
+		m.mu.Lock()
+		m.requests++
+		if len(h.Obs) == 0 {
+			h.Verified = found
+			if !found {
+				// Nonexistent account: drop from further monitoring.
+				h.finished = true
+				m.mu.Unlock()
+				continue
+			}
+		}
+		if h.Activity < 0 && activity >= 0 {
+			h.Activity = activity
+		}
+		h.Obs = append(h.Obs, Observation{Time: now, Status: status, Defaced: defaced, Comments: comments})
+		m.advance(h, now)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// advance computes the next due time per the paper's schedule.
+func (m *Monitor) advance(h *History, now time.Time) {
+	h.nextIdx++
+	var next time.Time
+	if h.nextIdx < len(scheduleOffsets) {
+		next = h.DoxSeenAt.Add(time.Duration(scheduleOffsets[h.nextIdx]) * simclock.Day)
+	} else {
+		weekly := scheduleOffsets[len(scheduleOffsets)-1] + 7*(h.nextIdx-len(scheduleOffsets)+1)
+		next = h.DoxSeenAt.Add(time.Duration(weekly) * simclock.Day)
+	}
+	// Queuing delays in the paper's pipeline occasionally pushed checks a
+	// little late; if the schedule slipped behind the clock, catch up.
+	for !next.After(now) {
+		h.nextIdx++
+		next = next.Add(7 * simclock.Day)
+	}
+	end := m.endAt
+	if !h.endAt.IsZero() && h.endAt.Before(end) {
+		end = h.endAt
+	}
+	if next.After(end) {
+		h.finished = true
+		return
+	}
+	h.nextDue = next
+}
+
+var (
+	commentRe  = regexp.MustCompile(`<div class="comment" data-author="([^"]+)">([^<]*)</div>`)
+	activityRe = regexp.MustCompile(`<div class="activity" data-posts="(\d+)">`)
+)
+
+// scrape fetches one profile and classifies it. found=false means 404;
+// activity is -1 when not visible (private/inactive pages).
+func (m *Monitor) scrape(ctx context.Context, h *History) (status osn.Status, comments []CommentObs, activity int, defaced, found bool, err error) {
+	url := m.baseURL + "/" + h.Ref.Network.Slug() + "/" + h.Ref.Username
+	if h.NumericID > 0 {
+		url = fmt.Sprintf("%s/instagram/id/%d", m.baseURL, h.NumericID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, -1, false, false, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return 0, nil, -1, false, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, nil, -1, false, false, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return osn.Inactive, nil, -1, false, len(h.Obs) > 0, nil
+	case resp.StatusCode != http.StatusOK:
+		return 0, nil, -1, false, false, fmt.Errorf("monitor: %s returned %d", url, resp.StatusCode)
+	}
+	page := string(body)
+	if strings.Contains(page, "This account is private.") {
+		return osn.Private, nil, -1, false, true, nil
+	}
+	activity = -1
+	if mch := activityRe.FindStringSubmatch(page); mch != nil {
+		if v, err := strconv.Atoi(mch[1]); err == nil {
+			activity = v
+		}
+	}
+	defaced = strings.Contains(page, `class="banner"`)
+	for _, mch := range commentRe.FindAllStringSubmatch(page, -1) {
+		comments = append(comments, CommentObs{Author: mch[1], Text: mch[2]})
+	}
+	return osn.Public, comments, activity, defaced, true, nil
+}

@@ -1,0 +1,388 @@
+package monitor
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+)
+
+// rig wires a universe, its HTTP service, and a monitor on a shared clock.
+type rig struct {
+	world *sim.World
+	uni   *osn.Universe
+	clock *simclock.Clock
+	mon   *Monitor
+	srv   *httptest.Server
+}
+
+func newRig(t *testing.T, scale float64) *rig {
+	t.Helper()
+	w := sim.NewWorld(sim.Default(81, scale))
+	clock := simclock.NewClock(simclock.Period1.Start)
+	uni := osn.NewUniverse(clock, w, 81)
+	srv := httptest.NewServer(uni.Handler())
+	t.Cleanup(srv.Close)
+	mon := New(clock, srv.URL, simclock.Period2.End, nil)
+	return &rig{world: w, uni: uni, clock: clock, mon: mon, srv: srv}
+}
+
+// runStudy advances the clock daily to end, processing due checks.
+func (r *rig) runStudy(t *testing.T, end time.Time) {
+	t.Helper()
+	ctx := context.Background()
+	for !r.clock.Now().After(end) {
+		if err := r.mon.ProcessDue(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r.clock.Advance(simclock.Day)
+	}
+}
+
+func (r *rig) doxAndTrack(n netid.Network, max int, at time.Time) int {
+	count := 0
+	for _, v := range r.world.Victims {
+		user, ok := v.OSN[n]
+		if !ok {
+			continue
+		}
+		ref := netid.Ref{Network: n, Username: user}
+		r.uni.RecordDox(ref, at)
+		r.mon.Track(ref, at)
+		count++
+		if count >= max {
+			break
+		}
+	}
+	return count
+}
+
+func TestScheduleFollowsPaper(t *testing.T) {
+	r := newRig(t, 0.05)
+	at := simclock.Period1.Start
+	r.doxAndTrack(netid.Facebook, 5, at)
+	r.runStudy(t, at.Add(30*simclock.Day))
+
+	for _, h := range r.mon.Histories() {
+		if !h.Verified {
+			continue
+		}
+		// Expected check days: 0,1,2,3,7,14,21,28.
+		wantDays := []int{0, 1, 2, 3, 7, 14, 21, 28}
+		if len(h.Obs) != len(wantDays) {
+			t.Fatalf("account %v observed %d times, want %d", h.Ref, len(h.Obs), len(wantDays))
+		}
+		for i, o := range h.Obs {
+			day := int(o.Time.Sub(h.DoxSeenAt) / simclock.Day)
+			if day != wantDays[i] {
+				t.Fatalf("observation %d on day %d, want %d", i, day, wantDays[i])
+			}
+		}
+	}
+}
+
+func TestVerifierDropsNonexistent(t *testing.T) {
+	r := newRig(t, 0.02)
+	at := simclock.Period1.Start
+	// A fabricated account (joke dox extraction) does not exist.
+	r.mon.Track(netid.Ref{Network: netid.Facebook, Username: "fabricated-person-99"}, at)
+	real := r.doxAndTrack(netid.Facebook, 3, at)
+	r.runStudy(t, at.Add(10*simclock.Day))
+
+	// Initially-inactive real accounts also 404 on first visit and are
+	// indistinguishable from fabricated ones — the verifier drops both.
+	wantNonexistent := 1
+	for _, h := range r.mon.Histories() {
+		if h.Ref.Username == "fabricated-person-99" {
+			continue
+		}
+		if a, ok := r.uni.Lookup(h.Ref); ok && a.StatusAt(at) == osn.Inactive {
+			wantNonexistent++
+		}
+	}
+	verified, nonexistent := VerifiedCount(r.mon.Histories())
+	if nonexistent != wantNonexistent {
+		t.Errorf("nonexistent = %d, want %d", nonexistent, wantNonexistent)
+	}
+	// Some real accounts may be initially inactive (not verifiable).
+	if verified == 0 || verified > real {
+		t.Errorf("verified = %d of %d tracked real", verified, real)
+	}
+	for _, h := range r.mon.Histories() {
+		if h.Ref.Username == "fabricated-person-99" && len(h.Obs) != 0 {
+			t.Error("nonexistent account kept being scraped")
+		}
+	}
+}
+
+func TestTrackIdempotent(t *testing.T) {
+	r := newRig(t, 0.02)
+	ref := netid.Ref{Network: netid.Twitter, Username: "someone"}
+	r.mon.Track(ref, simclock.Period1.Start)
+	r.mon.Track(ref, simclock.Period1.Start.Add(5*simclock.Day))
+	if got := len(r.mon.Histories()); got != 1 {
+		t.Fatalf("histories = %d, want 1", got)
+	}
+	if !r.mon.Histories()[0].DoxSeenAt.Equal(simclock.Period1.Start) {
+		t.Error("re-track overwrote first-seen time")
+	}
+}
+
+func TestChangeStatsAgainstGroundTruth(t *testing.T) {
+	r := newRig(t, 0.3)
+	at := simclock.Period1.Start.Add(simclock.Day)
+	n := r.doxAndTrack(netid.Facebook, 10000, at)
+	if n < 150 {
+		t.Fatalf("only %d Facebook accounts", n)
+	}
+	end := simclock.Period1.End
+	r.runStudy(t, end)
+
+	stats := Changes(r.mon.Histories(), ByNetwork(netid.Facebook))
+	if stats.Total < 100 {
+		t.Fatalf("stats over %d accounts", stats.Total)
+	}
+	// Pre-filter Facebook: ~22% more private, ~2% more public (Table 10).
+	if mp := stats.MorePrivateRate(); mp < 0.15 || mp > 0.30 {
+		t.Errorf("more-private rate %.3f, want ~0.22", mp)
+	}
+	if any := stats.AnyChangeRate(); any < stats.MorePrivateRate() {
+		t.Errorf("any-change %.3f below more-private %.3f", any, stats.MorePrivateRate())
+	}
+	// Cross-check against universe ground truth: every account the monitor
+	// says ended more private must actually be more closed in the universe.
+	for _, h := range r.mon.Histories() {
+		if !h.Verified || len(h.Obs) < 2 {
+			continue
+		}
+		first, _ := h.FirstStatus()
+		last, _ := h.LastStatus()
+		a, ok := r.uni.Lookup(h.Ref)
+		if !ok {
+			t.Fatalf("monitored unknown account %v", h.Ref)
+		}
+		truthFirst := a.StatusAt(h.Obs[0].Time)
+		truthLast := a.StatusAt(h.Obs[len(h.Obs)-1].Time)
+		if first != truthFirst || last != truthLast {
+			t.Fatalf("observed %v->%v but truth %v->%v", first, last, truthFirst, truthLast)
+		}
+	}
+}
+
+func TestControlSampleStats(t *testing.T) {
+	r := newRig(t, 0.02)
+	at := simclock.Period1.Start
+	for i := int64(0); i < 2000; i++ {
+		r.mon.TrackControl(1000+i*31337, at)
+	}
+	r.runStudy(t, at.Add(42*simclock.Day))
+	stats := Changes(r.mon.Histories(), Controls())
+	if stats.Total < 1500 {
+		t.Fatalf("control sample only %d verified", stats.Total)
+	}
+	if any := stats.AnyChangeRate(); any > 0.01 {
+		t.Errorf("control any-change rate %.4f, want ~0.002 (Table 10 Default)", any)
+	}
+}
+
+func TestTimingAnalysis(t *testing.T) {
+	r := newRig(t, 0.3)
+	at := simclock.Period1.Start.Add(simclock.Day)
+	r.doxAndTrack(netid.Facebook, 10000, at)
+	r.doxAndTrack(netid.Instagram, 10000, at)
+	r.runStudy(t, simclock.Period1.End)
+	tm := Timing(r.mon.Histories(), func(h *History) bool { return !h.Control })
+	if tm.TotalMorePrivate < 30 {
+		t.Fatalf("only %d more-private transitions", tm.TotalMorePrivate)
+	}
+	f1 := float64(tm.Within1Day) / float64(tm.TotalMorePrivate)
+	f7 := float64(tm.Within7Days) / float64(tm.TotalMorePrivate)
+	if f1 < 0.2 || f1 > 0.55 {
+		t.Errorf("within-24h %.3f, want ~0.358 (§6.3)", f1)
+	}
+	if f7 < 0.8 {
+		t.Errorf("within-7d %.3f, want ~0.906 (§6.3)", f7)
+	}
+	if tm.Within7Days < tm.Within1Day {
+		t.Error("7-day count below 1-day count")
+	}
+}
+
+func TestStripShape(t *testing.T) {
+	r := newRig(t, 0.3)
+	at := simclock.Period1.Start.Add(simclock.Day)
+	r.doxAndTrack(netid.Facebook, 10000, at)
+	r.runStudy(t, at.Add(20*simclock.Day))
+	f := ByNetwork(netid.Facebook)
+	strip := Strip(r.mon.Histories(), f)
+	if len(strip) != 15 {
+		t.Fatalf("strip has %d points, want 15", len(strip))
+	}
+	changed, total := ChangersWithin(r.mon.Histories(), f, 14)
+	if changed == 0 || changed > total {
+		t.Fatalf("changers = %d of %d", changed, total)
+	}
+	day0 := strip[0]
+	day14 := strip[14]
+	if day0.Public+day0.Private+day0.Inactive != changed {
+		t.Errorf("day-0 population %d != changers %d", day0.Public+day0.Private+day0.Inactive, changed)
+	}
+	// Lockdowns dominate: fewer public at day 14 than day 0.
+	if day14.Public >= day0.Public {
+		t.Errorf("public count did not fall: day0=%d day14=%d", day0.Public, day14.Public)
+	}
+	if day14.Private+day14.Inactive <= day0.Private+day0.Inactive {
+		t.Errorf("closed count did not rise")
+	}
+}
+
+func TestCommenterAnalysis(t *testing.T) {
+	r := newRig(t, 0.3)
+	at := simclock.Period1.Start.Add(simclock.Day)
+	// Trigger abuse so comment streams are non-trivial.
+	count := 0
+	for _, v := range r.world.Victims {
+		user, ok := v.OSN[netid.Facebook]
+		if !ok {
+			continue
+		}
+		ref := netid.Ref{Network: netid.Facebook, Username: user}
+		r.uni.RecordDox(ref, at)
+		r.uni.TriggerAbuse(ref, at)
+		r.mon.Track(ref, at)
+		count++
+	}
+	if count < 100 {
+		t.Fatalf("only %d accounts", count)
+	}
+	r.runStudy(t, at.Add(21*simclock.Day))
+	cs := Commenters(r.mon.Histories())
+	if cs.Comments == 0 || cs.Commenters == 0 {
+		t.Fatal("no comments observed")
+	}
+	if cs.CrossAccountUsers != 0 {
+		t.Errorf("found %d cross-account commenters, paper found none (§5.3.2)", cs.CrossAccountUsers)
+	}
+	if cs.Comments < cs.Commenters {
+		t.Error("more commenters than comments")
+	}
+}
+
+func TestCompromiseObservation(t *testing.T) {
+	r := newRig(t, 0.5)
+	at := simclock.Period1.Start.Add(simclock.Day)
+	r.doxAndTrack(netid.Instagram, 10000, at)
+	r.runStudy(t, simclock.Period1.End)
+	cs := Compromises(r.mon.Histories(), ByNetwork(netid.Instagram))
+	if cs.MorePublic == 0 {
+		t.Skip("no more-public transitions at this seed")
+	}
+	if cs.Defaced > cs.MorePublic {
+		t.Fatalf("defaced (%d) exceeds more-public (%d)", cs.Defaced, cs.MorePublic)
+	}
+	// Ground truth: every observed defacement corresponds to a universe
+	// compromise.
+	for _, h := range r.mon.Histories() {
+		sawDefaced := false
+		for _, o := range h.Obs {
+			if o.Defaced {
+				sawDefaced = true
+			}
+		}
+		if !sawDefaced {
+			continue
+		}
+		a, ok := r.uni.Lookup(h.Ref)
+		if !ok || a.CompromisedAt().IsZero() {
+			t.Fatalf("observed defacement on uncompromised account %v", h.Ref)
+		}
+	}
+}
+
+func TestHistoryHelpers(t *testing.T) {
+	h := &History{DoxSeenAt: simclock.Period1.Start}
+	if _, ok := h.FirstStatus(); ok {
+		t.Error("empty history has a first status")
+	}
+	if changed, _ := h.ChangedWithin(14); changed {
+		t.Error("empty history changed")
+	}
+	h.Obs = []Observation{
+		{Time: h.DoxSeenAt, Status: osn.Public},
+		{Time: h.DoxSeenAt.Add(2 * simclock.Day), Status: osn.Private},
+		{Time: h.DoxSeenAt.Add(20 * simclock.Day), Status: osn.Inactive},
+	}
+	if st, _ := h.StatusOnDay(1); st != osn.Public {
+		t.Errorf("day 1 status %v", st)
+	}
+	if st, _ := h.StatusOnDay(3); st != osn.Private {
+		t.Errorf("day 3 status %v", st)
+	}
+	if changed, when := h.ChangedWithin(14); !changed || !when.Equal(h.DoxSeenAt.Add(2*simclock.Day)) {
+		t.Error("change within 14 days not detected")
+	}
+	if changed, _ := h.ChangedWithin(1); changed {
+		t.Error("change detected too early")
+	}
+}
+
+func TestScheduleCatchUpAcrossGap(t *testing.T) {
+	// The study stops polling between collection periods; when the clock
+	// jumps the gap, due checks must catch up without duplicate or
+	// out-of-order observations.
+	r := newRig(t, 0.05)
+	// Track with a horizon beyond the gap.
+	at := simclock.Period1.End.Add(-3 * simclock.Day)
+	r.clock.Set(at)
+	n := 0
+	for _, v := range r.world.Victims {
+		user, ok := v.OSN[netid.Facebook]
+		if !ok {
+			continue
+		}
+		ref := netid.Ref{Network: netid.Facebook, Username: user}
+		r.uni.RecordDox(ref, at)
+		r.mon.TrackUntil(ref, at, simclock.Period2.End)
+		n++
+		if n == 5 {
+			break
+		}
+	}
+	ctx := context.Background()
+	for !r.clock.Now().After(simclock.Period1.End) {
+		if err := r.mon.ProcessDue(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r.clock.Advance(simclock.Day)
+	}
+	// Jump the gap.
+	r.clock.Set(simclock.Period2.Start)
+	for i := 0; i < 20; i++ {
+		if err := r.mon.ProcessDue(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r.clock.Advance(simclock.Day)
+	}
+	for _, h := range r.mon.Histories() {
+		if !h.Verified {
+			continue
+		}
+		for i := 1; i < len(h.Obs); i++ {
+			if !h.Obs[i].Time.After(h.Obs[i-1].Time) {
+				t.Fatalf("observations out of order or duplicated at %d", i)
+			}
+			gapStart, gapEnd := simclock.Period1.End, simclock.Period2.Start
+			if h.Obs[i].Time.After(gapStart) && h.Obs[i].Time.Before(gapEnd) {
+				t.Fatalf("observation inside the inter-period gap: %v", h.Obs[i].Time)
+			}
+		}
+		if len(h.Obs) < 6 {
+			t.Fatalf("monitoring did not resume after the gap: %d observations", len(h.Obs))
+		}
+	}
+}

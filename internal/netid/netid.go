@@ -1,0 +1,129 @@
+// Package netid defines the online social networks tracked by the study.
+//
+// The paper's extractor pulls references to six OSNs (Facebook, Google+,
+// Twitter, Instagram, YouTube, Twitch) plus Skype handles out of dox files
+// (Tables 2 and 9), and the scraper monitors four of them (Facebook,
+// Instagram, Twitter, YouTube) for status changes (Table 10). This leaf
+// package holds the shared enumeration so that the generator, extractor and
+// the simulated networks agree on identity.
+package netid
+
+import "fmt"
+
+// Network identifies an online social network or messaging service.
+type Network int
+
+// The tracked networks, in the order the paper's Table 9 reports them.
+const (
+	Facebook Network = iota
+	GooglePlus
+	Twitter
+	Instagram
+	YouTube
+	Twitch
+	Skype
+	numNetworks
+)
+
+// All lists every tracked network.
+func All() []Network {
+	out := make([]Network, numNetworks)
+	for i := range out {
+		out[i] = Network(i)
+	}
+	return out
+}
+
+// Monitored lists the networks whose accounts the scraper revisits for
+// status changes (paper §6.2.1). Skype, Google+ and Twitch are extracted but
+// not monitored.
+func Monitored() []Network {
+	return []Network{Facebook, Instagram, Twitter, YouTube}
+}
+
+// String returns the display name used in tables.
+func (n Network) String() string {
+	switch n {
+	case Facebook:
+		return "Facebook"
+	case GooglePlus:
+		return "Google+"
+	case Twitter:
+		return "Twitter"
+	case Instagram:
+		return "Instagram"
+	case YouTube:
+		return "YouTube"
+	case Twitch:
+		return "Twitch"
+	case Skype:
+		return "Skype"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// Slug returns the lowercase identifier used in URLs and storage keys.
+func (n Network) Slug() string {
+	switch n {
+	case Facebook:
+		return "facebook"
+	case GooglePlus:
+		return "googleplus"
+	case Twitter:
+		return "twitter"
+	case Instagram:
+		return "instagram"
+	case YouTube:
+		return "youtube"
+	case Twitch:
+		return "twitch"
+	case Skype:
+		return "skype"
+	default:
+		return "unknown"
+	}
+}
+
+// FromSlug resolves a slug back to a Network.
+func FromSlug(s string) (Network, bool) {
+	for _, n := range All() {
+		if n.Slug() == s {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Domain returns the primary web domain for networks reachable by URL.
+// Skype has no public profile URL and returns "".
+func (n Network) Domain() string {
+	switch n {
+	case Facebook:
+		return "facebook.com"
+	case GooglePlus:
+		return "plus.google.com"
+	case Twitter:
+		return "twitter.com"
+	case Instagram:
+		return "instagram.com"
+	case YouTube:
+		return "youtube.com"
+	case Twitch:
+		return "twitch.tv"
+	default:
+		return ""
+	}
+}
+
+// Ref is a reference to a specific account on a specific network.
+type Ref struct {
+	Network  Network
+	Username string
+}
+
+// Key returns a canonical map key for the reference.
+func (r Ref) Key() string { return r.Network.Slug() + ":" + r.Username }
+
+// String implements fmt.Stringer.
+func (r Ref) String() string { return r.Network.String() + "/" + r.Username }

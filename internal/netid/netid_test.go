@@ -1,0 +1,79 @@
+package netid
+
+import "testing"
+
+func TestAllCount(t *testing.T) {
+	if got := len(All()); got != 7 {
+		t.Fatalf("All() has %d networks, want 7", got)
+	}
+}
+
+func TestMonitoredSubset(t *testing.T) {
+	mon := Monitored()
+	if len(mon) != 4 {
+		t.Fatalf("Monitored() has %d networks, want 4 (paper §6.2.1)", len(mon))
+	}
+	for _, m := range mon {
+		if m == Skype || m == GooglePlus || m == Twitch {
+			t.Errorf("%v should not be monitored", m)
+		}
+	}
+}
+
+func TestSlugRoundTrip(t *testing.T) {
+	for _, n := range All() {
+		got, ok := FromSlug(n.Slug())
+		if !ok || got != n {
+			t.Errorf("FromSlug(%q) = %v,%v; want %v", n.Slug(), got, ok, n)
+		}
+	}
+	if _, ok := FromSlug("myspace"); ok {
+		t.Error("FromSlug accepted unknown network")
+	}
+}
+
+func TestStringsUnique(t *testing.T) {
+	names := map[string]bool{}
+	slugs := map[string]bool{}
+	for _, n := range All() {
+		if names[n.String()] {
+			t.Errorf("duplicate display name %q", n.String())
+		}
+		if slugs[n.Slug()] {
+			t.Errorf("duplicate slug %q", n.Slug())
+		}
+		names[n.String()] = true
+		slugs[n.Slug()] = true
+	}
+	if Network(99).String() != "Network(99)" {
+		t.Errorf("out-of-range String() = %q", Network(99).String())
+	}
+	if Network(99).Slug() != "unknown" {
+		t.Errorf("out-of-range Slug() = %q", Network(99).Slug())
+	}
+}
+
+func TestDomains(t *testing.T) {
+	if Skype.Domain() != "" {
+		t.Error("Skype should have no profile domain")
+	}
+	for _, n := range []Network{Facebook, GooglePlus, Twitter, Instagram, YouTube, Twitch} {
+		if n.Domain() == "" {
+			t.Errorf("%v missing domain", n)
+		}
+	}
+}
+
+func TestRefKey(t *testing.T) {
+	a := Ref{Network: Twitter, Username: "alice"}
+	b := Ref{Network: Instagram, Username: "alice"}
+	if a.Key() == b.Key() {
+		t.Error("same username on different networks must have distinct keys")
+	}
+	if a.Key() != "twitter:alice" {
+		t.Errorf("Key() = %q", a.Key())
+	}
+	if a.String() != "Twitter/alice" {
+		t.Errorf("String() = %q", a.String())
+	}
+}

@@ -1,0 +1,81 @@
+package notify
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler exposes the registry over HTTP:
+//
+//	POST /subscribe   {"subscriber":"s1","kind":"email","value":"a@b.com"}
+//	POST /unsubscribe {"subscriber":"s1","kind":"email","value":"a@b.com"}
+//	GET  /notifications?subscriber=s1   — drains and returns the queue
+//	GET  /stats
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/subscribe", s.handleSubscribe(true))
+	mux.HandleFunc("/unsubscribe", s.handleSubscribe(false))
+	mux.HandleFunc("/notifications", s.handleNotifications)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+type subscribeReq struct {
+	Subscriber string `json:"subscriber"`
+	Kind       string `json:"kind"`
+	Value      string `json:"value"`
+}
+
+func (s *Service) handleSubscribe(add bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var body subscribeReq
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			http.Error(w, "bad json", http.StatusBadRequest)
+			return
+		}
+		kind := Kind(strings.ToLower(body.Kind))
+		switch kind {
+		case KindAccount, KindEmail, KindPhone:
+		default:
+			http.Error(w, "unknown kind", http.StatusBadRequest)
+			return
+		}
+		if body.Subscriber == "" || body.Value == "" {
+			http.Error(w, "subscriber and value required", http.StatusBadRequest)
+			return
+		}
+		if add {
+			s.Subscribe(body.Subscriber, kind, body.Value)
+		} else {
+			s.Unsubscribe(body.Subscriber, kind, body.Value)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (s *Service) handleNotifications(w http.ResponseWriter, req *http.Request) {
+	sub := req.URL.Query().Get("subscriber")
+	if sub == "" {
+		http.Error(w, "subscriber required", http.StatusBadRequest)
+		return
+	}
+	notes := s.Drain(sub)
+	if notes == nil {
+		notes = []Notification{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(notes)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ids, ingested, notified := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{
+		"identifiers": ids, "ingested": ingested, "notified": notified,
+	})
+}

@@ -1,0 +1,191 @@
+// Package notify implements the paper's proposed dox-notification service
+// (§7.1): a "Have I Been Pwned"-style registry where users register
+// identifiers (social accounts, emails, phone numbers) and are notified
+// when one appears in a detected dox file. As the paper specifies, the
+// service never stores or reveals *what* was shared — only that something
+// was, and where it was seen.
+//
+// Identifiers are stored as salted SHA-256 digests, so the registry itself
+// is not a new centralized source of sensitive data (§3.3's design rule).
+package notify
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"doxmeter/internal/extract"
+	"doxmeter/internal/netid"
+)
+
+// Kind is the identifier type a subscriber registers.
+type Kind string
+
+// Identifier kinds.
+const (
+	KindAccount Kind = "account" // network:username
+	KindEmail   Kind = "email"
+	KindPhone   Kind = "phone"
+)
+
+// Notification tells a subscriber that one of their identifiers appeared.
+type Notification struct {
+	SubscriberID string
+	Kind         Kind
+	Site         string // where the dox was observed
+	SeenAt       time.Time
+}
+
+// Service is the notification registry. Safe for concurrent use.
+type Service struct {
+	salt []byte
+
+	mu          sync.RWMutex
+	subscribers map[string]map[string]Kind // digest -> subscriberID -> kind
+	pending     map[string][]Notification  // subscriberID -> queue
+	notified    int
+	ingested    int
+}
+
+// NewService creates a registry with the given salt (required: an unsalted
+// registry of hashes over a small identifier space invites brute force).
+func NewService(salt string) *Service {
+	return &Service{
+		salt:        []byte(salt),
+		subscribers: make(map[string]map[string]Kind),
+		pending:     make(map[string][]Notification),
+	}
+}
+
+// digest computes the salted identifier digest.
+func (s *Service) digest(kind Kind, value string) string {
+	mac := hmac.New(sha256.New, s.salt)
+	mac.Write([]byte(string(kind) + "\x00" + normalize(kind, value)))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// normalize canonicalizes identifiers: emails and usernames lowercase,
+// phones digits-only.
+func normalize(kind Kind, v string) string {
+	v = strings.TrimSpace(v)
+	switch kind {
+	case KindPhone:
+		var b strings.Builder
+		for _, c := range v {
+			if c >= '0' && c <= '9' {
+				b.WriteRune(c)
+			}
+		}
+		d := b.String()
+		// NANP numbers with a leading country code normalize to 10 digits.
+		if len(d) == 11 && d[0] == '1' {
+			d = d[1:]
+		}
+		return d
+	default:
+		return strings.ToLower(v)
+	}
+}
+
+// Subscribe registers an identifier for a subscriber.
+func (s *Service) Subscribe(subscriberID string, kind Kind, value string) {
+	d := s.digest(kind, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subscribers[d] == nil {
+		s.subscribers[d] = make(map[string]Kind)
+	}
+	s.subscribers[d][subscriberID] = kind
+}
+
+// SubscribeAccount registers a social account.
+func (s *Service) SubscribeAccount(subscriberID string, ref netid.Ref) {
+	s.Subscribe(subscriberID, KindAccount, ref.Key())
+}
+
+// Unsubscribe removes one identifier registration.
+func (s *Service) Unsubscribe(subscriberID string, kind Kind, value string) {
+	d := s.digest(kind, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subscribers[d], subscriberID)
+	if len(s.subscribers[d]) == 0 {
+		delete(s.subscribers, d)
+	}
+}
+
+// Ingest processes one detected dox's extraction: every registered
+// identifier that appears is queued as a notification. It returns how many
+// notifications were generated.
+func (s *Service) Ingest(site string, seenAt time.Time, ex *extract.Extraction) int {
+	type hit struct {
+		digest string
+		kind   Kind
+	}
+	var hits []hit
+	for _, ref := range ex.AccountRefs() {
+		hits = append(hits, hit{s.digest(KindAccount, ref.Key()), KindAccount})
+	}
+	for _, e := range ex.Emails {
+		hits = append(hits, hit{s.digest(KindEmail, e), KindEmail})
+	}
+	for _, p := range ex.Phones {
+		hits = append(hits, hit{s.digest(KindPhone, p), KindPhone})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingested++
+	n := 0
+	for _, h := range hits {
+		for sub := range s.subscribers[h.digest] {
+			s.pending[sub] = append(s.pending[sub], Notification{
+				SubscriberID: sub,
+				Kind:         h.kind,
+				Site:         site,
+				SeenAt:       seenAt,
+			})
+			n++
+		}
+	}
+	s.notified += n
+	return n
+}
+
+// Drain returns and clears a subscriber's pending notifications.
+func (s *Service) Drain(subscriberID string) []Notification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending[subscriberID]
+	delete(s.pending, subscriberID)
+	return out
+}
+
+// Pending returns the number of undelivered notifications for a subscriber.
+func (s *Service) Pending(subscriberID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending[subscriberID])
+}
+
+// Stats reports service counters.
+func (s *Service) Stats() (identifiers, ingested, notified int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.subscribers), s.ingested, s.notified
+}
+
+// Subscribers lists subscriber IDs with pending notifications, sorted.
+func (s *Service) Subscribers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pending))
+	for id := range s.pending {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,164 @@
+package notify
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"doxmeter/internal/extract"
+	"doxmeter/internal/netid"
+)
+
+func exFromText(text string) *extract.Extraction { return extract.Extract(text) }
+
+func TestSubscribeAndIngest(t *testing.T) {
+	s := NewService("test-salt")
+	s.SubscribeAccount("alice", netid.Ref{Network: netid.Twitter, Username: "alicetw"})
+	s.Subscribe("alice", KindEmail, "Alice@Example.com")
+	s.Subscribe("bob", KindPhone, "(312) 555-0142")
+
+	ex := exFromText("Twitter: alicetw\nEmail: alice@example.com\nPhone: 312-555-0142")
+	n := s.Ingest("pastebin", time.Now(), ex)
+	if n != 3 {
+		t.Fatalf("notifications = %d, want 3 (account+email hit alice, phone hit bob)", n)
+	}
+	alice := s.Drain("alice")
+	if len(alice) != 2 {
+		t.Fatalf("alice queue = %d", len(alice))
+	}
+	bob := s.Drain("bob")
+	if len(bob) != 1 || bob[0].Kind != KindPhone {
+		t.Fatalf("bob queue = %v", bob)
+	}
+	// Drain empties.
+	if s.Pending("alice") != 0 || len(s.Drain("alice")) != 0 {
+		t.Error("drain did not clear the queue")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	s := NewService("x")
+	s.Subscribe("u", KindEmail, "USER@MAIL.COM")
+	s.Subscribe("u", KindPhone, "+1 (312) 555-0142")
+	ex := exFromText("Email: user@mail.com\nPhone: 312.555.0142")
+	if n := s.Ingest("site", time.Now(), ex); n != 2 {
+		t.Fatalf("normalized identifiers missed: %d hits", n)
+	}
+}
+
+func TestNoFalseNotifications(t *testing.T) {
+	s := NewService("x")
+	s.Subscribe("u", KindEmail, "someone@else.com")
+	ex := exFromText("Email: victim@mail.com\nTwitter: randomuser")
+	if n := s.Ingest("site", time.Now(), ex); n != 0 {
+		t.Fatalf("unrelated dox produced %d notifications", n)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	s := NewService("x")
+	s.Subscribe("u", KindEmail, "a@b.com")
+	s.Unsubscribe("u", KindEmail, "a@b.com")
+	if n := s.Ingest("site", time.Now(), exFromText("Email: a@b.com")); n != 0 {
+		t.Fatalf("unsubscribed identifier still notified: %d", n)
+	}
+}
+
+func TestSaltSeparatesRegistries(t *testing.T) {
+	a, b := NewService("salt-a"), NewService("salt-b")
+	if a.digest(KindEmail, "x@y.com") == b.digest(KindEmail, "x@y.com") {
+		t.Error("different salts produced identical digests")
+	}
+}
+
+func TestNoPlaintextStored(t *testing.T) {
+	s := NewService("x")
+	s.Subscribe("u", KindEmail, "secret-address@mail.com")
+	for d := range s.subscribers {
+		if bytes.Contains([]byte(d), []byte("secret")) {
+			t.Fatal("registry stores plaintext identifiers")
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := NewService("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Subscribe("sub", KindEmail, "a@b.com")
+				s.Ingest("site", time.Now(), exFromText("Email: a@b.com"))
+				s.Drain("sub")
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := NewService("x")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/subscribe", `{"subscriber":"s1","kind":"email","value":"a@b.com"}`); code != http.StatusNoContent {
+		t.Fatalf("subscribe = %d", code)
+	}
+	if code := post("/subscribe", `{"subscriber":"s1","kind":"bogus","value":"x"}`); code != http.StatusBadRequest {
+		t.Fatalf("bogus kind = %d", code)
+	}
+	if code := post("/subscribe", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", code)
+	}
+	if code := post("/subscribe", `{"subscriber":"","kind":"email","value":"x"}`); code != http.StatusBadRequest {
+		t.Fatalf("missing subscriber = %d", code)
+	}
+
+	s.Ingest("pastebin", time.Now(), exFromText("Email: a@b.com"))
+	resp, err := http.Get(srv.URL + "/notifications?subscriber=s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notes []Notification
+	if err := json.NewDecoder(resp.Body).Decode(&notes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(notes) != 1 || notes[0].Site != "pastebin" {
+		t.Fatalf("notes = %v", notes)
+	}
+	// GET without subscriber: 400.
+	resp, _ = http.Get(srv.URL + "/notifications")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing subscriber query = %d", resp.StatusCode)
+	}
+	// Stats endpoint.
+	resp, _ = http.Get(srv.URL + "/stats")
+	var stats map[string]int
+	_ = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats["ingested"] != 1 || stats["notified"] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	// Method check.
+	resp, _ = http.Get(srv.URL + "/subscribe")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET subscribe = %d", resp.StatusCode)
+	}
+}

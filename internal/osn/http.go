@@ -1,0 +1,92 @@
+package osn
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"doxmeter/internal/netid"
+)
+
+// Profile page markers. The monitor's scraper classifies account status
+// from these, the same way the paper's scraper read profile pages.
+const (
+	markerPrivate = "This account is private."
+)
+
+// Handler serves profile pages:
+//
+//	GET /{network}/{username}       — profile page. 200 with posts and
+//	    comments when public; 200 with a privacy notice when private;
+//	    404 when the account is inactive or does not exist.
+//	GET /instagram/id/{numeric}     — Instagram lookup by numeric ID
+//	    (random-sample support, §6.2.1). Same status semantics.
+//
+// Pages reflect the account's status at the universe's current virtual
+// time.
+func (u *Universe) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		parts := strings.Split(strings.Trim(req.URL.Path, "/"), "/")
+		switch {
+		case len(parts) == 3 && parts[0] == "instagram" && parts[1] == "id":
+			id, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			a, ok := u.ControlAccount(id)
+			if !ok {
+				http.NotFound(w, req)
+				return
+			}
+			u.renderProfile(w, req, a)
+		case len(parts) == 2:
+			n, ok := netid.FromSlug(parts[0])
+			if !ok {
+				http.NotFound(w, req)
+				return
+			}
+			a, ok := u.Lookup(netid.Ref{Network: n, Username: parts[1]})
+			if !ok {
+				http.NotFound(w, req)
+				return
+			}
+			u.renderProfile(w, req, a)
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}
+
+func (u *Universe) renderProfile(w http.ResponseWriter, req *http.Request, a *Account) {
+	now := u.clock.Now()
+	switch a.StatusAt(now) {
+	case Inactive:
+		http.NotFound(w, req)
+		return
+	case Private:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><body><h1>%s</h1><p>%s</p></body></html>",
+			html.EscapeString(a.Ref.Username), markerPrivate)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>%s</h1>\n<div class=\"activity\" data-posts=\"%d\"></div>\n",
+		html.EscapeString(a.Ref.Username), a.Activity)
+	if c := a.CompromisedAt(); !c.IsZero() && !now.Before(c) {
+		// Defaced profile (footnote 7): the takeover is visible to any
+		// scraper, though automating its detection reliably is hard.
+		b.WriteString("<div class=\"banner\">OWNED. this account belongs to us now.</div>\n")
+	}
+	b.WriteString("<div class=\"posts\">\n")
+	for i, c := range a.CommentsAt(now) {
+		fmt.Fprintf(&b, "<div class=\"comment\" data-author=\"%s\">%s</div>\n",
+			html.EscapeString(c.Author), html.EscapeString(c.Text))
+		_ = i
+	}
+	b.WriteString("</div></body></html>")
+	fmt.Fprint(w, b.String())
+}

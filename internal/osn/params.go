@@ -1,0 +1,125 @@
+package osn
+
+import (
+	"time"
+
+	"doxmeter/internal/netid"
+)
+
+// Era distinguishes account behaviour before and after a network deployed
+// anti-abuse filtering (paper §6.3). Facebook changed its feed algorithms
+// in August 2016; Instagram shipped comment filtering in early September
+// 2016 — both between the paper's two collection periods.
+type Era int
+
+// Eras.
+const (
+	PreFilter Era = iota
+	PostFilter
+)
+
+// String implements fmt.Stringer.
+func (e Era) String() string {
+	if e == PostFilter {
+		return "post-filter"
+	}
+	return "pre-filter"
+}
+
+// filterDeployedAt returns when each network's anti-abuse filtering went
+// live. Twitter's and YouTube's measured behaviour did not change between
+// periods (§6.3.3), so their deploy time is effectively "never" for
+// modeling purposes.
+func filterDeployedAt(n netid.Network) (time.Time, bool) {
+	switch n {
+	case netid.Facebook:
+		return time.Date(2016, time.September, 1, 0, 0, 0, 0, time.UTC), true
+	case netid.Instagram:
+		return time.Date(2016, time.September, 12, 0, 0, 0, 0, time.UTC), true
+	default:
+		return time.Time{}, false
+	}
+}
+
+// EraAt returns the filtering era for a network at an instant.
+func EraAt(n netid.Network, t time.Time) Era {
+	deploy, ok := filterDeployedAt(n)
+	if ok && !t.Before(deploy) {
+		return PostFilter
+	}
+	return PreFilter
+}
+
+// Reaction hazards for a doxed account, calibrated so the *measured*
+// Table 10 rows emerge from the monitor. Down is the probability the
+// account holder locks down (more private); Up is the probability an
+// initially-private account opens up (account compromise and dox reposts
+// predating first observation both present as "more public", §6.2.2);
+// Revert is the probability a locked-down account later returns to public.
+type reactionParams struct {
+	Down   float64
+	Up     float64
+	Revert float64
+}
+
+// reactions holds the per-network, per-era behaviour table. Sources:
+// Table 10 (% more private / % more public / % any change) and §6.3.3
+// (Twitter ~4% both eras; YouTube ~1% then 0).
+var reactions = map[netid.Network]map[Era]reactionParams{
+	netid.Facebook: {
+		PreFilter:  {Down: 0.24, Up: 0.12, Revert: 0.12},
+		PostFilter: {Down: 0.032, Up: 0.004, Revert: 0.10},
+	},
+	netid.Instagram: {
+		// Down is set above the Table 10 end-state target (17.2%) because
+		// reverts pull a share of lockdowns back to public before the
+		// period ends.
+		PreFilter:  {Down: 0.24, Up: 0.45, Revert: 0.45},
+		PostFilter: {Down: 0.062, Up: 0.08, Revert: 0.35},
+	},
+	netid.Twitter: {
+		PreFilter:  {Down: 0.075, Up: 0.15, Revert: 0.30},
+		PostFilter: {Down: 0.075, Up: 0.15, Revert: 0.30},
+	},
+	netid.YouTube: {
+		PreFilter:  {Down: 0.0075, Up: 0.01, Revert: 0.30},
+		PostFilter: {Down: 0.0075, Up: 0.01, Revert: 0.30},
+	},
+}
+
+// Background churn for non-doxed accounts: the paper's 13,392-account
+// Instagram control sample changed status at 0.1%/0.1% over the study
+// (Table 10 "Instagram Default").
+const (
+	backgroundDownRate = 0.001
+	backgroundUpRate   = 0.001
+)
+
+// Initial status mix for accounts referenced in dox files. Most are public
+// (that is how doxers found them); a slice are already private; a few are
+// dead by the time the dox is posted.
+const (
+	initialPrivateRate  = 0.18
+	initialInactiveRate = 0.02
+)
+
+// Reaction delay distribution in days after the dox appears, calibrated to
+// §6.3: 35.8% of more-private changes within 24 hours, 90.6% within the
+// first seven days, tail out to eight weeks.
+var delayDays = []struct {
+	day    int
+	weight float64
+}{
+	{0, 0.36}, {1, 0.18}, {2, 0.13}, {3, 0.10}, {4, 0.07}, {5, 0.04},
+	{6, 0.03}, {8, 0.02}, {10, 0.02}, {12, 0.02}, {17, 0.01},
+	{24, 0.01}, {38, 0.01},
+}
+
+// revertDelayDays is how long after the lockdown a reverting account
+// reopens.
+var revertDelayDays = []struct {
+	day    int
+	weight float64
+}{
+	{3, 0.2}, {7, 0.3}, {14, 0.25}, {21, 0.15}, {35, 0.1},
+}

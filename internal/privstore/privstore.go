@@ -1,0 +1,223 @@
+// Package privstore is the study's privacy-preserving datastore, built to
+// the paper's §3.3 design rule: "instead of creating a 'zipcode' column in
+// our database, we only recorded whether a dox file contained a zip code",
+// and "with the exception of the referenced online social networking
+// accounts, we did not extract or store any information taken from the
+// doxes". The goal is that a leaked research database teaches an attacker
+// nothing beyond the already-public dox files themselves.
+//
+// A Record therefore holds only: the source site, a coarse timestamp,
+// boolean category indicators, salted digests of the referenced accounts
+// (needed for de-duplication and monitoring joins), and aggregate-safe
+// metadata. Constructing a Record from raw pipeline output *sanitizes* it;
+// the raw text never enters the store. Export produces JSON that is
+// verifiably free of the sensitive values (see the tests' leak-hunt).
+package privstore
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"doxmeter/internal/label"
+	"doxmeter/internal/netid"
+)
+
+// Categories are the Table 6 boolean indicators — presence only, never the
+// values.
+type Categories struct {
+	Address    bool `json:"address,omitempty"`
+	Zip        bool `json:"zip,omitempty"`
+	Phone      bool `json:"phone,omitempty"`
+	Family     bool `json:"family,omitempty"`
+	Email      bool `json:"email,omitempty"`
+	DOB        bool `json:"dob,omitempty"`
+	School     bool `json:"school,omitempty"`
+	Usernames  bool `json:"usernames,omitempty"`
+	ISP        bool `json:"isp,omitempty"`
+	IP         bool `json:"ip,omitempty"`
+	Passwords  bool `json:"passwords,omitempty"`
+	Physical   bool `json:"physical,omitempty"`
+	Criminal   bool `json:"criminal,omitempty"`
+	SSN        bool `json:"ssn,omitempty"`
+	CreditCard bool `json:"credit_card,omitempty"`
+	Financial  bool `json:"financial,omitempty"`
+}
+
+// FromLabels converts analyst labels to stored indicators.
+func FromLabels(l label.Labels) Categories {
+	return Categories{
+		Address: l.Address, Zip: l.Zip, Phone: l.Phone, Family: l.Family,
+		Email: l.Email, DOB: l.DOB, School: l.School, Usernames: l.Usernames,
+		ISP: l.ISP, IP: l.IP, Passwords: l.Passwords, Physical: l.Physical,
+		Criminal: l.Criminal, SSN: l.SSN, CreditCard: l.CreditCard,
+		Financial: l.Financial,
+	}
+}
+
+// Record is one stored dox observation.
+type Record struct {
+	Site     string     `json:"site"`
+	SeenDay  string     `json:"seen_day"` // day precision only
+	Cats     Categories `json:"categories"`
+	Accounts []string   `json:"account_digests"` // salted HMAC digests
+	// AgeBracket is a 10-year bucket ("20-29"), never the exact age.
+	AgeBracket string `json:"age_bracket,omitempty"`
+	Gender     string `json:"gender,omitempty"`
+	USA        *bool  `json:"usa,omitempty"`
+}
+
+// Store accumulates records. Safe for concurrent use.
+type Store struct {
+	salt []byte
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// New creates a store with the given account-digest salt.
+func New(salt string) *Store {
+	return &Store{salt: []byte(salt)}
+}
+
+// DigestAccount produces the stored form of an account reference.
+func (s *Store) DigestAccount(ref netid.Ref) string {
+	mac := hmac.New(sha256.New, s.salt)
+	mac.Write([]byte(ref.Key()))
+	return hex.EncodeToString(mac.Sum(nil))[:32]
+}
+
+// Add sanitizes one detection into the store: the labels collapse to
+// booleans, the age to a bracket, the accounts to digests, the timestamp to
+// a day. Raw text is read here and discarded.
+func (s *Store) Add(site string, seenAt time.Time, l label.Labels, accounts []netid.Ref) Record {
+	rec := Record{
+		Site:    site,
+		SeenDay: seenAt.Format("2006-01-02"),
+		Cats:    FromLabels(l),
+	}
+	if l.Age > 0 {
+		rec.AgeBracket = bracket(l.Age)
+	}
+	switch l.Gender.String() {
+	case "Male", "Female", "Other":
+		rec.Gender = l.Gender.String()
+	}
+	if l.HasUSA || l.HasForeign {
+		usa := l.HasUSA
+		rec.USA = &usa
+	}
+	for _, ref := range accounts {
+		rec.Accounts = append(rec.Accounts, s.DigestAccount(ref))
+	}
+	sort.Strings(rec.Accounts)
+	s.mu.Lock()
+	s.records = append(s.records, rec)
+	s.mu.Unlock()
+	return rec
+}
+
+func bracket(age int) string {
+	lo := age / 10 * 10
+	switch {
+	case lo < 10:
+		return "<10"
+	case lo >= 70:
+		return "70+"
+	default:
+		return string(rune('0'+lo/10)) + "0-" + string(rune('0'+lo/10)) + "9"
+	}
+}
+
+// Len returns the stored record count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Export writes the store as JSON lines.
+func (s *Store) Export(w io.Writer) error {
+	s.mu.Lock()
+	records := make([]Record, len(s.records))
+	copy(records, s.records)
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Import reads JSON lines produced by Export.
+func Import(r io.Reader, salt string) (*Store, error) {
+	s := New(salt)
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.records = append(s.records, rec)
+		s.mu.Unlock()
+	}
+}
+
+// Aggregate recomputes the Table 6 aggregate from stored indicators — the
+// paper's analyses never need more than this.
+func (s *Store) Aggregate() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, r := range s.records {
+		out["records"]++
+		inc := func(k string, b bool) {
+			if b {
+				out[k]++
+			}
+		}
+		inc("address", r.Cats.Address)
+		inc("zip", r.Cats.Zip)
+		inc("phone", r.Cats.Phone)
+		inc("family", r.Cats.Family)
+		inc("email", r.Cats.Email)
+		inc("dob", r.Cats.DOB)
+		inc("school", r.Cats.School)
+		inc("usernames", r.Cats.Usernames)
+		inc("isp", r.Cats.ISP)
+		inc("ip", r.Cats.IP)
+		inc("passwords", r.Cats.Passwords)
+		inc("physical", r.Cats.Physical)
+		inc("criminal", r.Cats.Criminal)
+		inc("ssn", r.Cats.SSN)
+		inc("credit_card", r.Cats.CreditCard)
+		inc("financial", r.Cats.Financial)
+	}
+	return out
+}
+
+// ContainsAccount reports whether an account (by digest) appears in any
+// stored record — the join the monitor and notification services need.
+func (s *Store) ContainsAccount(ref netid.Ref) bool {
+	d := s.DigestAccount(ref)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.records {
+		for _, a := range r.Accounts {
+			if a == d {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package privstore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"doxmeter/internal/extract"
+	"doxmeter/internal/label"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/textgen"
+)
+
+func TestSanitization(t *testing.T) {
+	s := New("salt")
+	l := label.Labels{Address: true, Phone: true, SSN: true, Age: 23, Gender: sim.GenderMale, HasUSA: true}
+	rec := s.Add("pastebin", time.Date(2016, 7, 21, 13, 45, 0, 0, time.UTC), l,
+		[]netid.Ref{{Network: netid.Facebook, Username: "victim.name"}})
+	if rec.SeenDay != "2016-07-21" {
+		t.Errorf("timestamp not coarsened: %q", rec.SeenDay)
+	}
+	if rec.AgeBracket != "20-29" {
+		t.Errorf("age not bracketed: %q", rec.AgeBracket)
+	}
+	if !rec.Cats.Address || !rec.Cats.SSN {
+		t.Error("category indicators lost")
+	}
+	if len(rec.Accounts) != 1 || strings.Contains(rec.Accounts[0], "victim") {
+		t.Errorf("account not digested: %v", rec.Accounts)
+	}
+	if rec.USA == nil || !*rec.USA {
+		t.Error("USA indicator lost")
+	}
+}
+
+func TestBrackets(t *testing.T) {
+	cases := map[int]string{5: "<10", 10: "10-19", 19: "10-19", 23: "20-29", 45: "40-49", 69: "60-69", 70: "70+", 74: "70+"}
+	for age, want := range cases {
+		if got := bracket(age); got != want {
+			t.Errorf("bracket(%d) = %q, want %q", age, got, want)
+		}
+	}
+}
+
+// TestNoLeaks is the §3.3 guarantee: the exported store must not contain
+// any of the sensitive values that appeared in the dox files it was built
+// from.
+func TestNoLeaks(t *testing.T) {
+	w := sim.NewWorld(sim.Default(13, 0.02))
+	g := textgen.New(w)
+	r := rand.New(rand.NewSource(4))
+	s := New("store-salt")
+	victims := w.Victims[:80]
+	for _, v := range victims {
+		body := g.Dox(r, v).Body
+		l := label.Apply(body)
+		ex := extract.Extract(body)
+		s.Add("pastebin", time.Date(2016, 8, 1, 9, 30, 0, 0, time.UTC), l, ex.AccountRefs())
+	}
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, v := range victims {
+		for name, secret := range map[string]string{
+			"email":  v.Email,
+			"phone":  v.Phone,
+			"ip":     v.IP,
+			"street": v.Street,
+			"zip":    v.Zip,
+			"alias":  v.Alias,
+			"last":   v.LastName,
+		} {
+			if secret != "" && strings.Contains(dump, secret) {
+				t.Fatalf("store export leaks victim %d %s %q", v.ID, name, secret)
+			}
+		}
+		for _, u := range v.OSN {
+			if strings.Contains(dump, u) {
+				t.Fatalf("store export leaks account username %q", u)
+			}
+		}
+	}
+	if s.Len() != len(victims) {
+		t.Fatalf("stored %d of %d", s.Len(), len(victims))
+	}
+}
+
+func TestAggregateMatchesLabels(t *testing.T) {
+	s := New("x")
+	s.Add("a", time.Now(), label.Labels{Address: true, Phone: true}, nil)
+	s.Add("a", time.Now(), label.Labels{Address: true}, nil)
+	agg := s.Aggregate()
+	if agg["records"] != 2 || agg["address"] != 2 || agg["phone"] != 1 || agg["ssn"] != 0 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := New("x")
+	s.Add("pastebin", time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC),
+		label.Labels{Address: true, Age: 31, Gender: sim.GenderFemale},
+		[]netid.Ref{{Network: netid.Twitter, Username: "someone"}})
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Import(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("imported %d records", s2.Len())
+	}
+	agg := s2.Aggregate()
+	if agg["address"] != 1 {
+		t.Fatalf("round-trip aggregate = %v", agg)
+	}
+	if !s2.ContainsAccount(netid.Ref{Network: netid.Twitter, Username: "someone"}) {
+		t.Error("account join lost across round trip")
+	}
+	if s2.ContainsAccount(netid.Ref{Network: netid.Twitter, Username: "nobody"}) {
+		t.Error("phantom account matched")
+	}
+}
+
+func TestImportGarbage(t *testing.T) {
+	if _, err := Import(strings.NewReader("{not json"), "x"); err == nil {
+		t.Error("garbage import accepted")
+	}
+}
+
+func TestSaltedDigestsDiffer(t *testing.T) {
+	a, b := New("salt-a"), New("salt-b")
+	ref := netid.Ref{Network: netid.Facebook, Username: "same"}
+	if a.DigestAccount(ref) == b.DigestAccount(ref) {
+		t.Error("different salts produced identical digests")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	s := New("x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Add("site", time.Now(), label.Labels{Email: true}, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,266 @@
+package randutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	a := Derive(parent, "alpha")
+	parent2 := New(7)
+	b := Derive(parent2, "alpha")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("derived streams with same label diverged at %d", i)
+		}
+	}
+	// Different labels must give different streams.
+	c := Derive(New(7), "alpha")
+	d := Derive(New(7), "beta")
+	same := 0
+	for i := 0; i < 20; i++ {
+		if c.Int63() == d.Int63() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("derive with different labels produced identical streams")
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if Bool(r, 0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !Bool(r, 1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if Bool(r, -0.5) {
+			t.Fatal("Bool(negative) returned true")
+		}
+		if !Bool(r, 1.5) {
+			t.Fatal("Bool(>1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(2)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if Bool(r, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := IntRange(r, 5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d out of range", v)
+		}
+	}
+	if got := IntRange(r, 4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d, want 4", got)
+	}
+	if got := IntRange(r, 9, 5); got != 9 {
+		t.Fatalf("degenerate IntRange(9,5) = %d, want lo", got)
+	}
+}
+
+func TestIntRangeProperty(t *testing.T) {
+	r := New(11)
+	f := func(lo int16, span uint8) bool {
+		l := int(lo)
+		h := l + int(span)
+		v := IntRange(r, l, h)
+		return v >= l && v <= h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickAndPickN(t *testing.T) {
+	r := New(4)
+	items := []string{"a", "b", "c", "d"}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Pick(r, items)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Pick over 200 draws hit %d of 4 items", len(seen))
+	}
+	sub := PickN(r, items, 2)
+	if len(sub) != 2 {
+		t.Fatalf("PickN(2) returned %d items", len(sub))
+	}
+	if sub[0] == sub[1] {
+		t.Fatal("PickN returned duplicates")
+	}
+	all := PickN(r, items, 10)
+	if len(all) != 4 {
+		t.Fatalf("PickN(n>len) returned %d items, want all 4", len(all))
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(5)
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	Shuffle(r, items)
+	for _, v := range items {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle changed multiset: sum=%d", sum)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	r := New(6)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[Weighted(r, []float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("weighted ordering violated: %v", counts)
+	}
+	frac2 := float64(counts[2]) / 30000
+	if frac2 < 0.65 || frac2 > 0.75 {
+		t.Fatalf("weight-7 frequency = %.3f, want ~0.70", frac2)
+	}
+	if got := Weighted(r, []float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero weights chose %d, want 0", got)
+	}
+	if got := Weighted(r, []float64{-1, 0, 3}); got != 2 {
+		t.Fatalf("negative weights should be skipped, got %d", got)
+	}
+}
+
+func TestWeightedStringDeterministicOverKeys(t *testing.T) {
+	table := map[string]float64{"justice": 1, "revenge": 1, "political": 0, "competitive": 0}
+	a := WeightedString(New(9), table)
+	b := WeightedString(New(9), table)
+	if a != b {
+		t.Fatalf("WeightedString not deterministic: %q vs %q", a, b)
+	}
+	if table[a] == 0 {
+		t.Fatalf("WeightedString chose zero-weight key %q", a)
+	}
+}
+
+func TestNormalClamped(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5000; i++ {
+		v := NormalClamped(r, 20, 30, 0, 40)
+		if v < 0 || v > 40 {
+			t.Fatalf("NormalClamped out of bounds: %f", v)
+		}
+	}
+}
+
+func TestSkewedAge(t *testing.T) {
+	r := New(10)
+	n := 20000
+	sum := 0
+	min, max := 200, 0
+	for i := 0; i < n; i++ {
+		a := SkewedAge(r)
+		if a < 10 || a > 74 {
+			t.Fatalf("age %d outside paper range [10,74]", a)
+		}
+		sum += a
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 19.5 || mean < 19 || mean > 24.5 {
+		t.Fatalf("mean age = %.1f, want ~21.7 per paper Table 5", mean)
+	}
+	if min > 12 || max < 60 {
+		t.Fatalf("age range [%d,%d] lacks the paper's spread", min, max)
+	}
+}
+
+func TestDigitsAndWords(t *testing.T) {
+	r := New(12)
+	d := Digits(r, 9)
+	if len(d) != 9 {
+		t.Fatalf("Digits length %d", len(d))
+	}
+	for _, c := range d {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-digit %q", c)
+		}
+	}
+	w := LowerWord(r, 7)
+	if len(w) != 7 || strings.ToLower(w) != w {
+		t.Fatalf("LowerWord bad output %q", w)
+	}
+	h := HexString(r, 16)
+	if len(h) != 16 {
+		t.Fatalf("HexString length %d", len(h))
+	}
+	for _, c := range h {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("non-hex %q", c)
+		}
+	}
+}
+
+func TestPhoneFormats(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 200; i++ {
+		p := Phone(r)
+		digits := 0
+		for _, c := range p {
+			if c >= '0' && c <= '9' {
+				digits++
+			}
+		}
+		if digits != 10 && digits != 11 {
+			t.Fatalf("phone %q has %d digits", p, digits)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(14)
+	n := 20000
+	total := 0
+	for i := 0; i < n; i++ {
+		total += Poisson(r, 3.0)
+	}
+	mean := float64(total) / float64(n)
+	if math.Abs(mean-3.0) > 0.15 {
+		t.Fatalf("Poisson(3) sample mean = %.3f", mean)
+	}
+	if Poisson(r, 0) != 0 || Poisson(r, -1) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}

@@ -1,0 +1,225 @@
+// Package report renders the study's tables and figures as aligned text,
+// CSV, and ASCII strip charts — the output layer for cmd/doxbench and the
+// benchmark harness, mirroring the tables and figures in the paper's
+// evaluation section.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of rows.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+			if v != 0 && (v < 0.1 && v > -0.1) {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// AddRowF appends a row of preformatted cells.
+func (t *Table) AddRowF(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if w := utf8.RuneCountInString(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numeric-looking cells, left-align text.
+			if isNumeric(cell) {
+				b.WriteString(pad(cell, widths[i], true))
+			} else {
+				b.WriteString(pad(cell, widths[i], false))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := cols - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		b.WriteString("  note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int, right bool) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	fill := strings.Repeat(" ", w-n)
+	if right {
+		return fill + s
+	}
+	return s + fill
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' || c == '-' || c == '%' || c == ',' || c == '+' || c == '<' || c == '±':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string {
+	switch {
+	case frac == 0:
+		return "0.0"
+	case frac > 0 && frac < 0.001:
+		return "<0.1"
+	default:
+		return fmt.Sprintf("%.1f", frac*100)
+	}
+}
+
+// StripSeries renders a Figure 3 style status strip: one row per day, with
+// proportional bars of public (#), private (~) and inactive (x) accounts.
+type StripSeries struct {
+	Title string
+	Days  []StripDay
+}
+
+// StripDay is one day of counts.
+type StripDay struct {
+	Day      int
+	Public   int
+	Private  int
+	Inactive int
+}
+
+// String renders the strip with a fixed bar width.
+func (s StripSeries) String() string {
+	const width = 60
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title + "\n")
+	}
+	max := 0
+	for _, d := range s.Days {
+		if t := d.Public + d.Private + d.Inactive; t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		b.WriteString("  (no accounts changed status in this window)\n")
+		return b.String()
+	}
+	for _, d := range s.Days {
+		total := d.Public + d.Private + d.Inactive
+		pw := d.Public * width / max
+		prw := d.Private * width / max
+		iw := d.Inactive * width / max
+		fmt.Fprintf(&b, "  day %2d |%s%s%s| pub=%d priv=%d inact=%d\n",
+			d.Day,
+			strings.Repeat("#", pw), strings.Repeat("~", prw), strings.Repeat("x", iw),
+			d.Public, d.Private, d.Inactive)
+		_ = total
+	}
+	b.WriteString("  legend: # public   ~ private   x inactive/deleted\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1: Classifier", "Label", "Precision", "Recall")
+	tb.AddRow("Dox", 0.81, 0.89)
+	tb.AddRow("Not", 0.99, 0.98)
+	tb.AddNote("split: 2/3 train, 1/3 eval")
+	out := tb.String()
+	for _, want := range []string{"Table 1: Classifier", "Label", "Dox", "Not", "note: split"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: header row and data rows have the same prefix width
+	// before the second column.
+	lines := strings.Split(out, "\n")
+	hdrIdx := strings.Index(lines[1], "Precision")
+	rowIdx := strings.Index(lines[3], "0.8")
+	if hdrIdx < 0 || rowIdx < 0 {
+		t.Fatalf("layout unexpected:\n%s", out)
+	}
+}
+
+func TestTableSmallFloats(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow("tiny", 0.002)
+	if !strings.Contains(tb.String(), "0.002") {
+		t.Errorf("small float lost precision:\n%s", tb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRowF("plain", `has "quotes", and commas`)
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, `"has ""quotes"", and commas"`) {
+		t.Errorf("csv escaping wrong: %q", csv)
+	}
+}
+
+func TestPct(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0.0",
+		0.0005: "<0.1",
+		0.128:  "12.8",
+		0.9:    "90.0",
+	}
+	for in, want := range cases {
+		if got := Pct(in); got != want {
+			t.Errorf("Pct(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripSeries(t *testing.T) {
+	s := StripSeries{
+		Title: "Facebook pre-filter",
+		Days: []StripDay{
+			{Day: 0, Public: 40, Private: 2, Inactive: 1},
+			{Day: 14, Public: 20, Private: 15, Inactive: 8},
+		},
+	}
+	out := s.String()
+	for _, want := range []string{"Facebook pre-filter", "day  0", "day 14", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strip missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "~") || !strings.Contains(out, "x") {
+		t.Errorf("strip missing bar glyphs:\n%s", out)
+	}
+	empty := StripSeries{Days: []StripDay{{Day: 0}}}
+	if !strings.Contains(empty.String(), "no accounts") {
+		t.Error("empty strip should say so")
+	}
+}
+
+func TestIsNumericAlignment(t *testing.T) {
+	if !isNumeric("12.8") || !isNumeric("-3") || !isNumeric("90.1%") {
+		t.Error("numeric cells misdetected")
+	}
+	if isNumeric("Dox") || isNumeric("") || isNumeric("-") {
+		t.Error("text cells misdetected as numeric")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := NewTable("", "metric", "value")
+	tb.AddRowF("flagged", "0.36±0.06")
+	tb.AddRowF("longer-name", "12.3")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines align: the value column starts at the same rune
+	// offset regardless of the ± rune.
+	if len(lines) < 4 {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	if !strings.Contains(out, "0.36±0.06") {
+		t.Fatalf("value lost:\n%s", out)
+	}
+	if !isNumeric("0.36±0.06") || !isNumeric("<0.1") {
+		t.Error("numeric detection misses ± or < cells")
+	}
+}

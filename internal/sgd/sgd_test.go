@@ -1,0 +1,227 @@
+package sgd
+
+import (
+	"math/rand"
+	"testing"
+
+	"doxmeter/internal/tfidf"
+)
+
+// separableData builds a linearly separable sparse dataset: positive docs
+// use features [0,dim/2), negatives use [dim/2,dim).
+func separableData(r *rand.Rand, n, dim int) ([]tfidf.Vector, []int) {
+	X := make([]tfidf.Vector, n)
+	y := make([]int, n)
+	for i := range X {
+		base := 0
+		y[i] = 1
+		if i%2 == 1 {
+			base = dim / 2
+			y[i] = -1
+		}
+		var v tfidf.Vector
+		for j := 0; j < 5; j++ {
+			v = append(v, tfidf.Feature{Index: base + r.Intn(dim/2), Value: 1})
+		}
+		// sort+dedupe by index
+		for a := 1; a < len(v); a++ {
+			for b := a; b > 0 && v[b].Index < v[b-1].Index; b-- {
+				v[b], v[b-1] = v[b-1], v[b]
+			}
+		}
+		X[i] = v
+	}
+	return X, y
+}
+
+func TestFitSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	X, y := separableData(r, 400, 100)
+	c := New(100, Options{})
+	if err := c.Fit(r, X, y); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, x := range X {
+		if c.Predict(x) != y[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(X)); frac > 0.02 {
+		t.Fatalf("training error %.3f on separable data", frac)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	X, y := separableData(r, 400, 80)
+	c := New(80, Options{Loss: Log})
+	if err := c.Fit(r, X, y); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, x := range X {
+		if c.Predict(x) != y[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(X)); frac > 0.05 {
+		t.Fatalf("log-loss training error %.3f", frac)
+	}
+}
+
+func TestGeneralization(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	X, y := separableData(r, 600, 120)
+	trainX, trainY := X[:400], y[:400]
+	testX, testY := X[400:], y[400:]
+	c := New(120, Options{})
+	if err := c.Fit(r, trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, x := range testX {
+		if c.Predict(x) != testY[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(testX)); frac > 0.05 {
+		t.Fatalf("test error %.3f", frac)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := New(10, Options{})
+	if err := c.Fit(r, nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if err := c.Fit(r, make([]tfidf.Vector, 3), make([]int, 2)); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Alpha != 1e-4 {
+		t.Errorf("default alpha = %g, want 1e-4 (sklearn default)", o.Alpha)
+	}
+	if o.Epochs != 20 {
+		t.Errorf("default epochs = %d, want 20 (paper §3.1.2)", o.Epochs)
+	}
+	if o.Loss != Hinge {
+		t.Errorf("default loss = %v, want hinge", o.Loss)
+	}
+	if Hinge.String() != "hinge" || Log.String() != "log" {
+		t.Error("loss strings wrong")
+	}
+}
+
+func TestThresholdShiftsBoundary(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	X, y := separableData(r, 300, 60)
+	c := New(60, Options{})
+	if err := c.Fit(r, X, y); err != nil {
+		t.Fatal(err)
+	}
+	// A strongly negative threshold flags everything positive; a strongly
+	// positive one flags nothing.
+	posLo, posHi := 0, 0
+	for _, x := range X {
+		if c.PredictThreshold(x, -100) == 1 {
+			posLo++
+		}
+		if c.PredictThreshold(x, 100) == 1 {
+			posHi++
+		}
+	}
+	if posLo != len(X) {
+		t.Errorf("threshold -100 flagged %d/%d positive", posLo, len(X))
+	}
+	if posHi != 0 {
+		t.Errorf("threshold +100 flagged %d positive", posHi)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := separableData(rand.New(rand.NewSource(6)), 200, 50)
+	a := New(50, Options{})
+	_ = a.Fit(rand.New(rand.NewSource(7)), X, y)
+	b := New(50, Options{})
+	_ = b.Fit(rand.New(rand.NewSource(7)), X, y)
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatal("training not deterministic under identical seeds")
+		}
+	}
+	if a.Intercept != b.Intercept {
+		t.Fatal("intercepts differ")
+	}
+}
+
+func TestMoreEpochsNotWorse(t *testing.T) {
+	X, y := separableData(rand.New(rand.NewSource(8)), 400, 100)
+	trainErr := func(epochs int) float64 {
+		c := New(100, Options{Epochs: epochs})
+		_ = c.Fit(rand.New(rand.NewSource(9)), X, y)
+		errs := 0
+		for i, x := range X {
+			if c.Predict(x) != y[i] {
+				errs++
+			}
+		}
+		return float64(errs) / float64(len(X))
+	}
+	if e20, e1 := trainErr(20), trainErr(1); e20 > e1+0.02 {
+		t.Errorf("20-epoch error %.3f worse than 1-epoch %.3f", e20, e1)
+	}
+}
+
+func TestDecisionUnseenFeatureIndexes(t *testing.T) {
+	c := New(5, Options{})
+	c.Weights = []float64{1, 1, 1, 1, 1}
+	// Features beyond the weight vector must be ignored, not panic.
+	x := tfidf.Vector{{Index: 2, Value: 1}, {Index: 99, Value: 5}}
+	if got := c.Decision(x); got != 1 {
+		t.Errorf("Decision = %f, want 1 (unseen index ignored)", got)
+	}
+}
+
+func TestClassImbalanceStillLearns(t *testing.T) {
+	// 10:1 imbalance like the paper's 749:4220 training set.
+	r := rand.New(rand.NewSource(10))
+	var X []tfidf.Vector
+	var y []int
+	for i := 0; i < 1100; i++ {
+		var base int
+		label := -1
+		if i%11 == 0 {
+			base = 0
+			label = 1
+		} else {
+			base = 30
+		}
+		X = append(X, tfidf.Vector{
+			{Index: base + r.Intn(30), Value: 0.7},
+			{Index: base + r.Intn(30), Value: 0.7},
+		})
+		y = append(y, label)
+	}
+	c := New(60, Options{})
+	if err := c.Fit(r, X, y); err != nil {
+		t.Fatal(err)
+	}
+	var tp, fn int
+	for i, x := range X {
+		if y[i] == 1 {
+			if c.Predict(x) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
+	if recall := float64(tp) / float64(tp+fn); recall < 0.9 {
+		t.Errorf("minority recall %.3f under 10:1 imbalance", recall)
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import "doxmeter/internal/netid"
+
+// Config calibrates the synthetic world to the paper's reported statistics.
+// Every number here is traceable to a table or sentence in the paper; the
+// experiments then *measure* these quantities back out through the real
+// pipeline rather than echoing them.
+type Config struct {
+	Seed int64
+
+	// Scale multiplies all corpus volumes. The paper processed 1,737,887
+	// files; Scale=1 reproduces that, Scale=0.05 gives a laptop-scale run
+	// (~87k files) whose percentages match. Victim and dox counts scale
+	// with it; the doxer population does not (the paper's 251 credited
+	// aliases are a property of the community, not of corpus size).
+	Scale float64
+
+	// Corpus volumes at Scale=1, per source and period (paper Figure 1 and
+	// Table 4: 484,185 period-1 files, 1,253,702 period-2 files).
+	PastebinP1   int
+	PastebinP2   int
+	FourchanB    int
+	FourchanPol  int
+	EightchPol   int
+	EightchBapho int
+
+	// Dox counts at Scale=1 (Table 4: 2,976 period-1 doxes, 2,554 period-2).
+	DoxesP1 int
+	DoxesP2 int
+
+	// Duplicate structure (§3.1.4: 214 exact duplicates, 788 near
+	// duplicates, 1,002 total of 5,530).
+	ExactDupFraction float64 // fraction of dox posts that are exact reposts
+	NearDupFraction  float64 // fraction that are near-duplicate reposts
+
+	// Training-set sizes (§3.1.2: 749 positive, 4,220 negative).
+	TrainPositives int
+	TrainNegatives int
+
+	// Demographics (Table 5).
+	PFemale float64
+	PMale   float64
+	POther  float64
+	PUSA    float64 // of victims with a listed address
+
+	// Sensitive-category inclusion probabilities (Table 6, of 464 labeled).
+	PAddress    float64
+	PZip        float64 // conditional on address
+	PPhone      float64
+	PFamily     float64
+	PEmail      float64
+	PDOB        float64
+	PSchool     float64
+	PUsernames  float64
+	PISP        float64
+	PIP         float64
+	PPasswords  float64
+	PPhysical   float64
+	PCriminal   float64
+	PSSN        float64
+	PCreditCard float64
+	PFinancial  float64
+
+	// Community membership (Table 7, of 464 labeled).
+	PGamer     float64
+	PHacker    float64
+	PCelebrity float64
+
+	// Stated motivation (Table 8, of 464 labeled).
+	PMotiveCompetitive float64
+	PMotiveRevenge     float64
+	PMotiveJustice     float64
+	PMotivePolitical   float64
+
+	// OSN inclusion rates for wild doxes (Table 9) and for the richer
+	// dox-for-hire proof-of-work files used as training data (Table 2).
+	WildOSNRates map[netid.Network]float64
+	RichOSNRates map[netid.Network]float64
+
+	// Geo-validation mix (§4.1: of 36 doxes with both IP and postal
+	// address — 4 exact, 28 same-region, 1 adjacent, 3 far).
+	PGeoExact    float64
+	PGeoSame     float64
+	PGeoAdjacent float64
+
+	// Doxer community (§5.3.2: 251 credited aliases, 213 with Twitter
+	// handles, 34 of those private; crews sized so 61 doxers sit in
+	// cliques of ≥4 with a maximum clique of 11).
+	NumDoxers          int
+	TwitterHandleRate  float64
+	PrivateTwitterRate float64
+	CrewSizes          []int
+}
+
+// Default returns the paper-calibrated configuration at the given scale.
+func Default(seed int64, scale float64) Config {
+	return Config{
+		Seed:  seed,
+		Scale: scale,
+
+		PastebinP1:   484185,
+		PastebinP2:   967800, // 1.45M pastebin total (Figure 1) minus period 1
+		FourchanB:    138000,
+		FourchanPol:  144000,
+		EightchPol:   3400,
+		EightchBapho: 512,
+
+		DoxesP1: 2976,
+		DoxesP2: 2554,
+
+		ExactDupFraction: 214.0 / 5530.0,
+		NearDupFraction:  788.0 / 5530.0,
+
+		TrainPositives: 749,
+		TrainNegatives: 4220,
+
+		PFemale: 0.163,
+		PMale:   0.822,
+		POther:  0.004,
+		PUSA:    0.645,
+
+		PAddress:    0.901,
+		PZip:        0.543, // 48.9% overall / 90.1% with address
+		PPhone:      0.612,
+		PFamily:     0.506,
+		PEmail:      0.537,
+		PDOB:        0.334,
+		PSchool:     0.103,
+		PUsernames:  0.401,
+		PISP:        0.216,
+		PIP:         0.403,
+		PPasswords:  0.086,
+		PPhysical:   0.026,
+		PCriminal:   0.013,
+		PSSN:        0.026,
+		PCreditCard: 0.043,
+		PFinancial:  0.088,
+
+		PGamer:     0.114,
+		PHacker:    0.037,
+		PCelebrity: 0.011,
+
+		PMotiveCompetitive: 0.015,
+		PMotiveRevenge:     0.112,
+		PMotiveJustice:     0.147,
+		PMotivePolitical:   0.011,
+
+		WildOSNRates: map[netid.Network]float64{
+			netid.Facebook:   0.178,
+			netid.GooglePlus: 0.073,
+			netid.Twitter:    0.081,
+			netid.Instagram:  0.075,
+			netid.YouTube:    0.057,
+			netid.Twitch:     0.033,
+			netid.Skype:      0.12,
+		},
+		RichOSNRates: map[netid.Network]float64{
+			netid.Facebook:   0.480,
+			netid.GooglePlus: 0.184,
+			netid.Twitter:    0.344,
+			netid.Instagram:  0.112,
+			netid.YouTube:    0.400,
+			netid.Twitch:     0.096,
+			netid.Skype:      0.552,
+		},
+
+		PGeoExact:    4.0 / 36.0,
+		PGeoSame:     28.0 / 36.0,
+		PGeoAdjacent: 1.0 / 36.0,
+
+		NumDoxers:          251,
+		TwitterHandleRate:  213.0 / 251.0,
+		PrivateTwitterRate: 34.0 / 213.0,
+		// 11+9+8+7+6+6+5+5+4 = 61 doxers in cliques of >=4 (Figure 2).
+		CrewSizes: []int{11, 9, 8, 7, 6, 6, 5, 5, 4, 3, 3, 3, 2, 2, 2, 2},
+	}
+}
+
+// ScaledPastebinP1 and friends return the per-source corpus volumes after
+// applying Scale, with a floor of 1 so tiny scales still exercise every
+// source.
+func (c Config) ScaledPastebinP1() int   { return scaleCount(c.PastebinP1, c.Scale) }
+func (c Config) ScaledPastebinP2() int   { return scaleCount(c.PastebinP2, c.Scale) }
+func (c Config) ScaledFourchanB() int    { return scaleCount(c.FourchanB, c.Scale) }
+func (c Config) ScaledFourchanPol() int  { return scaleCount(c.FourchanPol, c.Scale) }
+func (c Config) ScaledEightchPol() int   { return scaleCount(c.EightchPol, c.Scale) }
+func (c Config) ScaledEightchBapho() int { return scaleCount(c.EightchBapho, c.Scale) }
+func (c Config) ScaledDoxesP1() int      { return scaleCount(c.DoxesP1, c.Scale) }
+func (c Config) ScaledDoxesP2() int      { return scaleCount(c.DoxesP2, c.Scale) }
+
+// ScaledTotalFiles is the expected total corpus size after scaling.
+func (c Config) ScaledTotalFiles() int {
+	return c.ScaledPastebinP1() + c.ScaledPastebinP2() + c.ScaledFourchanB() +
+		c.ScaledFourchanPol() + c.ScaledEightchPol() + c.ScaledEightchBapho()
+}
+
+func scaleCount(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,139 @@
+package sim
+
+// Data banks for identity synthesis. Entries are generic and chosen for
+// realism of *shape* (lengths, casing, token structure) — the extractor and
+// classifier only ever see the rendered text, never these tables.
+
+var maleFirstNames = []string{
+	"James", "John", "Robert", "Michael", "William", "David", "Richard",
+	"Joseph", "Thomas", "Charles", "Christopher", "Daniel", "Matthew",
+	"Anthony", "Mark", "Donald", "Steven", "Paul", "Andrew", "Joshua",
+	"Kenneth", "Kevin", "Brian", "George", "Timothy", "Ronald", "Jason",
+	"Edward", "Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas", "Eric",
+	"Jonathan", "Stephen", "Larry", "Justin", "Scott", "Brandon", "Benjamin",
+	"Samuel", "Gregory", "Alexander", "Patrick", "Frank", "Raymond", "Jack",
+	"Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry",
+	"Zachary", "Douglas", "Peter", "Kyle", "Noah", "Ethan", "Jeremy",
+	"Christian", "Walter", "Keith", "Austin", "Roger", "Terry", "Sean",
+	"Gerald", "Carl", "Dylan", "Harold", "Jordan", "Jesse", "Bryan",
+	"Lawrence", "Arthur", "Gabriel", "Bruce", "Logan", "Billy", "Joe",
+	"Alan", "Juan", "Elijah", "Willie", "Albert", "Wayne", "Randy",
+	"Mason", "Vincent", "Liam", "Roy", "Bobby", "Caleb", "Bradley",
+}
+
+var femaleFirstNames = []string{
+	"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara", "Susan",
+	"Jessica", "Sarah", "Karen", "Lisa", "Nancy", "Betty", "Sandra",
+	"Margaret", "Ashley", "Kimberly", "Emily", "Donna", "Michelle", "Carol",
+	"Amanda", "Melissa", "Deborah", "Stephanie", "Rebecca", "Sharon", "Laura",
+	"Cynthia", "Dorothy", "Amy", "Kathleen", "Angela", "Shirley", "Emma",
+	"Brenda", "Pamela", "Nicole", "Anna", "Samantha", "Katherine", "Christine",
+	"Debra", "Rachel", "Carolyn", "Janet", "Maria", "Olivia", "Heather",
+	"Helen", "Catherine", "Diane", "Julie", "Victoria", "Joyce", "Lauren",
+	"Kelly", "Christina", "Ruth", "Joan", "Virginia", "Judith", "Evelyn",
+	"Hannah", "Andrea", "Megan", "Cheryl", "Jacqueline", "Madison", "Teresa",
+	"Abigail", "Sophia", "Martha", "Sara", "Gloria", "Janice", "Kathryn",
+	"Ann", "Isabella", "Judy", "Charlotte", "Julia", "Grace", "Amber",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+	"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+	"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+}
+
+var streetNames = []string{
+	"Maple", "Oak", "Cedar", "Pine", "Elm", "Washington", "Lake", "Hill",
+	"Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Park",
+	"Sunset", "Railroad", "Jackson", "Highland", "Mill", "Forest", "River",
+	"Meadow", "Chestnut", "Franklin", "Jefferson", "Dogwood", "Hickory",
+	"Valley", "Prospect", "Birch", "Cherry", "Lincoln", "Madison", "Grant",
+}
+
+var streetSuffixes = []string{"St", "Ave", "Dr", "Rd", "Ln", "Blvd", "Ct", "Way", "Pl"}
+
+var ispNames = []string{
+	"Comcast Cable", "Charter Communications", "AT&T U-verse", "Verizon Fios",
+	"Time Warner Cable", "Cox Communications", "CenturyLink", "Frontier",
+	"Optimum Online", "Windstream", "Mediacom", "Suddenlink", "WOW Internet",
+	"RCN", "Cable One", "EarthLink", "Sonic.net", "Google Fiber",
+	"British Telecom", "Virgin Media", "Rogers", "Bell Canada", "Telstra",
+	"Deutsche Telekom", "Ziggo", "Telia", "Orange", "Vivo",
+}
+
+var emailDomains = []string{
+	"gmail.com", "yahoo.com", "hotmail.com", "aol.com", "outlook.com",
+	"icloud.com", "live.com", "mail.com", "protonmail.com", "yandex.com",
+	"gmx.com", "zoho.com", "comcast.net", "verizon.net", "att.net",
+}
+
+var schoolNames = []string{
+	"Lincoln High School", "Washington High School", "Roosevelt Middle School",
+	"Jefferson High School", "Central High School", "East Side High School",
+	"Riverside Community College", "Kennedy High School", "Franklin Academy",
+	"Northview High School", "Westfield High School", "Oakwood High School",
+	"State University", "City College", "Valley Technical Institute",
+	"Hamilton High School", "Monroe High School", "Springfield High School",
+}
+
+// aliasAdjectives and aliasNouns build screen names.
+var aliasAdjectives = []string{
+	"dark", "shadow", "toxic", "silent", "frozen", "crimson", "savage",
+	"ghost", "cyber", "neon", "lucid", "rogue", "void", "primal", "static",
+	"feral", "grim", "hollow", "iron", "jaded", "killer", "lone", "mad",
+	"nova", "omega", "phantom", "quick", "rabid", "slick", "turbo",
+	"ultra", "venom", "wicked", "xeno", "zero", "blaze", "chaos", "drift",
+}
+
+var aliasNouns = []string{
+	"wolf", "sniper", "reaper", "blade", "hawk", "viper", "storm", "raven",
+	"dragon", "knight", "hunter", "demon", "angel", "ninja", "samurai",
+	"wizard", "phoenix", "tiger", "cobra", "falcon", "ghost", "spectre",
+	"rider", "slayer", "smoke", "spider", "titan", "widow", "wraith",
+	"jester", "joker", "king", "lord", "master", "pilot", "punk", "rat",
+}
+
+// gamingSites deliberately excludes twitch.tv: Twitch is one of the six
+// tracked OSNs, and a community line like "twitch.tv/alias" would collide
+// with the OSN URL extractor.
+var gamingSites = []string{
+	"steamcommunity.com", "gamebattles.com", "minecraftforum.net", "speedrun.com",
+	"osu.ppy.sh", "battlelog.battlefield.com", "op.gg", "xboxgamertag.com",
+	"psnprofiles.com", "faceit.com", "esea.net", "smashboards.com",
+	"curseforge.com", "roblox.com", "runescape.com",
+}
+
+var hackingSites = []string{
+	"hackforums.net", "nulled.io", "raidforums.io", "exploit.in",
+	"0x00sec.org", "greysec.net", "cracked.to", "leakforums.net",
+	"binrev.com", "evilzone.org",
+}
+
+var celebrityRoles = []string{
+	"twitch streamer with 2M followers", "presidential candidate",
+	"hollywood actor", "CEO of a Fortune 500 company", "famous youtuber",
+	"pro esports player", "reality TV personality", "platinum recording artist",
+	"NBA player", "senator",
+}
+
+// crewNames label doxing teams; they appear in dox "credits" sections.
+var crewNames = []string{
+	"GhostSquad", "NullCrew", "DoxDivision", "TeamVoid", "CrewZero",
+	"ShadowSyndicate", "BlackoutBrigade", "SpectreUnit", "KaosKlan",
+	"VenomVault", "IronOrder", "GrimGuild", "EchoSect", "RogueLegion",
+	"PhantomCell", "StaticStorm", "OmegaOutfit", "NovaNet", "FeralFaction",
+	"LucidLords", "PrimalPack", "HollowHive", "JadedJackals", "WickedWing",
+	"TurboTribe", "XenoXube", "DriftDen", "BlazeBattalion", "ChaosCartel",
+	"MadMob",
+}

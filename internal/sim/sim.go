@@ -1,0 +1,557 @@
+// Package sim is the ground-truth world model behind the synthetic study.
+//
+// The paper measured real people doxed on real paste sites. We cannot (and
+// must not) use real victim data, so this package synthesizes a population
+// of victims with the demographic and content structure the paper reports,
+// plus the doxer community that attacks them. Everything downstream — the
+// corpus generator, the simulated sites and social networks, the pipeline,
+// and the benchmarks — is derived from a World, making every experiment
+// deterministic and every measured number checkable against known ground
+// truth.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"doxmeter/internal/geo"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/randutil"
+)
+
+// Gender is the victim gender recorded in dox files (Table 5).
+type Gender int
+
+// Genders, including Unstated for doxes with no gender marker.
+const (
+	GenderUnstated Gender = iota
+	GenderMale
+	GenderFemale
+	GenderOther
+)
+
+// String implements fmt.Stringer.
+func (g Gender) String() string {
+	switch g {
+	case GenderMale:
+		return "Male"
+	case GenderFemale:
+		return "Female"
+	case GenderOther:
+		return "Other"
+	default:
+		return "Unstated"
+	}
+}
+
+// Community classifies the victim per the paper's §5.2.3 rules.
+type Community int
+
+// Communities. None covers the 75%+ of victims the paper could not classify.
+const (
+	CommunityNone Community = iota
+	CommunityGamer
+	CommunityHacker
+	CommunityCelebrity
+)
+
+// String implements fmt.Stringer.
+func (c Community) String() string {
+	switch c {
+	case CommunityGamer:
+		return "Gamer"
+	case CommunityHacker:
+		return "Hacker"
+	case CommunityCelebrity:
+		return "Celebrity"
+	default:
+		return "None"
+	}
+}
+
+// Motive is the doxer's stated motivation (Table 8).
+type Motive int
+
+// Motives. None covers the ~72% of doxes with no stated motivation.
+const (
+	MotiveNone Motive = iota
+	MotiveCompetitive
+	MotiveRevenge
+	MotiveJustice
+	MotivePolitical
+)
+
+// String implements fmt.Stringer.
+func (m Motive) String() string {
+	switch m {
+	case MotiveCompetitive:
+		return "Competitive"
+	case MotiveRevenge:
+		return "Revenge"
+	case MotiveJustice:
+		return "Justice"
+	case MotivePolitical:
+		return "Political"
+	default:
+		return "None"
+	}
+}
+
+// SensitiveFields records which categories of information a victim's dox
+// discloses (Table 6). Decided once per victim so that reposted duplicates
+// agree, as the paper observed.
+type SensitiveFields struct {
+	Address    bool
+	Zip        bool
+	Phone      bool
+	Family     bool
+	Email      bool
+	DOB        bool
+	School     bool
+	Usernames  bool
+	ISP        bool
+	IP         bool
+	Passwords  bool
+	Physical   bool
+	Criminal   bool
+	SSN        bool
+	CreditCard bool
+	Financial  bool
+}
+
+// SiteAccount is a non-OSN web community account (gaming or hacking site)
+// used for §5.2.3 community classification.
+type SiteAccount struct {
+	Site     string
+	Username string
+}
+
+// Victim is one doxing target with full ground truth.
+type Victim struct {
+	ID        int
+	FirstName string
+	LastName  string
+	Gender    Gender
+	Age       int
+	DOB       time.Time
+	Alias     string // primary screen name
+
+	Region  geo.Region
+	City    string
+	Street  string
+	Zip     string
+	Country string
+
+	Email string
+	Phone string
+	IP    string
+	ISP   string
+
+	Fields    SensitiveFields
+	Community Community
+	Motive    Motive
+
+	// OSN lists the social accounts the dox will reference. Key presence
+	// == the dox includes that network.
+	OSN map[netid.Network]string
+	// CommunityAccounts are gaming/hacking site handles (>=2 triggers the
+	// paper's community rule) or a celebrity descriptor.
+	CommunityAccounts []SiteAccount
+	CelebrityRole     string
+
+	// GeoTruth records how the victim's listed IP relates to their postal
+	// address, for the §4.1 validation.
+	GeoTruth geo.Proximity
+
+	// FamilyMembers are relatives named in the dox.
+	FamilyMembers []string
+
+	// Rich marks dox-for-hire proof-of-work victims (training set), whose
+	// doxes carry the higher Table 2 OSN inclusion rates.
+	Rich bool
+}
+
+// FullName returns "First Last".
+func (v *Victim) FullName() string { return v.FirstName + " " + v.LastName }
+
+// Doxer is a member of the doxing community, identified by alias.
+type Doxer struct {
+	ID             int
+	Alias          string
+	TwitterHandle  string // empty if none
+	TwitterPrivate bool
+	Crew           int // -1 for solo doxers
+}
+
+// World is the complete ground truth for one study run.
+type World struct {
+	Cfg     Config
+	Geo     *geo.DB
+	Victims []*Victim
+	// TrainVictims back the positive training corpus (dox-for-hire
+	// proof-of-work archives) and the extractor's hand-labeled sample.
+	TrainVictims []*Victim
+	Doxers       []*Doxer
+	// Follows holds directed doxer Twitter follow edges as [from][to].
+	Follows map[int]map[int]bool
+
+	rng           *rand.Rand
+	exampleSerial int
+}
+
+// NewWorld builds a world from the configuration.
+func NewWorld(cfg Config) *World {
+	root := randutil.New(cfg.Seed)
+	w := &World{
+		Cfg:     cfg,
+		Geo:     geo.NewDB(),
+		Follows: make(map[int]map[int]bool),
+		rng:     root,
+	}
+	vr := randutil.Derive(root, "victims")
+	nVictims := scaleCount(cfg.DoxesP1+cfg.DoxesP2, cfg.Scale)
+	// Victims map 1:1 to non-duplicate doxes; duplicates re-target.
+	nUnique := nVictims - int(float64(nVictims)*(cfg.ExactDupFraction+cfg.NearDupFraction))
+	if nUnique < 1 {
+		nUnique = 1
+	}
+	w.Victims = make([]*Victim, nUnique)
+	for i := range w.Victims {
+		w.Victims[i] = w.newVictim(vr, i, false)
+	}
+	tr := randutil.Derive(root, "trainvictims")
+	w.TrainVictims = make([]*Victim, cfg.TrainPositives)
+	for i := range w.TrainVictims {
+		w.TrainVictims[i] = w.newVictim(tr, 1_000_000+i, true)
+	}
+	w.buildDoxers(randutil.Derive(root, "doxers"))
+	return w
+}
+
+// newVictim synthesizes one victim. rich selects the dox-for-hire profile.
+func (w *World) newVictim(r *rand.Rand, id int, rich bool) *Victim {
+	cfg := w.Cfg
+	v := &Victim{ID: id, Rich: rich, OSN: make(map[netid.Network]string)}
+
+	// Demographics (Table 5).
+	switch x := r.Float64(); {
+	case x < cfg.PMale:
+		v.Gender = GenderMale
+		v.FirstName = randutil.Pick(r, maleFirstNames)
+	case x < cfg.PMale+cfg.PFemale:
+		v.Gender = GenderFemale
+		v.FirstName = randutil.Pick(r, femaleFirstNames)
+	case x < cfg.PMale+cfg.PFemale+cfg.POther:
+		v.Gender = GenderOther
+		v.FirstName = randutil.Pick(r, append(maleFirstNames[:20:20], femaleFirstNames[:20]...))
+	default:
+		v.Gender = GenderUnstated
+		v.FirstName = randutil.Pick(r, maleFirstNames)
+	}
+	v.LastName = randutil.Pick(r, lastNames)
+	v.Age = randutil.SkewedAge(r)
+	birthYear := 2016 - v.Age
+	v.DOB = time.Date(birthYear, time.Month(1+r.Intn(12)), 1+r.Intn(28), 0, 0, 0, 0, time.UTC)
+	v.Alias = NewAlias(r)
+
+	// Location: 64.5% USA among those with an address (Table 5).
+	if randutil.Bool(r, cfg.PUSA) {
+		v.Region = randutil.Pick(r, w.Geo.USStates())
+		v.Country = "USA"
+	} else {
+		all := w.Geo.Regions()
+		for {
+			rg := randutil.Pick(r, all)
+			if !rg.IsUSA() {
+				v.Region = rg
+				v.Country = rg.Country
+				break
+			}
+		}
+	}
+	v.City = randutil.Pick(r, v.Region.Cities)
+	v.Street = fmt.Sprintf("%d %s %s", 1+r.Intn(9899), randutil.Pick(r, streetNames), randutil.Pick(r, streetSuffixes))
+	v.Zip = geo.ZipFor(r, w.Geo, v.Region.Code)
+
+	// Contact details.
+	v.Email = strings.ToLower(v.FirstName) + "." + strings.ToLower(v.LastName) + randutil.Digits(r, 2) + "@" + randutil.Pick(r, emailDomains)
+	v.Phone = randutil.Phone(r)
+	v.ISP = randutil.Pick(r, ispNames)
+
+	// IP with §4.1 ground-truth proximity mix.
+	switch x := r.Float64(); {
+	case x < cfg.PGeoExact:
+		v.GeoTruth = geo.ProximityExactCity
+		v.IP = w.Geo.IPFor(r, v.Region.Code, v.City)
+	case x < cfg.PGeoExact+cfg.PGeoSame:
+		v.GeoTruth = geo.ProximitySame
+		other := otherCity(r, v.Region, v.City)
+		v.IP = w.Geo.IPFor(r, v.Region.Code, other)
+		if other == v.City { // single-city regions collapse to exact
+			v.GeoTruth = geo.ProximityExactCity
+		}
+	case x < cfg.PGeoExact+cfg.PGeoSame+cfg.PGeoAdjacent:
+		adj := w.Geo.AdjacentTo(r, v.Region.Code)
+		if adj.Code == v.Region.Code {
+			// No land neighbours (islands, foreign countries): degrade to
+			// a same-region mismatch, or exact for single-city regions.
+			other := otherCity(r, v.Region, v.City)
+			v.IP = w.Geo.IPFor(r, v.Region.Code, other)
+			if other == v.City {
+				v.GeoTruth = geo.ProximityExactCity
+			} else {
+				v.GeoTruth = geo.ProximitySame
+			}
+		} else {
+			v.IP = w.Geo.IPFor(r, adj.Code, adj.Cities[r.Intn(len(adj.Cities))])
+			v.GeoTruth = geo.ProximityAdjacent
+		}
+	default:
+		far := w.Geo.FarFrom(r, v.Region.Code)
+		v.IP = w.Geo.IPFor(r, far.Code, far.Cities[r.Intn(len(far.Cities))])
+		v.GeoTruth = geo.ProximityFar
+	}
+
+	// Sensitive-category coin flips (Table 6).
+	f := &v.Fields
+	f.Address = randutil.Bool(r, cfg.PAddress)
+	f.Zip = f.Address && randutil.Bool(r, cfg.PZip)
+	f.Phone = randutil.Bool(r, cfg.PPhone)
+	f.Family = randutil.Bool(r, cfg.PFamily)
+	f.Email = randutil.Bool(r, cfg.PEmail)
+	f.DOB = randutil.Bool(r, cfg.PDOB)
+	f.School = randutil.Bool(r, cfg.PSchool)
+	f.Usernames = randutil.Bool(r, cfg.PUsernames)
+	f.ISP = randutil.Bool(r, cfg.PISP)
+	f.IP = randutil.Bool(r, cfg.PIP)
+	f.Passwords = randutil.Bool(r, cfg.PPasswords)
+	f.Physical = randutil.Bool(r, cfg.PPhysical)
+	f.Criminal = randutil.Bool(r, cfg.PCriminal)
+	f.SSN = randutil.Bool(r, cfg.PSSN)
+	f.CreditCard = randutil.Bool(r, cfg.PCreditCard)
+	f.Financial = randutil.Bool(r, cfg.PFinancial)
+
+	if f.Family {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			first := randutil.Pick(r, maleFirstNames)
+			if r.Intn(2) == 0 {
+				first = randutil.Pick(r, femaleFirstNames)
+			}
+			v.FamilyMembers = append(v.FamilyMembers, first+" "+v.LastName)
+		}
+	}
+
+	// Community (Table 7) and its supporting accounts (>=3 so the paper's
+	// "more than two" rule fires).
+	switch x := r.Float64(); {
+	case x < cfg.PGamer:
+		v.Community = CommunityGamer
+		for _, site := range randutil.PickN(r, gamingSites, 3+r.Intn(3)) {
+			v.CommunityAccounts = append(v.CommunityAccounts, SiteAccount{Site: site, Username: v.Alias})
+		}
+	case x < cfg.PGamer+cfg.PHacker:
+		v.Community = CommunityHacker
+		for _, site := range randutil.PickN(r, hackingSites, 3+r.Intn(2)) {
+			v.CommunityAccounts = append(v.CommunityAccounts, SiteAccount{Site: site, Username: v.Alias})
+		}
+	case x < cfg.PGamer+cfg.PHacker+cfg.PCelebrity:
+		v.Community = CommunityCelebrity
+		v.CelebrityRole = randutil.Pick(r, celebrityRoles)
+	default:
+		v.Community = CommunityNone
+		// Some unclassifiable victims still have one stray community
+		// account — below the "more than two" threshold.
+		if randutil.Bool(r, 0.1) {
+			v.CommunityAccounts = append(v.CommunityAccounts,
+				SiteAccount{Site: randutil.Pick(r, gamingSites), Username: v.Alias})
+		}
+	}
+
+	// Motivation (Table 8).
+	switch x := r.Float64(); {
+	case x < cfg.PMotiveJustice:
+		v.Motive = MotiveJustice
+	case x < cfg.PMotiveJustice+cfg.PMotiveRevenge:
+		v.Motive = MotiveRevenge
+	case x < cfg.PMotiveJustice+cfg.PMotiveRevenge+cfg.PMotiveCompetitive:
+		v.Motive = MotiveCompetitive
+	case x < cfg.PMotiveJustice+cfg.PMotiveRevenge+cfg.PMotiveCompetitive+cfg.PMotivePolitical:
+		v.Motive = MotivePolitical
+	default:
+		v.Motive = MotiveNone
+	}
+
+	// OSN accounts (Table 9 wild / Table 2 rich rates).
+	rates := cfg.WildOSNRates
+	if rich {
+		rates = cfg.RichOSNRates
+	}
+	for _, n := range netid.All() {
+		if randutil.Bool(r, rates[n]) {
+			v.OSN[n] = usernameFor(r, v, n)
+		}
+	}
+	return v
+}
+
+// otherCity picks a city in the region different from exclude when possible.
+func otherCity(r *rand.Rand, rg geo.Region, exclude string) string {
+	if len(rg.Cities) == 1 {
+		return rg.Cities[0]
+	}
+	for {
+		c := rg.Cities[r.Intn(len(rg.Cities))]
+		if c != exclude {
+			return c
+		}
+	}
+}
+
+// ExampleVictim synthesizes a person who exists only on paper: joke doxes
+// and dox-for-hire advertising templates describe such people. They draw
+// from the same identity banks as real victims (so the text is
+// indistinguishable) but are never registered with the simulated social
+// networks — their accounts 404 when the monitor verifies them, exactly as
+// the paper's "Social Network Account Verifier" stage would observe.
+// Not safe for concurrent use with other generation.
+func (w *World) ExampleVictim(r *rand.Rand) *Victim {
+	w.exampleSerial++
+	return w.newVictim(r, 2_000_000+w.exampleSerial, false)
+}
+
+// RandomFirstName draws a first name from the identity banks.
+func RandomFirstName(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return randutil.Pick(r, maleFirstNames)
+	}
+	return randutil.Pick(r, femaleFirstNames)
+}
+
+// RandomLastName draws a last name from the identity banks.
+func RandomLastName(r *rand.Rand) string { return randutil.Pick(r, lastNames) }
+
+// RandomStreet draws a street address shaped like victim addresses.
+func RandomStreet(r *rand.Rand) string {
+	return fmt.Sprintf("%d %s %s", 1+r.Intn(9899), randutil.Pick(r, streetNames), randutil.Pick(r, streetSuffixes))
+}
+
+// NewAlias generates a plausible screen name.
+func NewAlias(r *rand.Rand) string {
+	adj := randutil.Pick(r, aliasAdjectives)
+	noun := randutil.Pick(r, aliasNouns)
+	switch r.Intn(5) {
+	case 0:
+		return adj + noun + randutil.Digits(r, 2)
+	case 1:
+		return strings.Title(adj) + strings.Title(noun)
+	case 2:
+		return "xX" + strings.Title(adj) + strings.Title(noun) + "Xx"
+	case 3:
+		return adj + "_" + noun
+	default:
+		return adj + noun
+	}
+}
+
+// usernameFor derives a per-network username from the victim identity, with
+// the mild variation real account sets show.
+func usernameFor(r *rand.Rand, v *Victim, n netid.Network) string {
+	base := strings.ToLower(v.Alias)
+	switch r.Intn(4) {
+	case 0:
+		base = strings.ToLower(v.FirstName) + strings.ToLower(v.LastName)
+	case 1:
+		base = strings.ToLower(v.Alias) + randutil.Digits(r, 2)
+	case 2:
+		base = strings.ToLower(v.FirstName) + "." + strings.ToLower(v.LastName) + randutil.Digits(r, 1)
+	}
+	// Usernames must be unique per victim-network pair across the world;
+	// suffix with the network initial and victim id fragment.
+	return fmt.Sprintf("%s%s%d", base, n.Slug()[:2], v.ID%9973)
+}
+
+// buildDoxers creates the doxer population, crews, and Twitter follows.
+func (w *World) buildDoxers(r *rand.Rand) {
+	cfg := w.Cfg
+	seen := map[string]bool{}
+	w.Doxers = make([]*Doxer, cfg.NumDoxers)
+	for i := range w.Doxers {
+		var alias string
+		for {
+			alias = NewAlias(r)
+			if !seen[alias] {
+				seen[alias] = true
+				break
+			}
+		}
+		d := &Doxer{ID: i, Alias: alias, Crew: -1}
+		if randutil.Bool(r, cfg.TwitterHandleRate) {
+			d.TwitterHandle = strings.ToLower(alias)
+			d.TwitterPrivate = randutil.Bool(r, cfg.PrivateTwitterRate)
+		}
+		w.Doxers[i] = d
+	}
+	// Assign crews front-to-back; remaining doxers are solo.
+	idx := 0
+	for crew, size := range cfg.CrewSizes {
+		for j := 0; j < size && idx < len(w.Doxers); j++ {
+			w.Doxers[idx].Crew = crew
+			idx++
+		}
+	}
+	// Twitter follows: crew members follow each other densely, so that
+	// credit co-occurrence plus follow edges complete crew cliques
+	// (Figure 2); a sprinkle of cross-crew follows adds realism without
+	// merging cliques.
+	for _, a := range w.Doxers {
+		for _, b := range w.Doxers {
+			if a.ID == b.ID || a.TwitterHandle == "" || b.TwitterHandle == "" {
+				continue
+			}
+			p := 0.002
+			if a.Crew >= 0 && a.Crew == b.Crew {
+				p = 0.9
+			}
+			if randutil.Bool(r, p) {
+				w.follow(a.ID, b.ID)
+			}
+		}
+	}
+}
+
+func (w *World) follow(from, to int) {
+	if w.Follows[from] == nil {
+		w.Follows[from] = make(map[int]bool)
+	}
+	w.Follows[from][to] = true
+}
+
+// FollowsEachOther reports a mutual or one-way follow edge between doxers;
+// the paper's Figure 2 graph is undirected.
+func (w *World) FollowsEachOther(a, b int) bool {
+	return w.Follows[a][b] || w.Follows[b][a]
+}
+
+// CrewMembers returns the doxers in the given crew.
+func (w *World) CrewMembers(crew int) []*Doxer {
+	var out []*Doxer
+	for _, d := range w.Doxers {
+		if d.Crew == crew {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DoxerByAlias resolves an alias to a doxer.
+func (w *World) DoxerByAlias(alias string) (*Doxer, bool) {
+	for _, d := range w.Doxers {
+		if d.Alias == alias {
+			return d, true
+		}
+	}
+	return nil, false
+}

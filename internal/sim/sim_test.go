@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/randutil"
+)
+
+func testWorld(t *testing.T, scale float64) *World {
+	t.Helper()
+	return NewWorld(Default(42, scale))
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	a := NewWorld(Default(7, 0.02))
+	b := NewWorld(Default(7, 0.02))
+	if len(a.Victims) != len(b.Victims) {
+		t.Fatalf("victim counts differ: %d vs %d", len(a.Victims), len(b.Victims))
+	}
+	for i := range a.Victims {
+		if a.Victims[i].FullName() != b.Victims[i].FullName() ||
+			a.Victims[i].IP != b.Victims[i].IP {
+			t.Fatalf("victim %d differs between identically seeded worlds", i)
+		}
+	}
+	if a.Doxers[10].Alias != b.Doxers[10].Alias {
+		t.Fatal("doxer population differs between identically seeded worlds")
+	}
+}
+
+func TestWorldScaling(t *testing.T) {
+	small := NewWorld(Default(1, 0.01))
+	big := NewWorld(Default(1, 0.05))
+	if len(big.Victims) <= len(small.Victims) {
+		t.Fatalf("scaling broken: %d victims at 0.05 vs %d at 0.01",
+			len(big.Victims), len(small.Victims))
+	}
+	// Doxer community size is scale-invariant.
+	if len(small.Doxers) != 251 || len(big.Doxers) != 251 {
+		t.Fatalf("doxer counts = %d/%d, want 251 (paper §5.3.2)",
+			len(small.Doxers), len(big.Doxers))
+	}
+}
+
+func TestVictimDemographics(t *testing.T) {
+	w := testWorld(t, 0.5) // ~2,765 victims for tight statistics
+	var male, female, usa, withAddr int
+	ageSum := 0
+	for _, v := range w.Victims {
+		switch v.Gender {
+		case GenderMale:
+			male++
+		case GenderFemale:
+			female++
+		}
+		ageSum += v.Age
+		if v.Age < 10 || v.Age > 74 {
+			t.Fatalf("victim age %d outside paper range", v.Age)
+		}
+		if v.Fields.Address {
+			withAddr++
+			if v.Country == "USA" {
+				usa++
+			}
+		}
+	}
+	n := float64(len(w.Victims))
+	if m := float64(male) / n; m < 0.78 || m > 0.86 {
+		t.Errorf("male fraction %.3f, want ~0.822 (Table 5)", m)
+	}
+	if f := float64(female) / n; f < 0.12 || f > 0.21 {
+		t.Errorf("female fraction %.3f, want ~0.163 (Table 5)", f)
+	}
+	if mean := float64(ageSum) / n; math.Abs(mean-21.7) > 2.5 {
+		t.Errorf("mean age %.1f, want ~21.7 (Table 5)", mean)
+	}
+	if u := float64(usa) / float64(withAddr); u < 0.58 || u > 0.71 {
+		t.Errorf("USA fraction %.3f, want ~0.645 (Table 5)", u)
+	}
+}
+
+func TestSensitiveFieldRates(t *testing.T) {
+	w := testWorld(t, 0.5)
+	n := float64(len(w.Victims))
+	count := func(f func(*Victim) bool) float64 {
+		c := 0
+		for _, v := range w.Victims {
+			if f(v) {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"address", count(func(v *Victim) bool { return v.Fields.Address }), 0.901, 0.04},
+		{"phone", count(func(v *Victim) bool { return v.Fields.Phone }), 0.612, 0.05},
+		{"family", count(func(v *Victim) bool { return v.Fields.Family }), 0.506, 0.05},
+		{"email", count(func(v *Victim) bool { return v.Fields.Email }), 0.537, 0.05},
+		{"zip", count(func(v *Victim) bool { return v.Fields.Zip }), 0.489, 0.05},
+		{"dob", count(func(v *Victim) bool { return v.Fields.DOB }), 0.334, 0.05},
+		{"ip", count(func(v *Victim) bool { return v.Fields.IP }), 0.403, 0.05},
+		{"ssn", count(func(v *Victim) bool { return v.Fields.SSN }), 0.026, 0.02},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s rate %.3f, want %.3f±%.3f (Table 6)", c.name, c.got, c.want, c.tol)
+		}
+	}
+	// Zip implies address.
+	for _, v := range w.Victims {
+		if v.Fields.Zip && !v.Fields.Address {
+			t.Fatal("zip disclosed without address")
+		}
+		if v.Fields.Family && len(v.FamilyMembers) == 0 {
+			t.Fatal("family flagged but no members generated")
+		}
+	}
+}
+
+func TestCommunityRates(t *testing.T) {
+	w := testWorld(t, 0.5)
+	n := float64(len(w.Victims))
+	var gamer, hacker, celeb int
+	for _, v := range w.Victims {
+		switch v.Community {
+		case CommunityGamer:
+			gamer++
+			if len(v.CommunityAccounts) < 3 {
+				t.Fatalf("gamer with only %d community accounts; need >2 for the paper's rule", len(v.CommunityAccounts))
+			}
+		case CommunityHacker:
+			hacker++
+			if len(v.CommunityAccounts) < 3 {
+				t.Fatalf("hacker with only %d community accounts", len(v.CommunityAccounts))
+			}
+		case CommunityCelebrity:
+			celeb++
+			if v.CelebrityRole == "" {
+				t.Fatal("celebrity without role")
+			}
+		case CommunityNone:
+			if len(v.CommunityAccounts) > 2 {
+				t.Fatal("unclassified victim has >2 community accounts; would misclassify")
+			}
+		}
+	}
+	if g := float64(gamer) / n; math.Abs(g-0.114) > 0.03 {
+		t.Errorf("gamer rate %.3f, want ~0.114 (Table 7)", g)
+	}
+	if h := float64(hacker) / n; math.Abs(h-0.037) > 0.02 {
+		t.Errorf("hacker rate %.3f, want ~0.037 (Table 7)", h)
+	}
+	if c := float64(celeb) / n; math.Abs(c-0.011) > 0.012 {
+		t.Errorf("celebrity rate %.3f, want ~0.011 (Table 7)", c)
+	}
+}
+
+func TestMotiveRates(t *testing.T) {
+	w := testWorld(t, 0.5)
+	n := float64(len(w.Victims))
+	counts := map[Motive]int{}
+	for _, v := range w.Victims {
+		counts[v.Motive]++
+	}
+	if j := float64(counts[MotiveJustice]) / n; math.Abs(j-0.147) > 0.035 {
+		t.Errorf("justice rate %.3f, want ~0.147 (Table 8)", j)
+	}
+	if r := float64(counts[MotiveRevenge]) / n; math.Abs(r-0.112) > 0.035 {
+		t.Errorf("revenge rate %.3f, want ~0.112 (Table 8)", r)
+	}
+	if counts[MotiveJustice] <= counts[MotivePolitical] {
+		t.Error("justice should dominate political (Table 8)")
+	}
+	stated := counts[MotiveJustice] + counts[MotiveRevenge] + counts[MotiveCompetitive] + counts[MotivePolitical]
+	if s := float64(stated) / n; s < 0.22 || s > 0.36 {
+		t.Errorf("stated-motive rate %.3f, want ~0.284 (Table 8)", s)
+	}
+}
+
+func TestOSNRatesWildVsRich(t *testing.T) {
+	w := testWorld(t, 0.5)
+	frac := func(vs []*Victim, n netid.Network) float64 {
+		c := 0
+		for _, v := range vs {
+			if _, ok := v.OSN[n]; ok {
+				c++
+			}
+		}
+		return float64(c) / float64(len(vs))
+	}
+	// Wild: Facebook most common at ~17.8% (Table 9).
+	fb := frac(w.Victims, netid.Facebook)
+	if math.Abs(fb-0.178) > 0.04 {
+		t.Errorf("wild Facebook rate %.3f, want ~0.178 (Table 9)", fb)
+	}
+	for _, n := range []netid.Network{netid.GooglePlus, netid.Twitter, netid.Instagram, netid.YouTube, netid.Twitch} {
+		if got := frac(w.Victims, n); got >= fb {
+			t.Errorf("wild %v rate %.3f should be below Facebook %.3f (Table 9)", n, got, fb)
+		}
+	}
+	// Rich (dox-for-hire): Skype most common at ~55.2% (Table 2).
+	sk := frac(w.TrainVictims, netid.Skype)
+	if math.Abs(sk-0.552) > 0.05 {
+		t.Errorf("rich Skype rate %.3f, want ~0.552 (Table 2)", sk)
+	}
+	if rfb := frac(w.TrainVictims, netid.Facebook); rfb <= fb {
+		t.Errorf("rich Facebook rate %.3f should exceed wild %.3f", rfb, fb)
+	}
+}
+
+func TestGeoTruthMix(t *testing.T) {
+	w := testWorld(t, 0.5)
+	counts := map[string]int{}
+	for _, v := range w.Victims {
+		counts[v.GeoTruth.String()]++
+		// The IP must actually geolocate consistently with the label.
+		loc, ok := w.Geo.Lookup(v.IP)
+		if !ok {
+			t.Fatalf("victim IP %s does not geolocate", v.IP)
+		}
+		got := w.Geo.Compare(loc, v.Region.Code, v.City)
+		if got != v.GeoTruth {
+			t.Fatalf("victim %d GeoTruth=%v but Compare=%v (ip=%s region=%s city=%s)",
+				v.ID, v.GeoTruth, got, v.IP, v.Region.Code, v.City)
+		}
+	}
+	n := len(w.Victims)
+	sameish := counts["same-region"] + counts["exact-city"]
+	if f := float64(sameish) / float64(n); f < 0.82 || f > 0.95 {
+		t.Errorf("same-region-or-better fraction %.3f, want ~0.89 (§4.1: 32/36)", f)
+	}
+	if f := float64(counts["far"]) / float64(n); f < 0.03 || f > 0.15 {
+		t.Errorf("far fraction %.3f, want ~0.083 (§4.1: 3/36)", f)
+	}
+}
+
+func TestDoxerCrews(t *testing.T) {
+	w := testWorld(t, 0.05)
+	// 61 doxers in crews of size >= 4, max crew 11 (Figure 2).
+	crewSize := map[int]int{}
+	withTwitter, private := 0, 0
+	for _, d := range w.Doxers {
+		if d.Crew >= 0 {
+			crewSize[d.Crew]++
+		}
+		if d.TwitterHandle != "" {
+			withTwitter++
+			if d.TwitterPrivate {
+				private++
+			}
+		}
+	}
+	inBig, maxSize := 0, 0
+	for _, s := range crewSize {
+		if s >= 4 {
+			inBig += s
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if inBig != 61 {
+		t.Errorf("doxers in crews>=4 = %d, want 61 (Figure 2)", inBig)
+	}
+	if maxSize != 11 {
+		t.Errorf("max crew size = %d, want 11 (Figure 2)", maxSize)
+	}
+	if withTwitter < 195 || withTwitter > 230 {
+		t.Errorf("doxers with Twitter = %d, want ~213 (§5.3.2)", withTwitter)
+	}
+	if private < 15 || private > 55 {
+		t.Errorf("private Twitter accounts = %d, want ~34 (§5.3.2)", private)
+	}
+	// Aliases are unique.
+	seen := map[string]bool{}
+	for _, d := range w.Doxers {
+		if seen[d.Alias] {
+			t.Fatalf("duplicate doxer alias %q", d.Alias)
+		}
+		seen[d.Alias] = true
+	}
+}
+
+func TestCrewFollowDensity(t *testing.T) {
+	w := testWorld(t, 0.05)
+	crew := w.CrewMembers(0)
+	if len(crew) != 11 {
+		t.Fatalf("crew 0 size = %d, want 11", len(crew))
+	}
+	// Crew members with Twitter should mostly follow each other.
+	pairs, linked := 0, 0
+	for i, a := range crew {
+		for _, b := range crew[i+1:] {
+			if a.TwitterHandle == "" || b.TwitterHandle == "" {
+				continue
+			}
+			pairs++
+			if w.FollowsEachOther(a.ID, b.ID) {
+				linked++
+			}
+		}
+	}
+	if pairs > 0 && float64(linked)/float64(pairs) < 0.9 {
+		t.Errorf("crew follow density %.2f, want >0.9", float64(linked)/float64(pairs))
+	}
+}
+
+func TestDoxerByAlias(t *testing.T) {
+	w := testWorld(t, 0.02)
+	d := w.Doxers[17]
+	got, ok := w.DoxerByAlias(d.Alias)
+	if !ok || got.ID != 17 {
+		t.Fatalf("DoxerByAlias(%q) = %v,%v", d.Alias, got, ok)
+	}
+	if _, ok := w.DoxerByAlias("no-such-alias-here"); ok {
+		t.Fatal("DoxerByAlias found a nonexistent alias")
+	}
+}
+
+func TestAliasShapes(t *testing.T) {
+	r := randutil.New(3)
+	for i := 0; i < 200; i++ {
+		a := NewAlias(r)
+		if len(a) < 5 {
+			t.Fatalf("alias %q too short", a)
+		}
+		if strings.ContainsAny(a, " \t\n") {
+			t.Fatalf("alias %q contains whitespace", a)
+		}
+	}
+}
+
+func TestVictimOSNUsernamesDistinct(t *testing.T) {
+	w := testWorld(t, 0.1)
+	// Across the world, (network, username) pairs must not collide between
+	// victims, or the monitor would conflate accounts.
+	seen := map[string]int{}
+	for _, v := range w.Victims {
+		for n, u := range v.OSN {
+			key := n.Slug() + ":" + u
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("username collision %q between victims %d and %d", key, prev, v.ID)
+			}
+			seen[key] = v.ID
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if GenderMale.String() != "Male" || GenderUnstated.String() != "Unstated" {
+		t.Error("gender strings wrong")
+	}
+	if CommunityGamer.String() != "Gamer" || CommunityNone.String() != "None" {
+		t.Error("community strings wrong")
+	}
+	if MotiveJustice.String() != "Justice" || MotiveNone.String() != "None" {
+		t.Error("motive strings wrong")
+	}
+}

@@ -1,0 +1,498 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+)
+
+// benignKind enumerates the non-dox paste populations. The mix approximates
+// what a random pastebin.com crawl actually contains: mostly code, logs and
+// machine output, plus a tail of lists and chatter. Several kinds share
+// vocabulary with doxes on purpose (credential dumps, account lists,
+// self-info forms) so that the classifier faces the paper's real precision/
+// recall trade-off instead of a toy separation.
+type benignKind int
+
+const (
+	kindCode benignKind = iota
+	kindLog
+	kindConfig
+	kindChat
+	kindLyrics
+	kindEssay
+	kindCredDump
+	kindEmailList
+	kindProxyList
+	kindCrash
+	kindBase64
+	kindGameServer
+	kindSelfInfoForm
+	kindAdSpam
+	kindCharSheet
+	kindPeopleSearch
+	kindJokeDox
+	numBenignKinds
+)
+
+// wildBenignWeights is the kind mix for the crawled corpus. Dox-adjacent
+// confusables (info forms, joke doxes) exist but are rare, keeping the
+// classifier-flagged rate near the paper's ~0.3%.
+var wildBenignWeights = []float64{
+	kindCode:         0.26,
+	kindLog:          0.12,
+	kindConfig:       0.08,
+	kindChat:         0.09,
+	kindLyrics:       0.05,
+	kindEssay:        0.08,
+	kindCredDump:     0.07,
+	kindEmailList:    0.04,
+	kindProxyList:    0.04,
+	kindCrash:        0.05,
+	kindBase64:       0.03,
+	kindGameServer:   0.04,
+	kindSelfInfoForm: 0.006,
+	kindAdSpam:       0.03,
+	kindCharSheet:    0.004,
+	kindPeopleSearch: 0.003,
+	kindJokeDox:      0.0003,
+}
+
+// trainingBenignWeights is the kind mix for the paper's 4,220 hand-checked
+// negative examples. It deliberately over-represents the dox-adjacent
+// confusables relative to the wild mix: the eval-set error structure the
+// paper reports (Table 1: dox P=0.81 at ~7% positive prevalence) is only
+// consistent with its wild flagged rate (~0.3%) if the labeled negatives
+// are harder than the average wild paste, so we encode that explicitly.
+// EXPERIMENTS.md discusses this reconciliation.
+var trainingBenignWeights = []float64{
+	kindCode:         0.23,
+	kindLog:          0.11,
+	kindConfig:       0.07,
+	kindChat:         0.08,
+	kindLyrics:       0.05,
+	kindEssay:        0.08,
+	kindCredDump:     0.07,
+	kindEmailList:    0.04,
+	kindProxyList:    0.04,
+	kindCrash:        0.05,
+	kindBase64:       0.03,
+	kindGameServer:   0.04,
+	kindSelfInfoForm: 0.035,
+	kindAdSpam:       0.03,
+	kindCharSheet:    0.01,
+	kindPeopleSearch: 0.008,
+	kindJokeDox:      0.045,
+}
+
+// BenignPaste produces one non-dox paste body with a title, drawn from the
+// wild-corpus mix.
+func (g *Generator) BenignPaste(r *rand.Rand) (title, body string) {
+	return g.benignPaste(r, benignKind(randutil.Weighted(r, wildBenignWeights)))
+}
+
+// BenignTrainingPaste draws from the labeled-negative mix (§3.1.2).
+func (g *Generator) BenignTrainingPaste(r *rand.Rand) (title, body string) {
+	return g.benignPaste(r, benignKind(randutil.Weighted(r, trainingBenignWeights)))
+}
+
+func (g *Generator) benignPaste(r *rand.Rand, kind benignKind) (title, body string) {
+	switch kind {
+	case kindCode:
+		return g.codePaste(r)
+	case kindLog:
+		return "server log", g.logPaste(r)
+	case kindConfig:
+		return "config", g.configPaste(r)
+	case kindChat:
+		return "chat log", g.chatPaste(r)
+	case kindLyrics:
+		return "lyrics", g.lyricsPaste(r)
+	case kindEssay:
+		return "untitled", g.essayPaste(r)
+	case kindCredDump:
+		return "combo list", g.credDumpPaste(r)
+	case kindEmailList:
+		return "emails", g.emailListPaste(r)
+	case kindProxyList:
+		return "fresh proxies", g.proxyListPaste(r)
+	case kindCrash:
+		return "stack trace", g.crashPaste(r)
+	case kindBase64:
+		return "data", g.base64Paste(r)
+	case kindGameServer:
+		return "server list", g.gameServerPaste(r)
+	case kindSelfInfoForm:
+		return "about me", g.selfInfoFormPaste(r)
+	case kindCharSheet:
+		return "character sheet", g.charSheetPaste(r)
+	case kindPeopleSearch:
+		return "lookup results", g.peopleSearchPaste(r)
+	case kindJokeDox:
+		return "dox template", g.jokeDoxPaste(r)
+	default:
+		return "check this out", g.adSpamPaste(r)
+	}
+}
+
+// jokeDoxPaste renders a full dox of a person who does not exist: joke
+// doxes of friends, dox-for-hire advertising templates, and tutorial
+// examples. These are ground-truth benign but textually indistinguishable
+// from real doxes — the classifier's irreducible false-positive band, and
+// the reason the paper's pipeline needs the account-verifier stage (the
+// referenced accounts simply do not exist).
+func (g *Generator) jokeDoxPaste(r *rand.Rand) string {
+	return g.Dox(r, g.world.ExampleVictim(r)).Body
+}
+
+var codeIdents = []string{
+	"result", "buffer", "client", "config", "data", "err", "handler",
+	"index", "items", "key", "length", "message", "node", "offset",
+	"payload", "queue", "request", "response", "session", "socket",
+	"status", "stream", "token", "user", "value", "worker",
+}
+
+var codeFuncs = []string{
+	"parse", "fetch", "update", "render", "connect", "validate", "encode",
+	"decode", "flush", "init", "load", "save", "process", "handle",
+}
+
+func (g *Generator) codePaste(r *rand.Rand) (string, string) {
+	var b strings.Builder
+	switch r.Intn(3) {
+	case 0: // pythonish
+		b.WriteString("import os\nimport sys\nimport json\n\n")
+		for i := 0; i < 2+r.Intn(4); i++ {
+			fn := randutil.Pick(r, codeFuncs)
+			arg := randutil.Pick(r, codeIdents)
+			b.WriteString(fmt.Sprintf("def %s_%s(%s):\n", fn, arg, arg))
+			for j := 0; j < 2+r.Intn(5); j++ {
+				b.WriteString(fmt.Sprintf("    %s = %s.get(%q, %d)\n",
+					randutil.Pick(r, codeIdents), arg, randutil.Pick(r, codeIdents), r.Intn(100)))
+			}
+			b.WriteString(fmt.Sprintf("    return %s\n\n", arg))
+		}
+		return "main.py", b.String()
+	case 1: // javascriptish
+		for i := 0; i < 2+r.Intn(4); i++ {
+			fn := randutil.Pick(r, codeFuncs)
+			b.WriteString(fmt.Sprintf("function %s%s(cb) {\n", fn, strings.Title(randutil.Pick(r, codeIdents))))
+			for j := 0; j < 2+r.Intn(4); j++ {
+				b.WriteString(fmt.Sprintf("  var %s = %s[%d];\n",
+					randutil.Pick(r, codeIdents), randutil.Pick(r, codeIdents), r.Intn(20)))
+			}
+			b.WriteString("  cb(null, result);\n}\n\n")
+		}
+		return "snippet.js", b.String()
+	default: // cish
+		b.WriteString("#include <stdio.h>\n#include <stdlib.h>\n\n")
+		for i := 0; i < 1+r.Intn(3); i++ {
+			fn := randutil.Pick(r, codeFuncs)
+			b.WriteString(fmt.Sprintf("int %s_%s(int %s) {\n", fn,
+				randutil.Pick(r, codeIdents), randutil.Pick(r, codeIdents)))
+			for j := 0; j < 2+r.Intn(5); j++ {
+				b.WriteString(fmt.Sprintf("    int %s = %d * %s;\n",
+					randutil.Pick(r, codeIdents), r.Intn(50), randutil.Pick(r, codeIdents)))
+			}
+			b.WriteString("    return 0;\n}\n\n")
+		}
+		return "prog.c", b.String()
+	}
+}
+
+var logLevels = []string{"INFO", "WARN", "ERROR", "DEBUG"}
+var logMsgs = []string{
+	"connection accepted from upstream", "cache miss for key",
+	"request completed in 42ms", "retrying failed operation",
+	"worker pool exhausted", "TLS handshake failed", "queue depth exceeded",
+	"disk usage at 91 percent", "heartbeat timeout from replica",
+	"rotated log file", "config reloaded", "shutting down gracefully",
+}
+
+func (g *Generator) logPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for i := 0; i < 20+r.Intn(60); i++ {
+		b.WriteString(fmt.Sprintf("2016-%02d-%02d %02d:%02d:%02d [%s] %s (req=%s)\n",
+			1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60),
+			randutil.Pick(r, logLevels), randutil.Pick(r, logMsgs),
+			randutil.HexString(r, 8)))
+	}
+	return b.String()
+}
+
+func (g *Generator) configPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("[server]\n")
+	b.WriteString(fmt.Sprintf("port = %d\nworkers = %d\ntimeout = %d\n\n", 8000+r.Intn(2000), 1+r.Intn(16), 10+r.Intn(120)))
+	b.WriteString("[database]\n")
+	b.WriteString(fmt.Sprintf("host = db%d.internal\nname = app_production\npool = %d\n\n", r.Intn(9), 5+r.Intn(20)))
+	b.WriteString("[cache]\nbackend = redis\nttl = 3600\n")
+	return b.String()
+}
+
+var chatNicks = []string{"anon", "zerocool", "acid", "nikon", "dade", "kate", "cereal", "phreak", "razor", "blade"}
+var chatLines = []string{
+	"anyone around", "did you see the patch notes", "lol no way",
+	"that server is down again", "can someone invite me", "brb food",
+	"just pushed the fix", "works on my machine", "gg", "stream starting soon",
+	"who won the match", "check pm", "this game is so broken rn",
+}
+
+func (g *Generator) chatPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for i := 0; i < 15+r.Intn(40); i++ {
+		b.WriteString(fmt.Sprintf("[%02d:%02d] <%s> %s\n", r.Intn(24), r.Intn(60),
+			randutil.Pick(r, chatNicks), randutil.Pick(r, chatLines)))
+	}
+	return b.String()
+}
+
+var lyricWords = []string{
+	"night", "fire", "heart", "road", "dream", "light", "rain", "shadow",
+	"love", "time", "home", "sky", "cold", "gold", "wild", "young", "run",
+	"fall", "rise", "ghost", "echo", "stone", "river", "storm",
+}
+
+func (g *Generator) lyricsPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for v := 0; v < 3+r.Intn(3); v++ {
+		for l := 0; l < 4; l++ {
+			n := 4 + r.Intn(4)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = randutil.Pick(r, lyricWords)
+			}
+			b.WriteString(strings.Join(words, " ") + "\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+var essaySentences = []string{
+	"The committee reviewed the proposal at length before reaching a decision.",
+	"There are several reasons why this approach fails in practice.",
+	"Historical precedent suggests a different interpretation entirely.",
+	"The author argues that the evidence supports a broader conclusion.",
+	"Critics have pointed out a number of methodological problems.",
+	"In the following section we examine each claim in turn.",
+	"The results were consistent with earlier observations.",
+	"This pattern repeats across multiple independent datasets.",
+	"It remains unclear whether the effect generalizes.",
+	"Further work is required to settle the question.",
+}
+
+func (g *Generator) essayPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for p := 0; p < 2+r.Intn(4); p++ {
+		for s := 0; s < 3+r.Intn(5); s++ {
+			b.WriteString(randutil.Pick(r, essaySentences) + " ")
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// credDumpPaste mimics leaked email:password combo lists — a benign-class
+// paste that shares "account" vocabulary with doxes.
+func (g *Generator) credDumpPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("=== fresh combo list " + randutil.Digits(r, 4) + " ===\n")
+	for i := 0; i < 30+r.Intn(80); i++ {
+		b.WriteString(fmt.Sprintf("%s%s@%s:%s%s\n",
+			randutil.LowerWord(r, 4+r.Intn(5)), randutil.Digits(r, 2),
+			randutil.Pick(r, []string{"gmail.com", "yahoo.com", "hotmail.com", "mail.ru"}),
+			randutil.LowerWord(r, 5+r.Intn(4)), randutil.Digits(r, 2)))
+	}
+	return b.String()
+}
+
+func (g *Generator) emailListPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for i := 0; i < 25+r.Intn(60); i++ {
+		b.WriteString(fmt.Sprintf("%s.%s@%s\n",
+			randutil.LowerWord(r, 3+r.Intn(5)), randutil.LowerWord(r, 4+r.Intn(6)),
+			randutil.Pick(r, []string{"gmail.com", "yahoo.com", "aol.com", "outlook.com"})))
+	}
+	return b.String()
+}
+
+func (g *Generator) proxyListPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("fresh socks5 checked " + randutil.Digits(r, 2) + " minutes ago\n\n")
+	for i := 0; i < 30+r.Intn(70); i++ {
+		b.WriteString(fmt.Sprintf("%d.%d.%d.%d:%d\n", 1+r.Intn(222), r.Intn(256), r.Intn(256), 1+r.Intn(254), 1024+r.Intn(60000)))
+	}
+	return b.String()
+}
+
+func (g *Generator) crashPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("Exception in thread \"main\" java.lang.NullPointerException\n")
+	for i := 0; i < 8+r.Intn(20); i++ {
+		b.WriteString(fmt.Sprintf("\tat com.example.%s.%s(%s.java:%d)\n",
+			randutil.Pick(r, codeIdents), randutil.Pick(r, codeFuncs),
+			strings.Title(randutil.Pick(r, codeIdents)), 10+r.Intn(400)))
+	}
+	b.WriteString("Caused by: java.io.IOException: connection reset\n")
+	return b.String()
+}
+
+const base64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+func (g *Generator) base64Paste(r *rand.Rand) string {
+	var b strings.Builder
+	for i := 0; i < 15+r.Intn(30); i++ {
+		line := make([]byte, 64)
+		for j := range line {
+			line[j] = base64Alphabet[r.Intn(len(base64Alphabet))]
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("====\n")
+	return b.String()
+}
+
+func (g *Generator) gameServerPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("best minecraft servers " + randutil.Digits(r, 4) + "\n\n")
+	for i := 0; i < 10+r.Intn(20); i++ {
+		b.WriteString(fmt.Sprintf("%s.%s.net:%d - %s, no lag, join now\n",
+			randutil.LowerWord(r, 4+r.Intn(4)), randutil.LowerWord(r, 3+r.Intn(4)),
+			25000+r.Intn(2000),
+			randutil.Pick(r, []string{"survival", "creative", "pvp", "skyblock", "factions", "minigames"})))
+	}
+	return b.String()
+}
+
+// selfInfoFormPaste is a voluntarily shared personal-info post rendered via
+// the shared person-form template (see form.go). It uses the same field
+// labels, name banks and address shapes as form-style doxes; only the field
+// statistics differ, which is the paper-shaped source of classifier error.
+func (g *Generator) selfInfoFormPaste(r *rand.Rand) string {
+	first := sim.RandomFirstName(r)
+	last := sim.RandomLastName(r)
+	f := formFill{
+		First: first,
+		Last:  last,
+		Hobby: randutil.Bool(r, 0.7),
+		Outro: randutil.Bool(r, 0.55),
+	}
+	if r.Intn(3) > 0 {
+		f.Aka = sim.NewAlias(r)
+	}
+	if randutil.Bool(r, 0.85) {
+		f.Age = 16 + r.Intn(20)
+	}
+	if randutil.Bool(r, 0.6) {
+		rg := randutil.Pick(r, g.world.Geo.USStates())
+		f.City = randutil.Pick(r, rg.Cities)
+		f.State = rg.Name
+	}
+	if randutil.Bool(r, 0.45) {
+		f.Gender = randutil.Pick(r, []string{"male", "female"})
+	}
+	if randutil.Bool(r, 0.5) {
+		f.Email = strings.ToLower(first) + "." + strings.ToLower(last) + randutil.Digits(r, 2) + "@gmail.com"
+	}
+	if randutil.Bool(r, 0.1) {
+		f.Phone = randutil.Phone(r)
+	}
+	if randutil.Bool(r, 0.06) {
+		f.Address = sim.RandomStreet(r)
+	}
+	switch r.Intn(3) {
+	case 0:
+		f.IG = strings.ToLower(first) + randutil.Digits(r, 2)
+	case 1:
+		f.Skype = strings.ToLower(first) + "." + randutil.LowerWord(r, 4)
+	}
+	return renderPersonForm(r, f)
+}
+
+// charSheetPaste is a tabletop-RPG character sheet: name, age, physical
+// traits — another dox-shaped benign population.
+func (g *Generator) charSheetPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("== Character Sheet ==\n\n")
+	b.WriteString("Name: " + strings.Title(randutil.LowerWord(r, 5)) + " " + strings.Title(randutil.LowerWord(r, 7)) + "\n")
+	b.WriteString(fmt.Sprintf("Age: %d\n", 18+r.Intn(300)))
+	b.WriteString("Race: " + randutil.Pick(r, []string{"human", "elf", "dwarf", "orc", "tiefling"}) + "\n")
+	b.WriteString("Class: " + randutil.Pick(r, []string{"wizard", "rogue", "fighter", "cleric", "bard"}) + "\n")
+	b.WriteString(fmt.Sprintf("Height: %d'%d\"  Weight: %d lbs\n", 4+r.Intn(3), r.Intn(12), 90+r.Intn(200)))
+	b.WriteString(fmt.Sprintf("STR %d DEX %d CON %d INT %d WIS %d CHA %d\n",
+		8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11)))
+	b.WriteString("Backstory: " + randutil.Pick(r, essaySentences) + "\n")
+	return b.String()
+}
+
+// peopleSearchPaste mimics a copy-pasted public-records lookup result —
+// name, age bracket, past cities — a benign paste that is legitimately
+// near the dox boundary.
+func (g *Generator) peopleSearchPaste(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("search results (public records, page 1)\n\n")
+	for i := 0; i < 3+r.Intn(4); i++ {
+		b.WriteString(fmt.Sprintf("%s %s, age %d\n", strings.Title(randutil.LowerWord(r, 5)),
+			strings.Title(randutil.LowerWord(r, 6)), 20+r.Intn(60)))
+		b.WriteString("  Past cities: " + randutil.Pick(r, []string{"Houston TX", "Miami FL", "Columbus OH", "Phoenix AZ"}) +
+			", " + randutil.Pick(r, []string{"Tulsa OK", "Reno NV", "Tampa FL", "Boise ID"}) + "\n")
+		b.WriteString("  Possible relatives: " + strings.Title(randutil.LowerWord(r, 5)) + ", " + strings.Title(randutil.LowerWord(r, 6)) + "\n\n")
+	}
+	return b.String()
+}
+
+var adLines = []string{
+	"LIMITED TIME OFFER click the link below",
+	"make 500 dollars a day working from home",
+	"cheap followers and likes instant delivery",
+	"unlock premium accounts free method 2016",
+	"working gift card generator no survey",
+	"download now before it gets taken down",
+}
+
+func (g *Generator) adSpamPaste(r *rand.Rand) string {
+	var b strings.Builder
+	for i := 0; i < 4+r.Intn(8); i++ {
+		b.WriteString(randutil.Pick(r, adLines) + "\n")
+		b.WriteString(fmt.Sprintf("hxxp://%s.%s/%s\n\n", randutil.LowerWord(r, 6),
+			randutil.Pick(r, []string{"biz", "info", "click", "top"}), randutil.HexString(r, 6)))
+	}
+	return b.String()
+}
+
+var boardTopics = []string{
+	"video games", "the election", "that new movie", "crypto", "old consoles",
+	"this teams chances", "the latest patch", "keyboards", "anime", "gym advice",
+}
+
+var boardLines = []string{
+	"literally nobody cares about", "hot take incoming about", "daily reminder about",
+	"can we talk about", "unpopular opinion on", "why is nobody discussing",
+}
+
+var boardReplies = []string{
+	"this. so much this.", "bait, ignore and move on", "source?", "lurk more",
+	"based", "cringe", "ok and?", "we had this thread yesterday",
+	"fake and gay", "checked", "go back", "screencap this post",
+}
+
+// BenignBoardPost produces a short imageboard post in HTML, as the chan
+// crawlers will receive it.
+func (g *Generator) BenignBoardPost(r *rand.Rand) string {
+	var b strings.Builder
+	if r.Intn(3) == 0 {
+		b.WriteString(fmt.Sprintf(`<a href="#p%d" class="quotelink">&gt;&gt;%d</a><br>`, 100000+r.Intn(900000), 100000+r.Intn(900000)))
+	}
+	b.WriteString(randutil.Pick(r, boardLines))
+	b.WriteString(" ")
+	b.WriteString(randutil.Pick(r, boardTopics))
+	for i := 0; i < r.Intn(3); i++ {
+		b.WriteString("<br>" + randutil.Pick(r, boardReplies))
+	}
+	return b.String()
+}

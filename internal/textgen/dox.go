@@ -1,0 +1,567 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+)
+
+// Dox files are semi-structured (paper §3.1.3): mostly key/value lines, but
+// with enough format diversity that extraction is genuinely lossy. Each
+// field and network renders in an "easy" machine-parseable form with a
+// calibrated probability, and otherwise in a "hard" human-only form. The
+// hard rates are set so the extractor's measured accuracy lands near the
+// paper's Table 2 without the extractor ever seeing ground truth.
+
+// easyRate is the probability a network reference in a full or terse dox
+// renders in a form the reference extractor can recover. Form-style doxes
+// (rate formRate below) always render accounts with easy labels, so these
+// are calibrated as (Table2Target - formRate) / (1 - formRate).
+var easyRate = map[netid.Network]float64{
+	netid.Instagram:  0.944,
+	netid.Twitch:     0.944,
+	netid.GooglePlus: 0.887,
+	netid.Twitter:    0.840,
+	netid.Facebook:   0.821,
+	netid.YouTube:    0.765,
+	netid.Skype:      0.802,
+}
+
+// Field render rates for full/terse styles, calibrated against Table 2
+// jointly with the form style (see formRate).
+const (
+	easyBothNames = 0.558 // "Name: John Smith" — first and last extractable
+	easyFirstOnly = 0.178 // "Name: John S." — first extractable only
+	easyAgeRate   = 0.783
+	easyPhoneRate = 0.634
+)
+
+var banners = []string{
+	"==================== D O X ====================",
+	"[✖] ------------- TARGET ACQUIRED ------------- [✖]",
+	"░░░░░░░░░░░░ DOX DROP ░░░░░░░░░░░░",
+	"########## you got doxed ##########",
+	"-----BEGIN DOX-----",
+	"╔══════════════════════════════╗\n║        DOXED. OWNED.         ║\n╚══════════════════════════════╝",
+}
+
+var outros = []string{
+	"have fun with this one", "you know what to do",
+	"dont do anything illegal ;)", "say hi to him for me",
+	"more to come", "this is what happens when you mess with us",
+}
+
+var justiceReasons = []string{
+	"this guy scammed at least six people on the marketplace and kept the money",
+	"he has been snitching to the mods and working with law enforcement",
+	"ripped off buyers in the trading thread and laughed about it",
+	"he scammed a 14 year old out of his account, someone had to do something",
+}
+
+var revengeReasons = []string{
+	"this is what you get for stealing my girl",
+	"he thought he could talk to me like that and get away with it",
+	"been an attention whore in the chat for months, enjoy",
+	"you banned me from the server so here you go buddy",
+}
+
+var competitiveReasons = []string{
+	"he said he was undoxable. took me 20 minutes",
+	"proof that nobody is hidden from us, this one claimed he was clean",
+	"practice run, target thought his opsec was good lol",
+}
+
+var politicalReasons = []string{
+	"exposing another klan member, they live among you",
+	"this one trades cp in private channels, spread this everywhere",
+	"works at the fur farm, animals deserve better, make him famous",
+}
+
+var familyLabels = []string{"Mother", "Father", "Brother", "Sister", "Cousin"}
+
+// Style is the dox render style.
+type Style int
+
+// Render styles: Full carries banner/outro/credits; Terse drops the
+// decoration; Form renders through the shared person-form template and is
+// the classifier's hard-positive region.
+const (
+	StyleFull Style = iota
+	StyleTerse
+	StyleForm
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StyleTerse:
+		return "terse"
+	case StyleForm:
+		return "form"
+	default:
+		return "full"
+	}
+}
+
+// DoxRender is one rendered dox body plus its render-time ground truth.
+type DoxRender struct {
+	Body    string
+	Style   Style
+	Credits []*sim.Doxer
+	// EasyRendered records, per network, whether the reference extractor
+	// is expected to recover the account (the render used an easy form).
+	EasyRendered  map[netid.Network]bool
+	FirstNameEasy bool
+	LastNameEasy  bool
+	AgeEasy       bool
+	PhoneEasy     bool
+}
+
+// Style rates. Form-style doxes share a template with benign info posts
+// (the false-negative band, Table 1 recall); terse doxes drop the
+// decoration but keep every field.
+const (
+	formRate  = 0.15
+	terseRate = 0.15
+)
+
+// Dox renders a complete dox file for the victim. Identical victims render
+// with independently random cosmetics, but the substantive content (the
+// fields and account set) is fixed by the victim's ground truth, matching
+// the paper's observation that reposted doxes carry the same accounts.
+func (g *Generator) Dox(r *rand.Rand, v *sim.Victim) *DoxRender {
+	out := &DoxRender{EasyRendered: make(map[netid.Network]bool)}
+
+	switch x := r.Float64(); {
+	case x < formRate:
+		return g.doxForm(r, v, out)
+	case x < formRate+terseRate:
+		out.Style = StyleTerse
+	default:
+		out.Style = StyleFull
+	}
+	terse := out.Style == StyleTerse
+
+	var b strings.Builder
+	if !terse {
+		b.WriteString(randutil.Pick(r, banners))
+		b.WriteString("\n\n")
+	}
+
+	// Credits: at top ~half the time, otherwise at the bottom.
+	credits := g.pickCredits(r)
+	out.Credits = credits
+	creditLine := renderCredits(r, credits)
+	topCredits := r.Intn(2) == 0 && !terse
+	if topCredits && creditLine != "" {
+		b.WriteString(creditLine + "\n\n")
+	}
+
+	// Motivation pre-script (paper §3.2: a "why I doxed this person"
+	// pre-or-postscript).
+	switch v.Motive {
+	case sim.MotiveJustice:
+		b.WriteString("Reason: " + randutil.Pick(r, justiceReasons) + "\n\n")
+	case sim.MotiveRevenge:
+		b.WriteString("Reason: " + randutil.Pick(r, revengeReasons) + "\n\n")
+	case sim.MotiveCompetitive:
+		b.WriteString("Reason: " + randutil.Pick(r, competitiveReasons) + "\n\n")
+	case sim.MotivePolitical:
+		b.WriteString("Reason: " + randutil.Pick(r, politicalReasons) + "\n\n")
+	}
+
+	if terse {
+		b.WriteString("aka " + v.Alias + "\n")
+	} else {
+		b.WriteString("Alias: " + v.Alias + "\n")
+	}
+	g.renderName(r, &b, v, out)
+	g.renderAge(r, &b, v, out)
+	if v.Fields.DOB {
+		b.WriteString(randutil.Pick(r, []string{"DOB: ", "Date of Birth: ", "Born: "}))
+		b.WriteString(v.DOB.Format("01/02/2006") + "\n")
+	}
+	if v.Gender != sim.GenderUnstated {
+		b.WriteString("Gender: " + strings.ToLower(v.Gender.String()) + "\n")
+	}
+	if v.Fields.Address {
+		g.renderAddress(r, &b, v)
+	}
+	g.renderPhone(r, &b, v, out)
+	if v.Fields.Email {
+		b.WriteString(randutil.Pick(r, []string{"Email: ", "E-mail: ", "email; "}) + v.Email + "\n")
+	}
+	if v.Fields.IP {
+		b.WriteString(randutil.Pick(r, []string{"IP: ", "IP Address: ", "ip-addr: "}) + v.IP + "\n")
+	}
+	if v.Fields.ISP {
+		b.WriteString("ISP: " + v.ISP + "\n")
+	}
+	if v.Fields.School {
+		b.WriteString("School: " + pickSchool(r) + "\n")
+	}
+	if v.Fields.Family && len(v.FamilyMembers) > 0 {
+		b.WriteString("\nFamily:\n")
+		for i, fam := range v.FamilyMembers {
+			b.WriteString(fmt.Sprintf("  %s: %s\n", familyLabels[i%len(familyLabels)], fam))
+		}
+	}
+	if v.Fields.Usernames {
+		b.WriteString("Other usernames: " + strings.ToLower(v.Alias) + ", " +
+			strings.ToLower(v.FirstName) + randutil.Digits(r, 2) + "\n")
+	}
+	if v.Fields.Passwords {
+		b.WriteString("Password (old leak): " + randutil.LowerWord(r, 6) + randutil.Digits(r, 3) + "\n")
+	}
+	if v.Fields.Physical {
+		b.WriteString(fmt.Sprintf("Height: 5'%d\"  Weight: %d lbs  Hair: %s\n",
+			4+r.Intn(8), 120+r.Intn(100), randutil.Pick(r, []string{"brown", "black", "blonde", "red"})))
+	}
+	if v.Fields.Criminal {
+		b.WriteString("Criminal record: " + randutil.Pick(r, []string{
+			"misdemeanor possession 2014", "DUI 2013", "shoplifting charge dropped"}) + "\n")
+	}
+	if v.Fields.SSN {
+		b.WriteString("SSN: " + randutil.Digits(r, 3) + "-" + randutil.Digits(r, 2) + "-" + randutil.Digits(r, 4) + "\n")
+	}
+	if v.Fields.CreditCard {
+		b.WriteString("CC: 4" + randutil.Digits(r, 15) + " exp " + fmt.Sprintf("%02d/%d", 1+r.Intn(12), 17+r.Intn(4)) + "\n")
+	}
+	if v.Fields.Financial {
+		b.WriteString("Paypal: " + v.Email + "  (balance unknown)\n")
+	}
+
+	// OSN accounts.
+	if len(v.OSN) > 0 {
+		if terse {
+			b.WriteString("\n")
+		} else {
+			b.WriteString("\nAccounts:\n")
+		}
+		for _, n := range netid.All() { // stable order
+			u, ok := v.OSN[n]
+			if !ok {
+				continue
+			}
+			easy := randutil.Bool(r, easyRate[n])
+			out.EasyRendered[n] = easy
+			b.WriteString(renderOSN(r, n, u, easy) + "\n")
+		}
+	}
+
+	// Community accounts (gamer/hacker) or celebrity note.
+	if len(v.CommunityAccounts) > 0 {
+		b.WriteString("\nFound on:\n")
+		for _, acct := range v.CommunityAccounts {
+			b.WriteString(fmt.Sprintf("  %s/%s\n", acct.Site, acct.Username))
+		}
+	}
+	if v.CelebrityRole != "" {
+		b.WriteString("\nYes, THAT " + v.FirstName + " — the " + v.CelebrityRole + ".\n")
+	}
+
+	if !terse {
+		b.WriteString("\n" + randutil.Pick(r, outros) + "\n")
+	}
+	if !topCredits && creditLine != "" {
+		b.WriteString("\n" + creditLine + "\n")
+	}
+	out.Body = b.String()
+	return out
+}
+
+// doxForm renders the victim through the shared person-form template (see
+// form.go). Doxers who just fill in "the template" produce posts that are
+// textually near-identical to voluntary info posts; whether any given one
+// is detected depends on its field mass, which is the paper-shaped
+// irreducible error. All referenced accounts render with easy labels.
+func (g *Generator) doxForm(r *rand.Rand, v *sim.Victim, out *DoxRender) *DoxRender {
+	out.Style = StyleForm
+	out.FirstNameEasy, out.LastNameEasy, out.AgeEasy = true, true, true
+	f := formFill{
+		Aka:   v.Alias,
+		First: v.FirstName,
+		Last:  v.LastName,
+		Age:   v.Age,
+		Hobby: randutil.Bool(r, 0.4),
+		Outro: randutil.Bool(r, 0.4),
+	}
+	if randutil.Bool(r, 0.75) {
+		f.City = v.City
+		f.State = v.Region.Name
+	}
+	if v.Gender != sim.GenderUnstated && randutil.Bool(r, 0.5) {
+		f.Gender = strings.ToLower(v.Gender.String())
+	}
+	if v.Fields.Email {
+		f.Email = v.Email
+	}
+	if v.Fields.Phone && randutil.Bool(r, 0.30) {
+		f.Phone = v.Phone
+		out.PhoneEasy = true
+	}
+	if v.Fields.Address && randutil.Bool(r, 0.25) {
+		f.Address = v.Street
+		if v.Fields.Zip {
+			f.Address += " " + v.Zip
+		}
+	}
+	body := renderPersonForm(r, f)
+
+	// Every OSN account the dox references renders with an easy label so
+	// the extractor's per-network accuracy calibration stays joint with
+	// the full/terse styles.
+	var accounts strings.Builder
+	for _, n := range netid.All() {
+		u, ok := v.OSN[n]
+		if !ok {
+			continue
+		}
+		out.EasyRendered[n] = true
+		accounts.WriteString("  " + n.String() + ": " + u + "\n")
+	}
+	// IP line: doxers include it even in template posts when they have it.
+	extra := ""
+	if v.Fields.IP && randutil.Bool(r, 0.35) {
+		extra = "IP: " + v.IP + "\n"
+	}
+	out.Body = body + extra + accounts.String()
+	return out
+}
+
+func (g *Generator) renderName(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+	switch x := r.Float64(); {
+	case x < easyBothNames:
+		out.FirstNameEasy, out.LastNameEasy = true, true
+		label := randutil.Pick(r, []string{"Name: ", "Full Name: ", "Real name: ", "IRL Name: "})
+		b.WriteString(label + v.FullName() + "\n")
+	case x < easyBothNames+easyFirstOnly:
+		out.FirstNameEasy = true
+		switch r.Intn(2) {
+		case 0:
+			b.WriteString("Name: " + v.FirstName + " " + v.LastName[:1] + ".\n")
+		default:
+			b.WriteString("First name: " + v.FirstName + "\n")
+		}
+	default:
+		// Prose-embedded name: the reference extractor does not attempt
+		// free-text name recognition, mirroring the paper's error band.
+		b.WriteString("goes by " + v.FirstName + " " + v.LastName + " irl, ask around\n")
+	}
+}
+
+var ageWords = []string{"zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine"}
+
+func (g *Generator) renderAge(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+	if randutil.Bool(r, easyAgeRate) {
+		out.AgeEasy = true
+		b.WriteString(randutil.Pick(r, []string{"Age: ", "age; ", "Age - "}) + fmt.Sprint(v.Age) + "\n")
+		return
+	}
+	// Spelled-out age inside prose.
+	tens := v.Age / 10
+	ones := v.Age % 10
+	b.WriteString("the kid is " + ageWords[tens] + "ty " + ageWords[ones] + " years old btw\n")
+}
+
+func (g *Generator) renderAddress(r *rand.Rand, b *strings.Builder, v *sim.Victim) {
+	zip := ""
+	if v.Fields.Zip {
+		zip = " " + v.Zip
+	}
+	switch r.Intn(3) {
+	case 0:
+		b.WriteString("Address: " + v.Street + ", " + v.City + ", " + v.Region.Code + zip + "\n")
+	case 1:
+		b.WriteString("Address: " + v.Street + "\nCity: " + v.City + "\nState: " + v.Region.Name + "\n")
+		if zip != "" {
+			b.WriteString("Zip:" + zip + "\n")
+		}
+	default:
+		b.WriteString("Lives at: " + v.Street + " " + v.City + " " + v.Region.Code + zip + "\n")
+	}
+	if v.Country != "USA" {
+		b.WriteString("Country: " + v.Country + "\n")
+	} else if r.Intn(3) == 0 {
+		b.WriteString("Country: USA\n")
+	}
+}
+
+func (g *Generator) renderPhone(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+	if !v.Fields.Phone {
+		return
+	}
+	if randutil.Bool(r, easyPhoneRate) {
+		out.PhoneEasy = true
+		b.WriteString(randutil.Pick(r, []string{"Phone: ", "Phone Number: ", "Cell: ", "phone; "}) + v.Phone + "\n")
+		return
+	}
+	// Hard variants: spaced digits or prose.
+	digits := digitsOnly(v.Phone)
+	switch r.Intn(2) {
+	case 0:
+		b.WriteString("number is " + strings.Join(strings.Split(digits, ""), " ") + " hit him up\n")
+	default:
+		b.WriteString("text him, starts with " + digits[:3] + " ends " + digits[len(digits)-2:] + " (full in thread)\n")
+	}
+}
+
+func digitsOnly(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// renderOSN renders one account reference. Easy forms match the paper's
+// examples (1) and (2); hard forms match (3) and (4), which defeat
+// single-account extraction.
+func renderOSN(r *rand.Rand, n netid.Network, user string, easy bool) string {
+	if easy {
+		switch r.Intn(3) {
+		case 0:
+			if d := n.Domain(); d != "" {
+				return fmt.Sprintf("  %s: https://%s/%s", n.String(), d, user)
+			}
+			return fmt.Sprintf("  %s: %s", n.String(), user)
+		case 1:
+			return fmt.Sprintf("  %s: %s", n.String(), user)
+		default:
+			return fmt.Sprintf("  %s %s", shortLabel(n), user)
+		}
+	}
+	decoy := user + randutil.Digits(r, 1)
+	switch r.Intn(2) {
+	case 0:
+		// Plural list with decoys: "fbs: a - b - c".
+		return fmt.Sprintf("  %ss: %s - %s - old%s", strings.ToLower(shortLabel(n)), decoy, user, randutil.Digits(r, 2))
+	default:
+		return fmt.Sprintf("  %ss; %s and %s", strings.ToLower(n.String()), decoy, user)
+	}
+}
+
+// shortLabel is the informal label doxers use ("FB example").
+func shortLabel(n netid.Network) string {
+	switch n {
+	case netid.Facebook:
+		return "FB"
+	case netid.GooglePlus:
+		return "G+"
+	case netid.Twitter:
+		return "TW"
+	case netid.Instagram:
+		return "IG"
+	case netid.YouTube:
+		return "YT"
+	case netid.Twitch:
+		return "Twitch"
+	case netid.Skype:
+		return "Skype"
+	default:
+		return n.String()
+	}
+}
+
+func pickSchool(r *rand.Rand) string {
+	return randutil.Pick(r, schoolNamesLocal)
+}
+
+// schoolNamesLocal mirrors sim's school bank; duplicated here because the
+// school string is rendered-only ground truth (the labeler detects only the
+// presence of the School: line, never the value).
+var schoolNamesLocal = []string{
+	"Lincoln High School", "Washington High School", "Roosevelt Middle School",
+	"Jefferson High School", "Central High School", "East Side High School",
+	"Riverside Community College", "Kennedy High School", "Franklin Academy",
+	"Northview High School", "Westfield High School", "Oakwood High School",
+	"State University", "City College", "Valley Technical Institute",
+}
+
+// pickCredits selects the doxers credited on a dox: usually one or a crew
+// subset, occasionally none.
+func (g *Generator) pickCredits(r *rand.Rand) []*sim.Doxer {
+	if randutil.Bool(r, 0.25) {
+		return nil // anonymous drop
+	}
+	// Half of credited drops come from a crew, listing 2-4 members.
+	if randutil.Bool(r, 0.5) {
+		crew := r.Intn(len(g.world.Cfg.CrewSizes))
+		members := g.world.CrewMembers(crew)
+		if len(members) >= 2 {
+			n := 2 + r.Intn(3)
+			if n > len(members) {
+				n = len(members)
+			}
+			return randutil.PickN(r, members, n)
+		}
+	}
+	return []*sim.Doxer{randutil.Pick(r, g.world.Doxers)}
+}
+
+// renderCredits renders a "dropped by" line, mixing plain aliases and
+// Twitter handles exactly as the paper's example shows.
+func renderCredits(r *rand.Rand, credits []*sim.Doxer) string {
+	if len(credits) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(credits))
+	for _, d := range credits {
+		switch {
+		case d.TwitterHandle != "" && r.Intn(3) == 0:
+			parts = append(parts, "@"+d.TwitterHandle)
+		case d.TwitterHandle != "" && r.Intn(4) == 0:
+			parts = append(parts, fmt.Sprintf("%s (@%s)", d.Alias, d.TwitterHandle))
+		default:
+			parts = append(parts, d.Alias)
+		}
+	}
+	lead := randutil.Pick(r, []string{"Dropped by", "Dox by", "Credit:", "Brought to you by"})
+	switch len(parts) {
+	case 1:
+		return lead + " " + parts[0]
+	case 2:
+		return lead + " " + parts[0] + " and " + parts[1]
+	default:
+		return lead + " " + strings.Join(parts[:len(parts)-1], ", ") +
+			", thanks to " + parts[len(parts)-1]
+	}
+}
+
+// NearDuplicate re-renders a previously posted dox with the non-substantive
+// changes the paper describes (§3.1.4): a repost timestamp, cosmetic banner
+// changes, or an appended "update" section. The account set is unchanged.
+func (g *Generator) NearDuplicate(r *rand.Rand, orig string) string {
+	switch r.Intn(3) {
+	case 0:
+		return "REPOST " + fmt.Sprintf("2016-%02d-%02d %02d:%02d", 1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60)) + "\n\n" + orig
+	case 1:
+		// Swap the first banner line for a different one (re-rolling so
+		// the swap never no-ops), and stamp a repost marker so two swaps
+		// of the same original never collide back into exact duplicates.
+		lines := strings.SplitN(orig, "\n", 2)
+		if len(lines) == 2 {
+			for {
+				b := strings.SplitN(randutil.Pick(r, banners), "\n", 2)[0]
+				if b != lines[0] {
+					return b + "\n" + lines[1] + "\nmirror #" + randutil.Digits(r, 4) + "\n"
+				}
+			}
+		}
+		return "REPOSTING THIS\n" + orig
+	default:
+		update := randutil.Pick(r, []string{
+			"UPDATE: he deleted his facebook lmao",
+			"UPDATE: target went private on everything within a day",
+			"UPDATE: he is begging mods to take this down",
+			"UPDATE: confirmed, number still works",
+		})
+		return orig + "\n" + update + " (day " + fmt.Sprint(1+r.Intn(28)) + ", repost " + randutil.Digits(r, 3) + ")\n"
+	}
+}

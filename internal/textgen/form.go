@@ -1,0 +1,100 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"doxmeter/internal/randutil"
+)
+
+// The shared person-form template.
+//
+// Two document populations in the wild use the *same* layout: voluntary
+// "post your info" forms (benign) and lazy, terse doxes where the attacker
+// pastes the target's basics into the thread template. The paper's
+// classifier errors (Table 1: dox precision 0.81, recall 0.89 while the
+// Not class sits at 0.99/0.98) come from exactly this kind of genuinely
+// ambiguous content: no token reliably separates the classes, only the
+// slightly different field statistics. Both generators below therefore
+// render through one function, and the residual class signal is the field
+// mix — which is what a Bayes-optimal classifier would be left with too.
+
+// formFill holds the values rendered into the shared template. Empty
+// strings / zero values omit the field.
+type formFill struct {
+	Aka     string
+	First   string
+	Last    string
+	Age     int
+	City    string
+	State   string
+	Gender  string
+	Email   string
+	Phone   string
+	Address string
+	IG      string
+	Skype   string
+	Hobby   bool
+	Outro   bool
+}
+
+var formIntros = []string{
+	"about me thread, post yours", "introduce yourself", "get to know me post",
+	"filling out the template from last thread", "info post",
+	"the template, filled out",
+}
+
+var formHobbies = []string{
+	"drawing", "coding", "lifting", "music production", "speedrunning",
+	"photography", "hiking",
+}
+
+var formOutros = []string{
+	"add me!", "nice to meet you all", "see you around", "ask me anything",
+	"thats all", "later",
+}
+
+// renderPersonForm renders the shared template.
+func renderPersonForm(r *rand.Rand, f formFill) string {
+	var b strings.Builder
+	b.WriteString(randutil.Pick(r, formIntros) + "\n\n")
+	if f.Aka != "" {
+		b.WriteString("aka " + f.Aka + "\n")
+	}
+	b.WriteString("Name: " + f.First + " " + f.Last + "\n")
+	if f.Age > 0 {
+		b.WriteString(fmt.Sprintf("Age: %d\n", f.Age))
+	}
+	if f.City != "" {
+		b.WriteString("City: " + f.City + "\n")
+	}
+	if f.State != "" {
+		b.WriteString("State: " + f.State + "\n")
+	}
+	if f.Gender != "" {
+		b.WriteString("Gender: " + f.Gender + "\n")
+	}
+	if f.Email != "" {
+		b.WriteString("Email: " + f.Email + "\n")
+	}
+	if f.Phone != "" {
+		b.WriteString("Phone: " + f.Phone + "\n")
+	}
+	if f.Address != "" {
+		b.WriteString("Address: " + f.Address + "\n")
+	}
+	if f.IG != "" {
+		b.WriteString("  Instagram: " + f.IG + "\n")
+	}
+	if f.Skype != "" {
+		b.WriteString("  Skype: " + f.Skype + "\n")
+	}
+	if f.Hobby {
+		b.WriteString("Hobbies: " + randutil.Pick(r, formHobbies) + "\n")
+	}
+	if f.Outro {
+		b.WriteString("\n" + randutil.Pick(r, formOutros) + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+// Package textgen synthesizes the study corpus: the 1.7M-file population of
+// paste-site documents (scaled by sim.Config.Scale) of which roughly 0.3%
+// are dox files, plus the labeled training corpus the paper built from
+// dox-for-hire "proof-of-work" archives and a hand-checked pastebin crawl.
+//
+// The generator is the *only* component that sees ground truth. Everything
+// downstream — classifier, extractor, dedup, monitor — operates on rendered
+// text exactly as the paper's pipeline did, and the benchmarks then compare
+// what the pipeline measured against what the generator planted.
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+)
+
+// Site identifies one of the paper's five collection sources.
+type Site string
+
+// The collection sources (paper Figure 1).
+const (
+	SitePastebin     Site = "pastebin"
+	SiteFourchanB    Site = "4chan/b"
+	SiteFourchanPol  Site = "4chan/pol"
+	SiteEightchPol   Site = "8ch/pol"
+	SiteEightchBapho Site = "8ch/baphomet"
+)
+
+// AllSites lists the sources in Figure 1 order.
+func AllSites() []Site {
+	return []Site{SitePastebin, SiteFourchanB, SiteFourchanPol, SiteEightchPol, SiteEightchBapho}
+}
+
+// IsBoard reports whether the site serves HTML imageboard posts rather than
+// plain-text pastes.
+func (s Site) IsBoard() bool { return s != SitePastebin }
+
+// DupKind classifies a dox post's duplication status (§3.1.4).
+type DupKind int
+
+// Duplication kinds.
+const (
+	Original DupKind = iota
+	ExactDup
+	NearDup
+)
+
+// String implements fmt.Stringer.
+func (d DupKind) String() string {
+	switch d {
+	case ExactDup:
+		return "exact-dup"
+	case NearDup:
+		return "near-dup"
+	default:
+		return "original"
+	}
+}
+
+// Truth is the generator-side ground truth attached to a dox document.
+type Truth struct {
+	Victim     *sim.Victim
+	Dup        DupKind
+	OriginalID string // document ID of the original, for duplicates
+	Render     *DoxRender
+}
+
+// Doc is one collected document.
+type Doc struct {
+	ID     string
+	Site   Site
+	Title  string
+	Body   string
+	HTML   bool
+	Posted time.Time
+	Truth  *Truth // nil for benign documents
+}
+
+// IsDox reports ground-truth dox status.
+func (d *Doc) IsDox() bool { return d.Truth != nil }
+
+// Corpus is the full two-period document population, per site, sorted by
+// post time.
+type Corpus struct {
+	Streams map[Site][]Doc
+}
+
+// TotalDocs counts all documents across streams.
+func (c *Corpus) TotalDocs() int {
+	n := 0
+	for _, s := range c.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// TotalDoxes counts ground-truth dox documents.
+func (c *Corpus) TotalDoxes() int {
+	n := 0
+	for _, s := range c.Streams {
+		for i := range s {
+			if s[i].IsDox() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Generator produces documents from a world.
+type Generator struct {
+	world *sim.World
+	rng   *rand.Rand
+}
+
+// New returns a generator bound to the world, with its own derived RNG
+// stream so corpus generation does not perturb other subsystems.
+func New(w *sim.World) *Generator {
+	return &Generator{
+		world: w,
+		rng:   randutil.New(w.Cfg.Seed ^ 0x7465787467656e), // "textgen"
+	}
+}
+
+// World exposes the backing world (benchmarks need ground truth access).
+func (g *Generator) World() *sim.World { return g.world }
+
+// period-2 dox placement weights across sources. 8ch/baphomet was a
+// dedicated doxing board, so its dox density is far higher than its volume
+// share; pastebin still carries most doxes in absolute terms.
+var p2DoxSiteWeights = map[Site]float64{
+	SitePastebin:     0.60,
+	SiteFourchanB:    0.10,
+	SiteFourchanPol:  0.12,
+	SiteEightchPol:   0.08,
+	SiteEightchBapho: 0.10,
+}
+
+// Corpus generates the full two-period corpus.
+func (g *Generator) Corpus() *Corpus {
+	cfg := g.world.Cfg
+	c := &Corpus{Streams: make(map[Site][]Doc)}
+
+	victims := make([]*sim.Victim, len(g.world.Victims))
+	copy(victims, g.world.Victims)
+	randutil.Shuffle(g.rng, victims)
+	nextVictim := 0
+
+	// Posted originals eligible for duplication, per victim. Reposts skew
+	// heavily toward doxes that reference social accounts (those are the
+	// ones crews spread for harassment), which is what makes the paper's
+	// account-set de-duplication able to catch 14.2% of dox files.
+	type posted struct {
+		doc    Doc
+		victim *sim.Victim
+	}
+	var originals []posted
+	var withAccounts []int // indexes into originals
+
+	pickOriginal := func(r *rand.Rand) posted {
+		if len(withAccounts) > 0 && (r.Float64() < 0.9 || len(withAccounts) == len(originals)) {
+			return originals[withAccounts[r.Intn(len(withAccounts))]]
+		}
+		return originals[r.Intn(len(originals))]
+	}
+
+	makeDoxDoc := func(r *rand.Rand, site Site, when time.Time, seq int) Doc {
+		id := g.docID(r, site, seq)
+		pExact, pNear := cfg.ExactDupFraction, cfg.NearDupFraction
+		x := r.Float64()
+		switch {
+		case len(originals) > 0 && (x < pExact || nextVictim >= len(victims)):
+			src := pickOriginal(r)
+			return Doc{
+				ID: id, Site: site, Title: doxTitle(r, src.victim), Posted: when,
+				Body: src.doc.Body, HTML: false,
+				Truth: &Truth{Victim: src.victim, Dup: ExactDup, OriginalID: src.doc.ID, Render: src.doc.Truth.Render},
+			}
+		case len(originals) > 0 && x < pExact+pNear:
+			src := pickOriginal(r)
+			return Doc{
+				ID: id, Site: site, Title: doxTitle(r, src.victim), Posted: when,
+				Body: g.NearDuplicate(r, src.doc.Body), HTML: false,
+				Truth: &Truth{Victim: src.victim, Dup: NearDup, OriginalID: src.doc.ID, Render: src.doc.Truth.Render},
+			}
+		default:
+			v := victims[nextVictim%len(victims)]
+			if nextVictim < len(victims) {
+				nextVictim++
+			}
+			render := g.Dox(r, v)
+			doc := Doc{
+				ID: id, Site: site, Title: doxTitle(r, v), Posted: when,
+				Body: render.Body, HTML: false,
+				Truth: &Truth{Victim: v, Dup: Original, Render: render},
+			}
+			originals = append(originals, posted{doc: doc, victim: v})
+			if len(v.OSN) > 0 {
+				withAccounts = append(withAccounts, len(originals)-1)
+			}
+			return doc
+		}
+	}
+
+	// Period 1: pastebin only.
+	r1 := randutil.Derive(g.rng, "period1")
+	g.fillSite(c, r1, SitePastebin, simclock.Period1, cfg.ScaledPastebinP1(), cfg.ScaledDoxesP1(), makeDoxDoc)
+
+	// Period 2: all five sources; dox budget split by weight.
+	r2 := randutil.Derive(g.rng, "period2")
+	doxP2 := cfg.ScaledDoxesP2()
+	volumes := map[Site]int{
+		SitePastebin:     cfg.ScaledPastebinP2(),
+		SiteFourchanB:    cfg.ScaledFourchanB(),
+		SiteFourchanPol:  cfg.ScaledFourchanPol(),
+		SiteEightchPol:   cfg.ScaledEightchPol(),
+		SiteEightchBapho: cfg.ScaledEightchBapho(),
+	}
+	remaining := doxP2
+	sites := AllSites()
+	for i, site := range sites {
+		var nDox int
+		if i == len(sites)-1 {
+			nDox = remaining
+		} else {
+			nDox = int(float64(doxP2)*p2DoxSiteWeights[site] + 0.5)
+		}
+		if nDox > remaining {
+			nDox = remaining
+		}
+		// A board cannot carry more doxes than posts.
+		if nDox > volumes[site] {
+			nDox = volumes[site]
+		}
+		remaining -= nDox
+		g.fillSite(c, randutil.Derive(r2, string(site)), site, simclock.Period2, volumes[site], nDox, makeDoxDoc)
+	}
+	return c
+}
+
+// fillSite generates one site-period stream: nDox dox documents and
+// (volume-nDox) benign documents, uniformly timed and sorted.
+func (g *Generator) fillSite(c *Corpus, r *rand.Rand, site Site, period simclock.Period,
+	volume, nDox int, makeDox func(*rand.Rand, Site, time.Time, int) Doc) {
+	if nDox > volume {
+		nDox = volume
+	}
+	docs := make([]Doc, 0, volume)
+	span := period.End.Sub(period.Start)
+	// Dox docs first so duplicate chronology is coherent: timestamps are
+	// drawn uniformly and the stream sorted afterwards; duplicates of a
+	// later original are rare and harmless (the paper could not observe
+	// original posting order either — "we cannot know when a dox was
+	// originally publicly posted").
+	for i := 0; i < nDox; i++ {
+		when := period.Start.Add(time.Duration(r.Int63n(int64(span))))
+		doc := makeDox(r, site, when, i)
+		if site.IsBoard() {
+			doc.Body = toBoardHTML(doc.Body)
+			doc.HTML = true
+		}
+		docs = append(docs, doc)
+	}
+	for i := nDox; i < volume; i++ {
+		when := period.Start.Add(time.Duration(r.Int63n(int64(span))))
+		var doc Doc
+		if site.IsBoard() {
+			doc = Doc{
+				ID: g.docID(r, site, i), Site: site, Posted: when,
+				Body: g.BenignBoardPost(r), HTML: true,
+			}
+		} else {
+			title, body := g.BenignPaste(r)
+			doc = Doc{ID: g.docID(r, site, i), Site: site, Title: title, Posted: when, Body: body}
+		}
+		docs = append(docs, doc)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Posted.Before(docs[j].Posted) })
+	c.Streams[site] = append(c.Streams[site], docs...)
+}
+
+// docID creates a site-appropriate unique document ID.
+func (g *Generator) docID(r *rand.Rand, site Site, seq int) string {
+	if site == SitePastebin {
+		return randutil.HexString(r, 8)
+	}
+	return fmt.Sprintf("%d%06d", 1+r.Intn(8), seq)
+}
+
+func doxTitle(r *rand.Rand, v *sim.Victim) string {
+	switch r.Intn(4) {
+	case 0:
+		return v.Alias + " dox"
+	case 1:
+		return "doxed: " + strings.ToLower(v.Alias)
+	case 2:
+		return "info drop"
+	default:
+		return "Untitled"
+	}
+}
+
+// toBoardHTML wraps plain dox text as an imageboard comment body: newlines
+// become <br> and angle brackets are escaped, matching what the chan APIs
+// serve and what html2text must undo.
+func toBoardHTML(text string) string {
+	esc := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace(text)
+	return strings.ReplaceAll(esc, "\n", "<br>")
+}
+
+// TrainingExample is one labeled classifier-training document.
+type TrainingExample struct {
+	Body  string
+	IsDox bool
+	// Victim and Render carry ground truth for positive examples; they
+	// back the extractor evaluation's hand-labeled sample (Table 2).
+	Victim *sim.Victim
+	Render *DoxRender
+}
+
+// TrainingSet renders the paper's labeled corpus: cfg.TrainPositives dox
+// files from the dox-for-hire proof-of-work victims and cfg.TrainNegatives
+// benign pastes from a clean crawl (§3.1.2: 749 and 4,220).
+func (g *Generator) TrainingSet() []TrainingExample {
+	cfg := g.world.Cfg
+	r := randutil.Derive(g.rng, "training")
+	out := make([]TrainingExample, 0, cfg.TrainPositives+cfg.TrainNegatives)
+	for _, v := range g.world.TrainVictims {
+		render := g.Dox(r, v)
+		out = append(out, TrainingExample{Body: render.Body, IsDox: true, Victim: v, Render: render})
+	}
+	for i := 0; i < cfg.TrainNegatives; i++ {
+		_, body := g.BenignTrainingPaste(r)
+		out = append(out, TrainingExample{Body: body})
+	}
+	randutil.Shuffle(r, out)
+	return out
+}

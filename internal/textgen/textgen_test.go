@@ -1,0 +1,379 @@
+package textgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"doxmeter/internal/htmltext"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/randutil"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+)
+
+func newGen(t *testing.T, scale float64) *Generator {
+	t.Helper()
+	return New(sim.NewWorld(sim.Default(99, scale)))
+}
+
+func TestBenignVariety(t *testing.T) {
+	g := newGen(t, 0.01)
+	r := randutil.New(1)
+	titles := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		title, body := g.BenignPaste(r)
+		if body == "" {
+			t.Fatal("empty benign paste")
+		}
+		titles[title] = true
+	}
+	if len(titles) < 8 {
+		t.Fatalf("only %d distinct benign kinds observed in 300 draws", len(titles))
+	}
+}
+
+func TestBenignBoardPostIsHTML(t *testing.T) {
+	g := newGen(t, 0.01)
+	r := randutil.New(2)
+	sawMarkup := false
+	for i := 0; i < 100; i++ {
+		p := g.BenignBoardPost(r)
+		if p == "" {
+			t.Fatal("empty board post")
+		}
+		if strings.Contains(p, "<br>") || strings.Contains(p, "quotelink") {
+			sawMarkup = true
+		}
+	}
+	if !sawMarkup {
+		t.Error("board posts never contained HTML markup")
+	}
+}
+
+func TestDoxContainsGroundTruthFields(t *testing.T) {
+	g := newGen(t, 0.02)
+	r := randutil.New(3)
+	for _, v := range g.World().Victims[:50] {
+		d := g.Dox(r, v)
+		if !strings.Contains(d.Body, v.Alias) {
+			t.Fatalf("dox missing alias %q", v.Alias)
+		}
+		// Form-style doxes intentionally omit some flagged fields (they are
+		// lazy template fills); full and terse styles disclose everything.
+		if d.Style != StyleForm {
+			if v.Fields.Email && !strings.Contains(d.Body, v.Email) {
+				t.Fatalf("dox flagged email but does not contain %q", v.Email)
+			}
+			if v.Fields.IP && !strings.Contains(d.Body, v.IP) {
+				t.Fatalf("dox flagged IP but does not contain %q", v.IP)
+			}
+			if v.Fields.Address && !strings.Contains(d.Body, v.Street) {
+				t.Fatalf("dox flagged address but does not contain street %q", v.Street)
+			}
+			if v.Fields.Zip && !strings.Contains(d.Body, v.Zip) {
+				t.Fatalf("dox flagged zip but does not contain %q", v.Zip)
+			}
+		}
+		for n, u := range v.OSN {
+			if !strings.Contains(d.Body, u) {
+				t.Fatalf("dox missing %v account %q", n, u)
+			}
+		}
+	}
+}
+
+func TestDoxEasyRatesApproximateTable2(t *testing.T) {
+	g := newGen(t, 0.02)
+	r := randutil.New(4)
+	perNet := map[netid.Network][2]int{} // easy, total
+	var firstEasy, lastEasy, total int
+	for i := 0; i < 4; i++ { // several passes over training victims
+		for _, v := range g.World().TrainVictims {
+			d := g.Dox(r, v)
+			for n := range v.OSN {
+				c := perNet[n]
+				c[1]++
+				if d.EasyRendered[n] {
+					c[0]++
+				}
+				perNet[n] = c
+			}
+			total++
+			if d.FirstNameEasy {
+				firstEasy++
+			}
+			if d.LastNameEasy {
+				lastEasy++
+			}
+		}
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%s easy rate %.3f, want ~%.3f (Table 2)", name, got, want)
+		}
+	}
+	ig := perNet[netid.Instagram]
+	check("instagram", float64(ig[0])/float64(ig[1]), 0.952)
+	fb := perNet[netid.Facebook]
+	check("facebook", float64(fb[0])/float64(fb[1]), 0.848)
+	check("first name", float64(firstEasy)/float64(total), 0.776)
+	check("last name", float64(lastEasy)/float64(total), 0.624)
+}
+
+func TestDoxMotivationText(t *testing.T) {
+	g := newGen(t, 0.05)
+	r := randutil.New(5)
+	found := map[sim.Motive]bool{}
+	for _, v := range g.World().Victims {
+		if v.Motive == sim.MotiveNone {
+			continue
+		}
+		d := g.Dox(r, v)
+		if d.Style == StyleForm {
+			continue // template fills carry no motivation prose
+		}
+		if !strings.Contains(d.Body, "Reason: ") {
+			t.Fatalf("motivated dox (motive=%v) missing Reason line", v.Motive)
+		}
+		found[v.Motive] = true
+	}
+	for _, m := range []sim.Motive{sim.MotiveJustice, sim.MotiveRevenge} {
+		if !found[m] {
+			t.Errorf("no dox rendered with motive %v", m)
+		}
+	}
+}
+
+func TestDoxCredits(t *testing.T) {
+	g := newGen(t, 0.02)
+	r := randutil.New(6)
+	var withCredits, crewCredits int
+	n := 400
+	for i := 0; i < n; i++ {
+		v := g.World().Victims[i%len(g.World().Victims)]
+		d := g.Dox(r, v)
+		if len(d.Credits) > 0 {
+			withCredits++
+			// Credited aliases must appear in the body (alias or handle).
+			for _, dx := range d.Credits {
+				if !strings.Contains(d.Body, dx.Alias) && (dx.TwitterHandle == "" || !strings.Contains(d.Body, dx.TwitterHandle)) {
+					t.Fatalf("credited doxer %q absent from body", dx.Alias)
+				}
+			}
+			if len(d.Credits) >= 2 {
+				crewCredits++
+			}
+		}
+	}
+	if f := float64(withCredits) / float64(n); f < 0.6 || f > 0.9 {
+		t.Errorf("credit rate %.2f, want ~0.75", f)
+	}
+	if crewCredits == 0 {
+		t.Error("no multi-doxer credits generated; Figure 2 cliques impossible")
+	}
+}
+
+func TestNearDuplicatePreservesAccounts(t *testing.T) {
+	g := newGen(t, 0.02)
+	r := randutil.New(7)
+	v := g.World().Victims[0]
+	orig := g.Dox(r, v)
+	for i := 0; i < 20; i++ {
+		dup := g.NearDuplicate(r, orig.Body)
+		if dup == orig.Body {
+			continue // banner swap can no-op when the same banner is drawn
+		}
+		for _, u := range v.OSN {
+			if !strings.Contains(dup, u) {
+				t.Fatalf("near duplicate lost account %q", u)
+			}
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	g := newGen(t, 0.005)
+	c := g.Corpus()
+	cfg := g.World().Cfg
+	if got, want := c.TotalDocs(), cfg.ScaledTotalFiles(); got != want {
+		t.Fatalf("corpus size %d, want %d", got, want)
+	}
+	wantDox := cfg.ScaledDoxesP1() + cfg.ScaledDoxesP2()
+	if got := c.TotalDoxes(); got != wantDox {
+		t.Fatalf("dox count %d, want %d", got, wantDox)
+	}
+	// ~0.3% dox rate (paper abstract).
+	rate := float64(c.TotalDoxes()) / float64(c.TotalDocs())
+	if rate < 0.002 || rate > 0.005 {
+		t.Errorf("dox rate %.4f, want ~0.003", rate)
+	}
+	for _, site := range AllSites() {
+		if len(c.Streams[site]) == 0 {
+			t.Errorf("site %s has no documents", site)
+		}
+	}
+}
+
+func TestCorpusChronologyAndPeriods(t *testing.T) {
+	g := newGen(t, 0.003)
+	c := g.Corpus()
+	for site, docs := range c.Streams {
+		for i := 1; i < len(docs); i++ {
+			if docs[i].Posted.Before(docs[i-1].Posted) {
+				t.Fatalf("site %s stream not sorted at %d", site, i)
+			}
+		}
+		for i := range docs {
+			in1 := simclock.Period1.Contains(docs[i].Posted)
+			in2 := simclock.Period2.Contains(docs[i].Posted)
+			if !in1 && !in2 {
+				t.Fatalf("doc %s posted outside both periods: %v", docs[i].ID, docs[i].Posted)
+			}
+			if site != SitePastebin && in1 {
+				t.Fatalf("board %s has a period-1 document; boards were only crawled in period 2", site)
+			}
+		}
+	}
+}
+
+func TestCorpusDuplicateStructure(t *testing.T) {
+	g := newGen(t, 0.02)
+	c := g.Corpus()
+	var orig, exact, near int
+	ids := map[string]Doc{}
+	for _, docs := range c.Streams {
+		for _, d := range docs {
+			if !d.IsDox() {
+				continue
+			}
+			ids[d.ID] = d
+			switch d.Truth.Dup {
+			case Original:
+				orig++
+			case ExactDup:
+				exact++
+			case NearDup:
+				near++
+			}
+		}
+	}
+	total := orig + exact + near
+	if total == 0 {
+		t.Fatal("no doxes in corpus")
+	}
+	dupFrac := float64(exact+near) / float64(total)
+	if math.Abs(dupFrac-0.181) > 0.05 {
+		t.Errorf("duplicate fraction %.3f, want ~0.181 (§3.1.4)", dupFrac)
+	}
+	if exact >= near {
+		t.Errorf("exact (%d) should be rarer than near (%d) duplicates", exact, near)
+	}
+	// Duplicates must reference a real original of the same victim.
+	for _, d := range ids {
+		if d.Truth.Dup == Original {
+			continue
+		}
+		o, ok := ids[d.Truth.OriginalID]
+		if !ok {
+			t.Fatalf("duplicate %s references unknown original %s", d.ID, d.Truth.OriginalID)
+		}
+		if o.Truth.Victim.ID != d.Truth.Victim.ID {
+			t.Fatal("duplicate targets a different victim than its original")
+		}
+		if d.Truth.Dup == ExactDup {
+			// Exact duplicates share the raw body (pre-HTML-wrapping).
+			// Convert normalizes trailing whitespace on both sides and
+			// undoes the board HTML wrapping on duplicates posted to chans.
+			if htmltext.Convert(o.Body) != htmltext.Convert(d.Body) {
+				t.Fatal("exact duplicate body differs from original")
+			}
+		}
+	}
+}
+
+func TestBoardDocsAreHTML(t *testing.T) {
+	g := newGen(t, 0.003)
+	c := g.Corpus()
+	for _, site := range AllSites() {
+		for _, d := range c.Streams[site] {
+			if site.IsBoard() != d.HTML {
+				t.Fatalf("site %s doc %s HTML flag = %v", site, d.ID, d.HTML)
+			}
+			if d.HTML && d.IsDox() {
+				// Round-trip: converting back to text must preserve accounts.
+				text := htmltext.Convert(d.Body)
+				for _, u := range d.Truth.Victim.OSN {
+					if !strings.Contains(text, u) {
+						t.Fatalf("html2text round trip lost account %q", u)
+					}
+				}
+				return // one dox round-trip check is enough per run
+			}
+		}
+	}
+}
+
+func TestCorpusDocIDsUnique(t *testing.T) {
+	g := newGen(t, 0.003)
+	c := g.Corpus()
+	seen := map[string]bool{}
+	for site, docs := range c.Streams {
+		for _, d := range docs {
+			key := string(site) + "/" + d.ID
+			if seen[key] {
+				t.Fatalf("duplicate doc ID %s", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	g := newGen(t, 0.01)
+	ts := g.TrainingSet()
+	cfg := g.World().Cfg
+	if len(ts) != cfg.TrainPositives+cfg.TrainNegatives {
+		t.Fatalf("training set size %d, want %d", len(ts), cfg.TrainPositives+cfg.TrainNegatives)
+	}
+	var pos int
+	for _, ex := range ts {
+		if ex.IsDox {
+			pos++
+			if ex.Victim == nil || ex.Render == nil {
+				t.Fatal("positive example missing ground truth")
+			}
+		} else if ex.Victim != nil {
+			t.Fatal("negative example carries victim ground truth")
+		}
+	}
+	if pos != cfg.TrainPositives {
+		t.Fatalf("positive count %d, want %d (§3.1.2: 749)", pos, cfg.TrainPositives)
+	}
+	// Shuffled: the first 100 should not be all-positive or all-negative.
+	firstPos := 0
+	for _, ex := range ts[:100] {
+		if ex.IsDox {
+			firstPos++
+		}
+	}
+	if firstPos == 0 || firstPos == 100 {
+		t.Error("training set does not appear shuffled")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := New(sim.NewWorld(sim.Default(5, 0.003))).Corpus()
+	b := New(sim.NewWorld(sim.Default(5, 0.003))).Corpus()
+	for _, site := range AllSites() {
+		da, db := a.Streams[site], b.Streams[site]
+		if len(da) != len(db) {
+			t.Fatalf("site %s sizes differ", site)
+		}
+		for i := range da {
+			if da[i].ID != db[i].ID || da[i].Body != db[i].Body {
+				t.Fatalf("site %s doc %d differs between identical seeds", site, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package tfidf
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTransform checks vectorizer invariants on arbitrary input: no panic,
+// sorted indices, unit (or zero) norm.
+func FuzzTransform(f *testing.F) {
+	vz := NewVectorizer(Options{})
+	vz.Fit([]string{
+		"the quick brown fox", "jumps over the lazy dog",
+		"name address phone email", "pack my box with five dozen jugs",
+	})
+	for _, s := range []string{"", "the fox", "unknown terms only", "name name name"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v := vz.Transform(s)
+		for i := 1; i < len(v); i++ {
+			if v[i].Index <= v[i-1].Index {
+				t.Fatal("indices not strictly increasing")
+			}
+		}
+		if n := v.Norm(); len(v) > 0 && math.Abs(n-1) > 1e-9 {
+			t.Fatalf("norm = %f", n)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package tfidf implements a TF-IDF text vectorizer equivalent to
+// scikit-learn's TfidfVectorizer with default parameters, which is exactly
+// what the paper's dox classifier uses (§3.1.2: "transformed each labeled
+// training example into a TF-IDF vector (using the system's TfidfVectorizer
+// class)" with defaults, no stop-word removal).
+//
+// Matching sklearn 0.17 defaults:
+//   - token pattern (?u)\b\w\w+\b — word characters, length >= 2
+//   - lowercase = true
+//   - smooth_idf = true: idf(t) = ln((1+n)/(1+df(t))) + 1
+//   - sublinear_tf = false: raw term counts
+//   - norm = 'l2': vectors are L2-normalized
+//
+// Vectors are sparse: documents average a few hundred distinct terms against
+// vocabularies of tens of thousands.
+package tfidf
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Feature is one nonzero vector component.
+type Feature struct {
+	Index int
+	Value float64
+}
+
+// Vector is a sparse document vector, sorted by Index.
+type Vector []Feature
+
+// Dot computes the inner product of two sparse vectors.
+func (v Vector) Dot(o Vector) float64 {
+	var sum float64
+	i, j := 0, 0
+	for i < len(v) && j < len(o) {
+		switch {
+		case v[i].Index == o[j].Index:
+			sum += v[i].Value * o[j].Value
+			i++
+			j++
+		case v[i].Index < o[j].Index:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, f := range v {
+		sum += f.Value * f.Value
+	}
+	return math.Sqrt(sum)
+}
+
+// Tokenize splits text per the sklearn default token pattern: maximal runs
+// of Unicode word characters (letters, digits, underscore) of length >= 2,
+// lowercased. Exported so the extractor's statistical scorer can share the
+// exact tokenization.
+func Tokenize(text string) []string {
+	out := make([]string, 0, len(text)/6)
+	start := -1
+	flush := func(end int, src string) {
+		if start >= 0 && end-start >= 2 {
+			out = append(out, strings.ToLower(src[start:end]))
+		}
+		start = -1
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i, text)
+		}
+	}
+	flush(len(text), text)
+	return out
+}
+
+// Options configures the vectorizer. The zero value gives sklearn defaults.
+type Options struct {
+	// SublinearTF replaces raw term counts with 1+ln(tf); an ablation knob
+	// (sklearn sublinear_tf).
+	SublinearTF bool
+	// Bigrams adds adjacent-token bigrams to the vocabulary (sklearn
+	// ngram_range=(1,2)); an ablation knob.
+	Bigrams bool
+	// MinDF drops terms appearing in fewer than MinDF documents (default
+	// 1, i.e. keep everything).
+	MinDF int
+}
+
+// Vectorizer maps documents to TF-IDF vectors. Fit it once on a training
+// corpus, then Transform any document. A Vectorizer is immutable after Fit
+// and safe for concurrent Transform calls.
+type Vectorizer struct {
+	opts  Options
+	vocab map[string]int
+	idf   []float64
+	nDocs int
+}
+
+// NewVectorizer returns an unfitted vectorizer.
+func NewVectorizer(opts Options) *Vectorizer {
+	if opts.MinDF < 1 {
+		opts.MinDF = 1
+	}
+	return &Vectorizer{opts: opts}
+}
+
+// VocabSize returns the fitted vocabulary size.
+func (vz *Vectorizer) VocabSize() int { return len(vz.vocab) }
+
+// NumDocs returns the size of the fitting corpus.
+func (vz *Vectorizer) NumDocs() int { return vz.nDocs }
+
+func (vz *Vectorizer) terms(text string) []string {
+	toks := Tokenize(text)
+	if !vz.opts.Bigrams {
+		return toks
+	}
+	out := make([]string, 0, 2*len(toks))
+	out = append(out, toks...)
+	for i := 0; i+1 < len(toks); i++ {
+		out = append(out, toks[i]+" "+toks[i+1])
+	}
+	return out
+}
+
+// Fit learns the vocabulary and IDF weights from the corpus.
+func (vz *Vectorizer) Fit(docs []string) {
+	df := make(map[string]int)
+	seen := make(map[string]bool)
+	for _, d := range docs {
+		clear(seen)
+		for _, t := range vz.terms(d) {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	terms := make([]string, 0, len(df))
+	for t, n := range df {
+		if n >= vz.opts.MinDF {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms) // deterministic index assignment
+	vz.vocab = make(map[string]int, len(terms))
+	vz.idf = make([]float64, len(terms))
+	vz.nDocs = len(docs)
+	for i, t := range terms {
+		vz.vocab[t] = i
+		// Smoothed IDF, sklearn formula.
+		vz.idf[i] = math.Log(float64(1+vz.nDocs)/float64(1+df[t])) + 1
+	}
+}
+
+// Transform converts one document to a normalized TF-IDF vector. Terms not
+// in the fitted vocabulary are ignored.
+func (vz *Vectorizer) Transform(doc string) Vector {
+	counts := make(map[int]float64)
+	for _, t := range vz.terms(doc) {
+		if idx, ok := vz.vocab[t]; ok {
+			counts[idx]++
+		}
+	}
+	vec := make(Vector, 0, len(counts))
+	for idx, tf := range counts {
+		if vz.opts.SublinearTF {
+			tf = 1 + math.Log(tf)
+		}
+		vec = append(vec, Feature{Index: idx, Value: tf * vz.idf[idx]})
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Index < vec[j].Index })
+	// L2 normalize.
+	if n := vec.Norm(); n > 0 {
+		for i := range vec {
+			vec[i].Value /= n
+		}
+	}
+	return vec
+}
+
+// TransformAll vectorizes a batch.
+func (vz *Vectorizer) TransformAll(docs []string) []Vector {
+	out := make([]Vector, len(docs))
+	for i, d := range docs {
+		out[i] = vz.Transform(d)
+	}
+	return out
+}
+
+// FitTransform fits on docs and returns their vectors.
+func (vz *Vectorizer) FitTransform(docs []string) []Vector {
+	vz.Fit(docs)
+	return vz.TransformAll(docs)
+}
+
+// Snapshot exports the fitted state for persistence.
+func (vz *Vectorizer) Snapshot() (vocab map[string]int, idf []float64, nDocs int, opts Options) {
+	return vz.vocab, vz.idf, vz.nDocs, vz.opts
+}
+
+// Restore rebuilds a fitted vectorizer from a Snapshot.
+func Restore(vocab map[string]int, idf []float64, nDocs int, opts Options) *Vectorizer {
+	return &Vectorizer{opts: opts, vocab: vocab, idf: idf, nDocs: nDocs}
+}

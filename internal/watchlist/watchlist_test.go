@@ -1,0 +1,131 @@
+package watchlist
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable now() source.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time { return f.t }
+
+func newWL() (*Watchlist, *fakeClock) {
+	fc := &fakeClock{t: time.Date(2016, 7, 20, 0, 0, 0, 0, time.UTC)}
+	return New(30*24*time.Hour, fc.now), fc
+}
+
+func TestAddressNormalization(t *testing.T) {
+	w, _ := newWL()
+	w.AddAddress("42 Elm St, Chicago, IL 60601", "pastebin")
+	variants := []string{
+		"42 Elm St, Chicago, IL 60601",
+		"42 elm st chicago il 60601",
+		"42 Elm St., Chicago IL  60601",
+		"  42 ELM ST CHICAGO IL 60601 ",
+	}
+	for _, v := range variants {
+		if _, ok := w.CheckAddress(v); !ok {
+			t.Errorf("variant %q not matched", v)
+		}
+	}
+	if _, ok := w.CheckAddress("43 Elm St, Chicago, IL 60601"); ok {
+		t.Error("different house number matched")
+	}
+}
+
+func TestPhoneNormalization(t *testing.T) {
+	w, _ := newWL()
+	w.AddPhone("(312) 555-0142", "pastebin")
+	for _, v := range []string{"312-555-0142", "+13125550142", "312.555.0142", "3125550142"} {
+		if _, ok := w.CheckPhone(v); !ok {
+			t.Errorf("variant %q not matched", v)
+		}
+	}
+	if _, ok := w.CheckPhone("312-555-0143"); ok {
+		t.Error("different number matched")
+	}
+	// Garbage numbers are not listed.
+	w.AddPhone("12", "x")
+	if w.Size() != 1 {
+		t.Errorf("short phone was listed (size=%d)", w.Size())
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	w, fc := newWL()
+	w.AddAddress("1 Main St", "src")
+	fc.t = fc.t.Add(29 * 24 * time.Hour)
+	if _, ok := w.CheckAddress("1 Main St"); !ok {
+		t.Fatal("entry expired early")
+	}
+	fc.t = fc.t.Add(2 * 24 * time.Hour)
+	if _, ok := w.CheckAddress("1 Main St"); ok {
+		t.Fatal("entry did not expire")
+	}
+	if dropped := w.Purge(); dropped != 1 {
+		t.Fatalf("purge dropped %d, want 1", dropped)
+	}
+	if w.Size() != 0 {
+		t.Fatal("purge left entries")
+	}
+}
+
+func TestRepeatListingRenews(t *testing.T) {
+	w, fc := newWL()
+	w.AddAddress("1 Main St", "a")
+	fc.t = fc.t.Add(20 * 24 * time.Hour)
+	w.AddAddress("1 Main St", "b") // renews
+	fc.t = fc.t.Add(20 * 24 * time.Hour)
+	e, ok := w.CheckAddress("1 Main St")
+	if !ok {
+		t.Fatal("renewed entry expired")
+	}
+	if e.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", e.Hits)
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	w := New(0, nil)
+	if w.ttl != DefaultTTL {
+		t.Fatalf("ttl = %v", w.ttl)
+	}
+}
+
+func TestHTTPCheck(t *testing.T) {
+	w, _ := newWL()
+	w.AddAddress("42 Elm St Chicago IL", "pastebin")
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	get := func(q string) map[string]any {
+		resp, err := http.Get(srv.URL + "/check?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for %q", resp.StatusCode, q)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := get("address=42+Elm+St+Chicago+IL"); out["listed"] != true {
+		t.Errorf("listed address reported %v", out)
+	}
+	if out := get("address=9+Nowhere+Ln"); out["listed"] != false {
+		t.Errorf("unlisted address reported %v", out)
+	}
+	resp, _ := http.Get(srv.URL + "/check")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query = %d", resp.StatusCode)
+	}
+}

@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-quick examples run-pipeline clean
+.PHONY: all build vet test test-race check bench bench-quick examples run-pipeline clean
 
-all: build vet test
+all: check
+
+# The default verification path: build, vet, tests, and the race detector
+# over the concurrent pipeline (crawler fan-out, worker pool, monitor sweep).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
 bench:

@@ -21,6 +21,7 @@ import (
 	"doxmeter/internal/abuse"
 	"doxmeter/internal/classifier"
 	"doxmeter/internal/core"
+	"doxmeter/internal/crawler"
 	"doxmeter/internal/dedup"
 	"doxmeter/internal/experiments"
 	"doxmeter/internal/extract"
@@ -522,6 +523,107 @@ func joinLines(lines []string) string {
 func BenchmarkStudyEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, err := core.NewStudy(core.StudyConfig{Seed: int64(100 + i), Scale: 0.002, ControlSample: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// --- Parallelism (the concurrent pipeline's throughput knob) ---
+
+// parBench holds a small study (classifier trained, no Run) plus a batch of
+// raw documents shaped like one heavy collection day, shared by the
+// parallelism benchmarks.
+var (
+	parBenchOnce sync.Once
+	parBenchS    *core.Study
+	parBenchDocs []crawler.Doc
+	parBenchErr  error
+)
+
+func parallelBenchSetup(b *testing.B) (*core.Study, []crawler.Doc) {
+	b.Helper()
+	parBenchOnce.Do(func() {
+		s, err := core.NewStudy(core.StudyConfig{Seed: 21, Scale: 0.01, ControlSample: 100})
+		if err != nil {
+			parBenchErr = err
+			return
+		}
+		parBenchS = s
+		corpus := s.Corpus()
+		for _, site := range textgen.AllSites() {
+			for i := range corpus.Streams[site] {
+				d := &corpus.Streams[site][i]
+				parBenchDocs = append(parBenchDocs, crawler.Doc{
+					Site: string(site), ID: d.ID, Title: d.Title,
+					Body: d.Body, HTML: d.HTML, Posted: d.Posted,
+				})
+				if len(parBenchDocs) >= 4000 {
+					return
+				}
+			}
+		}
+	})
+	if parBenchErr != nil {
+		b.Fatal(parBenchErr)
+	}
+	return parBenchS, parBenchDocs
+}
+
+// benchPipelineParallelism pushes the shared batch through the CPU-hot
+// pipeline stages (html→text → TF-IDF → classify → extract) with the given
+// worker-pool size. The acceptance bar for the concurrency work is
+// Parallelism=4 achieving >= 2x the docs/s of Parallelism=1 on a multi-core
+// runner.
+func benchPipelineParallelism(b *testing.B, workers int) {
+	s, docs := parallelBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.PrepareBatch(docs, workers)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(docs))*float64(b.N)/secs, "docs/s")
+	}
+}
+
+func BenchmarkPipelineParallelism1(b *testing.B) { benchPipelineParallelism(b, 1) }
+func BenchmarkPipelineParallelism2(b *testing.B) { benchPipelineParallelism(b, 2) }
+func BenchmarkPipelineParallelism4(b *testing.B) { benchPipelineParallelism(b, 4) }
+
+// benchClassifierBatch isolates the classification stage's batch API.
+func benchClassifierBatch(b *testing.B, workers int) {
+	s, docs := parallelBenchSetup(b)
+	texts := make([]string, 0, 1000)
+	for i := 0; i < len(docs) && i < 1000; i++ {
+		text := docs[i].Body
+		if docs[i].HTML {
+			text = htmltext.Convert(text)
+		}
+		texts = append(texts, text)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Classifier.IsDoxBatch(texts, workers)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(texts))*float64(b.N)/secs, "docs/s")
+	}
+}
+
+func BenchmarkClassifierBatch1(b *testing.B) { benchClassifierBatch(b, 1) }
+func BenchmarkClassifierBatch4(b *testing.B) { benchClassifierBatch(b, 4) }
+
+// BenchmarkStudyEndToEndParallel is BenchmarkStudyEndToEnd with the
+// pipeline's worker pools enabled at GOMAXPROCS.
+func BenchmarkStudyEndToEndParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewStudy(core.StudyConfig{Seed: int64(100 + i), Scale: 0.002, ControlSample: 200, Parallelism: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	doxbench [-scale 0.25] [-seed 1709] [-progress] [-dot figure2.dot]
+//	doxbench [-scale 0.25] [-seed 1709] [-parallelism 0] [-progress] [-dot figure2.dot]
 package main
 
 import (
@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = the paper's 1.74M documents)")
-		seed     = flag.Int64("seed", 1709, "world seed")
-		progress = flag.Bool("progress", false, "print per-day study progress to stderr")
-		dotPath  = flag.String("dot", "", "write the Figure 2 clique graph as Graphviz DOT to this file")
+		scale       = flag.Float64("scale", 0.25, "corpus scale factor (1.0 = the paper's 1.74M documents)")
+		seed        = flag.Int64("seed", 1709, "world seed")
+		parallelism = flag.Int("parallelism", 0, "pipeline worker-pool size (0 = GOMAXPROCS, 1 = sequential); any value yields identical results")
+		progress    = flag.Bool("progress", false, "print per-day study progress to stderr")
+		dotPath     = flag.String("dot", "", "write the Figure 2 clique graph as Graphviz DOT to this file")
 	)
 	flag.Parse()
 
@@ -34,7 +35,7 @@ func main() {
 		progressW = os.Stderr
 	}
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Progress: progressW})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW})
 	if err != nil {
 		fatal(err)
 	}

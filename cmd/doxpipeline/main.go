@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	doxpipeline [-scale 0.05] [-seed 42] [-progress] [-json]
+//	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-progress] [-json]
 package main
 
 import (
@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.05, "corpus scale factor")
-		seed      = flag.Int64("seed", 42, "world seed")
-		progress  = flag.Bool("progress", false, "print per-day progress to stderr")
-		asJSON    = flag.Bool("json", false, "emit a machine-readable summary instead of tables")
-		storePath = flag.String("store", "", "write the §3.3 privacy-preserving datastore (JSON lines) to this file")
-		storeSalt = flag.String("store-salt", "doxmeter-store", "salt for account digests in the datastore")
+		scale       = flag.Float64("scale", 0.05, "corpus scale factor")
+		seed        = flag.Int64("seed", 42, "world seed")
+		parallelism = flag.Int("parallelism", 0, "pipeline worker-pool size (0 = GOMAXPROCS, 1 = sequential); any value yields identical results")
+		progress    = flag.Bool("progress", false, "print per-day progress to stderr")
+		asJSON      = flag.Bool("json", false, "emit a machine-readable summary instead of tables")
+		storePath   = flag.String("store", "", "write the §3.3 privacy-preserving datastore (JSON lines) to this file")
+		storeSalt   = flag.String("store-salt", "doxmeter-store", "salt for account digests in the datastore")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		progressW = os.Stderr
 	}
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Progress: progressW})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW})
 	if err != nil {
 		fatal(err)
 	}

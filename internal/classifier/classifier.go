@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"doxmeter/internal/metrics"
+	"doxmeter/internal/parallel"
 	"doxmeter/internal/sgd"
 	"doxmeter/internal/tfidf"
 )
@@ -30,6 +31,11 @@ type Options struct {
 	// to share a rare token with a training dox becomes an unstable
 	// false-positive bomb.
 	MinTokens int
+	// Parallelism bounds the worker pool used by batch classification
+	// (IsDoxBatch) and the TrainEval test-split evaluation. Values <= 1
+	// run sequentially; results are identical at any setting because each
+	// document is classified independently.
+	Parallelism int
 }
 
 // DefaultThreshold is the decision boundary calibrated on the labeled
@@ -96,6 +102,28 @@ func (c *Classifier) IsDox(doc string) bool {
 	return c.Score(doc) >= 0
 }
 
+// IsDoxBatch classifies a batch of documents using at most workers
+// concurrent goroutines (workers <= 1 is sequential). Because each document
+// is classified independently against immutable fitted state, the result is
+// identical to calling IsDox in a loop, just faster on multi-core hosts.
+func (c *Classifier) IsDoxBatch(docs []string, workers int) []bool {
+	out := make([]bool, len(docs))
+	parallel.ForEach(len(docs), workers, func(i int) {
+		out[i] = c.IsDox(docs[i])
+	})
+	return out
+}
+
+// ScoreBatch computes decision margins for a batch, parallelized like
+// IsDoxBatch.
+func (c *Classifier) ScoreBatch(docs []string, workers int) []float64 {
+	out := make([]float64, len(docs))
+	parallel.ForEach(len(docs), workers, func(i int) {
+		out[i] = c.Score(docs[i])
+	})
+	return out
+}
+
 // VocabSize exposes the fitted vocabulary size.
 func (c *Classifier) VocabSize() int { return c.vec.VocabSize() }
 
@@ -136,9 +164,14 @@ func TrainEval(r *rand.Rand, examples []Example, opts Options) (*Classifier, Eva
 	if err != nil {
 		return nil, EvalResult{}, err
 	}
+	testDocs := make([]string, len(test))
+	for i, ex := range test {
+		testDocs[i] = ex.Body
+	}
+	preds := clf.IsDoxBatch(testDocs, opts.Parallelism)
 	var conf metrics.Confusion
-	for _, ex := range test {
-		conf.Add(ex.IsDox, clf.IsDox(ex.Body))
+	for i, ex := range test {
+		conf.Add(ex.IsDox, preds[i])
 	}
 	return clf, EvalResult{
 		Confusion: conf,

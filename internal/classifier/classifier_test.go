@@ -58,6 +58,54 @@ func TestTrainEvalTable1Shape(t *testing.T) {
 	}
 }
 
+// TestBatchMatchesSequential verifies the batch API yields exactly the
+// per-document results at any worker count.
+func TestBatchMatchesSequential(t *testing.T) {
+	exs := paperExamples(t)
+	r := rand.New(rand.NewSource(3))
+	clf, _, err := TrainEval(r, exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]string, 0, 200)
+	for i := 0; i < len(exs) && i < 200; i++ {
+		docs = append(docs, exs[i].Body)
+	}
+	want := make([]bool, len(docs))
+	wantScores := make([]float64, len(docs))
+	for i, d := range docs {
+		want[i] = clf.IsDox(d)
+		wantScores[i] = clf.Score(d)
+	}
+	for _, workers := range []int{0, 1, 4, 16} {
+		got := clf.IsDoxBatch(docs, workers)
+		scores := clf.ScoreBatch(docs, workers)
+		for i := range docs {
+			if got[i] != want[i] || scores[i] != wantScores[i] {
+				t.Fatalf("workers=%d: doc %d batch=(%v,%g) sequential=(%v,%g)",
+					workers, i, got[i], scores[i], want[i], wantScores[i])
+			}
+		}
+	}
+}
+
+// TestTrainEvalParallelismInvariant: the evaluation result must not depend
+// on the Parallelism knob.
+func TestTrainEvalParallelismInvariant(t *testing.T) {
+	exs := paperExamples(t)
+	_, serial, err := TrainEval(rand.New(rand.NewSource(9)), exs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := TrainEval(rand.New(rand.NewSource(9)), exs, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Confusion != par.Confusion {
+		t.Fatalf("confusion diverged: serial %+v parallel %+v", serial.Confusion, par.Confusion)
+	}
+}
+
 func TestClassifierGeneralizesToWildDoxes(t *testing.T) {
 	// Train on the rich proof-of-work corpus, then classify wild-corpus
 	// doxes and benign pastes it has never seen.

@@ -321,3 +321,62 @@ func httpGet(url string) (int, error) {
 	resp.Body.Close()
 	return resp.StatusCode, nil
 }
+
+// TestStudyParallelMatchesSequential is the tentpole's determinism
+// guarantee: for a fixed seed, a Parallelism=4 study must produce results
+// bit-identical to a Parallelism=1 study — same funnel counters, same dox
+// records in the same order, same monitored accounts.
+func TestStudyParallelMatchesSequential(t *testing.T) {
+	run := func(parallelism int) *Study {
+		s, err := NewStudy(StudyConfig{Seed: 11, Scale: 0.004, ControlSample: 300, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	seq := run(1)
+	par := run(4)
+
+	if seq.Collected != par.Collected {
+		t.Errorf("Collected: sequential %d, parallel %d", seq.Collected, par.Collected)
+	}
+	if len(seq.CollectedBySite) != len(par.CollectedBySite) {
+		t.Errorf("CollectedBySite size: %d vs %d", len(seq.CollectedBySite), len(par.CollectedBySite))
+	}
+	for site, n := range seq.CollectedBySite {
+		if par.CollectedBySite[site] != n {
+			t.Errorf("CollectedBySite[%s]: sequential %d, parallel %d", site, n, par.CollectedBySite[site])
+		}
+	}
+	if seq.FlaggedByPeriod != par.FlaggedByPeriod {
+		t.Errorf("FlaggedByPeriod: sequential %v, parallel %v", seq.FlaggedByPeriod, par.FlaggedByPeriod)
+	}
+	if len(seq.Doxes) != len(par.Doxes) {
+		t.Fatalf("Doxes: sequential %d, parallel %d", len(seq.Doxes), len(par.Doxes))
+	}
+	for i := range seq.Doxes {
+		a, b := seq.Doxes[i], par.Doxes[i]
+		if a.DocID != b.DocID || a.Site != b.Site || !a.Posted.Equal(b.Posted) ||
+			a.Period != b.Period || a.Text != b.Text {
+			t.Fatalf("dox %d diverged: %s/%s vs %s/%s", i, a.Site, a.DocID, b.Site, b.DocID)
+		}
+	}
+	if seq.Deduper.Stats() != par.Deduper.Stats() {
+		t.Errorf("dedup stats: sequential %+v, parallel %+v", seq.Deduper.Stats(), par.Deduper.Stats())
+	}
+	seqHist := seq.Monitor.Histories()
+	parHist := par.Monitor.Histories()
+	if len(seqHist) != len(parHist) {
+		t.Fatalf("monitor histories: sequential %d, parallel %d", len(seqHist), len(parHist))
+	}
+	for i := range seqHist {
+		a, b := seqHist[i], parHist[i]
+		if a.Ref != b.Ref || a.Verified != b.Verified || len(a.Obs) != len(b.Obs) {
+			t.Fatalf("history %v diverged (%d vs %d observations)", a.Ref, len(a.Obs), len(b.Obs))
+		}
+	}
+}

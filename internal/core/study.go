@@ -11,9 +11,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sort"
 	"time"
 
 	"doxmeter/internal/classifier"
@@ -24,6 +27,7 @@ import (
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
 	"doxmeter/internal/osn"
+	"doxmeter/internal/parallel"
 	"doxmeter/internal/randutil"
 	"doxmeter/internal/sim"
 	"doxmeter/internal/simclock"
@@ -43,6 +47,15 @@ type StudyConfig struct {
 	// LabelSample is how many flagged doxes the analyst labels; 0 uses
 	// the paper's 464 (capped at the number available).
 	LabelSample int
+	// Parallelism bounds every concurrent stage of the pipeline: the
+	// per-day source-poll fan-out, the in-crawler body/thread fetch
+	// concurrency, the CPU-hot per-document worker pool
+	// (html→text → TF-IDF → classify → extract), and the monitor's
+	// due-account sweep. Zero means runtime.GOMAXPROCS(0); 1 (or any
+	// negative value) runs fully sequentially. Results are identical at
+	// any setting: fetch and compute stages fan out, but all state
+	// mutation happens in a commit stage ordered by (Posted, Site, ID).
+	Parallelism int
 	// Progress, when non-nil, receives one line per study day.
 	Progress io.Writer
 }
@@ -59,6 +72,12 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.LabelSample == 0 {
 		c.LabelSample = 464
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -134,6 +153,9 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	for i, ex := range examples {
 		exs[i] = classifier.Example{Body: ex.Body, IsDox: ex.IsDox}
 	}
+	if cfg.Classifier.Parallelism == 0 {
+		cfg.Classifier.Parallelism = cfg.Parallelism
+	}
 	clf, eval, err := classifier.TrainEval(randutil.Derive(s.rng, "train"), exs, cfg.Classifier)
 	if err != nil {
 		return nil, err
@@ -204,7 +226,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	s.services = []*service{pbSvc, fourSvc, eightSvc, osnSvc}
 	s.osnBaseURL = osnSvc.BaseURL
 
-	opts := crawler.Options{}
+	opts := crawler.Options{Concurrency: cfg.Parallelism}
 	s.crawlers.pastebin = crawler.NewPastebin(pbSvc.BaseURL, opts)
 	s.crawlers.boards = []*crawler.Board{
 		crawler.NewBoard(fourSvc.BaseURL, "b", "4chan/b", opts),
@@ -213,6 +235,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		crawler.NewBoard(eightSvc.BaseURL, "baphomet", "8ch/baphomet", opts),
 	}
 	s.Monitor = monitor.New(s.Clock, osnSvc.BaseURL, simclock.Period2.End, nil)
+	s.Monitor.SetParallelism(cfg.Parallelism)
 	return s, nil
 }
 
@@ -270,48 +293,127 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 }
 
 // collectOnce polls every source and pushes new documents through the
-// pipeline. Boards were only crawled in period 2 (§3.1.1).
+// pipeline. Boards were only crawled in period 2 (§3.1.1). With
+// Parallelism > 1 the five sources are polled concurrently, each error
+// wrapped with its source name; a sequential run stops at the first
+// failing source, a concurrent run joins every source's error.
 func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int) error {
-	docs, err := s.crawlers.pastebin.Poll(ctx)
-	if err != nil {
-		return fmt.Errorf("pastebin poll: %w", err)
+	type source struct {
+		name string
+		poll func(context.Context) ([]crawler.Doc, error)
 	}
+	sources := []source{{"pastebin", s.crawlers.pastebin.Poll}}
 	if periodNo == 2 {
 		for _, bc := range s.crawlers.boards {
-			more, err := bc.Poll(ctx)
-			if err != nil {
-				return fmt.Errorf("%s poll: %w", bc.SiteName, err)
-			}
-			docs = append(docs, more...)
+			sources = append(sources, source{bc.SiteName, bc.Poll})
 		}
 	}
-	for i := range docs {
-		s.process(&docs[i], periodNo, p)
+
+	polled := make([][]crawler.Doc, len(sources))
+	if s.Cfg.Parallelism <= 1 {
+		for i, src := range sources {
+			docs, err := src.poll(ctx)
+			if err != nil {
+				return fmt.Errorf("%s poll: %w", src.name, err)
+			}
+			polled[i] = docs
+		}
+	} else {
+		errs := make([]error, len(sources))
+		parallel.ForEach(len(sources), s.Cfg.Parallelism, func(i int) {
+			docs, err := sources[i].poll(ctx)
+			polled[i] = docs
+			if err != nil {
+				errs[i] = fmt.Errorf("%s poll: %w", sources[i].name, err)
+			}
+		})
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
 	}
+
+	var docs []crawler.Doc
+	for _, d := range polled {
+		docs = append(docs, d...)
+	}
+	s.processBatch(docs, periodNo, p)
 	return nil
 }
 
-// process runs one collected document through classify → extract → dedup →
-// monitor.
-func (s *Study) process(doc *crawler.Doc, periodNo int, p simclock.Period) {
+// Prepared is the output of the stateless CPU-hot pipeline stages for one
+// document: html→text conversion, TF-IDF transform + classification, and
+// (for flagged documents) account extraction.
+type Prepared struct {
+	Text       string
+	IsDox      bool
+	Extraction *extract.Extraction // nil unless IsDox
+}
+
+// prepareDoc runs the stateless stages for one document. It only reads
+// immutable study state (the fitted classifier), so it is safe to call from
+// many goroutines.
+func (s *Study) prepareDoc(doc *crawler.Doc) Prepared {
+	text := doc.Body
+	if doc.HTML || htmltext.IsProbablyHTML(text) {
+		text = htmltext.Convert(text)
+	}
+	pre := Prepared{Text: text}
+	pre.IsDox = s.Classifier.IsDox(text)
+	if pre.IsDox {
+		pre.Extraction = extract.Extract(text)
+	}
+	return pre
+}
+
+// PrepareBatch runs the CPU-hot stages over a batch with at most workers
+// goroutines. Exported for the throughput benchmarks; the study itself
+// calls it from processBatch.
+func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
+	out := make([]Prepared, len(docs))
+	parallel.ForEach(len(docs), workers, func(i int) {
+		out[i] = s.prepareDoc(&docs[i])
+	})
+	return out
+}
+
+// processBatch pushes one day's collected documents through the pipeline:
+// a deterministic sort by (Posted, Site, ID), the parallel compute stage,
+// and the ordered commit stage that owns all state mutation (counters,
+// dedup, dox records, monitor tracking). Because the commit order is a pure
+// function of the document set, a Parallelism=N run is bit-identical to a
+// Parallelism=1 run for a fixed seed.
+func (s *Study) processBatch(docs []crawler.Doc, periodNo int, p simclock.Period) {
+	sort.Slice(docs, func(i, j int) bool {
+		if !docs[i].Posted.Equal(docs[j].Posted) {
+			return docs[i].Posted.Before(docs[j].Posted)
+		}
+		if docs[i].Site != docs[j].Site {
+			return docs[i].Site < docs[j].Site
+		}
+		return docs[i].ID < docs[j].ID
+	})
+	prepared := s.PrepareBatch(docs, s.Cfg.Parallelism)
+	for i := range docs {
+		s.commit(&docs[i], prepared[i], periodNo, p)
+	}
+}
+
+// commit applies one prepared document to the study state. Runs only on the
+// driver goroutine, in batch order.
+func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.Period) {
 	s.Collected++
 	s.CollectedBySite[doc.Site]++
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: doc.Site, ID: doc.ID, Posted: doc.Posted})
 	}
-	text := doc.Body
-	if doc.HTML || htmltext.IsProbablyHTML(text) {
-		text = htmltext.Convert(text)
-	}
-	if !s.Classifier.IsDox(text) {
+	if !pre.IsDox {
 		return
 	}
 	s.FlaggedByPeriod[periodNo]++
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.flaggedP1[doc.ID] = true
 	}
-	ex := extract.Extract(text)
-	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, text, ex.AccountSetKey())
+	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, pre.Text, pre.Extraction.AccountSetKey())
 	if verdict != dedup.Unique {
 		return
 	}
@@ -320,15 +422,15 @@ func (s *Study) process(doc *crawler.Doc, periodNo int, p simclock.Period) {
 		Site:       doc.Site,
 		Posted:     doc.Posted,
 		Period:     periodNo,
-		Text:       text,
-		Extraction: ex,
+		Text:       pre.Text,
+		Extraction: pre.Extraction,
 	}
 	s.Doxes = append(s.Doxes, rec)
 	// Monitor the referenced accounts on the four tracked networks,
 	// starting now (when we observed the dox) until the period ends.
 	now := s.Clock.Now()
 	for _, n := range netid.Monitored() {
-		if user, ok := ex.Accounts[n]; ok {
+		if user, ok := pre.Extraction.Accounts[n]; ok {
 			s.Monitor.TrackUntil(netid.Ref{Network: n, Username: user}, now, p.End)
 		}
 	}

@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"doxmeter/internal/parallel"
 )
 
 // Doc is one collected document, normalized across sources.
@@ -37,18 +39,31 @@ type Options struct {
 	Client *http.Client
 	// MinInterval is the minimum spacing between requests (0 = none).
 	MinInterval time.Duration
-	// Retries is how many times a failed request is retried (default 2).
+	// Retries is how many times a failed request is retried. Zero means
+	// the default of 2; negative disables retries entirely (mirroring the
+	// classifier's MinTokens convention, since "0 retries" is otherwise
+	// indistinguishable from "unset").
 	Retries int
 	// Backoff is the base retry backoff (default 50ms, doubled per retry).
 	Backoff time.Duration
+	// Concurrency bounds how many paste-body or thread fetches one Poll
+	// issues in parallel. Values <= 1 mean serial, the default, so
+	// existing single-threaded behaviour (and request ordering) is
+	// preserved unless a caller opts in. Returned document order is
+	// identical at any concurrency: fetches fan out, but results are
+	// committed in listing/catalog order.
+	Concurrency int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
-	if o.Retries == 0 {
+	switch {
+	case o.Retries == 0:
 		o.Retries = 2
+	case o.Retries < 0:
+		o.Retries = 0
 	}
 	if o.Backoff == 0 {
 		o.Backoff = 50 * time.Millisecond
@@ -62,6 +77,7 @@ type fetcher struct {
 	mu       sync.Mutex
 	lastReq  time.Time
 	requests int64
+	errors   int64
 }
 
 func newFetcher(opts Options) *fetcher {
@@ -102,21 +118,37 @@ func (f *fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := f.opts.Client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
+	// Count the attempt before Do so failed dials and timeouts are visible
+	// in Requests(); previously only completed round-trips were counted and
+	// retry storms against a dead host looked like zero traffic.
 	f.mu.Lock()
 	f.requests++
 	f.mu.Unlock()
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		f.bumpErrors()
+		return nil, err
+	}
+	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
+		// 404 is an expected outcome (deletion/prune races), not an error.
 		return nil, errNotFound
 	case resp.StatusCode != http.StatusOK:
+		f.bumpErrors()
 		return nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		f.bumpErrors()
+	}
+	return body, err
+}
+
+func (f *fetcher) bumpErrors() {
+	f.mu.Lock()
+	f.errors++
+	f.mu.Unlock()
 }
 
 // throttle enforces the minimum request interval.
@@ -144,11 +176,21 @@ func (f *fetcher) throttle(ctx context.Context) error {
 	}
 }
 
-// Requests returns the number of HTTP requests issued so far.
+// Requests returns the number of HTTP request attempts issued so far,
+// including attempts that failed before a response arrived.
 func (f *fetcher) Requests() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.requests
+}
+
+// Errors returns how many request attempts failed (transport errors,
+// non-2xx statuses other than 404, and body-read failures) — the signal a
+// deployment watches for retry storms.
+func (f *fetcher) Errors() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.errors
 }
 
 // Pastebin incrementally crawls a pastebin-style scraping API.
@@ -183,6 +225,18 @@ type pasteMeta struct {
 // Poll sweeps the listing from the current cursor, fetching every new paste
 // body. Pastes that vanish between listing and fetch (deletions) are
 // skipped, matching a live crawler's race.
+//
+// Crash/error consistency: seen/cursor state is committed per paste only
+// after its body fetch definitively resolved (success, or a 404 meaning the
+// paste is gone) and the document has been appended to the result.
+// On a transient failure Poll returns the documents collected so far — all
+// of which are committed — together with the error; the failed paste and
+// everything after it in the listing stay uncommitted, so the next Poll
+// re-lists and re-fetches them instead of silently skipping them forever.
+//
+// With Options.Concurrency > 1 the body fetches of one page fan out in
+// parallel, but commits happen in listing order on the calling goroutine,
+// so the returned documents are identical to a serial poll.
 func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 	var out []Doc
 	for {
@@ -200,46 +254,72 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		if len(page) == 0 {
 			return out, nil
 		}
+
+		// Pick out the pastes not yet committed (read-only check; nothing
+		// is marked seen until its body is in hand).
+		fetchIdx := make([]int, 0, len(page))
+		c.mu.Lock()
+		for i, m := range page {
+			if !c.seen[m.Key] {
+				fetchIdx = append(fetchIdx, i)
+			}
+		}
+		c.mu.Unlock()
+
+		type fetchResult struct {
+			body    []byte
+			err     error
+			fetched bool
+		}
+		results := make([]fetchResult, len(page))
+		parallel.ForEach(len(fetchIdx), c.f.opts.Concurrency, func(j int) {
+			i := fetchIdx[j]
+			body, err := c.f.get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, page[i].Key))
+			results[i] = fetchResult{body: body, err: err, fetched: true}
+		})
+
+		// Commit in listing order. The cursor only ever advances across the
+		// prefix of handled pastes: hitting a transient failure abandons the
+		// rest of the page (successfully fetched or not) uncommitted.
 		progressed := false
-		for _, m := range page {
-			c.mu.Lock()
-			dup := c.seen[m.Key]
-			if !dup {
-				c.seen[m.Key] = true
+		for i, m := range page {
+			res := results[i]
+			if res.fetched {
+				if res.err != nil && !errors.Is(res.err, errNotFound) {
+					return out, res.err
+				}
+				if res.err == nil {
+					out = append(out, Doc{
+						Site: c.SiteName, ID: m.Key, Title: m.Title,
+						Body: string(res.body), Posted: time.Unix(m.Date, 0).UTC(),
+					})
+				}
+				// A 404 means the paste was deleted between listing and
+				// fetch — definitively handled, so it commits too.
 				progressed = true
+			}
+			c.mu.Lock()
+			if res.fetched {
+				c.seen[m.Key] = true
 			}
 			if m.Date > c.cursor {
 				c.cursor = m.Date
 			}
 			c.mu.Unlock()
-			if dup {
-				continue
-			}
-			body, err := c.f.get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, m.Key))
-			if errors.Is(err, errNotFound) {
-				continue // deleted between listing and fetch
-			}
-			if err != nil {
-				return out, err
-			}
-			out = append(out, Doc{
-				Site: c.SiteName, ID: m.Key, Title: m.Title,
-				Body: string(body), Posted: time.Unix(m.Date, 0).UTC(),
-			})
 		}
 		// A page of only boundary-second duplicates means the stream is
 		// exhausted; avoid spinning.
-		if !progressed && len(page) < c.PageSize {
-			return out, nil
-		}
 		if !progressed {
 			return out, nil
 		}
 	}
 }
 
-// Requests exposes the underlying request count.
+// Requests exposes the underlying request-attempt count.
 func (c *Pastebin) Requests() int64 { return c.f.Requests() }
+
+// Errors exposes the underlying failed-attempt count.
+func (c *Pastebin) Errors() int64 { return c.f.Errors() }
 
 // Board incrementally crawls one board of a chan-style JSON API.
 type Board struct {
@@ -284,6 +364,14 @@ type threadJSON struct {
 
 // Poll fetches the catalog and re-reads every thread with new activity,
 // returning posts not seen before.
+//
+// Like Pastebin.Poll, per-thread seenPost/lastMod state commits only after
+// the thread JSON arrived and its new posts were appended to the result —
+// a transient mid-poll failure leaves the failed thread (and every thread
+// after it in catalog order) uncommitted for the next Poll to retry, and
+// the documents returned alongside the error are all committed. With
+// Options.Concurrency > 1, thread fetches fan out in parallel while commits
+// stay in catalog order.
 func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/catalog.json", c.BaseURL, c.Board))
 	if err != nil {
@@ -293,58 +381,72 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 	if err := json.Unmarshal(raw, &pages); err != nil {
 		return nil, fmt.Errorf("crawler: bad catalog: %w", err)
 	}
-	var out []Doc
+	// Threads with new activity, in catalog order.
+	type candidate struct {
+		no, lastMod int64
+	}
+	var cands []candidate
+	c.mu.Lock()
 	for _, page := range pages {
 		for _, th := range page.Threads {
-			c.mu.Lock()
-			handled := c.lastMod[th.No]
-			c.mu.Unlock()
-			if th.LastModified <= handled {
+			if th.LastModified > c.lastMod[th.No] {
+				cands = append(cands, candidate{no: th.No, lastMod: th.LastModified})
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	type fetchResult struct {
+		tj  threadJSON
+		err error
+	}
+	results := make([]fetchResult, len(cands))
+	parallel.ForEach(len(cands), c.f.opts.Concurrency, func(i int) {
+		results[i].tj, results[i].err = c.fetchThread(ctx, cands[i].no)
+	})
+
+	var out []Doc
+	for i, cd := range cands {
+		res := results[i]
+		if errors.Is(res.err, errNotFound) {
+			continue // thread pruned between catalog and fetch
+		}
+		if res.err != nil {
+			return out, res.err
+		}
+		c.mu.Lock()
+		for _, p := range res.tj.Posts {
+			if c.seenPost[p.No] {
 				continue
 			}
-			docs, err := c.pollThread(ctx, th.No)
-			if err != nil {
-				if errors.Is(err, errNotFound) {
-					continue // thread pruned between catalog and fetch
-				}
-				return out, err
-			}
-			out = append(out, docs...)
-			c.mu.Lock()
-			c.lastMod[th.No] = th.LastModified
-			c.mu.Unlock()
+			c.seenPost[p.No] = true
+			out = append(out, Doc{
+				Site: c.SiteName, ID: fmt.Sprintf("%s-%d", c.Board, p.No),
+				Body: p.Com, HTML: true, Posted: time.Unix(p.Time, 0).UTC(),
+			})
 		}
+		c.lastMod[cd.no] = cd.lastMod
+		c.mu.Unlock()
 	}
 	return out, nil
 }
 
-func (c *Board) pollThread(ctx context.Context, no int64) ([]Doc, error) {
+// fetchThread retrieves and parses one thread's JSON without touching any
+// crawler state; Poll commits the outcome.
+func (c *Board) fetchThread(ctx context.Context, no int64) (threadJSON, error) {
 	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/thread/%d.json", c.BaseURL, c.Board, no))
 	if err != nil {
-		return nil, err
+		return threadJSON{}, err
 	}
 	var tj threadJSON
 	if err := json.Unmarshal(raw, &tj); err != nil {
-		return nil, fmt.Errorf("crawler: bad thread %d: %w", no, err)
+		return threadJSON{}, fmt.Errorf("crawler: bad thread %d: %w", no, err)
 	}
-	var out []Doc
-	for _, p := range tj.Posts {
-		c.mu.Lock()
-		dup := c.seenPost[p.No]
-		if !dup {
-			c.seenPost[p.No] = true
-		}
-		c.mu.Unlock()
-		if dup {
-			continue
-		}
-		out = append(out, Doc{
-			Site: c.SiteName, ID: fmt.Sprintf("%s-%d", c.Board, p.No),
-			Body: p.Com, HTML: true, Posted: time.Unix(p.Time, 0).UTC(),
-		})
-	}
-	return out, nil
+	return tj, nil
 }
 
-// Requests exposes the underlying request count.
+// Requests exposes the underlying request-attempt count.
 func (c *Board) Requests() int64 { return c.f.Requests() }
+
+// Errors exposes the underlying failed-attempt count.
+func (c *Board) Errors() int64 { return c.f.Errors() }

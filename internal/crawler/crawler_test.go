@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -210,6 +212,186 @@ func TestRateLimiting(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
 		t.Fatalf("4 rate-limited polls took only %v", elapsed)
+	}
+}
+
+// flakyProxy forwards to a backend handler but fails the nth request whose
+// URL contains substr (once) with a 500 — injecting the transient mid-page
+// failure of a live crawl.
+type flakyProxy struct {
+	backend http.Handler
+	substr  string
+	failN   int32 // fail the nth matching request (1-based)
+	count   int32
+	failed  int32
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.URL.String(), p.substr) {
+		n := atomic.AddInt32(&p.count, 1)
+		if n == p.failN && atomic.CompareAndSwapInt32(&p.failed, 0, 1) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+	}
+	p.backend.ServeHTTP(w, r)
+}
+
+// TestPastebinNoLossOnMidPageFailure is the regression test for the crawler
+// data-loss bug: a transient failure fetching one paste body mid-page must
+// not commit that paste as seen — the next Poll has to deliver it.
+func TestPastebinNoLossOnMidPageFailure(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SitePastebin]
+	clock := simclock.NewClock(simclock.Period2.End) // everything visible
+	pb := sites.NewPastebin(clock, docs, sites.DeletionModel{}, 5)
+	proxy := &flakyProxy{backend: pb.Handler(), substr: "api_scrape_item", failN: 3}
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+
+	// Retries disabled so the injected failure surfaces instead of being
+	// absorbed by the retry loop.
+	c := NewPastebin(srv.URL, Options{Retries: -1})
+	ctx := context.Background()
+
+	first, err := c.Poll(ctx)
+	if err == nil {
+		t.Fatal("transient failure not surfaced")
+	}
+	second, err := c.Poll(ctx)
+	if err != nil {
+		t.Fatalf("re-poll failed: %v", err)
+	}
+	collected := map[string]bool{}
+	for _, d := range append(first, second...) {
+		if collected[d.ID] {
+			t.Fatalf("paste %s delivered twice", d.ID)
+		}
+		collected[d.ID] = true
+	}
+	for _, d := range docs {
+		if !collected[d.ID] {
+			t.Fatalf("paste %s lost after transient failure (got %d of %d)", d.ID, len(collected), len(docs))
+		}
+	}
+}
+
+// TestBoardNoLossOnTransientFailure mirrors the pastebin regression for the
+// board crawler: a failed thread fetch must leave the thread uncommitted so
+// the next Poll retries it.
+func TestBoardNoLossOnTransientFailure(t *testing.T) {
+	corpus := smallCorpus(t)
+	docs := corpus.Streams[textgen.SiteFourchanB]
+	clock := simclock.NewClock(simclock.Period2.End)
+	site := sites.NewBoardSite(clock, map[string][]textgen.Doc{"b": docs}, 6)
+	proxy := &flakyProxy{backend: site.Handler(), substr: "/thread/", failN: 2}
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+
+	c := NewBoard(srv.URL, "b", "4chan/b", Options{Retries: -1})
+	ctx := context.Background()
+
+	first, err := c.Poll(ctx)
+	if err == nil {
+		t.Fatal("transient failure not surfaced")
+	}
+	second, err := c.Poll(ctx)
+	if err != nil {
+		t.Fatalf("re-poll failed: %v", err)
+	}
+	collected := map[string]bool{}
+	for _, d := range append(first, second...) {
+		if collected[d.ID] {
+			t.Fatalf("post %s delivered twice", d.ID)
+		}
+		collected[d.ID] = true
+	}
+	if len(collected) != len(docs) {
+		t.Fatalf("collected %d of %d posts across failure + re-poll", len(collected), len(docs))
+	}
+}
+
+// TestRetriesDisabled verifies the Retries zero-value fix: negative
+// disables retries entirely (zero still means the default of 2).
+func TestRetriesDisabled(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{Retries: -1, Backoff: time.Millisecond})
+	if _, err := c.Poll(context.Background()); err == nil {
+		t.Fatal("failure not reported")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("retries-disabled crawler made %d attempts, want 1", got)
+	}
+}
+
+// TestRequestAndErrorAccounting verifies failed attempts are counted: every
+// attempt shows up in Requests() and every failure in Errors().
+func TestRequestAndErrorAccounting(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewPastebin(srv.URL, Options{Retries: 2, Backoff: time.Millisecond})
+	_, _ = c.Poll(context.Background())
+	if got := c.Requests(); got != 3 {
+		t.Errorf("Requests() = %d, want 3 (1 + 2 retries)", got)
+	}
+	if got := c.Errors(); got != 3 {
+		t.Errorf("Errors() = %d, want 3", got)
+	}
+
+	// A dead host (dial failure, no HTTP response at all) must count too.
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv2.Close() // nothing listening anymore
+	c2 := NewPastebin(srv2.URL, Options{Retries: -1})
+	_, _ = c2.Poll(context.Background())
+	if c2.Requests() != 1 || c2.Errors() != 1 {
+		t.Errorf("dead host: Requests()=%d Errors()=%d, want 1/1", c2.Requests(), c2.Errors())
+	}
+}
+
+// TestConcurrentPollMatchesSerial checks that Options.Concurrency changes
+// neither the set nor the order of delivered documents.
+func TestConcurrentPollMatchesSerial(t *testing.T) {
+	corpus := smallCorpus(t)
+	pbDocs := corpus.Streams[textgen.SitePastebin]
+	boardDocs := corpus.Streams[textgen.SiteEightchPol]
+	clock := simclock.NewClock(simclock.Period2.End)
+	pb := sites.NewPastebin(clock, pbDocs, sites.DeletionModel{}, 7)
+	board := sites.NewBoardSite(clock, map[string][]textgen.Doc{"pol": boardDocs}, 8)
+	pbSrv := httptest.NewServer(pb.Handler())
+	defer pbSrv.Close()
+	boardSrv := httptest.NewServer(board.Handler())
+	defer boardSrv.Close()
+	ctx := context.Background()
+
+	serialPB, err := NewPastebin(pbSrv.URL, Options{}).Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelPB, err := NewPastebin(pbSrv.URL, Options{Concurrency: 8}).Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialPB, parallelPB) {
+		t.Fatalf("pastebin: parallel poll diverged (serial %d docs, parallel %d)", len(serialPB), len(parallelPB))
+	}
+
+	serialBoard, err := NewBoard(boardSrv.URL, "pol", "8ch/pol", Options{}).Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelBoard, err := NewBoard(boardSrv.URL, "pol", "8ch/pol", Options{Concurrency: 8}).Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialBoard, parallelBoard) {
+		t.Fatalf("board: parallel poll diverged (serial %d docs, parallel %d)", len(serialBoard), len(parallelBoard))
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"doxmeter/internal/netid"
 	"doxmeter/internal/osn"
+	"doxmeter/internal/parallel"
 	"doxmeter/internal/simclock"
 )
 
@@ -119,16 +120,19 @@ func (h *History) ChangedWithin(days int) (bool, time.Time) {
 }
 
 // Monitor tracks accounts and scrapes them on schedule. Safe for concurrent
-// use; ProcessDue serializes scraping internally.
+// use. ProcessDue fetches due profiles with a bounded worker pool (see
+// SetParallelism) but commits observations in deterministic account-key
+// order, so histories are identical at any parallelism.
 type Monitor struct {
 	clock   *simclock.Clock
 	baseURL string
 	client  *http.Client
 	endAt   time.Time
 
-	mu        sync.Mutex
-	histories map[string]*History
-	requests  int64
+	mu          sync.Mutex
+	histories   map[string]*History
+	requests    int64
+	parallelism int
 }
 
 // New builds a monitor scraping the OSN service at baseURL until endAt.
@@ -143,6 +147,16 @@ func New(clock *simclock.Clock, baseURL string, endAt time.Time, client *http.Cl
 		endAt:     endAt,
 		histories: make(map[string]*History),
 	}
+}
+
+// SetParallelism bounds how many profile fetches one ProcessDue sweep
+// issues concurrently. Values <= 1 (the default) scrape serially; any
+// setting yields identical histories because observations are committed in
+// sorted account-key order after the fetches complete.
+func (m *Monitor) SetParallelism(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parallelism = n
 }
 
 // Track begins monitoring an account first seen in a dox at seenAt. Already
@@ -208,9 +222,15 @@ func (m *Monitor) Requests() int64 {
 
 // ProcessDue visits every account whose next scheduled check is due at the
 // current virtual time. Call it after each clock advance.
+//
+// With SetParallelism(n > 1) the profile fetches fan out across a bounded
+// worker pool; observations are then committed on the calling goroutine in
+// sorted account-key order, so the resulting histories (and Requests count
+// on the error-free path) are identical to a serial sweep.
 func (m *Monitor) ProcessDue(ctx context.Context) error {
 	now := m.clock.Now()
 	m.mu.Lock()
+	workers := m.parallelism
 	var due []*History
 	for _, h := range m.histories {
 		if !h.finished && !h.nextDue.After(now) {
@@ -219,32 +239,78 @@ func (m *Monitor) ProcessDue(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 	sort.Slice(due, func(i, j int) bool { return due[i].Ref.Key() < due[j].Ref.Key() })
-	for _, h := range due {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		status, comments, activity, defaced, found, err := m.scrape(ctx, h)
-		if err != nil {
-			return err
-		}
-		m.mu.Lock()
-		m.requests++
-		if len(h.Obs) == 0 {
-			h.Verified = found
-			if !found {
-				// Nonexistent account: drop from further monitoring.
-				h.finished = true
-				m.mu.Unlock()
-				continue
+
+	if workers <= 1 {
+		for _, h := range due {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res := m.scrapeOne(ctx, h)
+			if err := m.commit(h, res, now); err != nil {
+				return err
 			}
 		}
-		if h.Activity < 0 && activity >= 0 {
-			h.Activity = activity
-		}
-		h.Obs = append(h.Obs, Observation{Time: now, Status: status, Defaced: defaced, Comments: comments})
-		m.advance(h, now)
-		m.mu.Unlock()
+		return nil
 	}
+
+	// Fetch phase: workers only read history state (scrape inspects
+	// h.Obs/h.NumericID); nothing mutates until every fetch has finished.
+	results := make([]scrapeResult, len(due))
+	parallel.ForEach(len(due), workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = scrapeResult{err: err}
+			return
+		}
+		results[i] = m.scrapeOne(ctx, due[i])
+	})
+	// Ordered commit: stop at the first failure, leaving later accounts
+	// uncommitted exactly as a serial sweep would.
+	for i, h := range due {
+		if err := m.commit(h, results[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrapeResult carries one profile fetch from the worker pool to the
+// ordered commit.
+type scrapeResult struct {
+	status   osn.Status
+	comments []CommentObs
+	activity int
+	defaced  bool
+	found    bool
+	err      error
+}
+
+func (m *Monitor) scrapeOne(ctx context.Context, h *History) scrapeResult {
+	var r scrapeResult
+	r.status, r.comments, r.activity, r.defaced, r.found, r.err = m.scrape(ctx, h)
+	return r
+}
+
+// commit applies one scrape result to its history under the lock.
+func (m *Monitor) commit(h *History, res scrapeResult, now time.Time) error {
+	if res.err != nil {
+		return res.err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if len(h.Obs) == 0 {
+		h.Verified = res.found
+		if !res.found {
+			// Nonexistent account: drop from further monitoring.
+			h.finished = true
+			return nil
+		}
+	}
+	if h.Activity < 0 && res.activity >= 0 {
+		h.Activity = res.activity
+	}
+	h.Obs = append(h.Obs, Observation{Time: now, Status: res.status, Defaced: res.defaced, Comments: res.comments})
+	m.advance(h, now)
 	return nil
 }
 

@@ -386,3 +386,57 @@ func TestScheduleCatchUpAcrossGap(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelSweepMatchesSerial runs the same study twice — serial and
+// with a parallel due-account sweep — and requires bit-identical histories.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	run := func(parallelism int) []*History {
+		w := sim.NewWorld(sim.Default(81, 0.02))
+		clock := simclock.NewClock(simclock.Period1.Start)
+		uni := osn.NewUniverse(clock, w, 81)
+		srv := httptest.NewServer(uni.Handler())
+		defer srv.Close()
+		mon := New(clock, srv.URL, simclock.Period2.End, nil)
+		mon.SetParallelism(parallelism)
+		at := simclock.Period1.Start
+		n := 0
+		for _, v := range w.Victims {
+			user, ok := v.OSN[netid.Facebook]
+			if !ok {
+				continue
+			}
+			ref := netid.Ref{Network: netid.Facebook, Username: user}
+			uni.RecordDox(ref, at)
+			mon.Track(ref, at)
+			if n++; n >= 40 {
+				break
+			}
+		}
+		ctx := context.Background()
+		for !clock.Now().After(at.Add(30 * simclock.Day)) {
+			if err := mon.ProcessDue(ctx); err != nil {
+				t.Fatal(err)
+			}
+			clock.Advance(simclock.Day)
+		}
+		return mon.Histories()
+	}
+
+	serial := run(1)
+	par := run(8)
+	if len(serial) != len(par) {
+		t.Fatalf("history count diverged: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		a, b := serial[i], par[i]
+		if a.Ref != b.Ref || a.Verified != b.Verified || a.Activity != b.Activity || len(a.Obs) != len(b.Obs) {
+			t.Fatalf("history %v diverged: %+v vs %+v", a.Ref, a, b)
+		}
+		for j := range a.Obs {
+			if !a.Obs[j].Time.Equal(b.Obs[j].Time) || a.Obs[j].Status != b.Obs[j].Status ||
+				a.Obs[j].Defaced != b.Obs[j].Defaced || len(a.Obs[j].Comments) != len(b.Obs[j].Comments) {
+				t.Fatalf("history %v observation %d diverged", a.Ref, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package parallel provides the bounded-worker primitive shared by the
+// pipeline's concurrent stages: the crawler's in-poll fetch fan-out, the
+// classifier's batch scoring, the monitor's due-account sweep, and the
+// study's per-document worker pool.
+//
+// The contract that keeps parallel runs bit-identical to sequential ones is
+// deliberately narrow: ForEach promises nothing about execution order, so
+// callers write result i into slot i of a pre-sized slice and then commit
+// the slots in deterministic order on the calling goroutine. All shared
+// mutation lives in the ordered commit, never in the workers.
+package parallel
+
+import "sync"
+
+// ForEach invokes fn(i) for every i in [0, n), running at most workers
+// calls concurrently. workers <= 1 (or n <= 1) degrades to a plain loop on
+// the calling goroutine, guaranteeing behaviour identical to the
+// pre-concurrency code path — which is why every Concurrency/Parallelism
+// knob in this repo treats 1 as "fully sequential".
+func ForEach(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

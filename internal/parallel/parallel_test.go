@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 4, 100} {
+		const n = 257
+		var hits [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	// workers <= 1 must be a plain in-order loop on the caller's goroutine.
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential ForEach visited %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int32
+	ForEach(64, workers, func(int) {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if a <= p || atomic.CompareAndSwapInt32(&peak, p, a) {
+				break
+			}
+		}
+		atomic.AddInt32(&active, -1)
+	})
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Fatalf("observed %d concurrent calls, limit %d", p, workers)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with n=0")
+	}
+}

@@ -61,22 +61,25 @@ func (v Vector) Norm() float64 {
 
 // Tokenize splits text per the sklearn default token pattern: maximal runs
 // of Unicode word characters (letters, digits, underscore) of length >= 2,
-// lowercased. Exported so the extractor's statistical scorer can share the
-// exact tokenization.
+// lowercased. Length is measured in runes, matching sklearn's \w\w+ which
+// requires two *characters* — a single multibyte rune ("é", one CJK
+// character) is not a token even though it spans several bytes. Exported so
+// the extractor's statistical scorer can share the exact tokenization.
 func Tokenize(text string) []string {
 	out := make([]string, 0, len(text)/6)
-	start := -1
+	start, runes := -1, 0
 	flush := func(end int, src string) {
-		if start >= 0 && end-start >= 2 {
+		if start >= 0 && runes >= 2 {
 			out = append(out, strings.ToLower(src[start:end]))
 		}
-		start = -1
+		start, runes = -1, 0
 	}
 	for i, r := range text {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
 			if start < 0 {
 				start = i
 			}
+			runes++
 		} else {
 			flush(i, text)
 		}

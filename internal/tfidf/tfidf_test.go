@@ -38,6 +38,34 @@ func TestTokenizeUnicode(t *testing.T) {
 	}
 }
 
+// TestTokenizeRuneLength is the regression test for the byte-vs-rune length
+// bug: sklearn's \w\w+ requires at least two characters, so one multibyte
+// rune (2+ bytes) must not become a token.
+func TestTokenizeRuneLength(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"é", nil},            // 2 bytes, 1 rune: not a token
+		{"日", nil},            // 3 bytes, 1 rune: not a token
+		{"éé", []string{"éé"}},
+		{"日本", []string{"日本"}},
+		{"é a 日 b", nil},      // all single-rune/char fragments dropped
+		{"café 東京 x", []string{"café", "東京"}},
+		{"É", nil},            // uppercase single rune, still dropped
+		{"Éé", []string{"éé"}}, // lowercased multibyte token
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
 func TestVectorDot(t *testing.T) {
 	a := Vector{{0, 1}, {2, 2}, {5, 3}}
 	b := Vector{{1, 10}, {2, 4}, {5, 1}}

@@ -2,13 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench bench-quick examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos check bench bench-quick examples run-pipeline clean
 
 all: check
 
-# The default verification path: build, vet, tests, and the race detector
-# over the concurrent pipeline (crawler fan-out, worker pool, monitor sweep).
-check: build vet test test-race
+# The default verification path: build, vet, tests, the race detector
+# over the concurrent pipeline (crawler fan-out, worker pool, monitor
+# sweep, chaos suite), and a short fuzz smoke over every parser that eats
+# network bytes.
+check: build vet test test-race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +23,29 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Native fuzzing, 5s per target: every parser fed by the network (listing,
+# catalog, thread, Retry-After header, profile HTML) plus the text-pipeline
+# entry points. Each invocation names one target because go test allows
+# only one -fuzz pattern per package run.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseListing -fuzztime=$(FUZZTIME) -run NONE ./internal/crawler
+	$(GO) test -fuzz=FuzzParseCatalog -fuzztime=$(FUZZTIME) -run NONE ./internal/crawler
+	$(GO) test -fuzz=FuzzParseThread -fuzztime=$(FUZZTIME) -run NONE ./internal/crawler
+	$(GO) test -fuzz=FuzzParseRetryAfter -fuzztime=$(FUZZTIME) -run NONE ./internal/crawler
+	$(GO) test -fuzz=FuzzParseProfile -fuzztime=$(FUZZTIME) -run NONE ./internal/monitor
+	$(GO) test -fuzz=FuzzConvert -fuzztime=$(FUZZTIME) -run NONE ./internal/htmltext
+	$(GO) test -fuzz=FuzzExtract -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
+	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
+
+# Long chaos soak: the full chaos suites under the race detector, including
+# the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), plus a
+# longer fuzz pass over the network-facing parsers.
+chaos:
+	DOXMETER_CHAOS_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
+		./internal/faults ./internal/crawler ./internal/monitor
+	$(MAKE) fuzz-smoke FUZZTIME=30s
 
 # Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
 bench:

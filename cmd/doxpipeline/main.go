@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-progress] [-json]
+//	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-faults off] [-progress] [-json]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 
 	"doxmeter/internal/core"
 	"doxmeter/internal/experiments"
+	"doxmeter/internal/faults"
 	"doxmeter/internal/monitor"
 )
 
@@ -30,15 +31,21 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit a machine-readable summary instead of tables")
 		storePath   = flag.String("store", "", "write the §3.3 privacy-preserving datastore (JSON lines) to this file")
 		storeSalt   = flag.String("store-salt", "doxmeter-store", "salt for account digests in the datastore")
+		faultsName  = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
 	)
 	flag.Parse()
+
+	profile, err := faults.Preset(*faultsName, *seed+5)
+	if err != nil {
+		fatal(err)
+	}
 
 	var progressW io.Writer
 	if *progress {
 		progressW = os.Stderr
 	}
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile})
 	if err != nil {
 		fatal(err)
 	}
@@ -47,6 +54,19 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if profile != nil {
+		fc := s.FaultCounters()
+		fs := s.FetchStats()
+		fmt.Fprintf(os.Stderr,
+			"faults (%s): injected %d of %d requests (500s=%d 503s=%d 429s=%d resets=%d stalls=%d truncated=%d corrupted=%d outage=%d)\n",
+			*faultsName, fc.Injected(), fc.Requests, fc.Status500, fc.Status503,
+			fc.RateLimited, fc.Resets, fc.Stalls, fc.Truncated, fc.Corrupted, fc.OutageRejected)
+		fmt.Fprintf(os.Stderr,
+			"fetch: %d requests, %d retries, %d rate-limited, %d truncated, %d corrupt, %d quarantined, breaker opened %d times; %d poll failures, %d monitor failures\n",
+			fs.Requests, fs.Retries, fs.RateLimited, fs.Truncated, fs.Corrupt,
+			fs.Quarantined, fs.BreakerOpens, sumValues(s.PollFailures), s.MonitorFailures)
+	}
 
 	if *storePath != "" {
 		store := s.BuildStore(*storeSalt)
@@ -82,6 +102,15 @@ func main() {
 			"accounts_verified":   verified,
 			"accounts_dropped":    nonexistent,
 		}
+		if profile != nil {
+			fs := s.FetchStats()
+			out["faults_profile"] = *faultsName
+			out["faults_injected"] = s.FaultCounters().Injected()
+			out["fetch_retries"] = fs.Retries
+			out["breaker_opens"] = fs.BreakerOpens
+			out["poll_failures"] = sumValues(s.PollFailures)
+			out["monitor_failures"] = s.MonitorFailures
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -95,6 +124,14 @@ func main() {
 	fmt.Printf("classifier vocabulary: %d terms\n", s.Classifier.VocabSize())
 	fmt.Printf("study wall time: %v at scale %.3f (%d documents)\n",
 		elapsed.Round(time.Millisecond), *scale, s.Collected)
+}
+
+func sumValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
 }
 
 func fatal(err error) {

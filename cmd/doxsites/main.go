@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	doxsites [-scale 0.01] [-seed 42] [-addr 127.0.0.1:8420]
+//	doxsites [-scale 0.01] [-seed 42] [-addr 127.0.0.1:8420] [-faults off]
 //
 // Endpoints (all under one address):
 //
@@ -16,6 +16,7 @@
 //	/osn/{network}/{username}              /osn/instagram/id/<n>
 //	/admin/clock                           — current virtual time
 //	/admin/advance?days=7                  — move the clock forward
+//	/admin/faults                          — fault-injection counters per service
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"doxmeter/internal/faults"
 	"doxmeter/internal/osn"
 	"doxmeter/internal/sim"
 	"doxmeter/internal/simclock"
@@ -35,11 +37,18 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.01, "corpus scale factor")
-		seed  = flag.Int64("seed", 42, "world seed")
-		addr  = flag.String("addr", "127.0.0.1:8420", "listen address")
+		scale      = flag.Float64("scale", 0.01, "corpus scale factor")
+		seed       = flag.Int64("seed", 42, "world seed")
+		addr       = flag.String("addr", "127.0.0.1:8420", "listen address")
+		faultsName = flag.String("faults", "off", "fault-injection profile for the served sites: off, mild, heavy or outage")
 	)
 	flag.Parse()
+
+	profile, err := faults.Preset(*faultsName, *seed+5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doxsites:", err)
+		os.Exit(1)
+	}
 
 	world := sim.NewWorld(sim.Default(*seed, *scale))
 	gen := textgen.New(world)
@@ -57,11 +66,23 @@ func main() {
 	}, *seed+3)
 	universe := osn.NewUniverse(clock, world, *seed+4)
 
+	// Optionally wrap each service in a deterministic fault injector, the
+	// same way the pipeline's chaos runs do.
+	injectors := map[string]*faults.Injector{}
+	wrap := func(name string, h http.Handler) http.Handler {
+		if profile == nil {
+			return h
+		}
+		in := faults.NewInjector(profile.ForService(name), clock, h)
+		injectors[name] = in
+		return in
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/pastebin/", http.StripPrefix("/pastebin", pastebin.Handler()))
-	mux.Handle("/4chan/", http.StripPrefix("/4chan", fourchan.Handler()))
-	mux.Handle("/8ch/", http.StripPrefix("/8ch", eightch.Handler()))
-	mux.Handle("/osn/", http.StripPrefix("/osn", universe.Handler()))
+	mux.Handle("/pastebin/", http.StripPrefix("/pastebin", wrap("pastebin", pastebin.Handler())))
+	mux.Handle("/4chan/", http.StripPrefix("/4chan", wrap("fourchan", fourchan.Handler())))
+	mux.Handle("/8ch/", http.StripPrefix("/8ch", wrap("eightch", eightch.Handler())))
+	mux.Handle("/osn/", http.StripPrefix("/osn", wrap("osn", universe.Handler())))
 	mux.HandleFunc("/admin/clock", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, clock.Now().Format(time.RFC3339))
 	})
@@ -77,6 +98,15 @@ func main() {
 		}
 		now := clock.Advance(time.Duration(days) * simclock.Day)
 		fmt.Fprintln(w, now.Format(time.RFC3339))
+	})
+	mux.HandleFunc("/admin/faults", func(w http.ResponseWriter, _ *http.Request) {
+		if profile == nil {
+			fmt.Fprintln(w, "fault injection off (start with -faults mild|heavy|outage)")
+			return
+		}
+		for _, name := range []string{"pastebin", "fourchan", "eightch", "osn"} {
+			fmt.Fprintf(w, "%-8s %+v\n", name, injectors[name].Counters())
+		}
 	})
 
 	fmt.Printf("doxsites serving %d documents and %d social accounts on http://%s\n",

@@ -11,10 +11,10 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"runtime"
 	"sort"
 	"time"
@@ -23,6 +23,7 @@ import (
 	"doxmeter/internal/crawler"
 	"doxmeter/internal/dedup"
 	"doxmeter/internal/extract"
+	"doxmeter/internal/faults"
 	"doxmeter/internal/htmltext"
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
@@ -58,6 +59,22 @@ type StudyConfig struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per study day.
 	Progress io.Writer
+	// Crawl is the shared fetch-hardening policy (retries, backoff,
+	// Retry-After cap, circuit breaker, request timeout) applied to every
+	// HTTP consumer — the five crawlers and the monitor. Client and
+	// Concurrency are managed by the study (Concurrency follows
+	// Parallelism); an unset Seed derives from the study seed so backoff
+	// jitter is reproducible.
+	Crawl crawler.Options
+	// Faults, when non-nil, wraps every simulated service with a
+	// deterministic fault injector (see internal/faults). Each service
+	// gets an independently-seeded derivation of the profile.
+	Faults *faults.Profile
+	// RecordCollectedIDs retains the "site/id" key and posted time of
+	// every committed document in Study.CollectedIDs. Test/diagnostic
+	// hook for no-data-loss audits; off by default because a full-scale
+	// run commits millions of documents.
+	RecordCollectedIDs bool
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -78,6 +95,12 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
+	}
+	if c.Crawl.Seed == 0 {
+		c.Crawl.Seed = c.Seed ^ 0x6665746368 // "fetch"
+	}
+	if c.Crawl.RequestTimeout == 0 {
+		c.Crawl.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -117,6 +140,22 @@ type Study struct {
 	}
 	rng *rand.Rand
 
+	// Injectors maps service name (pastebin, fourchan, eightch, osn) to
+	// its fault injector; empty when StudyConfig.Faults is nil.
+	Injectors map[string]*faults.Injector
+	// PollFailures counts the polls per source that still failed after all
+	// retries. Each failed poll degrades that day's sweep; the documents
+	// involved stay uncommitted in the crawler and are collected by a
+	// later poll, so nothing is lost — only delayed.
+	PollFailures map[string]int
+	// MonitorFailures counts monitor sweeps that failed mid-commit; due
+	// accounts stay due and are revisited on the next sweep.
+	MonitorFailures int
+
+	// CollectedIDs maps "site/id" to posted time for every committed
+	// document; nil unless StudyConfig.RecordCollectedIDs is set.
+	CollectedIDs map[string]time.Time
+
 	// Results, populated by Run.
 	Collected       int
 	CollectedBySite map[string]int
@@ -141,8 +180,13 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Clock:           simclock.NewClock(simclock.Period1.Start),
 		Deduper:         dedup.New(),
 		CollectedBySite: make(map[string]int),
+		Injectors:       make(map[string]*faults.Injector),
+		PollFailures:    make(map[string]int),
 		flaggedP1:       make(map[string]bool),
 		rng:             randutil.New(cfg.Seed ^ 0x636f7265), // "core"
+	}
+	if cfg.RecordCollectedIDs {
+		s.CollectedIDs = make(map[string]time.Time)
 	}
 	s.World = sim.NewWorld(sim.Default(cfg.Seed, cfg.Scale))
 	s.Gen = textgen.New(s.World)
@@ -199,34 +243,53 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		if !ok {
 			continue
 		}
-		for n, user := range v.OSN {
+		// Fixed network order: RecordDox draws the owner's reaction from
+		// the shared universe RNG, so map-order iteration here would make
+		// reaction times differ from run to run.
+		for _, n := range netid.All() {
+			user, ok := v.OSN[n]
+			if !ok {
+				continue
+			}
 			ref := netid.Ref{Network: n, Username: user}
 			s.Universe.RecordDox(ref, t)
 			s.Universe.TriggerAbuse(ref, t)
 		}
 	}
 
-	// Serve everything over loopback HTTP.
-	pbSvc, err := serveLocal(s.Pastebin.Handler())
+	// Serve everything over loopback HTTP, optionally behind per-service
+	// fault injectors. Each injector derives an independent seed from the
+	// study-level profile so fault streams don't correlate across sites.
+	wrap := func(name string, h http.Handler) http.Handler {
+		if cfg.Faults == nil {
+			return h
+		}
+		in := faults.NewInjector(cfg.Faults.ForService(name), s.Clock, h)
+		s.Injectors[name] = in
+		return in
+	}
+	pbSvc, err := serveLocal(wrap("pastebin", s.Pastebin.Handler()))
 	if err != nil {
 		return nil, err
 	}
-	fourSvc, err := serveLocal(s.Fourchan.Handler())
+	fourSvc, err := serveLocal(wrap("fourchan", s.Fourchan.Handler()))
 	if err != nil {
 		return nil, err
 	}
-	eightSvc, err := serveLocal(s.Eightch.Handler())
+	eightSvc, err := serveLocal(wrap("eightch", s.Eightch.Handler()))
 	if err != nil {
 		return nil, err
 	}
-	osnSvc, err := serveLocal(s.Universe.Handler())
+	osnSvc, err := serveLocal(wrap("osn", s.Universe.Handler()))
 	if err != nil {
 		return nil, err
 	}
 	s.services = []*service{pbSvc, fourSvc, eightSvc, osnSvc}
 	s.osnBaseURL = osnSvc.BaseURL
 
-	opts := crawler.Options{Concurrency: cfg.Parallelism}
+	opts := cfg.Crawl
+	opts.Client = nil // crawlers use the default client against loopback
+	opts.Concurrency = cfg.Parallelism
 	s.crawlers.pastebin = crawler.NewPastebin(pbSvc.BaseURL, opts)
 	s.crawlers.boards = []*crawler.Board{
 		crawler.NewBoard(fourSvc.BaseURL, "b", "4chan/b", opts),
@@ -236,7 +299,28 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 	s.Monitor = monitor.New(s.Clock, osnSvc.BaseURL, simclock.Period2.End, nil)
 	s.Monitor.SetParallelism(cfg.Parallelism)
+	s.Monitor.SetFetchOptions(opts)
 	return s, nil
+}
+
+// FetchStats aggregates the operational counters of every HTTP consumer in
+// the study: the five crawlers plus the account monitor.
+func (s *Study) FetchStats() crawler.FetchStats {
+	agg := s.crawlers.pastebin.Stats()
+	for _, b := range s.crawlers.boards {
+		agg = agg.Plus(b.Stats())
+	}
+	return agg.Plus(s.Monitor.FetchStats())
+}
+
+// FaultCounters aggregates every injector's tallies; all-zero when fault
+// injection is off.
+func (s *Study) FaultCounters() faults.Counters {
+	var agg faults.Counters
+	for _, in := range s.Injectors {
+		agg = agg.Plus(in.Counters())
+	}
+	return agg
 }
 
 // Close shuts down the simulated services.
@@ -279,7 +363,14 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 			return err
 		}
 		if err := s.Monitor.ProcessDue(ctx); err != nil {
-			return err
+			if ctx.Err() != nil {
+				return err
+			}
+			// A degraded sweep: the failed account and everything after
+			// it in key order stay due, so the next day's sweep (or the
+			// post-outage one) revisits them. Only the observation times
+			// shift; no account is dropped.
+			s.MonitorFailures++
 		}
 		if s.Cfg.Progress != nil {
 			fmt.Fprintf(s.Cfg.Progress, "%s day %3d: collected=%d flagged=%d unique-doxes=%d\n",
@@ -294,9 +385,15 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 
 // collectOnce polls every source and pushes new documents through the
 // pipeline. Boards were only crawled in period 2 (§3.1.1). With
-// Parallelism > 1 the five sources are polled concurrently, each error
-// wrapped with its source name; a sequential run stops at the first
-// failing source, a concurrent run joins every source's error.
+// Parallelism > 1 the five sources are polled concurrently.
+//
+// A poll that still fails after the crawler's full retry budget degrades
+// the day instead of aborting the study: the failure is tallied in
+// PollFailures and every document the poll did deliver is still processed.
+// The crawlers' commit-after-fetch bookkeeping guarantees the documents
+// behind the failure stay uncommitted, so a later poll delivers them —
+// a fault can delay collection but never lose it. Only context
+// cancellation aborts the run.
 func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int) error {
 	type source struct {
 		name string
@@ -310,26 +407,27 @@ func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int
 	}
 
 	polled := make([][]crawler.Doc, len(sources))
+	errs := make([]error, len(sources))
 	if s.Cfg.Parallelism <= 1 {
 		for i, src := range sources {
-			docs, err := src.poll(ctx)
-			if err != nil {
-				return fmt.Errorf("%s poll: %w", src.name, err)
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			polled[i] = docs
+			polled[i], errs[i] = src.poll(ctx)
 		}
 	} else {
-		errs := make([]error, len(sources))
 		parallel.ForEach(len(sources), s.Cfg.Parallelism, func(i int) {
-			docs, err := sources[i].poll(ctx)
-			polled[i] = docs
-			if err != nil {
-				errs[i] = fmt.Errorf("%s poll: %w", sources[i].name, err)
-			}
+			polled[i], errs[i] = sources[i].poll(ctx)
 		})
-		if err := errors.Join(errs...); err != nil {
-			return err
+	}
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("%s poll: %w", sources[i].name, err)
+		}
+		s.PollFailures[sources[i].name]++
 	}
 
 	var docs []crawler.Doc
@@ -403,6 +501,9 @@ func (s *Study) processBatch(docs []crawler.Doc, periodNo int, p simclock.Period
 func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.Period) {
 	s.Collected++
 	s.CollectedBySite[doc.Site]++
+	if s.CollectedIDs != nil {
+		s.CollectedIDs[doc.Site+"/"+doc.ID] = doc.Posted
+	}
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: doc.Site, ID: doc.ID, Posted: doc.Posted})
 	}

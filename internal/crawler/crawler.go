@@ -5,9 +5,21 @@
 // Each crawler is a poller: Poll performs one incremental sweep, returning
 // only documents not seen in previous sweeps. The study driver interleaves
 // clock advancement with polling, exactly as the paper's collection
-// infrastructure tailed the live sites for thirteen weeks. Transient HTTP
-// failures are retried with backoff; a configurable minimum request
-// interval provides the polite rate limiting a real deployment needs.
+// infrastructure tailed the live sites for thirteen weeks. The shared
+// Fetcher underneath survives the failure modes of a live crawl: transient
+// errors retry with seeded-jitter exponential backoff, 429/503 Retry-After
+// hints are honored, truncated transfers surface as ErrTruncatedBody and
+// retry, corrupt payloads surface as ErrCorruptPayload (and board threads
+// carrying them are quarantined rather than committed), and a per-host
+// circuit breaker with half-open probing sheds load from a down host
+// instead of hammering it. A configurable minimum request interval provides
+// the polite rate limiting a real deployment needs.
+//
+// Failure consistency is the invariant everything above relies on: per-
+// document seen/cursor state commits only after a document's body is
+// definitively in hand, so no fault — however ill-timed — can make a Poll
+// skip a document forever. The chaos suite in internal/faults exercises
+// every mode against this contract.
 package crawler
 
 import (
@@ -16,11 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"doxmeter/internal/parallel"
+	"doxmeter/internal/randutil"
 )
 
 // Doc is one collected document, normalized across sources.
@@ -31,6 +46,39 @@ type Doc struct {
 	Body   string
 	HTML   bool
 	Posted time.Time
+}
+
+// Typed fetch failures. Callers distinguish these with errors.Is; everything
+// else coming out of a Fetcher is a generic transport or status error.
+var (
+	// ErrNotFound marks 404s, which are terminal (no retry): deletions and
+	// prune races are expected outcomes of a live crawl, not faults.
+	ErrNotFound = errors.New("not found")
+	// ErrTruncatedBody marks a response whose body carried fewer bytes
+	// than its Content-Length advertised (or ended mid-transfer). It is
+	// retryable: the document itself is fine, the transfer was not.
+	ErrTruncatedBody = errors.New("truncated body")
+	// ErrCorruptPayload marks a 200 response whose body failed structural
+	// validation (unparseable JSON, markerless HTML). Retryable; a caller
+	// seeing it persist must quarantine the document — count and skip —
+	// rather than commit garbage or advance state past it.
+	ErrCorruptPayload = errors.New("corrupt payload")
+	// ErrCircuitOpen reports that the per-host circuit breaker stayed open
+	// longer than Options.BreakerMaxWait. It consumes one retry attempt.
+	ErrCircuitOpen = errors.New("circuit open")
+)
+
+// retryAfterError carries a server's explicit back-pressure signal (429 or
+// 503 with a Retry-After header). The retry loop sleeps the advertised
+// delay instead of its own backoff. The breaker treats it as a healthy
+// response: the host is up and talking, just asking for room.
+type retryAfterError struct {
+	status int
+	delay  time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("status %d (retry after %v)", e.status, e.delay)
 }
 
 // Options configures shared crawler behaviour.
@@ -44,8 +92,34 @@ type Options struct {
 	// classifier's MinTokens convention, since "0 retries" is otherwise
 	// indistinguishable from "unset").
 	Retries int
-	// Backoff is the base retry backoff (default 50ms, doubled per retry).
+	// Backoff is the base retry backoff (default 50ms). The delay before
+	// retry n is drawn from [base/2, base) with base = Backoff·2^(n-1)
+	// capped at MaxBackoff; the jitter is seeded (see Seed) so runs stay
+	// reproducible while concurrent retries still decorrelate.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 5s).
+	MaxBackoff time.Duration
+	// Seed seeds the backoff jitter RNG. Same seed, same jitter sequence.
+	Seed int64
+	// RequestTimeout bounds one attempt end to end — dial, headers, and
+	// the full body read — so a stalled transfer cannot hang a poll.
+	// Zero disables the per-attempt deadline (the caller's context still
+	// applies).
+	RequestTimeout time.Duration
+	// MaxRetryAfter caps how long a server-advertised Retry-After is
+	// honored (default 30s), bounding the damage of a hostile or broken
+	// header.
+	MaxRetryAfter time.Duration
+	// BreakerThreshold is how many consecutive failures open the per-host
+	// circuit breaker. Zero means the default of 5; negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a single half-open probe (default 250ms).
+	BreakerCooldown time.Duration
+	// BreakerMaxWait bounds how long one attempt blocks waiting for an
+	// open breaker before giving up with ErrCircuitOpen (default 15s).
+	BreakerMaxWait time.Duration
 	// Concurrency bounds how many paste-body or thread fetches one Poll
 	// issues in parallel. Values <= 1 mean serial, the default, so
 	// existing single-threaded behaviour (and request ordering) is
@@ -68,32 +142,108 @@ func (o Options) withDefaults() Options {
 	if o.Backoff == 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.MaxRetryAfter <= 0 {
+		o.MaxRetryAfter = 30 * time.Second
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 5
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0 // disabled
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
+	if o.BreakerMaxWait <= 0 {
+		o.BreakerMaxWait = 15 * time.Second
+	}
 	return o
 }
 
-// fetcher performs rate-limited, retrying GETs.
-type fetcher struct {
-	opts     Options
-	mu       sync.Mutex
-	lastReq  time.Time
-	requests int64
-	errors   int64
+// FetchStats is a snapshot of a Fetcher's operational counters — the
+// signals a deployment watches for retry storms, rate-limit pressure and
+// flapping hosts.
+type FetchStats struct {
+	Requests       int64 // HTTP attempts issued, including failed dials
+	Errors         int64 // failed attempts (transport, non-2xx except 404, bad body)
+	Retries        int64 // retry iterations taken after a failed attempt
+	RateLimited    int64 // 429/503 responses carrying Retry-After
+	Truncated      int64 // bodies shorter than their Content-Length
+	Corrupt        int64 // 200 payloads that failed structural validation
+	Quarantined    int64 // documents skipped after persistent corruption
+	BreakerOpens   int64 // closed→open transitions of the circuit breaker
+	BreakerGiveUps int64 // attempts abandoned after BreakerMaxWait
 }
 
-func newFetcher(opts Options) *fetcher {
-	return &fetcher{opts: opts.withDefaults()}
+// Plus returns the field-wise sum of two snapshots.
+func (s FetchStats) Plus(o FetchStats) FetchStats {
+	s.Requests += o.Requests
+	s.Errors += o.Errors
+	s.Retries += o.Retries
+	s.RateLimited += o.RateLimited
+	s.Truncated += o.Truncated
+	s.Corrupt += o.Corrupt
+	s.Quarantined += o.Quarantined
+	s.BreakerOpens += o.BreakerOpens
+	s.BreakerGiveUps += o.BreakerGiveUps
+	return s
 }
 
-// errNotFound marks 404s, which are terminal (no retry).
-var errNotFound = errors.New("not found")
+// Fetcher performs rate-limited, retrying, breaker-guarded GETs. One
+// Fetcher serves one host (its breaker state is host-wide); it is safe for
+// concurrent use.
+type Fetcher struct {
+	opts    Options
+	breaker breaker
 
-// get fetches a URL, honoring rate limits and retrying transient errors.
-func (f *fetcher) get(ctx context.Context, url string) ([]byte, error) {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	lastReq time.Time
+	stats   FetchStats
+}
+
+// NewFetcher builds a Fetcher with the given options.
+func NewFetcher(opts Options) *Fetcher {
+	opts = opts.withDefaults()
+	return &Fetcher{
+		opts: opts,
+		rng:  randutil.New(opts.Seed),
+		breaker: breaker{
+			threshold: opts.BreakerThreshold,
+			cooldown:  opts.BreakerCooldown,
+		},
+	}
+}
+
+// Stats returns a snapshot of the operational counters.
+func (f *Fetcher) Stats() FetchStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Get fetches a URL, honoring rate limits, Retry-After back-pressure and
+// the circuit breaker, retrying transient errors with jittered backoff.
+func (f *Fetcher) Get(ctx context.Context, url string) ([]byte, error) {
+	return f.GetValidated(ctx, url, nil)
+}
+
+// GetValidated is Get plus a structural payload check: a 200 body that
+// fails validate counts as ErrCorruptPayload and is retried like any other
+// transient failure, because live corruption (mid-path mangling, half-
+// written upstream caches) usually clears on refetch. If every attempt
+// yields garbage the final error wraps ErrCorruptPayload so the caller can
+// quarantine.
+func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]byte) error) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
 		if attempt > 0 {
+			f.bump(func(s *FetchStats) { s.Retries++ })
 			select {
-			case <-time.After(f.opts.Backoff << (attempt - 1)):
+			case <-time.After(f.retryDelay(attempt, lastErr)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -101,11 +251,36 @@ func (f *fetcher) get(ctx context.Context, url string) ([]byte, error) {
 		if err := f.throttle(ctx); err != nil {
 			return nil, err
 		}
+		if err := f.breaker.acquire(ctx, f.opts.BreakerMaxWait); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			f.bump(func(s *FetchStats) { s.BreakerGiveUps++ })
+			lastErr = fmt.Errorf("%w after %v", ErrCircuitOpen, f.opts.BreakerMaxWait)
+			continue
+		}
 		body, err := f.once(ctx, url)
+		if f.breaker.record(breakerHealthy(err)) {
+			f.bump(func(s *FetchStats) { s.BreakerOpens++ })
+		}
+		if err == nil && validate != nil {
+			if verr := validate(body); verr != nil {
+				f.bump(func(s *FetchStats) { s.Corrupt++; s.Errors++ })
+				if !errors.Is(verr, ErrCorruptPayload) {
+					verr = fmt.Errorf("%w: %v", ErrCorruptPayload, verr)
+				}
+				err = verr
+			}
+		}
 		if err == nil {
 			return body, nil
 		}
-		if errors.Is(err, errNotFound) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The caller's context expired mid-attempt; whatever error the
+			// transport dressed it in, it is terminal.
 			return nil, err
 		}
 		lastErr = err
@@ -113,7 +288,50 @@ func (f *fetcher) get(ctx context.Context, url string) ([]byte, error) {
 	return nil, fmt.Errorf("crawler: %s failed after %d attempts: %w", url, f.opts.Retries+1, lastErr)
 }
 
-func (f *fetcher) once(ctx context.Context, url string) ([]byte, error) {
+// breakerHealthy decides whether a response outcome counts for or against
+// the circuit breaker. 404 and Retry-After responses prove the host is up;
+// transport failures, truncation and bare 5xx count as failures. Payload
+// corruption is judged after this point and never reaches the breaker —
+// the host answered, its content pipeline is what's broken.
+func breakerHealthy(err error) bool {
+	if err == nil || errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var ra *retryAfterError
+	return errors.As(err, &ra)
+}
+
+// retryDelay computes the sleep before retry #attempt: the server's capped
+// Retry-After when one was advertised, otherwise seeded-jitter exponential
+// backoff in [base/2, base).
+func (f *Fetcher) retryDelay(attempt int, lastErr error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(lastErr, &ra) && ra.delay > 0 {
+		if ra.delay > f.opts.MaxRetryAfter {
+			return f.opts.MaxRetryAfter
+		}
+		return ra.delay
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	base := f.opts.Backoff << shift
+	if base <= 0 || base > f.opts.MaxBackoff {
+		base = f.opts.MaxBackoff
+	}
+	f.mu.Lock()
+	jitter := f.rng.Float64()
+	f.mu.Unlock()
+	return base/2 + time.Duration(jitter*float64(base/2))
+}
+
+func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
+	if f.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.opts.RequestTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
@@ -121,38 +339,82 @@ func (f *fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	// Count the attempt before Do so failed dials and timeouts are visible
 	// in Requests(); previously only completed round-trips were counted and
 	// retry storms against a dead host looked like zero traffic.
-	f.mu.Lock()
-	f.requests++
-	f.mu.Unlock()
+	f.bump(func(s *FetchStats) { s.Requests++ })
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
-		f.bumpErrors()
+		f.bump(func(s *FetchStats) { s.Errors++ })
 		return nil, err
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
 		// 404 is an expected outcome (deletion/prune races), not an error.
-		return nil, errNotFound
+		return nil, ErrNotFound
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+		delay, _ := parseRetryAfter(resp.Header.Get("Retry-After"))
+		f.bump(func(s *FetchStats) { s.Errors++; s.RateLimited++ })
+		return nil, &retryAfterError{status: resp.StatusCode, delay: delay}
 	case resp.StatusCode != http.StatusOK:
-		f.bumpErrors()
+		f.bump(func(s *FetchStats) { s.Errors++ })
 		return nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
+	// The body read runs under the same per-attempt deadline as the dial,
+	// so a stalled transfer ends in a timeout, not a hung poll.
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		f.bumpErrors()
+	switch {
+	case err != nil && errors.Is(err, io.ErrUnexpectedEOF):
+		f.bump(func(s *FetchStats) { s.Errors++; s.Truncated++ })
+		return nil, fmt.Errorf("%w: connection closed after %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
+	case err != nil:
+		f.bump(func(s *FetchStats) { s.Errors++ })
+		return nil, err
+	case resp.ContentLength > 0 && int64(len(body)) < resp.ContentLength:
+		f.bump(func(s *FetchStats) { s.Errors++; s.Truncated++ })
+		return nil, fmt.Errorf("%w: got %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
 	}
-	return body, err
+	return body, nil
 }
 
-func (f *fetcher) bumpErrors() {
+func (f *Fetcher) bump(mut func(*FetchStats)) {
 	f.mu.Lock()
-	f.errors++
+	mut(&f.stats)
 	f.mu.Unlock()
 }
 
+// parseRetryAfter reads a Retry-After value: delta seconds (leniently
+// including fractional seconds, which real servers emit despite RFC 7231's
+// integer grammar) or an HTTP-date. Negative and unparseable values report
+// ok=false with a zero delay.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		// NaN fails both comparisons and huge values (1e99, +Inf) would
+		// overflow the Duration conversion to negative — treat anything
+		// outside a sane range as unusable.
+		const maxSecs = float64(1<<62) / float64(time.Second)
+		if !(secs >= 0) {
+			return 0, false
+		}
+		if secs > maxSecs {
+			secs = maxSecs
+		}
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			return 0, false
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // throttle enforces the minimum request interval.
-func (f *fetcher) throttle(ctx context.Context) error {
+func (f *Fetcher) throttle(ctx context.Context) error {
 	if f.opts.MinInterval <= 0 {
 		return nil
 	}
@@ -178,20 +440,139 @@ func (f *fetcher) throttle(ctx context.Context) error {
 
 // Requests returns the number of HTTP request attempts issued so far,
 // including attempts that failed before a response arrived.
-func (f *fetcher) Requests() int64 {
+func (f *Fetcher) Requests() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.requests
+	return f.stats.Requests
 }
 
 // Errors returns how many request attempts failed (transport errors,
 // non-2xx statuses other than 404, and body-read failures) — the signal a
 // deployment watches for retry storms.
-func (f *fetcher) Errors() int64 {
+func (f *Fetcher) Errors() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.errors
+	return f.stats.Errors
 }
+
+// breaker is a consecutive-failure circuit breaker with half-open probing.
+// Open, it admits one probe per cooldown; a healthy probe closes it, a
+// failed probe restarts the cooldown. acquire blocks (bounded) rather than
+// failing fast: the crawl's priority is completeness, so callers wait for
+// the host to come back and only abandon an attempt after BreakerMaxWait.
+type breaker struct {
+	threshold int // <= 0 disables
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	probing     bool
+	openedAt    time.Time
+}
+
+// acquire blocks until the breaker admits a request: immediately when
+// closed, as the single half-open probe once the cooldown elapses, or not
+// at all — ErrCircuitOpen — after maxWait.
+func (b *breaker) acquire(ctx context.Context, maxWait time.Duration) error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(maxWait)
+	for {
+		b.mu.Lock()
+		if !b.open {
+			b.mu.Unlock()
+			return nil
+		}
+		if !b.probing && time.Since(b.openedAt) >= b.cooldown {
+			b.probing = true // this caller carries the half-open probe
+			b.mu.Unlock()
+			return nil
+		}
+		b.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrCircuitOpen
+		}
+		wait := b.cooldown / 4
+		if wait > remaining {
+			wait = remaining
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// record feeds an outcome back and reports whether this outcome opened the
+// breaker (a closed→open transition, for stats).
+func (b *breaker) record(healthy bool) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if healthy {
+		b.consecutive = 0
+		b.open = false
+		b.probing = false
+		return false
+	}
+	b.consecutive++
+	if b.open {
+		// Failed probe (or a straggler failing while open): restart the
+		// cooldown, keep the breaker open.
+		b.openedAt = time.Now()
+		b.probing = false
+		return false
+	}
+	if b.consecutive >= b.threshold {
+		b.open = true
+		b.probing = false
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+// Parse helpers. These are the only paths from raw bytes to structured
+// crawl data, shared by Poll and the fuzz targets; every parse failure
+// wraps ErrCorruptPayload so fetch-level validation and quarantine logic
+// key off one sentinel.
+
+func parseListing(raw []byte) ([]pasteMeta, error) {
+	var page []pasteMeta
+	if err := json.Unmarshal(raw, &page); err != nil {
+		return nil, fmt.Errorf("bad listing: %w (%v)", ErrCorruptPayload, err)
+	}
+	return page, nil
+}
+
+func parseCatalog(raw []byte) ([]catalogPage, error) {
+	var pages []catalogPage
+	if err := json.Unmarshal(raw, &pages); err != nil {
+		return nil, fmt.Errorf("bad catalog: %w (%v)", ErrCorruptPayload, err)
+	}
+	return pages, nil
+}
+
+func parseThread(raw []byte) (threadJSON, error) {
+	var tj threadJSON
+	if err := json.Unmarshal(raw, &tj); err != nil {
+		return threadJSON{}, fmt.Errorf("bad thread: %w (%v)", ErrCorruptPayload, err)
+	}
+	return tj, nil
+}
+
+func validListing(raw []byte) error { _, err := parseListing(raw); return err }
+func validCatalog(raw []byte) error { _, err := parseCatalog(raw); return err }
+func validThread(raw []byte) error  { _, err := parseThread(raw); return err }
 
 // Pastebin incrementally crawls a pastebin-style scraping API.
 type Pastebin struct {
@@ -199,7 +580,7 @@ type Pastebin struct {
 	SiteName string
 	PageSize int
 
-	f      *fetcher
+	f      *Fetcher
 	mu     sync.Mutex
 	cursor int64
 	seen   map[string]bool
@@ -211,7 +592,7 @@ func NewPastebin(baseURL string, opts Options) *Pastebin {
 		BaseURL:  baseURL,
 		SiteName: "pastebin",
 		PageSize: 250,
-		f:        newFetcher(opts),
+		f:        NewFetcher(opts),
 		seen:     make(map[string]bool),
 	}
 }
@@ -233,6 +614,7 @@ type pasteMeta struct {
 // of which are committed — together with the error; the failed paste and
 // everything after it in the listing stay uncommitted, so the next Poll
 // re-lists and re-fetches them instead of silently skipping them forever.
+// A corrupt listing likewise fails the poll without advancing the cursor.
 //
 // With Options.Concurrency > 1 the body fetches of one page fan out in
 // parallel, but commits happen in listing order on the calling goroutine,
@@ -243,13 +625,13 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		c.mu.Lock()
 		cursor := c.cursor
 		c.mu.Unlock()
-		raw, err := c.f.get(ctx, fmt.Sprintf("%s/api_scraping.php?since=%d&limit=%d", c.BaseURL, cursor, c.PageSize))
+		raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/api_scraping.php?since=%d&limit=%d", c.BaseURL, cursor, c.PageSize), validListing)
 		if err != nil {
-			return out, err
+			return out, fmt.Errorf("crawler: %w", err)
 		}
-		var page []pasteMeta
-		if err := json.Unmarshal(raw, &page); err != nil {
-			return out, fmt.Errorf("crawler: bad listing: %w", err)
+		page, err := parseListing(raw)
+		if err != nil {
+			return out, fmt.Errorf("crawler: %w", err)
 		}
 		if len(page) == 0 {
 			return out, nil
@@ -274,7 +656,9 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		results := make([]fetchResult, len(page))
 		parallel.ForEach(len(fetchIdx), c.f.opts.Concurrency, func(j int) {
 			i := fetchIdx[j]
-			body, err := c.f.get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, page[i].Key))
+			// Paste bodies are raw text: no structural validation is
+			// possible (any bytes are a legal paste).
+			body, err := c.f.Get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, page[i].Key))
 			results[i] = fetchResult{body: body, err: err, fetched: true}
 		})
 
@@ -285,7 +669,7 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		for i, m := range page {
 			res := results[i]
 			if res.fetched {
-				if res.err != nil && !errors.Is(res.err, errNotFound) {
+				if res.err != nil && !errors.Is(res.err, ErrNotFound) {
 					return out, res.err
 				}
 				if res.err == nil {
@@ -321,13 +705,16 @@ func (c *Pastebin) Requests() int64 { return c.f.Requests() }
 // Errors exposes the underlying failed-attempt count.
 func (c *Pastebin) Errors() int64 { return c.f.Errors() }
 
+// Stats exposes the underlying fetcher's full counter snapshot.
+func (c *Pastebin) Stats() FetchStats { return c.f.Stats() }
+
 // Board incrementally crawls one board of a chan-style JSON API.
 type Board struct {
 	BaseURL  string
 	Board    string
 	SiteName string
 
-	f        *fetcher
+	f        *Fetcher
 	mu       sync.Mutex
 	lastMod  map[int64]int64 // thread no -> last_modified handled
 	seenPost map[int64]bool
@@ -340,7 +727,7 @@ func NewBoard(baseURL, board, siteName string, opts Options) *Board {
 		BaseURL:  baseURL,
 		Board:    board,
 		SiteName: siteName,
-		f:        newFetcher(opts),
+		f:        NewFetcher(opts),
 		lastMod:  make(map[int64]int64),
 		seenPost: make(map[int64]bool),
 	}
@@ -369,17 +756,20 @@ type threadJSON struct {
 // the thread JSON arrived and its new posts were appended to the result —
 // a transient mid-poll failure leaves the failed thread (and every thread
 // after it in catalog order) uncommitted for the next Poll to retry, and
-// the documents returned alongside the error are all committed. With
-// Options.Concurrency > 1, thread fetches fan out in parallel while commits
-// stay in catalog order.
+// the documents returned alongside the error are all committed. A thread
+// whose JSON stays corrupt through every retry is quarantined: counted in
+// Stats().Quarantined and skipped for this poll without committing its
+// lastMod, so the next poll tries it again — the cursor never advances
+// past an unfetched document. With Options.Concurrency > 1, thread fetches
+// fan out in parallel while commits stay in catalog order.
 func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
-	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/catalog.json", c.BaseURL, c.Board))
+	raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/%s/catalog.json", c.BaseURL, c.Board), validCatalog)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("crawler: %w", err)
 	}
-	var pages []catalogPage
-	if err := json.Unmarshal(raw, &pages); err != nil {
-		return nil, fmt.Errorf("crawler: bad catalog: %w", err)
+	pages, err := parseCatalog(raw)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: %w", err)
 	}
 	// Threads with new activity, in catalog order.
 	type candidate struct {
@@ -408,10 +798,15 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 	var out []Doc
 	for i, cd := range cands {
 		res := results[i]
-		if errors.Is(res.err, errNotFound) {
+		switch {
+		case errors.Is(res.err, ErrNotFound):
 			continue // thread pruned between catalog and fetch
-		}
-		if res.err != nil {
+		case errors.Is(res.err, ErrCorruptPayload):
+			// Persistent corruption: quarantine the thread — count it,
+			// skip it, leave lastMod uncommitted for the next poll.
+			c.f.bump(func(s *FetchStats) { s.Quarantined++ })
+			continue
+		case res.err != nil:
 			return out, res.err
 		}
 		c.mu.Lock()
@@ -434,15 +829,11 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 // fetchThread retrieves and parses one thread's JSON without touching any
 // crawler state; Poll commits the outcome.
 func (c *Board) fetchThread(ctx context.Context, no int64) (threadJSON, error) {
-	raw, err := c.f.get(ctx, fmt.Sprintf("%s/%s/thread/%d.json", c.BaseURL, c.Board, no))
+	raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/%s/thread/%d.json", c.BaseURL, c.Board, no), validThread)
 	if err != nil {
 		return threadJSON{}, err
 	}
-	var tj threadJSON
-	if err := json.Unmarshal(raw, &tj); err != nil {
-		return threadJSON{}, fmt.Errorf("crawler: bad thread %d: %w", no, err)
-	}
-	return tj, nil
+	return parseThread(raw)
 }
 
 // Requests exposes the underlying request-attempt count.
@@ -450,3 +841,6 @@ func (c *Board) Requests() int64 { return c.f.Requests() }
 
 // Errors exposes the underlying failed-attempt count.
 func (c *Board) Errors() int64 { return c.f.Errors() }
+
+// Stats exposes the underlying fetcher's full counter snapshot.
+func (c *Board) Stats() FetchStats { return c.f.Stats() }

@@ -1,0 +1,111 @@
+package crawler
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Fuzz targets for the crawler's three byte-level parsers. A live crawl
+// feeds these functions whatever a faulting, truncating, corrupting
+// network delivers, so the contract under fuzzing is total safety: no
+// panic on any input, errors always wrap ErrCorruptPayload, and parsing is
+// deterministic (same bytes, same result).
+
+func fuzzSeeds(f *testing.F, seeds ...string) {
+	f.Helper()
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+}
+
+func FuzzParseListing(f *testing.F) {
+	fuzzSeeds(f,
+		`[]`,
+		`[{"key":"abc123","title":"dox","date":1468800000}]`,
+		`[{"key":"abc123","title":"dox","date":`, // truncated mid-value
+		`[{"key":"abc123"},{`,                    // truncated mid-object
+		"\x00\x1finjected-corruption 00000000 {{{",
+		`{"key":"not-an-array"}`,
+		`[{"key":1,"date":"backwards-types"}]`,
+	)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		page, err := parseListing(raw)
+		if err != nil && !errors.Is(err, ErrCorruptPayload) {
+			t.Fatalf("parse error does not wrap ErrCorruptPayload: %v", err)
+		}
+		if err != nil && page != nil {
+			t.Fatal("failed parse returned a partial listing")
+		}
+		again, err2 := parseListing(raw)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(page, again) {
+			t.Fatal("parseListing not deterministic")
+		}
+	})
+}
+
+func FuzzParseCatalog(f *testing.F) {
+	fuzzSeeds(f,
+		`[]`,
+		`[{"page":0,"threads":[{"no":1,"last_modified":10}]}]`,
+		`[{"page":0,"threads":[{"no":1,"last_mod`, // truncated mid-key
+		`[{"page":"zero"}]`,
+		"\xff\xfe\xfd",
+		`[[[[[[`,
+	)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pages, err := parseCatalog(raw)
+		if err != nil && !errors.Is(err, ErrCorruptPayload) {
+			t.Fatalf("parse error does not wrap ErrCorruptPayload: %v", err)
+		}
+		again, err2 := parseCatalog(raw)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(pages, again) {
+			t.Fatal("parseCatalog not deterministic")
+		}
+	})
+}
+
+func FuzzParseThread(f *testing.F) {
+	fuzzSeeds(f,
+		`{"posts":[]}`,
+		`{"posts":[{"no":101,"time":5,"com":"<b>hi</b>"}]}`,
+		`{"posts":[{"no":101,"time":5,"com":"tru`, // truncated mid-string
+		`{"posts":{"no":101}}`,
+		`null`,
+		"{",
+	)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tj, err := parseThread(raw)
+		if err != nil && !errors.Is(err, ErrCorruptPayload) {
+			t.Fatalf("parse error does not wrap ErrCorruptPayload: %v", err)
+		}
+		if err != nil && len(tj.Posts) != 0 {
+			t.Fatal("failed parse returned partial posts")
+		}
+		again, err2 := parseThread(raw)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(tj, again) {
+			t.Fatal("parseThread not deterministic")
+		}
+		// The validator view must agree with the parser.
+		if verr := validThread(raw); (verr == nil) != (err == nil) {
+			t.Fatal("validThread disagrees with parseThread")
+		}
+	})
+}
+
+// FuzzParseRetryAfter hardens the header parser: arbitrary header bytes
+// must never panic or produce a negative delay.
+func FuzzParseRetryAfter(f *testing.F) {
+	for _, s := range []string{"3", "0.25", "-1", "NaN", "Inf", "1e99", "Wed, 21 Oct 2015 07:28:00 GMT", "garbage", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		d, ok := parseRetryAfter(v)
+		if d < 0 {
+			t.Fatalf("parseRetryAfter(%q) returned negative delay %v", v, d)
+		}
+		if !ok && d != 0 {
+			t.Fatalf("parseRetryAfter(%q) = (%v, false), want zero delay when not ok", v, d)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doxmeter/internal/simclock"
+)
+
+// alwaysOK is a plain inner handler serving a fixed JSON payload.
+func alwaysOK(t *testing.T, body string, contentType string) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		_, _ = io.WriteString(w, body)
+	})
+}
+
+// oneMode returns a profile that fires exactly the given mode on every
+// decision (until the healing budget runs out).
+func oneMode(m Mode) Profile {
+	p := Profile{Seed: 7, RetryAfter: 1500 * time.Millisecond, StallFor: 30 * time.Millisecond}
+	switch m {
+	case Mode500:
+		p.P500 = 1
+	case Mode503:
+		p.P503 = 1
+	case Mode429:
+		p.P429 = 1
+	case ModeReset:
+		p.PReset = 1
+	case ModeStall:
+		p.PStall = 1
+	case ModeTruncate:
+		p.PTruncate = 1
+	case ModeCorrupt:
+		p.PCorrupt = 1
+	}
+	return p
+}
+
+// TestFaultModes drives every injectable mode through a real HTTP server
+// and checks both the observable client-side failure and the counter that
+// must record it.
+func TestFaultModes(t *testing.T) {
+	const payload = `{"ok": true, "n": 12345}`
+	cases := []struct {
+		mode  Mode
+		check func(t *testing.T, resp *http.Response, body []byte, err error)
+		count func(c Counters) int64
+	}{
+		{Mode500, func(t *testing.T, resp *http.Response, _ []byte, err error) {
+			if err != nil || resp.StatusCode != http.StatusInternalServerError {
+				t.Fatalf("want 500, got resp=%v err=%v", resp, err)
+			}
+		}, func(c Counters) int64 { return c.Status500 }},
+		{Mode503, func(t *testing.T, resp *http.Response, _ []byte, err error) {
+			if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("want 503, got resp=%v err=%v", resp, err)
+			}
+			if resp.Header.Get("Retry-After") != "" {
+				t.Fatal("bare 503 must not advertise Retry-After")
+			}
+		}, func(c Counters) int64 { return c.Status503 }},
+		{Mode429, func(t *testing.T, resp *http.Response, _ []byte, err error) {
+			if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("want 429, got resp=%v err=%v", resp, err)
+			}
+			if got := resp.Header.Get("Retry-After"); got != "1.500" {
+				t.Fatalf("Retry-After = %q, want 1.500", got)
+			}
+		}, func(c Counters) int64 { return c.RateLimited }},
+		{ModeReset, func(t *testing.T, resp *http.Response, _ []byte, err error) {
+			if err == nil {
+				t.Fatalf("reset fault produced a clean response: %v", resp)
+			}
+		}, func(c Counters) int64 { return c.Resets }},
+		{ModeStall, func(t *testing.T, resp *http.Response, body []byte, err error) {
+			if err == nil && resp.StatusCode == http.StatusOK && string(body) == payload {
+				t.Fatal("stall fault delivered the full payload")
+			}
+		}, func(c Counters) int64 { return c.Stalls }},
+		{ModeTruncate, func(t *testing.T, resp *http.Response, body []byte, err error) {
+			if err != nil {
+				return // transport surfaced the truncation: fine
+			}
+			if resp.ContentLength != int64(len(payload)) {
+				t.Fatalf("Content-Length = %d, want the true length %d", resp.ContentLength, len(payload))
+			}
+			if len(body) >= len(payload) {
+				t.Fatalf("truncate fault delivered %d of %d bytes", len(body), len(payload))
+			}
+		}, func(c Counters) int64 { return c.Truncated }},
+		{ModeCorrupt, func(t *testing.T, resp *http.Response, body []byte, err error) {
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("corrupt fault must stay a 200: resp=%v err=%v", resp, err)
+			}
+			if string(body) == payload || strings.Contains(string(body), `"ok"`) {
+				t.Fatalf("corrupt fault delivered the true payload: %q", body)
+			}
+		}, func(c Counters) int64 { return c.Corrupted }},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.mode), func(t *testing.T) {
+			in := NewInjector(oneMode(tc.mode), nil, alwaysOK(t, payload, "application/json"))
+			srv := httptest.NewServer(in)
+			defer srv.Close()
+
+			get := func() (*http.Response, []byte, error) {
+				resp, err := http.Get(srv.URL + "/x")
+				if err != nil {
+					return nil, nil, err
+				}
+				defer resp.Body.Close()
+				body, rerr := io.ReadAll(resp.Body)
+				if rerr != nil {
+					return resp, body, rerr
+				}
+				return resp, body, nil
+			}
+
+			// Attempts 0 and 1 fault (default healing budget of 2)...
+			for i := 0; i < 2; i++ {
+				resp, body, err := get()
+				tc.check(t, resp, body, err)
+			}
+			if got := tc.count(in.Counters()); got != 2 {
+				t.Fatalf("counter after 2 faulted attempts = %d, want 2", got)
+			}
+			// ...and attempt 2 heals: the true payload passes through.
+			resp, body, err := get()
+			if err != nil || resp.StatusCode != http.StatusOK || string(body) != payload {
+				t.Fatalf("healed attempt: resp=%v body=%q err=%v", resp, body, err)
+			}
+			c := in.Counters()
+			if c.Passed != 1 || c.Requests != 3 {
+				t.Fatalf("counters after heal = %+v, want Passed=1 Requests=3", c)
+			}
+		})
+	}
+}
+
+// TestCorruptSparesRawText: raw text bodies carry no structure a client
+// could validate, so the corrupt mode must pass them through untouched.
+func TestCorruptSparesRawText(t *testing.T) {
+	const payload = "just some paste text"
+	in := NewInjector(oneMode(ModeCorrupt), nil, alwaysOK(t, payload, "text/plain; charset=utf-8"))
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != payload {
+		t.Fatalf("text/plain body corrupted: %q", body)
+	}
+	if c := in.Counters(); c.Corrupted != 0 || c.Passed != 1 {
+		t.Fatalf("counters = %+v, want Corrupted=0 Passed=1", c)
+	}
+}
+
+// TestOutageWindow verifies scheduled outages reject with 503 exactly while
+// the virtual clock is inside the window, regardless of probabilities or
+// the healing budget.
+func TestOutageWindow(t *testing.T) {
+	start := simclock.Period1.Start.Add(5 * simclock.Day)
+	clock := simclock.NewClock(simclock.Period1.Start)
+	p := Profile{Seed: 3, Outages: []Outage{{Start: start, End: start.Add(2 * simclock.Day)}}}
+	in := NewInjector(p, clock, alwaysOK(t, "ok", "text/plain"))
+	srv := httptest.NewServer(in)
+	defer srv.Close()
+
+	status := func() int {
+		resp, err := http.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(); got != http.StatusOK {
+		t.Fatalf("before outage: status %d", got)
+	}
+	clock.Set(start) // window start is inclusive
+	for i := 0; i < 5; i++ {
+		if got := status(); got != http.StatusServiceUnavailable {
+			t.Fatalf("inside outage: status %d", got)
+		}
+	}
+	clock.Set(start.Add(2 * simclock.Day)) // window end is exclusive
+	if got := status(); got != http.StatusOK {
+		t.Fatalf("after outage: status %d", got)
+	}
+	if c := in.Counters(); c.OutageRejected != 5 {
+		t.Fatalf("OutageRejected = %d, want 5", c.OutageRejected)
+	}
+}
+
+// TestDecideDeterministic pins the determinism contract: Decide is a pure
+// function of (seed, key, attempt) — same inputs, same firing, independent
+// of call order; different seeds give a different stream.
+func TestDecideDeterministic(t *testing.T) {
+	p := Profile{Seed: 99, P500: 0.1, P503: 0.1, P429: 0.1, PReset: 0.1, PStall: 0.1, PTruncate: 0.1, PCorrupt: 0.1, MaxFaultsPerURL: -1}
+	keys := []string{"/a", "/b?x=1", "/thread/42.json", "/api_scraping.php?since=0"}
+
+	first := map[string]Mode{}
+	for _, k := range keys {
+		for a := 0; a < 50; a++ {
+			first[k+string(rune(a))] = p.Decide(k, a)
+		}
+	}
+	// Replay in reverse order: every decision must match.
+	for i := len(keys) - 1; i >= 0; i-- {
+		for a := 49; a >= 0; a-- {
+			if got := p.Decide(keys[i], a); got != first[keys[i]+string(rune(a))] {
+				t.Fatalf("Decide(%q, %d) unstable: %v then %v", keys[i], a, first[keys[i]+string(rune(a))], got)
+			}
+		}
+	}
+
+	// A different seed must produce a different stream (statistically
+	// certain over 200 decisions at these rates).
+	q := p
+	q.Seed = 100
+	same := true
+	for _, k := range keys {
+		for a := 0; a < 50; a++ {
+			if q.Decide(k, a) != first[k+string(rune(a))] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+
+	// Rates must roughly add up: with 70% total fault probability, both
+	// all-faults and no-faults are implausible over 200 draws.
+	fired := 0
+	for _, k := range keys {
+		for a := 0; a < 50; a++ {
+			if p.Decide(k, a) != ModeNone {
+				fired++
+			}
+		}
+	}
+	if fired < 80 || fired > 200-20 {
+		t.Fatalf("70%% fault profile fired %d/200 times", fired)
+	}
+}
+
+// TestDecideHeals verifies the per-URL healing budget: at attempt >=
+// MaxFaultsPerURL every decision is ModeNone.
+func TestDecideHeals(t *testing.T) {
+	p := Profile{Seed: 1, P500: 1, MaxFaultsPerURL: 3}
+	for a := 0; a < 3; a++ {
+		if got := p.Decide("/k", a); got != Mode500 {
+			t.Fatalf("attempt %d: %v, want %v", a, got, Mode500)
+		}
+	}
+	for a := 3; a < 10; a++ {
+		if got := p.Decide("/k", a); got != ModeNone {
+			t.Fatalf("attempt %d after budget: %v, want none", a, got)
+		}
+	}
+	// Unlimited budget never heals.
+	p.MaxFaultsPerURL = -1
+	if got := p.Decide("/k", 1000); got != Mode500 {
+		t.Fatalf("unlimited budget healed: %v", got)
+	}
+}
+
+// TestForService derives independent but deterministic per-service streams.
+func TestForService(t *testing.T) {
+	p := Profile{Seed: 5, P500: 0.5, MaxFaultsPerURL: -1}
+	a, b := p.ForService("pastebin"), p.ForService("osn")
+	if a.Seed == b.Seed || a.Seed == p.Seed {
+		t.Fatalf("service seeds not derived: base=%d a=%d b=%d", p.Seed, a.Seed, b.Seed)
+	}
+	if a.Seed != p.ForService("pastebin").Seed {
+		t.Fatal("ForService not deterministic")
+	}
+	diverged := false
+	for i := 0; i < 100; i++ {
+		k := "/k" + string(rune('a'+i%26))
+		if a.Decide(k, i) != b.Decide(k, i) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("per-service fault streams identical")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if p, err := Preset("off", 1); err != nil || p != nil {
+		t.Fatalf("off: %v, %v", p, err)
+	}
+	for _, name := range []string{"mild", "heavy", "outage"} {
+		p, err := Preset(name, 42)
+		if err != nil || p == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Seed != 42 {
+			t.Fatalf("%s: seed %d not applied", name, p.Seed)
+		}
+		total := p.P500 + p.P503 + p.P429 + p.PReset + p.PStall + p.PTruncate + p.PCorrupt
+		if total <= 0 || total > 1 {
+			t.Fatalf("%s: probability mass %v out of range", name, total)
+		}
+		if (name == "outage") != (len(p.Outages) > 0) {
+			t.Fatalf("%s: outage windows = %v", name, p.Outages)
+		}
+	}
+	if _, err := Preset("bogus", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestCountersPlus checks the aggregate arithmetic used by the study's
+// fault summary.
+func TestCountersPlus(t *testing.T) {
+	a := Counters{Requests: 10, Passed: 5, Status500: 2, RateLimited: 1, Truncated: 1, OutageRejected: 1}
+	b := Counters{Requests: 4, Passed: 2, Status503: 1, Resets: 1}
+	sum := a.Plus(b)
+	if sum.Requests != 14 || sum.Passed != 7 || sum.Status500 != 2 || sum.Status503 != 1 {
+		t.Fatalf("Plus = %+v", sum)
+	}
+	if got := sum.Injected(); got != 7 {
+		t.Fatalf("Injected() = %d, want 7", got)
+	}
+}

@@ -1,0 +1,140 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/faults"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/simclock"
+)
+
+// TestMonitorChaosIdentical runs the same monitoring study twice — once
+// against the OSN service directly and once through a healing all-modes
+// fault injector — and requires bit-identical histories. Observation times
+// come from the virtual clock and fault healing happens inside each day's
+// retry budget, so injected chaos may slow a sweep down but must never
+// change what it records.
+func TestMonitorChaosIdentical(t *testing.T) {
+	// Probabilities are high because the faultable population is small:
+	// MaxFaultsPerURL=2 means only the first two requests per profile URL
+	// can fault, and the study tracks 20 accounts. The seed is chosen so
+	// every mode (including corruption) fires at least once.
+	profile := faults.Profile{
+		Seed: 29,
+		P500: 0.10, P503: 0.05, P429: 0.08, PReset: 0.06,
+		PStall: 0.02, PTruncate: 0.08, PCorrupt: 0.12,
+		RetryAfter: 5 * time.Millisecond, StallFor: 5 * time.Millisecond,
+		MaxFaultsPerURL: 2,
+	}
+	hardened := crawler.Options{
+		Retries: 6, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: 2 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	}
+
+	run := func(inject bool) []*History {
+		r := newRig(t, 0.02)
+		if inject {
+			inner := r.srv.Config.Handler
+			inj := faults.NewInjector(profile, r.clock, inner)
+			srv := httptest.NewServer(inj)
+			t.Cleanup(srv.Close)
+			r.mon = New(r.clock, srv.URL, simclock.Period2.End, nil)
+			r.mon.SetFetchOptions(hardened)
+			t.Cleanup(func() {
+				c := inj.Counters()
+				if c.Injected() == 0 {
+					t.Error("monitor injector never fired")
+				}
+				s := r.mon.FetchStats()
+				if s.Retries == 0 {
+					t.Errorf("faulted monitor stats = %+v, want nonzero Retries", s)
+				}
+			})
+		}
+		at := simclock.Period1.Start
+		r.doxAndTrack(netid.Facebook, 10, at)
+		r.doxAndTrack(netid.Instagram, 10, at)
+		r.runStudy(t, at.Add(21*simclock.Day))
+		return r.mon.Histories()
+	}
+
+	plain := run(false)
+	faulted := run(true)
+	if len(plain) != len(faulted) {
+		t.Fatalf("history counts diverged: %d vs %d", len(plain), len(faulted))
+	}
+	for i := range plain {
+		a, b := plain[i], faulted[i]
+		if a.Ref != b.Ref || a.Verified != b.Verified || a.Activity != b.Activity ||
+			!a.DoxSeenAt.Equal(b.DoxSeenAt) || !reflect.DeepEqual(a.Obs, b.Obs) {
+			t.Fatalf("history %v diverged under faults:\nplain:   %+v\nfaulted: %+v", a.Ref, a, b)
+		}
+	}
+}
+
+// TestMonitorSurvivesPersistentCorruption: when profile pages stay corrupt
+// past the whole retry budget, the sweep reports an error, no garbage is
+// committed, the accounts stay due — and once the corruption clears, the
+// next sweep records real observations. Late, never lost, never garbage.
+func TestMonitorSurvivesPersistentCorruption(t *testing.T) {
+	r := newRig(t, 0.02)
+	var healed atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if healed.Load() {
+			r.srv.Config.Handler.ServeHTTP(w, req)
+			return
+		}
+		w.Write([]byte("\x00\x1fmangled cache entry {{{")) // no <html> marker
+	}))
+	t.Cleanup(srv.Close)
+
+	mon := New(r.clock, srv.URL, simclock.Period2.End, nil)
+	mon.SetFetchOptions(crawler.Options{Retries: 2, Backoff: time.Millisecond})
+	at := simclock.Period1.Start
+	n := 0
+	for _, v := range r.world.Victims {
+		if user, ok := v.OSN[netid.Facebook]; ok {
+			mon.Track(netid.Ref{Network: netid.Facebook, Username: user}, at)
+			if n++; n >= 3 {
+				break
+			}
+		}
+	}
+
+	err := mon.ProcessDue(context.Background())
+	if err == nil {
+		t.Fatal("sweep against fully corrupt service reported success")
+	}
+	if !errors.Is(err, crawler.ErrCorruptPayload) {
+		t.Fatalf("sweep error = %v, want ErrCorruptPayload", err)
+	}
+	for _, h := range mon.Histories() {
+		if len(h.Obs) != 0 {
+			t.Fatalf("corrupt page committed an observation: %+v", h.Obs)
+		}
+	}
+	if s := mon.FetchStats(); s.Corrupt == 0 {
+		t.Fatalf("stats = %+v, want nonzero Corrupt", s)
+	}
+
+	healed.Store(true)
+	if err := mon.ProcessDue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	obs := 0
+	for _, h := range mon.Histories() {
+		obs += len(h.Obs)
+	}
+	if obs == 0 {
+		t.Fatal("no observations after the corruption cleared")
+	}
+}

@@ -1,0 +1,52 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"doxmeter/internal/osn"
+)
+
+// FuzzParseProfile feeds arbitrary (truncated, corrupted, adversarial)
+// profile HTML into the monitor's page classifier. The contract: never
+// panic, always produce a definite classification, activity >= -1,
+// deterministic on identical input — a scraper that crashes or wobbles on
+// mangled HTML loses observations.
+func FuzzParseProfile(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body></body></html>",
+		`<html><body><h1>user</h1><div class="activity" data-posts="42"></div></body></html>`,
+		`<html><body>This account is private.</body></html>`,
+		`<html><body><div class="banner">pwned</div></body></html>`,
+		`<html><body><div class="comment" data-author="a">hi</div><div class="comment" data-author="b">yo</div></body></html>`,
+		`<html><body><div class="activity" data-posts="`,                 // truncated mid-attribute
+		`<html><div class="activity" data-posts="99999999999999999999">`, // overflows int
+		"\x00\x1finjected-corruption 00000000 {{{",
+		`<html>This account is private.<div class="activity" data-posts="7">`, // private wins
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, page string) {
+		status, comments, activity, defaced := parseProfile(page)
+		if status != osn.Public && status != osn.Private && status != osn.Inactive {
+			t.Fatalf("parseProfile produced unknown status %v", status)
+		}
+		if activity < -1 {
+			t.Fatalf("activity = %d, want >= -1", activity)
+		}
+		if status == osn.Private && (len(comments) != 0 || activity != -1 || defaced) {
+			t.Fatal("private classification leaked page details")
+		}
+		for _, c := range comments {
+			if c.Author == "" {
+				t.Fatal("comment with empty author extracted")
+			}
+		}
+		s2, c2, a2, d2 := parseProfile(page)
+		if s2 != status || a2 != activity || d2 != defaced || !reflect.DeepEqual(comments, c2) {
+			t.Fatal("parseProfile not deterministic")
+		}
+	})
+}

@@ -13,9 +13,10 @@
 package monitor
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"regexp"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"doxmeter/internal/crawler"
 	"doxmeter/internal/netid"
 	"doxmeter/internal/osn"
 	"doxmeter/internal/parallel"
@@ -128,6 +130,7 @@ type Monitor struct {
 	baseURL string
 	client  *http.Client
 	endAt   time.Time
+	f       *crawler.Fetcher
 
 	mu          sync.Mutex
 	histories   map[string]*History
@@ -145,8 +148,30 @@ func New(clock *simclock.Clock, baseURL string, endAt time.Time, client *http.Cl
 		baseURL:   baseURL,
 		client:    client,
 		endAt:     endAt,
+		f:         crawler.NewFetcher(crawler.Options{Client: client}),
 		histories: make(map[string]*History),
 	}
+}
+
+// SetFetchOptions replaces the monitor's fetch policy (retries, backoff,
+// circuit breaker, timeouts) with the same knobs the crawlers take, so a
+// study can apply one hardening profile across every HTTP consumer. A nil
+// Client keeps the monitor's existing client.
+func (m *Monitor) SetFetchOptions(opts crawler.Options) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if opts.Client == nil {
+		opts.Client = m.client
+	}
+	m.f = crawler.NewFetcher(opts)
+}
+
+// FetchStats exposes the underlying fetcher's operational counters.
+func (m *Monitor) FetchStats() crawler.FetchStats {
+	m.mu.Lock()
+	f := m.f
+	m.mu.Unlock()
+	return f.Stats()
 }
 
 // SetParallelism bounds how many profile fetches one ProcessDue sweep
@@ -346,35 +371,47 @@ var (
 	activityRe = regexp.MustCompile(`<div class="activity" data-posts="(\d+)">`)
 )
 
+// validProfile is the structural check a genuine profile page always
+// passes (every OSN page opens with an <html> tag): a 200 body without the
+// marker is a corrupted transfer, which GetValidated retries and, if
+// persistent, surfaces as crawler.ErrCorruptPayload.
+func validProfile(body []byte) error {
+	if !bytes.Contains(body, []byte("<html")) {
+		return errors.New("profile page missing <html> marker")
+	}
+	return nil
+}
+
 // scrape fetches one profile and classifies it. found=false means 404;
-// activity is -1 when not visible (private/inactive pages).
+// activity is -1 when not visible (private/inactive pages). Fetching runs
+// through the shared hardened Fetcher, so retries, Retry-After back-
+// pressure, truncation detection and the circuit breaker all apply here
+// exactly as they do to the document crawlers.
 func (m *Monitor) scrape(ctx context.Context, h *History) (status osn.Status, comments []CommentObs, activity int, defaced, found bool, err error) {
 	url := m.baseURL + "/" + h.Ref.Network.Slug() + "/" + h.Ref.Username
 	if h.NumericID > 0 {
 		url = fmt.Sprintf("%s/instagram/id/%d", m.baseURL, h.NumericID)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return 0, nil, -1, false, false, err
-	}
-	resp, err := m.client.Do(req)
-	if err != nil {
-		return 0, nil, -1, false, false, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return 0, nil, -1, false, false, err
-	}
+	m.mu.Lock()
+	f := m.f
+	m.mu.Unlock()
+	body, err := f.GetValidated(ctx, url, validProfile)
 	switch {
-	case resp.StatusCode == http.StatusNotFound:
+	case errors.Is(err, crawler.ErrNotFound):
 		return osn.Inactive, nil, -1, false, len(h.Obs) > 0, nil
-	case resp.StatusCode != http.StatusOK:
-		return 0, nil, -1, false, false, fmt.Errorf("monitor: %s returned %d", url, resp.StatusCode)
+	case err != nil:
+		return 0, nil, -1, false, false, fmt.Errorf("monitor: %s: %w", url, err)
 	}
-	page := string(body)
+	status, comments, activity, defaced = parseProfile(string(body))
+	return status, comments, activity, defaced, true, nil
+}
+
+// parseProfile classifies a fetched profile page and extracts its visible
+// activity count and comments. It is total: any input yields a
+// classification without panicking, which the fuzz target enforces.
+func parseProfile(page string) (status osn.Status, comments []CommentObs, activity int, defaced bool) {
 	if strings.Contains(page, "This account is private.") {
-		return osn.Private, nil, -1, false, true, nil
+		return osn.Private, nil, -1, false
 	}
 	activity = -1
 	if mch := activityRe.FindStringSubmatch(page); mch != nil {
@@ -386,5 +423,5 @@ func (m *Monitor) scrape(ctx context.Context, h *History) (status osn.Status, co
 	for _, mch := range commentRe.FindAllStringSubmatch(page, -1) {
 		comments = append(comments, CommentObs{Author: mch[1], Text: mch[2]})
 	}
-	return osn.Public, comments, activity, defaced, true, nil
+	return osn.Public, comments, activity, defaced
 }

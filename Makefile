@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos check bench bench-quick examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos check bench bench-quick bench-json loadtest examples run-pipeline clean
 
 all: check
 
@@ -55,6 +55,20 @@ bench:
 bench-quick:
 	$(GO) test -bench='Table1|Table10|Figure1' -benchtime=3x -run NONE .
 
+# Machine-readable benchmarks: the bench-quick set parsed into
+# BENCH_results.json (name, iterations, ns/op, B/op, allocs/op) so runs can
+# be stored and diffed without scraping text.
+bench-json:
+	$(GO) test -bench='Table1|Table10|Figure1' -benchtime=3x -benchmem -run NONE . \
+		| $(GO) run ./cmd/benchjson -out BENCH_results.json
+
+# Load-test smoke: doxload drives an in-process doxsites stack for a few
+# seconds and exits nonzero unless at least 20% of requests succeed, so a
+# broken serving or telemetry path fails the target.
+loadtest:
+	$(GO) run ./cmd/doxload -duration 3s -rate 300 -concurrency 8 \
+		-scale 0.005 -days 30 -min-success 0.2
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/gamerdox
@@ -70,4 +84,4 @@ outputs:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f dox.model figure2.dot test_output.txt bench_output.txt
+	rm -f dox.model figure2.dot test_output.txt bench_output.txt BENCH_results.json

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: doxmeter
+cpu: Test CPU @ 2.40GHz
+BenchmarkFigure1-8   	       3	 410123456 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkFetch   	    1000	      9876 ns/op	  52.5 MB/s
+PASS
+ok  	doxmeter	12.345s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "doxmeter" {
+		t.Errorf("context = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkFigure1" || r.Procs != 8 || r.Iterations != 3 ||
+		r.NsPerOp != 410123456 || r.BytesPerOp != 1234567 || r.AllocsOp != 4321 {
+		t.Errorf("first result parsed wrong: %+v", r)
+	}
+	r = rep.Results[1]
+	if r.Name != "BenchmarkFetch" || r.Procs != 1 || r.NsPerOp != 9876 {
+		t.Errorf("second result parsed wrong: %+v", r)
+	}
+	if r.Extra["MB/s"] != 52.5 {
+		t.Errorf("MB/s = %v, want 52.5", r.Extra["MB/s"])
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo-8 notanumber 5 ns/op",
+		"BenchmarkFoo-8 100 5 B/op", // no ns/op pair
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted", line)
+		}
+	}
+}

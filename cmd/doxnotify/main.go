@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	doxnotify [-scale 0.02] [-seed 42] [-addr 127.0.0.1:8421] [-salt s]
+//	doxnotify [-scale 0.02] [-seed 42] [-addr 127.0.0.1:8421] [-salt s] [-admin addr]
 //
 // Endpoints:
 //
 //	/notify/subscribe /notify/unsubscribe /notify/notifications /notify/stats
 //	/watchlist/check?address=...|phone=...
 //	/feed/events?cursor=0[&wait=5s]
+//
+// With -admin set, the telemetry bundle (/metrics, /debug/traces,
+// /debug/pprof) is served on that second address: the seeding study's
+// pipeline metrics plus per-route request counters for the three services.
 package main
 
 import (
@@ -25,20 +29,32 @@ import (
 	"doxmeter/internal/feed"
 	"doxmeter/internal/label"
 	"doxmeter/internal/notify"
+	"doxmeter/internal/telemetry"
 	"doxmeter/internal/watchlist"
 )
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.02, "corpus scale for the seeding study")
-		seed  = flag.Int64("seed", 42, "world seed")
-		addr  = flag.String("addr", "127.0.0.1:8421", "listen address")
-		salt  = flag.String("salt", "doxmeter-demo-salt", "registry salt")
+		scale     = flag.Float64("scale", 0.02, "corpus scale for the seeding study")
+		seed      = flag.Int64("seed", 42, "world seed")
+		addr      = flag.String("addr", "127.0.0.1:8421", "listen address")
+		adminAddr = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this second address (empty = off)")
+		salt      = flag.String("salt", "doxmeter-demo-salt", "registry salt")
 	)
 	flag.Parse()
 
+	hub := telemetry.NewHub(0, nil)
+	if *adminAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*adminAddr, hub.Handler()); err != nil {
+				fatal(fmt.Errorf("admin listener: %w", err))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", *adminAddr)
+	}
+
 	fmt.Fprintln(os.Stderr, "running seeding study...")
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Telemetry: hub})
 	if err != nil {
 		fatal(err)
 	}
@@ -71,9 +87,10 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/notify/", http.StripPrefix("/notify", notifySvc.Handler()))
-	mux.Handle("/watchlist/", http.StripPrefix("/watchlist", wl.Handler()))
-	mux.Handle("/feed/", http.StripPrefix("/feed", log.Handler()))
+	reg := hub.Registry
+	mux.Handle("/notify/", http.StripPrefix("/notify", telemetry.HTTPMetrics(reg, "notify", nil, notifySvc.Handler())))
+	mux.Handle("/watchlist/", http.StripPrefix("/watchlist", telemetry.HTTPMetrics(reg, "watchlist", nil, wl.Handler())))
+	mux.Handle("/feed/", http.StripPrefix("/feed", telemetry.HTTPMetrics(reg, "feed", nil, log.Handler())))
 
 	fmt.Printf("doxnotify on http://%s — %d feed events, %d watchlisted addresses, %d phones\n",
 		*addr, log.Len(), addresses, phones)

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-faults off] [-progress] [-json]
+//	            [-admin addr] [-traces out.jsonl]
+//
+// The study is always instrumented on a telemetry hub; the exit-time
+// counters in the stderr summary and the -json output are read from that
+// same registry, so they can never disagree with what GET /metrics served
+// mid-run (enable it with -admin).
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -20,6 +27,7 @@ import (
 	"doxmeter/internal/experiments"
 	"doxmeter/internal/faults"
 	"doxmeter/internal/monitor"
+	"doxmeter/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 		storePath   = flag.String("store", "", "write the §3.3 privacy-preserving datastore (JSON lines) to this file")
 		storeSalt   = flag.String("store-salt", "doxmeter-store", "salt for account digests in the datastore")
 		faultsName  = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
+		adminAddr   = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this address during the run (empty = off)")
+		tracesPath  = flag.String("traces", "", "write the study's spans as JSON Lines to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,8 +54,17 @@ func main() {
 	if *progress {
 		progressW = os.Stderr
 	}
+	hub := telemetry.NewHub(0, nil)
+	if *adminAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*adminAddr, hub.Handler()); err != nil {
+				fatal(fmt.Errorf("admin listener: %w", err))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", *adminAddr)
+	}
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Telemetry: hub})
 	if err != nil {
 		fatal(err)
 	}
@@ -54,8 +73,27 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	reg := hub.Registry
+
+	if *tracesPath != "" {
+		f, err := os.Create(*tracesPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := hub.Tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (%d dropped by the ring buffer)\n",
+			len(hub.Tracer.Spans()), *tracesPath, hub.Tracer.Dropped())
+	}
 
 	if profile != nil {
+		// FaultCounters and FetchStats are snapshots of the telemetry
+		// registry's atomics — the same series /metrics serves.
 		fc := s.FaultCounters()
 		fs := s.FetchStats()
 		fmt.Fprintf(os.Stderr,
@@ -65,7 +103,9 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"fetch: %d requests, %d retries, %d rate-limited, %d truncated, %d corrupt, %d quarantined, breaker opened %d times; %d poll failures, %d monitor failures\n",
 			fs.Requests, fs.Retries, fs.RateLimited, fs.Truncated, fs.Corrupt,
-			fs.Quarantined, fs.BreakerOpens, sumValues(s.PollFailures), s.MonitorFailures)
+			fs.Quarantined, fs.BreakerOpens,
+			int(reg.Sum("doxmeter_poll_failures_total")),
+			int(reg.Sum("doxmeter_monitor_sweep_failures_total")))
 	}
 
 	if *storePath != "" {
@@ -87,29 +127,36 @@ func main() {
 
 	if *asJSON {
 		verified, nonexistent := monitor.VerifiedCount(s.Monitor.Histories())
-		stats := s.Deduper.Stats()
+		// Every count below is read from the telemetry registry — the same
+		// atomics GET /metrics serves — so this summary, the stderr lines
+		// and a mid-run scrape can never disagree.
+		flagged := reg.SumBy("doxmeter_docs_flagged_total", "period")
+		dups := reg.SumBy("doxmeter_docs_duplicate_total", "verdict")
+		collectedBySite := map[string]int{}
+		for site, n := range reg.SumBy("doxmeter_docs_collected_total", "site") {
+			collectedBySite[site] = int(n)
+		}
 		out := map[string]any{
 			"scale":               *scale,
 			"seed":                *seed,
 			"elapsed_ms":          elapsed.Milliseconds(),
-			"collected":           s.Collected,
-			"collected_by_site":   s.CollectedBySite,
-			"flagged_pre_filter":  s.FlaggedByPeriod[1],
-			"flagged_post_filter": s.FlaggedByPeriod[2],
-			"duplicates_exact":    stats.ExactDups,
-			"duplicates_account":  stats.AccntDups,
-			"unique_doxes":        len(s.Doxes),
+			"collected":           int(reg.Sum("doxmeter_docs_collected_total")),
+			"collected_by_site":   collectedBySite,
+			"flagged_pre_filter":  int(flagged["1"]),
+			"flagged_post_filter": int(flagged["2"]),
+			"duplicates_exact":    int(dups["exact-duplicate"]),
+			"duplicates_account":  int(dups["account-duplicate"]),
+			"unique_doxes":        int(reg.Sum("doxmeter_doxes_unique_total")),
 			"accounts_verified":   verified,
 			"accounts_dropped":    nonexistent,
 		}
 		if profile != nil {
-			fs := s.FetchStats()
 			out["faults_profile"] = *faultsName
-			out["faults_injected"] = s.FaultCounters().Injected()
-			out["fetch_retries"] = fs.Retries
-			out["breaker_opens"] = fs.BreakerOpens
-			out["poll_failures"] = sumValues(s.PollFailures)
-			out["monitor_failures"] = s.MonitorFailures
+			out["faults_injected"] = int(reg.Sum("doxmeter_fault_injected_total"))
+			out["fetch_retries"] = int(reg.Sum("doxmeter_fetch_retries_total"))
+			out["breaker_opens"] = int(reg.Sum("doxmeter_fetch_breaker_opens_total"))
+			out["poll_failures"] = int(reg.Sum("doxmeter_poll_failures_total"))
+			out["monitor_failures"] = int(reg.Sum("doxmeter_monitor_sweep_failures_total"))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -124,14 +171,6 @@ func main() {
 	fmt.Printf("classifier vocabulary: %d terms\n", s.Classifier.VocabSize())
 	fmt.Printf("study wall time: %v at scale %.3f (%d documents)\n",
 		elapsed.Round(time.Millisecond), *scale, s.Collected)
-}
-
-func sumValues(m map[string]int) int {
-	n := 0
-	for _, v := range m {
-		n += v
-	}
-	return n
 }
 
 func fatal(err error) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	doxsites [-scale 0.01] [-seed 42] [-addr 127.0.0.1:8420] [-faults off]
+//	doxsites [-scale 0.01] [-seed 42] [-addr 127.0.0.1:8420] [-faults off] [-admin addr]
 //
 // Endpoints (all under one address):
 //
@@ -17,6 +17,12 @@
 //	/admin/clock                           — current virtual time
 //	/admin/advance?days=7                  — move the clock forward
 //	/admin/faults                          — fault-injection counters per service
+//	/admin/accounts?limit=500              — account list for load generators
+//
+// With -admin set, a telemetry bundle (/metrics in Prometheus text format,
+// /debug/traces, /debug/pprof) is served on that second address, carrying
+// per-route request counters and latency histograms for every service plus
+// the fault injectors' doxmeter_fault_* series.
 package main
 
 import (
@@ -24,15 +30,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strconv"
-	"time"
 
 	"doxmeter/internal/faults"
-	"doxmeter/internal/osn"
-	"doxmeter/internal/sim"
-	"doxmeter/internal/simclock"
-	"doxmeter/internal/sites"
-	"doxmeter/internal/textgen"
+	"doxmeter/internal/stack"
+	"doxmeter/internal/telemetry"
 )
 
 func main() {
@@ -40,81 +41,39 @@ func main() {
 		scale      = flag.Float64("scale", 0.01, "corpus scale factor")
 		seed       = flag.Int64("seed", 42, "world seed")
 		addr       = flag.String("addr", "127.0.0.1:8420", "listen address")
+		adminAddr  = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this second address (empty = off)")
 		faultsName = flag.String("faults", "off", "fault-injection profile for the served sites: off, mild, heavy or outage")
 	)
 	flag.Parse()
 
 	profile, err := faults.Preset(*faultsName, *seed+5)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "doxsites:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	world := sim.NewWorld(sim.Default(*seed, *scale))
-	gen := textgen.New(world)
-	corpus := gen.Corpus()
-	clock := simclock.NewClock(simclock.Period1.Start)
+	hub := telemetry.NewHub(0, nil)
+	st := stack.New(stack.Config{Seed: *seed, Scale: *scale, Faults: profile, Telemetry: hub})
+	hub.Tracer.VirtualNow = st.Clock.Now
 
-	pastebin := sites.NewPastebin(clock, corpus.Streams[textgen.SitePastebin], sites.DefaultDeletionModel(), *seed+1)
-	fourchan := sites.NewBoardSite(clock, map[string][]textgen.Doc{
-		"b":   corpus.Streams[textgen.SiteFourchanB],
-		"pol": corpus.Streams[textgen.SiteFourchanPol],
-	}, *seed+2)
-	eightch := sites.NewBoardSite(clock, map[string][]textgen.Doc{
-		"pol":      corpus.Streams[textgen.SiteEightchPol],
-		"baphomet": corpus.Streams[textgen.SiteEightchBapho],
-	}, *seed+3)
-	universe := osn.NewUniverse(clock, world, *seed+4)
-
-	// Optionally wrap each service in a deterministic fault injector, the
-	// same way the pipeline's chaos runs do.
-	injectors := map[string]*faults.Injector{}
-	wrap := func(name string, h http.Handler) http.Handler {
-		if profile == nil {
-			return h
-		}
-		in := faults.NewInjector(profile.ForService(name), clock, h)
-		injectors[name] = in
-		return in
-	}
-
-	mux := http.NewServeMux()
-	mux.Handle("/pastebin/", http.StripPrefix("/pastebin", wrap("pastebin", pastebin.Handler())))
-	mux.Handle("/4chan/", http.StripPrefix("/4chan", wrap("fourchan", fourchan.Handler())))
-	mux.Handle("/8ch/", http.StripPrefix("/8ch", wrap("eightch", eightch.Handler())))
-	mux.Handle("/osn/", http.StripPrefix("/osn", wrap("osn", universe.Handler())))
-	mux.HandleFunc("/admin/clock", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, clock.Now().Format(time.RFC3339))
-	})
-	mux.HandleFunc("/admin/advance", func(w http.ResponseWriter, req *http.Request) {
-		days := 1
-		if s := req.URL.Query().Get("days"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 || v > 3650 {
-				http.Error(w, "bad days", http.StatusBadRequest)
-				return
+	if *adminAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*adminAddr, hub.Handler()); err != nil {
+				fatal(fmt.Errorf("admin listener: %w", err))
 			}
-			days = v
-		}
-		now := clock.Advance(time.Duration(days) * simclock.Day)
-		fmt.Fprintln(w, now.Format(time.RFC3339))
-	})
-	mux.HandleFunc("/admin/faults", func(w http.ResponseWriter, _ *http.Request) {
-		if profile == nil {
-			fmt.Fprintln(w, "fault injection off (start with -faults mild|heavy|outage)")
-			return
-		}
-		for _, name := range []string{"pastebin", "fourchan", "eightch", "osn"} {
-			fmt.Fprintf(w, "%-8s %+v\n", name, injectors[name].Counters())
-		}
-	})
+		}()
+		fmt.Printf("telemetry on http://%s/metrics (traces at /debug/traces, profiles at /debug/pprof)\n", *adminAddr)
+	}
 
 	fmt.Printf("doxsites serving %d documents and %d social accounts on http://%s\n",
-		corpus.TotalDocs(), len(universe.Accounts()), *addr)
+		st.Corpus.TotalDocs(), len(st.Universe.Accounts()), *addr)
 	fmt.Printf("virtual clock starts at %s; advance with /admin/advance?days=N\n",
-		clock.Now().Format("2006-01-02"))
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "doxsites:", err)
-		os.Exit(1)
+		st.Clock.Now().Format("2006-01-02"))
+	if err := http.ListenAndServe(*addr, st.Mux); err != nil {
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doxsites:", err)
+	os.Exit(1)
 }

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"doxmeter/internal/classifier"
@@ -33,6 +34,7 @@ import (
 	"doxmeter/internal/sim"
 	"doxmeter/internal/simclock"
 	"doxmeter/internal/sites"
+	"doxmeter/internal/telemetry"
 	"doxmeter/internal/textgen"
 )
 
@@ -75,6 +77,15 @@ type StudyConfig struct {
 	// hook for no-data-loss audits; off by default because a full-scale
 	// run commits millions of documents.
 	RecordCollectedIDs bool
+	// Telemetry, when non-nil, instruments the whole study on the hub:
+	// doxmeter_stage_seconds / doxmeter_doc_stage_seconds histograms and
+	// the study counters on the registry, per-day spans (stamped with both
+	// wall and virtual time) on the tracer, doxmeter_fetch_* series for
+	// every crawler and the monitor, doxmeter_fault_* series for the
+	// injectors, and doxmeter_http_* per-route series on the simulated
+	// services. Telemetry only observes — study results are bit-identical
+	// with it on or off at any Parallelism (enforced by test).
+	Telemetry *telemetry.Hub
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -139,6 +150,7 @@ type Study struct {
 		boards   []*crawler.Board
 	}
 	rng *rand.Rand
+	m   *studyMetrics
 
 	// Injectors maps service name (pastebin, fourchan, eightch, osn) to
 	// its fault injector; empty when StudyConfig.Faults is nil.
@@ -184,6 +196,12 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		PollFailures:    make(map[string]int),
 		flaggedP1:       make(map[string]bool),
 		rng:             randutil.New(cfg.Seed ^ 0x636f7265), // "core"
+		m:               newStudyMetrics(cfg.Telemetry),
+	}
+	// Spans record virtual time from the study clock; the hub outlives the
+	// study, so a later study on the same hub simply re-points this.
+	if tr := cfg.Telemetry.Trc(); tr != nil {
+		tr.VirtualNow = s.Clock.Now
 	}
 	if cfg.RecordCollectedIDs {
 		s.CollectedIDs = make(map[string]time.Time)
@@ -260,13 +278,21 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	// Serve everything over loopback HTTP, optionally behind per-service
 	// fault injectors. Each injector derives an independent seed from the
 	// study-level profile so fault streams don't correlate across sites.
+	// The HTTP metrics middleware sits outermost so per-route counters see
+	// exactly what the crawlers see, injected faults included.
+	reg := cfg.Telemetry.Reg()
 	wrap := func(name string, h http.Handler) http.Handler {
-		if cfg.Faults == nil {
-			return h
+		if cfg.Faults != nil {
+			in := faults.NewInjector(cfg.Faults.ForService(name), s.Clock, h)
+			in.Instrument(reg, name)
+			s.Injectors[name] = in
+			h = in
 		}
-		in := faults.NewInjector(cfg.Faults.ForService(name), s.Clock, h)
-		s.Injectors[name] = in
-		return in
+		routeOf := telemetry.NormalizePath
+		if name == "osn" {
+			routeOf = osn.RouteLabel
+		}
+		return telemetry.HTTPMetrics(reg, name, routeOf, h)
 	}
 	pbSvc, err := serveLocal(wrap("pastebin", s.Pastebin.Handler()))
 	if err != nil {
@@ -290,6 +316,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	opts := cfg.Crawl
 	opts.Client = nil // crawlers use the default client against loopback
 	opts.Concurrency = cfg.Parallelism
+	opts.Telemetry = reg // site label defaults per constructor
 	s.crawlers.pastebin = crawler.NewPastebin(pbSvc.BaseURL, opts)
 	s.crawlers.boards = []*crawler.Board{
 		crawler.NewBoard(fourSvc.BaseURL, "b", "4chan/b", opts),
@@ -299,7 +326,10 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 	s.Monitor = monitor.New(s.Clock, osnSvc.BaseURL, simclock.Period2.End, nil)
 	s.Monitor.SetParallelism(cfg.Parallelism)
-	s.Monitor.SetFetchOptions(opts)
+	mopts := opts
+	mopts.TelemetrySite = "monitor"
+	s.Monitor.SetFetchOptions(mopts)
+	s.Monitor.Instrument(reg)
 	return s, nil
 }
 
@@ -359,11 +389,19 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := s.collectOnce(ctx, p, periodNo); err != nil {
+		dayCtx, daySpan := s.m.span(ctx, "day")
+		daySpan.SetAttr("period", p.Name)
+		daySpan.SetAttr("day", strconv.Itoa(day))
+		if err := s.collectOnce(dayCtx, p, periodNo); err != nil {
+			daySpan.End()
 			return err
 		}
+		monStart := time.Now()
+		_, monSpan := s.m.span(dayCtx, "monitor")
 		if err := s.Monitor.ProcessDue(ctx); err != nil {
 			if ctx.Err() != nil {
+				monSpan.End()
+				daySpan.End()
 				return err
 			}
 			// A degraded sweep: the failed account and everything after
@@ -371,7 +409,12 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 			// post-outage one) revisits them. Only the observation times
 			// shift; no account is dropped.
 			s.MonitorFailures++
+			s.m.monitorFailures.Inc()
 		}
+		monSpan.End()
+		s.m.stageMonitor.Observe(time.Since(monStart).Seconds())
+		daySpan.End()
+		s.m.days.Inc()
 		if s.Cfg.Progress != nil {
 			fmt.Fprintf(s.Cfg.Progress, "%s day %3d: collected=%d flagged=%d unique-doxes=%d\n",
 				p.Name, day, s.Collected, s.FlaggedByPeriod[1]+s.FlaggedByPeriod[2], len(s.Doxes))
@@ -406,20 +449,29 @@ func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int
 		}
 	}
 
+	pollStart := time.Now()
+	pollCtx, pollSpan := s.m.span(ctx, "poll")
 	polled := make([][]crawler.Doc, len(sources))
 	errs := make([]error, len(sources))
+	pollOne := func(i int) {
+		_, sp := s.m.span(pollCtx, "poll:"+sources[i].name)
+		polled[i], errs[i] = sources[i].poll(ctx)
+		sp.SetAttr("docs", strconv.Itoa(len(polled[i])))
+		sp.End()
+	}
 	if s.Cfg.Parallelism <= 1 {
-		for i, src := range sources {
+		for i := range sources {
 			if err := ctx.Err(); err != nil {
+				pollSpan.End()
 				return err
 			}
-			polled[i], errs[i] = src.poll(ctx)
+			pollOne(i)
 		}
 	} else {
-		parallel.ForEach(len(sources), s.Cfg.Parallelism, func(i int) {
-			polled[i], errs[i] = sources[i].poll(ctx)
-		})
+		parallel.ForEach(len(sources), s.Cfg.Parallelism, pollOne)
 	}
+	pollSpan.End()
+	s.m.stagePoll.Observe(time.Since(pollStart).Seconds())
 	for i, err := range errs {
 		if err == nil {
 			continue
@@ -428,13 +480,14 @@ func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int
 			return fmt.Errorf("%s poll: %w", sources[i].name, err)
 		}
 		s.PollFailures[sources[i].name]++
+		s.m.pollFailures.With(sources[i].name).Inc()
 	}
 
 	var docs []crawler.Doc
 	for _, d := range polled {
 		docs = append(docs, d...)
 	}
-	s.processBatch(docs, periodNo, p)
+	s.processBatch(ctx, docs, periodNo, p)
 	return nil
 }
 
@@ -449,27 +502,55 @@ type Prepared struct {
 
 // prepareDoc runs the stateless stages for one document. It only reads
 // immutable study state (the fitted classifier), so it is safe to call from
-// many goroutines.
+// many goroutines. With telemetry enabled each stage's wall time feeds the
+// doxmeter_doc_stage_seconds histogram; the timing branches exist so a
+// disabled run does not even read the clock on this hot path.
 func (s *Study) prepareDoc(doc *crawler.Doc) Prepared {
+	m := s.m
+	timed := m != nil && m.enabled
+	var t time.Time
+	if timed {
+		t = time.Now()
+	}
 	text := doc.Body
 	if doc.HTML || htmltext.IsProbablyHTML(text) {
 		text = htmltext.Convert(text)
 	}
+	if timed {
+		now := time.Now()
+		m.docHTML.Observe(now.Sub(t).Seconds())
+		t = now
+	}
 	pre := Prepared{Text: text}
 	pre.IsDox = s.Classifier.IsDox(text)
+	if timed {
+		now := time.Now()
+		m.docClassify.Observe(now.Sub(t).Seconds())
+		t = now
+	}
 	if pre.IsDox {
 		pre.Extraction = extract.Extract(text)
+		if timed {
+			m.docExtract.Observe(time.Since(t).Seconds())
+		}
 	}
 	return pre
 }
 
 // PrepareBatch runs the CPU-hot stages over a batch with at most workers
 // goroutines. Exported for the throughput benchmarks; the study itself
-// calls it from processBatch.
+// calls it from processBatch. The queue-depth gauge counts down as workers
+// finish documents, exposing pool backlog to /metrics mid-day.
 func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
 	out := make([]Prepared, len(docs))
+	var queue *telemetry.Gauge
+	if s.m != nil {
+		queue = s.m.queueDepth
+	}
+	queue.Set(float64(len(docs)))
 	parallel.ForEach(len(docs), workers, func(i int) {
 		out[i] = s.prepareDoc(&docs[i])
+		queue.Add(-1)
 	})
 	return out
 }
@@ -480,7 +561,7 @@ func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
 // dedup, dox records, monitor tracking). Because the commit order is a pure
 // function of the document set, a Parallelism=N run is bit-identical to a
 // Parallelism=1 run for a fixed seed.
-func (s *Study) processBatch(docs []crawler.Doc, periodNo int, p simclock.Period) {
+func (s *Study) processBatch(ctx context.Context, docs []crawler.Doc, periodNo int, p simclock.Period) {
 	sort.Slice(docs, func(i, j int) bool {
 		if !docs[i].Posted.Equal(docs[j].Posted) {
 			return docs[i].Posted.Before(docs[j].Posted)
@@ -490,10 +571,20 @@ func (s *Study) processBatch(docs []crawler.Doc, periodNo int, p simclock.Period
 		}
 		return docs[i].ID < docs[j].ID
 	})
+	prepStart := time.Now()
+	_, prepSpan := s.m.span(ctx, "prepare")
+	prepSpan.SetAttr("docs", strconv.Itoa(len(docs)))
 	prepared := s.PrepareBatch(docs, s.Cfg.Parallelism)
+	prepSpan.End()
+	s.m.stagePrepare.Observe(time.Since(prepStart).Seconds())
+
+	commitStart := time.Now()
+	_, commitSpan := s.m.span(ctx, "commit")
 	for i := range docs {
 		s.commit(&docs[i], prepared[i], periodNo, p)
 	}
+	commitSpan.End()
+	s.m.stageCommit.Observe(time.Since(commitStart).Seconds())
 }
 
 // commit applies one prepared document to the study state. Runs only on the
@@ -501,6 +592,7 @@ func (s *Study) processBatch(docs []crawler.Doc, periodNo int, p simclock.Period
 func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.Period) {
 	s.Collected++
 	s.CollectedBySite[doc.Site]++
+	s.m.collected.With(doc.Site).Inc()
 	if s.CollectedIDs != nil {
 		s.CollectedIDs[doc.Site+"/"+doc.ID] = doc.Posted
 	}
@@ -511,13 +603,16 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 		return
 	}
 	s.FlaggedByPeriod[periodNo]++
+	s.m.flagged.With(strconv.Itoa(periodNo)).Inc()
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.flaggedP1[doc.ID] = true
 	}
 	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, pre.Text, pre.Extraction.AccountSetKey())
 	if verdict != dedup.Unique {
+		s.m.duplicates.With(verdict.String()).Inc()
 		return
 	}
+	s.m.doxes.Inc()
 	rec := &DoxRecord{
 		DocID:      doc.ID,
 		Site:       doc.Site,

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+
+	"doxmeter/internal/telemetry"
+)
+
+// studyMetrics holds every study-level instrument, pre-resolved once at
+// construction so the per-day and per-document hot paths never touch the
+// registry's name→family maps. With telemetry disabled the struct is a zero
+// value: every instrument is nil (each call a no-op pointer test), enabled
+// is false, and the per-document fast path skips even the clock reads.
+type studyMetrics struct {
+	enabled bool
+	hub     *telemetry.Hub
+
+	// One observation per study day per stage (doxmeter_stage_seconds).
+	stagePoll    *telemetry.Histogram
+	stagePrepare *telemetry.Histogram
+	stageCommit  *telemetry.Histogram
+	stageMonitor *telemetry.Histogram
+
+	// One observation per document per CPU-hot stage
+	// (doxmeter_doc_stage_seconds). "classify" covers the TF-IDF transform
+	// and the SGD prediction together: the classifier API exposes no seam
+	// between them.
+	docHTML     *telemetry.Histogram
+	docClassify *telemetry.Histogram
+	docExtract  *telemetry.Histogram
+
+	queueDepth *telemetry.Gauge
+	days       *telemetry.Counter
+
+	collected       telemetry.CounterVec // by site
+	flagged         telemetry.CounterVec // by period
+	duplicates      telemetry.CounterVec // by dedup verdict
+	doxes           *telemetry.Counter
+	pollFailures    telemetry.CounterVec // by site
+	monitorFailures *telemetry.Counter
+}
+
+func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
+	if hub == nil || hub.Registry == nil {
+		return &studyMetrics{}
+	}
+	reg := hub.Registry
+	stage := reg.NewHistogram("doxmeter_stage_seconds",
+		"Wall-clock duration of one pipeline stage pass (one study day).",
+		nil, "stage")
+	doc := reg.NewHistogram("doxmeter_doc_stage_seconds",
+		"Per-document wall-clock duration of the CPU-hot stages.",
+		nil, "stage")
+	return &studyMetrics{
+		enabled:      true,
+		hub:          hub,
+		stagePoll:    stage.With("poll"),
+		stagePrepare: stage.With("prepare"),
+		stageCommit:  stage.With("commit"),
+		stageMonitor: stage.With("monitor"),
+		docHTML:      doc.With("htmltext"),
+		docClassify:  doc.With("classify"),
+		docExtract:   doc.With("extract"),
+		queueDepth: reg.NewGauge("doxmeter_prepare_queue_depth",
+			"Documents not yet finished by the per-day prepare worker pool.").With(),
+		days: reg.NewCounter("doxmeter_study_days_total",
+			"Study days processed.").With(),
+		collected: reg.NewCounter("doxmeter_docs_collected_total",
+			"Documents committed by the study, by source site.", "site"),
+		flagged: reg.NewCounter("doxmeter_docs_flagged_total",
+			"Documents the classifier flagged as doxes, by collection period.", "period"),
+		duplicates: reg.NewCounter("doxmeter_docs_duplicate_total",
+			"Flagged documents suppressed by de-duplication, by verdict.", "verdict"),
+		doxes: reg.NewCounter("doxmeter_doxes_unique_total",
+			"Unique dox records committed.").With(),
+		pollFailures: reg.NewCounter("doxmeter_poll_failures_total",
+			"Source polls that failed after the crawler's full retry budget.", "site"),
+		monitorFailures: reg.NewCounter("doxmeter_monitor_sweep_failures_total",
+			"Monitor sweeps that failed mid-commit.").With(),
+	}
+}
+
+// span opens a tracer span under ctx; a no-op passthrough when telemetry is
+// off (nil tracer → nil span, and every span method is nil-safe).
+func (m *studyMetrics) span(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if m == nil {
+		return ctx, nil
+	}
+	return m.hub.Trc().StartSpan(ctx, name)
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"doxmeter/internal/core"
+	"doxmeter/internal/experiments"
+	"doxmeter/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbStudy is the subsystem's core guarantee:
+// instrumenting a study must never change its results. A fully
+// instrumented parallel study must match an uninstrumented sequential one
+// bit for bit — same funnel, same dox records in the same order, same
+// monitor histories, same rendered Figure 1 — while the hub actually
+// records metrics and spans.
+func TestTelemetryDoesNotPerturbStudy(t *testing.T) {
+	run := func(parallelism int, hub *telemetry.Hub) *core.Study {
+		s, err := core.NewStudy(core.StudyConfig{
+			Seed: 11, Scale: 0.004, ControlSample: 300,
+			Parallelism: parallelism, Telemetry: hub,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	hub := telemetry.NewHub(4096, nil)
+	plain := run(1, nil)
+	instr := run(4, hub)
+
+	if plain.Collected != instr.Collected {
+		t.Errorf("Collected: plain %d, instrumented %d", plain.Collected, instr.Collected)
+	}
+	for site, n := range plain.CollectedBySite {
+		if instr.CollectedBySite[site] != n {
+			t.Errorf("CollectedBySite[%s]: plain %d, instrumented %d", site, n, instr.CollectedBySite[site])
+		}
+	}
+	if plain.FlaggedByPeriod != instr.FlaggedByPeriod {
+		t.Errorf("FlaggedByPeriod: plain %v, instrumented %v", plain.FlaggedByPeriod, instr.FlaggedByPeriod)
+	}
+	if plain.Deduper.Stats() != instr.Deduper.Stats() {
+		t.Errorf("dedup stats: plain %+v, instrumented %+v", plain.Deduper.Stats(), instr.Deduper.Stats())
+	}
+	if len(plain.Doxes) != len(instr.Doxes) {
+		t.Fatalf("Doxes: plain %d, instrumented %d", len(plain.Doxes), len(instr.Doxes))
+	}
+	for i := range plain.Doxes {
+		a, b := plain.Doxes[i], instr.Doxes[i]
+		if a.DocID != b.DocID || a.Site != b.Site || !a.Posted.Equal(b.Posted) ||
+			a.Period != b.Period || a.Text != b.Text {
+			t.Fatalf("dox %d diverged: %s/%s vs %s/%s", i, a.Site, a.DocID, b.Site, b.DocID)
+		}
+	}
+	ph, ih := plain.Monitor.Histories(), instr.Monitor.Histories()
+	if len(ph) != len(ih) {
+		t.Fatalf("monitor histories: plain %d, instrumented %d", len(ph), len(ih))
+	}
+	for i := range ph {
+		if ph[i].Ref != ih[i].Ref || ph[i].Verified != ih[i].Verified || len(ph[i].Obs) != len(ih[i].Obs) {
+			t.Fatalf("history %v diverged", ph[i].Ref)
+		}
+	}
+	if a, b := experiments.Figure1(plain).String(), experiments.Figure1(instr).String(); a != b {
+		t.Errorf("Figure 1 diverged:\n--- plain ---\n%s\n--- instrumented ---\n%s", a, b)
+	}
+
+	// The instrumented run must have actually measured something: its
+	// registry counters agree with the study's own fields, and spans
+	// landed in the tracer.
+	reg := hub.Registry
+	if got := int(reg.Sum("doxmeter_docs_collected_total")); got != instr.Collected {
+		t.Errorf("registry collected %d, study %d", got, instr.Collected)
+	}
+	for site, n := range reg.SumBy("doxmeter_docs_collected_total", "site") {
+		if int(n) != instr.CollectedBySite[site] {
+			t.Errorf("registry collected[%s]=%d, study %d", site, int(n), instr.CollectedBySite[site])
+		}
+	}
+	if got := int(reg.Sum("doxmeter_doxes_unique_total")); got != len(instr.Doxes) {
+		t.Errorf("registry unique doxes %d, study %d", got, len(instr.Doxes))
+	}
+	flagged := reg.SumBy("doxmeter_docs_flagged_total", "period")
+	if int(flagged["1"]) != instr.FlaggedByPeriod[1] || int(flagged["2"]) != instr.FlaggedByPeriod[2] {
+		t.Errorf("registry flagged %v, study %v", flagged, instr.FlaggedByPeriod)
+	}
+	if reg.Sum("doxmeter_study_days_total") == 0 {
+		t.Error("no study days counted")
+	}
+	var text strings.Builder
+	reg.WritePrometheus(&text)
+	for _, series := range []string{"doxmeter_stage_seconds_bucket", "doxmeter_doc_stage_seconds_bucket", "doxmeter_fetch_requests_total"} {
+		if !strings.Contains(text.String(), series) {
+			t.Errorf("/metrics text missing %s", series)
+		}
+	}
+	spans := hub.Tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"day", "poll", "prepare", "commit", "monitor"} {
+		if !names[want] {
+			t.Errorf("no %q span recorded", want)
+		}
+	}
+}

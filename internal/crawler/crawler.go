@@ -36,6 +36,7 @@ import (
 
 	"doxmeter/internal/parallel"
 	"doxmeter/internal/randutil"
+	"doxmeter/internal/telemetry"
 )
 
 // Doc is one collected document, normalized across sources.
@@ -127,6 +128,16 @@ type Options struct {
 	// identical at any concurrency: fetches fan out, but results are
 	// committed in listing/catalog order.
 	Concurrency int
+	// Telemetry, when non-nil, is the shared registry the fetcher's
+	// doxmeter_fetch_* series are declared on, labeled by TelemetrySite.
+	// When nil the fetcher keeps its counters on a private registry: the
+	// code path (lock-free atomics) is identical either way, Stats() still
+	// works, and nothing is exported.
+	Telemetry *telemetry.Registry
+	// TelemetrySite labels this fetcher's metric series (the crawler
+	// constructors default it to their site name; "" falls back to
+	// "unknown").
+	TelemetrySite string
 }
 
 func (o Options) withDefaults() Options {
@@ -192,17 +203,64 @@ func (s FetchStats) Plus(o FetchStats) FetchStats {
 	return s
 }
 
+// fetchMetrics are the Fetcher's registry-backed instruments. They are the
+// single source of truth for its operational counters: Stats(), the exit
+// summaries and /metrics all read these same atomics, so they can never
+// disagree. Instruments are resolved once at construction; the hot path
+// only touches lock-free atomics (cheaper than the mutex the pre-telemetry
+// counters took).
+type fetchMetrics struct {
+	requests, errors, retries, rateLimited *telemetry.Counter
+	truncated, corrupt, quarantined        *telemetry.Counter
+	breakerOpens, breakerGiveUps           *telemetry.Counter
+	backoffSeconds, retryAfterSeconds      *telemetry.Counter
+	bytes                                  *telemetry.Counter
+	breakerState                           *telemetry.Gauge
+	attemptSeconds                         *telemetry.Histogram
+}
+
+func newFetchMetrics(reg *telemetry.Registry, site string) *fetchMetrics {
+	if reg == nil {
+		// Private registry: same instruments, same code path, no export.
+		reg = telemetry.NewRegistry()
+	}
+	if site == "" {
+		site = "unknown"
+	}
+	c := func(name, help string) *telemetry.Counter {
+		return reg.NewCounter(name, help, "site").With(site)
+	}
+	return &fetchMetrics{
+		requests:          c("doxmeter_fetch_requests_total", "HTTP attempts issued, including failed dials."),
+		errors:            c("doxmeter_fetch_errors_total", "Failed attempts (transport, non-2xx except 404, bad body)."),
+		retries:           c("doxmeter_fetch_retries_total", "Retry iterations taken after a failed attempt."),
+		rateLimited:       c("doxmeter_fetch_rate_limited_total", "429/503 responses carrying Retry-After."),
+		truncated:         c("doxmeter_fetch_truncated_total", "Bodies shorter than their Content-Length."),
+		corrupt:           c("doxmeter_fetch_corrupt_total", "200 payloads that failed structural validation."),
+		quarantined:       c("doxmeter_fetch_quarantined_total", "Documents skipped after persistent corruption."),
+		breakerOpens:      c("doxmeter_fetch_breaker_opens_total", "Closed-to-open transitions of the circuit breaker."),
+		breakerGiveUps:    c("doxmeter_fetch_breaker_giveups_total", "Attempts abandoned after BreakerMaxWait."),
+		backoffSeconds:    c("doxmeter_fetch_backoff_sleep_seconds_total", "Wall seconds slept in exponential backoff."),
+		retryAfterSeconds: c("doxmeter_fetch_retry_after_wait_seconds_total", "Wall seconds slept honoring Retry-After hints."),
+		bytes:             c("doxmeter_fetch_bytes_total", "Response body bytes fetched successfully."),
+		breakerState: reg.NewGauge("doxmeter_fetch_breaker_state",
+			"Circuit breaker state: 0 closed, 1 open.", "site").With(site),
+		attemptSeconds: reg.NewHistogram("doxmeter_fetch_attempt_seconds",
+			"Latency of individual HTTP attempts in seconds.", nil, "site").With(site),
+	}
+}
+
 // Fetcher performs rate-limited, retrying, breaker-guarded GETs. One
 // Fetcher serves one host (its breaker state is host-wide); it is safe for
 // concurrent use.
 type Fetcher struct {
 	opts    Options
 	breaker breaker
+	m       *fetchMetrics
 
 	mu      sync.Mutex
 	rng     *rand.Rand
 	lastReq time.Time
-	stats   FetchStats
 }
 
 // NewFetcher builds a Fetcher with the given options.
@@ -211,6 +269,7 @@ func NewFetcher(opts Options) *Fetcher {
 	return &Fetcher{
 		opts: opts,
 		rng:  randutil.New(opts.Seed),
+		m:    newFetchMetrics(opts.Telemetry, opts.TelemetrySite),
 		breaker: breaker{
 			threshold: opts.BreakerThreshold,
 			cooldown:  opts.BreakerCooldown,
@@ -218,11 +277,22 @@ func NewFetcher(opts Options) *Fetcher {
 	}
 }
 
-// Stats returns a snapshot of the operational counters.
+// Stats returns a snapshot of the operational counters, read from the same
+// registry instruments /metrics exports. Counters are independent atomics,
+// so a snapshot taken mid-flight may be skewed by in-progress attempts —
+// exactly like scraping /metrics.
 func (f *Fetcher) Stats() FetchStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return FetchStats{
+		Requests:       int64(f.m.requests.Value()),
+		Errors:         int64(f.m.errors.Value()),
+		Retries:        int64(f.m.retries.Value()),
+		RateLimited:    int64(f.m.rateLimited.Value()),
+		Truncated:      int64(f.m.truncated.Value()),
+		Corrupt:        int64(f.m.corrupt.Value()),
+		Quarantined:    int64(f.m.quarantined.Value()),
+		BreakerOpens:   int64(f.m.breakerOpens.Value()),
+		BreakerGiveUps: int64(f.m.breakerGiveUps.Value()),
+	}
 }
 
 // Get fetches a URL, honoring rate limits, Retry-After back-pressure and
@@ -241,9 +311,15 @@ func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]
 	var lastErr error
 	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
 		if attempt > 0 {
-			f.bump(func(s *FetchStats) { s.Retries++ })
+			f.m.retries.Inc()
+			delay, fromRetryAfter := f.retryDelay(attempt, lastErr)
 			select {
-			case <-time.After(f.retryDelay(attempt, lastErr)):
+			case <-time.After(delay):
+				if fromRetryAfter {
+					f.m.retryAfterSeconds.Add(delay.Seconds())
+				} else {
+					f.m.backoffSeconds.Add(delay.Seconds())
+				}
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -255,17 +331,19 @@ func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			f.bump(func(s *FetchStats) { s.BreakerGiveUps++ })
+			f.m.breakerGiveUps.Inc()
 			lastErr = fmt.Errorf("%w after %v", ErrCircuitOpen, f.opts.BreakerMaxWait)
 			continue
 		}
 		body, err := f.once(ctx, url)
 		if f.breaker.record(breakerHealthy(err)) {
-			f.bump(func(s *FetchStats) { s.BreakerOpens++ })
+			f.m.breakerOpens.Inc()
 		}
+		f.m.breakerState.Set(breakerStateValue(f.breaker.isOpen()))
 		if err == nil && validate != nil {
 			if verr := validate(body); verr != nil {
-				f.bump(func(s *FetchStats) { s.Corrupt++; s.Errors++ })
+				f.m.corrupt.Inc()
+				f.m.errors.Inc()
 				if !errors.Is(verr, ErrCorruptPayload) {
 					verr = fmt.Errorf("%w: %v", ErrCorruptPayload, verr)
 				}
@@ -302,15 +380,15 @@ func breakerHealthy(err error) bool {
 }
 
 // retryDelay computes the sleep before retry #attempt: the server's capped
-// Retry-After when one was advertised, otherwise seeded-jitter exponential
-// backoff in [base/2, base).
-func (f *Fetcher) retryDelay(attempt int, lastErr error) time.Duration {
+// Retry-After when one was advertised (fromRetryAfter=true), otherwise
+// seeded-jitter exponential backoff in [base/2, base).
+func (f *Fetcher) retryDelay(attempt int, lastErr error) (delay time.Duration, fromRetryAfter bool) {
 	var ra *retryAfterError
 	if errors.As(lastErr, &ra) && ra.delay > 0 {
 		if ra.delay > f.opts.MaxRetryAfter {
-			return f.opts.MaxRetryAfter
+			return f.opts.MaxRetryAfter, true
 		}
-		return ra.delay
+		return ra.delay, true
 	}
 	shift := attempt - 1
 	if shift > 20 {
@@ -323,7 +401,15 @@ func (f *Fetcher) retryDelay(attempt int, lastErr error) time.Duration {
 	f.mu.Lock()
 	jitter := f.rng.Float64()
 	f.mu.Unlock()
-	return base/2 + time.Duration(jitter*float64(base/2))
+	return base/2 + time.Duration(jitter*float64(base/2)), false
+}
+
+// breakerStateValue maps the breaker's open flag to the gauge encoding.
+func breakerStateValue(open bool) float64 {
+	if open {
+		return 1
+	}
+	return 0
 }
 
 func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
@@ -339,10 +425,12 @@ func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	// Count the attempt before Do so failed dials and timeouts are visible
 	// in Requests(); previously only completed round-trips were counted and
 	// retry storms against a dead host looked like zero traffic.
-	f.bump(func(s *FetchStats) { s.Requests++ })
+	f.m.requests.Inc()
+	start := time.Now()
+	defer func() { f.m.attemptSeconds.Observe(time.Since(start).Seconds()) }()
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
-		f.bump(func(s *FetchStats) { s.Errors++ })
+		f.m.errors.Inc()
 		return nil, err
 	}
 	defer resp.Body.Close()
@@ -353,10 +441,11 @@ func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
 		delay, _ := parseRetryAfter(resp.Header.Get("Retry-After"))
-		f.bump(func(s *FetchStats) { s.Errors++; s.RateLimited++ })
+		f.m.errors.Inc()
+		f.m.rateLimited.Inc()
 		return nil, &retryAfterError{status: resp.StatusCode, delay: delay}
 	case resp.StatusCode != http.StatusOK:
-		f.bump(func(s *FetchStats) { s.Errors++ })
+		f.m.errors.Inc()
 		return nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	// The body read runs under the same per-attempt deadline as the dial,
@@ -364,22 +453,19 @@ func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	switch {
 	case err != nil && errors.Is(err, io.ErrUnexpectedEOF):
-		f.bump(func(s *FetchStats) { s.Errors++; s.Truncated++ })
+		f.m.errors.Inc()
+		f.m.truncated.Inc()
 		return nil, fmt.Errorf("%w: connection closed after %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
 	case err != nil:
-		f.bump(func(s *FetchStats) { s.Errors++ })
+		f.m.errors.Inc()
 		return nil, err
 	case resp.ContentLength > 0 && int64(len(body)) < resp.ContentLength:
-		f.bump(func(s *FetchStats) { s.Errors++; s.Truncated++ })
+		f.m.errors.Inc()
+		f.m.truncated.Inc()
 		return nil, fmt.Errorf("%w: got %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
 	}
+	f.m.bytes.Add(float64(len(body)))
 	return body, nil
-}
-
-func (f *Fetcher) bump(mut func(*FetchStats)) {
-	f.mu.Lock()
-	mut(&f.stats)
-	f.mu.Unlock()
 }
 
 // parseRetryAfter reads a Retry-After value: delta seconds (leniently
@@ -441,18 +527,14 @@ func (f *Fetcher) throttle(ctx context.Context) error {
 // Requests returns the number of HTTP request attempts issued so far,
 // including attempts that failed before a response arrived.
 func (f *Fetcher) Requests() int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats.Requests
+	return int64(f.m.requests.Value())
 }
 
 // Errors returns how many request attempts failed (transport errors,
 // non-2xx statuses other than 404, and body-read failures) — the signal a
 // deployment watches for retry storms.
 func (f *Fetcher) Errors() int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats.Errors
+	return int64(f.m.errors.Value())
 }
 
 // breaker is a consecutive-failure circuit breaker with half-open probing.
@@ -508,6 +590,16 @@ func (b *breaker) acquire(ctx context.Context, maxWait time.Duration) error {
 			return ctx.Err()
 		}
 	}
+}
+
+// isOpen reports the breaker's current state (for the state gauge).
+func (b *breaker) isOpen() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
 }
 
 // record feeds an outcome back and reports whether this outcome opened the
@@ -588,6 +680,9 @@ type Pastebin struct {
 
 // NewPastebin builds the crawler; baseURL has no trailing slash.
 func NewPastebin(baseURL string, opts Options) *Pastebin {
+	if opts.TelemetrySite == "" {
+		opts.TelemetrySite = "pastebin"
+	}
 	return &Pastebin{
 		BaseURL:  baseURL,
 		SiteName: "pastebin",
@@ -723,6 +818,9 @@ type Board struct {
 // NewBoard builds a board crawler. siteName labels collected docs (e.g.
 // "4chan/b").
 func NewBoard(baseURL, board, siteName string, opts Options) *Board {
+	if opts.TelemetrySite == "" {
+		opts.TelemetrySite = siteName
+	}
 	return &Board{
 		BaseURL:  baseURL,
 		Board:    board,
@@ -804,7 +902,7 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 		case errors.Is(res.err, ErrCorruptPayload):
 			// Persistent corruption: quarantine the thread — count it,
 			// skip it, leave lastMod uncommitted for the next poll.
-			c.f.bump(func(s *FetchStats) { s.Quarantined++ })
+			c.f.m.quarantined.Inc()
 			continue
 		case res.err != nil:
 			return out, res.err

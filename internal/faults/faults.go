@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"doxmeter/internal/simclock"
+	"doxmeter/internal/telemetry"
 )
 
 // Mode identifies one failure mode.
@@ -272,6 +273,43 @@ func (c Counters) Plus(o Counters) Counters {
 	return c
 }
 
+// allModes lists every injectable mode, for metric series pre-declaration.
+var allModes = []Mode{Mode500, Mode503, Mode429, ModeReset, ModeStall, ModeTruncate, ModeCorrupt, ModeOutage}
+
+// faultMetrics holds the injector's tallies as telemetry counters. The
+// injector always counts through these — when not Instrument()ed onto a
+// shared registry they live on a private one, so the code path (lock-free
+// atomics) is identical and Counters() snapshots read the same values
+// /metrics would export.
+type faultMetrics struct {
+	requests *telemetry.Counter
+	passed   *telemetry.Counter
+	injected map[Mode]*telemetry.Counter
+}
+
+func newFaultMetrics(reg *telemetry.Registry, service string) *faultMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if service == "" {
+		service = "unknown"
+	}
+	inj := reg.NewCounter("doxmeter_fault_injected_total",
+		"Faulted responses substituted by the injector, by failure mode.",
+		"service", "mode")
+	m := &faultMetrics{
+		requests: reg.NewCounter("doxmeter_fault_requests_total",
+			"Requests seen by the fault injector.", "service").With(service),
+		passed: reg.NewCounter("doxmeter_fault_passed_total",
+			"Requests served by the wrapped handler untouched.", "service").With(service),
+		injected: make(map[Mode]*telemetry.Counter, len(allModes)),
+	}
+	for _, mode := range allModes {
+		m.injected[mode] = inj.With(service, string(mode))
+	}
+	return m
+}
+
 // Injector wraps an http.Handler with deterministic fault injection. Safe
 // for concurrent use.
 type Injector struct {
@@ -281,20 +319,53 @@ type Injector struct {
 
 	mu       sync.Mutex
 	attempts map[string]int
-	c        Counters
+	m        *faultMetrics
 }
 
 // NewInjector wraps inner with the given profile. clock may be nil when
 // the profile schedules no outages.
 func NewInjector(p Profile, clock *simclock.Clock, inner http.Handler) *Injector {
-	return &Injector{p: p, clock: clock, inner: inner, attempts: make(map[string]int)}
+	return &Injector{
+		p: p, clock: clock, inner: inner,
+		attempts: make(map[string]int),
+		m:        newFaultMetrics(nil, ""),
+	}
 }
 
-// Counters returns a snapshot of the injection tallies.
-func (in *Injector) Counters() Counters {
+// Instrument re-homes the injector's counters onto reg as
+// doxmeter_fault_* series labeled by service. Call it before serving
+// traffic: counts recorded earlier stay on the injector's private registry
+// and are not migrated.
+func (in *Injector) Instrument(reg *telemetry.Registry, service string) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.c
+	in.m = newFaultMetrics(reg, service)
+}
+
+func (in *Injector) metrics() *faultMetrics {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.m
+}
+
+// Counters returns a snapshot of the injection tallies, read from the same
+// registry instruments /metrics exports. Counters are independent atomics,
+// so a snapshot taken while requests are in flight may be momentarily
+// skewed — exactly like scraping /metrics.
+func (in *Injector) Counters() Counters {
+	m := in.metrics()
+	return Counters{
+		Requests:       int64(m.requests.Value()),
+		Passed:         int64(m.passed.Value()),
+		Status500:      int64(m.injected[Mode500].Value()),
+		Status503:      int64(m.injected[Mode503].Value()),
+		RateLimited:    int64(m.injected[Mode429].Value()),
+		Resets:         int64(m.injected[ModeReset].Value()),
+		Stalls:         int64(m.injected[ModeStall].Value()),
+		Truncated:      int64(m.injected[ModeTruncate].Value()),
+		Corrupted:      int64(m.injected[ModeCorrupt].Value()),
+		OutageRejected: int64(m.injected[ModeOutage].Value()),
+	}
 }
 
 // Profile returns the injector's (derived) profile.
@@ -306,7 +377,7 @@ func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		key += "?" + r.URL.RawQuery
 	}
 	in.mu.Lock()
-	in.c.Requests++
+	in.m.requests.Inc()
 	attempt := in.attempts[key]
 	in.attempts[key]++
 	in.mu.Unlock()
@@ -342,32 +413,11 @@ func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (in *Injector) bump(m Mode) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	switch m {
-	case Mode500:
-		in.c.Status500++
-	case Mode503:
-		in.c.Status503++
-	case Mode429:
-		in.c.RateLimited++
-	case ModeReset:
-		in.c.Resets++
-	case ModeStall:
-		in.c.Stalls++
-	case ModeTruncate:
-		in.c.Truncated++
-	case ModeCorrupt:
-		in.c.Corrupted++
-	case ModeOutage:
-		in.c.OutageRejected++
-	}
+	in.metrics().injected[m].Inc()
 }
 
 func (in *Injector) bumpPassed() {
-	in.mu.Lock()
-	in.c.Passed++
-	in.mu.Unlock()
+	in.metrics().passed.Inc()
 }
 
 // reset closes the client connection abruptly. SetLinger(0) forces a TCP

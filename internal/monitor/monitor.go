@@ -30,6 +30,7 @@ import (
 	"doxmeter/internal/osn"
 	"doxmeter/internal/parallel"
 	"doxmeter/internal/simclock"
+	"doxmeter/internal/telemetry"
 )
 
 // scheduleOffsets is the paper's revisit schedule in days; after the last
@@ -136,6 +137,12 @@ type Monitor struct {
 	histories   map[string]*History
 	requests    int64
 	parallelism int
+
+	// Sweep instruments; nil (no-op) until Instrument is called.
+	sweepsC  *telemetry.Counter
+	scrapesC *telemetry.Counter
+	dueG     *telemetry.Gauge
+	trackedG *telemetry.Gauge
 }
 
 // New builds a monitor scraping the OSN service at baseURL until endAt.
@@ -164,6 +171,26 @@ func (m *Monitor) SetFetchOptions(opts crawler.Options) {
 		opts.Client = m.client
 	}
 	m.f = crawler.NewFetcher(opts)
+}
+
+// Instrument declares the monitor's sweep metrics on reg:
+// doxmeter_monitor_sweeps_total, doxmeter_monitor_scrapes_total,
+// doxmeter_monitor_due_accounts and doxmeter_monitor_tracked_accounts.
+// A nil registry leaves the monitor uninstrumented (every update a no-op).
+func (m *Monitor) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepsC = reg.NewCounter("doxmeter_monitor_sweeps_total",
+		"ProcessDue sweeps started.").With()
+	m.scrapesC = reg.NewCounter("doxmeter_monitor_scrapes_total",
+		"Profile scrapes committed to a history.").With()
+	m.dueG = reg.NewGauge("doxmeter_monitor_due_accounts",
+		"Accounts due at the start of the latest sweep.").With()
+	m.trackedG = reg.NewGauge("doxmeter_monitor_tracked_accounts",
+		"Accounts currently tracked (finished ones included).").With()
 }
 
 // FetchStats exposes the underlying fetcher's operational counters.
@@ -262,6 +289,9 @@ func (m *Monitor) ProcessDue(ctx context.Context) error {
 			due = append(due, h)
 		}
 	}
+	m.sweepsC.Inc()
+	m.dueG.Set(float64(len(due)))
+	m.trackedG.Set(float64(len(m.histories)))
 	m.mu.Unlock()
 	sort.Slice(due, func(i, j int) bool { return due[i].Ref.Key() < due[j].Ref.Key() })
 
@@ -323,6 +353,7 @@ func (m *Monitor) commit(h *History, res scrapeResult, now time.Time) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests++
+	m.scrapesC.Inc()
 	if len(h.Obs) == 0 {
 		h.Verified = res.found
 		if !res.found {

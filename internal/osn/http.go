@@ -60,6 +60,22 @@ func (u *Universe) Handler() http.Handler {
 	})
 }
 
+// RouteLabel maps a profile-service request to a bounded-cardinality route
+// label for the HTTP metrics middleware: usernames and numeric IDs collapse
+// to placeholders so the label set stays at one route per network.
+func RouteLabel(r *http.Request) string {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 3 && parts[0] == "instagram" && parts[1] == "id":
+		return "/instagram/id/:id"
+	case len(parts) == 2:
+		if _, ok := netid.FromSlug(parts[0]); ok {
+			return "/" + parts[0] + "/:user"
+		}
+	}
+	return "/other"
+}
+
 func (u *Universe) renderProfile(w http.ResponseWriter, req *http.Request, a *Account) {
 	now := u.clock.Now()
 	switch a.StatusAt(now) {

@@ -1,0 +1,164 @@
+// Package stack assembles the full simulated serving stack — world, corpus,
+// virtual clock, the text-sharing sites, the OSN profile service, optional
+// per-service fault injectors and the admin endpoints — behind a single
+// http.Handler. cmd/doxsites serves it on a port for interactive
+// exploration; cmd/doxload embeds it in-process for self-hosted load runs.
+// Both therefore expose byte-identical route layouts and fault behaviour.
+package stack
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"doxmeter/internal/faults"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+	"doxmeter/internal/sites"
+	"doxmeter/internal/telemetry"
+	"doxmeter/internal/textgen"
+)
+
+// Config parameterizes one stack.
+type Config struct {
+	Seed  int64
+	Scale float64 // corpus scale factor; <= 0 means 0.01
+	// Faults, when non-nil, wraps every service in a deterministic fault
+	// injector (independently seeded per service, like the pipeline's
+	// chaos runs).
+	Faults *faults.Profile
+	// Telemetry, when non-nil, instruments every service with per-route
+	// doxmeter_http_* series and the injectors with doxmeter_fault_*.
+	Telemetry *telemetry.Hub
+}
+
+// Stack is one assembled serving stack.
+type Stack struct {
+	Clock    *simclock.Clock
+	World    *sim.World
+	Corpus   *textgen.Corpus
+	Universe *osn.Universe
+	Pastebin *sites.Pastebin
+	Fourchan *sites.BoardSite
+	Eightch  *sites.BoardSite
+	// Injectors maps service name (pastebin, fourchan, eightch, osn) to
+	// its fault injector; empty without Config.Faults.
+	Injectors map[string]*faults.Injector
+	// Mux serves every site under its prefix plus the admin endpoints:
+	//
+	//	/pastebin/api_scraping.php?since=0&limit=50
+	//	/pastebin/api_scrape_item.php?i=<key>
+	//	/4chan/{b,pol}/catalog.json        /4chan/{b,pol}/thread/<no>.json
+	//	/8ch/{pol,baphomet}/...
+	//	/osn/{network}/{username}          /osn/instagram/id/<n>
+	//	/admin/clock                       — current virtual time
+	//	/admin/advance?days=7              — move the clock forward
+	//	/admin/faults                      — injection counters per service
+	//	/admin/accounts?limit=500          — "network/username" lines for
+	//	                                     load-generator target harvesting
+	Mux *http.ServeMux
+}
+
+// New builds the world and wires every service into Mux. Deterministic for
+// a fixed (Seed, Scale): the same corpus, thread numbers and account
+// population every time.
+func New(cfg Config) *Stack {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.01
+	}
+	st := &Stack{
+		Clock:     simclock.NewClock(simclock.Period1.Start),
+		Injectors: map[string]*faults.Injector{},
+	}
+	st.World = sim.NewWorld(sim.Default(cfg.Seed, cfg.Scale))
+	gen := textgen.New(st.World)
+	st.Corpus = gen.Corpus()
+
+	st.Pastebin = sites.NewPastebin(st.Clock, st.Corpus.Streams[textgen.SitePastebin], sites.DefaultDeletionModel(), cfg.Seed+1)
+	st.Fourchan = sites.NewBoardSite(st.Clock, map[string][]textgen.Doc{
+		"b":   st.Corpus.Streams[textgen.SiteFourchanB],
+		"pol": st.Corpus.Streams[textgen.SiteFourchanPol],
+	}, cfg.Seed+2)
+	st.Eightch = sites.NewBoardSite(st.Clock, map[string][]textgen.Doc{
+		"pol":      st.Corpus.Streams[textgen.SiteEightchPol],
+		"baphomet": st.Corpus.Streams[textgen.SiteEightchBapho],
+	}, cfg.Seed+3)
+	st.Universe = osn.NewUniverse(st.Clock, st.World, cfg.Seed+4)
+
+	reg := cfg.Telemetry.Reg()
+	wrap := func(name string, h http.Handler, routeOf func(*http.Request) string) http.Handler {
+		if cfg.Faults != nil {
+			in := faults.NewInjector(cfg.Faults.ForService(name), st.Clock, h)
+			in.Instrument(reg, name)
+			st.Injectors[name] = in
+			h = in
+		}
+		return telemetry.HTTPMetrics(reg, name, routeOf, h)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/pastebin/", http.StripPrefix("/pastebin", wrap("pastebin", st.Pastebin.Handler(), nil)))
+	mux.Handle("/4chan/", http.StripPrefix("/4chan", wrap("fourchan", st.Fourchan.Handler(), nil)))
+	mux.Handle("/8ch/", http.StripPrefix("/8ch", wrap("eightch", st.Eightch.Handler(), nil)))
+	mux.Handle("/osn/", http.StripPrefix("/osn", wrap("osn", st.Universe.Handler(), osn.RouteLabel)))
+	mux.HandleFunc("/admin/clock", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, st.Clock.Now().Format(time.RFC3339))
+	})
+	mux.HandleFunc("/admin/advance", func(w http.ResponseWriter, req *http.Request) {
+		days := 1
+		if s := req.URL.Query().Get("days"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 || v > 3650 {
+				http.Error(w, "bad days", http.StatusBadRequest)
+				return
+			}
+			days = v
+		}
+		now := st.Clock.Advance(time.Duration(days) * simclock.Day)
+		fmt.Fprintln(w, now.Format(time.RFC3339))
+	})
+	mux.HandleFunc("/admin/faults", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Faults == nil {
+			fmt.Fprintln(w, "fault injection off (start with -faults mild|heavy|outage)")
+			return
+		}
+		for _, name := range []string{"pastebin", "fourchan", "eightch", "osn"} {
+			fmt.Fprintf(w, "%-8s %+v\n", name, st.Injectors[name].Counters())
+		}
+	})
+	mux.HandleFunc("/admin/accounts", func(w http.ResponseWriter, req *http.Request) {
+		limit := 500
+		if s := req.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		for i, a := range st.Universe.Accounts() {
+			if i >= limit {
+				break
+			}
+			fmt.Fprintf(w, "%s/%s\n", a.Ref.Network.Slug(), a.Ref.Username)
+		}
+	})
+	st.Mux = mux
+	return st
+}
+
+// ServeLocal binds the stack to an ephemeral loopback port and serves it in
+// the background, returning the base URL and a shutdown func. Used by
+// cmd/doxload's self-host mode and by tests.
+func (st *Stack) ServeLocal() (baseURL string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("stack: listen: %w", err)
+	}
+	srv := &http.Server{Handler: st.Mux}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "a counter", "site").With("pastebin")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter value %v, want 3.5", got)
+	}
+	g := reg.NewGauge("g", "a gauge").With()
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge value %v, want 5", got)
+	}
+	// Re-declaring an existing family returns the same series.
+	c2 := reg.NewCounter("c_total", "a counter", "site").With("pastebin")
+	if c2 != c {
+		t.Error("redeclared counter did not resolve to the same series")
+	}
+	if got := reg.Sum("c_total"); got != 3.5 {
+		t.Errorf("Sum = %v, want 3.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x", "").With("a")
+	g := r.NewGauge("x", "").With()
+	h := r.NewHistogram("x", "", nil).With()
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil instruments must observe nothing")
+	}
+	if r.Sum("x") != 0 || len(r.SumBy("x", "a")) != 0 {
+		t.Error("nil registry queries must return zero values")
+	}
+	r.WritePrometheus(&strings.Builder{}) // must not panic
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "latency", []float64{0.1, 0.2, 0.4, 0.8}).With()
+	// 40 observations in [0, 0.1], 40 in (0.1, 0.2], 20 in (0.2, 0.4].
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05)
+		h.Observe(0.15)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(0.3)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count %d, want 100", got)
+	}
+	wantSum := 40*0.05 + 40*0.15 + 20*0.3
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Errorf("sum %v, want %v", got, wantSum)
+	}
+	// p50 rank = 50: 40 in the first bucket, so 10 of the second bucket's 40
+	// → 0.1 + 0.1*(10/40) = 0.125.
+	if got := h.Quantile(0.5); math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.125", got)
+	}
+	// p95 rank = 95: 80 cumulative below 0.2, 15 of the third bucket's 20
+	// → 0.2 + 0.2*(15/20) = 0.35.
+	if got := h.Quantile(0.95); math.Abs(got-0.35) > 1e-9 {
+		t.Errorf("p95 = %v, want 0.35", got)
+	}
+	// Quantile extremes clamp instead of exploding.
+	if got := h.Quantile(0); got < 0 || got > 0.1 {
+		t.Errorf("p0 = %v, want within first bucket", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("p100 = %v, want 0.4 (upper bound of last non-empty bucket)", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "", []float64{1, 2}).With()
+	h.Observe(50) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want largest finite bound 2", got)
+	}
+	var out strings.Builder
+	reg.WritePrometheus(&out)
+	for _, want := range []string{
+		`lat_bucket{le="1"} 0`,
+		`lat_bucket{le="2"} 0`,
+		`lat_bucket{le="+Inf"} 1`,
+		`lat_sum 50`,
+		`lat_count 1`,
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "", nil).With()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestPrometheusTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("doxmeter_fetch_requests_total", "HTTP attempts.", "site").With("pastebin").Add(12)
+	reg.NewCounter("doxmeter_fetch_requests_total", "HTTP attempts.", "site").With("4chan/b").Add(3)
+	reg.NewGauge("doxmeter_breaker_state", "breaker", "site").With("pastebin").Set(1)
+	var out strings.Builder
+	reg.WritePrometheus(&out)
+	text := out.String()
+	for _, want := range []string{
+		"# HELP doxmeter_fetch_requests_total HTTP attempts.",
+		"# TYPE doxmeter_fetch_requests_total counter",
+		`doxmeter_fetch_requests_total{site="4chan/b"} 3`,
+		`doxmeter_fetch_requests_total{site="pastebin"} 12`,
+		"# TYPE doxmeter_breaker_state gauge",
+		`doxmeter_breaker_state{site="pastebin"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Families are sorted; breaker_state must precede fetch_requests.
+	if strings.Index(text, "doxmeter_breaker_state") > strings.Index(text, "doxmeter_fetch_requests_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\\b\"c\nd"
+	reg.NewCounter("esc_total", "he\\lp\nline", "v").With(hostile).Inc()
+	var out strings.Builder
+	reg.WritePrometheus(&out)
+	text := out.String()
+	if want := `esc_total{v="a\\b\"c\nd"} 1`; !strings.Contains(text, want) {
+		t.Errorf("escaped series %q missing in:\n%s", want, text)
+	}
+	if want := `# HELP esc_total he\\lp\nline`; !strings.Contains(text, want) {
+		t.Errorf("escaped help %q missing in:\n%s", want, text)
+	}
+	if strings.Contains(text, "\nd\"") {
+		t.Error("raw newline leaked into exposition output")
+	}
+}
+
+func TestConcurrentInstrumentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewCounter("conc_total", "", "worker")
+	hist := reg.NewHistogram("conc_seconds", "", []float64{0.5, 1})
+	var wg sync.WaitGroup
+	const workers, perWorker = 16, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			label := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				vec.With(label).Inc()
+				hist.With().Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Sum("conc_total"); got != workers*perWorker {
+		t.Errorf("Sum = %v, want %d", got, workers*perWorker)
+	}
+	if got := hist.With().Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	by := reg.SumBy("conc_total", "worker")
+	var total float64
+	for _, v := range by {
+		total += v
+	}
+	if total != workers*perWorker || len(by) != 4 {
+		t.Errorf("SumBy total %v across %d series, want %d across 4", total, len(by), workers*perWorker)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("bench_total", "").With()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().NewHistogram("bench_seconds", "", nil).With()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkVecWithResolve(b *testing.B) {
+	vec := NewRegistry().NewCounter("bench_total", "", "site")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vec.With("pastebin").Inc()
+	}
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCap bounds the in-memory buffer of finished spans when a
+// tracer is built with capacity 0.
+const DefaultTraceCap = 4096
+
+// Tracer records spans into a bounded in-memory ring buffer. Span and trace
+// IDs come from a tracer-local atomic counter — cheap, collision-free, and
+// independent of every seeded RNG in the study, so tracing cannot perturb
+// determinism. A nil *Tracer disables tracing: StartSpan returns a nil
+// *Span whose every method is a no-op.
+type Tracer struct {
+	// VirtualNow, when non-nil, supplies the virtual-clock reading stamped
+	// on spans alongside wall time (the study wires simclock.Clock.Now
+	// here). Swappable until the first span starts.
+	VirtualNow func() time.Time
+
+	cap int
+	ids atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int // ring insertion point once full
+	full    bool
+	dropped uint64
+}
+
+// NewTracer builds a tracer retaining up to capacity finished spans
+// (0 means DefaultTraceCap). virtualNow may be nil.
+func NewTracer(capacity int, virtualNow func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{VirtualNow: virtualNow, cap: capacity}
+}
+
+// Span is one in-flight operation. Created by Tracer.StartSpan, finished by
+// End. Not safe for concurrent mutation — one span belongs to one
+// goroutine, as in every tracing API; child spans are how concurrent work
+// is modeled.
+type Span struct {
+	tr     *Tracer
+	rec    SpanRecord
+	closed bool
+}
+
+// SpanRecord is the immutable export form of a finished span.
+type SpanRecord struct {
+	TraceID  uint64            `json:"trace"`
+	SpanID   uint64            `json:"span"`
+	ParentID uint64            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Wall     time.Time         `json:"wall_start"`
+	WallMS   float64           `json:"wall_ms"`
+	Virtual  time.Time         `json:"virtual_start,omitempty"`
+	VirtMS   float64           `json:"virtual_ms,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+
+	endWall time.Time
+	endVirt time.Time
+}
+
+type spanCtxKey struct{}
+
+// StartSpan begins a span named name, parented to the span in ctx (if any),
+// and returns a derived context carrying the new span. On a nil tracer it
+// returns ctx unchanged and a nil span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tr: t}
+	s.rec.Name = name
+	s.rec.SpanID = t.ids.Add(1)
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.rec.TraceID = parent.rec.TraceID
+		s.rec.ParentID = parent.rec.SpanID
+	} else {
+		s.rec.TraceID = s.rec.SpanID
+	}
+	s.rec.Wall = time.Now()
+	if t.VirtualNow != nil {
+		s.rec.Virtual = t.VirtualNow()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr attaches a key/value attribute. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[key] = value
+}
+
+// ID returns the span's ID (0 on nil), for tests and cross-referencing.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.SpanID
+}
+
+// End finishes the span, stamps durations, and commits it to the tracer's
+// ring buffer. Ending twice is a no-op. No-op on a nil span.
+func (s *Span) End() {
+	if s == nil || s.closed {
+		return
+	}
+	s.closed = true
+	s.rec.endWall = time.Now()
+	s.rec.WallMS = float64(s.rec.endWall.Sub(s.rec.Wall)) / float64(time.Millisecond)
+	if s.tr.VirtualNow != nil {
+		s.rec.endVirt = s.tr.VirtualNow()
+		s.rec.VirtMS = float64(s.rec.endVirt.Sub(s.rec.Virtual)) / float64(time.Millisecond)
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, s.rec)
+		return
+	}
+	t.full = true
+	t.dropped++
+	t.ring[t.next] = s.rec
+	t.next = (t.next + 1) % t.cap
+}
+
+// Spans returns a snapshot of the buffered finished spans, oldest first
+// (insertion order; concurrent spans interleave by End time).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Dropped reports how many finished spans the ring buffer has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL exports the buffered spans as JSON Lines, one span per line,
+// sorted by (TraceID, SpanID) so parents precede children and output is
+// stable across runs at any parallelism.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].TraceID != spans[j].TraceID {
+			return spans[i].TraceID < spans[j].TraceID
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

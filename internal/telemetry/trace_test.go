@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChild(t *testing.T) {
+	base := time.Date(2016, time.July, 20, 0, 0, 0, 0, time.UTC)
+	virt := base
+	tr := NewTracer(16, func() time.Time { return virt })
+
+	ctx, root := tr.StartSpan(context.Background(), "day")
+	ctx2, child := tr.StartSpan(ctx, "poll")
+	_, grand := tr.StartSpan(ctx2, "fetch")
+	grand.SetAttr("site", "pastebin")
+	virt = virt.Add(24 * time.Hour)
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["poll"].ParentID != byName["day"].SpanID {
+		t.Errorf("poll parent %d, want day %d", byName["poll"].ParentID, byName["day"].SpanID)
+	}
+	if byName["fetch"].ParentID != byName["poll"].SpanID {
+		t.Errorf("fetch parent %d, want poll %d", byName["fetch"].ParentID, byName["poll"].SpanID)
+	}
+	for _, name := range []string{"day", "poll", "fetch"} {
+		if byName[name].TraceID != byName["day"].SpanID {
+			t.Errorf("%s trace %d, want root trace %d", name, byName[name].TraceID, byName["day"].SpanID)
+		}
+	}
+	if byName["day"].ParentID != 0 {
+		t.Errorf("root span has parent %d", byName["day"].ParentID)
+	}
+	// Virtual time advanced one day while the spans were open.
+	if got := byName["day"].VirtMS; got != 24*3600*1000 {
+		t.Errorf("root virtual duration %v ms, want one day", got)
+	}
+	if byName["fetch"].Attrs["site"] != "pastebin" {
+		t.Errorf("attrs = %v", byName["fetch"].Attrs)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	span.SetAttr("a", "b")
+	span.End() // must not panic
+	if ctx == nil {
+		t.Fatal("nil tracer dropped the context")
+	}
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must report no spans")
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil tracer WriteJSONL: %v", err)
+	}
+}
+
+// TestSpanIntegrityUnderConcurrentLoad spawns many goroutines each creating
+// a root with children, and checks every recorded child points at its real
+// parent and shares its trace — the guarantee the study's parallel stages
+// rely on.
+func TestSpanIntegrityUnderConcurrentLoad(t *testing.T) {
+	tr := NewTracer(100_000, nil)
+	const roots, children = 50, 20
+	var wg sync.WaitGroup
+	for i := 0; i < roots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, root := tr.StartSpan(context.Background(), "root")
+			for j := 0; j < children; j++ {
+				_, c := tr.StartSpan(ctx, "child")
+				c.End()
+			}
+			root.End()
+		}()
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if len(spans) != roots*(children+1) {
+		t.Fatalf("got %d spans, want %d", len(spans), roots*(children+1))
+	}
+	rootByID := map[uint64]SpanRecord{}
+	ids := map[uint64]bool{}
+	for _, s := range spans {
+		if ids[s.SpanID] {
+			t.Fatalf("duplicate span ID %d", s.SpanID)
+		}
+		ids[s.SpanID] = true
+		if s.Name == "root" {
+			rootByID[s.SpanID] = s
+		}
+	}
+	for _, s := range spans {
+		if s.Name != "child" {
+			continue
+		}
+		parent, ok := rootByID[s.ParentID]
+		if !ok {
+			t.Fatalf("child %d has unknown parent %d", s.SpanID, s.ParentID)
+		}
+		if s.TraceID != parent.TraceID {
+			t.Fatalf("child %d trace %d != parent trace %d", s.SpanID, s.TraceID, parent.TraceID)
+		}
+	}
+}
+
+func TestTraceBufferBounded(t *testing.T) {
+	tr := NewTracer(8, nil)
+	for i := 0; i < 20; i++ {
+		_, s := tr.StartSpan(context.Background(), "s")
+		s.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("buffer holds %d spans, want cap 8", len(spans))
+	}
+	if tr.Dropped() != 12 {
+		t.Errorf("dropped %d, want 12", tr.Dropped())
+	}
+	// Oldest-first: the survivors are the last 8 spans created.
+	for i, s := range spans {
+		if want := uint64(13 + i); s.SpanID != want {
+			t.Errorf("span %d has ID %d, want %d", i, s.SpanID, want)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(16, nil)
+	ctx, root := tr.StartSpan(context.Background(), "outer")
+	_, child := tr.StartSpan(ctx, "inner")
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+
+	var out strings.Builder
+	if err := tr.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	var lines []SpanRecord
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	// Sorted by (trace, span): parent precedes child.
+	if lines[0].Name != "outer" || lines[1].Name != "inner" {
+		t.Errorf("order = %s, %s; want outer, inner", lines[0].Name, lines[1].Name)
+	}
+	if lines[1].Attrs["k"] != "v" {
+		t.Errorf("attrs did not round-trip: %v", lines[1].Attrs)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(1024, nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkNilSpanStartEnd(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.End()
+	}
+}

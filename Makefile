@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos check bench bench-quick bench-json loadtest examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak check bench bench-quick bench-json loadtest examples run-pipeline clean
 
 all: check
 
@@ -40,12 +40,22 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
 
 # Long chaos soak: the full chaos suites under the race detector, including
-# the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), plus a
-# longer fuzz pass over the network-facing parsers.
+# the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), plus
+# the randomized kill/resume soak and a longer fuzz pass over the
+# network-facing parsers.
 chaos:
 	DOXMETER_CHAOS_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
 		./internal/faults ./internal/crawler ./internal/monitor
+	$(MAKE) resume-soak
 	$(MAKE) fuzz-smoke FUZZTIME=30s
+
+# Randomized kill/resume soak: durable studies killed at random day
+# boundaries across parallelism and fault settings, resumed, and compared
+# bit for bit against uninterrupted baselines. The soak logs its RNG seed
+# so a failure replays exactly.
+resume-soak:
+	DOXMETER_RESUME_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestResumeSoak' -v ./internal/core
 
 # Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
 bench:
@@ -53,13 +63,13 @@ bench:
 
 # Faster spot check of the headline artifacts.
 bench-quick:
-	$(GO) test -bench='Table1|Table10|Figure1' -benchtime=3x -run NONE .
+	$(GO) test -bench='Table1|Table10|Figure1|CheckpointRoundTrip' -benchtime=3x -run NONE .
 
 # Machine-readable benchmarks: the bench-quick set parsed into
 # BENCH_results.json (name, iterations, ns/op, B/op, allocs/op) so runs can
 # be stored and diffed without scraping text.
 bench-json:
-	$(GO) test -bench='Table1|Table10|Figure1' -benchtime=3x -benchmem -run NONE . \
+	$(GO) test -bench='Table1|Table10|Figure1|CheckpointRoundTrip' -benchtime=3x -benchmem -run NONE . \
 		| $(GO) run ./cmd/benchjson -out BENCH_results.json
 
 # Load-test smoke: doxload drives an in-process doxsites stack for a few

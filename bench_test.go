@@ -32,6 +32,7 @@ import (
 	"doxmeter/internal/randutil"
 	"doxmeter/internal/sgd"
 	"doxmeter/internal/sim"
+	"doxmeter/internal/store"
 	"doxmeter/internal/textgen"
 	"doxmeter/internal/tfidf"
 )
@@ -517,6 +518,39 @@ func joinLines(lines []string) string {
 		out += l + "\n"
 	}
 	return out
+}
+
+// BenchmarkCheckpointRoundTrip measures one full durability cycle at the
+// shared study's scale: snapshot every pipeline component, encode to the
+// checkpoint wire format, decode it back. The bytes/op figure is the
+// on-disk snapshot size a full-scale durable run pays per checkpoint.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	s := benchStudy(b)
+	snap, err := s.Snapshot(2, 49)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := store.Encode(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printOnce("checkpoint", fmt.Sprintf(
+		"Checkpoint: %d components, %d bytes encoded at scale %g", len(snap.Components), len(data), benchScale))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := s.Snapshot(2, 49)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := store.Encode(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkStudyEndToEnd measures a complete miniature study per op.

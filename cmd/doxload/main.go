@@ -62,6 +62,15 @@ func main() {
 	if *concurrency < 1 {
 		*concurrency = 1
 	}
+	if *rate < 0 {
+		fatal(fmt.Errorf("-rate must be >= 0, got %v", *rate))
+	}
+	if *duration <= 0 {
+		fatal(fmt.Errorf("-duration must be positive, got %v", *duration))
+	}
+	if *days < 0 {
+		fatal(fmt.Errorf("-days must be >= 0, got %d", *days))
+	}
 
 	hub := telemetry.NewHub(16384, nil)
 	base := *targetURL
@@ -69,6 +78,11 @@ func main() {
 		profile, err := faults.Preset(*faultsName, *seed+5)
 		if err != nil {
 			fatal(err)
+		}
+		if profile != nil {
+			if err := profile.Validate(); err != nil {
+				fatal(err)
+			}
 		}
 		st := stack.New(stack.Config{Seed: *seed, Scale: *scale, Faults: profile, Telemetry: hub})
 		hub.Tracer.VirtualNow = st.Clock.Now

@@ -5,7 +5,15 @@
 // Usage:
 //
 //	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-faults off] [-progress] [-json]
+//	            [-state-dir dir] [-checkpoint-every 1] [-resume]
 //	            [-admin addr] [-traces out.jsonl]
+//
+// With -state-dir the study is durable: every -checkpoint-every study days
+// (and at period ends) the full pipeline state is snapshotted into the
+// directory. SIGINT/SIGTERM stops the run at the next day boundary after a
+// final checkpoint; a second signal aborts immediately, losing at most the
+// day in flight. -resume continues a killed run from its last checkpoint,
+// producing output bit-identical to an uninterrupted run.
 //
 // The study is always instrumented on a telemetry hub; the exit-time
 // counters in the stderr summary and the -json output are read from that
@@ -16,17 +24,21 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"doxmeter/internal/core"
 	"doxmeter/internal/experiments"
 	"doxmeter/internal/faults"
 	"doxmeter/internal/monitor"
+	"doxmeter/internal/store"
 	"doxmeter/internal/telemetry"
 )
 
@@ -42,8 +54,14 @@ func main() {
 		faultsName  = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
 		adminAddr   = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this address during the run (empty = off)")
 		tracesPath  = flag.String("traces", "", "write the study's spans as JSON Lines to this file on exit")
+		stateDir    = flag.String("state-dir", "", "directory for durable checkpoints (snapshots + commit log); empty = non-durable run")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot cadence in study days (period ends and stops always snapshot)")
+		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -state-dir")
 	)
 	flag.Parse()
+	if *resume && *stateDir == "" {
+		fatal(errors.New("-resume requires -state-dir"))
+	}
 
 	profile, err := faults.Preset(*faultsName, *seed+5)
 	if err != nil {
@@ -63,14 +81,65 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", *adminAddr)
 	}
+	var ckpt *core.CheckpointConfig
+	if *stateDir != "" {
+		fileStore, err := store.OpenFile(*stateDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer fileStore.Close()
+		ckpt = &core.CheckpointConfig{Store: fileStore, EveryDays: *ckptEvery}
+	}
+
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Telemetry: hub})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Checkpoint: ckpt, Telemetry: hub})
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
-	if err := s.Run(context.Background()); err != nil {
-		fatal(err)
+
+	var info core.ResumeInfo
+	if *resume {
+		info, err = s.Resume()
+		if err != nil {
+			fatal(err)
+		}
+		if info.Resumed {
+			fmt.Fprintf(os.Stderr, "doxpipeline: resumed at period %d day %d (virtual %s, snapshot seq %d)\n",
+				info.Period, info.Day, info.VirtualTime.Format("2006-01-02"), info.Seq)
+		} else {
+			fmt.Fprintln(os.Stderr, "doxpipeline: no checkpoint found in state dir; starting fresh")
+		}
+	}
+
+	// First SIGINT/SIGTERM: finish the day in flight, flush a final
+	// checkpoint, exit cleanly. Second signal: abort via context, losing at
+	// most the uncheckpointed day.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "doxpipeline: stopping at the next day boundary (signal again to abort)")
+		s.RequestStop()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "doxpipeline: aborting")
+		cancel()
+	}()
+
+	stopped := false
+	if err := s.Run(ctx); err != nil {
+		if !errors.Is(err, core.ErrStopped) {
+			fatal(err)
+		}
+		stopped = true
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "doxpipeline: stopped after a final checkpoint; continue with -state-dir %s -resume\n", *stateDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "doxpipeline: stopped (no -state-dir, nothing persisted)")
+		}
 	}
 	elapsed := time.Since(start)
 	reg := hub.Registry
@@ -149,6 +218,16 @@ func main() {
 			"unique_doxes":        int(reg.Sum("doxmeter_doxes_unique_total")),
 			"accounts_verified":   verified,
 			"accounts_dropped":    nonexistent,
+			"resumed":             info.Resumed,
+			"stopped":             stopped,
+		}
+		if *stateDir != "" {
+			out["state_dir"] = *stateDir
+			out["checkpoints_written"] = s.CheckpointsWritten
+			if info.Resumed {
+				out["resumed_from_period"] = info.Period
+				out["resumed_from_day"] = info.Day
+			}
 		}
 		if profile != nil {
 			out["faults_profile"] = *faultsName

@@ -34,7 +34,7 @@ func main() {
 	defer srv.Close()
 	baseURL := "http://" + ln.Addr().String()
 
-	mon := monitor.New(clock, baseURL, simclock.Period1.End, nil)
+	mon := monitor.New(monitor.Config{Clock: clock, BaseURL: baseURL, EndAt: simclock.Period1.End})
 
 	// A dox wave hits on day 1: every Facebook account in the world is
 	// referenced; victims react per the pre-filter behaviour model.

@@ -28,7 +28,7 @@ func (s *Study) LabelSample(n int) (label.Aggregate, []label.Labels) {
 		if len(out) >= n {
 			break
 		}
-		l := label.Apply(s.Doxes[i].Text)
+		l := s.Doxes[i].Labels // precomputed at commit; survives resume
 		if sensitiveCategories(l) < 3 {
 			continue
 		}
@@ -116,12 +116,15 @@ type GeoValidation struct {
 
 // ValidateGeo runs the IP-vs-postal validation over up to sampleIPs doxes
 // that include an IP address (the paper sampled 50, keeping the 36 that
-// also had postal addresses).
+// also had postal addresses). The per-dox comparison itself was done at
+// commit time (DoxRecord.Geo), so this only samples and tallies — which is
+// what lets a resumed study, whose checkpoints never contain an IP,
+// reproduce the table exactly.
 func (s *Study) ValidateGeo(sampleIPs int) GeoValidation {
 	r := randutil.Derive(s.rng, "geovalidation")
 	var withIP []*DoxRecord
 	for _, d := range s.Doxes {
-		if len(d.Extraction.IPs) > 0 {
+		if d.Geo != GeoNoIP {
 			withIP = append(withIP, d)
 		}
 	}
@@ -130,30 +133,24 @@ func (s *Study) ValidateGeo(sampleIPs int) GeoValidation {
 		sampleIPs = len(withIP)
 	}
 	v := GeoValidation{Sampled: sampleIPs}
-	db := s.World.Geo
 	for _, d := range withIP[:sampleIPs] {
-		l := label.Apply(d.Text)
-		if !l.Address {
-			continue
-		}
-		region, city, ok := postalRegion(d.Text, db)
-		if !ok {
-			continue
-		}
-		v.Usable++
-		loc, ok := db.Lookup(d.Extraction.IPs[0])
-		if !ok {
+		switch d.Geo {
+		case GeoNoAddress, GeoNoPostal:
+			// Sampled but unusable: no postal address to compare against.
+		case GeoNoLocate:
+			v.Usable++
 			v.NoLocate++
-			continue
-		}
-		switch db.Compare(loc, region, city) {
-		case geo.ProximityExactCity:
+		case GeoExactCity:
+			v.Usable++
 			v.ExactCity++
-		case geo.ProximitySame:
+		case GeoSameState:
+			v.Usable++
 			v.SameState++
-		case geo.ProximityAdjacent:
+		case GeoAdjacent:
+			v.Usable++
 			v.Adjacent++
-		default:
+		case GeoFar:
+			v.Usable++
 			v.Far++
 		}
 	}
@@ -201,12 +198,11 @@ func isWordByte(c byte) bool {
 // demographics and salted account digests only — the raw dox text is read
 // here and never stored.
 func (s *Study) BuildStore(salt string) *privstore.Store {
-	store := privstore.New(salt)
+	ps := privstore.New(salt)
 	for _, d := range s.Doxes {
-		l := label.Apply(d.Text)
-		store.Add(d.Site, d.Posted, l, d.Extraction.AccountRefs())
+		ps.Add(d.Site, d.Posted, d.Labels, d.Extraction.AccountRefs())
 	}
-	return store
+	return ps
 }
 
 // DoxerNetwork reproduces the §5.3.2 / Figure 2 analysis: a graph over

@@ -1,0 +1,456 @@
+// Durable-study support: versioned snapshots of every stateful pipeline
+// component, a rolling commit-log digest, and the resume path that makes a
+// killed run bit-identical to an uninterrupted one.
+//
+// Snapshots happen only at study-day boundaries. Mid-day state (a half
+// polled source, an unsorted batch) is never persisted: the batch sort and
+// the ordered commit stage are what make results independent of
+// Parallelism, and both operate on whole days. A crash between boundaries
+// loses nothing — the crawlers commit cursors only after a body is in
+// hand, so a re-poll after restore re-collects exactly the uncommitted
+// tail.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/dedup"
+	"doxmeter/internal/extract"
+	"doxmeter/internal/geo"
+	"doxmeter/internal/label"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/store"
+)
+
+// GeoOutcome is the precomputed §4.1 IP-vs-postal comparison for one dox.
+// It is derived at commit time (while the raw text is still in memory) so
+// ValidateGeo works identically on fresh and resumed studies without the
+// checkpoint ever storing an IP address.
+type GeoOutcome int
+
+const (
+	GeoNoIP      GeoOutcome = iota // no IP disclosed; never sampled
+	GeoNoAddress                   // IP but no postal address label
+	GeoNoPostal                    // address label but no recoverable region+city
+	GeoNoLocate                    // IP outside the geolocation database
+	GeoExactCity
+	GeoSameState
+	GeoAdjacent
+	GeoFar
+)
+
+// geoOutcome classifies one dox per §4.1. Pure in (text, labels,
+// extraction) given the study's fixed geo database.
+func (s *Study) geoOutcome(text string, l label.Labels, ex *extract.Extraction) GeoOutcome {
+	if ex == nil || len(ex.IPs) == 0 {
+		return GeoNoIP
+	}
+	if !l.Address {
+		return GeoNoAddress
+	}
+	db := s.World.Geo
+	region, city, ok := postalRegion(text, db)
+	if !ok {
+		return GeoNoPostal
+	}
+	loc, ok := db.Lookup(ex.IPs[0])
+	if !ok {
+		return GeoNoLocate
+	}
+	switch db.Compare(loc, region, city) {
+	case geo.ProximityExactCity:
+		return GeoExactCity
+	case geo.ProximitySame:
+		return GeoSameState
+	case geo.ProximityAdjacent:
+		return GeoAdjacent
+	default:
+		return GeoFar
+	}
+}
+
+// Snapshot component keys.
+const (
+	compCore     = "core"
+	compDedup    = "dedup"
+	compMonitor  = "monitor"
+	compPastebin = "crawler/pastebin"
+)
+
+// doxState is the persisted form of a DoxRecord. Per the §3.3 discipline
+// it carries derived labels, brackets and digests — never the dox text,
+// and none of the extracted phones/emails/IPs/names. OSN usernames and
+// credit aliases are the paper's explicit plaintext exceptions (the
+// monitor keeps scraping the former; Figure 2 graphs the latter).
+type doxState struct {
+	DocID         string            `json:"doc_id"`
+	Site          string            `json:"site"`
+	Posted        time.Time         `json:"posted"`
+	Period        int               `json:"period"`
+	TextDigest    string            `json:"text_digest"`
+	Labels        label.Labels      `json:"labels"`
+	Geo           GeoOutcome        `json:"geo"`
+	Accounts      map[string]string `json:"accounts,omitempty"` // network slug → username
+	CreditAliases []string          `json:"credit_aliases,omitempty"`
+	CreditHandles []string          `json:"credit_handles,omitempty"`
+}
+
+type p1DocState struct {
+	ID     string    `json:"id"`
+	Posted time.Time `json:"posted"`
+}
+
+// coreState is the study's own snapshot component: funnel counters, dox
+// records and the rolling digest.
+type coreState struct {
+	Collected       int                  `json:"collected"`
+	CollectedBySite map[string]int       `json:"collected_by_site"`
+	Flagged         [3]int               `json:"flagged_by_period"`
+	PollFailures    map[string]int       `json:"poll_failures,omitempty"`
+	MonitorFailures int                  `json:"monitor_failures,omitempty"`
+	DaysDone        int                  `json:"days_done"`
+	RunDigest       string               `json:"run_digest"`
+	FlaggedP1       []string             `json:"flagged_p1,omitempty"`
+	PastebinP1      []p1DocState         `json:"pastebin_p1,omitempty"`
+	CollectedIDs    map[string]time.Time `json:"collected_ids,omitempty"`
+	Doxes           []doxState           `json:"doxes"`
+}
+
+// ckpt returns the active checkpoint config, or nil when the study is not
+// durable.
+func (s *Study) ckpt() *CheckpointConfig {
+	if ck := s.Cfg.Checkpoint; ck != nil && ck.Store != nil {
+		return ck
+	}
+	return nil
+}
+
+func (s *Study) runDigestHex() string { return hex.EncodeToString(s.runDigest[:]) }
+
+// foldDayDigest chains the just-finished day's commit digest into the
+// rolling run digest.
+func (s *Study) foldDayDigest() {
+	if s.dayHasher == nil {
+		return
+	}
+	h := sha256.New()
+	h.Write(s.runDigest[:])
+	h.Write(s.dayHasher.Sum(nil))
+	copy(s.runDigest[:], h.Sum(nil))
+	s.dayHasher = nil
+}
+
+func (s *Study) coreState() coreState {
+	st := coreState{
+		Collected:       s.Collected,
+		CollectedBySite: s.CollectedBySite,
+		Flagged:         s.FlaggedByPeriod,
+		PollFailures:    s.PollFailures,
+		MonitorFailures: s.MonitorFailures,
+		DaysDone:        s.daysDone,
+		RunDigest:       s.runDigestHex(),
+		CollectedIDs:    s.CollectedIDs,
+	}
+	st.FlaggedP1 = make([]string, 0, len(s.flaggedP1))
+	for id := range s.flaggedP1 {
+		st.FlaggedP1 = append(st.FlaggedP1, id)
+	}
+	sort.Strings(st.FlaggedP1)
+	for _, d := range s.pastebinP1Docs {
+		st.PastebinP1 = append(st.PastebinP1, p1DocState{ID: d.ID, Posted: d.Posted})
+	}
+	st.Doxes = make([]doxState, 0, len(s.Doxes))
+	for _, d := range s.Doxes {
+		ds := doxState{
+			DocID: d.DocID, Site: d.Site, Posted: d.Posted, Period: d.Period,
+			TextDigest: d.TextDigest, Labels: d.Labels, Geo: d.Geo,
+		}
+		if ex := d.Extraction; ex != nil {
+			if len(ex.Accounts) > 0 {
+				ds.Accounts = make(map[string]string, len(ex.Accounts))
+				for n, u := range ex.Accounts {
+					ds.Accounts[n.Slug()] = u
+				}
+			}
+			ds.CreditAliases = ex.CreditAliases
+			ds.CreditHandles = ex.CreditHandles
+		}
+		st.Doxes = append(st.Doxes, ds)
+	}
+	return st
+}
+
+// Snapshot assembles a full checkpoint of the study at the given day
+// boundary: core funnel state, dedup indexes, monitor histories, and every
+// crawler's cursor/seen state.
+func (s *Study) Snapshot(periodNo, day int) (*store.Snapshot, error) {
+	comps := make(map[string]json.RawMessage)
+	put := func(key string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("core: snapshot component %s: %w", key, err)
+		}
+		comps[key] = b
+		return nil
+	}
+	if err := put(compCore, s.coreState()); err != nil {
+		return nil, err
+	}
+	if err := put(compDedup, s.Deduper.Snapshot()); err != nil {
+		return nil, err
+	}
+	if err := put(compMonitor, s.Monitor.Snapshot()); err != nil {
+		return nil, err
+	}
+	if err := put(compPastebin, s.crawlers.pastebin.Snapshot()); err != nil {
+		return nil, err
+	}
+	for _, b := range s.crawlers.boards {
+		if err := put("crawler/"+b.SiteName, b.Snapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return &store.Snapshot{
+		Seq: s.ckptSeq,
+		Meta: store.Meta{
+			Seed: s.Cfg.Seed, Scale: s.Cfg.Scale,
+			VirtualTime: s.Clock.Now(), Period: periodNo, Day: day,
+		},
+		Components: comps,
+	}, nil
+}
+
+// RestoreSnapshot loads a checkpoint into a freshly built study. The study
+// must have been constructed with the same Seed and Scale; everything else
+// (world, corpus, classifier, services) is already rebuilt deterministically
+// by NewStudy, so only the mutable pipeline state is restored here.
+func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
+	if snap == nil {
+		return errors.New("core: restore: nil snapshot")
+	}
+	if snap.Meta.Seed != s.Cfg.Seed {
+		return fmt.Errorf("core: restore: snapshot seed %d, study seed %d", snap.Meta.Seed, s.Cfg.Seed)
+	}
+	if snap.Meta.Scale != s.Cfg.Scale {
+		return fmt.Errorf("core: restore: snapshot scale %v, study scale %v", snap.Meta.Scale, s.Cfg.Scale)
+	}
+	get := func(key string, v any) error {
+		raw, ok := snap.Components[key]
+		if !ok {
+			return fmt.Errorf("core: restore: snapshot missing component %q", key)
+		}
+		if err := json.Unmarshal(raw, v); err != nil {
+			return fmt.Errorf("core: restore component %s: %w", key, err)
+		}
+		return nil
+	}
+
+	// Decode every component before mutating anything.
+	var cs coreState
+	if err := get(compCore, &cs); err != nil {
+		return err
+	}
+	var dst dedup.State
+	if err := get(compDedup, &dst); err != nil {
+		return err
+	}
+	var mst monitor.State
+	if err := get(compMonitor, &mst); err != nil {
+		return err
+	}
+	var pst crawler.PastebinState
+	if err := get(compPastebin, &pst); err != nil {
+		return err
+	}
+	bsts := make([]crawler.BoardState, len(s.crawlers.boards))
+	for i, b := range s.crawlers.boards {
+		if err := get("crawler/"+b.SiteName, &bsts[i]); err != nil {
+			return err
+		}
+	}
+	digest, err := hex.DecodeString(cs.RunDigest)
+	if err != nil || len(digest) != len(s.runDigest) {
+		return fmt.Errorf("core: restore: bad run digest %q", cs.RunDigest)
+	}
+	doxes := make([]*DoxRecord, 0, len(cs.Doxes))
+	for _, ds := range cs.Doxes {
+		ex := &extract.Extraction{
+			Accounts:      make(map[netid.Network]string, len(ds.Accounts)),
+			CreditAliases: ds.CreditAliases,
+			CreditHandles: ds.CreditHandles,
+		}
+		for slug, user := range ds.Accounts {
+			n, ok := netid.FromSlug(slug)
+			if !ok {
+				return fmt.Errorf("core: restore: unknown network slug %q", slug)
+			}
+			ex.Accounts[n] = user
+		}
+		doxes = append(doxes, &DoxRecord{
+			DocID: ds.DocID, Site: ds.Site, Posted: ds.Posted, Period: ds.Period,
+			Extraction: ex, TextDigest: ds.TextDigest, Labels: ds.Labels, Geo: ds.Geo,
+		})
+	}
+	// A fresh study's clock sits at Period1.Start; every snapshot is at or
+	// after that. Restoring into an already-advanced study is refused.
+	now := s.Clock.Now()
+	if snap.Meta.VirtualTime.Before(now) {
+		return fmt.Errorf("core: restore: snapshot time %v is before the study clock %v", snap.Meta.VirtualTime, now)
+	}
+
+	if err := s.Deduper.Restore(dst); err != nil {
+		return err
+	}
+	if err := s.Monitor.Restore(mst); err != nil {
+		return err
+	}
+	s.crawlers.pastebin.Restore(pst)
+	for i, b := range s.crawlers.boards {
+		b.Restore(bsts[i])
+	}
+	s.Collected = cs.Collected
+	s.CollectedBySite = cs.CollectedBySite
+	if s.CollectedBySite == nil {
+		s.CollectedBySite = make(map[string]int)
+	}
+	s.FlaggedByPeriod = cs.Flagged
+	s.PollFailures = cs.PollFailures
+	if s.PollFailures == nil {
+		s.PollFailures = make(map[string]int)
+	}
+	s.MonitorFailures = cs.MonitorFailures
+	s.daysDone = cs.DaysDone
+	copy(s.runDigest[:], digest)
+	s.flaggedP1 = make(map[string]bool, len(cs.FlaggedP1))
+	for _, id := range cs.FlaggedP1 {
+		s.flaggedP1[id] = true
+	}
+	s.pastebinP1Docs = nil
+	for _, d := range cs.PastebinP1 {
+		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: "pastebin", ID: d.ID, Posted: d.Posted})
+	}
+	if s.Cfg.RecordCollectedIDs {
+		s.CollectedIDs = cs.CollectedIDs
+		if s.CollectedIDs == nil {
+			s.CollectedIDs = make(map[string]time.Time)
+		}
+	}
+	s.Doxes = doxes
+	if snap.Meta.VirtualTime.After(now) {
+		s.Clock.Set(snap.Meta.VirtualTime)
+	}
+	s.ckptSeq = snap.Seq
+	s.resumed = true
+	s.resumeP = snap.Meta.Period
+	s.resumeDay = snap.Meta.Day
+	s.m.reseed(s)
+	return nil
+}
+
+// ResumeInfo reports where a resumed study picked up.
+type ResumeInfo struct {
+	Resumed     bool
+	Period      int
+	Day         int
+	Seq         uint64
+	VirtualTime time.Time
+}
+
+// Resume loads the latest snapshot from the configured checkpoint store
+// into a freshly built study, cross-checking the commit log's rolling
+// digest. A fresh state dir is not an error: it returns {Resumed: false}
+// and Run starts from the beginning. Call between NewStudy and Run.
+func (s *Study) Resume() (ResumeInfo, error) {
+	ck := s.ckpt()
+	if ck == nil {
+		return ResumeInfo{}, errors.New("core: Resume requires StudyConfig.Checkpoint")
+	}
+	start := time.Now()
+	snap, err := ck.Store.LoadSnapshot()
+	if errors.Is(err, store.ErrNoSnapshot) {
+		return ResumeInfo{}, nil
+	}
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	if err := s.RestoreSnapshot(snap); err != nil {
+		return ResumeInfo{}, err
+	}
+	s.m.checkpointRestore.Observe(time.Since(start).Seconds())
+	// Cross-check against the commit log: the day entry matching the
+	// snapshot must carry the same rolling digest, or the state dir
+	// belongs to a different run.
+	if entries, err := ck.Store.Entries(); err == nil {
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := entries[i]
+			if e.Kind != store.KindDay || e.Period != snap.Meta.Period || e.Day != snap.Meta.Day {
+				continue
+			}
+			if e.Digest != "" && e.Digest != s.runDigestHex() {
+				return ResumeInfo{}, fmt.Errorf(
+					"core: resume: commit-log digest %s disagrees with snapshot digest %s at period %d day %d",
+					e.Digest, s.runDigestHex(), snap.Meta.Period, snap.Meta.Day)
+			}
+			break
+		}
+	}
+	return ResumeInfo{
+		Resumed: true, Period: snap.Meta.Period, Day: snap.Meta.Day,
+		Seq: snap.Seq, VirtualTime: snap.Meta.VirtualTime,
+	}, nil
+}
+
+// appendLifecycle writes a run-start/resume/stop record; a no-op for
+// non-durable studies.
+func (s *Study) appendLifecycle(kind string, periodNo, day int) error {
+	ck := s.ckpt()
+	if ck == nil {
+		return nil
+	}
+	return ck.Store.AppendEntry(store.Entry{
+		Kind: kind, Seq: s.ckptSeq, Period: periodNo, Day: day, VTime: s.Clock.Now(),
+	})
+}
+
+// appendDayEntry records one committed study day and its rolling digest.
+func (s *Study) appendDayEntry(periodNo, day int) error {
+	return s.ckpt().Store.AppendEntry(store.Entry{
+		Kind: store.KindDay, Seq: s.ckptSeq, Period: periodNo, Day: day,
+		VTime:     s.Clock.Now(),
+		Collected: s.Collected,
+		Flagged:   s.FlaggedByPeriod[1] + s.FlaggedByPeriod[2],
+		Doxes:     len(s.Doxes),
+		Digest:    s.runDigestHex(),
+	})
+}
+
+// writeCheckpoint persists a snapshot at the current day boundary and logs
+// it, feeding the checkpoint latency/size histograms.
+func (s *Study) writeCheckpoint(periodNo, day int) error {
+	ck := s.ckpt()
+	s.ckptSeq++
+	snap, err := s.Snapshot(periodNo, day)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n, err := ck.Store.SaveSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	s.m.checkpointWrite.Observe(time.Since(start).Seconds())
+	s.m.checkpointBytes.Observe(float64(n))
+	s.CheckpointsWritten++
+	return ck.Store.AppendEntry(store.Entry{
+		Kind: store.KindSnapshot, Seq: s.ckptSeq, Period: periodNo, Day: day,
+		VTime: s.Clock.Now(), Digest: s.runDigestHex(), Bytes: n,
+	})
+}

@@ -11,13 +11,18 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"doxmeter/internal/classifier"
@@ -26,6 +31,7 @@ import (
 	"doxmeter/internal/extract"
 	"doxmeter/internal/faults"
 	"doxmeter/internal/htmltext"
+	"doxmeter/internal/label"
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
 	"doxmeter/internal/osn"
@@ -34,6 +40,7 @@ import (
 	"doxmeter/internal/sim"
 	"doxmeter/internal/simclock"
 	"doxmeter/internal/sites"
+	"doxmeter/internal/store"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/textgen"
 )
@@ -77,6 +84,13 @@ type StudyConfig struct {
 	// hook for no-data-loss audits; off by default because a full-scale
 	// run commits millions of documents.
 	RecordCollectedIDs bool
+	// Checkpoint, when non-nil, makes the study durable: every EveryDays
+	// study days (and at period ends and on RequestStop) the full mutable
+	// pipeline state is snapshotted through Store, and a per-day commit-log
+	// entry carries the rolling run digest. A killed run is resumed with
+	// Resume before Run; results are bit-identical to an uninterrupted run
+	// at any Parallelism, with or without fault injection.
+	Checkpoint *CheckpointConfig
 	// Telemetry, when non-nil, instruments the whole study on the hub:
 	// doxmeter_stage_seconds / doxmeter_doc_stage_seconds histograms and
 	// the study counters on the registry, per-day spans (stamped with both
@@ -88,7 +102,62 @@ type StudyConfig struct {
 	Telemetry *telemetry.Hub
 }
 
+// CheckpointConfig wires a persistence backend into the study.
+type CheckpointConfig struct {
+	// Store receives snapshots and commit-log entries. Required.
+	Store store.Store
+	// EveryDays is the snapshot cadence in study days; 0 means every day.
+	// Period ends and stop requests always snapshot regardless of cadence.
+	EveryDays int
+}
+
+// ErrInvalidConfig is wrapped by every StudyConfig.Validate failure.
+var ErrInvalidConfig = errors.New("core: invalid StudyConfig")
+
+// Validate rejects configurations withDefaults cannot repair. The zero
+// value is valid (every field means "use the default"). Embedded crawl and
+// fault policies are validated through their own contracts, so errors.Is
+// also matches crawler.ErrInvalidOptions / faults.ErrInvalidProfile.
+func (c StudyConfig) Validate() error {
+	bad := func(field string, v any) error {
+		return fmt.Errorf("%w: %s = %v", ErrInvalidConfig, field, v)
+	}
+	if c.Scale < 0 {
+		return bad("Scale", c.Scale)
+	}
+	if c.ControlSample < 0 {
+		return bad("ControlSample", c.ControlSample)
+	}
+	if c.LabelSample < 0 {
+		return bad("LabelSample", c.LabelSample)
+	}
+	if err := c.Crawl.Validate(); err != nil {
+		return fmt.Errorf("%w: Crawl: %w", ErrInvalidConfig, err)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: Faults: %w", ErrInvalidConfig, err)
+		}
+	}
+	if ck := c.Checkpoint; ck != nil {
+		if ck.Store == nil {
+			return bad("Checkpoint.Store", nil)
+		}
+		if ck.EveryDays < 0 {
+			return bad("Checkpoint.EveryDays", ck.EveryDays)
+		}
+	}
+	return nil
+}
+
 func (c StudyConfig) withDefaults() StudyConfig {
+	if ck := c.Checkpoint; ck != nil {
+		every := ck.EveryDays
+		if every < 1 {
+			every = 1
+		}
+		c.Checkpoint = &CheckpointConfig{Store: ck.Store, EveryDays: every}
+	}
 	if c.Scale <= 0 {
 		c.Scale = 0.05
 	}
@@ -117,13 +186,23 @@ func (c StudyConfig) withDefaults() StudyConfig {
 }
 
 // DoxRecord is one classifier-flagged, de-duplicated dox document.
+//
+// TextDigest, Labels and Geo are derived from the raw text at commit time.
+// They are what the post-study analyses read, and they are all a durable
+// study persists: on a resumed run Text is empty and Extraction carries
+// only the fields the §3.3 discipline allows on disk (OSN usernames and
+// credit aliases — the paper's explicit exceptions).
 type DoxRecord struct {
 	DocID      string
 	Site       string
 	Posted     time.Time
-	Period     int // 1 or 2
-	Text       string
+	Period     int    // 1 or 2
+	Text       string // raw text; in-memory only, never checkpointed
 	Extraction *extract.Extraction
+
+	TextDigest string       // hex SHA-256 of Text
+	Labels     label.Labels // §3.2 analyst labels (categories/brackets)
+	Geo        GeoOutcome   // §4.1 IP-vs-postal comparison, precomputed
 }
 
 // Study owns a full pipeline run. Create with NewStudy, execute with Run,
@@ -177,7 +256,31 @@ type Study struct {
 	pastebinP1Docs  []crawler.Doc   // period-1 pastebin docs for Table 3
 	flaggedP1       map[string]bool // period-1 pastebin IDs flagged as dox
 	corpus          *textgen.Corpus
+
+	// CheckpointsWritten counts snapshots persisted by this process
+	// (provenance for doxpipeline -json).
+	CheckpointsWritten int
+
+	// Durability state; see snapshot.go.
+	ckptSeq   uint64
+	daysDone  int       // days fully committed, across both periods
+	runDigest [32]byte  // rolling digest chained over per-day commit streams
+	dayHasher hash.Hash // open digest for the day being processed
+	stopReq   atomic.Bool
+	resumed   bool
+	resumeP   int // period of the restored snapshot
+	resumeDay int // day (within resumeP) of the restored snapshot
 }
+
+// ErrStopped is returned by Run after RequestStop: the study checkpointed
+// its state at the last completed day and exited cleanly. Re-create the
+// study with the same config, call Resume, and Run again to continue.
+var ErrStopped = errors.New("core: study stopped by request after checkpoint")
+
+// RequestStop asks a running study to stop at the next day boundary, after
+// flushing a final checkpoint. Safe to call from any goroutine (e.g. a
+// signal handler).
+func (s *Study) RequestStop() { s.stopReq.Store(true) }
 
 // Corpus exposes the generated document population (ground truth; used by
 // graders and secondary-venue analyses, never by the pipeline itself).
@@ -186,6 +289,9 @@ func (s *Study) Corpus() *textgen.Corpus { return s.corpus }
 // NewStudy builds the world, trains the classifier (recording its Table 1
 // evaluation), and stands up the simulated services.
 func NewStudy(cfg StudyConfig) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	s := &Study{
 		Cfg:             cfg,
@@ -324,12 +430,16 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		crawler.NewBoard(eightSvc.BaseURL, "pol", "8ch/pol", opts),
 		crawler.NewBoard(eightSvc.BaseURL, "baphomet", "8ch/baphomet", opts),
 	}
-	s.Monitor = monitor.New(s.Clock, osnSvc.BaseURL, simclock.Period2.End, nil)
-	s.Monitor.SetParallelism(cfg.Parallelism)
 	mopts := opts
 	mopts.TelemetrySite = "monitor"
-	s.Monitor.SetFetchOptions(mopts)
-	s.Monitor.Instrument(reg)
+	s.Monitor = monitor.New(monitor.Config{
+		Clock:       s.Clock,
+		BaseURL:     osnSvc.BaseURL,
+		EndAt:       simclock.Period2.End,
+		Fetch:       &mopts,
+		Parallelism: cfg.Parallelism,
+		Telemetry:   reg,
+	})
 	return s, nil
 }
 
@@ -360,34 +470,59 @@ func (s *Study) Close() {
 	}
 }
 
-// Run executes the full two-period study.
+// Run executes the full two-period study. After Resume it continues from
+// the restored day boundary instead of the beginning.
 func (s *Study) Run(ctx context.Context) error {
-	// Register the Instagram control sample at study start (§6.2.1).
+	// Register the Instagram control sample at study start (§6.2.1). A
+	// resumed run replays the draws — Derive consumed one draw from the
+	// study RNG and the stream must stay aligned with an uninterrupted
+	// run — but TrackControl is idempotent for already-tracked IDs.
 	ctrlRng := randutil.Derive(s.rng, "control")
 	maxID := s.Universe.MaxInstagramID()
 	for i := 0; i < s.Cfg.ControlSample; i++ {
 		s.Monitor.TrackControl(1+ctrlRng.Int63n(maxID), simclock.Period1.Start)
 	}
 
-	if err := s.runPeriod(ctx, simclock.Period1, 1); err != nil {
+	kind := store.KindRunStart
+	if s.resumed {
+		kind = store.KindResume
+	}
+	if err := s.appendLifecycle(kind, s.resumeP, s.resumeDay); err != nil {
 		return err
+	}
+
+	if !(s.resumed && s.resumeP >= 2) {
+		if err := s.runPeriod(ctx, simclock.Period1, 1); err != nil {
+			return err
+		}
 	}
 	// Jump the inter-period gap (no collection happened there).
-	s.Clock.Set(simclock.Period2.Start)
-	if err := s.runPeriod(ctx, simclock.Period2, 2); err != nil {
-		return err
+	if s.Clock.Now().Before(simclock.Period2.Start) {
+		s.Clock.Set(simclock.Period2.Start)
 	}
-	return nil
+	return s.runPeriod(ctx, simclock.Period2, 2)
 }
 
 // runPeriod advances day by day through one collection period.
 func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) error {
-	if s.Clock.Now().Before(p.Start) {
+	day := 0
+	if s.resumed && s.resumeP == periodNo {
+		// The restored day is fully committed and durable. A snapshot on
+		// the period's final day means the whole period is done.
+		if !s.Clock.Now().Before(p.End) {
+			return nil
+		}
+		day = s.resumeDay + 1
+		s.Clock.Advance(simclock.Day)
+	} else if s.Clock.Now().Before(p.Start) {
 		s.Clock.Set(p.Start)
 	}
-	for day := 0; ; day++ {
+	for ; ; day++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if s.ckpt() != nil {
+			s.dayHasher = sha256.New()
 		}
 		dayCtx, daySpan := s.m.span(ctx, "day")
 		daySpan.SetAttr("period", p.Name)
@@ -415,11 +550,35 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		s.m.stageMonitor.Observe(time.Since(monStart).Seconds())
 		daySpan.End()
 		s.m.days.Inc()
+		s.daysDone++
+		s.foldDayDigest()
+		endOfPeriod := !s.Clock.Now().Before(p.End)
 		if s.Cfg.Progress != nil {
 			fmt.Fprintf(s.Cfg.Progress, "%s day %3d: collected=%d flagged=%d unique-doxes=%d\n",
 				p.Name, day, s.Collected, s.FlaggedByPeriod[1]+s.FlaggedByPeriod[2], len(s.Doxes))
 		}
-		if !s.Clock.Now().Before(p.End) {
+		// The progress writer above may have called RequestStop (tests use
+		// this to cut runs at exact day counts), so read the flag after.
+		stopping := s.stopReq.Load()
+		if ck := s.ckpt(); ck != nil {
+			if err := s.appendDayEntry(periodNo, day); err != nil {
+				return err
+			}
+			if s.daysDone%ck.EveryDays == 0 || endOfPeriod || stopping {
+				if err := s.writeCheckpoint(periodNo, day); err != nil {
+					return err
+				}
+			}
+			if stopping {
+				if err := s.appendLifecycle(store.KindStop, periodNo, day); err != nil {
+					return err
+				}
+			}
+		}
+		if stopping {
+			return ErrStopped
+		}
+		if endOfPeriod {
 			return nil
 		}
 		s.Clock.Advance(simclock.Day)
@@ -590,6 +749,18 @@ func (s *Study) processBatch(ctx context.Context, docs []crawler.Doc, periodNo i
 // commit applies one prepared document to the study state. Runs only on the
 // driver goroutine, in batch order.
 func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.Period) {
+	if s.dayHasher != nil {
+		// Fold the document's identity and verdict into the day digest.
+		// The commit order is deterministic, so so is the digest.
+		io.WriteString(s.dayHasher, doc.Site)
+		io.WriteString(s.dayHasher, "/")
+		io.WriteString(s.dayHasher, doc.ID)
+		if pre.IsDox {
+			io.WriteString(s.dayHasher, "+")
+		} else {
+			io.WriteString(s.dayHasher, ".")
+		}
+	}
 	s.Collected++
 	s.CollectedBySite[doc.Site]++
 	s.m.collected.With(doc.Site).Inc()
@@ -613,6 +784,13 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 		return
 	}
 	s.m.doxes.Inc()
+	// Derive everything the post-study analyses (and the checkpoint
+	// codec) need from the raw text now, while we hold it: the §3.2
+	// labels, the §4.1 geolocation outcome, and a digest standing in for
+	// the text itself. All three are pure functions of the text, so fresh
+	// and resumed runs agree.
+	sum := sha256.Sum256([]byte(pre.Text))
+	labels := label.Apply(pre.Text)
 	rec := &DoxRecord{
 		DocID:      doc.ID,
 		Site:       doc.Site,
@@ -620,6 +798,9 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 		Period:     periodNo,
 		Text:       pre.Text,
 		Extraction: pre.Extraction,
+		TextDigest: hex.EncodeToString(sum[:]),
+		Labels:     labels,
+		Geo:        s.geoOutcome(pre.Text, labels, pre.Extraction),
 	}
 	s.Doxes = append(s.Doxes, rec)
 	// Monitor the referenced accounts on the four tracked networks,

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"strconv"
 
+	"doxmeter/internal/dedup"
 	"doxmeter/internal/telemetry"
 )
 
@@ -38,6 +40,17 @@ type studyMetrics struct {
 	doxes           *telemetry.Counter
 	pollFailures    telemetry.CounterVec // by site
 	monitorFailures *telemetry.Counter
+
+	// Durability instruments (internal/store checkpoints).
+	checkpointWrite   *telemetry.Histogram // doxmeter_checkpoint_write_seconds
+	checkpointRestore *telemetry.Histogram // doxmeter_checkpoint_restore_seconds
+	checkpointBytes   *telemetry.Histogram // doxmeter_checkpoint_bytes
+}
+
+// checkpointSizeBuckets span 4 KiB to 16 MiB — a smoke-test study
+// checkpoints in tens of KiB, a full-scale one in megabytes.
+var checkpointSizeBuckets = []float64{
+	4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
 }
 
 func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
@@ -77,7 +90,44 @@ func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
 			"Source polls that failed after the crawler's full retry budget.", "site"),
 		monitorFailures: reg.NewCounter("doxmeter_monitor_sweep_failures_total",
 			"Monitor sweeps that failed mid-commit.").With(),
+		checkpointWrite: reg.NewHistogram("doxmeter_checkpoint_write_seconds",
+			"Wall-clock duration of one checkpoint snapshot write.", nil).With(),
+		checkpointRestore: reg.NewHistogram("doxmeter_checkpoint_restore_seconds",
+			"Wall-clock duration of one checkpoint load + restore.", nil).With(),
+		checkpointBytes: reg.NewHistogram("doxmeter_checkpoint_bytes",
+			"Encoded size of one checkpoint snapshot in bytes.",
+			checkpointSizeBuckets).With(),
 	}
+}
+
+// reseed replays the restored study state into the registry counters so
+// /metrics and -json read the same totals an uninterrupted run would show.
+// Every instrument is nil-safe, so this is a no-op with telemetry off.
+func (m *studyMetrics) reseed(s *Study) {
+	if m == nil {
+		return
+	}
+	for site, n := range s.CollectedBySite {
+		m.collected.With(site).Add(float64(n))
+	}
+	for p := 1; p < len(s.FlaggedByPeriod); p++ {
+		if n := s.FlaggedByPeriod[p]; n > 0 {
+			m.flagged.With(strconv.Itoa(p)).Add(float64(n))
+		}
+	}
+	st := s.Deduper.Stats()
+	if st.ExactDups > 0 {
+		m.duplicates.With(dedup.ExactDuplicate.String()).Add(float64(st.ExactDups))
+	}
+	if st.AccntDups > 0 {
+		m.duplicates.With(dedup.AccountDuplicate.String()).Add(float64(st.AccntDups))
+	}
+	m.doxes.Add(float64(len(s.Doxes)))
+	for site, n := range s.PollFailures {
+		m.pollFailures.With(site).Add(float64(n))
+	}
+	m.monitorFailures.Add(float64(s.MonitorFailures))
+	m.days.Add(float64(s.daysDone))
 }
 
 // span opens a tracer span under ctx; a no-op passthrough when telemetry is

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -138,6 +139,45 @@ type Options struct {
 	// constructors default it to their site name; "" falls back to
 	// "unknown").
 	TelemetrySite string
+}
+
+// ErrInvalidOptions is the sentinel every Options.Validate failure wraps,
+// part of the uniform Validate() + withDefaults() contract shared with
+// core.StudyConfig and faults.Profile.
+var ErrInvalidOptions = errors.New("crawler: invalid Options")
+
+// Validate rejects option values that withDefaults would otherwise turn
+// into surprising behaviour mid-crawl. Zero values are always valid (they
+// mean "use the default"); only actively contradictory settings fail.
+func (o Options) Validate() error {
+	bad := func(field string, v any) error {
+		return fmt.Errorf("%w: %s = %v", ErrInvalidOptions, field, v)
+	}
+	if o.MinInterval < 0 {
+		return bad("MinInterval", o.MinInterval)
+	}
+	if o.Backoff < 0 {
+		return bad("Backoff", o.Backoff)
+	}
+	if o.MaxBackoff < 0 {
+		return bad("MaxBackoff", o.MaxBackoff)
+	}
+	if o.MaxBackoff > 0 && o.Backoff > o.MaxBackoff {
+		return fmt.Errorf("%w: Backoff %v exceeds MaxBackoff %v", ErrInvalidOptions, o.Backoff, o.MaxBackoff)
+	}
+	if o.RequestTimeout < 0 {
+		return bad("RequestTimeout", o.RequestTimeout)
+	}
+	if o.MaxRetryAfter < 0 {
+		return bad("MaxRetryAfter", o.MaxRetryAfter)
+	}
+	if o.BreakerCooldown < 0 {
+		return bad("BreakerCooldown", o.BreakerCooldown)
+	}
+	if o.BreakerMaxWait < 0 {
+		return bad("BreakerMaxWait", o.BreakerMaxWait)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -524,17 +564,20 @@ func (f *Fetcher) throttle(ctx context.Context) error {
 	}
 }
 
-// Requests returns the number of HTTP request attempts issued so far,
-// including attempts that failed before a response arrived.
+// Requests returns the number of HTTP request attempts issued so far.
+//
+// Deprecated: use Stats().Requests. The per-counter accessors duplicated
+// the Stats surface; they will be removed next release.
 func (f *Fetcher) Requests() int64 {
-	return int64(f.m.requests.Value())
+	return f.Stats().Requests
 }
 
-// Errors returns how many request attempts failed (transport errors,
-// non-2xx statuses other than 404, and body-read failures) — the signal a
-// deployment watches for retry storms.
+// Errors returns how many request attempts failed.
+//
+// Deprecated: use Stats().Errors. The per-counter accessors duplicated
+// the Stats surface; they will be removed next release.
 func (f *Fetcher) Errors() int64 {
-	return int64(f.m.errors.Value())
+	return f.Stats().Errors
 }
 
 // breaker is a consecutive-failure circuit breaker with half-open probing.
@@ -795,13 +838,52 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 }
 
 // Requests exposes the underlying request-attempt count.
-func (c *Pastebin) Requests() int64 { return c.f.Requests() }
+//
+// Deprecated: use Stats().Requests.
+func (c *Pastebin) Requests() int64 { return c.Stats().Requests }
 
 // Errors exposes the underlying failed-attempt count.
-func (c *Pastebin) Errors() int64 { return c.f.Errors() }
+//
+// Deprecated: use Stats().Errors.
+func (c *Pastebin) Errors() int64 { return c.Stats().Errors }
 
 // Stats exposes the underlying fetcher's full counter snapshot.
 func (c *Pastebin) Stats() FetchStats { return c.f.Stats() }
+
+// PastebinState is the Pastebin crawler's versioned snapshot payload:
+// the listing cursor and the committed seen set. Paste keys are opaque
+// site-assigned IDs, so the state is persistence-safe.
+type PastebinState struct {
+	Cursor int64    `json:"cursor"`
+	Seen   []string `json:"seen"` // sorted
+}
+
+// Snapshot captures the crawler's commit state for checkpointing.
+func (c *Pastebin) Snapshot() PastebinState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := PastebinState{Cursor: c.cursor, Seen: make([]string, 0, len(c.seen))}
+	for k := range c.seen {
+		st.Seen = append(st.Seen, k)
+	}
+	sort.Strings(st.Seen)
+	return st
+}
+
+// Restore replaces the crawler's commit state with a snapshot. The next
+// Poll resumes from the restored cursor exactly as if the process had
+// never died; any documents listed-but-uncommitted at snapshot time are
+// re-fetched, preserving the no-skipped-documents invariant.
+func (c *Pastebin) Restore(st PastebinState) {
+	seen := make(map[string]bool, len(st.Seen))
+	for _, k := range st.Seen {
+		seen[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cursor = st.Cursor
+	c.seen = seen
+}
 
 // Board incrementally crawls one board of a chan-style JSON API.
 type Board struct {
@@ -935,10 +1017,60 @@ func (c *Board) fetchThread(ctx context.Context, no int64) (threadJSON, error) {
 }
 
 // Requests exposes the underlying request-attempt count.
-func (c *Board) Requests() int64 { return c.f.Requests() }
+//
+// Deprecated: use Stats().Requests.
+func (c *Board) Requests() int64 { return c.Stats().Requests }
 
 // Errors exposes the underlying failed-attempt count.
-func (c *Board) Errors() int64 { return c.f.Errors() }
+//
+// Deprecated: use Stats().Errors.
+func (c *Board) Errors() int64 { return c.Stats().Errors }
 
 // Stats exposes the underlying fetcher's full counter snapshot.
 func (c *Board) Stats() FetchStats { return c.f.Stats() }
+
+// BoardState is the Board crawler's versioned snapshot payload: per-
+// thread last-modified watermarks and the committed post set. Thread and
+// post numbers are site-assigned integers, so the state is
+// persistence-safe.
+type BoardState struct {
+	LastMod   map[int64]int64 `json:"last_mod"`
+	SeenPosts []int64         `json:"seen_posts"` // sorted
+}
+
+// Snapshot captures the crawler's commit state for checkpointing.
+func (c *Board) Snapshot() BoardState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := BoardState{
+		LastMod:   make(map[int64]int64, len(c.lastMod)),
+		SeenPosts: make([]int64, 0, len(c.seenPost)),
+	}
+	for no, lm := range c.lastMod {
+		st.LastMod[no] = lm
+	}
+	for no := range c.seenPost {
+		st.SeenPosts = append(st.SeenPosts, no)
+	}
+	sort.Slice(st.SeenPosts, func(i, j int) bool { return st.SeenPosts[i] < st.SeenPosts[j] })
+	return st
+}
+
+// Restore replaces the crawler's commit state with a snapshot. Threads
+// whose lastMod was uncommitted at snapshot time are re-read on the next
+// Poll; already-seen posts within them are filtered by seenPost, so the
+// resumed document stream is identical to an uninterrupted one.
+func (c *Board) Restore(st BoardState) {
+	lastMod := make(map[int64]int64, len(st.LastMod))
+	for no, lm := range st.LastMod {
+		lastMod[no] = lm
+	}
+	seenPost := make(map[int64]bool, len(st.SeenPosts))
+	for _, no := range st.SeenPosts {
+		seenPost[no] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastMod = lastMod
+	c.seenPost = seenPost
+}

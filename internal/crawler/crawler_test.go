@@ -132,7 +132,7 @@ func TestBoardCatalogCaching(t *testing.T) {
 	if _, err := c.Poll(ctx); err != nil {
 		t.Fatal(err)
 	}
-	afterFirst := c.Requests()
+	afterFirst := c.Stats().Requests
 	// Second poll with no new content: only the catalog should be fetched.
 	got, err := c.Poll(ctx)
 	if err != nil {
@@ -141,8 +141,8 @@ func TestBoardCatalogCaching(t *testing.T) {
 	if len(got) != 0 {
 		t.Fatalf("idle poll returned %d posts", len(got))
 	}
-	if c.Requests() != afterFirst+1 {
-		t.Fatalf("idle poll used %d requests, want 1 (catalog only)", c.Requests()-afterFirst)
+	if c.Stats().Requests != afterFirst+1 {
+		t.Fatalf("idle poll used %d requests, want 1 (catalog only)", c.Stats().Requests-afterFirst)
 	}
 }
 
@@ -330,7 +330,7 @@ func TestRetriesDisabled(t *testing.T) {
 }
 
 // TestRequestAndErrorAccounting verifies failed attempts are counted: every
-// attempt shows up in Requests() and every failure in Errors().
+// attempt shows up in Stats().Requests and every failure in Stats().Errors.
 func TestRequestAndErrorAccounting(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "down", http.StatusInternalServerError)
@@ -338,11 +338,11 @@ func TestRequestAndErrorAccounting(t *testing.T) {
 	defer srv.Close()
 	c := NewPastebin(srv.URL, Options{Retries: 2, Backoff: time.Millisecond})
 	_, _ = c.Poll(context.Background())
-	if got := c.Requests(); got != 3 {
-		t.Errorf("Requests() = %d, want 3 (1 + 2 retries)", got)
+	if got := c.Stats().Requests; got != 3 {
+		t.Errorf("Stats().Requests = %d, want 3 (1 + 2 retries)", got)
 	}
-	if got := c.Errors(); got != 3 {
-		t.Errorf("Errors() = %d, want 3", got)
+	if got := c.Stats().Errors; got != 3 {
+		t.Errorf("Stats().Errors = %d, want 3", got)
 	}
 
 	// A dead host (dial failure, no HTTP response at all) must count too.
@@ -350,8 +350,8 @@ func TestRequestAndErrorAccounting(t *testing.T) {
 	srv2.Close() // nothing listening anymore
 	c2 := NewPastebin(srv2.URL, Options{Retries: -1})
 	_, _ = c2.Poll(context.Background())
-	if c2.Requests() != 1 || c2.Errors() != 1 {
-		t.Errorf("dead host: Requests()=%d Errors()=%d, want 1/1", c2.Requests(), c2.Errors())
+	if s := c2.Stats(); s.Requests != 1 || s.Errors != 1 {
+		t.Errorf("dead host: Stats() Requests=%d Errors=%d, want 1/1", s.Requests, s.Errors)
 	}
 }
 

@@ -19,8 +19,12 @@ package dedup
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"strings"
 	"sync"
+
+	"doxmeter/internal/privstore"
 )
 
 // Verdict classifies a document against the already-seen population.
@@ -58,11 +62,22 @@ func (s Stats) TotalDups() int { return s.ExactDups + s.AccntDups }
 // Total returns all classified documents.
 func (s Stats) Total() int { return s.Unique + s.ExactDups + s.AccntDups }
 
+// accountKeySalt keys the digest form of account-set identities. It is a
+// fixed constant, not a secret: the digest exists so the account index
+// can be checkpointed without writing raw usernames, and resume requires
+// the digests to be reproducible across processes.
+const accountKeySalt = "doxmeter-dedup-v1"
+
 // Deduper tracks seen dox bodies and account sets. Safe for concurrent use.
+//
+// Both indexes are stored in persistence-safe form: bodies by SHA-256 of
+// the normalized text, account sets by salted digest of the canonical
+// account-set key. Raw text and raw usernames never live in the Deduper,
+// so Snapshot is PII-free by construction.
 type Deduper struct {
 	mu       sync.Mutex
 	bodies   map[[32]byte]string // body hash -> first doc ID
-	accounts map[string]string   // account-set key -> first doc ID
+	accounts map[string]string   // digest of account-set key -> first doc ID
 	stats    Stats
 }
 
@@ -98,14 +113,23 @@ func (d *Deduper) Check(docID, body, accountSetKey string) (Verdict, string) {
 	}
 	d.bodies[h] = docID
 	if accountSetKey != "" {
-		if first, ok := d.accounts[accountSetKey]; ok {
+		k := accountDigest(accountSetKey)
+		if first, ok := d.accounts[k]; ok {
 			d.stats.AccntDups++
 			return AccountDuplicate, first
 		}
-		d.accounts[accountSetKey] = docID
+		d.accounts[k] = docID
 	}
 	d.stats.Unique++
 	return Unique, ""
+}
+
+// accountDigest maps a raw account-set key to its stored form. Key
+// equality is preserved (equal keys digest equally; HMAC-SHA256
+// collisions are negligible), so verdicts are unchanged by the
+// indirection.
+func accountDigest(accountSetKey string) string {
+	return privstore.DigestIdentifier(accountKeySalt, accountSetKey)
 }
 
 // Peek classifies a document against the seen population without recording
@@ -119,7 +143,7 @@ func (d *Deduper) Peek(body, accountSetKey string) (Verdict, string) {
 		return ExactDuplicate, first
 	}
 	if accountSetKey != "" {
-		if first, ok := d.accounts[accountSetKey]; ok {
+		if first, ok := d.accounts[accountDigest(accountSetKey)]; ok {
 			return AccountDuplicate, first
 		}
 	}
@@ -138,4 +162,55 @@ func (d *Deduper) SeenBodies() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.bodies)
+}
+
+// State is the Deduper's versioned snapshot payload. Both indexes are
+// already digests, so the state can be written to disk as-is under the
+// §3.3 discipline.
+type State struct {
+	Bodies   map[string]string `json:"bodies"`   // hex SHA-256 of normalized body -> first doc ID
+	Accounts map[string]string `json:"accounts"` // salted account-set digest -> first doc ID
+	Stats    Stats             `json:"stats"`
+}
+
+// Snapshot captures the full dedup state for checkpointing.
+func (d *Deduper) Snapshot() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := State{
+		Bodies:   make(map[string]string, len(d.bodies)),
+		Accounts: make(map[string]string, len(d.accounts)),
+		Stats:    d.stats,
+	}
+	for h, id := range d.bodies {
+		st.Bodies[hex.EncodeToString(h[:])] = id
+	}
+	for k, id := range d.accounts {
+		st.Accounts[k] = id
+	}
+	return st
+}
+
+// Restore replaces the Deduper's state with a snapshot taken by Snapshot.
+func (d *Deduper) Restore(st State) error {
+	bodies := make(map[[32]byte]string, len(st.Bodies))
+	for hs, id := range st.Bodies {
+		raw, err := hex.DecodeString(hs)
+		if err != nil || len(raw) != 32 {
+			return fmt.Errorf("dedup: restore: bad body hash %q", hs)
+		}
+		var h [32]byte
+		copy(h[:], raw)
+		bodies[h] = id
+	}
+	accounts := make(map[string]string, len(st.Accounts))
+	for k, id := range st.Accounts {
+		accounts[k] = id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bodies = bodies
+	d.accounts = accounts
+	d.stats = st.Stats
+	return nil
 }

@@ -21,6 +21,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -94,6 +95,64 @@ type Profile struct {
 
 // defaultMaxFaults is the healing budget when MaxFaultsPerURL is zero.
 const defaultMaxFaults = 2
+
+// ErrInvalidProfile is the sentinel every Profile.Validate failure wraps,
+// part of the uniform Validate() + withDefaults() contract shared with
+// core.StudyConfig and crawler.Options.
+var ErrInvalidProfile = errors.New("faults: invalid Profile")
+
+// Validate rejects contradictory profiles before a run starts: out-of-
+// range probabilities, a probability mass above 1 (the modes share one
+// roll), negative delays, a truncation fraction that would deliver the
+// whole body, or an inverted outage window. Zero values are always valid
+// (they mean "use the default").
+func (p Profile) Validate() error {
+	sum := 0.0
+	for _, c := range []struct {
+		name string
+		p    float64
+	}{
+		{"P500", p.P500}, {"P503", p.P503}, {"P429", p.P429},
+		{"PReset", p.PReset}, {"PStall", p.PStall},
+		{"PTruncate", p.PTruncate}, {"PCorrupt", p.PCorrupt},
+	} {
+		if c.p < 0 || c.p > 1 {
+			return fmt.Errorf("%w: %s = %v, want [0, 1]", ErrInvalidProfile, c.name, c.p)
+		}
+		sum += c.p
+	}
+	if sum > 1 {
+		return fmt.Errorf("%w: probabilities sum to %v, want <= 1 (modes share one roll)", ErrInvalidProfile, sum)
+	}
+	if p.RetryAfter < 0 {
+		return fmt.Errorf("%w: RetryAfter = %v", ErrInvalidProfile, p.RetryAfter)
+	}
+	if p.StallFor < 0 {
+		return fmt.Errorf("%w: StallFor = %v", ErrInvalidProfile, p.StallFor)
+	}
+	if p.TruncateFrac < 0 || p.TruncateFrac >= 1 {
+		if p.TruncateFrac != 0 {
+			return fmt.Errorf("%w: TruncateFrac = %v, want [0, 1)", ErrInvalidProfile, p.TruncateFrac)
+		}
+	}
+	for i, o := range p.Outages {
+		if !o.End.After(o.Start) {
+			return fmt.Errorf("%w: Outages[%d] window [%v, %v) is empty or inverted", ErrInvalidProfile, i, o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// withDefaults resolves the zero-means-default fields to their effective
+// values. The per-field accessors (maxFaults, stallFor, truncateFrac)
+// remain the source of truth; this materializes them so a defaulted
+// profile can be inspected or compared directly.
+func (p Profile) withDefaults() Profile {
+	p.MaxFaultsPerURL = p.maxFaults()
+	p.StallFor = p.stallFor()
+	p.TruncateFrac = p.truncateFrac()
+	return p
+}
 
 func (p Profile) maxFaults() int {
 	switch {
@@ -326,7 +385,7 @@ type Injector struct {
 // the profile schedules no outages.
 func NewInjector(p Profile, clock *simclock.Clock, inner http.Handler) *Injector {
 	return &Injector{
-		p: p, clock: clock, inner: inner,
+		p: p.withDefaults(), clock: clock, inner: inner,
 		attempts: make(map[string]int),
 		m:        newFaultMetrics(nil, ""),
 	}

@@ -47,8 +47,7 @@ func TestMonitorChaosIdentical(t *testing.T) {
 			inj := faults.NewInjector(profile, r.clock, inner)
 			srv := httptest.NewServer(inj)
 			t.Cleanup(srv.Close)
-			r.mon = New(r.clock, srv.URL, simclock.Period2.End, nil)
-			r.mon.SetFetchOptions(hardened)
+			r.mon = New(Config{Clock: r.clock, BaseURL: srv.URL, EndAt: simclock.Period2.End, Fetch: &hardened})
 			t.Cleanup(func() {
 				c := inj.Counters()
 				if c.Injected() == 0 {
@@ -97,8 +96,8 @@ func TestMonitorSurvivesPersistentCorruption(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 
-	mon := New(r.clock, srv.URL, simclock.Period2.End, nil)
-	mon.SetFetchOptions(crawler.Options{Retries: 2, Backoff: time.Millisecond})
+	mon := New(Config{Clock: r.clock, BaseURL: srv.URL, EndAt: simclock.Period2.End,
+		Fetch: &crawler.Options{Retries: 2, Backoff: time.Millisecond}})
 	at := simclock.Period1.Start
 	n := 0
 	for _, v := range r.world.Victims {

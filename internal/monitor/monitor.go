@@ -145,25 +145,65 @@ type Monitor struct {
 	trackedG *telemetry.Gauge
 }
 
-// New builds a monitor scraping the OSN service at baseURL until endAt.
-func New(clock *simclock.Clock, baseURL string, endAt time.Time, client *http.Client) *Monitor {
+// Config gathers everything New needs to build a monitor, replacing the
+// old positional constructor plus post-construction setter sprawl
+// (SetFetchOptions, SetParallelism, Instrument): construct once, fully
+// configured.
+type Config struct {
+	// Clock is the study's virtual clock (required).
+	Clock *simclock.Clock
+	// BaseURL is the OSN service root, no trailing slash (required).
+	BaseURL string
+	// EndAt is the monitor-wide horizon after which no account is
+	// revisited (required).
+	EndAt time.Time
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+	// Fetch, when non-nil, is the hardened fetch policy (retries,
+	// backoff, circuit breaker, timeouts) — the same knobs the document
+	// crawlers take. A nil Fetch uses crawler defaults; a Fetch with a
+	// nil Client inherits Config.Client.
+	Fetch *crawler.Options
+	// Parallelism bounds how many profile fetches one ProcessDue sweep
+	// issues concurrently; <= 1 scrapes serially. Any setting yields
+	// identical histories (ordered commits).
+	Parallelism int
+	// Telemetry, when non-nil, declares the doxmeter_monitor_* sweep
+	// metrics on this registry.
+	Telemetry *telemetry.Registry
+}
+
+// New builds a monitor from a Config.
+func New(cfg Config) *Monitor {
+	client := cfg.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Monitor{
-		clock:     clock,
-		baseURL:   baseURL,
-		client:    client,
-		endAt:     endAt,
-		f:         crawler.NewFetcher(crawler.Options{Client: client}),
-		histories: make(map[string]*History),
+	fopts := crawler.Options{Client: client}
+	if cfg.Fetch != nil {
+		fopts = *cfg.Fetch
+		if fopts.Client == nil {
+			fopts.Client = client
+		}
 	}
+	m := &Monitor{
+		clock:       cfg.Clock,
+		baseURL:     cfg.BaseURL,
+		client:      client,
+		endAt:       cfg.EndAt,
+		f:           crawler.NewFetcher(fopts),
+		histories:   make(map[string]*History),
+		parallelism: cfg.Parallelism,
+	}
+	m.instrument(cfg.Telemetry)
+	return m
 }
 
-// SetFetchOptions replaces the monitor's fetch policy (retries, backoff,
-// circuit breaker, timeouts) with the same knobs the crawlers take, so a
-// study can apply one hardening profile across every HTTP consumer. A nil
-// Client keeps the monitor's existing client.
+// SetFetchOptions replaces the monitor's fetch policy. A nil Client keeps
+// the monitor's existing client.
+//
+// Deprecated: pass Config.Fetch to New instead. Wrapper kept for one
+// release.
 func (m *Monitor) SetFetchOptions(opts crawler.Options) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -173,11 +213,19 @@ func (m *Monitor) SetFetchOptions(opts crawler.Options) {
 	m.f = crawler.NewFetcher(opts)
 }
 
-// Instrument declares the monitor's sweep metrics on reg:
+// Instrument declares the monitor's sweep metrics on reg.
+//
+// Deprecated: pass Config.Telemetry to New instead. Wrapper kept for one
+// release.
+func (m *Monitor) Instrument(reg *telemetry.Registry) {
+	m.instrument(reg)
+}
+
+// instrument declares the monitor's sweep metrics on reg:
 // doxmeter_monitor_sweeps_total, doxmeter_monitor_scrapes_total,
 // doxmeter_monitor_due_accounts and doxmeter_monitor_tracked_accounts.
 // A nil registry leaves the monitor uninstrumented (every update a no-op).
-func (m *Monitor) Instrument(reg *telemetry.Registry) {
+func (m *Monitor) instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
@@ -202,9 +250,10 @@ func (m *Monitor) FetchStats() crawler.FetchStats {
 }
 
 // SetParallelism bounds how many profile fetches one ProcessDue sweep
-// issues concurrently. Values <= 1 (the default) scrape serially; any
-// setting yields identical histories because observations are committed in
-// sorted account-key order after the fetches complete.
+// issues concurrently.
+//
+// Deprecated: pass Config.Parallelism to New instead. Wrapper kept for
+// one release.
 func (m *Monitor) SetParallelism(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -270,6 +319,101 @@ func (m *Monitor) Requests() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.requests
+}
+
+// HistoryState is one tracked account in a monitor snapshot. Account
+// references serialize as (network slug, username) — OSN usernames are
+// the paper's explicit §3.3 storage exception, since the monitor cannot
+// keep scraping an account it no longer knows the name of. Comment text
+// and authors come from public OSN profiles, the same exception.
+type HistoryState struct {
+	Network   string        `json:"network"`
+	Username  string        `json:"username"`
+	NumericID int64         `json:"numeric_id,omitempty"`
+	Control   bool          `json:"control,omitempty"`
+	DoxSeenAt time.Time     `json:"dox_seen_at"`
+	Verified  bool          `json:"verified"`
+	Activity  int           `json:"activity"`
+	Obs       []Observation `json:"obs,omitempty"`
+	NextIdx   int           `json:"next_idx"`
+	NextDue   time.Time     `json:"next_due"`
+	EndAt     time.Time     `json:"end_at,omitempty"`
+	Finished  bool          `json:"finished,omitempty"`
+}
+
+// State is the monitor's versioned snapshot payload.
+type State struct {
+	Requests  int64          `json:"requests"`
+	Histories []HistoryState `json:"histories"` // sorted by account key
+}
+
+// Snapshot captures every tracked account — schedule position included —
+// for checkpointing.
+func (m *Monitor) Snapshot() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.histories))
+	for k := range m.histories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	st := State{Requests: m.requests, Histories: make([]HistoryState, 0, len(keys))}
+	for _, k := range keys {
+		h := m.histories[k]
+		obs := make([]Observation, len(h.Obs))
+		copy(obs, h.Obs)
+		st.Histories = append(st.Histories, HistoryState{
+			Network:   h.Ref.Network.Slug(),
+			Username:  h.Ref.Username,
+			NumericID: h.NumericID,
+			Control:   h.Control,
+			DoxSeenAt: h.DoxSeenAt,
+			Verified:  h.Verified,
+			Activity:  h.Activity,
+			Obs:       obs,
+			NextIdx:   h.nextIdx,
+			NextDue:   h.nextDue,
+			EndAt:     h.endAt,
+			Finished:  h.finished,
+		})
+	}
+	return st
+}
+
+// Restore replaces the monitor's tracked accounts with a snapshot taken
+// by Snapshot. Track/TrackUntil stay idempotent afterwards, so replayed
+// tracking calls from a resumed study are no-ops.
+func (m *Monitor) Restore(st State) error {
+	histories := make(map[string]*History, len(st.Histories))
+	for _, hs := range st.Histories {
+		network, ok := netid.FromSlug(hs.Network)
+		if !ok {
+			return fmt.Errorf("monitor: restore: unknown network slug %q", hs.Network)
+		}
+		h := &History{
+			Ref:       netid.Ref{Network: network, Username: hs.Username},
+			NumericID: hs.NumericID,
+			Control:   hs.Control,
+			DoxSeenAt: hs.DoxSeenAt,
+			Verified:  hs.Verified,
+			Activity:  hs.Activity,
+			Obs:       hs.Obs,
+			nextIdx:   hs.NextIdx,
+			nextDue:   hs.NextDue,
+			endAt:     hs.EndAt,
+			finished:  hs.Finished,
+		}
+		key := h.Ref.Key()
+		if h.Control && h.NumericID > 0 {
+			key = fmt.Sprintf("igid:%d", h.NumericID)
+		}
+		histories[key] = h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.histories = histories
+	m.requests = st.Requests
+	return nil
 }
 
 // ProcessDue visits every account whose next scheduled check is due at the

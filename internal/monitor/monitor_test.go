@@ -28,7 +28,7 @@ func newRig(t *testing.T, scale float64) *rig {
 	uni := osn.NewUniverse(clock, w, 81)
 	srv := httptest.NewServer(uni.Handler())
 	t.Cleanup(srv.Close)
-	mon := New(clock, srv.URL, simclock.Period2.End, nil)
+	mon := New(Config{Clock: clock, BaseURL: srv.URL, EndAt: simclock.Period2.End})
 	return &rig{world: w, uni: uni, clock: clock, mon: mon, srv: srv}
 }
 
@@ -396,8 +396,7 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		uni := osn.NewUniverse(clock, w, 81)
 		srv := httptest.NewServer(uni.Handler())
 		defer srv.Close()
-		mon := New(clock, srv.URL, simclock.Period2.End, nil)
-		mon.SetParallelism(parallelism)
+		mon := New(Config{Clock: clock, BaseURL: srv.URL, EndAt: simclock.Period2.End, Parallelism: parallelism})
 		at := simclock.Period1.Start
 		n := 0
 		for _, v := range w.Victims {

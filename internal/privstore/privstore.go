@@ -87,8 +87,17 @@ func New(salt string) *Store {
 
 // DigestAccount produces the stored form of an account reference.
 func (s *Store) DigestAccount(ref netid.Ref) string {
-	mac := hmac.New(sha256.New, s.salt)
-	mac.Write([]byte(ref.Key()))
+	return DigestIdentifier(string(s.salt), ref.Key())
+}
+
+// DigestIdentifier is the §3.3 digest primitive on its own: the salted
+// HMAC-SHA256 form of an arbitrary identifier string. Any component that
+// must persist an identity-bearing key (the dedup account index, for
+// one) stores this instead of the raw value, so a leaked checkpoint or
+// datastore only supports equality joins, never recovery.
+func DigestIdentifier(salt, value string) string {
+	mac := hmac.New(sha256.New, []byte(salt))
+	mac.Write([]byte(value))
 	return hex.EncodeToString(mac.Sum(nil))[:32]
 }
 

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".ckpt"
+	commitLogName  = "commits.log"
+	keepSnapshots  = 2
+)
+
+// File is the file-backed Store. Snapshots are written crash-safely
+// (temp file in the same dir, fsync, atomic rename, dir fsync) under
+// names like snapshot-00000042.ckpt, keeping the latest two so a torn
+// latest file still leaves a usable predecessor. The commit log is a
+// JSON-lines file, fsynced per append; Entries tolerates a truncated
+// final line.
+type File struct {
+	dir string
+
+	mu   sync.Mutex
+	logF *os.File
+}
+
+// OpenFile opens (creating if needed) a state directory.
+func OpenFile(dir string) (*File, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty state dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create state dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+// Dir returns the state directory this store writes to.
+func (f *File) Dir() string { return f.dir }
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", snapshotPrefix, seq, snapshotSuffix)
+}
+
+// snapshotSeqs lists the sequence numbers of snapshot files on disk,
+// ascending.
+func (f *File) snapshotSeqs() ([]uint64, error) {
+	names, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read state dir: %w", err)
+	}
+	var seqs []uint64
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		var seq uint64
+		numeric := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+		if _, err := fmt.Sscanf(numeric, "%d", &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// SaveSnapshot implements Store.
+func (f *File) SaveSnapshot(snap *Snapshot) (int, error) {
+	b, err := Encode(snap)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	final := filepath.Join(f.dir, snapshotName(snap.Seq))
+	tmp, err := os.CreateTemp(f.dir, snapshotPrefix+"*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(b); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: close snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	f.syncDir()
+	f.pruneLocked()
+	return len(b), nil
+}
+
+// syncDir fsyncs the state directory so the rename is durable. Failure
+// is non-fatal: the data file itself is already synced.
+func (f *File) syncDir() {
+	if d, err := os.Open(f.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// pruneLocked removes all but the newest keepSnapshots snapshot files.
+func (f *File) pruneLocked() {
+	seqs, err := f.snapshotSeqs()
+	if err != nil || len(seqs) <= keepSnapshots {
+		return
+	}
+	for _, seq := range seqs[:len(seqs)-keepSnapshots] {
+		os.Remove(filepath.Join(f.dir, snapshotName(seq)))
+	}
+}
+
+// LoadSnapshot implements Store. It walks snapshots newest-first and
+// returns the first that decodes; a corrupt or truncated newest file
+// falls back to its predecessor, but a version-skewed snapshot aborts
+// the walk — silently resuming from an older-format predecessor would
+// hide the skew from the operator.
+func (f *File) LoadSnapshot() (*Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seqs, err := f.snapshotSeqs()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(filepath.Join(f.dir, snapshotName(seqs[i])))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		snap, err := Decode(b)
+		if err != nil {
+			if errors.Is(err, ErrVersionSkew) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		return snap, nil
+	}
+	return nil, fmt.Errorf("%w (no decodable snapshot file: %v)", ErrNoSnapshot, lastErr)
+}
+
+// AppendEntry implements Store.
+func (f *File) AppendEntry(e Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.logF == nil {
+		lf, err := os.OpenFile(filepath.Join(f.dir, commitLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: open commit log: %w", err)
+		}
+		f.logF = lf
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encode log entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := f.logF.Write(b); err != nil {
+		return fmt.Errorf("store: append log entry: %w", err)
+	}
+	if err := f.logF.Sync(); err != nil {
+		return fmt.Errorf("store: sync commit log: %w", err)
+	}
+	return nil
+}
+
+// Entries implements Store. The readable prefix of the log is returned;
+// parsing stops at the first malformed line (a crash can tear at most
+// the final one, so everything before it is trustworthy).
+func (f *File) Entries() ([]Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(f.dir, commitLogName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: read commit log: %w", err)
+	}
+	var out []Entry
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Close implements Store.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.logF != nil {
+		err := f.logF.Close()
+		f.logF = nil
+		return err
+	}
+	return nil
+}

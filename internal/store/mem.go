@@ -1,0 +1,68 @@
+package store
+
+import "sync"
+
+// Mem is an in-memory Store. It round-trips snapshots through the same
+// codec as the file backend, so anything that works against Mem (tests,
+// examples, the resume suite) exercises the exact encode/decode path a
+// production state dir would.
+type Mem struct {
+	mu      sync.Mutex
+	snaps   [][]byte // encoded snapshots, oldest first
+	entries []Entry
+	closed  bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// SaveSnapshot implements Store.
+func (m *Mem) SaveSnapshot(snap *Snapshot) (int, error) {
+	b, err := Encode(snap)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snaps = append(m.snaps, b)
+	// Mirror the file backend's retention: latest two only.
+	if len(m.snaps) > 2 {
+		m.snaps = m.snaps[len(m.snaps)-2:]
+	}
+	return len(b), nil
+}
+
+// LoadSnapshot implements Store.
+func (m *Mem) LoadSnapshot() (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.snaps) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	return Decode(m.snaps[len(m.snaps)-1])
+}
+
+// AppendEntry implements Store.
+func (m *Mem) AppendEntry(e Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, e)
+	return nil
+}
+
+// Entries implements Store.
+func (m *Mem) Entries() ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Entry, len(m.entries))
+	copy(out, m.entries)
+	return out, nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak check bench bench-quick bench-json loadtest examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
 
 all: check
 
 # The default verification path: build, vet, tests, the race detector
 # over the concurrent pipeline (crawler fan-out, worker pool, monitor
-# sweep, chaos suite), and a short fuzz smoke over every parser that eats
-# network bytes.
-check: build vet test test-race fuzz-smoke
+# sweep, chaos suite), a short fuzz smoke over every parser that eats
+# network bytes, and the hot-path benchmark regression gate.
+check: build vet test test-race fuzz-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -38,14 +38,17 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzConvert -fuzztime=$(FUZZTIME) -run NONE ./internal/htmltext
 	$(GO) test -fuzz=FuzzExtract -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
+	$(GO) test -fuzz=FuzzScorerEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/classifier
 
 # Long chaos soak: the full chaos suites under the race detector, including
-# the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), plus
-# the randomized kill/resume soak and a longer fuzz pass over the
-# network-facing parsers.
+# the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), the
+# fused-vs-reference kernel equivalence study (sequential and parallel, with
+# fault injection live), plus the randomized kill/resume soak and a longer
+# fuzz pass over the network-facing parsers.
 chaos:
 	DOXMETER_CHAOS_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
 		./internal/faults ./internal/crawler ./internal/monitor
+	$(GO) test -count=1 -timeout 30m -run 'TestStudyKernelEquivalence' -v ./internal/core
 	$(MAKE) resume-soak
 	$(MAKE) fuzz-smoke FUZZTIME=30s
 
@@ -61,16 +64,31 @@ resume-soak:
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
 
+# The classify/tokenize/extract hot-path set: cheap setup (no full-scale
+# study), so these also power the bench-check regression gate.
+HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$
+
 # Faster spot check of the headline artifacts.
 bench-quick:
 	$(GO) test -bench='Table1|Table10|Figure1|CheckpointRoundTrip' -benchtime=3x -run NONE .
+	$(GO) test -bench='$(HOT_BENCH)' -benchtime=0.3s -benchmem -run NONE .
 
-# Machine-readable benchmarks: the bench-quick set parsed into
-# BENCH_results.json (name, iterations, ns/op, B/op, allocs/op) so runs can
-# be stored and diffed without scraping text.
+# Machine-readable benchmarks: the bench-quick artifact set plus the
+# hot-path set, parsed into BENCH_results.json (name, iterations, ns/op,
+# B/op, allocs/op) so runs can be stored and diffed without scraping text.
 bench-json:
-	$(GO) test -bench='Table1|Table10|Figure1|CheckpointRoundTrip' -benchtime=3x -benchmem -run NONE . \
+	( $(GO) test -bench='Table1|Table10|Figure1|CheckpointRoundTrip' -benchtime=3x -benchmem -run NONE . && \
+	  $(GO) test -bench='$(HOT_BENCH)' -benchtime=0.3s -count=3 -benchmem -run NONE . ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_results.json
+
+# Benchmark regression gate: re-run the hot-path set and fail if any shared
+# benchmark slowed more than MAX_REGRESS vs the committed BENCH_results.json.
+# Both sides run -count=3 and the gate compares fastest-vs-fastest sample,
+# which filters scheduler noise (noise only ever slows a run down).
+MAX_REGRESS ?= 10%
+bench-check:
+	$(GO) test -bench='$(HOT_BENCH)' -benchtime=0.3s -count=3 -benchmem -run NONE . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_results.json -max-regress $(MAX_REGRESS) -out /dev/null
 
 # Load-test smoke: doxload drives an in-process doxsites stack for a few
 # seconds and exits nonzero unless at least 20% of requests succeed, so a

@@ -667,3 +667,74 @@ func BenchmarkStudyEndToEndParallel(b *testing.B) {
 		s.Close()
 	}
 }
+
+// --- Fused classify kernel (the zero-allocation inference hot path) ---
+
+// hotDoc renders one realistic dox document for the hot-path benchmarks.
+func hotDoc(b *testing.B) (*core.Study, string) {
+	s, _ := parallelBenchSetup(b)
+	return s, s.Gen.Dox(randutil.New(5), s.World.TrainVictims[0]).Body
+}
+
+// BenchmarkClassifyHot measures the steady-state fused classify path: one
+// pass over the document bytes producing margin, token count and verdict,
+// with pooled scratch. The acceptance bar is >= 3x faster than
+// BenchmarkClassifyReference and <= 5 allocs/op.
+func BenchmarkClassifyHot(b *testing.B) {
+	s, doc := hotDoc(b)
+	var r classifier.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Classifier.ScoreInto(doc, &r)
+	}
+}
+
+// BenchmarkClassifyReference is the same classification through the original
+// sparse path (Transform into a materialized vector, Decision, Tokenize for
+// the length floor) — the baseline the fused kernel is measured against.
+func BenchmarkClassifyReference(b *testing.B) {
+	s, doc := hotDoc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Classifier.ScoreReference(doc)
+		_ = len(tfidf.Tokenize(doc))
+	}
+}
+
+// BenchmarkTokenizeZeroAlloc measures the scorer's allocation-free token
+// counting against tfidf.Tokenize's materializing tokenizer (the 0 B/op
+// column is the point).
+func BenchmarkTokenizeZeroAlloc(b *testing.B) {
+	_, doc := hotDoc(b)
+	vz := tfidf.NewVectorizer(tfidf.Options{})
+	vz.Fit([]string{"name address phone email"})
+	sc := vz.NewScorer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.TokenCount(doc)
+	}
+}
+
+// BenchmarkExtract measures the gated extractor on its two regimes: a dox
+// document (every hint present, all regexes run) and a benign document
+// (gates skip the regex engine entirely — the crawl's dominant case).
+func BenchmarkExtract(b *testing.B) {
+	s, doc := hotDoc(b)
+	r := randutil.New(6)
+	_, benign := s.Gen.BenignPaste(r)
+	b.Run("dox", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = extract.Extract(doc)
+		}
+	})
+	b.Run("benign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = extract.Extract(benign)
+		}
+	})
+}

@@ -9,6 +9,13 @@
 // Each "BenchmarkName-P  N  X ns/op [Y B/op  Z allocs/op]" line becomes one
 // record; goos/goarch/pkg/cpu context lines are captured into the header.
 // Non-benchmark lines (PASS, ok, test logs) are ignored.
+//
+// With -baseline, the parsed run is additionally compared against a stored
+// report and the command exits 1 if any shared benchmark regressed in ns/op
+// by more than -max-regress (a fraction like "0.1" or a percentage like
+// "10%"):
+//
+//	go test -bench=... . | benchjson -baseline BENCH_results.json -max-regress 10% -out /dev/null
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,6 +53,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	baseline := flag.String("baseline", "", "compare ns/op against this stored report and fail on regression")
+	maxRegress := flag.String("max-regress", "10%", "allowed ns/op slowdown vs -baseline (fraction or percentage)")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -55,23 +65,123 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *out != "/dev/null" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Results), *out)
+		}
+	}
+
+	if *baseline != "" {
+		tol, err := parseTolerance(*maxRegress)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs, compared := compare(base, rep, tol)
+		if compared == 0 {
+			fatal(fmt.Errorf("no benchmarks in common with baseline %s", *baseline))
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f ns/op -> %.1f ns/op (%+.1f%%, limit %+.1f%%)\n",
+				r.Name, r.Base, r.Current, 100*r.Delta, 100*tol)
+		}
+		if len(regs) > 0 {
+			fatal(fmt.Errorf("%d of %d benchmarks regressed beyond %s", len(regs), compared, *maxRegress))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %s of baseline\n", compared, *maxRegress)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
+}
+
+// Regression is one benchmark that slowed beyond tolerance.
+type Regression struct {
+	Name          string
+	Base, Current float64 // ns/op
+	Delta         float64 // fractional slowdown, e.g. 0.25 = 25% slower
+}
+
+// parseTolerance accepts "10%" or "0.1".
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid -max-regress %q (want a fraction like 0.1 or a percentage like 10%%)", s)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Results), *out)
+	if pct {
+		v /= 100
 	}
+	return v, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare matches current results to baseline by name and returns every
+// benchmark whose ns/op grew by more than tol, plus how many were compared.
+// Benchmarks present on only one side are skipped: the baseline is allowed
+// to be a superset (full bench run) of a quick regression-check subset.
+// When a name appears several times (go test -count=N), each side uses its
+// fastest sample — min-vs-min is robust to scheduler noise, which only ever
+// slows a run down.
+func compare(base, cur *Report, tol float64) ([]Regression, int) {
+	baseNs := minNsByName(base)
+	curNs := minNsByName(cur)
+	names := make([]string, 0, len(curNs))
+	for name := range curNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regs []Regression
+	compared := 0
+	for _, name := range names {
+		b, ok := baseNs[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		compared++
+		ns := curNs[name]
+		delta := ns/b - 1
+		if delta > tol {
+			regs = append(regs, Regression{Name: name, Base: b, Current: ns, Delta: delta})
+		}
+	}
+	return regs, compared
+}
+
+func minNsByName(rep *Report) map[string]float64 {
+	out := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		if prev, ok := out[r.Name]; !ok || r.NsPerOp < prev {
+			out[r.Name] = r.NsPerOp
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

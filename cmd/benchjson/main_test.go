@@ -51,3 +51,75 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		}
 	}
 }
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"10%", 0.10, false},
+		{"0.1", 0.1, false},
+		{" 25% ", 0.25, false},
+		{"0", 0, false},
+		{"-5%", 0, true},
+		{"abc", 0, true},
+		{"%", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseTolerance(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseTolerance(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("parseTolerance(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkOnlyInBaseline", NsPerOp: 5},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 105},  // +5%: within 10%
+		{Name: "BenchmarkB", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},  // no baseline: skipped
+	}}
+	regs, compared := compare(base, cur, 0.10)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regs = %+v, want just BenchmarkB", regs)
+	}
+	if r := regs[0]; r.Base != 1000 || r.Current != 1300 || r.Delta < 0.29 || r.Delta > 0.31 {
+		t.Errorf("regression detail wrong: %+v", r)
+	}
+
+	// Improvements are never regressions.
+	fast := &Report{Results: []Result{{Name: "BenchmarkA", NsPerOp: 10}}}
+	if regs, _ := compare(base, fast, 0); len(regs) != 0 {
+		t.Errorf("improvement reported as regression: %+v", regs)
+	}
+}
+
+func TestCompareMinOfN(t *testing.T) {
+	// With -count=N duplicates, each side should be judged on its fastest
+	// sample, so one noisy slow run does not fail the gate.
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkA", NsPerOp: 95},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 160}, // noisy sample
+		{Name: "BenchmarkA", NsPerOp: 98},  // real speed: within 10% of 95
+	}}
+	regs, compared := compare(base, cur, 0.10)
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("min-of-N compare: compared=%d regs=%+v", compared, regs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"doxmeter/internal/metrics"
 	"doxmeter/internal/parallel"
@@ -36,6 +37,12 @@ type Options struct {
 	// run sequentially; results are identical at any setting because each
 	// document is classified independently.
 	Parallelism int
+	// ReferenceKernel forces Score/IsDox/ScoreInto through the original
+	// Transform+Decision path instead of the fused tfidf.Scorer kernel.
+	// The two paths are bit-identical (enforced by fuzz and whole-study
+	// equivalence suites); this knob exists so those suites can run entire
+	// studies on both paths and compare outputs byte for byte.
+	ReferenceKernel bool
 }
 
 // DefaultThreshold is the decision boundary calibrated on the labeled
@@ -50,12 +57,24 @@ const DefaultThreshold = 0.06
 // runs under 15.
 const DefaultMinTokens = 20
 
-// Classifier is a trained dox detector. Safe for concurrent Classify calls.
+// Classifier is a trained dox detector. Safe for concurrent Classify calls:
+// the fused kernel's mutable scratch lives in per-call scorers drawn from an
+// internal pool, never in shared state.
 type Classifier struct {
 	vec       *tfidf.Vectorizer
 	model     *sgd.Classifier
 	threshold float64
 	minTokens int
+	reference bool
+	scorers   sync.Pool // *tfidf.Scorer scratch, one per concurrent scorer
+}
+
+// newClassifier wires the scorer pool; every construction path (Train,
+// Load) funnels through it.
+func newClassifier(vec *tfidf.Vectorizer, model *sgd.Classifier, threshold float64, minTokens int, reference bool) *Classifier {
+	c := &Classifier{vec: vec, model: model, threshold: threshold, minTokens: minTokens, reference: reference}
+	c.scorers.New = func() any { return vec.NewScorer() }
+	return c
 }
 
 // Train fits the classifier on labeled documents.
@@ -85,21 +104,95 @@ func Train(r *rand.Rand, docs []string, isDox []bool, opts Options) (*Classifier
 	if mt == 0 {
 		mt = DefaultMinTokens
 	}
-	return &Classifier{vec: vec, model: model, threshold: th, minTokens: mt}, nil
+	return newClassifier(vec, model, th, mt, opts.ReferenceKernel), nil
+}
+
+// Result is the output of one classification pass: everything the funnel
+// needs to know about a document, computed in a single fused pass over its
+// bytes. Score includes the threshold shift, so >= 0 means flagged (before
+// the length floor); Tokens is the unigram count the MinTokens floor reads.
+type Result struct {
+	Score  float64
+	Tokens int
+	IsDox  bool
+}
+
+// ScoreInto classifies doc into *r without per-call heap allocation: the
+// fused kernel tokenizes, accumulates TF-IDF, L2-normalizes and folds the
+// dense SGD weight vector in one pass over the document bytes, reusing
+// pooled scratch. Margins are bit-identical to the reference
+// Transform+Decision path at any concurrency.
+func (c *Classifier) ScoreInto(doc string, r *Result) {
+	if c.reference {
+		r.Score = c.ScoreReference(doc)
+		r.Tokens = len(tfidf.Tokenize(doc))
+	} else {
+		s := c.scorers.Get().(*tfidf.Scorer)
+		dot, tokens := s.DotNormalized(doc, c.model.Weights)
+		c.scorers.Put(s)
+		r.Score = c.model.DecisionFromDot(dot) - c.threshold
+		r.Tokens = tokens
+	}
+	r.IsDox = r.Score >= 0 && !(c.minTokens > 0 && r.Tokens < c.minTokens)
+}
+
+// scoreIntoWith is ScoreInto with an explicit scorer, for batch callers
+// that pin one scorer per worker instead of hitting the pool per document.
+func (c *Classifier) scoreIntoWith(s *tfidf.Scorer, doc string, r *Result) {
+	dot, tokens := s.DotNormalized(doc, c.model.Weights)
+	r.Score = c.model.DecisionFromDot(dot) - c.threshold
+	r.Tokens = tokens
+	r.IsDox = r.Score >= 0 && !(c.minTokens > 0 && r.Tokens < c.minTokens)
 }
 
 // Score returns the signed decision margin for a document; positive means
 // dox-like.
 func (c *Classifier) Score(doc string) float64 {
+	var r Result
+	c.ScoreInto(doc, &r)
+	return r.Score
+}
+
+// ScoreReference computes the margin through the original sparse path —
+// tfidf.Transform into a materialized Vector, then sgd.Decision. It is the
+// reference implementation the fused kernel is verified against, kept on
+// the API so equivalence tests and ablations can always reach it.
+func (c *Classifier) ScoreReference(doc string) float64 {
 	return c.model.Decision(c.vec.Transform(doc)) - c.threshold
 }
 
 // IsDox classifies one document, applying the length floor.
 func (c *Classifier) IsDox(doc string) bool {
-	if c.minTokens > 0 && len(tfidf.Tokenize(doc)) < c.minTokens {
-		return false
+	var r Result
+	c.ScoreInto(doc, &r)
+	return r.IsDox
+}
+
+// ScoreBatchInto classifies a batch into out (which must hold len(docs)
+// entries) using at most workers concurrent goroutines, each with its own
+// pinned scorer scratch. This is the API the study's PrepareBatch workers
+// use. Results are identical at any worker count.
+func (c *Classifier) ScoreBatchInto(docs []string, out []Result, workers int) {
+	if len(out) < len(docs) {
+		panic("classifier: ScoreBatchInto out slice shorter than docs")
 	}
-	return c.Score(doc) >= 0
+	if c.reference {
+		parallel.ForEach(len(docs), workers, func(i int) {
+			c.ScoreInto(docs[i], &out[i])
+		})
+		return
+	}
+	n := parallel.Workers(len(docs), workers)
+	scorers := make([]*tfidf.Scorer, n)
+	for w := range scorers {
+		scorers[w] = c.scorers.Get().(*tfidf.Scorer)
+	}
+	parallel.ForEachWorker(len(docs), workers, func(w, i int) {
+		c.scoreIntoWith(scorers[w], docs[i], &out[i])
+	})
+	for _, s := range scorers {
+		c.scorers.Put(s)
+	}
 }
 
 // IsDoxBatch classifies a batch of documents using at most workers
@@ -107,20 +200,24 @@ func (c *Classifier) IsDox(doc string) bool {
 // is classified independently against immutable fitted state, the result is
 // identical to calling IsDox in a loop, just faster on multi-core hosts.
 func (c *Classifier) IsDoxBatch(docs []string, workers int) []bool {
+	res := make([]Result, len(docs))
+	c.ScoreBatchInto(docs, res, workers)
 	out := make([]bool, len(docs))
-	parallel.ForEach(len(docs), workers, func(i int) {
-		out[i] = c.IsDox(docs[i])
-	})
+	for i := range res {
+		out[i] = res[i].IsDox
+	}
 	return out
 }
 
 // ScoreBatch computes decision margins for a batch, parallelized like
 // IsDoxBatch.
 func (c *Classifier) ScoreBatch(docs []string, workers int) []float64 {
+	res := make([]Result, len(docs))
+	c.ScoreBatchInto(docs, res, workers)
 	out := make([]float64, len(docs))
-	parallel.ForEach(len(docs), workers, func(i int) {
-		out[i] = c.Score(docs[i])
-	})
+	for i := range res {
+		out[i] = res[i].Score
+	}
 	return out
 }
 
@@ -220,5 +317,5 @@ func Load(r io.Reader) (*Classifier, error) {
 	model := sgd.New(len(p.Weights), p.SGDOpts)
 	model.Weights = p.Weights
 	model.Intercept = p.Intercept
-	return &Classifier{vec: vec, model: model, threshold: p.Threshold, minTokens: p.MinTokens}, nil
+	return newClassifier(vec, model, p.Threshold, p.MinTokens, false), nil
 }

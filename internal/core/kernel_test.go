@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"doxmeter/internal/classifier"
+	"doxmeter/internal/faults"
+)
+
+// TestStudyKernelEquivalence is the whole-system equivalence bar for the
+// fused inference kernel: an entire study run on the fused classify path
+// must be byte-identical to the same study forced through the reference
+// Transform+Decision path — across sequential and parallel execution, with
+// fault injection live. This is the test `make chaos` runs.
+func TestStudyKernelEquivalence(t *testing.T) {
+	if raceEnabled {
+		t.Skip("three whole studies under the race detector exceed the package time budget; `make chaos` runs this natively")
+	}
+	// Three independent studies: the reference kernel sequentially, and the
+	// fused kernel at Parallelism 1 and 0 (GOMAXPROCS). They share nothing,
+	// so they run concurrently to keep wall time near one study's cost.
+	build := func(reference bool, parallelism int) *Study {
+		profile, err := faults.Preset("mild", 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStudy(StudyConfig{
+			Seed:          23,
+			Scale:         0.003,
+			ControlSample: 200,
+			Parallelism:   parallelism,
+			Faults:        profile,
+			Classifier:    classifier.Options{ReferenceKernel: reference},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	studies := []*Study{build(true, 1), build(false, 1), build(false, 0)}
+	errs := make([]error, len(studies))
+	var wg sync.WaitGroup
+	for i, s := range studies {
+		wg.Add(1)
+		go func(i int, s *Study) {
+			defer wg.Done()
+			errs[i] = s.Run(context.Background())
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("study %d: %v", i, err)
+		}
+	}
+	ref := studies[0]
+	for i, fused := range studies[1:] {
+		compareStudies(t, ref, fused)
+		if t.Failed() {
+			t.Fatalf("fused kernel (run %d) diverged from reference study", i+1)
+		}
+	}
+}
+
+// compareStudies asserts every externally visible study output matches.
+func compareStudies(t *testing.T, a, b *Study) {
+	t.Helper()
+	if a.Collected != b.Collected {
+		t.Errorf("Collected: %d vs %d", a.Collected, b.Collected)
+	}
+	if len(a.CollectedBySite) != len(b.CollectedBySite) {
+		t.Errorf("CollectedBySite size: %d vs %d", len(a.CollectedBySite), len(b.CollectedBySite))
+	}
+	for site, n := range a.CollectedBySite {
+		if b.CollectedBySite[site] != n {
+			t.Errorf("CollectedBySite[%s]: %d vs %d", site, n, b.CollectedBySite[site])
+		}
+	}
+	if a.FlaggedByPeriod != b.FlaggedByPeriod {
+		t.Errorf("FlaggedByPeriod: %v vs %v", a.FlaggedByPeriod, b.FlaggedByPeriod)
+	}
+	if len(a.Doxes) != len(b.Doxes) {
+		t.Fatalf("Doxes: %d vs %d", len(a.Doxes), len(b.Doxes))
+	}
+	for i := range a.Doxes {
+		x, y := a.Doxes[i], b.Doxes[i]
+		if x.DocID != y.DocID || x.Site != y.Site || !x.Posted.Equal(y.Posted) ||
+			x.Period != y.Period || x.Text != y.Text {
+			t.Fatalf("dox %d diverged: %s/%s vs %s/%s", i, x.Site, x.DocID, y.Site, y.DocID)
+		}
+	}
+	if a.Deduper.Stats() != b.Deduper.Stats() {
+		t.Errorf("dedup stats: %+v vs %+v", a.Deduper.Stats(), b.Deduper.Stats())
+	}
+	ah, bh := a.Monitor.Histories(), b.Monitor.Histories()
+	if len(ah) != len(bh) {
+		t.Fatalf("monitor histories: %d vs %d", len(ah), len(bh))
+	}
+	for i := range ah {
+		x, y := ah[i], bh[i]
+		if x.Ref != y.Ref || x.Verified != y.Verified || len(x.Obs) != len(y.Obs) {
+			t.Fatalf("history %v diverged (%d vs %d observations)", x.Ref, len(x.Obs), len(y.Obs))
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; heavyweight whole-study suites skip under it (they have
+// dedicated un-raced runs in `make chaos`, and the concurrency they exercise
+// is race-checked by the smaller pipeline suites).
+const raceEnabled = true

@@ -681,10 +681,16 @@ func (s *Study) prepareDoc(doc *crawler.Doc) Prepared {
 		t = now
 	}
 	pre := Prepared{Text: text}
-	pre.IsDox = s.Classifier.IsDox(text)
+	// The fused kernel returns margin, token count and verdict in one pass
+	// over the text — no sparse vector, no per-token strings (§DESIGN 8).
+	var res classifier.Result
+	s.Classifier.ScoreInto(text, &res)
+	pre.IsDox = res.IsDox
 	if timed {
 		now := time.Now()
-		m.docClassify.Observe(now.Sub(t).Seconds())
+		d := now.Sub(t).Seconds()
+		m.docClassify.Observe(d)
+		m.classifySeconds.Observe(d)
 		t = now
 	}
 	if pre.IsDox {
@@ -703,14 +709,28 @@ func (s *Study) prepareDoc(doc *crawler.Doc) Prepared {
 func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
 	out := make([]Prepared, len(docs))
 	var queue *telemetry.Gauge
+	timed := s.m != nil && s.m.enabled
 	if s.m != nil {
 		queue = s.m.queueDepth
+	}
+	// The allocs-per-doc gauge brackets the batch with two Mallocs reads;
+	// the fused classify kernel should hold this near the cost of html
+	// conversion + extraction alone (its own steady state is 0 allocs).
+	// ReadMemStats is too expensive per document but fine per batch.
+	var m0 runtime.MemStats
+	if timed && len(docs) > 0 {
+		runtime.ReadMemStats(&m0)
 	}
 	queue.Set(float64(len(docs)))
 	parallel.ForEach(len(docs), workers, func(i int) {
 		out[i] = s.prepareDoc(&docs[i])
 		queue.Add(-1)
 	})
+	if timed && len(docs) > 0 {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		s.m.classifyAllocs.Set(float64(m1.Mallocs-m0.Mallocs) / float64(len(docs)))
+	}
 	return out
 }
 

@@ -31,6 +31,14 @@ type studyMetrics struct {
 	docClassify *telemetry.Histogram
 	docExtract  *telemetry.Histogram
 
+	// Fused-kernel hot-path instruments: per-document classify latency
+	// (doxmeter_classify_seconds; same observations as the doc-stage
+	// histogram's classify label, on a dedicated series dashboards can
+	// alert on) and the allocations-per-document gauge sampled around each
+	// prepare batch (doxmeter_classify_allocs_per_doc).
+	classifySeconds *telemetry.Histogram
+	classifyAllocs  *telemetry.Gauge
+
 	queueDepth *telemetry.Gauge
 	days       *telemetry.Counter
 
@@ -74,6 +82,11 @@ func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
 		docHTML:      doc.With("htmltext"),
 		docClassify:  doc.With("classify"),
 		docExtract:   doc.With("extract"),
+		classifySeconds: reg.NewHistogram("doxmeter_classify_seconds",
+			"Per-document latency of the fused classify kernel (tokenize → TF-IDF → margin).",
+			nil).With(),
+		classifyAllocs: reg.NewGauge("doxmeter_classify_allocs_per_doc",
+			"Heap allocations per document across the most recent prepare batch; the fused classify path contributes ~0 at steady state.").With(),
 		queueDepth: reg.NewGauge("doxmeter_prepare_queue_depth",
 			"Documents not yet finished by the per-day prepare worker pool.").With(),
 		days: reg.NewCounter("doxmeter_study_days_total",

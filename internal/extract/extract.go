@@ -17,6 +17,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"doxmeter/internal/netid"
 )
@@ -87,16 +88,51 @@ var (
 		"skype":  netid.Skype, "skype name": netid.Skype, "skype id": netid.Skype,
 	}
 
-	phoneRe = regexp.MustCompile(`(?:\+?1[-.\s]?)?\(?\d{3}\)?[-.\s]\d{3}[-.\s]?\d{4}|\+1\d{10}`)
-	emailRe = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
-	ipRe    = regexp.MustCompile(`\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b`)
-	ageRe   = regexp.MustCompile(`(?i)\bage\s*[:;\-]?\s*(\d{1,2})\b`)
-	nameRe  = regexp.MustCompile(`(?im)^\s*(?:full |real |irl )?name\s*[:;\-]\s*(.+)$`)
-	tokenRe = regexp.MustCompile(`[A-Za-z0-9._-]{2,}`)
+	phoneRe     = regexp.MustCompile(`(?:\+?1[-.\s]?)?\(?\d{3}\)?[-.\s]\d{3}[-.\s]?\d{4}|\+1\d{10}`)
+	emailRe     = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+	ipRe        = regexp.MustCompile(`\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b`)
+	ageRe       = regexp.MustCompile(`(?i)\bage\s*[:;\-]?\s*(\d{1,2})\b`)
+	nameRe      = regexp.MustCompile(`(?im)^\s*(?:full |real |irl )?name\s*[:;\-]\s*(.+)$`)
+	firstNameRe = regexp.MustCompile(`(?im)^\s*first name\s*[:;\-]\s*([A-Za-z]+)`)
+	tokenRe     = regexp.MustCompile(`[A-Za-z0-9._-]{2,}`)
 
 	creditLineRe   = regexp.MustCompile(`(?im)^\s*(?:dropped by|dox by|credit:|brought to you by)\s+(.+)$`)
 	creditHandleRe = regexp.MustCompile(`@([A-Za-z0-9_]{2,})`)
+	creditParenRe  = regexp.MustCompile(`\(@[A-Za-z0-9_]+\)`)
+
+	// urlHostHints gates each profile-URL regex behind a cheap substring
+	// check on the case-folded text: the regex can only match when its
+	// literal host occurs, so running it otherwise is wasted scanning.
+	urlHostHints = map[netid.Network]string{
+		netid.Facebook:   "facebook.com",
+		netid.GooglePlus: "plus.google.com",
+		netid.Twitter:    "twitter.com",
+		netid.Instagram:  "instagram.com",
+		netid.YouTube:    "youtube.com",
+		netid.Twitch:     "twitch.tv",
+	}
+
+	// creditHints gates the credit-line regex the same way.
+	creditHints = []string{"dropped by", "dox by", "credit:", "brought to you by"}
 )
+
+// foldLower lowercases text the way a `(?i)` regex folds it: rune-wise
+// unicode.ToLower, plus the two Unicode runes whose case-fold orbit lands
+// on an ASCII letter — U+017F LATIN SMALL LETTER LONG S (folds with "s")
+// and U+212A KELVIN SIGN (folds with "k"). Gating a case-insensitive regex
+// on strings.Contains(foldLower(text), hint) is therefore sound: whenever
+// the regex would match the literal hint, the folded text contains it.
+func foldLower(text string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case 'ſ':
+			return 's'
+		case 'K':
+			return 'k'
+		}
+		return unicode.ToLower(r)
+	}, text)
+}
 
 // Options tunes extraction strategy; the zero value is the reference
 // configuration.
@@ -113,21 +149,30 @@ func Extract(text string) *Extraction {
 	return ExtractWith(text, Options{})
 }
 
-// ExtractWith runs the extractor with explicit options.
+// ExtractWith runs the extractor with explicit options. The text is
+// case-folded once up front; every case-insensitive regex is then gated
+// behind a cheap substring probe of that shared lowered copy, so a
+// document that never mentions facebook.com never pays for the Facebook
+// regex — the dominant cost on the benign 99.7% of the crawl.
 func ExtractWith(text string, opts Options) *Extraction {
 	e := &Extraction{Accounts: make(map[netid.Network]string)}
-	extractURLs(text, e)
+	lower := foldLower(text)
+	extractURLs(text, lower, e)
 	extractLabeledLines(text, e, opts)
-	extractFields(text, e)
-	extractCredits(text, e)
+	extractFields(text, lower, e)
+	extractCredits(text, lower, e)
 	return e
 }
 
-// extractURLs applies the profile-URL patterns (the paper's example form 1).
-func extractURLs(text string, e *Extraction) {
+// extractURLs applies the profile-URL patterns (the paper's example form 1),
+// skipping any network whose host never occurs in the folded text.
+func extractURLs(text, lower string, e *Extraction) {
 	for _, n := range netid.All() {
 		re, ok := urlPatterns[n]
 		if !ok {
+			continue
+		}
+		if !strings.Contains(lower, urlHostHints[n]) {
 			continue
 		}
 		m := re.FindStringSubmatch(text)
@@ -251,25 +296,33 @@ func validUsername(t string) bool {
 }
 
 // extractFields pulls demographic fields: name, age, phones, emails, IPs.
-func extractFields(text string, e *Extraction) {
-	if m := nameRe.FindStringSubmatch(text); m != nil {
-		parts := strings.Fields(strings.TrimSpace(m[1]))
-		if len(parts) >= 1 && isNameWord(parts[0]) {
-			e.FirstName = parts[0]
+// The name and age regexes only run when their label occurs in the folded
+// text; emails require a literal '@'.
+func extractFields(text, lower string, e *Extraction) {
+	if strings.Contains(lower, "name") {
+		if m := nameRe.FindStringSubmatch(text); m != nil {
+			parts := strings.Fields(strings.TrimSpace(m[1]))
+			if len(parts) >= 1 && isNameWord(parts[0]) {
+				e.FirstName = parts[0]
+			}
+			if len(parts) >= 2 && isNameWord(parts[1]) {
+				e.LastName = parts[1]
+			}
+		} else if m := firstNameRe.FindStringSubmatch(text); m != nil {
+			e.FirstName = m[1]
 		}
-		if len(parts) >= 2 && isNameWord(parts[1]) {
-			e.LastName = parts[1]
-		}
-	} else if m := regexp.MustCompile(`(?im)^\s*first name\s*[:;\-]\s*([A-Za-z]+)`).FindStringSubmatch(text); m != nil {
-		e.FirstName = m[1]
 	}
-	if m := ageRe.FindStringSubmatch(text); m != nil {
-		if v, err := strconv.Atoi(m[1]); err == nil && v >= 5 && v <= 99 {
-			e.Age = v
+	if strings.Contains(lower, "age") {
+		if m := ageRe.FindStringSubmatch(text); m != nil {
+			if v, err := strconv.Atoi(m[1]); err == nil && v >= 5 && v <= 99 {
+				e.Age = v
+			}
 		}
 	}
 	e.Phones = dedupe(phoneRe.FindAllString(text, -1))
-	e.Emails = dedupe(emailRe.FindAllString(text, -1))
+	if strings.Contains(text, "@") {
+		e.Emails = dedupe(emailRe.FindAllString(text, -1))
+	}
 	for _, m := range ipRe.FindAllStringSubmatch(text, -1) {
 		ok := true
 		for _, oct := range m[1:] {
@@ -302,14 +355,24 @@ func isNameWord(w string) bool {
 
 // extractCredits parses "dropped by X and @Y, thanks to Z" credit lines
 // (§5.3.2) into aliases and Twitter handles.
-func extractCredits(text string, e *Extraction) {
+func extractCredits(text, lower string, e *Extraction) {
+	hinted := false
+	for _, h := range creditHints {
+		if strings.Contains(lower, h) {
+			hinted = true
+			break
+		}
+	}
+	if !hinted {
+		return
+	}
 	for _, m := range creditLineRe.FindAllStringSubmatch(text, -1) {
 		rest := m[1]
 		for _, hm := range creditHandleRe.FindAllStringSubmatch(rest, -1) {
 			e.CreditHandles = append(e.CreditHandles, hm[1])
 		}
 		// Remove parenthesized handle clauses, then split on connectives.
-		cleaned := regexp.MustCompile(`\(@[A-Za-z0-9_]+\)`).ReplaceAllString(rest, "")
+		cleaned := creditParenRe.ReplaceAllString(rest, "")
 		cleaned = strings.NewReplacer(", thanks to ", ",", " and ", ",", ", ", ",").Replace(cleaned)
 		for _, part := range strings.Split(cleaned, ",") {
 			part = strings.TrimSpace(strings.Trim(strings.TrimSpace(part), "."))

@@ -301,3 +301,52 @@ func TestExtractionOnBenignDocs(t *testing.T) {
 		t.Errorf("%d/%d benign docs yielded accounts", withAccounts, n)
 	}
 }
+
+// TestPrefilterCaseFoldSoundness: the substring gates run on a case-folded
+// copy of the text, and must stay sound for the only two Unicode runes
+// whose simple case-fold orbit lands on an ASCII letter — U+017F LONG S
+// (folds with 's') and U+212A KELVIN SIGN (folds with 'k'). A (?i) regex
+// matches those spellings, so the gate must not filter them out.
+func TestPrefilterCaseFoldSoundness(t *testing.T) {
+	cases := []struct {
+		text    string
+		network netid.Network
+		user    string
+	}{
+		{"check FACEBOOK.COM/bob.smith out", netid.Facebook, "bob.smith"},
+		{"facebooK.com/bob.smith", netid.Facebook, "bob.smith"},   // KELVIN SIGN for k
+		{"inſtagram.com/alice_pics", netid.Instagram, "alice_pics"}, // LONG S for s
+		{"pluſ.google.com/+carolq", netid.GooglePlus, "carolq"},
+	}
+	for _, c := range cases {
+		e := Extract(c.text)
+		if got := e.Accounts[c.network]; got != c.user {
+			t.Errorf("Extract(%q): %v = %q, want %q", c.text, c.network, got, c.user)
+		}
+	}
+}
+
+// TestPrefilterGatesDoNotDropFields: gated field regexes still fire in
+// mixed-case and fold-oddball spellings.
+func TestPrefilterGatesDoNotDropFields(t *testing.T) {
+	e := Extract("NAME: John Smith\nAGE: 24\nDROPPED BY ghostdoxer")
+	if e.FirstName != "John" || e.LastName != "Smith" {
+		t.Errorf("uppercase labels: name = %q %q", e.FirstName, e.LastName)
+	}
+	if e.Age != 24 {
+		t.Errorf("uppercase labels: age = %d", e.Age)
+	}
+	if len(e.CreditAliases) != 1 || e.CreditAliases[0] != "ghostdoxer" {
+		t.Errorf("uppercase credit line: aliases = %v", e.CreditAliases)
+	}
+}
+
+// TestPrefilterNegativeDocs: documents with none of the hint substrings
+// must extract nothing through the gated paths (and not panic).
+func TestPrefilterNegativeDocs(t *testing.T) {
+	e := Extract("just some benign chatter about the weather and lunch plans")
+	if len(e.Accounts) != 0 || e.FirstName != "" || e.Age != 0 ||
+		len(e.Emails) != 0 || len(e.CreditAliases) != 0 {
+		t.Errorf("benign doc extracted %+v", e)
+	}
+}

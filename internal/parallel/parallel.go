@@ -18,12 +18,33 @@ import "sync"
 // pre-concurrency code path — which is why every Concurrency/Parallelism
 // knob in this repo treats 1 as "fully sequential".
 func ForEach(n, workers int, fn func(int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// Workers returns the effective worker count ForEach and ForEachWorker use
+// for n items: workers clamped to n, with anything <= 1 meaning one
+// (sequential). Callers sizing per-worker scratch allocate exactly this
+// many slots.
+func Workers(n, workers int) int {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		return 1
+	}
+	return workers
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker scratch state:
+// fn receives a stable worker id in [0, Workers(n, workers)) alongside the
+// item index, and no two concurrent calls share a worker id — so fn may
+// freely reuse scratch[w] without locks. The sequential degradation rule is
+// ForEach's: one worker, id 0, on the calling goroutine.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = Workers(n, workers)
+	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -31,12 +52,12 @@ func ForEach(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

@@ -54,3 +54,73 @@ func TestForEachZeroItems(t *testing.T) {
 		t.Fatal("fn called with n=0")
 	}
 }
+
+func TestWorkers(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{10, 0, 1},
+		{10, -3, 1},
+		{10, 1, 1},
+		{10, 4, 4},
+		{3, 8, 3},
+		{0, 8, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.workers); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestForEachWorkerCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 4, 100} {
+		const n = 257
+		var hits [n]int32
+		maxWorker := int32(-1)
+		ForEachWorker(n, workers, func(w, i int) {
+			atomic.AddInt32(&hits[i], 1)
+			for {
+				m := atomic.LoadInt32(&maxWorker)
+				if int32(w) <= m || atomic.CompareAndSwapInt32(&maxWorker, m, int32(w)) {
+					break
+				}
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+		if limit := int32(Workers(n, workers)); atomic.LoadInt32(&maxWorker) >= limit {
+			t.Fatalf("workers=%d: worker id %d out of range [0,%d)", workers, maxWorker, limit)
+		}
+	}
+}
+
+func TestForEachWorkerSequential(t *testing.T) {
+	// workers <= 1 runs in order on the caller's goroutine with worker id 0.
+	var order []int
+	ForEachWorker(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential worker id %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential ForEachWorker visited %v", order)
+		}
+	}
+}
+
+func TestForEachWorkerExclusiveIDs(t *testing.T) {
+	// No two concurrent calls may share a worker id: worker-pinned scratch
+	// relies on it. Flag any overlap with a per-worker busy bit.
+	const workers = 4
+	busy := make([]int32, workers)
+	ForEachWorker(200, workers, func(w, _ int) {
+		if !atomic.CompareAndSwapInt32(&busy[w], 0, 1) {
+			t.Errorf("worker id %d used concurrently", w)
+		}
+		atomic.StoreInt32(&busy[w], 0)
+	})
+}

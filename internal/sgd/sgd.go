@@ -165,6 +165,15 @@ func (c *Classifier) Decision(x tfidf.Vector) float64 {
 	return c.rawMargin(x)*c.wscale + c.Intercept
 }
 
+// DecisionFromDot returns the signed margin for a w·x dot product computed
+// externally against the exported Weights — the seam the fused inference
+// kernel uses. It applies exactly the float64 operations Decision applies
+// to rawMargin's sum (scale multiply, intercept add), so a dot accumulated
+// in rawMargin's index order yields a bit-identical margin.
+func (c *Classifier) DecisionFromDot(dot float64) float64 {
+	return dot*c.wscale + c.Intercept
+}
+
 // Predict returns +1 or -1.
 func (c *Classifier) Predict(x tfidf.Vector) int {
 	if c.Decision(x) >= 0 {

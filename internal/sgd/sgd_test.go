@@ -225,3 +225,29 @@ func TestClassImbalanceStillLearns(t *testing.T) {
 		t.Errorf("minority recall %.3f under 10:1 imbalance", recall)
 	}
 }
+
+// TestDecisionFromDot: feeding rawMargin's dot through DecisionFromDot must
+// reproduce Decision bit for bit — the equivalence seam the fused inference
+// kernel is built on.
+func TestDecisionFromDot(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	X, y := separableData(r, 300, 80)
+	c := New(80, Options{})
+	if err := c.Fit(r, X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:100] {
+		var dot float64
+		for _, f := range x {
+			if f.Index < len(c.Weights) {
+				dot += c.Weights[f.Index] * f.Value
+			}
+		}
+		if got, want := c.DecisionFromDot(dot), c.Decision(x); got != want {
+			t.Fatalf("DecisionFromDot = %v, Decision = %v", got, want)
+		}
+	}
+	if got := c.DecisionFromDot(0); got != c.Intercept {
+		t.Fatalf("DecisionFromDot(0) = %v, want intercept %v", got, c.Intercept)
+	}
+}

@@ -1,0 +1,209 @@
+// Fused zero-allocation inference kernel. A Scorer runs the whole
+// per-document funnel — tokenize → TF accumulation → IDF weighting → L2
+// normalization → dense weight-vector dot product — in a single pass over
+// the input bytes, without materializing per-token strings, a term-count
+// map, or a sparse Vector. It is the hot path behind classifier.ScoreInto;
+// the Transform/Decision pair stays as the reference implementation, and
+// the two are bit-identical as float64 (enforced by unit, property, fuzz
+// and whole-study equivalence tests).
+//
+// Equivalence contract, operation by operation:
+//
+//   - Tokens are maximal runs of Unicode word characters with rune length
+//     >= 2, lowercased rune-wise — exactly Tokenize's semantics, including
+//     the multibyte rune-vs-byte length rule. The ASCII fast path lowers
+//     bytes in place; the rune fallback applies unicode.ToLower, which is
+//     what strings.ToLower does per rune.
+//   - Term frequencies accumulate in a dense scratch array indexed by
+//     vocabulary position, with a touched-index list replacing the
+//     map[int]float64; counts are order-independent, so totals match.
+//   - The touched list is sorted ascending before any float math, so the
+//     norm and dot accumulate in exactly the index order the reference
+//     path uses after its sort.Slice.
+//   - Every float64 expression mirrors the reference: value = tf*idf
+//     (or (1+ln tf)*idf), normSq += value*value, norm = Sqrt(normSq),
+//     contribution = weights[idx] * (value/norm). Same operands, same
+//     order, same rounding.
+//
+// A Scorer owns reusable scratch and is NOT safe for concurrent use; hand
+// one to each worker (classifier.Classifier keeps a sync.Pool).
+package tfidf
+
+import (
+	"math"
+	"slices"
+	"unicode"
+	"unicode/utf8"
+)
+
+// asciiWordLower maps an ASCII byte to its lowercased form if it is a word
+// character ([0-9A-Za-z_]), else 0.
+var asciiWordLower [128]byte
+
+func init() {
+	for b := byte('0'); b <= '9'; b++ {
+		asciiWordLower[b] = b
+	}
+	for b := byte('a'); b <= 'z'; b++ {
+		asciiWordLower[b] = b
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		asciiWordLower[b] = b + ('a' - 'A')
+	}
+	asciiWordLower['_'] = '_'
+}
+
+// Scorer is a reusable fused-inference kernel bound to a fitted
+// Vectorizer. Create one per worker with NewScorer.
+type Scorer struct {
+	vz *Vectorizer
+
+	tf      []float64 // dense term frequencies, indexed by vocab position
+	touched []int     // vocab indices with tf > 0, reset by walking this list
+	tok     []byte    // current token, lowercased, reused across tokens
+	prev    []byte    // previous emitted token (bigram mode)
+	bigram  []byte    // bigram key scratch ("prev cur")
+	tokens  int       // unigram tokens seen by the last scan
+}
+
+// NewScorer returns a fused-inference kernel over the fitted vocabulary.
+// The scorer holds a dense float64 scratch of VocabSize entries; share the
+// Vectorizer, not the Scorer, across goroutines.
+func (vz *Vectorizer) NewScorer() *Scorer {
+	return &Scorer{
+		vz:      vz,
+		tf:      make([]float64, len(vz.idf)),
+		touched: make([]int, 0, 256),
+		tok:     make([]byte, 0, 64),
+		prev:    make([]byte, 0, 64),
+		bigram:  make([]byte, 0, 128),
+	}
+}
+
+// reset clears the dense scratch by walking the touched list, so cost is
+// proportional to the previous document, not the vocabulary.
+func (s *Scorer) reset() {
+	for _, idx := range s.touched {
+		s.tf[idx] = 0
+	}
+	s.touched = s.touched[:0]
+	s.prev = s.prev[:0]
+	s.tokens = 0
+}
+
+// addTerm folds the current token (s.tok, already lowercased) into the TF
+// scratch, plus the adjacent bigram when the vectorizer was fitted with
+// Bigrams. The vocab lookups convert the scratch buffer with string(...)
+// directly in the map index expression, which the compiler performs
+// without allocating.
+func (s *Scorer) addTerm() {
+	if idx, ok := s.vz.vocab[string(s.tok)]; ok {
+		if s.tf[idx] == 0 {
+			s.touched = append(s.touched, idx)
+		}
+		s.tf[idx]++
+	}
+	if s.vz.opts.Bigrams {
+		if len(s.prev) > 0 {
+			s.bigram = append(s.bigram[:0], s.prev...)
+			s.bigram = append(s.bigram, ' ')
+			s.bigram = append(s.bigram, s.tok...)
+			if idx, ok := s.vz.vocab[string(s.bigram)]; ok {
+				if s.tf[idx] == 0 {
+					s.touched = append(s.touched, idx)
+				}
+				s.tf[idx]++
+			}
+		}
+		s.prev = append(s.prev[:0], s.tok...)
+	}
+}
+
+// scan is the single-pass byte-level tokenizer. ASCII word bytes take the
+// table fast path; anything else falls back to rune decoding so the
+// \w\w+ rune-length semantics match Tokenize exactly (invalid UTF-8 decodes
+// to RuneError, which is not a word character — the same separator
+// behaviour a range loop gives the reference tokenizer). When collect is
+// true each token is folded into the TF scratch; either way s.tokens
+// counts the unigram tokens.
+func (s *Scorer) scan(doc string, collect bool) {
+	tokRunes := 0
+	s.tok = s.tok[:0]
+	flush := func() {
+		if tokRunes >= 2 {
+			s.tokens++
+			if collect {
+				s.addTerm()
+			}
+		}
+		tokRunes = 0
+		s.tok = s.tok[:0]
+	}
+	for i := 0; i < len(doc); {
+		if b := doc[i]; b < utf8.RuneSelf {
+			if c := asciiWordLower[b]; c != 0 {
+				s.tok = append(s.tok, c)
+				tokRunes++
+			} else if tokRunes > 0 {
+				flush()
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(doc[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			s.tok = utf8.AppendRune(s.tok, unicode.ToLower(r))
+			tokRunes++
+		} else if tokRunes > 0 {
+			flush()
+		}
+		i += size
+	}
+	flush()
+}
+
+// TokenCount returns the document's unigram token count — identical to
+// len(Tokenize(doc)) — without allocating.
+func (s *Scorer) TokenCount(doc string) int {
+	s.reset()
+	s.scan(doc, false)
+	return s.tokens
+}
+
+// DotNormalized computes the inner product of the document's L2-normalized
+// TF-IDF vector with the dense weight vector, plus the document's unigram
+// token count, in one fused pass and with zero steady-state allocations.
+// The result is bit-identical to weightsDot(vz.Transform(doc)): same token
+// set, same accumulation order, same float64 operations.
+func (s *Scorer) DotNormalized(doc string, weights []float64) (dot float64, tokens int) {
+	s.reset()
+	s.scan(doc, true)
+	slices.Sort(s.touched)
+	var normSq float64
+	for _, idx := range s.touched {
+		v := s.value(idx)
+		normSq += v * v
+	}
+	// Mirror the reference exactly: Transform normalizes only when the
+	// norm is positive (an empty vector keeps norm 0 and dot 0).
+	norm := math.Sqrt(normSq)
+	for _, idx := range s.touched {
+		v := s.value(idx)
+		if norm > 0 {
+			v /= norm
+		}
+		if idx < len(weights) {
+			dot += weights[idx] * v
+		}
+	}
+	return dot, s.tokens
+}
+
+// value reproduces Transform's per-feature weight for a touched index.
+func (s *Scorer) value(idx int) float64 {
+	tf := s.tf[idx]
+	if s.vz.opts.SublinearTF {
+		tf = 1 + math.Log(tf)
+	}
+	return tf * s.vz.idf[idx]
+}

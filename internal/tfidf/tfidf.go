@@ -209,12 +209,28 @@ func (vz *Vectorizer) FitTransform(docs []string) []Vector {
 	return vz.TransformAll(docs)
 }
 
-// Snapshot exports the fitted state for persistence.
+// Snapshot exports the fitted state for persistence. The returned map and
+// slice are deep copies: a Vectorizer is immutable after Fit, and handing
+// out the live vocab/idf would let a caller's mutation corrupt every
+// concurrent Transform.
 func (vz *Vectorizer) Snapshot() (vocab map[string]int, idf []float64, nDocs int, opts Options) {
-	return vz.vocab, vz.idf, vz.nDocs, vz.opts
+	vocab = make(map[string]int, len(vz.vocab))
+	for t, i := range vz.vocab {
+		vocab[t] = i
+	}
+	idf = make([]float64, len(vz.idf))
+	copy(idf, vz.idf)
+	return vocab, idf, vz.nDocs, vz.opts
 }
 
-// Restore rebuilds a fitted vectorizer from a Snapshot.
+// Restore rebuilds a fitted vectorizer from a Snapshot. It copies its
+// inputs for the same immutability reason Snapshot does.
 func Restore(vocab map[string]int, idf []float64, nDocs int, opts Options) *Vectorizer {
-	return &Vectorizer{opts: opts, vocab: vocab, idf: idf, nDocs: nDocs}
+	v := make(map[string]int, len(vocab))
+	for t, i := range vocab {
+		v[t] = i
+	}
+	f := make([]float64, len(idf))
+	copy(f, idf)
+	return &Vectorizer{opts: opts, vocab: v, idf: f, nDocs: nDocs}
 }

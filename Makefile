@@ -36,7 +36,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRetryAfter -fuzztime=$(FUZZTIME) -run NONE ./internal/crawler
 	$(GO) test -fuzz=FuzzParseProfile -fuzztime=$(FUZZTIME) -run NONE ./internal/monitor
 	$(GO) test -fuzz=FuzzConvert -fuzztime=$(FUZZTIME) -run NONE ./internal/htmltext
-	$(GO) test -fuzz=FuzzExtract -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
+	$(GO) test -fuzz=FuzzExtract$$ -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
+	$(GO) test -fuzz=FuzzExtractKernelEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
 	$(GO) test -fuzz=FuzzScorerEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/classifier
 
@@ -66,7 +67,7 @@ bench:
 
 # The classify/tokenize/extract hot-path set: cheap setup (no full-scale
 # study), so these also power the bench-check regression gate.
-HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$
+HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused
 
 # Faster spot check of the headline artifacts.
 bench-quick:

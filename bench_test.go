@@ -718,23 +718,50 @@ func BenchmarkTokenizeZeroAlloc(b *testing.B) {
 	}
 }
 
-// BenchmarkExtract measures the gated extractor on its two regimes: a dox
-// document (every hint present, all regexes run) and a benign document
-// (gates skip the regex engine entirely — the crawl's dominant case).
+// BenchmarkExtract measures the reference (regex) extractor on its two
+// regimes: a dox document (every hint present, all regexes run) and a
+// benign document (gates skip the regex engine — the crawl's dominant
+// case). This is the baseline BenchmarkExtractFused is measured against.
 func BenchmarkExtract(b *testing.B) {
 	s, doc := hotDoc(b)
 	r := randutil.New(6)
 	_, benign := s.Gen.BenignPaste(r)
+	ref := extract.Options{ReferenceKernel: true}
 	b.Run("dox", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = extract.Extract(doc)
+			_ = extract.ExtractWith(doc, ref)
 		}
 	})
 	b.Run("benign", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = extract.Extract(benign)
+			_ = extract.ExtractWith(benign, ref)
+		}
+	})
+}
+
+// BenchmarkExtractFused measures the fused single-pass extract kernel: one
+// Aho–Corasick scan over the folded document dispatching to hand-rolled
+// matchers, with a pinned kernel and a reused Extraction. The acceptance
+// bar is >= 3x faster than BenchmarkExtract/dox, >= 5x faster than
+// BenchmarkExtract/benign, and 0 allocs/op at steady state.
+func BenchmarkExtractFused(b *testing.B) {
+	s, doc := hotDoc(b)
+	r := randutil.New(6)
+	_, benign := s.Gen.BenignPaste(r)
+	k := extract.NewKernel()
+	var e extract.Extraction
+	b.Run("dox", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k.ExtractInto(doc, &e, extract.Options{})
+		}
+	})
+	b.Run("benign", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k.ExtractInto(benign, &e, extract.Options{})
 		}
 	})
 }

@@ -1,0 +1,144 @@
+// Package acmatch implements a byte-level Aho–Corasick multi-pattern
+// matcher, the anchor engine behind the fused extraction kernel
+// (internal/extract). One automaton is built once from a fixed pattern set
+// (profile-URL hosts, account-label aliases, field labels, credit-line
+// leads) and then a single Scan pass over a case-folded document reports
+// every occurrence of every pattern — replacing the per-pattern
+// strings.Contains probes and per-regex scans the reference extractor pays.
+//
+// The automaton is a goto/fail trie flattened into dense arrays with the
+// failure function pre-applied (a true DFA), so the scan loop is one table
+// load per input byte with no branching on failure chains. Scan appends
+// into a caller-owned hit slice, so steady-state scanning allocates
+// nothing.
+package acmatch
+
+// Hit is one pattern occurrence: Pattern is the index into the pattern
+// slice given to New, End is the byte offset one past the match (the match
+// spans [End-len(pattern), End)).
+type Hit struct {
+	Pattern int
+	End     int
+}
+
+// Matcher is an immutable multi-pattern automaton. Safe for concurrent
+// Scan calls: scanning only reads the transition tables.
+type Matcher struct {
+	pats []string
+	// delta is the DFA transition table: delta[state*256+b] is the next
+	// state after reading byte b.
+	delta []int32
+	// out[state] indexes into outPat: the patterns ending at state are
+	// outPat[out[state]:out[state+1]].
+	out    []int32
+	outPat []int32
+}
+
+// New builds the automaton for the given patterns. Patterns must be
+// non-empty; they may contain arbitrary bytes, but callers matching
+// case-insensitively should pre-fold both patterns and scan input.
+func New(patterns []string) *Matcher {
+	states := 1
+	for _, p := range patterns {
+		if p == "" {
+			panic("acmatch: empty pattern")
+		}
+		states += len(p)
+	}
+	goto_ := make([]int32, states*256)
+	for i := range goto_ {
+		goto_[i] = -1
+	}
+	outSets := make([][]int32, states)
+	next := int32(1)
+	for pi, p := range patterns {
+		s := int32(0)
+		for i := 0; i < len(p); i++ {
+			b := p[i]
+			if t := goto_[s*256+int32(b)]; t >= 0 {
+				s = t
+			} else {
+				goto_[s*256+int32(b)] = next
+				s = next
+				next++
+			}
+		}
+		outSets[s] = append(outSets[s], int32(pi))
+	}
+	states = int(next)
+
+	// BFS to compute failure links, merging output sets, then close the
+	// goto function into a total DFA transition table.
+	fail := make([]int32, states)
+	queue := make([]int32, 0, states)
+	for b := 0; b < 256; b++ {
+		if t := goto_[b]; t >= 0 {
+			fail[t] = 0
+			queue = append(queue, t)
+		} else {
+			goto_[b] = 0
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		if f := fail[s]; len(outSets[f]) > 0 {
+			outSets[s] = append(outSets[s], outSets[f]...)
+		}
+		for b := int32(0); b < 256; b++ {
+			t := goto_[s*256+b]
+			if t < 0 {
+				goto_[s*256+b] = goto_[fail[s]*256+b]
+				continue
+			}
+			fail[t] = goto_[fail[s]*256+b]
+			queue = append(queue, t)
+		}
+	}
+
+	m := &Matcher{
+		pats:  append([]string(nil), patterns...),
+		delta: goto_[:states*256],
+		out:   make([]int32, states+1),
+	}
+	for s := 0; s < states; s++ {
+		m.out[s+1] = m.out[s] + int32(len(outSets[s]))
+		m.outPat = append(m.outPat, outSets[s]...)
+	}
+	return m
+}
+
+// Patterns returns the pattern set the automaton was built from, in index
+// order (Hit.Pattern indexes it).
+func (m *Matcher) Patterns() []string { return m.pats }
+
+// Scan finds every occurrence of every pattern in text, appending to hits
+// (pass hits[:0] of a reusable buffer for an allocation-free scan) and
+// returning the extended slice. Hits are reported in increasing End order;
+// several patterns ending at the same byte are reported in automaton
+// output order.
+func (m *Matcher) Scan(text []byte, hits []Hit) []Hit {
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		s = m.delta[s*256+int32(text[i])]
+		if o, oEnd := m.out[s], m.out[s+1]; o < oEnd {
+			for ; o < oEnd; o++ {
+				hits = append(hits, Hit{Pattern: int(m.outPat[o]), End: i + 1})
+			}
+		}
+	}
+	return hits
+}
+
+// ScanString is Scan for string input.
+func (m *Matcher) ScanString(text string, hits []Hit) []Hit {
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		s = m.delta[s*256+int32(text[i])]
+		if o, oEnd := m.out[s], m.out[s+1]; o < oEnd {
+			for ; o < oEnd; o++ {
+				hits = append(hits, Hit{Pattern: int(m.outPat[o]), End: i + 1})
+			}
+		}
+	}
+	return hits
+}

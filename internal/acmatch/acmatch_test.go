@@ -1,0 +1,149 @@
+package acmatch
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// naive is the oracle: strings.Index over every pattern.
+func naive(patterns []string, text string) []Hit {
+	var hits []Hit
+	for pi, p := range patterns {
+		for off := 0; ; {
+			i := strings.Index(text[off:], p)
+			if i < 0 {
+				break
+			}
+			hits = append(hits, Hit{Pattern: pi, End: off + i + len(p)})
+			off += i + 1
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].End != hits[b].End {
+			return hits[a].End < hits[b].End
+		}
+		return hits[a].Pattern < hits[b].Pattern
+	})
+	return hits
+}
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].End != hits[b].End {
+			return hits[a].End < hits[b].End
+		}
+		return hits[a].Pattern < hits[b].Pattern
+	})
+}
+
+func checkEqual(t *testing.T, patterns []string, text string) {
+	t.Helper()
+	m := New(patterns)
+	got := m.ScanString(text, nil)
+	sortHits(got)
+	want := naive(patterns, text)
+	if len(got) != len(want) {
+		t.Fatalf("text %q: got %d hits %v, want %d %v", text, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("text %q: hit %d = %v, want %v", text, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	patterns := []string{"he", "she", "his", "hers", "s"}
+	checkEqual(t, patterns, "ushers")
+	checkEqual(t, patterns, "shehehishers")
+	checkEqual(t, patterns, "")
+	checkEqual(t, patterns, "xyz")
+}
+
+func TestSubstringPatterns(t *testing.T) {
+	// "name" inside "first name", as in the extract kernel's anchor set.
+	patterns := []string{"name", "first name", "age"}
+	checkEqual(t, patterns, "first name: alice\nage: 30\nname: bob")
+	checkEqual(t, patterns, "namename first namage")
+}
+
+func TestExtractAnchorSet(t *testing.T) {
+	patterns := []string{
+		"facebook.com/", "plus.google.com/", "twitter.com/",
+		"instagram.com/", "youtube.com/", "twitch.tv/",
+		"facebook", "fb", "face", "twitter", "tw", "instagram", "ig",
+		"skype", "name", "first name", "age",
+		"dropped by", "dox by", "credit:", "brought to you by",
+	}
+	doc := "dox by hunter1\nname: john doe\nage: 22\n" +
+		"fb: johnd\nhttps://www.twitter.com/johnd22\ncredit: @twig"
+	checkEqual(t, patterns, doc)
+}
+
+func TestRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alpha := "abcab."
+	for trial := 0; trial < 200; trial++ {
+		var pats []string
+		n := 1 + rng.Intn(5)
+		seen := map[string]bool{}
+		for len(pats) < n {
+			l := 1 + rng.Intn(4)
+			var sb strings.Builder
+			for i := 0; i < l; i++ {
+				sb.WriteByte(alpha[rng.Intn(len(alpha))])
+			}
+			if p := sb.String(); !seen[p] {
+				seen[p] = true
+				pats = append(pats, p)
+			}
+		}
+		var tb strings.Builder
+		for i := 0; i < rng.Intn(64); i++ {
+			tb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		checkEqual(t, pats, tb.String())
+	}
+}
+
+func TestScanByteStringAgree(t *testing.T) {
+	m := New([]string{"ab", "babc", "c"})
+	text := "ababcbabcc"
+	a := m.Scan([]byte(text), nil)
+	b := m.ScanString(text, nil)
+	if len(a) != len(b) {
+		t.Fatalf("byte/string scans disagree: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("byte/string scans disagree at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScanReusesBuffer(t *testing.T) {
+	m := New([]string{"ab"})
+	buf := make([]Hit, 0, 16)
+	hits := m.ScanString("abab", buf)
+	if len(hits) != 2 || cap(hits) != 16 {
+		t.Fatalf("expected reuse of caller buffer, got len=%d cap=%d", len(hits), cap(hits))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		buf = m.ScanString("abab and more abs: ab", buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanString into reusable buffer allocated %v times", allocs)
+	}
+}
+
+func TestEmptyPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty pattern")
+		}
+	}()
+	New([]string{"ok", ""})
+}

@@ -6,14 +6,16 @@ import (
 	"testing"
 
 	"doxmeter/internal/classifier"
+	"doxmeter/internal/extract"
 	"doxmeter/internal/faults"
 )
 
 // TestStudyKernelEquivalence is the whole-system equivalence bar for the
-// fused inference kernel: an entire study run on the fused classify path
-// must be byte-identical to the same study forced through the reference
-// Transform+Decision path — across sequential and parallel execution, with
-// fault injection live. This is the test `make chaos` runs.
+// fused inference kernels: an entire study run on the fused classify AND
+// extract paths must be byte-identical to the same study forced through the
+// reference Transform+Decision classifier and the reference regex extractor
+// — across sequential and parallel execution, with fault injection live.
+// This is the test `make chaos` runs.
 func TestStudyKernelEquivalence(t *testing.T) {
 	if raceEnabled {
 		t.Skip("three whole studies under the race detector exceed the package time budget; `make chaos` runs this natively")
@@ -33,6 +35,7 @@ func TestStudyKernelEquivalence(t *testing.T) {
 			Parallelism:   parallelism,
 			Faults:        profile,
 			Classifier:    classifier.Options{ReferenceKernel: reference},
+			Extract:       extract.Options{ReferenceKernel: reference},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -90,6 +93,18 @@ func compareStudies(t *testing.T, a, b *Study) {
 		if x.DocID != y.DocID || x.Site != y.Site || !x.Posted.Equal(y.Posted) ||
 			x.Period != y.Period || x.Text != y.Text {
 			t.Fatalf("dox %d diverged: %s/%s vs %s/%s", i, x.Site, x.DocID, y.Site, y.DocID)
+		}
+		// The extractions themselves must agree field by field, not just
+		// through their dedup keys.
+		xe, ye := x.Extraction, y.Extraction
+		if xe.AccountSetKey() != ye.AccountSetKey() ||
+			xe.FirstName != ye.FirstName || xe.LastName != ye.LastName ||
+			xe.Age != ye.Age ||
+			len(xe.Phones) != len(ye.Phones) || len(xe.Emails) != len(ye.Emails) ||
+			len(xe.IPs) != len(ye.IPs) ||
+			len(xe.CreditAliases) != len(ye.CreditAliases) ||
+			len(xe.CreditHandles) != len(ye.CreditHandles) {
+			t.Fatalf("dox %d extraction diverged:\n%+v\nvs\n%+v", i, xe, ye)
 		}
 	}
 	if a.Deduper.Stats() != b.Deduper.Stats() {

@@ -54,6 +54,11 @@ type StudyConfig struct {
 	ControlSample int
 	// Classifier overrides; zero value reproduces the paper's setup.
 	Classifier classifier.Options
+	// Extract configures the per-document account extractor. The zero value
+	// runs the fused single-pass kernel; ReferenceKernel forces the original
+	// regex extractor (the equivalence oracle — results are bit-identical
+	// either way, enforced by TestStudyKernelEquivalence).
+	Extract extract.Options
 	// LabelSample is how many flagged doxes the analyst labels; 0 uses
 	// the paper's 464 (capped at the number available).
 	LabelSample int
@@ -231,6 +236,12 @@ type Study struct {
 	rng *rand.Rand
 	m   *studyMetrics
 
+	// probeKernel/probeExt back the doxmeter_extract_allocs_per_doc gauge:
+	// one flagged document per batch is re-extracted into this warm scratch
+	// on the driver goroutine.
+	probeKernel *extract.Kernel
+	probeExt    extract.Extraction
+
 	// Injectors maps service name (pastebin, fourchan, eightch, osn) to
 	// its fault injector; empty when StudyConfig.Faults is nil.
 	Injectors map[string]*faults.Injector
@@ -303,6 +314,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		flaggedP1:       make(map[string]bool),
 		rng:             randutil.New(cfg.Seed ^ 0x636f7265), // "core"
 		m:               newStudyMetrics(cfg.Telemetry),
+		probeKernel:     extract.NewKernel(),
 	}
 	// Spans record virtual time from the study clock; the hub outlives the
 	// study, so a later study on the same hub simply re-points this.
@@ -694,9 +706,14 @@ func (s *Study) prepareDoc(doc *crawler.Doc) Prepared {
 		t = now
 	}
 	if pre.IsDox {
-		pre.Extraction = extract.Extract(text)
+		// The fused extract kernel mirrors the classifier's design: one
+		// Aho–Corasick pass over the folded text dispatches to hand-rolled
+		// matchers, with scratch pooled across workers (§DESIGN).
+		pre.Extraction = extract.ExtractWith(text, s.Cfg.Extract)
 		if timed {
-			m.docExtract.Observe(time.Since(t).Seconds())
+			d := time.Since(t).Seconds()
+			m.docExtract.Observe(d)
+			m.extractSeconds.Observe(d)
 		}
 	}
 	return pre
@@ -730,6 +747,24 @@ func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		s.m.classifyAllocs.Set(float64(m1.Mallocs-m0.Mallocs) / float64(len(docs)))
+		// Extract allocation probe: re-run the batch's first flagged
+		// document through a study-held kernel and scratch record. The
+		// fused path holds this at zero once scratch is warm; the
+		// reference path reports its true per-document cost.
+		for i := range out {
+			if !out[i].IsDox {
+				continue
+			}
+			runtime.ReadMemStats(&m0)
+			if s.Cfg.Extract.ReferenceKernel {
+				_ = extract.ExtractWith(out[i].Text, s.Cfg.Extract)
+			} else {
+				s.probeKernel.ExtractInto(out[i].Text, &s.probeExt, s.Cfg.Extract)
+			}
+			runtime.ReadMemStats(&m1)
+			s.m.extractAllocs.Set(float64(m1.Mallocs - m0.Mallocs))
+			break
+		}
 	}
 	return out
 }

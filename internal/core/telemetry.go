@@ -39,6 +39,15 @@ type studyMetrics struct {
 	classifySeconds *telemetry.Histogram
 	classifyAllocs  *telemetry.Gauge
 
+	// Extraction hot-path instruments, mirroring the classify pair:
+	// per-flagged-document extract latency (doxmeter_extract_seconds; same
+	// observations as the doc-stage histogram's extract label, on a
+	// dedicated series) and a steady-state allocation probe
+	// (doxmeter_extract_allocs_per_doc) that re-runs one flagged document
+	// per prepare batch through a study-held kernel and scratch record.
+	extractSeconds *telemetry.Histogram
+	extractAllocs  *telemetry.Gauge
+
 	queueDepth *telemetry.Gauge
 	days       *telemetry.Counter
 
@@ -87,6 +96,11 @@ func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
 			nil).With(),
 		classifyAllocs: reg.NewGauge("doxmeter_classify_allocs_per_doc",
 			"Heap allocations per document across the most recent prepare batch; the fused classify path contributes ~0 at steady state.").With(),
+		extractSeconds: reg.NewHistogram("doxmeter_extract_seconds",
+			"Per-flagged-document latency of the account extractor (fused single-pass kernel by default).",
+			nil).With(),
+		extractAllocs: reg.NewGauge("doxmeter_extract_allocs_per_doc",
+			"Heap allocations for one representative flagged document re-extracted after each prepare batch; the fused kernel holds this at 0 at steady state.").With(),
 		queueDepth: reg.NewGauge("doxmeter_prepare_queue_depth",
 			"Documents not yet finished by the per-day prepare worker pool.").With(),
 		days: reg.NewCounter("doxmeter_study_days_total",

@@ -114,7 +114,33 @@ var (
 
 	// creditHints gates the credit-line regex the same way.
 	creditHints = []string{"dropped by", "dox by", "credit:", "brought to you by"}
+
+	// reservedPaths lists per-network path segments that the profile-URL
+	// patterns would otherwise capture as usernames — share links, watch
+	// pages, login screens. A capture matching one of these (compared
+	// case-insensitively, before trimming) is rejected so it cannot enter
+	// the §3.1.4 account-set dedup identity.
+	reservedPaths = map[netid.Network][]string{
+		netid.Facebook:   {"profile.php", "pages", "groups", "events", "share", "sharer", "sharer.php", "watch", "marketplace", "login", "login.php", "home.php", "photo.php", "story.php"},
+		netid.GooglePlus: {"share", "explore", "communities", "collections", "discover", "app"},
+		netid.Twitter:    {"intent", "share", "home", "search", "hashtag", "login", "signup", "settings", "i", "messages", "explore", "notifications"},
+		netid.Instagram:  {"p", "explore", "accounts", "reel", "reels", "stories", "tv", "direct"},
+		netid.YouTube:    {"watch", "embed", "playlist", "results", "feed", "shorts", "user", "channel", "c", "about", "account", "upload", "subscription_center"},
+		netid.Twitch:     {"directory", "videos", "settings", "downloads", "search", "subscriptions", "friends"},
+	}
 )
+
+// reservedPath reports whether a raw URL capture is a reserved path segment
+// for the network rather than a username. The comparison is case-insensitive
+// (EqualFold) because the URL patterns match case-insensitively.
+func reservedPath(n netid.Network, capture string) bool {
+	for _, p := range reservedPaths[n] {
+		if strings.EqualFold(capture, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // foldLower lowercases text the way a `(?i)` regex folds it: rune-wise
 // unicode.ToLower, plus the two Unicode runes whose case-fold orbit lands
@@ -142,19 +168,41 @@ type Options struct {
 	// the reference extractor is conservative (guessing pollutes the
 	// §3.1.4 account-set de-duplication identity).
 	Greedy bool
+
+	// ReferenceKernel forces the regex-based reference extractor instead of
+	// the fused kernel. The two are bit-identical on every input (enforced
+	// by differential fuzzing and the whole-study equivalence run in `make
+	// chaos`); the switch exists as the equivalence oracle and an escape
+	// hatch, mirroring classifier.Options.ReferenceKernel.
+	ReferenceKernel bool
 }
 
 // Extract runs the full extractor over plain text (convert HTML first).
+// It rides the fused kernel (see kernel.go) drawn from a package pool;
+// ExtractWith with ReferenceKernel selects the regex reference path.
 func Extract(text string) *Extraction {
 	return ExtractWith(text, Options{})
 }
 
-// ExtractWith runs the extractor with explicit options. The text is
+// ExtractWith runs the extractor with explicit options, routing to the
+// fused kernel unless opts.ReferenceKernel is set.
+func ExtractWith(text string, opts Options) *Extraction {
+	if opts.ReferenceKernel {
+		return extractReference(text, opts)
+	}
+	k := kernelPool.Get().(*Kernel)
+	e := &Extraction{}
+	k.ExtractInto(text, e, opts)
+	kernelPool.Put(k)
+	return e
+}
+
+// extractReference is the regex-based reference extractor: the text is
 // case-folded once up front; every case-insensitive regex is then gated
 // behind a cheap substring probe of that shared lowered copy, so a
 // document that never mentions facebook.com never pays for the Facebook
 // regex — the dominant cost on the benign 99.7% of the crawl.
-func ExtractWith(text string, opts Options) *Extraction {
+func extractReference(text string, opts Options) *Extraction {
 	e := &Extraction{Accounts: make(map[netid.Network]string)}
 	lower := foldLower(text)
 	extractURLs(text, lower, e)
@@ -165,7 +213,11 @@ func ExtractWith(text string, opts Options) *Extraction {
 }
 
 // extractURLs applies the profile-URL patterns (the paper's example form 1),
-// skipping any network whose host never occurs in the folded text.
+// skipping any network whose host never occurs in the folded text. All
+// matches are scanned in document order and the first capture that survives
+// the reserved-path denylist and the username shape filter wins, so a
+// benign share link early in the document cannot shadow the real profile
+// URL below it.
 func extractURLs(text, lower string, e *Extraction) {
 	for _, n := range netid.All() {
 		re, ok := urlPatterns[n]
@@ -175,13 +227,15 @@ func extractURLs(text, lower string, e *Extraction) {
 		if !strings.Contains(lower, urlHostHints[n]) {
 			continue
 		}
-		m := re.FindStringSubmatch(text)
-		if m == nil {
-			continue
-		}
-		user := strings.Trim(m[1], "._-")
-		if validUsername(user) {
-			e.Accounts[n] = user
+		for _, m := range re.FindAllStringSubmatch(text, -1) {
+			if reservedPath(n, m[1]) {
+				continue
+			}
+			user := strings.Trim(m[1], "._-")
+			if validUsername(user) {
+				e.Accounts[n] = user
+				break
+			}
 		}
 	}
 }
@@ -227,6 +281,12 @@ func splitLabel(line string) (label, rest string, ok bool) {
 			return strings.ToLower(strings.TrimSpace(s[:i])), s[i+1:], true
 		}
 	}
+	// "-" separator, accepted only when set off by spaces so hyphenated
+	// labels ("e-mail") and hyphen-bearing values never split on it. The
+	// position bound applies to the "-" itself, matching the ":"/";" rule.
+	if i := strings.Index(s, " - "); i > 0 && i+1 <= 24 {
+		return strings.ToLower(strings.TrimSpace(s[:i])), s[i+3:], true
+	}
 	// Bare form: first token is a known short label.
 	if i := strings.IndexAny(s, " \t"); i > 0 {
 		head := strings.ToLower(strings.TrimSpace(s[:i]))
@@ -268,11 +328,17 @@ func bestUsernameToken(rest string, greedy bool) (string, bool) {
 	}
 }
 
+// stopWords are connective words that appear on account lines; tokens come
+// from tokenRe, whose class is pure ASCII, so EqualFold equals a
+// lowercase-and-compare without allocating.
+var stopWords = [...]string{"and", "or", "aka", "also", "old", "new", "main", "alt", "the", "his", "her"}
+
 // stopToken filters connective words that appear on account lines.
 func stopToken(t string) bool {
-	switch strings.ToLower(t) {
-	case "and", "or", "aka", "also", "old", "new", "main", "alt", "the", "his", "her":
-		return true
+	for _, w := range &stopWords {
+		if strings.EqualFold(t, w) {
+			return true
+		}
 	}
 	return false
 }

@@ -1,0 +1,699 @@
+// Hand-rolled field and credit matchers for the fused extraction kernel.
+// Each function replicates one reference regex — same leftmost-first
+// backtracking order, same FindAll non-overlap rule, same capture extents
+// — operating on the kernel's folded buffer for case-insensitive literals
+// and on the original text for captures. See kernel.go for the
+// equivalence contract.
+package extract
+
+import (
+	"bytes"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// isSpaceByte is Go regexp's \s: [\t\n\f\r ].
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\f' || b == '\r'
+}
+
+// isWordByte is Go regexp's \b word class: [0-9A-Za-z_]. Multibyte UTF-8
+// units are >= 0x80 and therefore non-word, matching RE2's ASCII \b.
+func isWordByte(b byte) bool {
+	return b == '_' || ('0' <= b && b <= '9') || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}
+
+func isDigitByte(b byte) bool  { return '0' <= b && b <= '9' }
+func isLetterByte(b byte) bool { return ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') }
+
+func skipSpace(fold []byte, q int) int {
+	for q < len(fold) && isSpaceByte(fold[q]) {
+		q++
+	}
+	return q
+}
+
+// lineStartReachable reports whether (?m)^\s* can reach position p: some
+// line start (offset 0 or just after a '\n') precedes p with only
+// whitespace between. Since '\n' is itself \s, that means the backward
+// whitespace walk from p either reaches 0 or crosses a newline.
+func lineStartReachable(fold []byte, p int) bool {
+	for p > 0 && isSpaceByte(fold[p-1]) {
+		if fold[p-1] == '\n' {
+			return true
+		}
+		p--
+	}
+	return p == 0
+}
+
+// dotPlusCapture implements the `(.+)$` tail shared by nameRe and
+// creditLineRe: after greedy whitespace ending at m1 (with m0 the minimal
+// backtrack position), the capture starts at the greedy position unless
+// that sits at a newline or end-of-text, in which case the engine hands
+// back trailing whitespace one char at a time — so the capture can be a
+// single space. The capture always runs to end of line.
+func dotPlusCapture(fold []byte, m1, m0 int) (cs, ce int, ok bool) {
+	cs = -1
+	if m1 < len(fold) && fold[m1] != '\n' {
+		cs = m1
+	} else {
+		for t := m1 - 1; t >= m0; t-- {
+			if fold[t] != '\n' {
+				cs = t
+				break
+			}
+		}
+	}
+	if cs < 0 {
+		return 0, 0, false
+	}
+	ce = len(fold)
+	if j := bytes.IndexByte(fold[cs:], '\n'); j >= 0 {
+		ce = cs + j
+	}
+	return cs, ce, true
+}
+
+// sepCapture implements `\s*[:;\-]\s*(.+)$` starting at q (nameRe's tail).
+func sepCapture(fold []byte, q int) (cs, ce int, ok bool) {
+	q = skipSpace(fold, q)
+	if q >= len(fold) {
+		return 0, 0, false
+	}
+	switch fold[q] {
+	case ':', ';', '-':
+		q++
+	default:
+		return 0, 0, false
+	}
+	return dotPlusCapture(fold, skipSpace(fold, q), q)
+}
+
+// scanFields is the fused form of extractFields, in the reference's
+// order: name (first-name fallback), age, phones, emails, IPs. The
+// name/age matchers run only when their anchor fired (the reference's
+// strings.Contains gates); phones/IPs/emails run behind the digit/@
+// flags recorded during folding.
+func (k *Kernel) scanFields(text string, e *Extraction) {
+	nameGate, ageGate := false, false
+	for _, h := range k.hits {
+		switch anchorInfo[h.Pattern].kind {
+		case anchorName:
+			nameGate = true
+		case anchorAge:
+			ageGate = true
+		}
+	}
+	if nameGate {
+		if !k.matchName(text, e) {
+			k.matchFirstName(text, e)
+		}
+	}
+	if ageGate {
+		k.matchAge(text, e)
+	}
+	if k.digit {
+		k.matchPhones(text, e)
+	}
+	if k.at {
+		k.matchEmails(text, e)
+	}
+	if k.digit {
+		k.matchIPs(text, e)
+	}
+}
+
+// namePrefixes are nameRe's optional label prefixes plus the empty
+// alternative, in the regex's preference order. All options yield the
+// same capture, so trying them until one validates is order-insensitive
+// in effect, but the listed order mirrors the engine.
+var namePrefixes = [...]string{"full ", "real ", "irl ", ""}
+
+// matchName replicates nameRe's first match:
+// (?im)^\s*(?:full |real |irl )?name\s*[:;\-]\s*(.+)$ — returning true
+// when a match exists (even if its capture yields no name words, which
+// suppresses the first-name fallback exactly as a non-nil submatch does).
+func (k *Kernel) matchName(text string, e *Extraction) bool {
+	fold := k.fold
+	for _, h := range k.hits {
+		if anchorInfo[h.Pattern].kind != anchorName {
+			continue
+		}
+		a := h.End - len("name")
+		valid := false
+		for _, pre := range namePrefixes {
+			p := a - len(pre)
+			if p >= 0 && string(fold[p:a]) == pre && lineStartReachable(fold, p) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		cs, ce, ok := sepCapture(fold, h.End)
+		if !ok {
+			continue
+		}
+		f0, f1, n := firstTwoFields(text[cs:ce])
+		if n >= 1 && isNameWord(f0) {
+			e.FirstName = f0
+		}
+		if n >= 2 && isNameWord(f1) {
+			e.LastName = f1
+		}
+		return true
+	}
+	return false
+}
+
+// matchFirstName replicates firstNameRe's first match:
+// (?im)^\s*first name\s*[:;\-]\s*([A-Za-z]+) — reusing the "name"
+// anchors with a mandatory "first " prefix. On the aligned fold, the
+// (?i)[A-Za-z]+ capture is exactly a [a-z]+ run of folded bytes.
+func (k *Kernel) matchFirstName(text string, e *Extraction) {
+	fold := k.fold
+	for _, h := range k.hits {
+		if anchorInfo[h.Pattern].kind != anchorName {
+			continue
+		}
+		p := h.End - len("first name")
+		if p < 0 || string(fold[p:h.End-len("name")]) != "first " || !lineStartReachable(fold, p) {
+			continue
+		}
+		q := skipSpace(fold, h.End)
+		if q >= len(fold) {
+			continue
+		}
+		switch fold[q] {
+		case ':', ';', '-':
+			q = skipSpace(fold, q+1)
+		default:
+			continue
+		}
+		ce := q
+		for ce < len(fold) && 'a' <= fold[ce] && fold[ce] <= 'z' {
+			ce++
+		}
+		if ce == q {
+			continue
+		}
+		e.FirstName = text[q:ce]
+		return
+	}
+}
+
+// matchAge replicates ageRe's first match:
+// (?i)\bage\s*[:;\-]?\s*(\d{1,2})\b — the first structural match decides
+// even when its value fails the 5..99 plausibility range.
+func (k *Kernel) matchAge(text string, e *Extraction) {
+	fold := k.fold
+	for _, h := range k.hits {
+		if anchorInfo[h.Pattern].kind != anchorAge {
+			continue
+		}
+		a := h.End - len("age")
+		if a > 0 && isWordByte(fold[a-1]) {
+			continue
+		}
+		q := skipSpace(fold, h.End)
+		if q < len(fold) {
+			switch fold[q] {
+			case ':', ';', '-':
+				q = skipSpace(fold, q+1)
+			}
+		}
+		digits := 0
+		for q+digits < len(fold) && digits < 3 && isDigitByte(fold[q+digits]) {
+			digits++
+		}
+		wordAfter := func(i int) bool { return i < len(fold) && isWordByte(fold[i]) }
+		var v int
+		switch {
+		case digits >= 2 && !wordAfter(q+2):
+			v = int(fold[q]-'0')*10 + int(fold[q+1]-'0')
+		case digits == 1 && !wordAfter(q+1):
+			v = int(fold[q] - '0')
+		default:
+			continue // \d{1,2}\b fails here; the engine moves to later starts
+		}
+		if v >= 5 && v <= 99 {
+			e.Age = v
+		}
+		return
+	}
+}
+
+// firstTwoFields returns the first two unicode-whitespace-separated
+// fields of s (strings.Fields semantics) plus how many of the two exist.
+func firstTwoFields(s string) (f0, f1 string, n int) {
+	i := 0
+	next := func() (string, bool) {
+		for i < len(s) {
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if !unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		if i >= len(s) {
+			return "", false
+		}
+		start := i
+		for i < len(s) {
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		return s[start:i], true
+	}
+	if f, ok := next(); ok {
+		f0, n = f, 1
+		if f, ok := next(); ok {
+			f1, n = f, 2
+		}
+	}
+	return f0, f1, n
+}
+
+func isPhoneSep(b byte) bool { return b == '-' || b == '.' || isSpaceByte(b) }
+
+func digitsN(text string, p, n int) bool {
+	if p+n > len(text) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !isDigitByte(text[p+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchPhones replicates phoneRe's FindAllString:
+// (?:\+?1[-.\s]?)?\(?\d{3}\)?[-.\s]\d{3}[-.\s]?\d{4}|\+1\d{10}
+// Attempts run at every byte that could start a match ('+', '(' or a
+// digit — all other starts fail on the first regex element).
+func (k *Kernel) matchPhones(text string, e *Extraction) {
+	for p := 0; p < len(text); {
+		c := text[p]
+		if c != '+' && c != '(' && !isDigitByte(c) {
+			p++
+			continue
+		}
+		if end, ok := phoneAt(text, p); ok {
+			e.Phones = append(e.Phones, text[p:end])
+			p = end
+			continue
+		}
+		p++
+	}
+	e.Phones = dedupeInPlace(e.Phones)
+}
+
+// phoneAt tries phoneRe anchored at p, enumerating the optionals in the
+// engine's backtracking preference order: prefix variants outermost
+// ("+1"+sep, "+1", "1"+sep, "1", absent), then '(' present/absent, ')'
+// present/absent, middle separator present/absent — most recent choice
+// unwound first. The second alternation (\+1\d{10}) runs only after every
+// first-alternation combination fails.
+func phoneAt(text string, p int) (end int, ok bool) {
+	n := len(text)
+	tryRest := func(r int) (int, bool) {
+		for _, open := range [2]bool{true, false} {
+			q := r
+			if open {
+				if q >= n || text[q] != '(' {
+					continue
+				}
+				q++
+			}
+			if !digitsN(text, q, 3) {
+				continue
+			}
+			q += 3
+			for _, close := range [2]bool{true, false} {
+				q2 := q
+				if close {
+					if q2 >= n || text[q2] != ')' {
+						continue
+					}
+					q2++
+				}
+				if q2 >= n || !isPhoneSep(text[q2]) {
+					continue
+				}
+				q2++
+				if !digitsN(text, q2, 3) {
+					continue
+				}
+				q2 += 3
+				for _, sep2 := range [2]bool{true, false} {
+					q3 := q2
+					if sep2 {
+						if q3 >= n || !isPhoneSep(text[q3]) {
+							continue
+						}
+						q3++
+					}
+					if digitsN(text, q3, 4) {
+						return q3 + 4, true
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+	if p+2 < n && text[p] == '+' && text[p+1] == '1' && isPhoneSep(text[p+2]) {
+		if e, ok := tryRest(p + 3); ok {
+			return e, true
+		}
+	}
+	if p+1 < n && text[p] == '+' && text[p+1] == '1' {
+		if e, ok := tryRest(p + 2); ok {
+			return e, true
+		}
+	}
+	if p+1 < n && text[p] == '1' && isPhoneSep(text[p+1]) {
+		if e, ok := tryRest(p + 2); ok {
+			return e, true
+		}
+	}
+	if p < n && text[p] == '1' {
+		if e, ok := tryRest(p + 1); ok {
+			return e, true
+		}
+	}
+	if e, ok := tryRest(p); ok {
+		return e, true
+	}
+	if text[p] == '+' && p+1 < n && text[p+1] == '1' && digitsN(text, p+2, 10) {
+		return p + 12, true
+	}
+	return 0, false
+}
+
+// matchEmails replicates emailRe's FindAllString:
+// [A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}
+// Every match contains exactly one '@', so candidates are enumerated per
+// '@': the local part is the maximal class run ending at it (bounded by
+// the previous match end), and the domain chooses the rightmost dot in
+// the maximal domain-class run that is followed by >= 2 letters — the
+// minimal-backtrack answer of the greedy [A-Za-z0-9.-]+.
+func (k *Kernel) matchEmails(text string, e *Extraction) {
+	bound := 0 // end of the previous accepted match
+	for from := 0; from < len(text); {
+		j := strings.IndexByte(text[from:], '@')
+		if j < 0 {
+			break
+		}
+		at := from + j
+		ls := at
+		for ls > bound && emailLocalClass[text[ls-1]] {
+			ls--
+		}
+		if ls == at {
+			from = at + 1
+			continue
+		}
+		domEnd := at + 1
+		for domEnd < len(text) && emailDomainClass[text[domEnd]] {
+			domEnd++
+		}
+		end := -1
+		for d := domEnd - 1; d >= at+2; d-- {
+			if text[d] != '.' {
+				continue
+			}
+			le := d + 1
+			for le < len(text) && isLetterByte(text[le]) {
+				le++
+			}
+			if le-d-1 >= 2 {
+				end = le
+				break
+			}
+		}
+		if end < 0 {
+			from = at + 1
+			continue
+		}
+		e.Emails = append(e.Emails, text[ls:end])
+		bound, from = end, end
+	}
+	e.Emails = dedupeInPlace(e.Emails)
+}
+
+// matchIPs replicates ipRe's FindAllStringSubmatch walk:
+// \b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b
+// Candidate starts are maximal digit runs with a non-word byte before
+// them; structural matches are consumed even when an octet exceeds 255
+// (the reference skips those without rescanning inside them).
+func (k *Kernel) matchIPs(text string, e *Extraction) {
+	n := len(text)
+	for p := 0; p < n; {
+		if !isDigitByte(text[p]) {
+			p++
+			continue
+		}
+		runEnd := p + 1
+		for runEnd < n && isDigitByte(text[runEnd]) {
+			runEnd++
+		}
+		if p > 0 && isWordByte(text[p-1]) {
+			p = runEnd
+			continue
+		}
+		if end, valid := ipAt(text, p, runEnd); end > 0 {
+			if valid {
+				e.IPs = append(e.IPs, text[p:end])
+			}
+			p = end
+		} else {
+			p = runEnd
+		}
+	}
+	e.IPs = dedupeInPlace(e.IPs)
+}
+
+// ipAt matches the quad starting at the digit run [s0,e0). end is 0 when
+// the structure fails; valid reports all octets <= 255.
+func ipAt(text string, s0, e0 int) (end int, valid bool) {
+	n := len(text)
+	if e0-s0 > 3 {
+		return 0, false
+	}
+	valid = octetOK(text[s0:e0])
+	q := e0
+	for oct := 0; oct < 3; oct++ {
+		if q >= n || text[q] != '.' {
+			return 0, false
+		}
+		q++
+		rs := q
+		for q < n && isDigitByte(text[q]) {
+			q++
+		}
+		if q == rs || q-rs > 3 {
+			return 0, false
+		}
+		if !octetOK(text[rs:q]) {
+			valid = false
+		}
+	}
+	if q < n && isWordByte(text[q]) {
+		return 0, false
+	}
+	return q, valid
+}
+
+func octetOK(digits string) bool {
+	v := 0
+	for i := 0; i < len(digits); i++ {
+		v = v*10 + int(digits[i]-'0')
+	}
+	return v <= 255
+}
+
+// scanCredits is the fused form of extractCredits: credit-lead anchors
+// replace creditLineRe's scan, and the per-line alias cleaning
+// (paren-stripping, connective replacement, comma split, trims) runs over
+// kernel scratch with offset tracking so accepted aliases can be sliced
+// from the original text.
+func (k *Kernel) scanCredits(text string, e *Extraction) {
+	fold := k.fold
+	lastEnd := 0
+	for _, h := range k.hits {
+		if anchorInfo[h.Pattern].kind != anchorCredit {
+			continue
+		}
+		start := h.End - len(anchorPats[h.Pattern])
+		if start < lastEnd {
+			continue // consumed by the previous credit match
+		}
+		if !lineStartReachable(fold, start) {
+			continue
+		}
+		// \s+(.+)$ — at least one whitespace byte, then the capture.
+		if h.End >= len(fold) || !isSpaceByte(fold[h.End]) {
+			continue
+		}
+		cs, ce, ok := dotPlusCapture(fold, skipSpace(fold, h.End), h.End+1)
+		if !ok {
+			continue
+		}
+		lastEnd = ce
+		k.creditRest(text, cs, ce, e)
+	}
+	e.CreditAliases = dedupeInPlace(e.CreditAliases)
+	e.CreditHandles = dedupeInPlace(e.CreditHandles)
+}
+
+// creditRest processes one credit line's capture text[cs:ce): handle
+// harvesting, then the alias-cleaning pipeline.
+func (k *Kernel) creditRest(text string, cs, ce int, e *Extraction) {
+	rest := text[cs:ce]
+	// creditHandleRe: @([A-Za-z0-9_]{2,}), non-overlapping.
+	for i := 0; i < len(rest); {
+		if rest[i] != '@' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(rest) && handleClass[rest[j]] {
+			j++
+		}
+		if j-i-1 >= 2 {
+			e.CreditHandles = append(e.CreditHandles, rest[i+1:j])
+			i = j
+		} else {
+			i++
+		}
+	}
+	// Pass A: strip \(@[A-Za-z0-9_]+\) spans (creditParenRe.ReplaceAll).
+	k.cleanA, k.offA = k.cleanA[:0], k.offA[:0]
+	for i := 0; i < len(rest); {
+		if rest[i] == '(' && i+2 < len(rest) && rest[i+1] == '@' {
+			j := i + 2
+			for j < len(rest) && handleClass[rest[j]] {
+				j++
+			}
+			if j > i+2 && j < len(rest) && rest[j] == ')' {
+				i = j + 1
+				continue
+			}
+		}
+		k.cleanA = append(k.cleanA, rest[i])
+		k.offA = append(k.offA, int32(cs+i))
+		i++
+	}
+	// Pass B: the strings.NewReplacer(", thanks to "→",", " and "→",",
+	// ", "→",") pass. At a shared start the earlier (longer) pattern wins,
+	// which is also the Replacer's priority rule.
+	k.cleanB, k.offB = k.cleanB[:0], k.offB[:0]
+	a := k.cleanA
+	for i := 0; i < len(a); {
+		var skip int
+		switch {
+		case a[i] == ',' && hasBytePrefix(a[i:], ", thanks to "):
+			skip = len(", thanks to ")
+		case a[i] == ' ' && hasBytePrefix(a[i:], " and "):
+			skip = len(" and ")
+		case a[i] == ',' && hasBytePrefix(a[i:], ", "):
+			skip = len(", ")
+		}
+		if skip > 0 {
+			k.cleanB = append(k.cleanB, ',')
+			k.offB = append(k.offB, -1)
+			i += skip
+			continue
+		}
+		k.cleanB = append(k.cleanB, a[i])
+		k.offB = append(k.offB, k.offA[i])
+		i++
+	}
+	// Split on ',' and trim each part: TrimSpace, Trim("."), TrimSpace.
+	b := k.cleanB
+	partStart := 0
+	for seg := 0; seg <= len(b); seg++ {
+		if seg < len(b) && b[seg] != ',' {
+			continue
+		}
+		lo, hi := trimSpaceRange(b, partStart, seg)
+		for lo < hi && b[lo] == '.' {
+			lo++
+		}
+		for hi > lo && b[hi-1] == '.' {
+			hi--
+		}
+		lo, hi = trimSpaceRange(b, lo, hi)
+		partStart = seg + 1
+		if lo >= hi || b[lo] == '@' {
+			continue
+		}
+		sub := partString(text, b, k.offB, lo, hi)
+		if validUsername(sub) {
+			e.CreditAliases = append(e.CreditAliases, sub)
+		}
+	}
+}
+
+func hasBytePrefix(b []byte, pre string) bool {
+	return len(b) >= len(pre) && string(b[:len(pre)]) == pre
+}
+
+// trimSpaceRange is strings.TrimSpace over a byte range.
+func trimSpaceRange(b []byte, lo, hi int) (int, int) {
+	for lo < hi {
+		r, size := utf8.DecodeRune(b[lo:hi])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		lo += size
+	}
+	for hi > lo {
+		r, size := utf8.DecodeLastRune(b[lo:hi])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		hi -= size
+	}
+	return lo, hi
+}
+
+// partString returns the part bytes as a string, slicing the original
+// text when the bytes map to a contiguous original span (the common
+// case) and copying otherwise (a part spanning a deleted paren clause).
+func partString(text string, b []byte, off []int32, lo, hi int) string {
+	o := off[lo]
+	contig := o >= 0
+	for i := lo + 1; contig && i < hi; i++ {
+		if off[i] != o+int32(i-lo) {
+			contig = false
+		}
+	}
+	if contig {
+		return text[o : o+int32(hi-lo)]
+	}
+	return string(b[lo:hi])
+}
+
+// dedupeInPlace is dedupe without the map: first occurrence wins, order
+// preserved, and the backing array is reused. Counts here are tiny.
+func dedupeInPlace(s []string) []string {
+	out := s[:0]
+	for _, v := range s {
+		dup := false
+		for j := 0; j < len(out) && !dup; j++ {
+			dup = out[j] == v
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzExtractKernelEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
 	$(GO) test -fuzz=FuzzScorerEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/classifier
+	$(GO) test -fuzz=FuzzDeltaCodecRoundTrip -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s -run NONE ./internal/store
 
 # Long chaos soak: the full chaos suites under the race detector, including
 # the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), the
@@ -65,9 +66,12 @@ resume-soak:
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
 
-# The classify/tokenize/extract hot-path set: cheap setup (no full-scale
-# study), so these also power the bench-check regression gate.
-HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused
+# The benchmarks behind the bench-check regression gate: the
+# classify/tokenize/extract hot paths (cheap setup) plus the delta
+# checkpoint pair, which share one delta-mode study built on first use —
+# the setup run is a few minutes, the gate keeps the <50 ms/<5 MB
+# incremental-day budget honest.
+HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused|CheckpointDelta|CheckpointCompaction
 
 # Faster spot check of the headline artifacts.
 bench-quick:

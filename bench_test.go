@@ -553,6 +553,122 @@ func BenchmarkCheckpointRoundTrip(b *testing.B) {
 	}
 }
 
+// --- Incremental checkpointing (delta mode) ---
+
+// deltaBench holds a second shared study, run once in delta-checkpoint
+// mode against an in-memory DeltaStore so the finished chain — the last
+// compaction full plus the deltas after it — is available to the delta
+// benchmarks. The study itself is kept for the compaction bench.
+var (
+	deltaBenchOnce  sync.Once
+	deltaBenchErr   error
+	deltaBenchS     *core.Study
+	deltaBenchBase  *store.Snapshot // the cut the measured delta applies to
+	deltaBenchDelta *store.Delta    // one steady-state incremental day
+)
+
+func deltaBenchSetup(b *testing.B) {
+	b.Helper()
+	deltaBenchOnce.Do(func() {
+		mem := store.NewMem()
+		s, err := core.NewStudy(core.StudyConfig{Seed: 1709, Scale: benchScale,
+			Checkpoint: &core.CheckpointConfig{Store: mem, EveryDays: 1, Mode: core.CheckpointDelta, CompactEvery: 8}})
+		if err == nil {
+			err = s.Run(context.Background())
+		}
+		if err != nil {
+			deltaBenchErr = err
+			return
+		}
+		base, deltas, err := mem.LoadChain()
+		if err != nil {
+			deltaBenchErr = err
+			return
+		}
+		if len(deltas) == 0 {
+			deltaBenchErr = fmt.Errorf("delta-mode run left no chain above full %d", base.Seq)
+			return
+		}
+		// Walk the chain to the cut just below its tip so the benchmark
+		// op applies exactly one incremental day.
+		pre, err := core.ApplyDeltaChain(base, deltas[:len(deltas)-1])
+		if err != nil {
+			deltaBenchErr = err
+			return
+		}
+		deltaBenchS, deltaBenchBase, deltaBenchDelta = s, pre, deltas[len(deltas)-1]
+	})
+	if deltaBenchErr != nil {
+		b.Fatal(deltaBenchErr)
+	}
+}
+
+// BenchmarkCheckpointDelta measures the per-day durability cost in delta
+// mode at the shared study's scale: encode one steady-state incremental
+// day to the delta wire format and decode it back — the write path a
+// durable run pays every day between compactions. (Applying the delta is
+// a resume-time cost; it rides on the full-snapshot decode measured by
+// CheckpointRoundTrip.) The bytes/op figure is the on-disk cost of the
+// incremental day; the benchmark fails outright if it exceeds the 5 MB
+// delta budget, and setup verifies the delta still reproduces the next
+// cut (a full snapshot at this scale is ~165 MB and ~759 ms).
+func BenchmarkCheckpointDelta(b *testing.B) {
+	deltaBenchSetup(b)
+	base, d := deltaBenchBase, deltaBenchDelta
+	enc, err := store.EncodeDelta(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(enc) > 5<<20 {
+		b.Fatalf("incremental day encoded to %d bytes, over the 5 MB budget", len(enc))
+	}
+	if _, err := core.ApplyDeltaChain(base, []*store.Delta{d}); err != nil {
+		b.Fatalf("measured delta does not apply to its base: %v", err)
+	}
+	printOnce("delta", fmt.Sprintf(
+		"Delta checkpoint: day %d←%d, %d components, %d bytes encoded at scale %g",
+		d.Seq, d.BaseSeq, len(d.Components), len(enc), benchScale))
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := store.EncodeDelta(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.DecodeDelta(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointCompaction measures what a delta chain pays every
+// CompactEvery cuts: building and encoding the full snapshot that rebases
+// the chain. Amortized over the cuts between fulls this bounds both
+// recovery replay length and total state-dir growth.
+func BenchmarkCheckpointCompaction(b *testing.B) {
+	deltaBenchSetup(b)
+	s := deltaBenchS
+	snap, err := s.Snapshot(2, 49)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := store.Encode(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := s.Snapshot(2, 49)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Encode(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStudyEndToEnd measures a complete miniature study per op.
 func BenchmarkStudyEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,300 @@
+// Incremental checkpoints: in CheckpointDelta mode the study persists a
+// full snapshot only at chain anchors and a compact diff against the
+// previous cut in between. Each provider journals its mutations (behind
+// SetDeltaJournal), so an unchanged component serializes as a bare
+// reference and a changed one as just its adds since the last cut.
+//
+// The invariant, enforced by differential tests at every layer: applying
+// a delta chain to its base reproduces, byte for byte, the full snapshot
+// an uninterrupted run would have written at the chain tip. That holds
+// because every provider keeps its persisted collections in a canonical
+// order (sorted slices, JSON's sorted map keys) and every delta apply
+// preserves that order.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/dedup"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/store"
+)
+
+// coreStateDelta is the study's own component diff. The funnel counters
+// and digest are tiny and change every day, so they travel wholesale; the
+// unbounded histories (dox records, period-1 docs, collected IDs) travel
+// as adds only — they are append-only between cuts.
+type coreStateDelta struct {
+	Collected       int                  `json:"collected"`
+	CollectedBySite map[string]int       `json:"collected_by_site"`
+	Flagged         [3]int               `json:"flagged_by_period"`
+	PollFailures    map[string]int       `json:"poll_failures,omitempty"`
+	MonitorFailures int                  `json:"monitor_failures,omitempty"`
+	DaysDone        int                  `json:"days_done"`
+	RunDigest       string               `json:"run_digest"`
+	AddedFlaggedP1  []string             `json:"added_flagged_p1,omitempty"`
+	AddedPastebinP1 []p1DocState         `json:"added_pastebin_p1,omitempty"`
+	AddedCollected  map[string]time.Time `json:"added_collected_ids,omitempty"`
+	AddedDoxes      []doxState           `json:"added_doxes,omitempty"`
+}
+
+// coreStateDelta cuts the study's own diff and re-anchors the core
+// journal at the current state.
+func (s *Study) coreStateDelta() coreStateDelta {
+	d := coreStateDelta{
+		Collected:       s.Collected,
+		CollectedBySite: s.CollectedBySite,
+		Flagged:         s.FlaggedByPeriod,
+		PollFailures:    s.PollFailures,
+		MonitorFailures: s.MonitorFailures,
+		DaysDone:        s.daysDone,
+		RunDigest:       s.runDigestHex(),
+	}
+	if len(s.addedFlaggedP1) > 0 {
+		d.AddedFlaggedP1 = append([]string(nil), s.addedFlaggedP1...)
+		sort.Strings(d.AddedFlaggedP1)
+	}
+	for _, doc := range s.pastebinP1Docs[s.ckptP1N:] {
+		d.AddedPastebinP1 = append(d.AddedPastebinP1, p1DocState{ID: doc.ID, Posted: doc.Posted})
+	}
+	if len(s.addedCollectedIDs) > 0 {
+		d.AddedCollected = make(map[string]time.Time, len(s.addedCollectedIDs))
+		for _, k := range s.addedCollectedIDs {
+			d.AddedCollected[k] = s.CollectedIDs[k]
+		}
+	}
+	for _, rec := range s.Doxes[s.ckptDoxN:] {
+		d.AddedDoxes = append(d.AddedDoxes, doxStateOf(rec))
+	}
+	s.resetCoreJournal()
+	return d
+}
+
+// resetCoreJournal re-anchors the core journal: the next cut diffs
+// against the study state as of now. Called after every cut (the full
+// image or the delta covers everything up to this point) and after a
+// restore (the restored state is the new base).
+func (s *Study) resetCoreJournal() {
+	s.addedFlaggedP1 = nil
+	s.addedCollectedIDs = nil
+	s.ckptDoxN = len(s.Doxes)
+	s.ckptP1N = len(s.pastebinP1Docs)
+}
+
+// Apply reconstructs the coreState at the delta's cut from the state at
+// its base. Mirrors coreState(): sorted FlaggedP1, commit-ordered
+// PastebinP1 and Doxes.
+func (d coreStateDelta) Apply(st *coreState) {
+	st.Collected = d.Collected
+	st.CollectedBySite = d.CollectedBySite
+	st.Flagged = d.Flagged
+	st.PollFailures = d.PollFailures
+	st.MonitorFailures = d.MonitorFailures
+	st.DaysDone = d.DaysDone
+	st.RunDigest = d.RunDigest
+	st.FlaggedP1 = mergeSortedUnique(st.FlaggedP1, d.AddedFlaggedP1)
+	st.PastebinP1 = append(st.PastebinP1, d.AddedPastebinP1...)
+	if len(d.AddedCollected) > 0 {
+		if st.CollectedIDs == nil {
+			st.CollectedIDs = make(map[string]time.Time, len(d.AddedCollected))
+		}
+		for k, v := range d.AddedCollected {
+			st.CollectedIDs[k] = v
+		}
+	}
+	st.Doxes = append(st.Doxes, d.AddedDoxes...)
+}
+
+// mergeSortedUnique merges two sorted string slices, dropping duplicates.
+// Returns a unchanged when b is empty, preserving its nil-ness.
+func mergeSortedUnique(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// drainJournals cuts and discards every provider delta plus the core
+// journal, re-anchoring all of them at the current state. Used by full
+// cuts (the image covers everything, so pending journal entries must not
+// leak into the next delta) and by restores.
+func (s *Study) drainJournals() {
+	s.Deduper.CutDelta()
+	s.Monitor.CutDelta()
+	s.crawlers.pastebin.CutDelta()
+	for _, b := range s.crawlers.boards {
+		b.CutDelta()
+	}
+	s.resetCoreJournal()
+}
+
+// buildDelta assembles the incremental checkpoint for the current cut:
+// one ComponentDelta per snapshot component, OpRef for the clean ones.
+// Drains every journal.
+func (s *Study) buildDelta(periodNo, day int) (*store.Delta, error) {
+	comps := make(map[string]store.ComponentDelta)
+	patch := func(key string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("core: delta component %s: %w", key, err)
+		}
+		comps[key] = store.ComponentDelta{Op: store.OpPatch, Payload: b}
+		return nil
+	}
+	// The core component always changes between cuts (days_done and the
+	// run digest advance every day), so it is always a patch.
+	if err := patch(compCore, s.coreStateDelta()); err != nil {
+		return nil, err
+	}
+	if dd, dirty := s.Deduper.CutDelta(); dirty {
+		if err := patch(compDedup, dd); err != nil {
+			return nil, err
+		}
+	} else {
+		comps[compDedup] = store.ComponentDelta{Op: store.OpRef}
+	}
+	if md, dirty := s.Monitor.CutDelta(); dirty {
+		if err := patch(compMonitor, md); err != nil {
+			return nil, err
+		}
+	} else {
+		comps[compMonitor] = store.ComponentDelta{Op: store.OpRef}
+	}
+	if pd, dirty := s.crawlers.pastebin.CutDelta(); dirty {
+		if err := patch(compPastebin, pd); err != nil {
+			return nil, err
+		}
+	} else {
+		comps[compPastebin] = store.ComponentDelta{Op: store.OpRef}
+	}
+	for _, b := range s.crawlers.boards {
+		key := "crawler/" + b.SiteName
+		if bd, dirty := b.CutDelta(); dirty {
+			if err := patch(key, bd); err != nil {
+				return nil, err
+			}
+		} else {
+			comps[key] = store.ComponentDelta{Op: store.OpRef}
+		}
+	}
+	return &store.Delta{
+		Seq:     s.ckptSeq,
+		BaseSeq: s.ckptSeq - 1,
+		Meta: store.Meta{
+			Seed: s.Cfg.Seed, Scale: s.Cfg.Scale,
+			VirtualTime: s.Clock.Now(), Period: periodNo, Day: day,
+		},
+		Components: comps,
+	}, nil
+}
+
+// patchComponent applies one typed component patch to its decoded base
+// and re-marshals it. S is the component's state type, D its delta.
+func patchComponent[S any, D interface{ Apply(*S) }](key string, base, patch json.RawMessage) (json.RawMessage, error) {
+	var st S
+	if err := json.Unmarshal(base, &st); err != nil {
+		return nil, fmt.Errorf("core: delta apply %s: base: %w", key, err)
+	}
+	var d D
+	if err := json.Unmarshal(patch, &d); err != nil {
+		return nil, fmt.Errorf("core: delta apply %s: patch: %w", key, err)
+	}
+	d.Apply(&st)
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta apply %s: %w", key, err)
+	}
+	return b, nil
+}
+
+// applyComponentPatch dispatches an OpPatch payload to the component's
+// typed apply.
+func applyComponentPatch(key string, base, patch json.RawMessage) (json.RawMessage, error) {
+	switch {
+	case key == compCore:
+		return patchComponent[coreState, coreStateDelta](key, base, patch)
+	case key == compDedup:
+		return patchComponent[dedup.State, dedup.Delta](key, base, patch)
+	case key == compMonitor:
+		return patchComponent[monitor.State, monitor.Delta](key, base, patch)
+	case key == compPastebin:
+		return patchComponent[crawler.PastebinState, crawler.PastebinDelta](key, base, patch)
+	case strings.HasPrefix(key, "crawler/"):
+		return patchComponent[crawler.BoardState, crawler.BoardDelta](key, base, patch)
+	default:
+		return nil, fmt.Errorf("core: delta apply: unknown component %q", key)
+	}
+}
+
+// ApplyDeltaChain folds a delta chain into its base snapshot, producing
+// the snapshot at the chain tip. The result is byte-for-byte the full
+// snapshot an uninterrupted run would have written there. An empty chain
+// returns the base unchanged.
+func ApplyDeltaChain(base *store.Snapshot, deltas []*store.Delta) (*store.Snapshot, error) {
+	snap := base
+	for _, d := range deltas {
+		if d.BaseSeq != snap.Seq {
+			return nil, fmt.Errorf("core: delta seq %d applies to base %d, have %d", d.Seq, d.BaseSeq, snap.Seq)
+		}
+		next := &store.Snapshot{
+			Seq: d.Seq, Meta: d.Meta,
+			Components: make(map[string]json.RawMessage, len(snap.Components)),
+		}
+		for key, raw := range snap.Components {
+			cd, ok := d.Components[key]
+			if !ok {
+				return nil, fmt.Errorf("core: delta %d drops component %q", d.Seq, key)
+			}
+			switch cd.Op {
+			case store.OpRef:
+				next.Components[key] = raw
+			case store.OpFull:
+				next.Components[key] = cd.Payload
+			case store.OpPatch:
+				patched, err := applyComponentPatch(key, raw, cd.Payload)
+				if err != nil {
+					return nil, err
+				}
+				next.Components[key] = patched
+			default:
+				return nil, fmt.Errorf("core: delta %d component %q: unknown op %q", d.Seq, key, cd.Op)
+			}
+		}
+		// A component absent from the base must arrive wholesale: there
+		// is nothing to reference or patch.
+		for key, cd := range d.Components {
+			if _, ok := snap.Components[key]; ok {
+				continue
+			}
+			if cd.Op != store.OpFull {
+				return nil, fmt.Errorf("core: delta %d component %q: op %q without a base", d.Seq, key, cd.Op)
+			}
+			next.Components[key] = cd.Payload
+		}
+		snap = next
+	}
+	return snap, nil
+}

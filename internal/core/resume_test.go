@@ -138,7 +138,13 @@ func (w *stopAfter) Write(p []byte) (int, error) {
 
 func newDurableStudy(t *testing.T, cfg core.StudyConfig, st store.Store) *core.Study {
 	t.Helper()
-	cfg.Checkpoint = &core.CheckpointConfig{Store: st, EveryDays: 1}
+	return newDurableStudyCkpt(t, cfg, &core.CheckpointConfig{Store: st, EveryDays: 1})
+}
+
+func newDurableStudyCkpt(t *testing.T, cfg core.StudyConfig, ck *core.CheckpointConfig) *core.Study {
+	t.Helper()
+	cp := *ck
+	cfg.Checkpoint = &cp
 	s, err := core.NewStudy(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -151,9 +157,16 @@ func newDurableStudy(t *testing.T, cfg core.StudyConfig, st store.Store) *core.S
 // runs to completion. Returns the completed study.
 func runChain(t *testing.T, cfg core.StudyConfig, st store.Store, cuts []int) *core.Study {
 	t.Helper()
+	return runChainCkpt(t, cfg, &core.CheckpointConfig{Store: st, EveryDays: 1}, cuts)
+}
+
+// runChainCkpt is runChain with an explicit checkpoint policy (mode,
+// cadence, compaction), shared with the delta-mode suite.
+func runChainCkpt(t *testing.T, cfg core.StudyConfig, ck *core.CheckpointConfig, cuts []int) *core.Study {
+	t.Helper()
 	prev := 0
 	for _, cut := range cuts {
-		s := newDurableStudy(t, cfg, st)
+		s := newDurableStudyCkpt(t, cfg, ck)
 		info, err := s.Resume()
 		if err != nil {
 			t.Fatal(err)
@@ -172,7 +185,7 @@ func runChain(t *testing.T, cfg core.StudyConfig, st store.Store, cuts []int) *c
 		s.Close()
 		prev = cut
 	}
-	s := newDurableStudy(t, cfg, st)
+	s := newDurableStudyCkpt(t, cfg, ck)
 	info, err := s.Resume()
 	if err != nil {
 		t.Fatal(err)
@@ -351,8 +364,18 @@ func TestFileStoreDurableRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	scanStateDirForPlants(t, dir, s)
+}
+
+// scanStateDirForPlants reads every byte the store wrote under dir —
+// full snapshots, delta files, commit log — and asserts none of the
+// planted PII (victim names, emails, phones, IPs, raw dox text lines)
+// made it to disk. The study must have run in-process (uninterrupted) so
+// its DoxRecords still hold the raw text to plant-check against.
+func scanStateDirForPlants(t *testing.T, dir string, s *core.Study) {
+	t.Helper()
 	var blob []byte
-	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
 			return err
 		}
@@ -502,9 +525,15 @@ func TestResumeSoak(t *testing.T) {
 			cuts = append(cuts, c)
 		}
 		sort.Ints(cuts)
-		t.Logf("iter %d: parallelism=%d mild=%v cuts=%v", iter, parallelism, mild, cuts)
+		ck := &core.CheckpointConfig{Store: store.NewMem(), EveryDays: 1}
+		if rng.Intn(2) == 1 {
+			ck.Mode = core.CheckpointDelta
+			ck.CompactEvery = 1 + rng.Intn(8)
+		}
+		t.Logf("iter %d: parallelism=%d mild=%v cuts=%v mode=%q compact=%d",
+			iter, parallelism, mild, cuts, ck.Mode, ck.CompactEvery)
 		base := getBaseline(t, mild)
-		s := runChain(t, resumeCfg(parallelism, mild), store.NewMem(), cuts)
+		s := runChainCkpt(t, resumeCfg(parallelism, mild), ck, cuts)
 		compareStudies(t, base.s, s, base.tables, renderAnalyses(s))
 	}
 }

@@ -169,23 +169,28 @@ func (s *Study) coreState() coreState {
 	}
 	st.Doxes = make([]doxState, 0, len(s.Doxes))
 	for _, d := range s.Doxes {
-		ds := doxState{
-			DocID: d.DocID, Site: d.Site, Posted: d.Posted, Period: d.Period,
-			TextDigest: d.TextDigest, Labels: d.Labels, Geo: d.Geo,
-		}
-		if ex := d.Extraction; ex != nil {
-			if len(ex.Accounts) > 0 {
-				ds.Accounts = make(map[string]string, len(ex.Accounts))
-				for n, u := range ex.Accounts {
-					ds.Accounts[n.Slug()] = u
-				}
-			}
-			ds.CreditAliases = ex.CreditAliases
-			ds.CreditHandles = ex.CreditHandles
-		}
-		st.Doxes = append(st.Doxes, ds)
+		st.Doxes = append(st.Doxes, doxStateOf(d))
 	}
 	return st
+}
+
+// doxStateOf projects one DoxRecord into its persisted (§3.3-safe) form.
+func doxStateOf(d *DoxRecord) doxState {
+	ds := doxState{
+		DocID: d.DocID, Site: d.Site, Posted: d.Posted, Period: d.Period,
+		TextDigest: d.TextDigest, Labels: d.Labels, Geo: d.Geo,
+	}
+	if ex := d.Extraction; ex != nil {
+		if len(ex.Accounts) > 0 {
+			ds.Accounts = make(map[string]string, len(ex.Accounts))
+			for n, u := range ex.Accounts {
+				ds.Accounts[n.Slug()] = u
+			}
+		}
+		ds.CreditAliases = ex.CreditAliases
+		ds.CreditHandles = ex.CreditHandles
+	}
+	return ds
 }
 
 // Snapshot assembles a full checkpoint of the study at the given day
@@ -351,6 +356,10 @@ func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
 	s.resumed = true
 	s.resumeP = snap.Meta.Period
 	s.resumeDay = snap.Meta.Day
+	// The restored state is the new delta base: the next cut diffs
+	// against it, not against anything journaled before the restore.
+	// (Provider Restores reset their own journals.)
+	s.resetCoreJournal()
 	s.m.reseed(s)
 	return nil
 }
@@ -374,7 +383,23 @@ func (s *Study) Resume() (ResumeInfo, error) {
 		return ResumeInfo{}, errors.New("core: Resume requires StudyConfig.Checkpoint")
 	}
 	start := time.Now()
-	snap, err := ck.Store.LoadSnapshot()
+	var snap *store.Snapshot
+	var err error
+	chainLen := 0
+	if ds, ok := ck.Store.(store.DeltaStore); ok {
+		// Replay full-snapshot + delta chain. A dir written in full mode
+		// simply yields an empty chain; a dir written in delta mode
+		// resumed by a full-mode study still reconstructs the tip.
+		var base *store.Snapshot
+		var deltas []*store.Delta
+		base, deltas, err = ds.LoadChain()
+		if err == nil {
+			snap, err = ApplyDeltaChain(base, deltas)
+			chainLen = len(deltas)
+		}
+	} else {
+		snap, err = ck.Store.LoadSnapshot()
+	}
 	if errors.Is(err, store.ErrNoSnapshot) {
 		return ResumeInfo{}, nil
 	}
@@ -383,6 +408,11 @@ func (s *Study) Resume() (ResumeInfo, error) {
 	}
 	if err := s.RestoreSnapshot(snap); err != nil {
 		return ResumeInfo{}, err
+	}
+	if s.deltaMode {
+		s.haveBase = true
+		s.cutsSinceFull = chainLen
+		s.m.chainLength.Set(float64(chainLen))
 	}
 	s.m.checkpointRestore.Observe(time.Since(start).Seconds())
 	// Cross-check against the commit log: the day entry matching the
@@ -432,11 +462,19 @@ func (s *Study) appendDayEntry(periodNo, day int) error {
 	})
 }
 
-// writeCheckpoint persists a snapshot at the current day boundary and logs
-// it, feeding the checkpoint latency/size histograms.
+// writeCheckpoint persists a checkpoint at the current day boundary and
+// logs it. In delta mode a cut with an anchored chain shorter than
+// CompactEvery writes an incremental delta; the first cut and every
+// CompactEvery-th thereafter write a full snapshot (compaction), which
+// bounds the chain any resume has to replay.
 func (s *Study) writeCheckpoint(periodNo, day int) error {
 	ck := s.ckpt()
 	s.ckptSeq++
+	if s.deltaMode && s.haveBase && s.cutsSinceFull < ck.CompactEvery {
+		if ds, ok := ck.Store.(store.DeltaStore); ok {
+			return s.writeDeltaCheckpoint(ds, periodNo, day)
+		}
+	}
 	snap, err := s.Snapshot(periodNo, day)
 	if err != nil {
 		return err
@@ -449,8 +487,39 @@ func (s *Study) writeCheckpoint(periodNo, day int) error {
 	s.m.checkpointWrite.Observe(time.Since(start).Seconds())
 	s.m.checkpointBytes.Observe(float64(n))
 	s.CheckpointsWritten++
+	if s.deltaMode {
+		// The full image covers every journaled mutation; drain so the
+		// next delta diffs against this cut, and re-anchor the chain.
+		s.drainJournals()
+		s.haveBase = true
+		s.cutsSinceFull = 0
+		s.m.chainLength.Set(0)
+	}
 	return ck.Store.AppendEntry(store.Entry{
 		Kind: store.KindSnapshot, Seq: s.ckptSeq, Period: periodNo, Day: day,
+		VTime: s.Clock.Now(), Digest: s.runDigestHex(), Bytes: n,
+	})
+}
+
+// writeDeltaCheckpoint persists one incremental cut: a diff against the
+// previous cut (full or delta), draining every provider journal.
+func (s *Study) writeDeltaCheckpoint(ds store.DeltaStore, periodNo, day int) error {
+	d, err := s.buildDelta(periodNo, day)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n, err := ds.SaveDelta(d)
+	if err != nil {
+		return fmt.Errorf("core: delta checkpoint: %w", err)
+	}
+	s.m.deltaWrite.Observe(time.Since(start).Seconds())
+	s.m.deltaBytes.Observe(float64(n))
+	s.cutsSinceFull++
+	s.m.chainLength.Set(float64(s.cutsSinceFull))
+	s.CheckpointsWritten++
+	return ds.AppendEntry(store.Entry{
+		Kind: store.KindDelta, Seq: s.ckptSeq, Base: d.BaseSeq, Period: periodNo, Day: day,
 		VTime: s.Clock.Now(), Digest: s.runDigestHex(), Bytes: n,
 	})
 }

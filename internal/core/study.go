@@ -107,6 +107,20 @@ type StudyConfig struct {
 	Telemetry *telemetry.Hub
 }
 
+// CheckpointMode selects how checkpoints are encoded.
+type CheckpointMode string
+
+const (
+	// CheckpointFull writes a complete snapshot at every cut (the
+	// default). Any store.Store backend works.
+	CheckpointFull CheckpointMode = "full"
+	// CheckpointDelta writes a full snapshot only at the chain anchors
+	// (the first cut, and every CompactEvery cuts thereafter) and a
+	// compact diff against the previous cut in between. Requires a
+	// backend implementing store.DeltaStore.
+	CheckpointDelta CheckpointMode = "delta"
+)
+
 // CheckpointConfig wires a persistence backend into the study.
 type CheckpointConfig struct {
 	// Store receives snapshots and commit-log entries. Required.
@@ -114,6 +128,12 @@ type CheckpointConfig struct {
 	// EveryDays is the snapshot cadence in study days; 0 means every day.
 	// Period ends and stop requests always snapshot regardless of cadence.
 	EveryDays int
+	// Mode selects full or delta encoding; empty means CheckpointFull.
+	Mode CheckpointMode
+	// CompactEvery bounds the delta chain: after this many consecutive
+	// delta cuts the next cut is a full snapshot (compaction). 0 means
+	// the default of 8. Ignored outside CheckpointDelta mode.
+	CompactEvery int
 }
 
 // ErrInvalidConfig is wrapped by every StudyConfig.Validate failure.
@@ -151,6 +171,18 @@ func (c StudyConfig) Validate() error {
 		if ck.EveryDays < 0 {
 			return bad("Checkpoint.EveryDays", ck.EveryDays)
 		}
+		if ck.CompactEvery < 0 {
+			return bad("Checkpoint.CompactEvery", ck.CompactEvery)
+		}
+		switch ck.Mode {
+		case "", CheckpointFull:
+		case CheckpointDelta:
+			if _, ok := ck.Store.(store.DeltaStore); !ok {
+				return fmt.Errorf("%w: Checkpoint.Mode = delta requires a store implementing store.DeltaStore", ErrInvalidConfig)
+			}
+		default:
+			return bad("Checkpoint.Mode", ck.Mode)
+		}
 	}
 	return nil
 }
@@ -161,7 +193,15 @@ func (c StudyConfig) withDefaults() StudyConfig {
 		if every < 1 {
 			every = 1
 		}
-		c.Checkpoint = &CheckpointConfig{Store: ck.Store, EveryDays: every}
+		mode := ck.Mode
+		if mode == "" {
+			mode = CheckpointFull
+		}
+		compact := ck.CompactEvery
+		if compact < 1 {
+			compact = 8
+		}
+		c.Checkpoint = &CheckpointConfig{Store: ck.Store, EveryDays: every, Mode: mode, CompactEvery: compact}
 	}
 	if c.Scale <= 0 {
 		c.Scale = 0.05
@@ -281,6 +321,17 @@ type Study struct {
 	resumed   bool
 	resumeP   int // period of the restored snapshot
 	resumeDay int // day (within resumeP) of the restored snapshot
+
+	// Delta-checkpoint state; see delta.go. The core journal tracks what
+	// changed in the study's own component since the last cut; providers
+	// keep their own journals behind SetDeltaJournal.
+	deltaMode         bool     // Checkpoint.Mode == CheckpointDelta
+	haveBase          bool     // a full snapshot anchors the current chain
+	cutsSinceFull     int      // delta cuts since the last full (compaction trigger)
+	ckptDoxN          int      // len(Doxes) at the last cut
+	ckptP1N           int      // len(pastebinP1Docs) at the last cut
+	addedFlaggedP1    []string // flaggedP1 keys added since the last cut
+	addedCollectedIDs []string // CollectedIDs keys added since the last cut
 }
 
 // ErrStopped is returned by Run after RequestStop: the study checkpointed
@@ -452,6 +503,17 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Parallelism: cfg.Parallelism,
 		Telemetry:   reg,
 	})
+	// In delta mode every stateful provider journals its mutations so a
+	// cut serializes only what changed since the previous one.
+	if ck := s.ckpt(); ck != nil && ck.Mode == CheckpointDelta {
+		s.deltaMode = true
+		s.Deduper.SetDeltaJournal(true)
+		s.Monitor.SetDeltaJournal(true)
+		s.crawlers.pastebin.SetDeltaJournal(true)
+		for _, b := range s.crawlers.boards {
+			b.SetDeltaJournal(true)
+		}
+	}
 	return s, nil
 }
 
@@ -820,7 +882,13 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 	s.CollectedBySite[doc.Site]++
 	s.m.collected.With(doc.Site).Inc()
 	if s.CollectedIDs != nil {
-		s.CollectedIDs[doc.Site+"/"+doc.ID] = doc.Posted
+		key := doc.Site + "/" + doc.ID
+		if s.deltaMode {
+			if _, ok := s.CollectedIDs[key]; !ok {
+				s.addedCollectedIDs = append(s.addedCollectedIDs, key)
+			}
+		}
+		s.CollectedIDs[key] = doc.Posted
 	}
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: doc.Site, ID: doc.ID, Posted: doc.Posted})
@@ -830,8 +898,11 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 	}
 	s.FlaggedByPeriod[periodNo]++
 	s.m.flagged.With(strconv.Itoa(periodNo)).Inc()
-	if periodNo == 1 && doc.Site == "pastebin" {
+	if periodNo == 1 && doc.Site == "pastebin" && !s.flaggedP1[doc.ID] {
 		s.flaggedP1[doc.ID] = true
+		if s.deltaMode {
+			s.addedFlaggedP1 = append(s.addedFlaggedP1, doc.ID)
+		}
 	}
 	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, pre.Text, pre.Extraction.AccountSetKey())
 	if verdict != dedup.Unique {

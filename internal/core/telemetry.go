@@ -62,6 +62,13 @@ type studyMetrics struct {
 	checkpointWrite   *telemetry.Histogram // doxmeter_checkpoint_write_seconds
 	checkpointRestore *telemetry.Histogram // doxmeter_checkpoint_restore_seconds
 	checkpointBytes   *telemetry.Histogram // doxmeter_checkpoint_bytes
+
+	// Delta-mode instruments: per-cut incremental write latency and
+	// size, plus the live length of the delta chain (resets to 0 at
+	// every compaction full).
+	deltaWrite  *telemetry.Histogram // doxmeter_checkpoint_delta_write_seconds
+	deltaBytes  *telemetry.Histogram // doxmeter_checkpoint_delta_bytes
+	chainLength *telemetry.Gauge     // doxmeter_checkpoint_chain_length
 }
 
 // checkpointSizeBuckets span 4 KiB to 16 MiB — a smoke-test study
@@ -124,6 +131,13 @@ func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
 		checkpointBytes: reg.NewHistogram("doxmeter_checkpoint_bytes",
 			"Encoded size of one checkpoint snapshot in bytes.",
 			checkpointSizeBuckets).With(),
+		deltaWrite: reg.NewHistogram("doxmeter_checkpoint_delta_write_seconds",
+			"Wall-clock duration of one incremental (delta) checkpoint write.", nil).With(),
+		deltaBytes: reg.NewHistogram("doxmeter_checkpoint_delta_bytes",
+			"Encoded size of one incremental (delta) checkpoint in bytes.",
+			checkpointSizeBuckets).With(),
+		chainLength: reg.NewGauge("doxmeter_checkpoint_chain_length",
+			"Delta cuts since the last full snapshot; a resume replays this many deltas.").With(),
 	}
 }
 

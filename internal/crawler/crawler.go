@@ -719,6 +719,13 @@ type Pastebin struct {
 	mu     sync.Mutex
 	cursor int64
 	seen   map[string]bool
+
+	// Delta-checkpoint journal: paste keys committed since the last cut,
+	// kept only while journaling is enabled. The seen set is add-only, so
+	// new keys plus the cursor fully describe one cut's worth of change.
+	journalOn     bool
+	jSeen         []string
+	lastCutCursor int64
 }
 
 // NewPastebin builds the crawler; baseURL has no trailing slash.
@@ -821,8 +828,11 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 				progressed = true
 			}
 			c.mu.Lock()
-			if res.fetched {
+			if res.fetched && !c.seen[m.Key] {
 				c.seen[m.Key] = true
+				if c.journalOn {
+					c.jSeen = append(c.jSeen, m.Key)
+				}
 			}
 			if m.Date > c.cursor {
 				c.cursor = m.Date
@@ -883,6 +893,97 @@ func (c *Pastebin) Restore(st PastebinState) {
 	defer c.mu.Unlock()
 	c.cursor = st.Cursor
 	c.seen = seen
+	c.jSeen = nil
+	c.lastCutCursor = st.Cursor
+}
+
+// PastebinDelta is the Pastebin crawler's incremental checkpoint
+// payload: the cursor wholesale plus the paste keys committed since the
+// previous cut. Applying it to the previous cut's PastebinState
+// reproduces the next PastebinState exactly.
+type PastebinDelta struct {
+	Cursor int64    `json:"cursor"`
+	Added  []string `json:"added,omitempty"` // sorted
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling for delta
+// checkpoints. Enabling starts an empty journal; the non-durable path
+// keeps journaling off and pays nothing per commit.
+func (c *Pastebin) SetDeltaJournal(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journalOn = on
+	c.jSeen = nil
+	c.lastCutCursor = c.cursor
+}
+
+// CutDelta drains the journal into a delta covering every mutation since
+// the previous cut, and reports whether anything changed. Full-snapshot
+// cuts call it too (discarding the result) so the next delta's base is
+// the snapshot just written.
+func (c *Pastebin) CutDelta() (PastebinDelta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dirty := len(c.jSeen) > 0 || c.cursor != c.lastCutCursor
+	d := PastebinDelta{Cursor: c.cursor}
+	if len(c.jSeen) > 0 {
+		d.Added = make([]string, len(c.jSeen))
+		copy(d.Added, c.jSeen)
+		sort.Strings(d.Added)
+	}
+	c.jSeen = nil
+	c.lastCutCursor = c.cursor
+	return d, dirty
+}
+
+// Apply folds a delta into a prior PastebinState in place, producing the
+// state the delta was cut from, byte-identical under JSON marshaling to
+// a Snapshot taken at the cut (both keep Seen sorted).
+func (d PastebinDelta) Apply(st *PastebinState) {
+	st.Cursor = d.Cursor
+	st.Seen = mergeSortedStrings(st.Seen, d.Added)
+}
+
+// mergeSortedStrings merges two sorted, mutually disjoint string slices
+// into one sorted slice, preserving the non-nil-ness of a (an empty
+// committed state marshals as [], not null).
+func mergeSortedStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeSortedInt64 is mergeSortedStrings for post numbers.
+func mergeSortedInt64(a, b []int64) []int64 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Board incrementally crawls one board of a chan-style JSON API.
@@ -895,6 +996,14 @@ type Board struct {
 	mu       sync.Mutex
 	lastMod  map[int64]int64 // thread no -> last_modified handled
 	seenPost map[int64]bool
+
+	// Delta-checkpoint journal: threads whose watermark moved and posts
+	// committed since the last cut. seenPost is add-only and lastMod
+	// entries are never removed, so these two sets fully describe one
+	// cut's worth of change.
+	journalOn bool
+	jThreads  map[int64]bool
+	jPosts    []int64
 }
 
 // NewBoard builds a board crawler. siteName labels collected docs (e.g.
@@ -995,12 +1104,18 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 				continue
 			}
 			c.seenPost[p.No] = true
+			if c.journalOn {
+				c.jPosts = append(c.jPosts, p.No)
+			}
 			out = append(out, Doc{
 				Site: c.SiteName, ID: fmt.Sprintf("%s-%d", c.Board, p.No),
 				Body: p.Com, HTML: true, Posted: time.Unix(p.Time, 0).UTC(),
 			})
 		}
 		c.lastMod[cd.no] = cd.lastMod
+		if c.journalOn {
+			c.jThreads[cd.no] = true
+		}
 		c.mu.Unlock()
 	}
 	return out, nil
@@ -1073,4 +1188,71 @@ func (c *Board) Restore(st BoardState) {
 	defer c.mu.Unlock()
 	c.lastMod = lastMod
 	c.seenPost = seenPost
+	if c.journalOn {
+		c.jThreads = make(map[int64]bool)
+	}
+	c.jPosts = nil
+}
+
+// BoardDelta is the Board crawler's incremental checkpoint payload: the
+// watermarks of threads touched since the previous cut and the posts
+// committed since it. Applying it to the previous cut's BoardState
+// reproduces the next BoardState exactly.
+type BoardDelta struct {
+	LastMod    map[int64]int64 `json:"last_mod,omitempty"`
+	AddedPosts []int64         `json:"added_posts,omitempty"` // sorted
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling for delta
+// checkpoints. Enabling starts an empty journal; the non-durable path
+// keeps journaling off and pays nothing per commit.
+func (c *Board) SetDeltaJournal(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journalOn = on
+	if on {
+		c.jThreads = make(map[int64]bool)
+	} else {
+		c.jThreads = nil
+	}
+	c.jPosts = nil
+}
+
+// CutDelta drains the journal into a delta covering every mutation since
+// the previous cut, and reports whether anything changed. Full-snapshot
+// cuts call it too (discarding the result) so the next delta's base is
+// the snapshot just written.
+func (c *Board) CutDelta() (BoardDelta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dirty := len(c.jThreads) > 0 || len(c.jPosts) > 0
+	var d BoardDelta
+	if len(c.jThreads) > 0 {
+		d.LastMod = make(map[int64]int64, len(c.jThreads))
+		for no := range c.jThreads {
+			d.LastMod[no] = c.lastMod[no]
+		}
+		c.jThreads = make(map[int64]bool)
+	}
+	if len(c.jPosts) > 0 {
+		d.AddedPosts = make([]int64, len(c.jPosts))
+		copy(d.AddedPosts, c.jPosts)
+		sort.Slice(d.AddedPosts, func(i, j int) bool { return d.AddedPosts[i] < d.AddedPosts[j] })
+		c.jPosts = nil
+	}
+	return d, dirty
+}
+
+// Apply folds a delta into a prior BoardState in place, producing the
+// state the delta was cut from, byte-identical under JSON marshaling to
+// a Snapshot taken at the cut (JSON object keys marshal sorted; both
+// keep SeenPosts sorted).
+func (d BoardDelta) Apply(st *BoardState) {
+	if st.LastMod == nil && len(d.LastMod) > 0 {
+		st.LastMod = make(map[int64]int64, len(d.LastMod))
+	}
+	for no, lm := range d.LastMod {
+		st.LastMod[no] = lm
+	}
+	st.SeenPosts = mergeSortedInt64(st.SeenPosts, d.AddedPosts)
 }

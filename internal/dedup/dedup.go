@@ -79,6 +79,15 @@ type Deduper struct {
 	bodies   map[[32]byte]string // body hash -> first doc ID
 	accounts map[string]string   // digest of account-set key -> first doc ID
 	stats    Stats
+
+	// Delta-checkpoint journal: keys added since the last cut, kept only
+	// while journaling is enabled. Both indexes are add-only (first doc
+	// ID wins, entries never change or disappear), so a key list plus the
+	// current Stats fully describes one cut's worth of change.
+	journalOn   bool
+	jBodies     [][32]byte
+	jAccounts   []string
+	lastCutStat Stats
 }
 
 // New returns an empty Deduper.
@@ -112,6 +121,9 @@ func (d *Deduper) Check(docID, body, accountSetKey string) (Verdict, string) {
 		return ExactDuplicate, first
 	}
 	d.bodies[h] = docID
+	if d.journalOn {
+		d.jBodies = append(d.jBodies, h)
+	}
 	if accountSetKey != "" {
 		k := accountDigest(accountSetKey)
 		if first, ok := d.accounts[k]; ok {
@@ -119,6 +131,9 @@ func (d *Deduper) Check(docID, body, accountSetKey string) (Verdict, string) {
 			return AccountDuplicate, first
 		}
 		d.accounts[k] = docID
+		if d.journalOn {
+			d.jAccounts = append(d.jAccounts, k)
+		}
 	}
 	d.stats.Unique++
 	return Unique, ""
@@ -212,5 +227,78 @@ func (d *Deduper) Restore(st State) error {
 	d.bodies = bodies
 	d.accounts = accounts
 	d.stats = st.Stats
+	d.jBodies = nil
+	d.jAccounts = nil
+	d.lastCutStat = st.Stats
 	return nil
+}
+
+// Delta is the Deduper's incremental checkpoint payload: everything
+// added since the previous cut, plus the (small) verdict counters
+// wholesale. Applying it to the previous cut's State reproduces the
+// next State exactly.
+type Delta struct {
+	AddedBodies   map[string]string `json:"added_bodies,omitempty"`
+	AddedAccounts map[string]string `json:"added_accounts,omitempty"`
+	Stats         Stats             `json:"stats"`
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling for delta
+// checkpoints. Enabling starts an empty journal; the non-durable path
+// keeps journaling off and pays nothing per Check.
+func (d *Deduper) SetDeltaJournal(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journalOn = on
+	d.jBodies = nil
+	d.jAccounts = nil
+	d.lastCutStat = d.stats
+}
+
+// CutDelta drains the journal into a Delta covering every mutation since
+// the previous cut (or since journaling was enabled/state restored), and
+// reports whether anything changed. Call it on full-snapshot cuts too —
+// discarding the result — so the next delta's base is the snapshot just
+// written.
+func (d *Deduper) CutDelta() (Delta, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dirty := len(d.jBodies) > 0 || len(d.jAccounts) > 0 || d.stats != d.lastCutStat
+	delta := Delta{Stats: d.stats}
+	if len(d.jBodies) > 0 {
+		delta.AddedBodies = make(map[string]string, len(d.jBodies))
+		for _, h := range d.jBodies {
+			delta.AddedBodies[hex.EncodeToString(h[:])] = d.bodies[h]
+		}
+	}
+	if len(d.jAccounts) > 0 {
+		delta.AddedAccounts = make(map[string]string, len(d.jAccounts))
+		for _, k := range d.jAccounts {
+			delta.AddedAccounts[k] = d.accounts[k]
+		}
+	}
+	d.jBodies = nil
+	d.jAccounts = nil
+	d.lastCutStat = d.stats
+	return delta, dirty
+}
+
+// Apply folds a delta into a prior State in place, producing the state
+// the delta was cut from. Marshaling the result is byte-identical to
+// marshaling a Snapshot taken at the cut (map iteration order is
+// irrelevant: JSON object keys marshal sorted).
+func (delta Delta) Apply(st *State) {
+	if st.Bodies == nil && len(delta.AddedBodies) > 0 {
+		st.Bodies = make(map[string]string, len(delta.AddedBodies))
+	}
+	for k, id := range delta.AddedBodies {
+		st.Bodies[k] = id
+	}
+	if st.Accounts == nil && len(delta.AddedAccounts) > 0 {
+		st.Accounts = make(map[string]string, len(delta.AddedAccounts))
+	}
+	for k, id := range delta.AddedAccounts {
+		st.Accounts[k] = id
+	}
+	st.Stats = delta.Stats
 }

@@ -138,6 +138,14 @@ type Monitor struct {
 	requests    int64
 	parallelism int
 
+	// Delta-checkpoint journal: account keys whose history was created or
+	// mutated since the last cut, kept only while journaling is enabled.
+	// Histories are never removed, so upserting the journaled keys onto
+	// the previous cut's state reproduces the current one.
+	journalOn       bool
+	journal         map[string]bool
+	lastCutRequests int64
+
 	// Sweep instruments; nil (no-op) until Instrument is called.
 	sweepsC  *telemetry.Counter
 	scrapesC *telemetry.Counter
@@ -277,6 +285,9 @@ func (m *Monitor) TrackUntil(ref netid.Ref, seenAt, endAt time.Time) {
 		return
 	}
 	m.histories[key] = &History{Ref: ref, DoxSeenAt: seenAt, nextDue: seenAt, endAt: endAt, Activity: -1}
+	if m.journalOn {
+		m.journal[key] = true
+	}
 }
 
 // TrackControl begins monitoring an Instagram account by numeric ID as part
@@ -296,6 +307,20 @@ func (m *Monitor) TrackControl(id int64, seenAt time.Time) {
 		nextDue:   seenAt,
 		Activity:  -1,
 	}
+	if m.journalOn {
+		m.journal[key] = true
+	}
+}
+
+// historyKey is the histories-map key for a history: control accounts
+// tracked by numeric ID key as "igid:<id>", everything else by the
+// account reference. Snapshot ordering, Restore, and the delta journal
+// all derive keys through here so they cannot disagree.
+func historyKey(control bool, numericID int64, ref netid.Ref) string {
+	if control && numericID > 0 {
+		return fmt.Sprintf("igid:%d", numericID)
+	}
+	return ref.Key()
 }
 
 // Histories returns all tracked histories, sorted by account key.
@@ -359,25 +384,30 @@ func (m *Monitor) Snapshot() State {
 	sort.Strings(keys)
 	st := State{Requests: m.requests, Histories: make([]HistoryState, 0, len(keys))}
 	for _, k := range keys {
-		h := m.histories[k]
-		obs := make([]Observation, len(h.Obs))
-		copy(obs, h.Obs)
-		st.Histories = append(st.Histories, HistoryState{
-			Network:   h.Ref.Network.Slug(),
-			Username:  h.Ref.Username,
-			NumericID: h.NumericID,
-			Control:   h.Control,
-			DoxSeenAt: h.DoxSeenAt,
-			Verified:  h.Verified,
-			Activity:  h.Activity,
-			Obs:       obs,
-			NextIdx:   h.nextIdx,
-			NextDue:   h.nextDue,
-			EndAt:     h.endAt,
-			Finished:  h.finished,
-		})
+		st.Histories = append(st.Histories, historyState(m.histories[k]))
 	}
 	return st
+}
+
+// historyState converts one live history to its snapshot form, copying
+// the observation slice so later commits cannot alias it.
+func historyState(h *History) HistoryState {
+	obs := make([]Observation, len(h.Obs))
+	copy(obs, h.Obs)
+	return HistoryState{
+		Network:   h.Ref.Network.Slug(),
+		Username:  h.Ref.Username,
+		NumericID: h.NumericID,
+		Control:   h.Control,
+		DoxSeenAt: h.DoxSeenAt,
+		Verified:  h.Verified,
+		Activity:  h.Activity,
+		Obs:       obs,
+		NextIdx:   h.nextIdx,
+		NextDue:   h.nextDue,
+		EndAt:     h.endAt,
+		Finished:  h.finished,
+	}
 }
 
 // Restore replaces the monitor's tracked accounts with a snapshot taken
@@ -403,17 +433,96 @@ func (m *Monitor) Restore(st State) error {
 			endAt:     hs.EndAt,
 			finished:  hs.Finished,
 		}
-		key := h.Ref.Key()
-		if h.Control && h.NumericID > 0 {
-			key = fmt.Sprintf("igid:%d", h.NumericID)
-		}
-		histories[key] = h
+		histories[historyKey(h.Control, h.NumericID, h.Ref)] = h
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.histories = histories
 	m.requests = st.Requests
+	if m.journalOn {
+		m.journal = make(map[string]bool)
+	}
+	m.lastCutRequests = st.Requests
 	return nil
+}
+
+// Delta is the monitor's incremental checkpoint payload: the request
+// counter wholesale plus the full current state of every history touched
+// since the previous cut. Histories are never removed and the per-day
+// touched set is small (the revisit schedule is exponential), so
+// upserting reproduces the next State exactly.
+type Delta struct {
+	Requests int64          `json:"requests"`
+	Upserts  []HistoryState `json:"upserts,omitempty"` // sorted by account key
+}
+
+// historyStateKey reproduces the histories-map key from a history's
+// snapshot form (Network already holds the slug Ref.Key would use).
+func historyStateKey(hs HistoryState) string {
+	if hs.Control && hs.NumericID > 0 {
+		return fmt.Sprintf("igid:%d", hs.NumericID)
+	}
+	return hs.Network + ":" + hs.Username
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling for delta
+// checkpoints. Enabling starts an empty journal; the non-durable path
+// keeps journaling off and pays nothing per track or commit.
+func (m *Monitor) SetDeltaJournal(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalOn = on
+	if on {
+		m.journal = make(map[string]bool)
+	} else {
+		m.journal = nil
+	}
+	m.lastCutRequests = m.requests
+}
+
+// CutDelta drains the journal into a delta covering every mutation since
+// the previous cut, and reports whether anything changed. Full-snapshot
+// cuts call it too (discarding the result) so the next delta's base is
+// the snapshot just written.
+func (m *Monitor) CutDelta() (Delta, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dirty := len(m.journal) > 0 || m.requests != m.lastCutRequests
+	d := Delta{Requests: m.requests}
+	if len(m.journal) > 0 {
+		keys := make([]string, 0, len(m.journal))
+		for k := range m.journal {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		d.Upserts = make([]HistoryState, 0, len(keys))
+		for _, k := range keys {
+			d.Upserts = append(d.Upserts, historyState(m.histories[k]))
+		}
+		m.journal = make(map[string]bool)
+	}
+	m.lastCutRequests = m.requests
+	return d, dirty
+}
+
+// Apply folds a delta into a prior State in place, producing the state
+// the delta was cut from, byte-identical under JSON marshaling to a
+// Snapshot taken at the cut (both keep Histories sorted by account key).
+func (d Delta) Apply(st *State) {
+	st.Requests = d.Requests
+	for _, hs := range d.Upserts {
+		key := historyStateKey(hs)
+		i := sort.Search(len(st.Histories), func(i int) bool {
+			return historyStateKey(st.Histories[i]) >= key
+		})
+		if i < len(st.Histories) && historyStateKey(st.Histories[i]) == key {
+			st.Histories[i] = hs
+			continue
+		}
+		st.Histories = append(st.Histories, HistoryState{})
+		copy(st.Histories[i+1:], st.Histories[i:])
+		st.Histories[i] = hs
+	}
 }
 
 // ProcessDue visits every account whose next scheduled check is due at the
@@ -498,6 +607,9 @@ func (m *Monitor) commit(h *History, res scrapeResult, now time.Time) error {
 	defer m.mu.Unlock()
 	m.requests++
 	m.scrapesC.Inc()
+	if m.journalOn {
+		m.journal[historyKey(h.Control, h.NumericID, h.Ref)] = true
+	}
 	if len(h.Obs) == 0 {
 		h.Verified = res.found
 		if !res.found {

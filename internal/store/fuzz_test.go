@@ -1,0 +1,171 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"doxmeter/internal/dedup"
+)
+
+// FuzzDeltaCodecRoundTrip is the differential fuzz harness for the
+// incremental-checkpoint codec. Two properties, both checked on every
+// input:
+//
+//  1. Codec robustness: DecodeDelta never panics on arbitrary bytes
+//     (torn tails, truncated flate streams, skewed headers), and any
+//     input it accepts re-encodes to a stable fixpoint — encode∘decode
+//     is the identity on encoded bytes.
+//
+//  2. Delta ≡ full, byte for byte: the input drives a live journaling
+//     provider (the deduper — pure, in-memory, every mutation class:
+//     index adds, stats-only duplicate hits) through checks and cuts.
+//     Each cut's delta crosses the real codec — buffered and streaming
+//     encoders must agree, compressed and plain must decode to the same
+//     delta — and applying it to the previous cut's state must marshal
+//     byte-identically to the full snapshot at that cut.
+func FuzzDeltaCodecRoundTrip(f *testing.F) {
+	seed := testDelta(7)
+	plain, err := EncodeDelta(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var cc Codec
+	cc.Compress = true
+	comp, err := cc.EncodeDelta(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain)
+	f.Add(plain[:len(plain)/2]) // torn tail: body cut mid-JSON
+	f.Add(plain[:len(plain)-1]) // torn tail: final byte lost
+	f.Add(append([]byte(nil), comp...))
+	f.Add(append([]byte(nil), comp[:len(comp)*2/3]...)) // torn flate stream
+	f.Add([]byte("doxmeter-delta v1\n"))                // header only
+	f.Add([]byte("doxmeter-delta v99\n{}"))             // version skew
+	f.Add([]byte("doxmeter-delta v1 zstd\n{}"))         // unknown encoding
+	f.Add([]byte{})
+
+	f.Fuzz(deltaCodecRoundTripBody)
+}
+
+func deltaCodecRoundTripBody(t *testing.T, data []byte) {
+	prop1(t, data)
+	// Bound the differential op budget tightly: every cut marshals the
+	// whole snapshot, and a multi-millisecond exec makes the engine's
+	// coverage-minimization passes (60s budget each) eat the whole
+	// smoke run. 64 ops still cover adds, duplicates, and plain and
+	// compressed cuts.
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	prop2(t, data)
+}
+
+// prop1: decode anything without panicking; accepted inputs re-encode
+// to a fixpoint.
+func prop1(t *testing.T, data []byte) {
+	if d, err := DecodeDelta(data); err == nil {
+		b1, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input: %v", err)
+		}
+		d2, err := DecodeDelta(b1)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		b2, err := EncodeDelta(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("encode∘decode is not a fixpoint")
+		}
+	}
+}
+
+func prop2(t *testing.T, data []byte) {
+	{
+		// Property 2: delta-encode → decode → apply equals the full
+		// snapshot, byte for byte, under an input-derived op sequence.
+		marshal := func(v any) []byte {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		dd := dedup.New()
+		dd.SetDeltaJournal(true)
+		var base dedup.State
+		if err := json.Unmarshal(marshal(dd.Snapshot()), &base); err != nil {
+			t.Fatal(err)
+		}
+		var seq uint64 = 1
+		var enc Codec
+		cut := func(compress bool) {
+			seq++
+			delta, _ := dd.CutDelta()
+			want := marshal(dd.Snapshot())
+			sd := &Delta{
+				Seq: seq, BaseSeq: seq - 1,
+				Components: map[string]ComponentDelta{
+					"dedup": {Op: OpPatch, Payload: marshal(delta)},
+				},
+			}
+			enc.Compress = compress
+			b, err := enc.EncodeDelta(sd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !compress {
+				// The buffered and streaming encoders must agree bytewise.
+				sb, err := EncodeDelta(sd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(b, sb) {
+					t.Fatal("Codec.EncodeDelta and EncodeDelta disagree")
+				}
+			}
+			dec, err := DecodeDelta(b)
+			if err != nil {
+				t.Fatalf("decode of live delta (compress=%v): %v", compress, err)
+			}
+			if dec.Seq != seq || dec.BaseSeq != seq-1 {
+				t.Fatalf("chain linkage lost: %d←%d", dec.Seq, dec.BaseSeq)
+			}
+			var applied dedup.Delta
+			if err := json.Unmarshal(dec.Components["dedup"].Payload, &applied); err != nil {
+				t.Fatal(err)
+			}
+			applied.Apply(&base)
+			if got := marshal(base); !bytes.Equal(got, want) {
+				t.Fatalf("delta-applied state diverged from full snapshot:\n%s\nvs\n%s", got, want)
+			}
+			if err := json.Unmarshal(want, &base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var bodies []string
+		for i, b := range data {
+			switch b % 8 {
+			case 7:
+				cut(b%16 >= 8)
+			case 6:
+				if len(bodies) > 0 {
+					// Exact duplicate: stats move, no index adds.
+					dd.Check(fmt.Sprintf("s/dup%d", i), bodies[int(b)%len(bodies)], "")
+					continue
+				}
+				fallthrough
+			default:
+				body := fmt.Sprintf("body %d %d", b, i)
+				bodies = append(bodies, body)
+				dd.Check(fmt.Sprintf("s/%d", i), body, fmt.Sprintf("k%d", b%5))
+			}
+		}
+		cut(false)
+	}
+}

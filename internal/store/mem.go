@@ -2,34 +2,75 @@ package store
 
 import "sync"
 
-// Mem is an in-memory Store. It round-trips snapshots through the same
-// codec as the file backend, so anything that works against Mem (tests,
-// examples, the resume suite) exercises the exact encode/decode path a
-// production state dir would.
+// memBlob is one encoded checkpoint image held by Mem.
+type memBlob struct {
+	seq uint64
+	b   []byte
+}
+
+// Mem is an in-memory Store. It round-trips snapshots and deltas through
+// the same codec as the file backend, so anything that works against Mem
+// (tests, examples, the resume suite) exercises the exact encode/decode
+// path a production state dir would. Retention mirrors File: the latest
+// two full snapshots, plus every delta above the oldest retained full.
 type Mem struct {
 	mu      sync.Mutex
-	snaps   [][]byte // encoded snapshots, oldest first
+	snaps   []memBlob // encoded full snapshots, oldest first
+	deltas  []memBlob // encoded deltas, oldest first
 	entries []Entry
 	closed  bool
+	codec   Codec
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem { return &Mem{} }
 
+// SetCompress selects flate body encoding for subsequent writes.
+func (m *Mem) SetCompress(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.codec.Compress = on
+}
+
 // SaveSnapshot implements Store.
 func (m *Mem) SaveSnapshot(snap *Snapshot) (int, error) {
-	b, err := Encode(snap)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.codec.EncodeSnapshot(snap)
 	if err != nil {
 		return 0, err
 	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.snaps = append(m.snaps, memBlob{seq: snap.Seq, b: cp})
+	// Mirror the file backend's retention: latest two fulls, and only
+	// the deltas an anchored chain can still reach.
+	if len(m.snaps) > keepSnapshots {
+		m.snaps = m.snaps[len(m.snaps)-keepSnapshots:]
+	}
+	oldestKept := m.snaps[0].seq
+	kept := m.deltas[:0]
+	for _, d := range m.deltas {
+		if d.seq > oldestKept {
+			kept = append(kept, d)
+		}
+	}
+	m.deltas = kept
+	return len(cp), nil
+}
+
+// SaveDelta implements DeltaStore.
+func (m *Mem) SaveDelta(d *Delta) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.snaps = append(m.snaps, b)
-	// Mirror the file backend's retention: latest two only.
-	if len(m.snaps) > 2 {
-		m.snaps = m.snaps[len(m.snaps)-2:]
+	b, err := m.codec.EncodeDelta(d)
+	if err != nil {
+		return 0, err
 	}
-	return len(b), nil
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.deltas = append(m.deltas, memBlob{seq: d.Seq, b: cp})
+	return len(cp), nil
 }
 
 // LoadSnapshot implements Store.
@@ -39,7 +80,41 @@ func (m *Mem) LoadSnapshot() (*Snapshot, error) {
 	if len(m.snaps) == 0 {
 		return nil, ErrNoSnapshot
 	}
-	return Decode(m.snaps[len(m.snaps)-1])
+	return Decode(m.snaps[len(m.snaps)-1].b)
+}
+
+// LoadChain implements DeltaStore, with the same chain-walk semantics as
+// the file backend: newest decodable full, then contiguous linked deltas
+// until the first gap or mislink.
+func (m *Mem) LoadChain() (*Snapshot, []*Delta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.snaps) == 0 {
+		return nil, nil, ErrNoSnapshot
+	}
+	bySeq := make(map[uint64][]byte, len(m.deltas))
+	for _, d := range m.deltas {
+		bySeq[d.seq] = d.b
+	}
+	snap, err := Decode(m.snaps[len(m.snaps)-1].b)
+	if err != nil {
+		return nil, nil, err
+	}
+	var chain []*Delta
+	for seq := snap.Seq + 1; ; seq++ {
+		b, ok := bySeq[seq]
+		if !ok {
+			return snap, chain, nil
+		}
+		d, err := DecodeDelta(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if d.BaseSeq != seq-1 {
+			return snap, chain, nil
+		}
+		chain = append(chain, d)
+	}
 }
 
 // AppendEntry implements Store.

@@ -25,7 +25,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"time"
 )
 
@@ -73,7 +72,8 @@ const (
 	KindRunStart = "run-start" // a fresh study began
 	KindResume   = "resume"    // a study resumed from a snapshot
 	KindDay      = "day"       // one study day committed
-	KindSnapshot = "snapshot"  // a snapshot was persisted
+	KindSnapshot = "snapshot"  // a full snapshot was persisted
+	KindDelta    = "delta"     // an incremental delta cut was persisted
 	KindStop     = "stop"      // the study stopped on request after a checkpoint
 )
 
@@ -81,8 +81,10 @@ const (
 type Entry struct {
 	// Kind is one of the Kind* constants.
 	Kind string `json:"kind"`
-	// Seq is the snapshot sequence number ("snapshot" entries only).
-	Seq    uint64    `json:"seq,omitempty"`
+	// Seq is the checkpoint sequence number ("snapshot"/"delta" entries).
+	Seq uint64 `json:"seq,omitempty"`
+	// Base is the sequence the cut applies to ("delta" entries only).
+	Base   uint64    `json:"base,omitempty"`
 	Period int       `json:"period,omitempty"`
 	Day    int       `json:"day,omitempty"`
 	VTime  time.Time `json:"vtime"`
@@ -121,43 +123,19 @@ type Store interface {
 // Encode serializes a snapshot: a one-line header carrying the magic and
 // codec version, then the JSON body. The header is checked before the
 // body is parsed, so skew is detected even across incompatible layouts.
+// The write paths proper stream instead of buffering (EncodeSnapshotTo,
+// Codec); this form exists for tests and tooling.
 func Encode(snap *Snapshot) ([]byte, error) {
-	if snap == nil {
-		return nil, errors.New("store: cannot encode nil snapshot")
-	}
-	cp := *snap
-	cp.Version = Version
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "%s v%d\n", Magic, Version)
-	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(&cp); err != nil {
-		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	if _, err := EncodeSnapshotTo(&buf, snap, false); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-// Decode parses bytes produced by Encode, rejecting unknown magic and
-// returning ErrVersionSkew for any codec version other than Version.
+// Decode parses bytes produced by Encode or EncodeSnapshotTo, rejecting
+// unknown magic and returning ErrVersionSkew for any codec version other
+// than Version.
 func Decode(b []byte) (*Snapshot, error) {
-	nl := bytes.IndexByte(b, '\n')
-	if nl < 0 {
-		return nil, errors.New("store: snapshot truncated before header end")
-	}
-	header := string(b[:nl])
-	var gotMagic string
-	var gotVersion int
-	if _, err := fmt.Sscanf(header, "%s v%d", &gotMagic, &gotVersion); err != nil || gotMagic != Magic {
-		return nil, fmt.Errorf("store: not a snapshot (bad header %q)", header)
-	}
-	if gotVersion != Version {
-		return nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d", ErrVersionSkew, gotVersion, Version)
-	}
-	var snap Snapshot
-	if err := json.Unmarshal(b[nl+1:], &snap); err != nil {
-		return nil, fmt.Errorf("store: decode snapshot body: %w", err)
-	}
-	if snap.Version != Version {
-		return nil, fmt.Errorf("%w: snapshot body is v%d, this build reads v%d", ErrVersionSkew, snap.Version, Version)
-	}
-	return &snap, nil
+	return DecodeSnapshotFrom(bytes.NewReader(b))
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak stream-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
 
 all: check
 
@@ -45,13 +45,19 @@ fuzz-smoke:
 # Long chaos soak: the full chaos suites under the race detector, including
 # the study-level heavy-profile soak (DOXMETER_CHAOS_SOAK gates it), the
 # fused-vs-reference kernel equivalence study (sequential and parallel, with
-# fault injection live), plus the randomized kill/resume soak and a longer
-# fuzz pass over the network-facing parsers.
+# fault injection live), the batch-vs-stream keystone (streaming runs must
+# be bit-identical to batch, faults on, across kill/resume), plus the
+# randomized kill/resume and streaming soaks and a longer fuzz pass over
+# the network-facing parsers.
 chaos:
 	DOXMETER_CHAOS_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
 		./internal/faults ./internal/crawler ./internal/monitor
 	$(GO) test -count=1 -timeout 30m -run 'TestStudyKernelEquivalence' -v ./internal/core
+	$(GO) test -count=1 -timeout 30m \
+		-run 'TestStreamBitIdentical|TestStreamResumeBitIdentical|TestStreamDigestMatchesBatch|TestStreamServiceResume' \
+		-v ./internal/core
 	$(MAKE) resume-soak
+	$(MAKE) stream-soak
 	$(MAKE) fuzz-smoke FUZZTIME=30s
 
 # Randomized kill/resume soak: durable studies killed at random day
@@ -62,6 +68,13 @@ resume-soak:
 	DOXMETER_RESUME_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
 		-run 'TestResumeSoak' -v ./internal/core
 
+# Randomized streaming soak: always-on pipeline runs with random kill
+# chains, parallelism, fault profiles and checkpoint modes, each compared
+# bit for bit against the batch baseline. Seed logged for exact replay.
+stream-soak:
+	DOXMETER_STREAM_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestStreamSoak' -v ./internal/core
+
 # Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
@@ -71,7 +84,7 @@ bench:
 # checkpoint pair, which share one delta-mode study built on first use —
 # the setup run is a few minutes, the gate keeps the <50 ms/<5 MB
 # incremental-day budget honest.
-HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused|CheckpointDelta|CheckpointCompaction
+HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused|CheckpointDelta|CheckpointCompaction|StreamThroughput|AlertFanout
 
 # Faster spot check of the headline artifacts.
 bench-quick:

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"doxmeter/internal/abuse"
 	"doxmeter/internal/classifier"
@@ -25,16 +26,21 @@ import (
 	"doxmeter/internal/dedup"
 	"doxmeter/internal/experiments"
 	"doxmeter/internal/extract"
+	"doxmeter/internal/feed"
 	"doxmeter/internal/htmltext"
 	"doxmeter/internal/label"
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
+	"doxmeter/internal/notify"
 	"doxmeter/internal/randutil"
 	"doxmeter/internal/sgd"
 	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
 	"doxmeter/internal/store"
+	"doxmeter/internal/stream"
 	"doxmeter/internal/textgen"
 	"doxmeter/internal/tfidf"
+	"doxmeter/internal/watchlist"
 )
 
 // benchScale sizes the shared study. 0.4 ≈ 695k documents and ~1,800
@@ -880,4 +886,80 @@ func BenchmarkExtractFused(b *testing.B) {
 			k.ExtractInto(benign, &e, extract.Options{})
 		}
 	})
+}
+
+// --- Streaming pipeline (the always-on service engine) ---
+
+// BenchmarkStreamThroughput drives full epochs of the always-on pipeline
+// (internal/stream): four sources fan the shared 4,000-document batch into
+// the key-hash prepare shards (running the extractor), the sequencer seals
+// and sorts the epoch, and every document commits in batch order on the
+// driver goroutine. The op is one whole epoch; docs/s is reported as a
+// custom metric.
+func BenchmarkStreamThroughput(b *testing.B) {
+	_, docs := parallelBenchSetup(b)
+	const nSources = 4
+	per := len(docs) / nSources
+	sources := make([]stream.Source, nSources)
+	for si := 0; si < nSources; si++ {
+		batch := docs[si*per : (si+1)*per]
+		sources[si] = stream.Source{
+			Name: fmt.Sprintf("src%d", si),
+			Poll: func(ctx context.Context) ([]crawler.Doc, error) { return batch, nil },
+		}
+	}
+	p := stream.New(stream.Config[*extract.Extraction]{
+		PollParallelism: nSources,
+		Prepare:         func(d *crawler.Doc) *extract.Extraction { return extract.Extract(d.Body) },
+	})
+	defer p.Close()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		stats, err := p.RunEpoch(context.Background(), sources, func(doc *crawler.Doc, ex *extract.Extraction) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Committed != per*nSources {
+			b.Fatalf("epoch committed %d docs, want %d", stats.Committed, per*nSources)
+		}
+	}
+	b.ReportMetric(float64(b.N*per*nSources)/time.Since(start).Seconds(), "docs/s")
+}
+
+// BenchmarkAlertFanout measures one detection's §7 fan-out: salted-digest
+// lookups against a 16-victim notification registry, a feed ring publish,
+// and watchlist address+phone listing. This is the per-alert cost the
+// streaming service mode adds on top of each commit.
+func BenchmarkAlertFanout(b *testing.B) {
+	s, _ := parallelBenchSetup(b)
+	svc := notify.NewService("bench-salt")
+	wl := watchlist.New(0, func() time.Time { return simclock.Period1.Start })
+	flog := feed.NewLog()
+	fan := &stream.Fanout{Notify: svc, Watchlist: wl, Feed: flog}
+	victims := s.World.Victims
+	for i := 0; i < 16 && i < len(victims); i++ {
+		v := victims[i]
+		id := fmt.Sprintf("victim-%d", i)
+		svc.Subscribe(id, notify.KindEmail, v.Email)
+		svc.Subscribe(id, notify.KindPhone, v.Phone)
+		for n, user := range v.OSN {
+			svc.SubscribeAccount(id, netid.Ref{Network: n, Username: user})
+		}
+	}
+	r := randutil.New(17)
+	dets := make([]stream.Detection, 64)
+	for i := range dets {
+		v := victims[i%len(victims)]
+		text := s.Gen.Dox(r, v).Body
+		dets[i] = stream.Detection{
+			Site: "pastebin", DocID: fmt.Sprintf("d%03d", i), SeenAt: simclock.Period1.Start,
+			Extraction: extract.Extract(text), AddressLine: stream.AddressLine(text),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fan.Deliver(dets[i%len(dets)])
+	}
 }

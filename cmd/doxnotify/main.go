@@ -1,11 +1,24 @@
 // Command doxnotify runs the paper's proposed mitigation services (§7):
 // the Have-I-Been-Doxed notification registry, the anti-SWATing watchlist,
-// and the threat-exchange feed. It first runs a small study to seed the
-// services with detections, then serves all three.
+// and the threat-exchange feed.
 //
 // Usage:
 //
 //	doxnotify [-scale 0.02] [-seed 42] [-addr 127.0.0.1:8421] [-salt s] [-admin addr]
+//	          [-stream] [-faults off] [-progress]
+//	          [-state-dir dir] [-checkpoint-every 1] [-resume]
+//
+// By default it runs a small batch study to seed the services with
+// detections, then serves all three. With -stream it instead runs the
+// always-on streaming pipeline (internal/stream): the three services are
+// live from the first virtual day — every committed detection fans out to
+// them as it happens, with backpressure and alert latency on /metrics —
+// and the HTTP API serves throughout the run. A first SIGINT/SIGTERM
+// stops at the next day boundary after a final checkpoint; a second
+// aborts. With -state-dir the run is durable and -resume continues a
+// killed service — including the notification registry, watchlist and
+// feed state — from its last checkpoint (keep -salt identical across
+// restarts: digests are salted and the salt is never persisted).
 //
 // Endpoints:
 //
@@ -14,34 +27,55 @@
 //	/feed/events?cursor=0[&wait=5s]
 //
 // With -admin set, the telemetry bundle (/metrics, /debug/traces,
-// /debug/pprof) is served on that second address: the seeding study's
-// pipeline metrics plus per-route request counters for the three services.
+// /debug/pprof) is served on that second address: the pipeline metrics
+// (queue depths, backpressure, paste-seen→alert latency in -stream mode)
+// plus per-route request counters for the three services.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"doxmeter/internal/core"
+	"doxmeter/internal/faults"
 	"doxmeter/internal/feed"
-	"doxmeter/internal/label"
 	"doxmeter/internal/notify"
+	"doxmeter/internal/store"
+	"doxmeter/internal/stream"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/watchlist"
 )
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.02, "corpus scale for the seeding study")
-		seed      = flag.Int64("seed", 42, "world seed")
-		addr      = flag.String("addr", "127.0.0.1:8421", "listen address")
-		adminAddr = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this second address (empty = off)")
-		salt      = flag.String("salt", "doxmeter-demo-salt", "registry salt")
+		scale      = flag.Float64("scale", 0.02, "corpus scale for the study")
+		seed       = flag.Int64("seed", 42, "world seed")
+		addr       = flag.String("addr", "127.0.0.1:8421", "listen address")
+		adminAddr  = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this second address (empty = off)")
+		salt       = flag.String("salt", "doxmeter-demo-salt", "registry salt (keep identical across -resume restarts)")
+		streamMode = flag.Bool("stream", false, "run the always-on streaming pipeline with live fan-out instead of seed-then-serve")
+		faultsName = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
+		progress   = flag.Bool("progress", false, "print per-day progress to stderr")
+		stateDir   = flag.String("state-dir", "", "directory for durable checkpoints; empty = non-durable run")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in study days")
+		resume     = flag.Bool("resume", false, "resume from the latest checkpoint in -state-dir")
 	)
 	flag.Parse()
+	if *resume && *stateDir == "" {
+		fatal(errors.New("-resume requires -state-dir"))
+	}
+
+	profile, err := faults.Preset(*faultsName, *seed+5)
+	if err != nil {
+		fatal(err)
+	}
 
 	hub := telemetry.NewHub(0, nil)
 	if *adminAddr != "" {
@@ -53,36 +87,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", *adminAddr)
 	}
 
-	fmt.Fprintln(os.Stderr, "running seeding study...")
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Telemetry: hub})
+	// The services exist before the study so the streaming pipeline can fan
+	// out into them; the watchlist reads the study's virtual clock so its
+	// TTL windows live in simulated time.
+	notifySvc := notify.NewService(*salt)
+	notifySvc.Instrument(hub.Registry)
+	var s *core.Study
+	wl := watchlist.New(0, func() time.Time {
+		if s != nil {
+			return s.Clock.Now()
+		}
+		return time.Now()
+	})
+	log := feed.NewLog()
+	fan := &stream.Fanout{Notify: notifySvc, Watchlist: wl, Feed: log}
+
+	cfg := core.StudyConfig{Seed: *seed, Scale: *scale, Faults: profile, Telemetry: hub}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	if *streamMode {
+		cfg.Stream = &core.StreamConfig{Fanout: fan}
+	}
+	if *stateDir != "" {
+		fileStore, err := store.OpenFile(*stateDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer fileStore.Close()
+		cfg.Checkpoint = &core.CheckpointConfig{Store: fileStore, EveryDays: *ckptEvery}
+	}
+
+	s, err = core.NewStudy(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
-	if err := s.Run(context.Background()); err != nil {
-		fatal(err)
-	}
-
-	notifySvc := notify.NewService(*salt)
-	wl := watchlist.New(0, nil)
-	log := feed.NewLog()
-
-	// Ingest every detection into all three services, exactly as the
-	// continuously operating pipeline of §7.1 would.
-	addresses, phones := 0, 0
-	for _, d := range s.Doxes {
-		notifySvc.Ingest(d.Site, d.Posted, d.Extraction)
-		log.Publish(d.Site, feed.URLFor(d.Site, d.DocID), d.Posted, d.Extraction.AccountRefs())
-		l := label.Apply(d.Text)
-		if l.Address {
-			if line := firstAddressLine(d.Text); line != "" {
-				wl.AddAddress(line, d.Site)
-				addresses++
-			}
+	if *resume {
+		info, err := s.Resume()
+		if err != nil {
+			fatal(err)
 		}
-		for _, p := range d.Extraction.Phones {
-			wl.AddPhone(p, d.Site)
-			phones++
+		if info.Resumed {
+			fmt.Fprintf(os.Stderr, "doxnotify: resumed at period %d day %d (virtual %s); service state restored\n",
+				info.Period, info.Day, info.VirtualTime.Format("2006-01-02"))
+		} else {
+			fmt.Fprintln(os.Stderr, "doxnotify: no checkpoint found in state dir; starting fresh")
 		}
 	}
 
@@ -92,6 +142,30 @@ func main() {
 	mux.Handle("/watchlist/", http.StripPrefix("/watchlist", telemetry.HTTPMetrics(reg, "watchlist", nil, wl.Handler())))
 	mux.Handle("/feed/", http.StripPrefix("/feed", telemetry.HTTPMetrics(reg, "feed", nil, log.Handler())))
 
+	if *streamMode {
+		runStreaming(s, mux, *addr, *stateDir)
+		return
+	}
+
+	// Batch mode: run the study to completion, then seed the services with
+	// every detection through the same fan-out the streaming mode uses live.
+	fmt.Fprintln(os.Stderr, "running seeding study...")
+	if err := s.Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	addresses, phones := 0, 0
+	for _, d := range s.Doxes {
+		det := stream.Detection{Site: d.Site, DocID: d.DocID, SeenAt: d.Posted, Extraction: d.Extraction}
+		if d.Labels.Address {
+			det.AddressLine = stream.AddressLine(d.Text)
+		}
+		if det.AddressLine != "" {
+			addresses++
+		}
+		phones += len(d.Extraction.Phones)
+		fan.Deliver(det)
+	}
+
 	fmt.Printf("doxnotify on http://%s — %d feed events, %d watchlisted addresses, %d phones\n",
 		*addr, log.Len(), addresses, phones)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
@@ -99,30 +173,63 @@ func main() {
 	}
 }
 
-// firstAddressLine pulls the "Address:"/"Lives at:" line value from dox
-// text for watchlisting.
-func firstAddressLine(text string) string {
-	for _, prefix := range []string{"Address: ", "Lives at: "} {
-		if i := indexOf(text, prefix); i >= 0 {
-			rest := text[i+len(prefix):]
-			for j := 0; j < len(rest); j++ {
-				if rest[j] == '\n' {
-					return rest[:j]
-				}
-			}
-			return rest
+// runStreaming serves the three services WHILE the streaming study runs:
+// subscriptions registered mid-run catch doxes committed on later virtual
+// days, the feed long-poll delivers events as epochs commit, and the
+// watchlist answers dispatch checks against live state. After the study's
+// two periods complete the services keep serving their final state.
+func runStreaming(s *core.Study, mux *http.ServeMux, addr, stateDir string) {
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fatal(err)
 		}
+	}()
+	fmt.Printf("doxnotify streaming on http://%s (services live from day 1)\n", addr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "doxnotify: stopping at the next day boundary (signal again to abort)")
+		s.RequestStop()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "doxnotify: aborting")
+		cancel()
+	}()
+
+	if err := s.Run(ctx); err != nil {
+		if !errors.Is(err, core.ErrStopped) {
+			fatal(err)
+		}
+		if stateDir != "" {
+			fmt.Fprintf(os.Stderr, "doxnotify: stopped after a final checkpoint; continue with -state-dir %s -resume\n", stateDir)
+		}
+		return
 	}
-	return ""
+	ids, ingested, notified := 0, 0, 0
+	if svc := serviceOf(s); svc != nil {
+		ids, ingested, notified = svc.Stats()
+	}
+	fmt.Fprintf(os.Stderr, "doxnotify: study complete — %d identifiers registered, %d doxes ingested, %d notifications; still serving\n",
+		ids, ingested, notified)
+	// The run is over; the stop/abort handler no longer applies. Keep
+	// serving the final state until the next signal.
+	signal.Stop(sigCh)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, os.Interrupt, syscall.SIGTERM)
+	<-quit
 }
 
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
+// serviceOf digs the notification service back out of the study's stream
+// config for the completion summary.
+func serviceOf(s *core.Study) *notify.Service {
+	if s.Cfg.Stream == nil || s.Cfg.Stream.Fanout == nil {
+		return nil
 	}
-	return -1
+	return s.Cfg.Stream.Fanout.Notify
 }
 
 func fatal(err error) {

@@ -5,9 +5,17 @@
 // Usage:
 //
 //	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-faults off] [-progress] [-json]
+//	            [-stream]
 //	            [-state-dir dir] [-checkpoint-every 1] [-checkpoint-mode full|delta]
 //	            [-compact-every 8] [-checkpoint-compress] [-resume]
 //	            [-admin addr] [-traces out.jsonl]
+//
+// With -stream the collection loop runs on the always-on streaming engine
+// (internal/stream): polls fan out, prepare work is sharded by document
+// key, and a sequencer commits each virtual day in the batch order, so
+// the funnel, tables and durable run digest are bit-identical to the
+// default batch mode — the queue/backpressure/latency series on /metrics
+// are the only observable difference.
 //
 // With -state-dir the study is durable: every -checkpoint-every study days
 // (and at period ends) the pipeline state is checkpointed into the
@@ -66,6 +74,7 @@ func main() {
 		compactN    = flag.Int("compact-every", 0, "in delta mode, write a full compaction snapshot after this many deltas (0 = default)")
 		ckptZip     = flag.Bool("checkpoint-compress", false, "flate-compress checkpoint files in -state-dir")
 		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -state-dir")
+		streamMode  = flag.Bool("stream", false, "run the always-on streaming pipeline (internal/stream) instead of the batch day loop; results are bit-identical")
 	)
 	flag.Parse()
 	if *resume && *stateDir == "" {
@@ -106,8 +115,13 @@ func main() {
 		}
 	}
 
+	var streamCfg *core.StreamConfig
+	if *streamMode {
+		streamCfg = &core.StreamConfig{}
+	}
+
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Checkpoint: ckpt, Telemetry: hub})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Checkpoint: ckpt, Telemetry: hub, Stream: streamCfg})
 	if err != nil {
 		fatal(err)
 	}
@@ -235,6 +249,11 @@ func main() {
 			"accounts_dropped":    nonexistent,
 			"resumed":             info.Resumed,
 			"stopped":             stopped,
+			"stream":              *streamMode,
+		}
+		if *streamMode {
+			out["stream_epochs"] = int(reg.Sum("doxmeter_stream_epochs_total"))
+			out["stream_backpressure"] = int(reg.Sum("doxmeter_stream_backpressure_total"))
 		}
 		if *stateDir != "" {
 			out["state_dir"] = *stateDir

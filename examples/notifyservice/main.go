@@ -101,6 +101,7 @@ func main() {
 		fmt.Println("dispatch check: unrelated number not listed (as expected)")
 	}
 
+	first, _ := log.After(0, 1)
 	fmt.Printf("\nthreat-exchange feed carries %d events; first event accounts: %v\n",
-		log.Len(), log.After(0, 1)[0].Accounts)
+		log.Len(), first[0].Accounts)
 }

@@ -200,6 +200,36 @@ func (s *Study) buildDelta(periodNo, day int) (*store.Delta, error) {
 			comps[key] = store.ComponentDelta{Op: store.OpRef}
 		}
 	}
+	// Attached mitigation services travel wholesale (OpFull) in every
+	// delta cut: their state is small (digest maps, a bounded feed
+	// window), and OpFull is correct even when the chain's anchor predates
+	// the attachment — ApplyDeltaChain adds absent-from-base components
+	// only for OpFull. No typed patch codec to register, either.
+	full := func(key string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("core: delta component %s: %w", key, err)
+		}
+		comps[key] = store.ComponentDelta{Op: store.OpFull, Payload: b}
+		return nil
+	}
+	if f := s.fanout; f != nil {
+		if f.Notify != nil {
+			if err := full(compNotify, f.Notify.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+		if f.Watchlist != nil {
+			if err := full(compWatchlist, f.Watchlist.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+		if f.Feed != nil {
+			if err := full(compFeed, f.Feed.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &store.Delta{
 		Seq:     s.ckptSeq,
 		BaseSeq: s.ckptSeq - 1,

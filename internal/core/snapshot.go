@@ -23,11 +23,14 @@ import (
 	"doxmeter/internal/crawler"
 	"doxmeter/internal/dedup"
 	"doxmeter/internal/extract"
+	"doxmeter/internal/feed"
 	"doxmeter/internal/geo"
 	"doxmeter/internal/label"
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
+	"doxmeter/internal/notify"
 	"doxmeter/internal/store"
+	"doxmeter/internal/watchlist"
 )
 
 // GeoOutcome is the precomputed §4.1 IP-vs-postal comparison for one dox.
@@ -77,12 +80,16 @@ func (s *Study) geoOutcome(text string, l label.Labels, ex *extract.Extraction) 
 	}
 }
 
-// Snapshot component keys.
+// Snapshot component keys. The service/* components exist only when a
+// stream.Fanout is attached (StudyConfig.Stream.Fanout).
 const (
-	compCore     = "core"
-	compDedup    = "dedup"
-	compMonitor  = "monitor"
-	compPastebin = "crawler/pastebin"
+	compCore      = "core"
+	compDedup     = "dedup"
+	compMonitor   = "monitor"
+	compPastebin  = "crawler/pastebin"
+	compNotify    = "service/notify"
+	compWatchlist = "service/watchlist"
+	compFeed      = "service/feed"
 )
 
 // doxState is the persisted form of a DoxRecord. Per the §3.3 discipline
@@ -134,6 +141,14 @@ func (s *Study) ckpt() *CheckpointConfig {
 }
 
 func (s *Study) runDigestHex() string { return hex.EncodeToString(s.runDigest[:]) }
+
+// RunDigest returns the rolling run digest in hex: a chained SHA-256 over
+// every day's commit stream (document identities + verdicts, in commit
+// order). Two runs over the same world/seed/schedule — batch or
+// streaming, killed and resumed or not — produce the same digest. Only
+// durable studies (Checkpoint set) fold day digests; for others this is
+// the zero digest.
+func (s *Study) RunDigest() string { return s.runDigestHex() }
 
 // foldDayDigest chains the just-finished day's commit digest into the
 // rolling run digest.
@@ -223,6 +238,27 @@ func (s *Study) Snapshot(periodNo, day int) (*store.Snapshot, error) {
 			return nil, err
 		}
 	}
+	// Attached mitigation services ride the study checkpoint, so a
+	// restarted service keeps its subscribers, listings and feed cursor
+	// space. Their snapshots obey the same §3.3 discipline: salted
+	// digests and hashes only.
+	if f := s.fanout; f != nil {
+		if f.Notify != nil {
+			if err := put(compNotify, f.Notify.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+		if f.Watchlist != nil {
+			if err := put(compWatchlist, f.Watchlist.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+		if f.Feed != nil {
+			if err := put(compFeed, f.Feed.Snapshot()); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &store.Snapshot{
 		Seq: s.ckptSeq,
 		Meta: store.Meta{
@@ -281,6 +317,41 @@ func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
 			return err
 		}
 	}
+	// Attached service components are optional: a snapshot written before
+	// the service attached (or by a batch run) simply leaves that service
+	// starting fresh. getOpt decodes only what is present.
+	getOpt := func(key string, v any) (bool, error) {
+		raw, ok := snap.Components[key]
+		if !ok {
+			return false, nil
+		}
+		if err := json.Unmarshal(raw, v); err != nil {
+			return false, fmt.Errorf("core: restore component %s: %w", key, err)
+		}
+		return true, nil
+	}
+	var nst notify.State
+	var wst watchlist.State
+	var fst feed.State
+	var haveNotify, haveWatch, haveFeed bool
+	if f := s.fanout; f != nil {
+		var err error
+		if f.Notify != nil {
+			if haveNotify, err = getOpt(compNotify, &nst); err != nil {
+				return err
+			}
+		}
+		if f.Watchlist != nil {
+			if haveWatch, err = getOpt(compWatchlist, &wst); err != nil {
+				return err
+			}
+		}
+		if f.Feed != nil {
+			if haveFeed, err = getOpt(compFeed, &fst); err != nil {
+				return err
+			}
+		}
+	}
 	digest, err := hex.DecodeString(cs.RunDigest)
 	if err != nil || len(digest) != len(s.runDigest) {
 		return fmt.Errorf("core: restore: bad run digest %q", cs.RunDigest)
@@ -320,6 +391,21 @@ func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
 	s.crawlers.pastebin.Restore(pst)
 	for i, b := range s.crawlers.boards {
 		b.Restore(bsts[i])
+	}
+	if haveNotify {
+		if err := s.fanout.Notify.Restore(nst); err != nil {
+			return err
+		}
+	}
+	if haveWatch {
+		if err := s.fanout.Watchlist.Restore(wst); err != nil {
+			return err
+		}
+	}
+	if haveFeed {
+		if err := s.fanout.Feed.Restore(fst); err != nil {
+			return err
+		}
 	}
 	s.Collected = cs.Collected
 	s.CollectedBySite = cs.CollectedBySite

@@ -41,6 +41,7 @@ import (
 	"doxmeter/internal/simclock"
 	"doxmeter/internal/sites"
 	"doxmeter/internal/store"
+	"doxmeter/internal/stream"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/textgen"
 )
@@ -96,6 +97,15 @@ type StudyConfig struct {
 	// Resume before Run; results are bit-identical to an uninterrupted run
 	// at any Parallelism, with or without fault injection.
 	Checkpoint *CheckpointConfig
+	// Stream, when non-nil, runs collection through the always-on
+	// streaming pipeline (internal/stream) instead of the batch barrier
+	// loop: persistent key-hash prepare shards, bounded channels with
+	// backpressure, and a commit sequencer on the driver goroutine. With
+	// Fanout attached, every committed unique dox is delivered live to
+	// the §7 mitigation services, whose state rides the study's
+	// checkpoints. Results are bit-identical to a batch run on the same
+	// world/seed/schedule at any Parallelism (the keystone stream test).
+	Stream *StreamConfig
 	// Telemetry, when non-nil, instruments the whole study on the hub:
 	// doxmeter_stage_seconds / doxmeter_doc_stage_seconds histograms and
 	// the study counters on the registry, per-day spans (stamped with both
@@ -120,6 +130,25 @@ const (
 	// backend implementing store.DeltaStore.
 	CheckpointDelta CheckpointMode = "delta"
 )
+
+// StreamConfig parameterizes the streaming service mode.
+type StreamConfig struct {
+	// Shards is the number of persistent prepare workers; 0 follows
+	// Parallelism. Documents route to shards by key hash.
+	Shards int
+	// Buffer bounds every stage channel (backpressure, never drops);
+	// 0 means the stream package default (64).
+	Buffer int
+	// Fanout, when non-nil, receives every committed unique dox live on
+	// the alert worker: notification registry, anti-SWATing watchlist,
+	// threat-exchange feed (any subset). Attached services are included
+	// in checkpoints and restored on Resume; the watchlist is purged on
+	// a daily janitor tick. Snapshots written before a service attached
+	// leave it starting fresh; detaching a service mid-way through a
+	// delta-mode state dir is refused at the next resume (a delta chain
+	// may add components, never drop them).
+	Fanout *stream.Fanout
+}
 
 // CheckpointConfig wires a persistence backend into the study.
 type CheckpointConfig struct {
@@ -184,6 +213,14 @@ func (c StudyConfig) Validate() error {
 			return bad("Checkpoint.Mode", ck.Mode)
 		}
 	}
+	if sc := c.Stream; sc != nil {
+		if sc.Shards < 0 {
+			return bad("Stream.Shards", sc.Shards)
+		}
+		if sc.Buffer < 0 {
+			return bad("Stream.Buffer", sc.Buffer)
+		}
+	}
 	return nil
 }
 
@@ -220,6 +257,13 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
+	}
+	if sc := c.Stream; sc != nil {
+		shards := sc.Shards
+		if shards == 0 {
+			shards = c.Parallelism // already normalized above
+		}
+		c.Stream = &StreamConfig{Shards: shards, Buffer: sc.Buffer, Fanout: sc.Fanout}
 	}
 	if c.Crawl.Seed == 0 {
 		c.Crawl.Seed = c.Seed ^ 0x6665746368 // "fetch"
@@ -275,6 +319,11 @@ type Study struct {
 	}
 	rng *rand.Rand
 	m   *studyMetrics
+
+	// Streaming service mode (StudyConfig.Stream): the persistent
+	// pipeline and the attached alert fan-out; both nil in batch mode.
+	pipeline *stream.Pipeline[Prepared]
+	fanout   *stream.Fanout
 
 	// probeKernel/probeExt back the doxmeter_extract_allocs_per_doc gauge:
 	// one flagged document per batch is re-extracted into this warm scratch
@@ -503,6 +552,25 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Parallelism: cfg.Parallelism,
 		Telemetry:   reg,
 	})
+	// Streaming service mode: stand up the persistent pipeline. Prepare
+	// is the same stateless kernel the batch path uses; Deliver hands
+	// committed detections to the attached mitigation services on the
+	// alert worker, in commit order.
+	if sc := cfg.Stream; sc != nil {
+		s.fanout = sc.Fanout
+		var deliver func(stream.Detection)
+		if sc.Fanout != nil {
+			deliver = sc.Fanout.Deliver
+		}
+		s.pipeline = stream.New(stream.Config[Prepared]{
+			Shards:          sc.Shards,
+			Buffer:          sc.Buffer,
+			PollParallelism: cfg.Parallelism,
+			Prepare:         func(doc *crawler.Doc) Prepared { return s.prepareDoc(doc) },
+			Deliver:         deliver,
+			Telemetry:       reg,
+		})
+	}
 	// In delta mode every stateful provider journals its mutations so a
 	// cut serializes only what changed since the previous one.
 	if ck := s.ckpt(); ck != nil && ck.Mode == CheckpointDelta {
@@ -537,8 +605,12 @@ func (s *Study) FaultCounters() faults.Counters {
 	return agg
 }
 
-// Close shuts down the simulated services.
+// Close shuts down the streaming pipeline (if any) and the simulated
+// services. Idempotent.
 func (s *Study) Close() {
+	if s.pipeline != nil {
+		s.pipeline.Close()
+	}
 	for _, svc := range s.services {
 		_ = svc.Close()
 	}
@@ -601,7 +673,11 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		dayCtx, daySpan := s.m.span(ctx, "day")
 		daySpan.SetAttr("period", p.Name)
 		daySpan.SetAttr("day", strconv.Itoa(day))
-		if err := s.collectOnce(dayCtx, p, periodNo); err != nil {
+		collect := s.collectOnce
+		if s.pipeline != nil {
+			collect = s.collectStream
+		}
+		if err := collect(dayCtx, p, periodNo); err != nil {
 			daySpan.End()
 			return err
 		}
@@ -622,6 +698,12 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		}
 		monSpan.End()
 		s.m.stageMonitor.Observe(time.Since(monStart).Seconds())
+		// Service-mode janitor tick: expired watchlist entries are purged
+		// on the virtual clock, after the day's alerts have all drained
+		// (RunEpoch's barrier), so the purge is deterministic.
+		if s.fanout != nil {
+			s.fanout.Janitor()
+		}
 		daySpan.End()
 		s.m.days.Inc()
 		s.daysDone++
@@ -721,6 +803,41 @@ func (s *Study) collectOnce(ctx context.Context, p simclock.Period, periodNo int
 		docs = append(docs, d...)
 	}
 	s.processBatch(ctx, docs, periodNo, p)
+	return nil
+}
+
+// collectStream is collectOnce for streaming mode: one pipeline epoch per
+// virtual day. Polls fan out and stream their documents into the prepare
+// shards while later polls are still fetching; the pipeline seals the
+// epoch, sorts by (Posted, Site, ID) and commits in that order on this
+// goroutine — the same semantics as processBatch, so a streaming run is
+// bit-identical to a batch run. Poll failures degrade the day exactly as
+// in batch mode: tallied, partial deliveries still committed.
+func (s *Study) collectStream(ctx context.Context, p simclock.Period, periodNo int) error {
+	sources := []stream.Source{{Name: "pastebin", Poll: s.crawlers.pastebin.Poll}}
+	if periodNo == 2 {
+		for _, bc := range s.crawlers.boards {
+			sources = append(sources, stream.Source{Name: bc.SiteName, Poll: bc.Poll})
+		}
+	}
+	epochStart := time.Now()
+	epochCtx, epochSpan := s.m.span(ctx, "epoch")
+	stats, err := s.pipeline.RunEpoch(epochCtx, sources, func(doc *crawler.Doc, pre Prepared) {
+		s.commit(doc, pre, periodNo, p)
+	})
+	epochSpan.SetAttr("docs", strconv.Itoa(stats.Committed))
+	epochSpan.End()
+	s.m.stageEpoch.Observe(time.Since(epochStart).Seconds())
+	if err != nil {
+		return err
+	}
+	for _, f := range stats.Failures {
+		if ctx.Err() != nil {
+			return fmt.Errorf("%s poll: %w", f.Name, f.Err)
+		}
+		s.PollFailures[f.Name]++
+		s.m.pollFailures.With(f.Name).Inc()
+	}
 	return nil
 }
 
@@ -937,4 +1054,29 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 			s.Monitor.TrackUntil(netid.Ref{Network: n, Username: user}, now, p.End)
 		}
 	}
+	// Service mode: hand the detection to the alert fan-out. The emit
+	// order is the commit order, the delivery worker preserves it, and
+	// the epoch's drain barrier completes before the clock advances — so
+	// service state is a pure function of the document schedule. Restored
+	// records never replay through here; services restore from their own
+	// checkpoint components instead.
+	if s.pipeline != nil && s.fanout != nil {
+		s.pipeline.EmitAlert(s.detectionOf(rec))
+	}
+}
+
+// detectionOf projects a freshly committed DoxRecord into the fan-out
+// event the §7 services consume. Uses the raw text (present only at
+// commit time) for the watchlist's address line.
+func (s *Study) detectionOf(rec *DoxRecord) stream.Detection {
+	d := stream.Detection{
+		Site:       rec.Site,
+		DocID:      rec.DocID,
+		SeenAt:     s.Clock.Now(),
+		Extraction: rec.Extraction,
+	}
+	if rec.Labels.Address {
+		d.AddressLine = stream.AddressLine(rec.Text)
+	}
+	return d
 }

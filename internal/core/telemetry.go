@@ -18,10 +18,13 @@ type studyMetrics struct {
 	hub     *telemetry.Hub
 
 	// One observation per study day per stage (doxmeter_stage_seconds).
+	// "epoch" covers a whole streaming pipeline pass (poll → prepare →
+	// commit overlap makes the batch stage split meaningless there).
 	stagePoll    *telemetry.Histogram
 	stagePrepare *telemetry.Histogram
 	stageCommit  *telemetry.Histogram
 	stageMonitor *telemetry.Histogram
+	stageEpoch   *telemetry.Histogram
 
 	// One observation per document per CPU-hot stage
 	// (doxmeter_doc_stage_seconds). "classify" covers the TF-IDF transform
@@ -95,6 +98,7 @@ func newStudyMetrics(hub *telemetry.Hub) *studyMetrics {
 		stagePrepare: stage.With("prepare"),
 		stageCommit:  stage.With("commit"),
 		stageMonitor: stage.With("monitor"),
+		stageEpoch:   stage.With("epoch"),
 		docHTML:      doc.With("htmltext"),
 		docClassify:  doc.With("classify"),
 		docExtract:   doc.With("extract"),

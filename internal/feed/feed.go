@@ -4,13 +4,17 @@
 // to consume — notifying victims, enabling stricter filtering, and watching
 // for account compromise.
 //
-// The feed is an append-only log with cursor-based replay and long-poll
-// subscription, exposed as JSON lines over HTTP.
+// The feed is a bounded, append-only log with cursor-based replay and
+// long-poll subscription, exposed as JSON lines over HTTP. Retention is a
+// ring: once more than Retention events have been published the oldest are
+// compacted away and a replay from a cursor older than the window reports
+// ErrCursorExpired instead of silently returning the wrong events.
 package feed
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -19,6 +23,13 @@ import (
 
 	"doxmeter/internal/netid"
 )
+
+// DefaultRetention is how many events NewLog keeps before compacting.
+const DefaultRetention = 1 << 16
+
+// ErrCursorExpired reports a replay cursor older than the retention window;
+// the consumer must resync (e.g. from FirstSeq()-1) and accept the gap.
+var ErrCursorExpired = errors.New("feed: cursor expired (events compacted)")
 
 // Event is one detected dox.
 type Event struct {
@@ -29,20 +40,32 @@ type Event struct {
 	Accounts []string  `json:"accounts"` // network:username keys
 }
 
-// Log is the append-only event log. Safe for concurrent use.
+// Log is the bounded event log. Safe for concurrent use.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
-	waiter chan struct{}
+	mu        sync.Mutex
+	retention int
+	buf       []Event // ring storage; grows to retention then wraps
+	start     int     // index of the oldest retained event
+	n         int     // retained count
+	nextSeq   int64   // next sequence number to assign (seqs start at 1)
+	waiter    chan struct{}
 }
 
-// NewLog returns an empty log.
-func NewLog() *Log {
-	return &Log{waiter: make(chan struct{})}
+// NewLog returns an empty log with DefaultRetention.
+func NewLog() *Log { return NewLogRetention(DefaultRetention) }
+
+// NewLogRetention returns an empty log retaining up to n events
+// (n < 1 uses DefaultRetention).
+func NewLogRetention(n int) *Log {
+	if n < 1 {
+		n = DefaultRetention
+	}
+	return &Log{retention: n, nextSeq: 1, waiter: make(chan struct{})}
 }
 
 // Publish appends a detection event and wakes any long-pollers. It returns
-// the assigned sequence number.
+// the assigned sequence number. The oldest event is compacted away once the
+// log exceeds its retention.
 func (l *Log) Publish(site, url string, seenAt time.Time, accounts []netid.Ref) int64 {
 	keys := make([]string, len(accounts))
 	for i, a := range accounts {
@@ -50,37 +73,126 @@ func (l *Log) Publish(site, url string, seenAt time.Time, accounts []netid.Ref) 
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	seq := int64(len(l.events) + 1)
-	l.events = append(l.events, Event{Seq: seq, Site: site, URL: url, SeenAt: seenAt, Accounts: keys})
+	seq := l.nextSeq
+	l.nextSeq++
+	e := Event{Seq: seq, Site: site, URL: url, SeenAt: seenAt, Accounts: keys}
+	switch {
+	case len(l.buf) < l.retention: // still growing toward full retention
+		l.buf = append(l.buf, e)
+		l.n++
+	case l.n < len(l.buf): // restored with slack (can't happen today; safe)
+		l.buf[(l.start+l.n)%len(l.buf)] = e
+		l.n++
+	default: // saturated: overwrite the oldest
+		l.buf[l.start] = e
+		l.start = (l.start + 1) % len(l.buf)
+	}
 	close(l.waiter)
 	l.waiter = make(chan struct{})
 	return seq
 }
 
-// After returns up to limit events with Seq > cursor.
-func (l *Log) After(cursor int64, limit int) []Event {
+// After returns up to limit events with Seq > cursor. If the cursor falls
+// before the retention window (events it has not seen were compacted), it
+// returns ErrCursorExpired.
+func (l *Log) After(cursor int64, limit int) ([]Event, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if cursor < 0 {
 		cursor = 0
 	}
-	if cursor >= int64(len(l.events)) {
-		return nil
+	first := l.nextSeq - int64(l.n) // seq of the oldest retained event
+	if cursor+1 < first {
+		return nil, ErrCursorExpired
 	}
-	out := l.events[cursor:]
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	if cursor+1 >= l.nextSeq {
+		return nil, nil
 	}
-	cp := make([]Event, len(out))
-	copy(cp, out)
-	return cp
+	count := int(l.nextSeq - cursor - 1)
+	if limit > 0 && count > limit {
+		count = limit
+	}
+	out := make([]Event, count)
+	off := int(cursor + 1 - first)
+	for i := 0; i < count; i++ {
+		out[i] = l.buf[(l.start+off+i)%len(l.buf)]
+	}
+	return out, nil
 }
 
-// Len returns the total number of published events.
+// FirstSeq returns the sequence number of the oldest retained event, or 0
+// when the log is empty.
+func (l *Log) FirstSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0
+	}
+	return l.nextSeq - int64(l.n)
+}
+
+// LastSeq returns the most recently assigned sequence number (0 before the
+// first publish). Cursor space is never recycled, so LastSeq is also the
+// total published count.
+func (l *Log) LastSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Len returns the number of currently retained events.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.n
+}
+
+// Retention returns the configured retention bound.
+func (l *Log) Retention() int { return l.retention }
+
+// State is the log's checkpoint form: the retained window plus the cursor
+// space high-water mark, so a restored feed keeps issuing unique seqs.
+type State struct {
+	NextSeq int64   `json:"next_seq"`
+	Events  []Event `json:"events"` // oldest → newest
+}
+
+// Snapshot captures the retained window for checkpointing.
+func (l *Log) Snapshot() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	evs := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		evs[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return State{NextSeq: l.nextSeq, Events: evs}
+}
+
+// Restore replaces the log contents from a snapshot. If the snapshot holds
+// more events than this log's retention, only the newest are kept.
+func (l *Log) Restore(st State) error {
+	evs := st.Events
+	if len(evs) > 0 {
+		last := evs[len(evs)-1].Seq
+		if st.NextSeq != last+1 {
+			return fmt.Errorf("feed: snapshot next_seq %d does not follow last event seq %d", st.NextSeq, last)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if over := len(evs) - l.retention; over > 0 {
+		evs = evs[over:]
+	}
+	l.buf = append([]Event(nil), evs...)
+	l.start = 0
+	l.n = len(evs)
+	l.nextSeq = st.NextSeq
+	if l.nextSeq < 1 {
+		l.nextSeq = 1
+	}
+	close(l.waiter) // wake pollers parked across the restore
+	l.waiter = make(chan struct{})
+	return nil
 }
 
 // wait returns a channel closed at the next publish.
@@ -95,7 +207,9 @@ func (l *Log) wait() <-chan struct{} {
 //	GET /events?cursor=N&limit=M            — replay events after N
 //	GET /events?cursor=N&wait=1s            — long-poll for new events
 //
-// Responses are JSON lines, one event per line.
+// Responses are JSON lines, one event per line. A cursor that has fallen
+// out of the retention window gets 410 Gone; the consumer should resync
+// from the advertised oldest cursor.
 func (l *Log) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
@@ -118,20 +232,24 @@ func (l *Log) Handler() http.Handler {
 			}
 			limit = v
 		}
-		events := l.After(cursor, limit)
-		if len(events) == 0 && q.Get("wait") != "" {
-			d, err := time.ParseDuration(q.Get("wait"))
-			if err != nil || d <= 0 || d > time.Minute {
+		events, err := l.After(cursor, limit)
+		if err == nil && len(events) == 0 && q.Get("wait") != "" {
+			d, derr := time.ParseDuration(q.Get("wait"))
+			if derr != nil || d <= 0 || d > time.Minute {
 				http.Error(w, "bad wait", http.StatusBadRequest)
 				return
 			}
 			select {
 			case <-l.wait():
-				events = l.After(cursor, limit)
+				events, err = l.After(cursor, limit)
 			case <-time.After(d):
 			case <-req.Context().Done():
 				return
 			}
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cursor expired; resync from cursor=%d", l.FirstSeq()-1), http.StatusGone)
+			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		bw := bufio.NewWriter(w)

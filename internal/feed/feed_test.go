@@ -2,10 +2,12 @@ package feed
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,20 +27,20 @@ func TestPublishAndReplay(t *testing.T) {
 	if l.Len() != 5 {
 		t.Fatalf("len = %d", l.Len())
 	}
-	all := l.After(0, 0)
-	if len(all) != 5 {
-		t.Fatalf("replay = %d events", len(all))
+	all, err := l.After(0, 0)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("replay = %d events, err %v", len(all), err)
 	}
-	tail := l.After(3, 0)
-	if len(tail) != 2 || tail[0].Seq != 4 {
-		t.Fatalf("cursor replay = %v", tail)
+	tail, err := l.After(3, 0)
+	if err != nil || len(tail) != 2 || tail[0].Seq != 4 {
+		t.Fatalf("cursor replay = %v, err %v", tail, err)
 	}
-	if got := l.After(99, 0); got != nil {
-		t.Fatalf("beyond-end replay = %v", got)
+	if got, err := l.After(99, 0); err != nil || got != nil {
+		t.Fatalf("beyond-end replay = %v, err %v", got, err)
 	}
-	limited := l.After(0, 2)
-	if len(limited) != 2 {
-		t.Fatalf("limited replay = %d", len(limited))
+	limited, err := l.After(0, 2)
+	if err != nil || len(limited) != 2 {
+		t.Fatalf("limited replay = %d, err %v", len(limited), err)
 	}
 	if all[0].Accounts[0] != "facebook:user1" {
 		t.Fatalf("account key = %q", all[0].Accounts[0])
@@ -129,6 +131,171 @@ func TestHTTPBadParams(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("query %q = %d, want 400", q, resp.StatusCode)
 		}
+	}
+}
+
+func TestRingRetention(t *testing.T) {
+	l := NewLogRetention(4)
+	for i := 0; i < 10; i++ {
+		l.Publish("pastebin", URLFor("pastebin", "k"), time.Now(), nil)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("retained = %d, want 4", l.Len())
+	}
+	if l.FirstSeq() != 7 || l.LastSeq() != 10 {
+		t.Fatalf("window = [%d,%d], want [7,10]", l.FirstSeq(), l.LastSeq())
+	}
+	// Cursor 6 asks for events starting at seq 7 — still retained.
+	evs, err := l.After(6, 0)
+	if err != nil || len(evs) != 4 || evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("After(6) = %v, err %v", evs, err)
+	}
+	// Cursor 5 would need seq 6, which the ring has overwritten.
+	if _, err := l.After(5, 0); err != ErrCursorExpired {
+		t.Fatalf("After(5) err = %v, want ErrCursorExpired", err)
+	}
+	if _, err := l.After(0, 0); err != ErrCursorExpired {
+		t.Fatalf("After(0) err = %v, want ErrCursorExpired", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	l := NewLogRetention(8)
+	for i := 0; i < 12; i++ {
+		l.Publish("pastebin", URLFor("pastebin", "k"), time.Unix(int64(i), 0).UTC(), []netid.Ref{
+			{Network: netid.Twitter, Username: "u"},
+		})
+	}
+	st := l.Snapshot()
+	if st.NextSeq != 13 || len(st.Events) != 8 {
+		t.Fatalf("snapshot = next %d, %d events", st.NextSeq, len(st.Events))
+	}
+
+	fresh := NewLogRetention(8)
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.FirstSeq() != l.FirstSeq() || fresh.LastSeq() != l.LastSeq() {
+		t.Fatalf("restored window = [%d,%d], want [%d,%d]",
+			fresh.FirstSeq(), fresh.LastSeq(), l.FirstSeq(), l.LastSeq())
+	}
+	want, _ := l.After(6, 0)
+	got, err := fresh.After(6, 0)
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("restored After = %v, err %v", got, err)
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].URL != want[i].URL {
+			t.Fatalf("restored event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Publishing continues from the restored sequence.
+	if seq := fresh.Publish("pastebin", "u", time.Now(), nil); seq != 13 {
+		t.Fatalf("post-restore seq = %d, want 13", seq)
+	}
+
+	// Restoring into a smaller ring clips to the newest events.
+	small := NewLogRetention(3)
+	if err := small.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() != 3 || small.FirstSeq() != 10 || small.LastSeq() != 12 {
+		t.Fatalf("clipped restore = len %d window [%d,%d]", small.Len(), small.FirstSeq(), small.LastSeq())
+	}
+
+	// Inconsistent state is rejected.
+	bad := st
+	bad.NextSeq = 99
+	if err := NewLog().Restore(bad); err == nil {
+		t.Fatal("inconsistent restore accepted")
+	}
+}
+
+func TestHTTPCursorExpired(t *testing.T) {
+	l := NewLogRetention(2)
+	for i := 0; i < 5; i++ {
+		l.Publish("pastebin", "u", time.Now(), nil)
+	}
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events?cursor=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("status = %d, want 410", resp.StatusCode)
+	}
+	var buf [256]byte
+	n, _ := resp.Body.Read(buf[:])
+	if !strings.Contains(string(buf[:n]), "cursor=3") {
+		t.Fatalf("body = %q, want resync hint at cursor=3", buf[:n])
+	}
+}
+
+// TestConcurrentLongPoll hammers the log with concurrent publishers,
+// long-pollers, and cancelled clients; run under -race it proves the
+// waiter/ring bookkeeping is race-clean and no poller misses its wake-up.
+func TestConcurrentLongPoll(t *testing.T) {
+	l := NewLogRetention(64)
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	const pollers = 8
+	got := make(chan int, pollers)
+	for i := 0; i < pollers; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/events?cursor=0&wait=5s")
+			if err != nil {
+				got <- -1
+				return
+			}
+			defer resp.Body.Close()
+			n := 0
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				n++
+			}
+			got <- n
+		}()
+	}
+	// A few clients give up before any event arrives.
+	for i := 0; i < 4; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/events?cursor=0&wait=5s", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(40 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				l.Publish("pastebin", "u", time.Now(), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < pollers; i++ {
+		select {
+		case n := <-got:
+			if n < 1 {
+				t.Fatalf("poller got %d events", n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("poller never woke")
+		}
+	}
+	if l.LastSeq() != 32 {
+		t.Fatalf("published = %d, want 32", l.LastSeq())
 	}
 }
 

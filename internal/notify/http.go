@@ -77,5 +77,6 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]int{
 		"identifiers": ids, "ingested": ingested, "notified": notified,
+		"dropped": s.Dropped(),
 	})
 }

@@ -20,6 +20,7 @@ import (
 
 	"doxmeter/internal/extract"
 	"doxmeter/internal/netid"
+	"doxmeter/internal/telemetry"
 )
 
 // Kind is the identifier type a subscriber registers.
@@ -40,6 +41,11 @@ type Notification struct {
 	SeenAt       time.Time
 }
 
+// DefaultPendingCap bounds each subscriber's undelivered queue. In service
+// mode a subscriber that never drains must not grow memory without bound;
+// once full, the oldest notifications are dropped (and counted).
+const DefaultPendingCap = 4096
+
 // Service is the notification registry. Safe for concurrent use.
 type Service struct {
 	salt []byte
@@ -47,8 +53,12 @@ type Service struct {
 	mu          sync.RWMutex
 	subscribers map[string]map[string]Kind // digest -> subscriberID -> kind
 	pending     map[string][]Notification  // subscriberID -> queue
+	pendingCap  int
 	notified    int
 	ingested    int
+	dropped     int
+
+	droppedC *telemetry.Counter // nil until Instrument
 }
 
 // NewService creates a registry with the given salt (required: an unsalted
@@ -58,7 +68,26 @@ func NewService(salt string) *Service {
 		salt:        []byte(salt),
 		subscribers: make(map[string]map[string]Kind),
 		pending:     make(map[string][]Notification),
+		pendingCap:  DefaultPendingCap,
 	}
+}
+
+// SetPendingCap bounds each subscriber's pending queue to n notifications
+// (drop-oldest on overflow). n <= 0 removes the bound.
+func (s *Service) SetPendingCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingCap = n
+}
+
+// Instrument registers the service's counters on reg
+// (doxmeter_notify_dropped_total). A nil registry is a no-op.
+func (s *Service) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.droppedC = reg.NewCounter("doxmeter_notify_dropped_total",
+		"Notifications dropped from full per-subscriber pending queues.").With()
+	s.droppedC.Add(float64(s.dropped))
 }
 
 // digest computes the salted identifier digest.
@@ -142,7 +171,7 @@ func (s *Service) Ingest(site string, seenAt time.Time, ex *extract.Extraction) 
 	n := 0
 	for _, h := range hits {
 		for sub := range s.subscribers[h.digest] {
-			s.pending[sub] = append(s.pending[sub], Notification{
+			s.enqueue(sub, Notification{
 				SubscriberID: sub,
 				Kind:         h.kind,
 				Site:         site,
@@ -153,6 +182,22 @@ func (s *Service) Ingest(site string, seenAt time.Time, ex *extract.Extraction) 
 	}
 	s.notified += n
 	return n
+}
+
+// enqueue appends one notification, dropping the oldest entries when the
+// subscriber's queue exceeds the cap. Callers hold s.mu.
+func (s *Service) enqueue(sub string, note Notification) {
+	q := append(s.pending[sub], note)
+	if s.pendingCap > 0 && len(q) > s.pendingCap {
+		over := len(q) - s.pendingCap
+		// Shift in place instead of re-slicing the head off: the backing
+		// array stays bounded at ~cap instead of leaking dropped entries.
+		copy(q, q[over:])
+		q = q[:s.pendingCap]
+		s.dropped += over
+		s.droppedC.Add(float64(over))
+	}
+	s.pending[sub] = q
 }
 
 // Drain returns and clears a subscriber's pending notifications.
@@ -178,6 +223,13 @@ func (s *Service) Stats() (identifiers, ingested, notified int) {
 	return len(s.subscribers), s.ingested, s.notified
 }
 
+// Dropped reports how many notifications were dropped from full queues.
+func (s *Service) Dropped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dropped
+}
+
 // Subscribers lists subscriber IDs with pending notifications, sorted.
 func (s *Service) Subscribers() []string {
 	s.mu.RLock()
@@ -188,4 +240,70 @@ func (s *Service) Subscribers() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// State is the registry's checkpoint form. It holds only what the registry
+// itself holds — salted digests and opaque subscriber IDs, never raw
+// identifiers (§3.3) — and the salt is deliberately NOT persisted: a
+// restored service must be constructed with the same salt or digests from
+// new subscriptions simply won't match the restored ones.
+type State struct {
+	Subscribers map[string]map[string]Kind `json:"subscribers"`
+	Pending     map[string][]Notification  `json:"pending"`
+	Ingested    int                        `json:"ingested"`
+	Notified    int                        `json:"notified"`
+	Dropped     int                        `json:"dropped"`
+}
+
+// Snapshot captures the registry for checkpointing (deep copy).
+func (s *Service) Snapshot() State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := State{
+		Subscribers: make(map[string]map[string]Kind, len(s.subscribers)),
+		Pending:     make(map[string][]Notification, len(s.pending)),
+		Ingested:    s.ingested,
+		Notified:    s.notified,
+		Dropped:     s.dropped,
+	}
+	for d, subs := range s.subscribers {
+		cp := make(map[string]Kind, len(subs))
+		for id, k := range subs {
+			cp[id] = k
+		}
+		st.Subscribers[d] = cp
+	}
+	for id, q := range s.pending {
+		st.Pending[id] = append([]Notification(nil), q...)
+	}
+	return st
+}
+
+// Restore replaces the registry contents from a snapshot (deep copy). The
+// pending cap is re-applied to restored queues.
+func (s *Service) Restore(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscribers = make(map[string]map[string]Kind, len(st.Subscribers))
+	for d, subs := range st.Subscribers {
+		cp := make(map[string]Kind, len(subs))
+		for id, k := range subs {
+			cp[id] = k
+		}
+		s.subscribers[d] = cp
+	}
+	s.pending = make(map[string][]Notification, len(st.Pending))
+	for id, q := range st.Pending {
+		if s.pendingCap > 0 && len(q) > s.pendingCap {
+			q = q[len(q)-s.pendingCap:]
+		}
+		s.pending[id] = append([]Notification(nil), q...)
+	}
+	s.ingested = st.Ingested
+	s.notified = st.Notified
+	if diff := st.Dropped - s.dropped; diff > 0 {
+		s.droppedC.Add(float64(diff)) // reseed the exported counter
+	}
+	s.dropped = st.Dropped
+	return nil
 }

@@ -1,0 +1,54 @@
+package stream
+
+import "doxmeter/internal/telemetry"
+
+// metrics holds the pipeline's pre-resolved instruments. Every field is
+// nil-safe (a nil registry yields nil instruments whose methods are
+// no-ops), keeping the hot paths branch-free.
+type metrics struct {
+	queuePrepare   *telemetry.Gauge // documents waiting in shard inputs
+	queueSequencer *telemetry.Gauge // prepared documents awaiting the sequencer
+	queueAlert     *telemetry.Gauge // alerts awaiting the fan-out worker
+
+	bpPoll    *telemetry.Counter // poller blocked on a full shard
+	bpPrepare *telemetry.Counter // shard blocked on a full sequencer queue
+	bpCommit  *telemetry.Counter // commit blocked on a full alert queue
+
+	stallPoll    *telemetry.Histogram
+	stallPrepare *telemetry.Histogram
+	stallCommit  *telemetry.Histogram
+
+	alertLatency *telemetry.Histogram // paste-seen → alert-delivered, wall time
+	epochs       *telemetry.Counter
+	docs         *telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{}
+	if reg == nil {
+		return m
+	}
+	queue := reg.NewGauge("doxmeter_stream_queue_depth",
+		"Documents or alerts queued per pipeline stage.", "stage")
+	m.queuePrepare = queue.With("prepare")
+	m.queueSequencer = queue.With("sequencer")
+	m.queueAlert = queue.With("alert")
+	bp := reg.NewCounter("doxmeter_stream_backpressure_total",
+		"Blocking sends into a saturated downstream stage, by the stage that blocked.", "stage")
+	m.bpPoll = bp.With("poll")
+	m.bpPrepare = bp.With("prepare")
+	m.bpCommit = bp.With("commit")
+	stall := reg.NewHistogram("doxmeter_stream_stall_seconds",
+		"Time spent blocked on a saturated downstream stage.", nil, "stage")
+	m.stallPoll = stall.With("poll")
+	m.stallPrepare = stall.With("prepare")
+	m.stallCommit = stall.With("commit")
+	m.alertLatency = reg.NewHistogram("doxmeter_alert_latency_seconds",
+		"End-to-end wall latency from a document entering the pipeline to its alert being delivered.",
+		nil).With()
+	m.epochs = reg.NewCounter("doxmeter_stream_epochs_total",
+		"Pipeline epochs (virtual-clock ticks) completed.").With()
+	m.docs = reg.NewCounter("doxmeter_stream_docs_total",
+		"Documents committed through the streaming pipeline.").With()
+	return m
+}

@@ -1,0 +1,362 @@
+// Package stream runs the paper's detection funnel (§3) as an always-on
+// streaming pipeline: poll → prepare (shard workers) → sequencer → commit
+// → alert fan-out, connected by bounded channels with backpressure. It is
+// the service-shaped engine behind the batch study in internal/core.
+//
+// Determinism model. All virtual time comes from the study clock, and all
+// state mutation stays on the caller's goroutine: RunEpoch fans polls and
+// the CPU-hot prepare stage out across goroutines, but seals the epoch,
+// sorts by (Posted, Site, ID) — the batch study's commit comparator — and
+// then invokes the commit callback in that order on the calling goroutine.
+// Alert fan-out runs on a single worker consuming commits in order, and
+// RunEpoch does not return until every emitted alert is delivered, so
+// virtual-time stamps in downstream services (watchlist windows, feed
+// seqs) are a pure function of the document schedule. A streaming run is
+// therefore bit-identical to the sequential batch study on the same
+// world/seed/schedule — the keystone test in internal/core enforces it.
+//
+// Backpressure model. Every stage channel is bounded by Config.Buffer. A
+// full channel blocks the sender — a slow prepare shard throttles the
+// pollers and a slow alert consumer throttles commits; nothing is dropped
+// or reordered. Each blocking send increments a per-stage backpressure
+// counter and feeds a stall-seconds histogram, and per-stage queue-depth
+// gauges expose the live backlog, so saturation is visible on /metrics
+// before it becomes latency.
+package stream
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/parallel"
+	"doxmeter/internal/telemetry"
+)
+
+// ErrClosed is returned by operations on a closed pipeline.
+var ErrClosed = errors.New("stream: pipeline closed")
+
+// Source is one pollable document feed (a crawler). Poll returns every
+// document that became available since the previous poll; it may return
+// documents alongside an error (a partial poll under faults).
+type Source struct {
+	Name string
+	Poll func(ctx context.Context) ([]crawler.Doc, error)
+}
+
+// Config parameterizes a pipeline. P is the prepared-document payload
+// carried from the prepare stage to the commit callback.
+type Config[P any] struct {
+	// Shards is the number of persistent prepare workers. Documents are
+	// routed by an FNV hash of site/id, so a given document key always
+	// lands on the same worker. 0 means runtime.GOMAXPROCS(0).
+	Shards int
+	// Buffer bounds every stage channel; 0 means 64.
+	Buffer int
+	// PollParallelism bounds concurrent source polls per epoch; <= 1
+	// polls sequentially in source order.
+	PollParallelism int
+	// Prepare runs the stateless CPU stages for one document. It must be
+	// safe for concurrent use and must not touch mutable study state.
+	Prepare func(doc *crawler.Doc) P
+	// Deliver, when non-nil, receives the alert fan-out events emitted by
+	// the commit callback via EmitAlert, in emit (= commit) order, on a
+	// dedicated worker goroutine.
+	Deliver func(d Detection)
+	// Telemetry, when non-nil, receives the pipeline's queue/backpressure/
+	// latency series. Metrics only observe; results are identical with
+	// telemetry on or off.
+	Telemetry *telemetry.Registry
+}
+
+// SourceError records one failed poll within an epoch.
+type SourceError struct {
+	Name string
+	Err  error
+}
+
+// EpochStats summarizes one RunEpoch call.
+type EpochStats struct {
+	Committed int           // documents committed this epoch
+	Failures  []SourceError // polls that failed (their delivered docs still committed)
+}
+
+type item struct {
+	doc      crawler.Doc
+	seenWall time.Time // wall time the poller handed the doc to the pipeline
+}
+
+type result[P any] struct {
+	it  item
+	pre P
+}
+
+type alertEnv struct {
+	d    Detection
+	seen time.Time
+}
+
+// Pipeline is the streaming engine. Stage goroutines (prepare shards and
+// the alert worker) persist across epochs; RunEpoch drives one virtual-
+// clock tick through them. Not safe for concurrent RunEpoch calls — the
+// study driver owns it.
+type Pipeline[P any] struct {
+	cfg    Config[P]
+	in     []chan item // per-shard prepare inputs
+	out    chan result[P]
+	alerts chan alertEnv
+
+	alertWG   sync.WaitGroup
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// curSeen is the poll-ingest wall time of the document currently being
+	// committed; EmitAlert reads it to stamp paste-seen→alert latency.
+	// Written and read only on the RunEpoch caller's goroutine.
+	curSeen time.Time
+
+	m *metrics
+}
+
+// New builds the pipeline and starts its persistent stage goroutines.
+// Callers must Close it when done.
+func New[P any](cfg Config[P]) *Pipeline[P] {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	p := &Pipeline[P]{
+		cfg:    cfg,
+		in:     make([]chan item, cfg.Shards),
+		out:    make(chan result[P], cfg.Buffer),
+		alerts: make(chan alertEnv, cfg.Buffer),
+		done:   make(chan struct{}),
+		m:      newMetrics(cfg.Telemetry),
+	}
+	for i := range p.in {
+		p.in[i] = make(chan item, cfg.Buffer)
+	}
+	p.wg.Add(cfg.Shards + 1)
+	for i := range p.in {
+		go p.shardLoop(i)
+	}
+	go p.alertLoop()
+	return p
+}
+
+// Close stops the stage goroutines. Idempotent. Must not be called
+// concurrently with RunEpoch; after a cancelled epoch the pipeline may
+// hold in-flight items and must be closed, not reused.
+func (p *Pipeline[P]) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+	})
+}
+
+// shardOf routes a document to its prepare worker by key hash.
+func (p *Pipeline[P]) shardOf(doc *crawler.Doc) int {
+	h := fnv.New32a()
+	h.Write([]byte(doc.Site))
+	h.Write([]byte{'/'})
+	h.Write([]byte(doc.ID))
+	return int(h.Sum32() % uint32(len(p.in)))
+}
+
+// sendDoc pushes one polled document into its shard, blocking (and
+// counting the stall) when the shard is saturated.
+func (p *Pipeline[P]) sendDoc(ctx context.Context, doc crawler.Doc) error {
+	it := item{doc: doc, seenWall: time.Now()}
+	ch := p.in[p.shardOf(&it.doc)]
+	select {
+	case ch <- it:
+		p.m.queuePrepare.Add(1)
+		return nil
+	default:
+	}
+	p.m.bpPoll.Inc()
+	start := time.Now()
+	select {
+	case ch <- it:
+		p.m.queuePrepare.Add(1)
+		p.m.stallPoll.Observe(time.Since(start).Seconds())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// shardLoop is one persistent prepare worker.
+func (p *Pipeline[P]) shardLoop(w int) {
+	defer p.wg.Done()
+	for {
+		select {
+		case it := <-p.in[w]:
+			p.m.queuePrepare.Add(-1)
+			r := result[P]{it: it, pre: p.cfg.Prepare(&it.doc)}
+			select {
+			case p.out <- r:
+				p.m.queueSequencer.Add(1)
+			default:
+				p.m.bpPrepare.Inc()
+				start := time.Now()
+				select {
+				case p.out <- r:
+					p.m.queueSequencer.Add(1)
+					p.m.stallPrepare.Observe(time.Since(start).Seconds())
+				case <-p.done:
+					return
+				}
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// alertLoop is the single fan-out worker: it preserves commit order and
+// stamps end-to-end paste-seen→alert-delivered latency.
+func (p *Pipeline[P]) alertLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case a := <-p.alerts:
+			p.m.queueAlert.Add(-1)
+			if p.cfg.Deliver != nil {
+				p.cfg.Deliver(a.d)
+			}
+			if !a.seen.IsZero() {
+				p.m.alertLatency.Observe(time.Since(a.seen).Seconds())
+			}
+			p.alertWG.Done()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// EmitAlert queues one fan-out event. Called by the commit callback (on
+// the RunEpoch caller's goroutine); delivery happens on the alert worker,
+// in emit order, before RunEpoch returns.
+func (p *Pipeline[P]) EmitAlert(d Detection) {
+	env := alertEnv{d: d, seen: p.curSeen}
+	p.alertWG.Add(1)
+	select {
+	case p.alerts <- env:
+		p.m.queueAlert.Add(1)
+		return
+	default:
+	}
+	p.m.bpCommit.Inc()
+	start := time.Now()
+	select {
+	case p.alerts <- env:
+		p.m.queueAlert.Add(1)
+		p.m.stallCommit.Observe(time.Since(start).Seconds())
+	case <-p.done:
+		p.alertWG.Done()
+	}
+}
+
+// RunEpoch drives one virtual-clock tick: it polls every source (fanned
+// out up to PollParallelism), streams the delivered documents through the
+// prepare shards while later polls are still fetching, seals the epoch,
+// sorts by (Posted, Site, ID), and invokes commit in that order on the
+// calling goroutine. It returns after every alert emitted by the commits
+// has been delivered, so downstream service state is deterministic at the
+// epoch boundary (checkpoints cut between epochs see a quiesced pipeline).
+//
+// A poll that fails degrades the epoch instead of aborting it: the
+// failure is reported in EpochStats.Failures and the documents it did
+// deliver are still committed. Only context cancellation returns an
+// error; after that the pipeline must be closed, not reused.
+func (p *Pipeline[P]) RunEpoch(ctx context.Context, sources []Source, commit func(doc *crawler.Doc, pre P)) (EpochStats, error) {
+	var stats EpochStats
+	var pushed atomic.Int64
+	errs := make([]error, len(sources))
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		parallel.ForEach(len(sources), p.cfg.PollParallelism, func(i int) {
+			docs, err := sources[i].Poll(ctx)
+			errs[i] = err
+			for j := range docs {
+				if p.sendDoc(ctx, docs[j]) != nil {
+					return // epoch cancelled; the run is aborting
+				}
+				pushed.Add(1)
+			}
+		})
+	}()
+
+	// Sequencer: buffer prepared documents until the epoch seals (all
+	// polls returned and every pushed document came back prepared).
+	var buf []result[P]
+	sealed := pollDone
+	polling := true
+	for polling || int64(len(buf)) < pushed.Load() {
+		select {
+		case r := <-p.out:
+			p.m.queueSequencer.Add(-1)
+			buf = append(buf, r)
+		case <-sealed:
+			polling = false
+			sealed = nil // a nil channel never fires again
+		case <-ctx.Done():
+			<-pollDone // let pollers unwind before the caller tears down
+			return stats, ctx.Err()
+		case <-p.done:
+			return stats, ErrClosed
+		}
+	}
+
+	// A cancelled epoch never commits: the batch study aborts between
+	// poll and process on cancellation, and bit-identity with it demands
+	// the same here (a partially-polled day must not fold into the digest).
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+
+	// Commit stage: the exact batch-study order. sort.Slice is unstable,
+	// but (Posted, Site, ID) is a total order over unique documents.
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i].it.doc, &buf[j].it.doc
+		if !a.Posted.Equal(b.Posted) {
+			return a.Posted.Before(b.Posted)
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.ID < b.ID
+	})
+	for i := range buf {
+		p.curSeen = buf[i].it.seenWall
+		commit(&buf[i].it.doc, buf[i].pre)
+	}
+	p.curSeen = time.Time{}
+	stats.Committed = len(buf)
+
+	// Alert drain barrier: every EmitAlert from the commits above is
+	// delivered before the epoch ends.
+	p.alertWG.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			stats.Failures = append(stats.Failures, SourceError{Name: sources[i].Name, Err: err})
+		}
+	}
+	p.m.epochs.Inc()
+	p.m.docs.Add(float64(len(buf)))
+	return stats, nil
+}

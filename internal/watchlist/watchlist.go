@@ -159,6 +159,36 @@ func (w *Watchlist) Size() int {
 	return len(w.entries)
 }
 
+// State is the watchlist's checkpoint form: hashed keys and listing
+// windows only, never raw addresses or numbers (§3.3). TTL and the clock
+// are construction-time config and are not persisted.
+type State struct {
+	Entries map[string]Entry `json:"entries"`
+}
+
+// Snapshot captures the listings for checkpointing (deep copy).
+func (w *Watchlist) Snapshot() State {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	st := State{Entries: make(map[string]Entry, len(w.entries))}
+	for k, e := range w.entries {
+		st.Entries[k] = *e
+	}
+	return st
+}
+
+// Restore replaces the listings from a snapshot (deep copy).
+func (w *Watchlist) Restore(st State) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.entries = make(map[string]*Entry, len(st.Entries))
+	for k, e := range st.Entries {
+		cp := e
+		w.entries[k] = &cp
+	}
+	return nil
+}
+
 // Handler exposes the check API for dispatch integration:
 //
 //	GET /check?address=...   or   GET /check?phone=...

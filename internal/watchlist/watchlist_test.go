@@ -129,3 +129,33 @@ func TestHTTPCheck(t *testing.T) {
 		t.Errorf("missing query = %d", resp.StatusCode)
 	}
 }
+
+func TestSnapshotRestore(t *testing.T) {
+	now := time.Unix(1000, 0).UTC()
+	w := New(24*time.Hour, func() time.Time { return now })
+	w.AddAddress("42 Elm St, Chicago IL", "pastebin")
+	w.AddAddress("42 Elm St, Chicago IL", "4chan/b")
+	w.AddPhone("312-555-0142", "pastebin")
+
+	st := w.Snapshot()
+	fresh := New(24*time.Hour, func() time.Time { return now })
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	entry, listed := fresh.CheckAddress("42 elm st chicago il")
+	if !listed || entry.Hits != 2 {
+		t.Fatalf("restored address entry = %+v listed %v", entry, listed)
+	}
+	if _, listed := fresh.CheckPhone("(312) 555-0142"); !listed {
+		t.Fatal("restored phone missing")
+	}
+	// Deep copy: purging the restored list leaves the original intact.
+	now = now.Add(48 * time.Hour)
+	if n := fresh.Purge(); n != 2 {
+		t.Fatalf("purged = %d, want 2", n)
+	}
+	now = time.Unix(1000, 0).UTC()
+	if _, listed := w.CheckPhone("312-555-0142"); !listed {
+		t.Fatal("purge of restored copy bled into the original")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak stream-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak stream-soak shard-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
 
 all: check
 
@@ -56,8 +56,12 @@ chaos:
 	$(GO) test -count=1 -timeout 30m \
 		-run 'TestStreamBitIdentical|TestStreamResumeBitIdentical|TestStreamDigestMatchesBatch|TestStreamServiceResume' \
 		-v ./internal/core
+	$(GO) test -count=1 -timeout 30m \
+		-run 'TestShardedStudyBitIdentical|TestShardedLeaseAudit' \
+		-v ./internal/core
 	$(MAKE) resume-soak
 	$(MAKE) stream-soak
+	$(MAKE) shard-soak
 	$(MAKE) fuzz-smoke FUZZTIME=30s
 
 # Randomized kill/resume soak: durable studies killed at random day
@@ -75,6 +79,14 @@ stream-soak:
 	DOXMETER_STREAM_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
 		-run 'TestStreamSoak' -v ./internal/core
 
+# Randomized sharded soak: multi-worker studies with random shard counts,
+# worker-kill schedules and process kill/resume chains, each compared bit
+# for bit (records, tables, run digest) against the single-worker
+# baseline. Seed logged for exact replay.
+shard-soak:
+	DOXMETER_SHARD_SOAK=1 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestShardSoak' -v ./internal/core
+
 # Regenerate every table and figure (scale 0.25 shared study; ~3-5 min).
 bench:
 	$(GO) test -bench=. -benchmem -run NONE .
@@ -83,8 +95,10 @@ bench:
 # classify/tokenize/extract hot paths (cheap setup) plus the delta
 # checkpoint pair, which share one delta-mode study built on first use —
 # the setup run is a few minutes, the gate keeps the <50 ms/<5 MB
-# incremental-day budget honest.
-HOT_BENCH = ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused|CheckpointDelta|CheckpointCompaction|StreamThroughput|AlertFanout
+# incremental-day budget honest. Calibrate is the fixed machine-speed
+# reference benchjson uses to normalize the gate against CPU-frequency
+# and noisy-neighbor drift between the baseline run and the check run.
+HOT_BENCH = Calibrate|ClassifyHot|ClassifyReference|TokenizeZeroAlloc|Extract$$|ExtractFused|CheckpointDelta|CheckpointCompaction|StreamThroughput|AlertFanout|ShardedStudy
 
 # Faster spot check of the headline artifacts.
 bench-quick:

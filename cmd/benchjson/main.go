@@ -16,6 +16,10 @@
 // "10%"):
 //
 //	go test -bench=... . | benchjson -baseline BENCH_results.json -max-regress 10% -out /dev/null
+//
+// When both reports contain the BenchmarkCalibrate machine-speed reference,
+// the comparison first normalizes the current run by the calibration ratio,
+// cancelling CPU-frequency and noisy-neighbor drift between the two runs.
 package main
 
 import (
@@ -116,6 +120,17 @@ type Regression struct {
 	Delta         float64 // fractional slowdown, e.g. 0.25 = 25% slower
 }
 
+// calibrationName is the machine-speed reference benchmark. When both the
+// baseline and the current run contain it, every current ns/op is divided
+// by the ratio of calibration times before comparison. The calibration
+// workload is fixed pure CPU, so the ratio measures how fast the machine
+// is running right now versus when the baseline was recorded — CPU
+// frequency scaling and noisy-neighbor steal on shared VMs swing whole
+// runs by 30% or more, which would otherwise drown a 10% gate. The
+// ratio is clamped: a swing beyond 2x either way is not plausible speed
+// drift and is left for the per-benchmark limits to catch.
+const calibrationName = "BenchmarkCalibrate"
+
 // parseTolerance accepts "10%" or "0.1".
 func parseTolerance(s string) (float64, error) {
 	s = strings.TrimSpace(s)
@@ -148,10 +163,27 @@ func loadReport(path string) (*Report, error) {
 // to be a superset (full bench run) of a quick regression-check subset.
 // When a name appears several times (go test -count=N), each side uses its
 // fastest sample — min-vs-min is robust to scheduler noise, which only ever
-// slows a run down.
+// slows a run down. If both sides carry the calibration benchmark, current
+// values are normalized by the machine-speed ratio first (see
+// calibrationName); the calibration entry itself is never compared.
 func compare(base, cur *Report, tol float64) ([]Regression, int) {
 	baseNs := minNsByName(base)
 	curNs := minNsByName(cur)
+	scale := 1.0
+	if b, c := baseNs[calibrationName], curNs[calibrationName]; b > 0 && c > 0 {
+		scale = c / b
+		if scale < 0.5 {
+			scale = 0.5
+		} else if scale > 2 {
+			scale = 2
+		}
+		if scale != 1 {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: calibration %.0f -> %.0f ns/op; normalizing current results by 1/%.3f\n",
+				b, c, scale)
+		}
+		delete(curNs, calibrationName)
+	}
 	names := make([]string, 0, len(curNs))
 	for name := range curNs {
 		names = append(names, name)
@@ -165,7 +197,7 @@ func compare(base, cur *Report, tol float64) ([]Regression, int) {
 			continue
 		}
 		compared++
-		ns := curNs[name]
+		ns := curNs[name] / scale
 		delta := ns/b - 1
 		if delta > tol {
 			regs = append(regs, Regression{Name: name, Base: b, Current: ns, Delta: delta})

@@ -107,6 +107,52 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCompareCalibration(t *testing.T) {
+	// The whole machine is running 1.5x slower than when the baseline was
+	// recorded (calibration 100 -> 150). BenchmarkA merely rode the slow
+	// machine (+50% raw, unchanged after normalization); BenchmarkB
+	// genuinely regressed on top of it (+95% raw, +30% normalized).
+	base := &Report{Results: []Result{
+		{Name: calibrationName, NsPerOp: 100},
+		{Name: "BenchmarkA", NsPerOp: 200},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: calibrationName, NsPerOp: 150},
+		{Name: "BenchmarkA", NsPerOp: 300},
+		{Name: "BenchmarkB", NsPerOp: 1950},
+	}}
+	regs, compared := compare(base, cur, 0.10)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2 (calibration must not be compared)", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regs = %+v, want just BenchmarkB", regs)
+	}
+	if d := regs[0].Delta; d < 0.29 || d > 0.31 {
+		t.Errorf("normalized delta = %v, want ~0.30", d)
+	}
+
+	// A faster machine tightens the gate symmetrically: +20% raw on a
+	// machine now running 1.25x faster is a ~50% real regression.
+	fastCur := &Report{Results: []Result{
+		{Name: calibrationName, NsPerOp: 80},
+		{Name: "BenchmarkA", NsPerOp: 240},
+	}}
+	if regs, _ := compare(base, fastCur, 0.10); len(regs) != 1 {
+		t.Errorf("fast-machine regression missed: %+v", regs)
+	}
+
+	// An implausible >2x swing is clamped, not trusted.
+	wild := &Report{Results: []Result{
+		{Name: calibrationName, NsPerOp: 1000}, // claims 10x slower
+		{Name: "BenchmarkA", NsPerOp: 2000},    // 10x raw
+	}}
+	if regs, _ := compare(base, wild, 0.10); len(regs) != 1 {
+		t.Errorf("clamp failed, 10x slowdown excused: %+v", regs)
+	}
+}
+
 func TestCompareMinOfN(t *testing.T) {
 	// With -count=N duplicates, each side should be judged on its fastest
 	// sample, so one noisy slow run does not fail the gate.

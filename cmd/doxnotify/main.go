@@ -47,7 +47,7 @@ import (
 	"doxmeter/internal/faults"
 	"doxmeter/internal/feed"
 	"doxmeter/internal/notify"
-	"doxmeter/internal/store"
+	"doxmeter/internal/stack"
 	"doxmeter/internal/stream"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/watchlist"
@@ -63,13 +63,12 @@ func main() {
 		streamMode = flag.Bool("stream", false, "run the always-on streaming pipeline with live fan-out instead of seed-then-serve")
 		faultsName = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
 		progress   = flag.Bool("progress", false, "print per-day progress to stderr")
-		stateDir   = flag.String("state-dir", "", "directory for durable checkpoints; empty = non-durable run")
-		ckptEvery  = flag.Int("checkpoint-every", 1, "snapshot cadence in study days")
-		resume     = flag.Bool("resume", false, "resume from the latest checkpoint in -state-dir")
 	)
+	var dur stack.Durability
+	dur.RegisterFlags(flag.CommandLine, false)
 	flag.Parse()
-	if *resume && *stateDir == "" {
-		fatal(errors.New("-resume requires -state-dir"))
+	if err := dur.Validate(); err != nil {
+		fatal(err)
 	}
 
 	profile, err := faults.Preset(*faultsName, *seed+5)
@@ -109,21 +108,21 @@ func main() {
 	if *streamMode {
 		cfg.Stream = &core.StreamConfig{Fanout: fan}
 	}
-	if *stateDir != "" {
-		fileStore, err := store.OpenFile(*stateDir)
-		if err != nil {
-			fatal(err)
-		}
-		defer fileStore.Close()
-		cfg.Checkpoint = &core.CheckpointConfig{Store: fileStore, EveryDays: *ckptEvery}
+	fileStore, ckpt, err := dur.Open()
+	if err != nil {
+		fatal(err)
 	}
+	if fileStore != nil {
+		defer fileStore.Close()
+	}
+	cfg.Checkpoint = ckpt
 
 	s, err = core.NewStudy(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
-	if *resume {
+	if dur.Resume {
 		info, err := s.Resume()
 		if err != nil {
 			fatal(err)
@@ -143,7 +142,7 @@ func main() {
 	mux.Handle("/feed/", http.StripPrefix("/feed", telemetry.HTTPMetrics(reg, "feed", nil, log.Handler())))
 
 	if *streamMode {
-		runStreaming(s, mux, *addr, *stateDir)
+		runStreaming(s, mux, *addr, dur.StateDir)
 		return
 	}
 

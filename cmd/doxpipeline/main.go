@@ -5,7 +5,7 @@
 // Usage:
 //
 //	doxpipeline [-scale 0.05] [-seed 42] [-parallelism 0] [-faults off] [-progress] [-json]
-//	            [-stream]
+//	            [-stream] [-shards 4]
 //	            [-state-dir dir] [-checkpoint-every 1] [-checkpoint-mode full|delta]
 //	            [-compact-every 8] [-checkpoint-compress] [-resume]
 //	            [-admin addr] [-traces out.jsonl]
@@ -16,6 +16,14 @@
 // the funnel, tables and durable run digest are bit-identical to the
 // default batch mode — the queue/backpressure/latency series on /metrics
 // are the only observable difference.
+//
+// With -shards N > 1 the batch day loop runs as N pipeline worker groups
+// that partition the day's work through a leased work queue
+// (internal/lease): source polls, prepare partitions and monitor sweep
+// shards are acquired, executed and released item by item, and a worker
+// that dies mid-day forfeits its leases to the survivors. Results are
+// bit-identical to -shards 1 for any N, faults on or off, and a state
+// dir checkpointed at one shard count resumes cleanly at another.
 //
 // With -state-dir the study is durable: every -checkpoint-every study days
 // (and at period ends) the pipeline state is checkpointed into the
@@ -52,7 +60,7 @@ import (
 	"doxmeter/internal/experiments"
 	"doxmeter/internal/faults"
 	"doxmeter/internal/monitor"
-	"doxmeter/internal/store"
+	"doxmeter/internal/stack"
 	"doxmeter/internal/telemetry"
 )
 
@@ -68,17 +76,14 @@ func main() {
 		faultsName  = flag.String("faults", "off", "fault-injection profile for the simulated services: off, mild, heavy or outage")
 		adminAddr   = flag.String("admin", "", "serve /metrics, /debug/traces and /debug/pprof on this address during the run (empty = off)")
 		tracesPath  = flag.String("traces", "", "write the study's spans as JSON Lines to this file on exit")
-		stateDir    = flag.String("state-dir", "", "directory for durable checkpoints (snapshots + commit log); empty = non-durable run")
-		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot cadence in study days (period ends and stops always snapshot)")
-		ckptMode    = flag.String("checkpoint-mode", "full", "checkpoint strategy: full (every cut is a complete snapshot) or delta (incremental diffs with periodic compaction)")
-		compactN    = flag.Int("compact-every", 0, "in delta mode, write a full compaction snapshot after this many deltas (0 = default)")
-		ckptZip     = flag.Bool("checkpoint-compress", false, "flate-compress checkpoint files in -state-dir")
-		resume      = flag.Bool("resume", false, "resume from the latest checkpoint in -state-dir")
 		streamMode  = flag.Bool("stream", false, "run the always-on streaming pipeline (internal/stream) instead of the batch day loop; results are bit-identical")
+		shards      = flag.Int("shards", 1, "batch-mode pipeline worker groups partitioning the day's work through leased items; results are bit-identical for any N")
 	)
+	var dur stack.Durability
+	dur.RegisterFlags(flag.CommandLine, true)
 	flag.Parse()
-	if *resume && *stateDir == "" {
-		fatal(errors.New("-resume requires -state-dir"))
+	if err := dur.Validate(); err != nil {
+		fatal(err)
 	}
 
 	profile, err := faults.Preset(*faultsName, *seed+5)
@@ -99,20 +104,12 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", *adminAddr)
 	}
-	var ckpt *core.CheckpointConfig
-	if *stateDir != "" {
-		fileStore, err := store.OpenFile(*stateDir)
-		if err != nil {
-			fatal(err)
-		}
+	fileStore, ckpt, err := dur.Open()
+	if err != nil {
+		fatal(err)
+	}
+	if fileStore != nil {
 		defer fileStore.Close()
-		fileStore.SetCompress(*ckptZip)
-		ckpt = &core.CheckpointConfig{
-			Store:        fileStore,
-			EveryDays:    *ckptEvery,
-			Mode:         core.CheckpointMode(*ckptMode),
-			CompactEvery: *compactN,
-		}
 	}
 
 	var streamCfg *core.StreamConfig
@@ -121,14 +118,14 @@ func main() {
 	}
 
 	start := time.Now()
-	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Parallelism: *parallelism, Progress: progressW, Faults: profile, Checkpoint: ckpt, Telemetry: hub, Stream: streamCfg})
+	s, err := core.NewStudy(core.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, Parallelism: *parallelism, Progress: progressW, Faults: profile, Checkpoint: ckpt, Telemetry: hub, Stream: streamCfg})
 	if err != nil {
 		fatal(err)
 	}
 	defer s.Close()
 
 	var info core.ResumeInfo
-	if *resume {
+	if dur.Resume {
 		info, err = s.Resume()
 		if err != nil {
 			fatal(err)
@@ -164,8 +161,8 @@ func main() {
 			fatal(err)
 		}
 		stopped = true
-		if *stateDir != "" {
-			fmt.Fprintf(os.Stderr, "doxpipeline: stopped after a final checkpoint; continue with -state-dir %s -resume\n", *stateDir)
+		if dur.Durable() {
+			fmt.Fprintf(os.Stderr, "doxpipeline: stopped after a final checkpoint; continue with -state-dir %s -resume\n", dur.StateDir)
 		} else {
 			fmt.Fprintln(os.Stderr, "doxpipeline: stopped (no -state-dir, nothing persisted)")
 		}
@@ -255,11 +252,15 @@ func main() {
 			out["stream_epochs"] = int(reg.Sum("doxmeter_stream_epochs_total"))
 			out["stream_backpressure"] = int(reg.Sum("doxmeter_stream_backpressure_total"))
 		}
-		if *stateDir != "" {
-			out["state_dir"] = *stateDir
+		if *shards > 1 {
+			out["shards"] = *shards
+			out["lease_steals"] = s.LeaseSteals()
+		}
+		if dur.Durable() {
+			out["state_dir"] = dur.StateDir
 			out["checkpoints_written"] = s.CheckpointsWritten
-			out["checkpoint_mode"] = *ckptMode
-			if *ckptMode == string(core.CheckpointDelta) {
+			out["checkpoint_mode"] = dur.Mode
+			if dur.DeltaMode() {
 				out["checkpoint_chain_length"] = int(reg.Sum("doxmeter_checkpoint_chain_length"))
 			}
 			if info.Resumed {

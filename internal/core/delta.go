@@ -137,98 +137,51 @@ func mergeSortedUnique(a, b []string) []string {
 	return out
 }
 
-// drainJournals cuts and discards every provider delta plus the core
-// journal, re-anchoring all of them at the current state. Used by full
-// cuts (the image covers everything, so pending journal entries must not
-// leak into the next delta) and by restores.
+// drainJournals cuts and discards every component journal, re-anchoring
+// all of them at the current state. Used by full cuts (the image covers
+// everything, so pending journal entries must not leak into the next
+// delta) and by restores.
 func (s *Study) drainJournals() {
-	s.Deduper.CutDelta()
-	s.Monitor.CutDelta()
-	s.crawlers.pastebin.CutDelta()
-	for _, b := range s.crawlers.boards {
-		b.CutDelta()
-	}
-	s.resetCoreJournal()
+	_ = s.registry.Each(func(c store.Component, _ bool) error {
+		if j := c.DeltaJournal(); j != nil {
+			_, _, _ = j.Cut()
+		}
+		return nil
+	})
 }
 
-// buildDelta assembles the incremental checkpoint for the current cut:
-// one ComponentDelta per snapshot component, OpRef for the clean ones.
-// Drains every journal.
+// buildDelta assembles the incremental checkpoint for the current cut by
+// iterating the component registry: journaling components cut their
+// journals (OpPatch when dirty, OpRef when clean; the core journal is
+// always dirty — days_done and the run digest advance every day), and
+// journal-less components (the attached mitigation services) travel
+// wholesale. OpFull is correct even when the chain's anchor predates a
+// service's attachment — ApplyDeltaChain adds absent-from-base components
+// only for OpFull — and leaves no typed patch codec to register.
 func (s *Study) buildDelta(periodNo, day int) (*store.Delta, error) {
-	comps := make(map[string]store.ComponentDelta)
-	patch := func(key string, v any) error {
-		b, err := json.Marshal(v)
-		if err != nil {
-			return fmt.Errorf("core: delta component %s: %w", key, err)
+	comps := make(map[string]store.ComponentDelta, s.registry.Len())
+	if err := s.registry.Each(func(c store.Component, _ bool) error {
+		j := c.DeltaJournal()
+		if j == nil {
+			b, err := c.Snapshot()
+			if err != nil {
+				return err
+			}
+			comps[c.Name()] = store.ComponentDelta{Op: store.OpFull, Payload: b}
+			return nil
 		}
-		comps[key] = store.ComponentDelta{Op: store.OpPatch, Payload: b}
+		patch, dirty, err := j.Cut()
+		if err != nil {
+			return err
+		}
+		if !dirty {
+			comps[c.Name()] = store.ComponentDelta{Op: store.OpRef}
+			return nil
+		}
+		comps[c.Name()] = store.ComponentDelta{Op: store.OpPatch, Payload: patch}
 		return nil
-	}
-	// The core component always changes between cuts (days_done and the
-	// run digest advance every day), so it is always a patch.
-	if err := patch(compCore, s.coreStateDelta()); err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	if dd, dirty := s.Deduper.CutDelta(); dirty {
-		if err := patch(compDedup, dd); err != nil {
-			return nil, err
-		}
-	} else {
-		comps[compDedup] = store.ComponentDelta{Op: store.OpRef}
-	}
-	if md, dirty := s.Monitor.CutDelta(); dirty {
-		if err := patch(compMonitor, md); err != nil {
-			return nil, err
-		}
-	} else {
-		comps[compMonitor] = store.ComponentDelta{Op: store.OpRef}
-	}
-	if pd, dirty := s.crawlers.pastebin.CutDelta(); dirty {
-		if err := patch(compPastebin, pd); err != nil {
-			return nil, err
-		}
-	} else {
-		comps[compPastebin] = store.ComponentDelta{Op: store.OpRef}
-	}
-	for _, b := range s.crawlers.boards {
-		key := "crawler/" + b.SiteName
-		if bd, dirty := b.CutDelta(); dirty {
-			if err := patch(key, bd); err != nil {
-				return nil, err
-			}
-		} else {
-			comps[key] = store.ComponentDelta{Op: store.OpRef}
-		}
-	}
-	// Attached mitigation services travel wholesale (OpFull) in every
-	// delta cut: their state is small (digest maps, a bounded feed
-	// window), and OpFull is correct even when the chain's anchor predates
-	// the attachment — ApplyDeltaChain adds absent-from-base components
-	// only for OpFull. No typed patch codec to register, either.
-	full := func(key string, v any) error {
-		b, err := json.Marshal(v)
-		if err != nil {
-			return fmt.Errorf("core: delta component %s: %w", key, err)
-		}
-		comps[key] = store.ComponentDelta{Op: store.OpFull, Payload: b}
-		return nil
-	}
-	if f := s.fanout; f != nil {
-		if f.Notify != nil {
-			if err := full(compNotify, f.Notify.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
-		if f.Watchlist != nil {
-			if err := full(compWatchlist, f.Watchlist.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
-		if f.Feed != nil {
-			if err := full(compFeed, f.Feed.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
 	}
 	return &store.Delta{
 		Seq:     s.ckptSeq,

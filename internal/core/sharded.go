@@ -1,0 +1,334 @@
+// Sharded-study driver: with StudyConfig.Shards = N > 1 the day loop's
+// work — source polls, document-prepare partitions, monitor sweep shards
+// — is partitioned into leased work items that N worker groups acquire,
+// execute and release (internal/lease). Scheduling runs in rounds on a
+// private round clock layered over the frozen intra-day virtual clock: in
+// each round every live worker acquires at most one item (in worker
+// order, on the driver goroutine), the granted items execute
+// concurrently, and the grants are released at the same round timestamp.
+//
+// The determinism argument, which the keystone sharding test enforces:
+//
+//   - Workers crash only at acquisition (the in-process model — a worker
+//     cannot vanish between instructions), so a leased item either ran to
+//     release or never started. Steals re-run only never-started items;
+//     no work item ever executes twice, and every fetch sequence against
+//     the simulated services — where fault decisions are pure functions
+//     of (seed, URL, per-URL attempt) — is the same as a single worker's.
+//   - Acquire grants the lowest available key and workers acquire in
+//     index order, so work distribution and steal order are pure
+//     functions of the (kill schedule, item set).
+//   - All state mutation stays on the driver goroutine: documents commit
+//     in (Posted, Site, ID) order and monitor observations commit in
+//     account-key order, exactly as in the single-worker loop.
+//
+// Checkpoints are untouched by sharding: the dedup and monitor wrappers
+// merge per-shard state into the same canonical component payloads a
+// single-worker study writes (and re-split them on restore), so a run may
+// checkpoint at N shards and resume at M.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/lease"
+	"doxmeter/internal/monitor"
+	"doxmeter/internal/parallel"
+	"doxmeter/internal/simclock"
+	"doxmeter/internal/store"
+)
+
+// leaseTTL is the lease expiry in scheduling rounds (the driver's round
+// clock ticks one second per round): a lease granted in round r is
+// stealable from round r+2 on. Live workers acquire and release within
+// one round, so only a crashed worker's lease ever reaches expiry.
+const leaseTTL = 2 * time.Second
+
+// shardDriver coordinates the worker groups of one sharded study.
+type shardDriver struct {
+	s       *Study
+	workers int
+	queue   *lease.Queue
+	epoch   int
+
+	// Fault-injection hooks for the keystone tests: killAt[w] counts the
+	// successful acquisitions left before worker w crashes (-1 = never);
+	// crashed workers stay dead for the rest of the process (their leases
+	// dangle until stolen).
+	crashed []bool
+	killAt  []int
+}
+
+func newShardDriver(s *Study) *shardDriver {
+	q, err := lease.New(leaseTTL)
+	if err != nil {
+		panic(err) // unreachable: leaseTTL is a positive constant
+	}
+	d := &shardDriver{
+		s:       s,
+		workers: s.Cfg.Shards,
+		queue:   q,
+		crashed: make([]bool, s.Cfg.Shards),
+		killAt:  make([]int, s.Cfg.Shards),
+	}
+	for i := range d.killAt {
+		d.killAt[i] = -1
+	}
+	q.SetRecorder(d.record)
+	return d
+}
+
+// record appends one lease-steal audit entry to the commit log of a
+// durable study. Best-effort: the entry is operational provenance (which
+// worker took over which item), not state — the resume digest cross-check
+// reads only day entries.
+func (d *shardDriver) record(ev lease.Event) {
+	ck := d.s.ckpt()
+	if ck == nil {
+		return
+	}
+	_ = ck.Store.AppendEntry(store.Entry{
+		Kind: store.KindLease, Seq: d.s.ckptSeq, Key: ev.Key, Worker: ev.To,
+		VTime: d.s.Clock.Now(),
+	})
+}
+
+func (d *shardDriver) alive() int {
+	n := 0
+	for _, c := range d.crashed {
+		if !c {
+			n++
+		}
+	}
+	return n
+}
+
+// runLeasedPhase drives the worker groups through one phase's work items.
+// exec runs off the driver goroutine (concurrently across workers) and
+// must not mutate shared study state; each item executes exactly once.
+func (d *shardDriver) runLeasedPhase(ctx context.Context, phase string, keys []string, exec func(key string, worker int)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	d.epoch++
+	d.queue.BeginEpoch(d.epoch, keys)
+	base := d.s.Clock.Now()
+	type grant struct {
+		l      lease.Lease
+		worker int
+	}
+	for round := 0; !d.queue.AllDone(); round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		now := base.Add(time.Duration(round) * time.Second)
+		var grants []grant
+		for w := 0; w < d.workers; w++ {
+			if d.crashed[w] {
+				continue
+			}
+			l, ok := d.queue.Acquire(w, now)
+			if !ok {
+				continue // nothing available for this worker this round
+			}
+			if d.killAt[w] == 0 {
+				// Crash-at-acquire: the worker dies holding the lease,
+				// without executing. The item dangles until the TTL
+				// lapses, then a surviving worker steals and runs it.
+				d.crashed[w] = true
+				continue
+			}
+			if d.killAt[w] > 0 {
+				d.killAt[w]--
+			}
+			grants = append(grants, grant{l: l, worker: w})
+		}
+		if len(grants) == 0 {
+			if d.alive() == 0 {
+				return fmt.Errorf("core: sharded %s phase: all %d workers crashed with %d items pending",
+					phase, d.workers, d.queue.Remaining())
+			}
+			continue // dangling leases expire as the round clock advances
+		}
+		parallel.ForEach(len(grants), len(grants), func(i int) {
+			exec(grants[i].l.Key, grants[i].worker)
+		})
+		for _, g := range grants {
+			// Grant and release happen at the same round timestamp and the
+			// TTL spans two rounds, so a live worker's release cannot fail.
+			if err := d.queue.Release(g.l, now); err != nil {
+				return fmt.Errorf("core: sharded %s phase: %v", phase, err)
+			}
+		}
+	}
+	return nil
+}
+
+// collectDay is the sharded counterpart of collectOnce: source polls and
+// document-prepare partitions run as leased work items, and the driver
+// goroutine commits the day's batch in (Posted, Site, ID) order.
+func (d *shardDriver) collectDay(ctx context.Context, p simclock.Period, periodNo int) error {
+	s := d.s
+	type source struct {
+		name string
+		poll func(context.Context) ([]crawler.Doc, error)
+	}
+	sources := []source{{"pastebin", s.crawlers.pastebin.Poll}}
+	if periodNo == 2 {
+		for _, bc := range s.crawlers.boards {
+			sources = append(sources, source{bc.SiteName, bc.Poll})
+		}
+	}
+	keys := make([]string, len(sources))
+	keyIdx := make(map[string]int, len(sources))
+	for i, src := range sources {
+		keys[i] = "poll/" + src.name
+		keyIdx[keys[i]] = i
+	}
+	polled := make([][]crawler.Doc, len(sources))
+	errs := make([]error, len(sources))
+	pollStart := time.Now()
+	pollCtx, pollSpan := s.m.span(ctx, "poll")
+	err := d.runLeasedPhase(ctx, "poll", keys, func(key string, _ int) {
+		i := keyIdx[key]
+		_, sp := s.m.span(pollCtx, "poll:"+sources[i].name)
+		polled[i], errs[i] = sources[i].poll(ctx)
+		sp.SetAttr("docs", strconv.Itoa(len(polled[i])))
+		sp.End()
+	})
+	pollSpan.End()
+	s.m.stagePoll.Observe(time.Since(pollStart).Seconds())
+	if err != nil {
+		return err
+	}
+	// Poll failures degrade the day exactly as in the single-worker loop:
+	// tallied, partial deliveries still processed, nothing lost.
+	for i, perr := range errs {
+		if perr == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("%s poll: %w", sources[i].name, perr)
+		}
+		s.PollFailures[sources[i].name]++
+		s.m.pollFailures.With(sources[i].name).Inc()
+	}
+
+	var docs []crawler.Doc
+	for _, dd := range polled {
+		docs = append(docs, dd...)
+	}
+	sortDocs(docs)
+
+	// Prepare: the sorted batch is partitioned by document key hash into
+	// one leased item per worker group (the same hash that routes stream
+	// prepare shards and dedup/monitor state). prepareDoc is pure, and
+	// the partitions write disjoint slots, so concurrent execution is
+	// race-free and order-independent.
+	shardIdx := make([][]int, d.workers)
+	for i := range docs {
+		sh := lease.ShardOf(docs[i].Site+"/"+docs[i].ID, d.workers)
+		shardIdx[sh] = append(shardIdx[sh], i)
+	}
+	prepKeys := make([]string, d.workers)
+	prepIdx := make(map[string]int, d.workers)
+	for i := range prepKeys {
+		prepKeys[i] = "prep/" + strconv.Itoa(i)
+		prepIdx[prepKeys[i]] = i
+	}
+	prepared := make([]Prepared, len(docs))
+	prepStart := time.Now()
+	_, prepSpan := s.m.span(ctx, "prepare")
+	prepSpan.SetAttr("docs", strconv.Itoa(len(docs)))
+	err = d.runLeasedPhase(ctx, "prepare", prepKeys, func(key string, _ int) {
+		for _, i := range shardIdx[prepIdx[key]] {
+			prepared[i] = s.prepareDoc(&docs[i])
+		}
+	})
+	prepSpan.End()
+	s.m.stagePrepare.Observe(time.Since(prepStart).Seconds())
+	if err != nil {
+		return err
+	}
+
+	commitStart := time.Now()
+	_, commitSpan := s.m.span(ctx, "commit")
+	for i := range docs {
+		s.commit(&docs[i], prepared[i], periodNo, p)
+	}
+	commitSpan.End()
+	s.m.stageCommit.Observe(time.Since(commitStart).Seconds())
+	return nil
+}
+
+// monitorDay sweeps the monitor's key-hash shards as leased work items:
+// each grant scrapes one shard's due accounts (read-only), then the
+// driver goroutine commits every observation in global account-key order
+// — the same outcome as the unified parallel sweep. Used only when
+// Parallelism > 1; the serial sweep interleaves scrape and commit
+// globally, which only Monitor.ProcessDue can reproduce.
+func (d *shardDriver) monitorDay(ctx context.Context) error {
+	s := d.s
+	n := s.Monitor.NumShards()
+	now := s.Clock.Now()
+	keys := make([]string, n)
+	keyIdx := make(map[string]int, n)
+	for i := range keys {
+		keys[i] = "mon/" + strconv.Itoa(i)
+		keyIdx[keys[i]] = i
+	}
+	sweeps := make([]monitor.ShardSweep, n)
+	if err := d.runLeasedPhase(ctx, "monitor", keys, func(key string, _ int) {
+		i := keyIdx[key]
+		sweeps[i] = s.Monitor.FetchShard(ctx, i, now, s.Cfg.Parallelism)
+	}); err != nil {
+		return err
+	}
+	return s.Monitor.CommitSweeps(now, sweeps)
+}
+
+// Workers returns the number of sharded worker groups (1 for a classic
+// single-worker study).
+func (s *Study) Workers() int {
+	if s.driver == nil {
+		return 1
+	}
+	return s.driver.workers
+}
+
+// KillWorkerAfter schedules sharded worker w to crash at its n-th next
+// successful lease acquisition (n = 0 crashes it at the very next one).
+// The worker dies holding that lease without executing the item, which a
+// surviving worker steals after expiry; the study's results are
+// unaffected (the keystone property). A no-op unless Cfg.Shards > 1.
+// Chaos-test hook.
+func (s *Study) KillWorkerAfter(w, n int) {
+	if s.driver == nil || w < 0 || w >= s.driver.workers || n < 0 {
+		return
+	}
+	s.driver.killAt[w] = n
+}
+
+// LeaseSteals reports how many leased work items were stolen from crashed
+// workers in this process (operational provenance, like
+// CheckpointsWritten; not carried across resume).
+func (s *Study) LeaseSteals() int64 {
+	if s.driver == nil {
+		return 0
+	}
+	return s.driver.queue.Steals()
+}
+
+// StreamLeases reports the ownership state of the streaming pipeline's
+// prepare-shard leases — which "prepare/<i>" keys exist and which were
+// cleanly released. The zero State in batch mode.
+func (s *Study) StreamLeases() lease.State {
+	if s.streamLeases == nil {
+		return lease.State{}
+	}
+	return s.streamLeases.Snapshot()
+}

@@ -1,0 +1,213 @@
+package core_test
+
+// Keystone sharding suite: a multi-worker study (StudyConfig.Shards = N)
+// must be bit-identical to the single-worker run — same dox records,
+// same rendered tables, same durable run digest — with fault injection
+// on, across kill/resume of the process, across crashes of a random
+// subset of workers mid-day (leases dangle and get stolen), and across
+// checkpoint-at-N/resume-at-M shard-count changes.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"doxmeter/internal/core"
+	"doxmeter/internal/store"
+)
+
+// shardLeg is one process lifetime of a sharded durable study: run with
+// `shards` worker groups, crash the given workers after their n-th lease
+// acquisition, stop cleanly at absolute study day `stopAt` (0 = run to
+// completion).
+type shardLeg struct {
+	shards int
+	kills  map[int]int // worker -> acquisitions before crash
+	stopAt int
+	// mustSteal asserts at least one lease steal happened this leg (set
+	// when the kill schedule is chosen to guarantee one; the randomized
+	// soak may schedule kills past a short leg's end).
+	mustSteal bool
+}
+
+// runShardChain executes a durable sharded study across legs and returns
+// the completed study. Worker kills must leave at least one worker alive
+// per leg; the study's results must be unaffected (stolen leases re-run
+// never-started work).
+func runShardChain(t *testing.T, mild bool, st store.Store, legs []shardLeg) *core.Study {
+	t.Helper()
+	prev := 0
+	var s *core.Study
+	for i, leg := range legs {
+		cfg := resumeCfg(0, mild) // GOMAXPROCS: exercises the leased monitor sweep
+		cfg.Shards = leg.shards
+		s = newDurableStudy(t, cfg, st)
+		info, err := s.Resume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (prev > 0) != info.Resumed {
+			t.Fatalf("leg %d: resume info %+v after %d days", i, info, prev)
+		}
+		for w, n := range leg.kills {
+			s.KillWorkerAfter(w, n)
+		}
+		if leg.stopAt == 0 {
+			if err := s.Run(context.Background()); err != nil {
+				t.Fatalf("final leg: %v", err)
+			}
+		} else {
+			s.Cfg.Progress = &stopAfter{s: s, days: leg.stopAt - prev}
+			if err := s.Run(context.Background()); !errors.Is(err, core.ErrStopped) {
+				t.Fatalf("leg %d: Run = %v, want ErrStopped", i, err)
+			}
+			prev = leg.stopAt
+		}
+		if leg.mustSteal && s.LeaseSteals() == 0 {
+			t.Fatalf("leg %d killed workers %v but no lease was stolen", i, leg.kills)
+		}
+		s.Close()
+	}
+	return s
+}
+
+// TestShardedStudyBitIdentical is the keystone: N-shard runs (N = 1, 4, 8)
+// with mild faults produce bit-identical dox records, tables, and durable
+// run digest vs the single-worker baseline, across process kill/resume,
+// worker crashes, and shard-count changes between legs.
+func TestShardedStudyBitIdentical(t *testing.T) {
+	t.Parallel()
+	base := getBaseline(t, true)
+
+	// Single-worker durable reference: fixes the expected run digest.
+	ref := runShardChain(t, true, store.NewMem(), []shardLeg{{shards: 1}})
+	compareStudies(t, base.s, ref, base.tables, renderAnalyses(ref))
+	refDigest := ref.RunDigest()
+	if refDigest == "" {
+		t.Fatal("reference run digest is empty")
+	}
+
+	cases := []struct {
+		name string
+		legs []shardLeg
+	}{
+		// 4 workers; two die mid-run (leases stolen), process killed and
+		// resumed twice, middle leg runs at 8 shards (checkpoint at N,
+		// resume at M), final leg back at 4.
+		{"shards=4-kills-reshard", []shardLeg{
+			{shards: 4, kills: map[int]int{1: 7, 3: 19}, stopAt: 20, mustSteal: true},
+			{shards: 8, kills: map[int]int{0: 11}, stopAt: 55, mustSteal: true},
+			{shards: 4},
+		}},
+		// 8 workers; half the fleet dies on day one's first acquisitions.
+		{"shards=8-mass-kill", []shardLeg{
+			{shards: 8, kills: map[int]int{0: 0, 2: 1, 4: 2, 6: 3}, stopAt: 30, mustSteal: true},
+			{shards: 8},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := runShardChain(t, true, store.NewMem(), tc.legs)
+			compareStudies(t, base.s, s, base.tables, renderAnalyses(s))
+			if got := s.RunDigest(); got != refDigest {
+				t.Errorf("run digest diverged: sharded %s, single-worker %s", got, refDigest)
+			}
+		})
+	}
+}
+
+// TestShardedLeaseAudit pins the commit-log side of sharding: worker
+// crashes leave KindLease steal entries (key + stealing worker) in the
+// durable log.
+func TestShardedLeaseAudit(t *testing.T) {
+	t.Parallel()
+	mem := store.NewMem()
+	cfg := resumeCfg(0, false)
+	cfg.Shards = 4
+	s := newDurableStudy(t, cfg, mem)
+	s.KillWorkerAfter(2, 3)
+	s.Cfg.Progress = &stopAfter{s: s, days: 10}
+	if err := s.Run(context.Background()); !errors.Is(err, core.ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	s.Close()
+	if s.LeaseSteals() == 0 {
+		t.Fatal("killed worker produced no steals")
+	}
+	entries, err := mem.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := 0
+	for _, e := range entries {
+		if e.Kind != store.KindLease {
+			continue
+		}
+		leases++
+		if e.Key == "" {
+			t.Errorf("lease entry without a key: %+v", e)
+		}
+		if e.Worker == 2 {
+			t.Errorf("crashed worker 2 recorded as a stealer: %+v", e)
+		}
+	}
+	if int64(leases) != s.LeaseSteals() {
+		t.Errorf("lease audit entries %d != steals %d", leases, s.LeaseSteals())
+	}
+}
+
+// TestShardSoak (env-gated; `make shard-soak`) randomizes shard counts,
+// worker-kill schedules and process-kill days, asserting run-digest and
+// table equality against the single-worker baseline every iteration. The
+// RNG seed is logged so any failure replays exactly.
+func TestShardSoak(t *testing.T) {
+	if os.Getenv("DOXMETER_SHARD_SOAK") == "" {
+		t.Skip("set DOXMETER_SHARD_SOAK=1 (or run `make shard-soak`) for the randomized sharded kill/resume soak")
+	}
+	seed := time.Now().UnixNano()
+	t.Logf("soak seed %d (re-run by hardcoding it here)", seed)
+	rng := rand.New(rand.NewSource(seed))
+	base := getBaseline(t, true)
+	ref := runShardChain(t, true, store.NewMem(), []shardLeg{{shards: 1}})
+	refDigest := ref.RunDigest()
+
+	for iter := 0; iter < 3; iter++ {
+		nLegs := 1 + rng.Intn(3)
+		cutSet := map[int]bool{}
+		for len(cutSet) < nLegs-1 {
+			cutSet[1+rng.Intn(totalDays-1)] = true
+		}
+		cuts := make([]int, 0, nLegs-1)
+		for c := range cutSet {
+			cuts = append(cuts, c)
+		}
+		sort.Ints(cuts)
+		legs := make([]shardLeg, nLegs)
+		for i := range legs {
+			shards := 2 + rng.Intn(7) // 2..8
+			kills := map[int]int{}
+			// Kill a random strict subset of workers (at least one lives).
+			for w := 0; w < shards; w++ {
+				if len(kills) < shards-1 && rng.Intn(3) == 0 {
+					kills[w] = rng.Intn(25)
+				}
+			}
+			legs[i] = shardLeg{shards: shards, kills: kills}
+			if i < nLegs-1 {
+				legs[i].stopAt = cuts[i]
+			}
+		}
+		t.Logf("iter %d: legs=%+v", iter, legs)
+		s := runShardChain(t, true, store.NewMem(), legs)
+		compareStudies(t, base.s, s, base.tables, renderAnalyses(s))
+		if got := s.RunDigest(); got != refDigest {
+			t.Errorf("iter %d: run digest diverged: %s vs %s", iter, got, refDigest)
+		}
+	}
+}

@@ -21,16 +21,11 @@ import (
 	"time"
 
 	"doxmeter/internal/crawler"
-	"doxmeter/internal/dedup"
 	"doxmeter/internal/extract"
-	"doxmeter/internal/feed"
 	"doxmeter/internal/geo"
 	"doxmeter/internal/label"
-	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
-	"doxmeter/internal/notify"
 	"doxmeter/internal/store"
-	"doxmeter/internal/watchlist"
 )
 
 // GeoOutcome is the precomputed §4.1 IP-vs-postal comparison for one dox.
@@ -209,55 +204,23 @@ func doxStateOf(d *DoxRecord) doxState {
 }
 
 // Snapshot assembles a full checkpoint of the study at the given day
-// boundary: core funnel state, dedup indexes, monitor histories, and every
-// crawler's cursor/seen state.
+// boundary by iterating the component registry: core funnel state, dedup
+// indexes, monitor histories, every crawler's cursor/seen state, and any
+// attached mitigation services (whose snapshots obey the same §3.3
+// discipline: salted digests and hashes only). Sharded providers merge
+// into the same canonical payloads a single-worker study writes, so the
+// snapshot is byte-identical at any Shards setting.
 func (s *Study) Snapshot(periodNo, day int) (*store.Snapshot, error) {
-	comps := make(map[string]json.RawMessage)
-	put := func(key string, v any) error {
-		b, err := json.Marshal(v)
+	comps := make(map[string]json.RawMessage, s.registry.Len())
+	if err := s.registry.Each(func(c store.Component, _ bool) error {
+		b, err := c.Snapshot()
 		if err != nil {
-			return fmt.Errorf("core: snapshot component %s: %w", key, err)
+			return err
 		}
-		comps[key] = b
+		comps[c.Name()] = b
 		return nil
-	}
-	if err := put(compCore, s.coreState()); err != nil {
+	}); err != nil {
 		return nil, err
-	}
-	if err := put(compDedup, s.Deduper.Snapshot()); err != nil {
-		return nil, err
-	}
-	if err := put(compMonitor, s.Monitor.Snapshot()); err != nil {
-		return nil, err
-	}
-	if err := put(compPastebin, s.crawlers.pastebin.Snapshot()); err != nil {
-		return nil, err
-	}
-	for _, b := range s.crawlers.boards {
-		if err := put("crawler/"+b.SiteName, b.Snapshot()); err != nil {
-			return nil, err
-		}
-	}
-	// Attached mitigation services ride the study checkpoint, so a
-	// restarted service keeps its subscribers, listings and feed cursor
-	// space. Their snapshots obey the same §3.3 discipline: salted
-	// digests and hashes only.
-	if f := s.fanout; f != nil {
-		if f.Notify != nil {
-			if err := put(compNotify, f.Notify.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
-		if f.Watchlist != nil {
-			if err := put(compWatchlist, f.Watchlist.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
-		if f.Feed != nil {
-			if err := put(compFeed, f.Feed.Snapshot()); err != nil {
-				return nil, err
-			}
-		}
 	}
 	return &store.Snapshot{
 		Seq: s.ckptSeq,
@@ -269,89 +232,10 @@ func (s *Study) Snapshot(periodNo, day int) (*store.Snapshot, error) {
 	}, nil
 }
 
-// RestoreSnapshot loads a checkpoint into a freshly built study. The study
-// must have been constructed with the same Seed and Scale; everything else
-// (world, corpus, classifier, services) is already rebuilt deterministically
-// by NewStudy, so only the mutable pipeline state is restored here.
-func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
-	if snap == nil {
-		return errors.New("core: restore: nil snapshot")
-	}
-	if snap.Meta.Seed != s.Cfg.Seed {
-		return fmt.Errorf("core: restore: snapshot seed %d, study seed %d", snap.Meta.Seed, s.Cfg.Seed)
-	}
-	if snap.Meta.Scale != s.Cfg.Scale {
-		return fmt.Errorf("core: restore: snapshot scale %v, study scale %v", snap.Meta.Scale, s.Cfg.Scale)
-	}
-	get := func(key string, v any) error {
-		raw, ok := snap.Components[key]
-		if !ok {
-			return fmt.Errorf("core: restore: snapshot missing component %q", key)
-		}
-		if err := json.Unmarshal(raw, v); err != nil {
-			return fmt.Errorf("core: restore component %s: %w", key, err)
-		}
-		return nil
-	}
-
-	// Decode every component before mutating anything.
-	var cs coreState
-	if err := get(compCore, &cs); err != nil {
-		return err
-	}
-	var dst dedup.State
-	if err := get(compDedup, &dst); err != nil {
-		return err
-	}
-	var mst monitor.State
-	if err := get(compMonitor, &mst); err != nil {
-		return err
-	}
-	var pst crawler.PastebinState
-	if err := get(compPastebin, &pst); err != nil {
-		return err
-	}
-	bsts := make([]crawler.BoardState, len(s.crawlers.boards))
-	for i, b := range s.crawlers.boards {
-		if err := get("crawler/"+b.SiteName, &bsts[i]); err != nil {
-			return err
-		}
-	}
-	// Attached service components are optional: a snapshot written before
-	// the service attached (or by a batch run) simply leaves that service
-	// starting fresh. getOpt decodes only what is present.
-	getOpt := func(key string, v any) (bool, error) {
-		raw, ok := snap.Components[key]
-		if !ok {
-			return false, nil
-		}
-		if err := json.Unmarshal(raw, v); err != nil {
-			return false, fmt.Errorf("core: restore component %s: %w", key, err)
-		}
-		return true, nil
-	}
-	var nst notify.State
-	var wst watchlist.State
-	var fst feed.State
-	var haveNotify, haveWatch, haveFeed bool
-	if f := s.fanout; f != nil {
-		var err error
-		if f.Notify != nil {
-			if haveNotify, err = getOpt(compNotify, &nst); err != nil {
-				return err
-			}
-		}
-		if f.Watchlist != nil {
-			if haveWatch, err = getOpt(compWatchlist, &wst); err != nil {
-				return err
-			}
-		}
-		if f.Feed != nil {
-			if haveFeed, err = getOpt(compFeed, &fst); err != nil {
-				return err
-			}
-		}
-	}
+// restoreCoreState installs the study's own component payload: it
+// validates the digest and dox records, then replaces the funnel state.
+// Registered as the core component's restore hook.
+func (s *Study) restoreCoreState(cs coreState) error {
 	digest, err := hex.DecodeString(cs.RunDigest)
 	if err != nil || len(digest) != len(s.runDigest) {
 		return fmt.Errorf("core: restore: bad run digest %q", cs.RunDigest)
@@ -374,38 +258,6 @@ func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
 			DocID: ds.DocID, Site: ds.Site, Posted: ds.Posted, Period: ds.Period,
 			Extraction: ex, TextDigest: ds.TextDigest, Labels: ds.Labels, Geo: ds.Geo,
 		})
-	}
-	// A fresh study's clock sits at Period1.Start; every snapshot is at or
-	// after that. Restoring into an already-advanced study is refused.
-	now := s.Clock.Now()
-	if snap.Meta.VirtualTime.Before(now) {
-		return fmt.Errorf("core: restore: snapshot time %v is before the study clock %v", snap.Meta.VirtualTime, now)
-	}
-
-	if err := s.Deduper.Restore(dst); err != nil {
-		return err
-	}
-	if err := s.Monitor.Restore(mst); err != nil {
-		return err
-	}
-	s.crawlers.pastebin.Restore(pst)
-	for i, b := range s.crawlers.boards {
-		b.Restore(bsts[i])
-	}
-	if haveNotify {
-		if err := s.fanout.Notify.Restore(nst); err != nil {
-			return err
-		}
-	}
-	if haveWatch {
-		if err := s.fanout.Watchlist.Restore(wst); err != nil {
-			return err
-		}
-	}
-	if haveFeed {
-		if err := s.fanout.Feed.Restore(fst); err != nil {
-			return err
-		}
 	}
 	s.Collected = cs.Collected
 	s.CollectedBySite = cs.CollectedBySite
@@ -435,6 +287,49 @@ func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
 		}
 	}
 	s.Doxes = doxes
+	return nil
+}
+
+// RestoreSnapshot loads a checkpoint into a freshly built study. The study
+// must have been constructed with the same Seed and Scale; everything else
+// (world, corpus, classifier, services) is already rebuilt deterministically
+// by NewStudy, so only the mutable pipeline state — the component registry —
+// is restored here. Optional components (attached services) absent from the
+// snapshot simply start fresh.
+func (s *Study) RestoreSnapshot(snap *store.Snapshot) error {
+	if snap == nil {
+		return errors.New("core: restore: nil snapshot")
+	}
+	if snap.Meta.Seed != s.Cfg.Seed {
+		return fmt.Errorf("core: restore: snapshot seed %d, study seed %d", snap.Meta.Seed, s.Cfg.Seed)
+	}
+	if snap.Meta.Scale != s.Cfg.Scale {
+		return fmt.Errorf("core: restore: snapshot scale %v, study scale %v", snap.Meta.Scale, s.Cfg.Scale)
+	}
+	// A fresh study's clock sits at Period1.Start; every snapshot is at or
+	// after that. Restoring into an already-advanced study is refused.
+	now := s.Clock.Now()
+	if snap.Meta.VirtualTime.Before(now) {
+		return fmt.Errorf("core: restore: snapshot time %v is before the study clock %v", snap.Meta.VirtualTime, now)
+	}
+	// Every required component must be present before anything mutates.
+	if err := s.registry.Each(func(c store.Component, optional bool) error {
+		if _, ok := snap.Components[c.Name()]; !ok && !optional {
+			return fmt.Errorf("core: restore: snapshot missing component %q", c.Name())
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := s.registry.Each(func(c store.Component, _ bool) error {
+		raw, ok := snap.Components[c.Name()]
+		if !ok {
+			return nil // optional component, absent from this snapshot
+		}
+		return c.Restore(raw)
+	}); err != nil {
+		return err
+	}
 	if snap.Meta.VirtualTime.After(now) {
 		s.Clock.Set(snap.Meta.VirtualTime)
 	}

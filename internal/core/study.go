@@ -41,6 +41,7 @@ import (
 	"doxmeter/internal/simclock"
 	"doxmeter/internal/sites"
 	"doxmeter/internal/store"
+	"doxmeter/internal/lease"
 	"doxmeter/internal/stream"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/textgen"
@@ -63,6 +64,19 @@ type StudyConfig struct {
 	// LabelSample is how many flagged doxes the analyst labels; 0 uses
 	// the paper's 464 (capped at the number available).
 	LabelSample int
+	// Shards is the number of pipeline worker groups run against this one
+	// logical study (0 or 1 means the classic single-worker loop). With
+	// Shards > 1 each study day's work — source polls, document prepare
+	// partitions, monitor sweep shards — is partitioned into leased work
+	// items (internal/lease) that the worker groups acquire, execute and
+	// release; the dedup index and monitor schedule are sharded by key
+	// hash behind merge-on-snapshot wrappers. Results are bit-identical
+	// to a Shards=1 run at any worker count, with faults on or off and
+	// across kill/resume of any subset of workers (the keystone sharding
+	// test): all state mutation still happens on the driver goroutine in
+	// (Posted, Site, ID) order, and checkpoints merge per-shard state
+	// into the same canonical components a single-worker run writes.
+	Shards int
 	// Parallelism bounds every concurrent stage of the pipeline: the
 	// per-day source-poll fan-out, the in-crawler body/thread fetch
 	// concurrency, the CPU-hot per-document worker pool
@@ -185,6 +199,9 @@ func (c StudyConfig) Validate() error {
 	if c.LabelSample < 0 {
 		return bad("LabelSample", c.LabelSample)
 	}
+	if c.Shards < 0 {
+		return bad("Shards", c.Shards)
+	}
 	if err := c.Crawl.Validate(); err != nil {
 		return fmt.Errorf("%w: Crawl: %w", ErrInvalidConfig, err)
 	}
@@ -258,6 +275,9 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if sc := c.Stream; sc != nil {
 		shards := sc.Shards
 		if shards == 0 {
@@ -309,8 +329,8 @@ type Study struct {
 
 	Classifier *classifier.Classifier
 	ClfEval    classifier.EvalResult
-	Deduper    *dedup.Deduper
-	Monitor    *monitor.Monitor
+	Deduper    *dedup.Sharded
+	Monitor    *monitor.Sharded
 
 	services []*service
 	crawlers struct {
@@ -320,10 +340,19 @@ type Study struct {
 	rng *rand.Rand
 	m   *studyMetrics
 
+	// registry is the table of checkpoint components (see components.go);
+	// the snapshot, restore and delta paths iterate it.
+	registry *store.Registry
+	// driver runs the leased multi-worker day loop when Cfg.Shards > 1.
+	driver *shardDriver
+
 	// Streaming service mode (StudyConfig.Stream): the persistent
 	// pipeline and the attached alert fan-out; both nil in batch mode.
 	pipeline *stream.Pipeline[Prepared]
 	fanout   *stream.Fanout
+	// streamLeases is the ownership queue the pipeline's prepare shards
+	// hold their "prepare/<i>" keys in (streaming mode only).
+	streamLeases *lease.Queue
 
 	// probeKernel/probeExt back the doxmeter_extract_allocs_per_doc gauge:
 	// one flagged document per batch is re-extracted into this warm scratch
@@ -407,7 +436,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	s := &Study{
 		Cfg:             cfg,
 		Clock:           simclock.NewClock(simclock.Period1.Start),
-		Deduper:         dedup.New(),
+		Deduper:         dedup.NewSharded(cfg.Shards),
 		CollectedBySite: make(map[string]int),
 		Injectors:       make(map[string]*faults.Injector),
 		PollFailures:    make(map[string]int),
@@ -544,14 +573,14 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 	mopts := opts
 	mopts.TelemetrySite = "monitor"
-	s.Monitor = monitor.New(monitor.Config{
+	s.Monitor = monitor.NewSharded(monitor.Config{
 		Clock:       s.Clock,
 		BaseURL:     osnSvc.BaseURL,
 		EndAt:       simclock.Period2.End,
 		Fetch:       &mopts,
 		Parallelism: cfg.Parallelism,
 		Telemetry:   reg,
-	})
+	}, cfg.Shards)
 	// Streaming service mode: stand up the persistent pipeline. Prepare
 	// is the same stateless kernel the batch path uses; Deliver hands
 	// committed detections to the attached mitigation services on the
@@ -570,17 +599,40 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 			Deliver:         deliver,
 			Telemetry:       reg,
 		})
+		// The prepare shards hold leased ownership keys: shard i owns
+		// "prepare/<i>" on the study's virtual clock, renewed every epoch.
+		// The TTL spans two epochs (one virtual day each), so a pipeline
+		// that stops renewing forfeits its shards to a successor — the
+		// same crash model as the sharded batch driver.
+		q, err := lease.New(48 * time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.pipeline.AttachLeases(q, 1, s.Clock.Now); err != nil {
+			return nil, err
+		}
+		s.streamLeases = q
+	}
+	// One table of checkpoint components; snapshot, restore and delta
+	// cuts all iterate it (see components.go).
+	if err := s.buildRegistry(); err != nil {
+		return nil, err
 	}
 	// In delta mode every stateful provider journals its mutations so a
 	// cut serializes only what changed since the previous one.
 	if ck := s.ckpt(); ck != nil && ck.Mode == CheckpointDelta {
 		s.deltaMode = true
-		s.Deduper.SetDeltaJournal(true)
-		s.Monitor.SetDeltaJournal(true)
-		s.crawlers.pastebin.SetDeltaJournal(true)
-		for _, b := range s.crawlers.boards {
-			b.SetDeltaJournal(true)
-		}
+		_ = s.registry.Each(func(c store.Component, _ bool) error {
+			if j := c.DeltaJournal(); j != nil {
+				j.SetJournal(true)
+			}
+			return nil
+		})
+	}
+	// Multi-worker mode: the leased work-queue driver owns the day loop's
+	// poll, prepare and sweep phases.
+	if cfg.Shards > 1 {
+		s.driver = newShardDriver(s)
 	}
 	return s, nil
 }
@@ -609,6 +661,7 @@ func (s *Study) FaultCounters() faults.Counters {
 // services. Idempotent.
 func (s *Study) Close() {
 	if s.pipeline != nil {
+		s.pipeline.ReleaseLeases()
 		s.pipeline.Close()
 	}
 	for _, svc := range s.services {
@@ -676,6 +729,8 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		collect := s.collectOnce
 		if s.pipeline != nil {
 			collect = s.collectStream
+		} else if s.driver != nil {
+			collect = s.driver.collectDay
 		}
 		if err := collect(dayCtx, p, periodNo); err != nil {
 			daySpan.End()
@@ -683,7 +738,14 @@ func (s *Study) runPeriod(ctx context.Context, p simclock.Period, periodNo int) 
 		}
 		monStart := time.Now()
 		_, monSpan := s.m.span(dayCtx, "monitor")
-		if err := s.Monitor.ProcessDue(ctx); err != nil {
+		// In sharded mode with a parallel sweep the monitor shards are
+		// leased work items; the serial sweep interleaves scrape and
+		// commit globally, which only the unified ProcessDue can do.
+		sweep := s.Monitor.ProcessDue
+		if s.driver != nil && s.Cfg.Parallelism > 1 {
+			sweep = s.driver.monitorDay
+		}
+		if err := sweep(ctx); err != nil {
 			if ctx.Err() != nil {
 				monSpan.End()
 				daySpan.End()
@@ -955,15 +1017,7 @@ func (s *Study) PrepareBatch(docs []crawler.Doc, workers int) []Prepared {
 // function of the document set, a Parallelism=N run is bit-identical to a
 // Parallelism=1 run for a fixed seed.
 func (s *Study) processBatch(ctx context.Context, docs []crawler.Doc, periodNo int, p simclock.Period) {
-	sort.Slice(docs, func(i, j int) bool {
-		if !docs[i].Posted.Equal(docs[j].Posted) {
-			return docs[i].Posted.Before(docs[j].Posted)
-		}
-		if docs[i].Site != docs[j].Site {
-			return docs[i].Site < docs[j].Site
-		}
-		return docs[i].ID < docs[j].ID
-	})
+	sortDocs(docs)
 	prepStart := time.Now()
 	_, prepSpan := s.m.span(ctx, "prepare")
 	prepSpan.SetAttr("docs", strconv.Itoa(len(docs)))
@@ -978,6 +1032,21 @@ func (s *Study) processBatch(ctx context.Context, docs []crawler.Doc, periodNo i
 	}
 	commitSpan.End()
 	s.m.stageCommit.Observe(time.Since(commitStart).Seconds())
+}
+
+// sortDocs puts one day's batch into the canonical (Posted, Site, ID)
+// commit order. The order is a pure function of the document set, which
+// is what makes results independent of Parallelism and Shards.
+func sortDocs(docs []crawler.Doc) {
+	sort.Slice(docs, func(i, j int) bool {
+		if !docs[i].Posted.Equal(docs[j].Posted) {
+			return docs[i].Posted.Before(docs[j].Posted)
+		}
+		if docs[i].Site != docs[j].Site {
+			return docs[i].Site < docs[j].Site
+		}
+		return docs[i].ID < docs[j].ID
+	})
 }
 
 // commit applies one prepared document to the study state. Runs only on the

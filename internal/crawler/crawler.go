@@ -564,22 +564,6 @@ func (f *Fetcher) throttle(ctx context.Context) error {
 	}
 }
 
-// Requests returns the number of HTTP request attempts issued so far.
-//
-// Deprecated: use Stats().Requests. The per-counter accessors duplicated
-// the Stats surface; they will be removed next release.
-func (f *Fetcher) Requests() int64 {
-	return f.Stats().Requests
-}
-
-// Errors returns how many request attempts failed.
-//
-// Deprecated: use Stats().Errors. The per-counter accessors duplicated
-// the Stats surface; they will be removed next release.
-func (f *Fetcher) Errors() int64 {
-	return f.Stats().Errors
-}
-
 // breaker is a consecutive-failure circuit breaker with half-open probing.
 // Open, it admits one probe per cooldown; a healthy probe closes it, a
 // failed probe restarts the cooldown. acquire blocks (bounded) rather than
@@ -846,16 +830,6 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		}
 	}
 }
-
-// Requests exposes the underlying request-attempt count.
-//
-// Deprecated: use Stats().Requests.
-func (c *Pastebin) Requests() int64 { return c.Stats().Requests }
-
-// Errors exposes the underlying failed-attempt count.
-//
-// Deprecated: use Stats().Errors.
-func (c *Pastebin) Errors() int64 { return c.Stats().Errors }
 
 // Stats exposes the underlying fetcher's full counter snapshot.
 func (c *Pastebin) Stats() FetchStats { return c.f.Stats() }
@@ -1130,16 +1104,6 @@ func (c *Board) fetchThread(ctx context.Context, no int64) (threadJSON, error) {
 	}
 	return parseThread(raw)
 }
-
-// Requests exposes the underlying request-attempt count.
-//
-// Deprecated: use Stats().Requests.
-func (c *Board) Requests() int64 { return c.Stats().Requests }
-
-// Errors exposes the underlying failed-attempt count.
-//
-// Deprecated: use Stats().Errors.
-func (c *Board) Errors() int64 { return c.Stats().Errors }
 
 // Stats exposes the underlying fetcher's full counter snapshot.
 func (c *Board) Stats() FetchStats { return c.f.Stats() }

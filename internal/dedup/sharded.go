@@ -1,0 +1,203 @@
+package dedup
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"doxmeter/internal/lease"
+)
+
+// Sharded partitions the dedup indexes across N Dedupers by key-hash:
+// the body index routes on the (hex) SHA-256 of the normalized body, the
+// account index on the salted account-set digest — both via
+// lease.ShardOf, so a key lives in exactly one shard regardless of how
+// documents arrive. Verdict counters live at the Sharded level (Check is
+// called from the driver goroutine only), which keeps Stats exact.
+//
+// The checkpoint surface stays canonical: Snapshot merges the shards
+// into one State whose JSON encoding is byte-identical to a single
+// Deduper holding the same keys (object keys marshal sorted), Restore
+// re-splits by hash, and CutDelta merges the per-shard journals. A run
+// can therefore checkpoint at N shards and resume at M.
+type Sharded struct {
+	shards []*Deduper
+
+	mu           sync.Mutex
+	stats        Stats
+	lastCutStats Stats
+}
+
+// NewSharded returns a Sharded with n shards (n < 1 is treated as 1).
+// NewSharded(1) behaves exactly like a single Deduper.
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	d := &Sharded{shards: make([]*Deduper, n)}
+	for i := range d.shards {
+		d.shards[i] = New()
+	}
+	return d
+}
+
+// Shards returns the shard count.
+func (d *Sharded) Shards() int { return len(d.shards) }
+
+// Check classifies a dox document and records it, replicating the
+// single-Deduper semantics exactly: the body is checked (and inserted)
+// first, so an account-duplicate still records its body hash.
+func (d *Sharded) Check(docID, body, accountSetKey string) (Verdict, string) {
+	h := sha256.Sum256([]byte(normalizeBody(body)))
+	bs := d.shards[lease.ShardOf(hex.EncodeToString(h[:]), len(d.shards))]
+	if first, dup := bs.addBody(h, docID); dup {
+		d.bump(ExactDuplicate)
+		return ExactDuplicate, first
+	}
+	if accountSetKey != "" {
+		k := accountDigest(accountSetKey)
+		as := d.shards[lease.ShardOf(k, len(d.shards))]
+		if first, dup := as.addAccount(k, docID); dup {
+			d.bump(AccountDuplicate)
+			return AccountDuplicate, first
+		}
+	}
+	d.bump(Unique)
+	return Unique, ""
+}
+
+// Peek classifies without recording, against all shards.
+func (d *Sharded) Peek(body, accountSetKey string) (Verdict, string) {
+	h := sha256.Sum256([]byte(normalizeBody(body)))
+	bs := d.shards[lease.ShardOf(hex.EncodeToString(h[:]), len(d.shards))]
+	if first, ok := bs.peekBody(h); ok {
+		return ExactDuplicate, first
+	}
+	if accountSetKey != "" {
+		k := accountDigest(accountSetKey)
+		as := d.shards[lease.ShardOf(k, len(d.shards))]
+		if first, ok := as.peekAccount(k); ok {
+			return AccountDuplicate, first
+		}
+	}
+	return Unique, ""
+}
+
+func (d *Sharded) bump(v Verdict) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch v {
+	case ExactDuplicate:
+		d.stats.ExactDups++
+	case AccountDuplicate:
+		d.stats.AccntDups++
+	default:
+		d.stats.Unique++
+	}
+}
+
+// Stats returns a snapshot of the verdict counters.
+func (d *Sharded) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// SeenBodies returns how many distinct bodies are recorded across all
+// shards.
+func (d *Sharded) SeenBodies() int {
+	n := 0
+	for _, s := range d.shards {
+		n += s.SeenBodies()
+	}
+	return n
+}
+
+// Snapshot merges the shards into one canonical State. Because a key
+// lives in exactly one shard, the merge is a plain union.
+func (d *Sharded) Snapshot() State {
+	d.mu.Lock()
+	stats := d.stats
+	d.mu.Unlock()
+	st := State{
+		Bodies:   map[string]string{},
+		Accounts: map[string]string{},
+		Stats:    stats,
+	}
+	for _, s := range d.shards {
+		part := s.Snapshot()
+		for k, id := range part.Bodies {
+			st.Bodies[k] = id
+		}
+		for k, id := range part.Accounts {
+			st.Accounts[k] = id
+		}
+	}
+	return st
+}
+
+// Restore replaces the sharded state from a canonical State, re-routing
+// every key to its shard — the State may have been cut at a different
+// shard count.
+func (d *Sharded) Restore(st State) error {
+	n := len(d.shards)
+	parts := make([]State, n)
+	for i := range parts {
+		parts[i] = State{Bodies: map[string]string{}, Accounts: map[string]string{}}
+	}
+	for k, id := range st.Bodies {
+		parts[lease.ShardOf(k, n)].Bodies[k] = id
+	}
+	for k, id := range st.Accounts {
+		parts[lease.ShardOf(k, n)].Accounts[k] = id
+	}
+	for i, s := range d.shards {
+		if err := s.Restore(parts[i]); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = st.Stats
+	d.lastCutStats = st.Stats
+	return nil
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling on every
+// shard.
+func (d *Sharded) SetDeltaJournal(on bool) {
+	for _, s := range d.shards {
+		s.SetDeltaJournal(on)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastCutStats = d.stats
+}
+
+// CutDelta merges the per-shard journals into one canonical Delta, with
+// the Sharded-level counters as its Stats.
+func (d *Sharded) CutDelta() (Delta, bool) {
+	d.mu.Lock()
+	stats := d.stats
+	dirty := stats != d.lastCutStats
+	d.lastCutStats = stats
+	d.mu.Unlock()
+	delta := Delta{Stats: stats}
+	for _, s := range d.shards {
+		part, partDirty := s.CutDelta()
+		dirty = dirty || partDirty
+		for k, id := range part.AddedBodies {
+			if delta.AddedBodies == nil {
+				delta.AddedBodies = map[string]string{}
+			}
+			delta.AddedBodies[k] = id
+		}
+		for k, id := range part.AddedAccounts {
+			if delta.AddedAccounts == nil {
+				delta.AddedAccounts = map[string]string{}
+			}
+			delta.AddedAccounts[k] = id
+		}
+	}
+	return delta, dirty
+}

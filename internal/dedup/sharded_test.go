@@ -1,0 +1,93 @@
+package dedup
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// Feed the same document stream to a single Deduper and to Sharded at
+// several shard counts: verdicts, stats, merged snapshots, and merged
+// deltas must all agree exactly.
+func TestShardedEquivalence(t *testing.T) {
+	type doc struct{ id, body, accounts string }
+	var docs []doc
+	for i := 0; i < 200; i++ {
+		docs = append(docs, doc{
+			id:       fmt.Sprintf("site/%03d", i),
+			body:     fmt.Sprintf("dox body %d\nline two %d", i%60, i%60),
+			accounts: fmt.Sprintf("twitter:user%d", i%40),
+		})
+	}
+	docs = append(docs, doc{id: "site/na", body: "no accounts here", accounts: ""})
+	// CRLF/trailing-space variant of an early body: exact-dup via
+	// normalization, exercising the normalize-then-route path.
+	docs = append(docs, doc{id: "site/crlf", body: "dox body 1\r\nline two 1  ", accounts: "twitter:unrelated"})
+
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			single := New()
+			single.SetDeltaJournal(true)
+			sh := NewSharded(shards)
+			sh.SetDeltaJournal(true)
+			for i, d := range docs {
+				v1, f1 := single.Check(d.id, d.body, d.accounts)
+				v2, f2 := sh.Check(d.id, d.body, d.accounts)
+				if v1 != v2 || f1 != f2 {
+					t.Fatalf("doc %d: single=(%v,%q) sharded=(%v,%q)", i, v1, f1, v2, f2)
+				}
+				if i == len(docs)/2 {
+					// Mid-stream delta cut must match too.
+					d1, dirty1 := single.CutDelta()
+					d2, dirty2 := sh.CutDelta()
+					if dirty1 != dirty2 {
+						t.Fatalf("delta dirty: single=%v sharded=%v", dirty1, dirty2)
+					}
+					if b1, b2 := mustJSON(t, d1), mustJSON(t, d2); b1 != b2 {
+						t.Fatalf("delta mismatch:\n%s\n%s", b1, b2)
+					}
+				}
+			}
+			if single.Stats() != sh.Stats() {
+				t.Fatalf("stats: single=%+v sharded=%+v", single.Stats(), sh.Stats())
+			}
+			if single.SeenBodies() != sh.SeenBodies() {
+				t.Fatalf("seen bodies: %d vs %d", single.SeenBodies(), sh.SeenBodies())
+			}
+			if v1, f1 := single.Peek(docs[3].body, docs[3].accounts); true {
+				v2, f2 := sh.Peek(docs[3].body, docs[3].accounts)
+				if v1 != v2 || f1 != f2 {
+					t.Fatalf("peek: single=(%v,%q) sharded=(%v,%q)", v1, f1, v2, f2)
+				}
+			}
+			b1, b2 := mustJSON(t, single.Snapshot()), mustJSON(t, sh.Snapshot())
+			if b1 != b2 {
+				t.Fatalf("snapshot bytes differ (%d vs %d bytes)", len(b1), len(b2))
+			}
+
+			// Restore the merged snapshot at a different shard count and
+			// keep going: still equivalent.
+			reshard := NewSharded(shards + 1)
+			if err := reshard.Restore(sh.Snapshot()); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			v1, f1 := single.Check("late/1", docs[0].body, "")
+			v2, f2 := reshard.Check("late/1", docs[0].body, "")
+			if v1 != v2 || f1 != f2 {
+				t.Fatalf("post-restore check: single=(%v,%q) resharded=(%v,%q)", v1, f1, v2, f2)
+			}
+			if b1, b2 := mustJSON(t, single.Snapshot()), mustJSON(t, reshard.Snapshot()); b1 != b2 {
+				t.Fatal("post-restore snapshots differ")
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,272 @@
+package lease
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func newQueue(t *testing.T, ttl time.Duration, keys ...string) *Queue {
+	t.Helper()
+	q, err := New(ttl)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q.BeginEpoch(1, keys)
+	return q
+}
+
+func TestNewRejectsBadTTL(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) should fail")
+	}
+	if _, err := New(-time.Second); err == nil {
+		t.Fatal("New(<0) should fail")
+	}
+}
+
+// Acquire grants the lowest available key, so work distribution is a
+// pure function of the (worker, now) call sequence.
+func TestAcquireGrantsLowestKey(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "c", "a", "b")
+	order := []string{}
+	for w := 0; w < 3; w++ {
+		l, ok := q.Acquire(w, at(0))
+		if !ok {
+			t.Fatalf("worker %d: no grant", w)
+		}
+		if l.Holder != w {
+			t.Fatalf("holder = %d, want %d", l.Holder, w)
+		}
+		order = append(order, l.Key)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("grant order = %v, want [a b c]", order)
+	}
+	if _, ok := q.Acquire(3, at(0)); ok {
+		t.Fatal("acquire with all items leased should fail")
+	}
+}
+
+// A validly held item cannot be acquired again — by anyone — until the
+// lease expires.
+func TestDoubleAcquireRejected(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "only")
+	if _, ok := q.Acquire(0, at(0)); !ok {
+		t.Fatal("first acquire failed")
+	}
+	for _, w := range []int{0, 1} {
+		if _, ok := q.Acquire(w, at(2)); ok {
+			t.Fatalf("worker %d acquired a validly leased item", w)
+		}
+	}
+	if got := q.Steals(); got != 0 {
+		t.Fatalf("steals = %d, want 0", got)
+	}
+}
+
+// Expiry is driven entirely by the `now` arguments: a virtual-clock skip
+// past the TTL makes the item stealable, and steals are deterministic —
+// lowest key first, generation bumped so the old handle dies.
+func TestExpiryUnderClockSkipsAndStealOrder(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "a", "b")
+	la, _ := q.Acquire(0, at(0))
+	lb, _ := q.Acquire(0, at(0))
+	if la.Key != "a" || lb.Key != "b" {
+		t.Fatalf("setup grants = %q,%q", la.Key, lb.Key)
+	}
+
+	// Not yet expired at +2s.
+	if _, ok := q.Acquire(1, at(2)); ok {
+		t.Fatal("stole before expiry")
+	}
+	// The clock skips straight past both expiries (virtual clocks jump
+	// day gaps); both items become stealable, lowest key first.
+	var events []Event
+	q.SetRecorder(func(e Event) { events = append(events, e) })
+	s1, ok := q.Acquire(1, at(60))
+	if !ok || s1.Key != "a" {
+		t.Fatalf("first steal = %q (ok=%v), want a", s1.Key, ok)
+	}
+	s2, ok := q.Acquire(2, at(60))
+	if !ok || s2.Key != "b" {
+		t.Fatalf("second steal = %q (ok=%v), want b", s2.Key, ok)
+	}
+	if q.Steals() != 2 {
+		t.Fatalf("steals = %d, want 2", q.Steals())
+	}
+	if len(events) != 2 || events[0] != (Event{Key: "a", From: 0, To: 1, Gen: 2}) {
+		t.Fatalf("events = %+v", events)
+	}
+
+	// The original handles are dead.
+	if err := q.Renew(la, at(61)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renew of stolen lease: %v, want ErrLeaseLost", err)
+	}
+	if err := q.Release(lb, at(61)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("release of stolen lease: %v, want ErrLeaseLost", err)
+	}
+	// The thieves' handles work.
+	if err := q.Release(s1, at(61)); err != nil {
+		t.Fatalf("thief release: %v", err)
+	}
+	if err := q.Release(s2, at(61)); err != nil {
+		t.Fatalf("thief release: %v", err)
+	}
+	if !q.AllDone() {
+		t.Fatal("queue should be done")
+	}
+}
+
+// Renewing keeps a lease alive past its original expiry.
+func TestRenewExtends(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "k")
+	l, _ := q.Acquire(0, at(0))
+	if err := q.Renew(l, at(2)); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if _, ok := q.Acquire(1, at(4)); ok {
+		t.Fatal("stole a renewed lease before its extended expiry")
+	}
+	if err := q.Release(l, at(4)); err != nil {
+		t.Fatalf("release after renew: %v", err)
+	}
+}
+
+// A release after expiry fails — the worker must discard its result —
+// and the item returns to the pool.
+func TestReleaseAfterExpiry(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "k")
+	l, _ := q.Acquire(0, at(0))
+	if err := q.Release(l, at(3)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("release at expiry: %v, want ErrLeaseLost", err)
+	}
+	if q.AllDone() {
+		t.Fatal("item must not be done after failed release")
+	}
+	// Back in the pool as pending — next acquire is a grant, not a steal.
+	l2, ok := q.Acquire(1, at(3))
+	if !ok {
+		t.Fatal("item should be acquirable after lapsed release")
+	}
+	if q.Steals() != 0 {
+		t.Fatalf("steals = %d, want 0 (lapse is not a steal)", q.Steals())
+	}
+	if err := q.Release(l2, at(4)); err != nil {
+		t.Fatalf("second release: %v", err)
+	}
+	if q.Expiries() != 1 {
+		t.Fatalf("expiries = %d, want 1", q.Expiries())
+	}
+}
+
+// A done item is never granted again within its epoch, and a stale
+// handle for it fails.
+func TestDoneStaysDone(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "k")
+	l, _ := q.Acquire(0, at(0))
+	if err := q.Release(l, at(1)); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, ok := q.Acquire(1, at(100)); ok {
+		t.Fatal("acquired a done item")
+	}
+	if err := q.Release(l, at(1)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("double release: %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestAcquireKey(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "prepare/0", "prepare/1")
+	l1, ok := q.AcquireKey("prepare/1", 1, at(0))
+	if !ok || l1.Key != "prepare/1" {
+		t.Fatalf("AcquireKey(prepare/1) = %q, ok=%v", l1.Key, ok)
+	}
+	if _, ok := q.AcquireKey("prepare/1", 2, at(1)); ok {
+		t.Fatal("AcquireKey double-acquire should fail")
+	}
+	if _, ok := q.AcquireKey("nope", 0, at(0)); ok {
+		t.Fatal("AcquireKey of unknown key should fail")
+	}
+	// Lowest-key Acquire skips the held key and grants prepare/0.
+	l0, ok := q.Acquire(0, at(1))
+	if !ok || l0.Key != "prepare/0" {
+		t.Fatalf("Acquire = %q, ok=%v", l0.Key, ok)
+	}
+}
+
+func TestUnknownKeyError(t *testing.T) {
+	q := newQueue(t, time.Second, "a")
+	l, _ := q.Acquire(0, at(0))
+	q.BeginEpoch(2, []string{"b"})
+	if err := q.Release(l, at(0)); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("release across epochs: %v, want ErrUnknownKey", err)
+	}
+}
+
+// BeginEpoch with the same epoch (the restore path) keeps done statuses;
+// a new epoch resets everything to pending.
+func TestEpochsAndSnapshotRestore(t *testing.T) {
+	q := newQueue(t, 3*time.Second, "a", "b", "c")
+	la, _ := q.Acquire(0, at(0))
+	if err := q.Release(la, at(1)); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	lb, _ := q.Acquire(1, at(1)) // leased, never released
+
+	st := q.Snapshot()
+	if st.Epoch != 1 || len(st.Keys) != 3 || len(st.Done) != 1 || st.Done[0] != "a" {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	q2, err := New(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Restore(st)
+	// The in-flight lease on b did not survive: b is pending again.
+	if err := q2.Release(lb, at(2)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale lease after restore: %v, want ErrLeaseLost", err)
+	}
+	if got, ok := q2.Acquire(0, at(2)); !ok || got.Key != "b" {
+		t.Fatalf("post-restore acquire = %q, ok=%v, want b", got.Key, ok)
+	}
+	// Same-epoch BeginEpoch keeps a done.
+	q2.BeginEpoch(st.Epoch, []string{"a", "b", "c"})
+	if got, ok := q2.Acquire(0, at(3)); !ok || got.Key != "b" {
+		t.Fatalf("same-epoch acquire = %q, ok=%v, want b (a is done)", got.Key, ok)
+	}
+	// New epoch resets all.
+	q2.BeginEpoch(st.Epoch+1, []string{"a", "b"})
+	if got, ok := q2.Acquire(0, at(4)); !ok || got.Key != "a" {
+		t.Fatalf("new-epoch acquire = %q, ok=%v, want a", got.Key, ok)
+	}
+	if q2.Remaining() != 2 {
+		t.Fatalf("remaining = %d, want 2", q2.Remaining())
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	if ShardOf("anything", 1) != 0 || ShardOf("x", 0) != 0 {
+		t.Fatal("n<=1 must route to shard 0")
+	}
+	// Stable routing: same key, same shard, every time.
+	for _, n := range []int{2, 4, 8} {
+		a := ShardOf("pastebin/abc123", n)
+		if a < 0 || a >= n {
+			t.Fatalf("ShardOf out of range: %d of %d", a, n)
+		}
+		if b := ShardOf("pastebin/abc123", n); b != a {
+			t.Fatalf("unstable routing: %d then %d", a, b)
+		}
+	}
+	// Spot-check the FNV-1a value against an independent computation so
+	// the routing function can't drift silently.
+	if got := ShardOf("a", 4); got != int(uint32(0xe40c292c)%4) {
+		t.Fatalf("ShardOf(a,4) = %d", got)
+	}
+}

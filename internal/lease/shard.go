@@ -1,0 +1,18 @@
+package lease
+
+import "hash/fnv"
+
+// ShardOf routes key to one of n shards by FNV-1a hash — the same
+// key-hash the streaming pipeline uses for its prepare shards (a
+// document's key there is site+"/"+id). Dedup indexes, monitor
+// schedules, and the sharded study's prepare partition all route through
+// this one function so a key always lives in exactly one shard for a
+// given n, independent of worker count or timing.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -124,8 +124,8 @@ func (h *History) ChangedWithin(days int) (bool, time.Time) {
 
 // Monitor tracks accounts and scrapes them on schedule. Safe for concurrent
 // use. ProcessDue fetches due profiles with a bounded worker pool (see
-// SetParallelism) but commits observations in deterministic account-key
-// order, so histories are identical at any parallelism.
+// Config.Parallelism) but commits observations in deterministic
+// account-key order, so histories are identical at any parallelism.
 type Monitor struct {
 	clock   *simclock.Clock
 	baseURL string
@@ -154,9 +154,8 @@ type Monitor struct {
 }
 
 // Config gathers everything New needs to build a monitor, replacing the
-// old positional constructor plus post-construction setter sprawl
-// (SetFetchOptions, SetParallelism, Instrument): construct once, fully
-// configured.
+// old positional constructor plus post-construction setter sprawl:
+// construct once, fully configured.
 type Config struct {
 	// Clock is the study's virtual clock (required).
 	Clock *simclock.Clock
@@ -207,28 +206,6 @@ func New(cfg Config) *Monitor {
 	return m
 }
 
-// SetFetchOptions replaces the monitor's fetch policy. A nil Client keeps
-// the monitor's existing client.
-//
-// Deprecated: pass Config.Fetch to New instead. Wrapper kept for one
-// release.
-func (m *Monitor) SetFetchOptions(opts crawler.Options) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if opts.Client == nil {
-		opts.Client = m.client
-	}
-	m.f = crawler.NewFetcher(opts)
-}
-
-// Instrument declares the monitor's sweep metrics on reg.
-//
-// Deprecated: pass Config.Telemetry to New instead. Wrapper kept for one
-// release.
-func (m *Monitor) Instrument(reg *telemetry.Registry) {
-	m.instrument(reg)
-}
-
 // instrument declares the monitor's sweep metrics on reg:
 // doxmeter_monitor_sweeps_total, doxmeter_monitor_scrapes_total,
 // doxmeter_monitor_due_accounts and doxmeter_monitor_tracked_accounts.
@@ -255,17 +232,6 @@ func (m *Monitor) FetchStats() crawler.FetchStats {
 	f := m.f
 	m.mu.Unlock()
 	return f.Stats()
-}
-
-// SetParallelism bounds how many profile fetches one ProcessDue sweep
-// issues concurrently.
-//
-// Deprecated: pass Config.Parallelism to New instead. Wrapper kept for
-// one release.
-func (m *Monitor) SetParallelism(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.parallelism = n
 }
 
 // Track begins monitoring an account first seen in a dox at seenAt. Already
@@ -321,6 +287,42 @@ func historyKey(control bool, numericID int64, ref netid.Ref) string {
 		return fmt.Sprintf("igid:%d", numericID)
 	}
 	return ref.Key()
+}
+
+// historyKeyOf is historyKey for a live history.
+func historyKeyOf(h *History) string {
+	return historyKey(h.Control, h.NumericID, h.Ref)
+}
+
+// dueNow returns the histories due at now, unsorted. The sharded
+// monitor's sweep paths collect due sets per shard and order them
+// globally.
+func (m *Monitor) dueNow(now time.Time) []*History {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var due []*History
+	for _, h := range m.histories {
+		if !h.finished && !h.nextDue.After(now) {
+			due = append(due, h)
+		}
+	}
+	return due
+}
+
+// trackedCount returns how many accounts the monitor tracks.
+func (m *Monitor) trackedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.histories)
+}
+
+// sweepMetrics records one sweep's instrumentation. The sharded monitor
+// calls it once per global sweep with cross-shard totals (every shard
+// shares the same metric cells via the registry).
+func (m *Monitor) sweepMetrics(due, tracked int) {
+	m.sweepsC.Inc()
+	m.dueG.Set(float64(due))
+	m.trackedG.Set(float64(tracked))
 }
 
 // Histories returns all tracked histories, sorted by account key.
@@ -528,7 +530,7 @@ func (d Delta) Apply(st *State) {
 // ProcessDue visits every account whose next scheduled check is due at the
 // current virtual time. Call it after each clock advance.
 //
-// With SetParallelism(n > 1) the profile fetches fan out across a bounded
+// With Config.Parallelism > 1 the profile fetches fan out across a bounded
 // worker pool; observations are then committed on the calling goroutine in
 // sorted account-key order, so the resulting histories (and Requests count
 // on the error-free path) are identical to a serial sweep.

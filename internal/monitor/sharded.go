@@ -1,0 +1,313 @@
+package monitor
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"doxmeter/internal/crawler"
+	"doxmeter/internal/lease"
+	"doxmeter/internal/netid"
+	"doxmeter/internal/parallel"
+)
+
+// Sharded partitions the monitoring schedule across N Monitors by
+// key-hash of the account key (lease.ShardOf over the same history key
+// the snapshot and journal use), so each shard owns a disjoint set of
+// accounts and a sharded study can sweep shards as independent leased
+// work items.
+//
+// All shards share one hardened crawler.Fetcher — retry, backoff, and
+// circuit-breaker state is global exactly as in a single monitor — and,
+// when Config.Telemetry is set, one set of metric cells (the registry
+// deduplicates by name). Commits stay in global sorted account-key
+// order, so histories, request counts, and sweep outcomes are identical
+// to a single monitor's at any shard count.
+//
+// The checkpoint surface stays canonical: Snapshot merges shards into
+// one State byte-identical to a single monitor holding the same
+// accounts, Restore re-splits by hash (a run may checkpoint at N shards
+// and resume at M), and CutDelta merges the per-shard journals.
+type Sharded struct {
+	shards      []*Monitor
+	parallelism int
+}
+
+// NewSharded builds n key-hash monitor shards from one Config (n < 1 is
+// treated as 1). NewSharded(cfg, 1) behaves exactly like New(cfg).
+func NewSharded(cfg Config, n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	m := &Sharded{shards: make([]*Monitor, n), parallelism: cfg.Parallelism}
+	for i := range m.shards {
+		m.shards[i] = New(cfg)
+		if i > 0 {
+			// One fetcher across all shards: breaker and retry state must
+			// not depend on how accounts happen to be partitioned.
+			m.shards[i].f = m.shards[0].f
+		}
+	}
+	return m
+}
+
+// NumShards returns the shard count.
+func (m *Sharded) NumShards() int { return len(m.shards) }
+
+func (m *Sharded) shardFor(key string) *Monitor {
+	return m.shards[lease.ShardOf(key, len(m.shards))]
+}
+
+// Track begins monitoring an account first seen in a dox at seenAt.
+func (m *Sharded) Track(ref netid.Ref, seenAt time.Time) {
+	m.TrackUntil(ref, seenAt, time.Time{})
+}
+
+// TrackUntil tracks an account with an explicit monitoring horizon on
+// its owning shard.
+func (m *Sharded) TrackUntil(ref netid.Ref, seenAt, endAt time.Time) {
+	m.shardFor(historyKey(false, 0, ref)).TrackUntil(ref, seenAt, endAt)
+}
+
+// TrackControl begins monitoring a control-sample Instagram account by
+// numeric ID on its owning shard.
+func (m *Sharded) TrackControl(id int64, seenAt time.Time) {
+	m.shardFor(historyKey(true, id, netid.Ref{})).TrackControl(id, seenAt)
+}
+
+// Histories returns all tracked histories across shards, sorted by
+// account key — the same order a single monitor returns.
+func (m *Sharded) Histories() []*History {
+	if len(m.shards) == 1 {
+		return m.shards[0].Histories()
+	}
+	var all []*History
+	for _, s := range m.shards {
+		all = append(all, s.Histories()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return historyKeyOf(all[i]) < historyKeyOf(all[j]) })
+	return all
+}
+
+// Requests returns the total number of profile fetches across shards.
+func (m *Sharded) Requests() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Requests()
+	}
+	return n
+}
+
+// FetchStats exposes the shared fetcher's operational counters.
+func (m *Sharded) FetchStats() crawler.FetchStats {
+	return m.shards[0].FetchStats()
+}
+
+// Snapshot merges the shards into one canonical State: total requests,
+// histories sorted by account key. Byte-identical to a single monitor's
+// Snapshot over the same accounts.
+func (m *Sharded) Snapshot() State {
+	if len(m.shards) == 1 {
+		return m.shards[0].Snapshot()
+	}
+	st := State{}
+	for _, s := range m.shards {
+		part := s.Snapshot()
+		st.Requests += part.Requests
+		st.Histories = append(st.Histories, part.Histories...)
+	}
+	sort.Slice(st.Histories, func(i, j int) bool {
+		return historyStateKey(st.Histories[i]) < historyStateKey(st.Histories[j])
+	})
+	return st
+}
+
+// Restore replaces the sharded state from a canonical State, re-routing
+// every history to its owning shard. The request total is carried on
+// shard 0; only the sum is ever observed.
+func (m *Sharded) Restore(st State) error {
+	n := len(m.shards)
+	parts := make([]State, n)
+	for _, hs := range st.Histories {
+		i := lease.ShardOf(historyStateKey(hs), n)
+		parts[i].Histories = append(parts[i].Histories, hs)
+	}
+	parts[0].Requests = st.Requests
+	for i, s := range m.shards {
+		if err := s.Restore(parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDeltaJournal enables (or disables) mutation journaling on every
+// shard.
+func (m *Sharded) SetDeltaJournal(on bool) {
+	for _, s := range m.shards {
+		s.SetDeltaJournal(on)
+	}
+}
+
+// CutDelta merges the per-shard journals into one canonical Delta:
+// total requests, upserts sorted by account key.
+func (m *Sharded) CutDelta() (Delta, bool) {
+	if len(m.shards) == 1 {
+		return m.shards[0].CutDelta()
+	}
+	d := Delta{}
+	dirty := false
+	for _, s := range m.shards {
+		part, partDirty := s.CutDelta()
+		dirty = dirty || partDirty
+		d.Requests += part.Requests
+		d.Upserts = append(d.Upserts, part.Upserts...)
+	}
+	sort.Slice(d.Upserts, func(i, j int) bool {
+		return historyStateKey(d.Upserts[i]) < historyStateKey(d.Upserts[j])
+	})
+	return d, dirty
+}
+
+// dueItem pairs a due history with the shard that owns it.
+type dueItem struct {
+	h     *History
+	owner *Monitor
+}
+
+// dueSorted gathers the due histories across shards at now, in the
+// global sorted order a single monitor would visit them.
+func (m *Sharded) dueSorted(now time.Time) []dueItem {
+	var due []dueItem
+	for _, s := range m.shards {
+		for _, h := range s.dueNow(now) {
+			due = append(due, dueItem{h: h, owner: s})
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i].h, due[j].h
+		if ak, bk := a.Ref.Key(), b.Ref.Key(); ak != bk {
+			return ak < bk
+		}
+		return historyKeyOf(a) < historyKeyOf(b)
+	})
+	return due
+}
+
+func (m *Sharded) trackedTotal() int {
+	n := 0
+	for _, s := range m.shards {
+		n += s.trackedCount()
+	}
+	return n
+}
+
+// ProcessDue visits every due account across all shards, with the exact
+// semantics of a single monitor's sweep: serial interleaved
+// scrape-and-commit when parallelism <= 1, otherwise a bounded parallel
+// fetch phase followed by ordered commits, stopping at the first
+// failure either way.
+func (m *Sharded) ProcessDue(ctx context.Context) error {
+	if len(m.shards) == 1 {
+		return m.shards[0].ProcessDue(ctx)
+	}
+	now := m.shards[0].clock.Now()
+	due := m.dueSorted(now)
+	m.shards[0].sweepMetrics(len(due), m.trackedTotal())
+
+	if m.parallelism <= 1 {
+		for _, d := range due {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res := d.owner.scrapeOne(ctx, d.h)
+			if err := d.owner.commit(d.h, res, now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	results := make([]scrapeResult, len(due))
+	parallel.ForEach(len(due), m.parallelism, func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = scrapeResult{err: err}
+			return
+		}
+		results[i] = due[i].owner.scrapeOne(ctx, due[i].h)
+	})
+	for i, d := range due {
+		if err := d.owner.commit(d.h, results[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardSweep is the fetch half of one shard's monitor sweep: due
+// histories scraped (read-only) but not yet committed. The sharded
+// study driver runs FetchShard for each shard as a leased work item,
+// then folds every sweep through CommitSweeps on the driver goroutine.
+type ShardSweep struct {
+	owner   *Monitor
+	due     []*History
+	results []scrapeResult
+}
+
+// Due returns how many accounts the sweep scraped.
+func (sw ShardSweep) Due() int { return len(sw.due) }
+
+// FetchShard scrapes shard i's due accounts at now, fanning out across
+// at most workers concurrent fetches, without mutating any history.
+func (m *Sharded) FetchShard(ctx context.Context, i int, now time.Time, workers int) ShardSweep {
+	s := m.shards[i]
+	due := s.dueNow(now)
+	sort.Slice(due, func(a, b int) bool {
+		if ak, bk := due[a].Ref.Key(), due[b].Ref.Key(); ak != bk {
+			return ak < bk
+		}
+		return historyKeyOf(due[a]) < historyKeyOf(due[b])
+	})
+	sw := ShardSweep{owner: s, due: due, results: make([]scrapeResult, len(due))}
+	if workers < 1 {
+		workers = 1
+	}
+	parallel.ForEach(len(due), workers, func(j int) {
+		if err := ctx.Err(); err != nil {
+			sw.results[j] = scrapeResult{err: err}
+			return
+		}
+		sw.results[j] = s.scrapeOne(ctx, due[j])
+	})
+	return sw
+}
+
+// CommitSweeps merges per-shard sweeps and commits their observations
+// in global sorted account-key order, stopping at the first failure —
+// the same outcome a single monitor's parallel sweep produces.
+func (m *Sharded) CommitSweeps(now time.Time, sweeps []ShardSweep) error {
+	type item struct {
+		d   dueItem
+		res scrapeResult
+	}
+	var all []item
+	for _, sw := range sweeps {
+		for j, h := range sw.due {
+			all = append(all, item{d: dueItem{h: h, owner: sw.owner}, res: sw.results[j]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].d.h, all[j].d.h
+		if ak, bk := a.Ref.Key(), b.Ref.Key(); ak != bk {
+			return ak < bk
+		}
+		return historyKeyOf(a) < historyKeyOf(b)
+	})
+	m.shards[0].sweepMetrics(len(all), m.trackedTotal())
+	for _, it := range all {
+		if err := it.d.owner.commit(it.d.h, it.res, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

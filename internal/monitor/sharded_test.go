@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"doxmeter/internal/netid"
+	"doxmeter/internal/osn"
+	"doxmeter/internal/sim"
+	"doxmeter/internal/simclock"
+)
+
+// shardedRig wires one universe served over HTTP with a single monitor
+// and a sharded monitor on separate (identically advanced) clocks, so
+// both scrape the same simulated accounts on the same schedule.
+type shardedRig struct {
+	world  *sim.World
+	uni    *osn.Universe
+	clock  *simclock.Clock
+	single *Monitor
+	sh     *Sharded
+	srv    *httptest.Server
+}
+
+func newShardedRig(t *testing.T, shards int, parallelism int) *shardedRig {
+	t.Helper()
+	w := sim.NewWorld(sim.Default(81, 0.05))
+	clock := simclock.NewClock(simclock.Period1.Start)
+	uni := osn.NewUniverse(clock, w, 81)
+	srv := httptest.NewServer(uni.Handler())
+	t.Cleanup(srv.Close)
+	cfg := Config{Clock: clock, BaseURL: srv.URL, EndAt: simclock.Period2.End, Parallelism: parallelism}
+	return &shardedRig{
+		world:  w,
+		uni:    uni,
+		clock:  clock,
+		single: New(cfg),
+		sh:     NewSharded(cfg, shards),
+		srv:    srv,
+	}
+}
+
+// track mirrors every tracking call onto both monitors.
+func (r *shardedRig) track(t *testing.T, at time.Time) {
+	t.Helper()
+	count := 0
+	for _, v := range r.world.Victims {
+		for _, n := range netid.Monitored() {
+			user, ok := v.OSN[n]
+			if !ok {
+				continue
+			}
+			ref := netid.Ref{Network: n, Username: user}
+			r.uni.RecordDox(ref, at)
+			r.single.TrackUntil(ref, at, simclock.Period1.End)
+			r.sh.TrackUntil(ref, at, simclock.Period1.End)
+			count++
+		}
+		if count >= 40 {
+			break
+		}
+	}
+	for id := int64(1); id <= 10; id++ {
+		r.single.TrackControl(id*7, at)
+		r.sh.TrackControl(id*7, at)
+	}
+}
+
+func snapJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// The sharded monitor must produce byte-identical snapshots, identical
+// delta cuts, and the same request totals as a single monitor fed the
+// same tracking calls and swept on the same schedule.
+func TestShardedMonitorEquivalence(t *testing.T) {
+	for _, tc := range []struct{ shards, parallelism int }{
+		{1, 1}, {4, 1}, {4, 4}, {8, 4},
+	} {
+		t.Run(fmt.Sprintf("shards=%d,par=%d", tc.shards, tc.parallelism), func(t *testing.T) {
+			r := newShardedRig(t, tc.shards, tc.parallelism)
+			r.single.SetDeltaJournal(true)
+			r.sh.SetDeltaJournal(true)
+			r.track(t, r.clock.Now())
+			ctx := context.Background()
+			for day := 0; day < 30; day++ {
+				if err := r.single.ProcessDue(ctx); err != nil {
+					t.Fatalf("day %d single: %v", day, err)
+				}
+				if err := r.sh.ProcessDue(ctx); err != nil {
+					t.Fatalf("day %d sharded: %v", day, err)
+				}
+				if day == 10 {
+					d1, dirty1 := r.single.CutDelta()
+					d2, dirty2 := r.sh.CutDelta()
+					if dirty1 != dirty2 {
+						t.Fatalf("delta dirty: %v vs %v", dirty1, dirty2)
+					}
+					if a, b := snapJSON(t, d1), snapJSON(t, d2); a != b {
+						t.Fatalf("delta cut differs:\n%.300s\n%.300s", a, b)
+					}
+				}
+				r.clock.Advance(simclock.Day)
+			}
+			if r.single.Requests() != r.sh.Requests() {
+				t.Fatalf("requests: single=%d sharded=%d", r.single.Requests(), r.sh.Requests())
+			}
+			a, b := snapJSON(t, r.single.Snapshot()), snapJSON(t, r.sh.Snapshot())
+			if a != b {
+				t.Fatalf("snapshots differ (%d vs %d bytes)", len(a), len(b))
+			}
+			v1, n1 := VerifiedCount(r.single.Histories())
+			v2, n2 := VerifiedCount(r.sh.Histories())
+			if v1 != v2 || n1 != n2 {
+				t.Fatalf("verified counts: (%d,%d) vs (%d,%d)", v1, n1, v2, n2)
+			}
+
+			// Restore the merged snapshot at a different shard count, finish
+			// the schedule on both, and compare again.
+			re := NewSharded(Config{Clock: r.clock, BaseURL: r.srv.URL, EndAt: simclock.Period2.End,
+				Parallelism: tc.parallelism}, tc.shards+3)
+			if err := re.Restore(r.single.Snapshot()); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			for day := 0; day < 15; day++ {
+				if err := r.single.ProcessDue(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if err := re.ProcessDue(ctx); err != nil {
+					t.Fatal(err)
+				}
+				r.clock.Advance(simclock.Day)
+			}
+			if a, b := snapJSON(t, r.single.Snapshot()), snapJSON(t, re.Snapshot()); a != b {
+				t.Fatal("post-restore snapshots differ")
+			}
+		})
+	}
+}
+
+// The lease-driven sweep split (FetchShard per shard, then one merged
+// CommitSweeps) must land exactly where ProcessDue does.
+func TestFetchShardCommitSweepsMatchesProcessDue(t *testing.T) {
+	r := newShardedRig(t, 4, 4)
+	r.track(t, r.clock.Now())
+	ctx := context.Background()
+	for day := 0; day < 30; day++ {
+		if err := r.single.ProcessDue(ctx); err != nil {
+			t.Fatal(err)
+		}
+		now := r.clock.Now()
+		sweeps := make([]ShardSweep, r.sh.NumShards())
+		for i := range sweeps {
+			sweeps[i] = r.sh.FetchShard(ctx, i, now, 2)
+		}
+		if err := r.sh.CommitSweeps(now, sweeps); err != nil {
+			t.Fatal(err)
+		}
+		r.clock.Advance(simclock.Day)
+	}
+	if a, b := snapJSON(t, r.single.Snapshot()), snapJSON(t, r.sh.Snapshot()); a != b {
+		t.Fatal("lease-driven sweep diverged from ProcessDue")
+	}
+}

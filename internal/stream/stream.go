@@ -27,14 +27,17 @@ package stream
 import (
 	"context"
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"doxmeter/internal/crawler"
+	"doxmeter/internal/lease"
 	"doxmeter/internal/parallel"
 	"doxmeter/internal/telemetry"
 )
@@ -122,7 +125,19 @@ type Pipeline[P any] struct {
 	// Written and read only on the RunEpoch caller's goroutine.
 	curSeen time.Time
 
+	// lb, when non-nil, binds the prepare shards to leased ownership keys
+	// (AttachLeases). Touched only on the RunEpoch caller's goroutine.
+	lb *leaseBinding
+
 	m *metrics
+}
+
+// leaseBinding holds a pipeline's shard-ownership leases: shard i holds
+// ShardLeaseKey(i) in the bound queue, renewed at every epoch tick.
+type leaseBinding struct {
+	q      *lease.Queue
+	now    func() time.Time
+	leases []lease.Lease
 }
 
 // New builds the pipeline and starts its persistent stage goroutines.
@@ -163,6 +178,84 @@ func (p *Pipeline[P]) Close() {
 	})
 }
 
+// ShardLeaseKey is the ownership key prepare shard i holds when the
+// pipeline is bound to a lease queue (AttachLeases).
+func ShardLeaseKey(i int) string { return "prepare/" + strconv.Itoa(i) }
+
+// AttachLeases registers this pipeline's prepare shards as the lease
+// holders of their ownership keys in q: a queue epoch is begun with one
+// key per shard (ShardLeaseKey(i)), shard i acquires its key at now(),
+// and every subsequent RunEpoch renews the leases at now() before
+// polling. A pipeline that stops — crash or Close — simply stops
+// renewing, so its keys lapse after the queue TTL and a successor
+// pipeline can attach under a new epoch and take over; that is the same
+// crash model the sharded study driver uses. Returns an error if a key
+// is validly held by another live pipeline bound to the same queue.
+// Must be called before the first RunEpoch, on the owning goroutine.
+//
+// Attaching under a new epoch number claims a fresh item set; attaching
+// under the queue's current epoch joins the existing one — each key is
+// granted only if pending or lapsed (a crashed predecessor's lease is
+// stolen, a live one refuses the claim). BeginEpoch would wipe live
+// leases, so it runs only for a genuinely new epoch.
+func (p *Pipeline[P]) AttachLeases(q *lease.Queue, epoch int, now func() time.Time) error {
+	t := now()
+	keys := make([]string, len(p.in))
+	for i := range keys {
+		keys[i] = ShardLeaseKey(i)
+	}
+	if q.Epoch() != epoch || len(q.Snapshot().Keys) == 0 {
+		q.BeginEpoch(epoch, keys)
+	}
+	lb := &leaseBinding{q: q, now: now}
+	for i, k := range keys {
+		l, ok := q.AcquireKey(k, i, t)
+		if !ok {
+			return fmt.Errorf("stream: shard lease %q is held by another pipeline", k)
+		}
+		lb.leases = append(lb.leases, l)
+	}
+	p.lb = lb
+	return nil
+}
+
+// renewLeases extends the shard-ownership leases at the current virtual
+// time. A lapsed-but-unstolen lease (the clock jumped past the TTL, e.g.
+// across a resume gap) is re-acquired; a stolen one means another live
+// pipeline owns the shards, which is fatal.
+func (p *Pipeline[P]) renewLeases() error {
+	if p.lb == nil {
+		return nil
+	}
+	t := p.lb.now()
+	for i, l := range p.lb.leases {
+		if err := p.lb.q.Renew(l, t); err == nil {
+			continue
+		}
+		nl, ok := p.lb.q.AcquireKey(l.Key, i, t)
+		if !ok {
+			return fmt.Errorf("stream: shard lease %q lost to another pipeline", l.Key)
+		}
+		p.lb.leases[i] = nl
+	}
+	return nil
+}
+
+// ReleaseLeases marks the shard-ownership keys done in the bound queue —
+// the clean-shutdown handoff (a successor attaches under a new epoch, so
+// done keys do not block it). A no-op without AttachLeases.
+func (p *Pipeline[P]) ReleaseLeases() {
+	if p.lb == nil {
+		return
+	}
+	t := p.lb.now()
+	for _, l := range p.lb.leases {
+		// Best-effort: a lapsed lease is already someone else's problem.
+		_ = p.lb.q.Release(l, t)
+	}
+	p.lb = nil
+}
+
 // shardOf routes a document to its prepare worker by key hash.
 func (p *Pipeline[P]) shardOf(doc *crawler.Doc) int {
 	h := fnv.New32a()
@@ -177,9 +270,12 @@ func (p *Pipeline[P]) shardOf(doc *crawler.Doc) int {
 func (p *Pipeline[P]) sendDoc(ctx context.Context, doc crawler.Doc) error {
 	it := item{doc: doc, seenWall: time.Now()}
 	ch := p.in[p.shardOf(&it.doc)]
+	// Count the document before the send so the increment happens-before
+	// the consumer's decrement; the gauge covers queued + in-flight and
+	// can never dip below zero.
+	p.m.queuePrepare.Add(1)
 	select {
 	case ch <- it:
-		p.m.queuePrepare.Add(1)
 		return nil
 	default:
 	}
@@ -187,12 +283,13 @@ func (p *Pipeline[P]) sendDoc(ctx context.Context, doc crawler.Doc) error {
 	start := time.Now()
 	select {
 	case ch <- it:
-		p.m.queuePrepare.Add(1)
 		p.m.stallPoll.Observe(time.Since(start).Seconds())
 		return nil
 	case <-ctx.Done():
+		p.m.queuePrepare.Add(-1)
 		return ctx.Err()
 	case <-p.done:
+		p.m.queuePrepare.Add(-1)
 		return ErrClosed
 	}
 }
@@ -205,17 +302,17 @@ func (p *Pipeline[P]) shardLoop(w int) {
 		case it := <-p.in[w]:
 			p.m.queuePrepare.Add(-1)
 			r := result[P]{it: it, pre: p.cfg.Prepare(&it.doc)}
+			p.m.queueSequencer.Add(1)
 			select {
 			case p.out <- r:
-				p.m.queueSequencer.Add(1)
 			default:
 				p.m.bpPrepare.Inc()
 				start := time.Now()
 				select {
 				case p.out <- r:
-					p.m.queueSequencer.Add(1)
 					p.m.stallPrepare.Observe(time.Since(start).Seconds())
 				case <-p.done:
+					p.m.queueSequencer.Add(-1)
 					return
 				}
 			}
@@ -252,9 +349,9 @@ func (p *Pipeline[P]) alertLoop() {
 func (p *Pipeline[P]) EmitAlert(d Detection) {
 	env := alertEnv{d: d, seen: p.curSeen}
 	p.alertWG.Add(1)
+	p.m.queueAlert.Add(1)
 	select {
 	case p.alerts <- env:
-		p.m.queueAlert.Add(1)
 		return
 	default:
 	}
@@ -262,9 +359,9 @@ func (p *Pipeline[P]) EmitAlert(d Detection) {
 	start := time.Now()
 	select {
 	case p.alerts <- env:
-		p.m.queueAlert.Add(1)
 		p.m.stallCommit.Observe(time.Since(start).Seconds())
 	case <-p.done:
+		p.m.queueAlert.Add(-1)
 		p.alertWG.Done()
 	}
 }
@@ -283,6 +380,9 @@ func (p *Pipeline[P]) EmitAlert(d Detection) {
 // error; after that the pipeline must be closed, not reused.
 func (p *Pipeline[P]) RunEpoch(ctx context.Context, sources []Source, commit func(doc *crawler.Doc, pre P)) (EpochStats, error) {
 	var stats EpochStats
+	if err := p.renewLeases(); err != nil {
+		return stats, err
+	}
 	var pushed atomic.Int64
 	errs := make([]error, len(sources))
 	pollDone := make(chan struct{})

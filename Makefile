@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak stream-soak shard-soak check bench bench-quick bench-json bench-check loadtest examples run-pipeline clean
+.PHONY: all build vet test test-race fuzz-smoke chaos resume-soak stream-soak shard-soak check bench bench-quick bench-json bench-check profile loadtest examples run-pipeline clean
 
 all: check
 
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzExtract$$ -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
 	$(GO) test -fuzz=FuzzExtractKernelEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/extract
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) -run NONE ./internal/tfidf
+	$(GO) test -fuzz=FuzzNormalizeEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/dedup
 	$(GO) test -fuzz=FuzzScorerEquivalence -fuzztime=$(FUZZTIME) -run NONE ./internal/classifier
 	$(GO) test -fuzz=FuzzDeltaCodecRoundTrip -fuzztime=$(FUZZTIME) -fuzzminimizetime=2s -run NONE ./internal/store
 
@@ -114,13 +115,39 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_results.json
 
 # Benchmark regression gate: re-run the hot-path set and fail if any shared
-# benchmark slowed more than MAX_REGRESS vs the committed BENCH_results.json.
-# Both sides run -count=3 and the gate compares fastest-vs-fastest sample,
-# which filters scheduler noise (noise only ever slows a run down).
-MAX_REGRESS ?= 10%
+# benchmark slowed more than MAX_REGRESS vs the committed BENCH_results.json,
+# or grew its B/op / allocs/op beyond MAX_ALLOC_REGRESS. Both sides run
+# -count=3 and the gate compares fastest-vs-fastest (smallest-vs-smallest
+# for memory) samples, which filters scheduler noise (noise only ever slows
+# a run down). The allocation gates are the tight contract: B/op and
+# allocs/op are deterministic properties of the code, identical on any
+# host, so 10% (and exactly-0 for the recorded zero-alloc kernels) is
+# enforceable everywhere. Wall-clock is not: same-code hot-set runs on the
+# shared reference VM measure ±30-80% raw swings between windows (hypervisor
+# co-tenants moving LLC/memory-bandwidth pressure the in-guest calibration
+# loop cannot fully track — calibration normalizes slow windows down but is
+# excuse-only, see cmd/benchjson), so the timed tolerance sits above that
+# measured weather and exists to catch order-of-magnitude breakage, not
+# percent-level drift.
+MAX_REGRESS ?= 100%
+MAX_ALLOC_REGRESS ?= 10%
 bench-check:
 	$(GO) test -bench='$(HOT_BENCH)' -benchtime=0.3s -count=3 -benchmem -run NONE . \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_results.json -max-regress $(MAX_REGRESS) -out /dev/null
+		| $(GO) run ./cmd/benchjson -baseline BENCH_results.json -max-regress $(MAX_REGRESS) \
+			-max-alloc-regress $(MAX_ALLOC_REGRESS) -out /dev/null
+
+# CPU, heap and allocation profiles from the two pipeline-level benchmarks
+# (the sharded end-to-end study and the streaming throughput run), written
+# under profiles/ (gitignored). Read with `go tool pprof profiles/<name>`;
+# -sample_index=alloc_objects on the .mem profiles shows allocation counts,
+# which is what the zero-copy ingest work is budgeted in.
+profile:
+	mkdir -p profiles
+	$(GO) test -bench='ShardedStudy1$$' -benchtime=3x -benchmem -run NONE \
+		-cpuprofile profiles/sharded.cpu -memprofile profiles/sharded.mem -o profiles/doxmeter.test .
+	$(GO) test -bench='StreamThroughput' -benchtime=10x -benchmem -run NONE \
+		-cpuprofile profiles/stream.cpu -memprofile profiles/stream.mem -o profiles/doxmeter.test .
+	@echo "profiles written; e.g.: go tool pprof -sample_index=alloc_objects profiles/doxmeter.test profiles/sharded.mem"
 
 # Load-test smoke: doxload drives an in-process doxsites stack for a few
 # seconds and exits nonzero unless at least 20% of requests succeed, so a

@@ -13,13 +13,19 @@
 // With -baseline, the parsed run is additionally compared against a stored
 // report and the command exits 1 if any shared benchmark regressed in ns/op
 // by more than -max-regress (a fraction like "0.1" or a percentage like
-// "10%"):
+// "10%"), or grew in B/op or allocs/op by more than -max-alloc-regress:
 //
 //	go test -bench=... . | benchjson -baseline BENCH_results.json -max-regress 10% -out /dev/null
 //
-// When both reports contain the BenchmarkCalibrate machine-speed reference,
-// the comparison first normalizes the current run by the calibration ratio,
-// cancelling CPU-frequency and noisy-neighbor drift between the two runs.
+// When both reports contain the BenchmarkCalibrate machine-speed reference
+// and the current machine reads slower than at baseline time, the ns/op
+// comparison first normalizes the current run down by the calibration
+// ratio, cancelling CPU-frequency and noisy-neighbor drift between the two
+// runs; a faster calibration read is ignored rather than used to inflate
+// current results (see compare). Memory gates are never calibration-scaled
+// — allocation counts are machine-independent — and a baseline of exactly
+// 0 allocs/op is enforced exactly: any allocation on a recorded zero-alloc
+// path fails the gate.
 package main
 
 import (
@@ -41,6 +47,10 @@ type Result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
 	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+	// HasMem records that the line carried -benchmem columns, so a stored
+	// 0 B/op / 0 allocs/op means "measured zero" — the signal the
+	// exact-zero allocation gate keys on — rather than "not measured".
+	HasMem bool `json:"benchmem,omitempty"`
 	// Extra holds any further "value unit" pairs (e.g. custom b.ReportMetric
 	// units or MB/s), keyed by unit.
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -59,6 +69,7 @@ func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	baseline := flag.String("baseline", "", "compare ns/op against this stored report and fail on regression")
 	maxRegress := flag.String("max-regress", "10%", "allowed ns/op slowdown vs -baseline (fraction or percentage)")
+	maxAllocRegress := flag.String("max-alloc-regress", "10%", "allowed B/op and allocs/op growth vs -baseline (fraction or percentage); baselines of exactly 0 allocs/op admit no growth at all")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -94,41 +105,51 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		allocTol, err := parseTolerance(*maxAllocRegress)
+		if err != nil {
+			fatal(err)
+		}
 		base, err := loadReport(*baseline)
 		if err != nil {
 			fatal(err)
 		}
 		regs, compared := compare(base, rep, tol)
+		memRegs, memCompared := compareMem(base, rep, allocTol)
+		regs = append(regs, memRegs...)
 		if compared == 0 {
 			fatal(fmt.Errorf("no benchmarks in common with baseline %s", *baseline))
 		}
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f ns/op -> %.1f ns/op (%+.1f%%, limit %+.1f%%)\n",
-				r.Name, r.Base, r.Current, 100*r.Delta, 100*tol)
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f %s -> %.1f %s (%+.1f%%, limit %+.1f%%)\n",
+				r.Name, r.Base, r.Metric, r.Current, r.Metric, 100*r.Delta, 100*r.Limit)
 		}
 		if len(regs) > 0 {
-			fatal(fmt.Errorf("%d of %d benchmarks regressed beyond %s", len(regs), compared, *maxRegress))
+			fatal(fmt.Errorf("%d regressions across %d timed and %d memory comparisons", len(regs), compared, memCompared))
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %s of baseline\n", compared, *maxRegress)
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %s of baseline ns/op; %d within %s of baseline B/op and allocs/op\n",
+			compared, *maxRegress, memCompared, *maxAllocRegress)
 	}
 }
 
-// Regression is one benchmark that slowed beyond tolerance.
+// Regression is one benchmark metric that degraded beyond tolerance.
 type Regression struct {
 	Name          string
-	Base, Current float64 // ns/op
-	Delta         float64 // fractional slowdown, e.g. 0.25 = 25% slower
+	Metric        string  // "ns/op", "B/op" or "allocs/op"
+	Base, Current float64 // value per op in Metric units
+	Delta         float64 // fractional growth, e.g. 0.25 = 25% worse
+	Limit         float64 // the tolerance this metric was held to
 }
 
 // calibrationName is the machine-speed reference benchmark. When both the
-// baseline and the current run contain it, every current ns/op is divided
-// by the ratio of calibration times before comparison. The calibration
-// workload is fixed pure CPU, so the ratio measures how fast the machine
-// is running right now versus when the baseline was recorded — CPU
-// frequency scaling and noisy-neighbor steal on shared VMs swing whole
-// runs by 30% or more, which would otherwise drown a 10% gate. The
-// ratio is clamped: a swing beyond 2x either way is not plausible speed
-// drift and is left for the per-benchmark limits to catch.
+// baseline and the current run contain it and the current machine reads
+// slower, every current ns/op is divided by the ratio of calibration times
+// before comparison. The calibration workload is fixed pure CPU, so the
+// ratio estimates how fast the machine is running right now versus when
+// the baseline was recorded — CPU frequency scaling and noisy-neighbor
+// steal on shared VMs swing whole runs by 30% or more, which would
+// otherwise drown the gate. The ratio is clamped at 2x (a larger swing is
+// not plausible speed drift) and floored at 1: it excuses slowdowns but
+// never scales current results up (see compare).
 const calibrationName = "BenchmarkCalibrate"
 
 // parseTolerance accepts "10%" or "0.1".
@@ -163,24 +184,43 @@ func loadReport(path string) (*Report, error) {
 // to be a superset (full bench run) of a quick regression-check subset.
 // When a name appears several times (go test -count=N), each side uses its
 // fastest sample — min-vs-min is robust to scheduler noise, which only ever
-// slows a run down. If both sides carry the calibration benchmark, current
-// values are normalized by the machine-speed ratio first (see
+// slows a run down. If both sides carry the calibration benchmark and it
+// reports the machine running slower than at baseline time, current values
+// are normalized down by the machine-speed ratio first (see
 // calibrationName); the calibration entry itself is never compared.
+//
+// Calibration only ever EXCUSES a slowdown, it never indicts: when the
+// calibration loop reads faster than at baseline time the ratio is ignored
+// and raw values are compared. The calibration workload is a small
+// fixed-footprint loop, and on shared VMs its speed can anti-correlate
+// with the real benchmarks' (a co-tenant hammering the LLC and memory
+// bandwidth slows the cache-heavy pipeline benchmarks while leaving the
+// mostly-ALU calibration loop untouched, or vice versa). Scaling current
+// results UP because the calibration loop happened to catch a fast window
+// turns that proxy error into phantom regressions, so the gate refuses to
+// do it — the cost is that a real code regression exactly masked by a
+// genuinely faster machine is missed, which the next baseline refresh
+// catches.
 func compare(base, cur *Report, tol float64) ([]Regression, int) {
 	baseNs := minNsByName(base)
 	curNs := minNsByName(cur)
 	scale := 1.0
 	if b, c := baseNs[calibrationName], curNs[calibrationName]; b > 0 && c > 0 {
 		scale = c / b
-		if scale < 0.5 {
-			scale = 0.5
-		} else if scale > 2 {
+		if scale > 2 {
 			scale = 2
 		}
-		if scale != 1 {
+		if scale > 1 {
 			fmt.Fprintf(os.Stderr,
 				"benchjson: calibration %.0f -> %.0f ns/op; normalizing current results by 1/%.3f\n",
 				b, c, scale)
+		} else {
+			if scale < 1 {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: calibration %.0f -> %.0f ns/op; machine not slower, comparing raw\n",
+					b, c)
+			}
+			scale = 1
 		}
 		delete(curNs, calibrationName)
 	}
@@ -200,10 +240,88 @@ func compare(base, cur *Report, tol float64) ([]Regression, int) {
 		ns := curNs[name] / scale
 		delta := ns/b - 1
 		if delta > tol {
-			regs = append(regs, Regression{Name: name, Base: b, Current: ns, Delta: delta})
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b, Current: ns, Delta: delta, Limit: tol})
 		}
 	}
 	return regs, compared
+}
+
+// memStats is one benchmark's best (minimum) -benchmem sample.
+type memStats struct {
+	bytes, allocs int64
+}
+
+// compareMem gates B/op and allocs/op growth against the baseline. Memory
+// counts are deterministic properties of the code, not of the machine, so
+// unlike ns/op they are never calibration-scaled: a byte allocated here is
+// a byte allocated on any host. Benchmarks whose baseline allocs/op is
+// exactly zero get the strict gate — zero-alloc is a contract some hot
+// kernels advertise (tokenize, extract), and "one alloc per op" on a
+// formerly allocation-free path is a real leak no percentage tolerance
+// should wave through. Only entries carrying -benchmem data on both sides
+// are compared; min-of-N per name filters warmup noise the same way the
+// timed gate does.
+func compareMem(base, cur *Report, tol float64) ([]Regression, int) {
+	baseMem := minMemByName(base)
+	curMem := minMemByName(cur)
+	names := make([]string, 0, len(curMem))
+	for name := range curMem {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regs []Regression
+	compared := 0
+	for _, name := range names {
+		b, ok := baseMem[name]
+		if !ok {
+			continue
+		}
+		compared++
+		c := curMem[name]
+		regs = gateMetric(regs, name, "allocs/op", b.allocs, c.allocs, tol)
+		regs = gateMetric(regs, name, "B/op", b.bytes, c.bytes, tol)
+	}
+	return regs, compared
+}
+
+// gateMetric appends a Regression when cur exceeds base by more than tol.
+// A zero baseline tolerates nothing: any growth from 0 is flagged with the
+// full delta reported as +Inf-free absolute growth (Delta is left as the
+// ratio against 1 unit so the message stays finite).
+func gateMetric(regs []Regression, name, metric string, base, cur int64, tol float64) []Regression {
+	if base == 0 {
+		if cur > 0 {
+			regs = append(regs, Regression{Name: name, Metric: metric, Base: 0, Current: float64(cur), Delta: float64(cur), Limit: 0})
+		}
+		return regs
+	}
+	delta := float64(cur)/float64(base) - 1
+	if delta > tol {
+		regs = append(regs, Regression{Name: name, Metric: metric, Base: float64(base), Current: float64(cur), Delta: delta, Limit: tol})
+	}
+	return regs
+}
+
+// minMemByName keeps each name's smallest -benchmem sample; entries without
+// memory columns are skipped entirely.
+func minMemByName(rep *Report) map[string]memStats {
+	out := make(map[string]memStats, len(rep.Results))
+	for _, r := range rep.Results {
+		if !r.HasMem {
+			continue
+		}
+		m := memStats{bytes: r.BytesPerOp, allocs: r.AllocsOp}
+		if prev, ok := out[r.Name]; ok {
+			if prev.bytes < m.bytes {
+				m.bytes = prev.bytes
+			}
+			if prev.allocs < m.allocs {
+				m.allocs = prev.allocs
+			}
+		}
+		out[r.Name] = m
+	}
+	return out
 }
 
 func minNsByName(rep *Report) map[string]float64 {
@@ -269,9 +387,9 @@ func parseLine(line string) (Result, bool) {
 		case "ns/op":
 			r.NsPerOp, sawNs = v, true
 		case "B/op":
-			r.BytesPerOp = int64(v)
+			r.BytesPerOp, r.HasMem = int64(v), true
 		case "allocs/op":
-			r.AllocsOp = int64(v)
+			r.AllocsOp, r.HasMem = int64(v), true
 		default:
 			if r.Extra == nil {
 				r.Extra = map[string]float64{}

@@ -133,14 +133,22 @@ func TestCompareCalibration(t *testing.T) {
 		t.Errorf("normalized delta = %v, want ~0.30", d)
 	}
 
-	// A faster machine tightens the gate symmetrically: +20% raw on a
-	// machine now running 1.25x faster is a ~50% real regression.
+	// Calibration only excuses, it never indicts: a faster calibration
+	// read (machine claims 1.25x faster) must NOT inflate current results
+	// — +5% raw stays +5%, not ~+31% — because the small calibration loop
+	// can anti-correlate with the cache-heavy real benchmarks on a shared
+	// host.
 	fastCur := &Report{Results: []Result{
 		{Name: calibrationName, NsPerOp: 80},
-		{Name: "BenchmarkA", NsPerOp: 240},
+		{Name: "BenchmarkA", NsPerOp: 210},
 	}}
-	if regs, _ := compare(base, fastCur, 0.10); len(regs) != 1 {
-		t.Errorf("fast-machine regression missed: %+v", regs)
+	if regs, _ := compare(base, fastCur, 0.10); len(regs) != 0 {
+		t.Errorf("fast calibration read indicted a raw-clean run: %+v", regs)
+	}
+	// A raw regression on a faster-reading machine is still caught raw.
+	fastCur.Results[1].NsPerOp = 240
+	if regs, _ := compare(base, fastCur, 0.10); len(regs) != 1 || regs[0].Delta < 0.19 || regs[0].Delta > 0.21 {
+		t.Errorf("raw regression on fast-reading machine missed: %+v", regs)
 	}
 
 	// An implausible >2x swing is clamped, not trusted.
@@ -167,5 +175,67 @@ func TestCompareMinOfN(t *testing.T) {
 	regs, compared := compare(base, cur, 0.10)
 	if compared != 1 || len(regs) != 0 {
 		t.Fatalf("min-of-N compare: compared=%d regs=%+v", compared, regs)
+	}
+}
+
+func TestCompareMem(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 10, HasMem: true},
+		{Name: "BenchmarkZero", NsPerOp: 50, BytesPerOp: 0, AllocsOp: 0, HasMem: true},
+		{Name: "BenchmarkNoMem", NsPerOp: 10}, // baseline without -benchmem
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1050, AllocsOp: 14, HasMem: true}, // bytes +5% ok, allocs +40% regress
+		{Name: "BenchmarkZero", NsPerOp: 50, BytesPerOp: 16, AllocsOp: 1, HasMem: true},  // zero-alloc contract broken
+		{Name: "BenchmarkNoMem", NsPerOp: 10, BytesPerOp: 99, AllocsOp: 9, HasMem: true}, // no baseline mem: skipped
+	}}
+	regs, compared := compareMem(base, cur, 0.10)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	var got []string
+	for _, r := range regs {
+		got = append(got, r.Name+" "+r.Metric)
+	}
+	want := []string{"BenchmarkA allocs/op", "BenchmarkZero allocs/op", "BenchmarkZero B/op"}
+	if len(got) != len(want) {
+		t.Fatalf("regs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("regs = %v, want %v", got, want)
+		}
+	}
+	// The zero-baseline gate admits exactly zero growth but no more.
+	if r := regs[1]; r.Base != 0 || r.Current != 1 || r.Limit != 0 {
+		t.Errorf("zero-alloc regression detail wrong: %+v", r)
+	}
+}
+
+func TestCompareMemMinOfN(t *testing.T) {
+	// -count=N duplicates: each side judged on its smallest sample per
+	// metric, so one warmup-polluted sample does not fail the gate.
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 10, HasMem: true},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 4000, AllocsOp: 25, HasMem: true},
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1010, AllocsOp: 10, HasMem: true},
+	}}
+	regs, compared := compareMem(base, cur, 0.10)
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("min-of-N mem compare: compared=%d regs=%+v", compared, regs)
+	}
+}
+
+func TestCompareMemImprovement(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000, AllocsOp: 10, HasMem: true},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 0, AllocsOp: 0, HasMem: true},
+	}}
+	if regs, _ := compareMem(base, cur, 0); len(regs) != 0 {
+		t.Errorf("improvement to zero reported as regression: %+v", regs)
 	}
 }

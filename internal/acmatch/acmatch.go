@@ -23,13 +23,20 @@ type Hit struct {
 
 // Matcher is an immutable multi-pattern automaton. Safe for concurrent
 // Scan calls: scanning only reads the transition tables.
+//
+// States are renumbered so every output state sits at the top of the ID
+// range (>= firstOut): the scan loop then detects matches with a single
+// register compare instead of two out-table loads per input byte.
 type Matcher struct {
 	pats []string
 	// delta is the DFA transition table: delta[state*256+b] is the next
 	// state after reading byte b.
 	delta []int32
-	// out[state] indexes into outPat: the patterns ending at state are
-	// outPat[out[state]:out[state+1]].
+	// firstOut is the lowest output-state ID; states >= firstOut have at
+	// least one pattern ending there.
+	firstOut int32
+	// out[s-firstOut] indexes into outPat: the patterns ending at output
+	// state s are outPat[out[s-firstOut]:out[s-firstOut+1]].
 	out    []int32
 	outPat []int32
 }
@@ -95,13 +102,59 @@ func New(patterns []string) *Matcher {
 		}
 	}
 
+	// Renumber states so output states occupy the top of the ID range:
+	// non-output states keep low IDs (the root stays 0 — patterns are
+	// non-empty, so it never carries output), output states follow. The
+	// scan loop then spots matches with one `s >= firstOut` compare.
+	nOut := 0
+	for s := 0; s < states; s++ {
+		if len(outSets[s]) > 0 {
+			nOut++
+		}
+	}
+	firstOut := int32(states - nOut)
+	perm := make([]int32, states)
+	lo, hi := int32(0), firstOut
+	for s := 0; s < states; s++ {
+		if len(outSets[s]) > 0 {
+			perm[s] = hi
+			hi++
+		} else {
+			perm[s] = lo
+			lo++
+		}
+	}
+	delta := make([]int32, states*256)
+	for s := 0; s < states; s++ {
+		ns := perm[s]
+		for b := int32(0); b < 256; b++ {
+			delta[ns*256+b] = perm[goto_[int32(s)*256+b]]
+		}
+	}
 	m := &Matcher{
-		pats:  append([]string(nil), patterns...),
-		delta: goto_[:states*256],
-		out:   make([]int32, states+1),
+		pats:     append([]string(nil), patterns...),
+		delta:    delta,
+		firstOut: firstOut,
+		out:      make([]int32, nOut+1),
 	}
 	for s := 0; s < states; s++ {
-		m.out[s+1] = m.out[s] + int32(len(outSets[s]))
+		if len(outSets[s]) == 0 {
+			continue
+		}
+		oi := perm[s] - firstOut
+		m.out[oi+1] = int32(len(outSets[s]))
+	}
+	for i := 1; i <= nOut; i++ {
+		m.out[i] += m.out[i-1]
+	}
+	m.outPat = make([]int32, 0, m.out[nOut])
+	order := make([]int32, nOut)
+	for s := 0; s < states; s++ {
+		if len(outSets[s]) > 0 {
+			order[perm[s]-firstOut] = int32(s)
+		}
+	}
+	for _, s := range order {
 		m.outPat = append(m.outPat, outSets[s]...)
 	}
 	return m
@@ -117,11 +170,11 @@ func (m *Matcher) Patterns() []string { return m.pats }
 // several patterns ending at the same byte are reported in automaton
 // output order.
 func (m *Matcher) Scan(text []byte, hits []Hit) []Hit {
-	s := int32(0)
+	s, fo := int32(0), m.firstOut
 	for i := 0; i < len(text); i++ {
 		s = m.delta[s*256+int32(text[i])]
-		if o, oEnd := m.out[s], m.out[s+1]; o < oEnd {
-			for ; o < oEnd; o++ {
+		if s >= fo {
+			for o, oEnd := m.out[s-fo], m.out[s-fo+1]; o < oEnd; o++ {
 				hits = append(hits, Hit{Pattern: int(m.outPat[o]), End: i + 1})
 			}
 		}
@@ -129,13 +182,29 @@ func (m *Matcher) Scan(text []byte, hits []Hit) []Hit {
 	return hits
 }
 
+// DFA exposes the raw transition machinery for a caller that fuses the
+// scan into its own byte loop (the extraction kernel folds and scans in
+// one pass). delta is the dense table indexed state*256+int32(b) starting
+// from state 0; it must not be modified. States >= firstOut have patterns
+// ending there — pass them to Emit.
+func (m *Matcher) DFA() (delta []int32, firstOut int32) { return m.delta, m.firstOut }
+
+// Emit appends the hits for output state s (>= DFA's firstOut) ending at
+// byte offset end, exactly as Scan would report them.
+func (m *Matcher) Emit(s int32, end int, hits []Hit) []Hit {
+	for o, oEnd := m.out[s-m.firstOut], m.out[s-m.firstOut+1]; o < oEnd; o++ {
+		hits = append(hits, Hit{Pattern: int(m.outPat[o]), End: end})
+	}
+	return hits
+}
+
 // ScanString is Scan for string input.
 func (m *Matcher) ScanString(text string, hits []Hit) []Hit {
-	s := int32(0)
+	s, fo := int32(0), m.firstOut
 	for i := 0; i < len(text); i++ {
 		s = m.delta[s*256+int32(text[i])]
-		if o, oEnd := m.out[s], m.out[s+1]; o < oEnd {
-			for ; o < oEnd; o++ {
+		if s >= fo {
+			for o, oEnd := m.out[s-fo], m.out[s-fo+1]; o < oEnd; o++ {
 				hits = append(hits, Hit{Pattern: int(m.outPat[o]), End: i + 1})
 			}
 		}

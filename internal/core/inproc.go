@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// localTransport short-circuits HTTP requests addressed to the study's own
+// loopback services: instead of writing the request onto a TCP socket and
+// parsing it back out of the other side, it invokes the service's wrapped
+// handler (telemetry middleware and fault injector included) directly and
+// adapts the recorded response. The wire path costs ~15 heap objects per
+// request across both net/http state machines — request serialization,
+// textproto header parsing, connection-pool bookkeeping — which at study
+// scale (tens of thousands of fetches per run) dominates the whole
+// pipeline's allocation profile. The in-process path costs a pooled
+// exchange, one header map and one response struct.
+//
+// Behavior matches the wire for everything the Fetcher observes: status
+// codes, headers (Retry-After), bodies, default-200 semantics, and the
+// fault injector's abort modes — a handler panic (http.ErrAbortHandler)
+// before any write surfaces as a connection error from Do, after a partial
+// write as an io.ErrUnexpectedEOF mid-body, exactly the two shapes a
+// severed TCP connection produces. Context cancellation abandons the
+// in-flight handler just as a wire client abandons its connection: the
+// stalled handler keeps running (and unblocks on the request context, as
+// the injector's stall mode does) while the caller returns at its deadline.
+//
+// Hosts without a registered handler fall through to the real transport,
+// so the loopback listeners stay reachable for anything else.
+type localTransport struct {
+	handlers map[string]http.Handler // keyed by URL host ("127.0.0.1:port")
+}
+
+// errConnAborted is what a handler abort before any response bytes looks
+// like from the client side of a real connection.
+var errConnAborted = errors.New("core: in-process connection aborted")
+
+// inprocExchange is one request's pooled state. The same struct serves as
+// the handler-side http.ResponseWriter and, once the handler returns, as
+// the client-side response Body over the recorded bytes; Close returns it
+// to the pool.
+type inprocExchange struct {
+	hdr   http.Header
+	buf   []byte
+	code  int
+	wrote bool // WriteHeader reached (explicitly or via first Write)
+
+	off      int
+	abortErr error // non-nil: yielded after the recorded bytes run out
+	closed   bool
+}
+
+var exchangePool = sync.Pool{New: func() any {
+	return &inprocExchange{buf: make([]byte, 0, 32<<10), code: http.StatusOK}
+}}
+
+func (x *inprocExchange) Header() http.Header {
+	if x.hdr == nil {
+		x.hdr = make(http.Header, 4)
+	}
+	return x.hdr
+}
+
+func (x *inprocExchange) WriteHeader(code int) {
+	if !x.wrote {
+		x.code = code
+		x.wrote = true
+	}
+}
+
+func (x *inprocExchange) Write(b []byte) (int, error) {
+	if !x.wrote {
+		x.wrote = true
+	}
+	x.buf = append(x.buf, b...)
+	return len(b), nil
+}
+
+func (x *inprocExchange) Read(p []byte) (int, error) {
+	if x.off >= len(x.buf) {
+		if x.abortErr != nil {
+			return 0, x.abortErr
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, x.buf[x.off:])
+	x.off += n
+	return n, nil
+}
+
+func (x *inprocExchange) Close() error {
+	if x.closed {
+		return nil
+	}
+	x.closed = true
+	x.hdr = nil
+	x.buf = x.buf[:0]
+	x.code = http.StatusOK
+	x.wrote = false
+	x.off = 0
+	x.abortErr = nil
+	exchangePool.Put(x)
+	return nil
+}
+
+func (t *localTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t.handlers[req.URL.Host]
+	if !ok {
+		return http.DefaultTransport.RoundTrip(req)
+	}
+	ctx := req.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	x := exchangePool.Get().(*inprocExchange)
+	x.closed = false
+	done := make(chan struct{})
+	var panicked any
+	go func() {
+		defer func() {
+			panicked = recover()
+			close(done)
+		}()
+		h.ServeHTTP(x, req)
+	}()
+	select {
+	case <-ctx.Done():
+		// The handler may still be running and writing into x, so x is
+		// abandoned to the GC rather than pooled.
+		return nil, ctx.Err()
+	case <-done:
+	}
+	if panicked != nil && !x.wrote {
+		// Abort before any response bytes (the injector's reset mode):
+		// the wire client's Do fails with a connection error.
+		_ = x.Close()
+		return nil, errConnAborted
+	}
+	cl := int64(len(x.buf))
+	if v := x.hdr.Get("Content-Length"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			cl = n
+		}
+	}
+	if panicked != nil && int64(len(x.buf)) < cl {
+		// Abort mid-body with the full Content-Length advertised (stall and
+		// truncate modes): the wire client reads a short body ending in an
+		// unexpected EOF.
+		x.abortErr = io.ErrUnexpectedEOF
+	}
+	return &http.Response{
+		StatusCode:    x.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        x.hdr,
+		Body:          x,
+		ContentLength: cl,
+		Request:       req,
+	}, nil
+}

@@ -8,9 +8,14 @@ import (
 	"time"
 )
 
-// service is one locally served simulated site.
+// service is one locally served simulated site. The wrapped handler is
+// retained so the study's own HTTP consumers can reach it through the
+// in-process transport (see localTransport); the loopback listener serves
+// the same handler for anything external.
 type service struct {
 	BaseURL string
+	handler http.Handler
+	host    string // listener address, the URL host in-process dispatch keys on
 	srv     *http.Server
 	ln      net.Listener
 }
@@ -25,6 +30,8 @@ func serveLocal(h http.Handler) (*service, error) {
 	}
 	s := &service{
 		BaseURL: "http://" + ln.Addr().String(),
+		handler: h,
+		host:    ln.Addr().String(),
 		srv:     &http.Server{Handler: h},
 		ln:      ln,
 	}

@@ -32,6 +32,7 @@ import (
 	"doxmeter/internal/faults"
 	"doxmeter/internal/htmltext"
 	"doxmeter/internal/label"
+	"doxmeter/internal/lease"
 	"doxmeter/internal/monitor"
 	"doxmeter/internal/netid"
 	"doxmeter/internal/osn"
@@ -41,7 +42,6 @@ import (
 	"doxmeter/internal/simclock"
 	"doxmeter/internal/sites"
 	"doxmeter/internal/store"
-	"doxmeter/internal/lease"
 	"doxmeter/internal/stream"
 	"doxmeter/internal/telemetry"
 	"doxmeter/internal/textgen"
@@ -410,6 +410,12 @@ type Study struct {
 	ckptP1N           int      // len(pastebinP1Docs) at the last cut
 	addedFlaggedP1    []string // flaggedP1 keys added since the last cut
 	addedCollectedIDs []string // CollectedIDs keys added since the last cut
+
+	// Commit scratch, reused across documents (commit runs only on the
+	// driver goroutine): the site/id key bytes and the text copy handed
+	// to the digest.
+	keyScratch  []byte
+	hashScratch []byte
 }
 
 // ErrStopped is returned by Run after RequestStop: the study checkpointed
@@ -560,8 +566,14 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	s.services = []*service{pbSvc, fourSvc, eightSvc, osnSvc}
 	s.osnBaseURL = osnSvc.BaseURL
 
+	// The study's own crawlers and monitor dispatch to the service handlers
+	// in-process; the loopback listeners stay up for external consumers.
+	lt := &localTransport{handlers: make(map[string]http.Handler, len(s.services))}
+	for _, svc := range s.services {
+		lt.handlers[svc.host] = svc.handler
+	}
 	opts := cfg.Crawl
-	opts.Client = nil // crawlers use the default client against loopback
+	opts.Client = &http.Client{Transport: lt}
 	opts.Concurrency = cfg.Parallelism
 	opts.Telemetry = reg // site label defaults per constructor
 	s.crawlers.pastebin = crawler.NewPastebin(pbSvc.BaseURL, opts)
@@ -1067,14 +1079,20 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 	s.Collected++
 	s.CollectedBySite[doc.Site]++
 	s.m.collected.With(doc.Site).Inc()
+	var siteID string // site/id key, materialized at most once per commit
 	if s.CollectedIDs != nil {
-		key := doc.Site + "/" + doc.ID
-		if s.deltaMode {
-			if _, ok := s.CollectedIDs[key]; !ok {
-				s.addedCollectedIDs = append(s.addedCollectedIDs, key)
+		// Build the key in scratch and only materialize a string for
+		// first-time entries: a re-crawled document maps to the Posted
+		// value it already has, so the repeat assignment is skipped
+		// rather than re-allocating its key.
+		s.keyScratch = append(append(append(s.keyScratch[:0], doc.Site...), '/'), doc.ID...)
+		if _, ok := s.CollectedIDs[string(s.keyScratch)]; !ok {
+			siteID = string(s.keyScratch)
+			if s.deltaMode {
+				s.addedCollectedIDs = append(s.addedCollectedIDs, siteID)
 			}
+			s.CollectedIDs[siteID] = doc.Posted
 		}
-		s.CollectedIDs[key] = doc.Posted
 	}
 	if periodNo == 1 && doc.Site == "pastebin" {
 		s.pastebinP1Docs = append(s.pastebinP1Docs, crawler.Doc{Site: doc.Site, ID: doc.ID, Posted: doc.Posted})
@@ -1090,7 +1108,10 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 			s.addedFlaggedP1 = append(s.addedFlaggedP1, doc.ID)
 		}
 	}
-	verdict, _ := s.Deduper.Check(doc.Site+"/"+doc.ID, pre.Text, pre.Extraction.AccountSetKey())
+	if siteID == "" {
+		siteID = doc.Site + "/" + doc.ID
+	}
+	verdict, _ := s.Deduper.Check(siteID, pre.Text, pre.Extraction.AccountSetKey())
 	if verdict != dedup.Unique {
 		s.m.duplicates.With(verdict.String()).Inc()
 		return
@@ -1101,7 +1122,10 @@ func (s *Study) commit(doc *crawler.Doc, pre Prepared, periodNo int, p simclock.
 	// labels, the §4.1 geolocation outcome, and a digest standing in for
 	// the text itself. All three are pure functions of the text, so fresh
 	// and resumed runs agree.
-	sum := sha256.Sum256([]byte(pre.Text))
+	// Digest via reused scratch: []byte(pre.Text) would allocate a fresh
+	// full-text copy per unique dox.
+	s.hashScratch = append(s.hashScratch[:0], pre.Text...)
+	sum := sha256.Sum256(s.hashScratch)
 	labels := label.Apply(pre.Text)
 	rec := &DoxRecord{
 		DocID:      doc.ID,

@@ -348,6 +348,42 @@ func (f *Fetcher) Get(ctx context.Context, url string) ([]byte, error) {
 // yields garbage the final error wraps ErrCorruptPayload so the caller can
 // quarantine.
 func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]byte) error) ([]byte, error) {
+	var out []byte
+	err := f.fetch(ctx, url, validate, func(body []byte) {
+		out = make([]byte, len(body))
+		copy(out, body)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetFunc is the zero-copy fetch: validate (may be nil) structurally
+// checks the body exactly as in GetValidated, then consume sees the
+// pooled bytes before they are recycled. consume must copy out anything
+// it retains — the slice is invalid once GetFunc returns.
+func (f *Fetcher) GetFunc(ctx context.Context, url string, validate func([]byte) error, consume func(body []byte)) error {
+	return f.fetch(ctx, url, validate, consume)
+}
+
+// GetText fetches a URL and returns the body as a string, materialized
+// straight from the pooled read buffer (one allocation, no intermediate
+// []byte copy).
+func (f *Fetcher) GetText(ctx context.Context, url string) (string, error) {
+	var out string
+	err := f.fetch(ctx, url, nil, func(body []byte) { out = string(body) })
+	return out, err
+}
+
+// fetch is the retrying core behind Get/GetValidated/GetText. The response
+// body lives in a pooled buffer for the duration of one attempt: validate
+// (the structural check, which may parse-and-capture) and then consume (the
+// materialization hook) see the pooled bytes, which are recycled before
+// fetch returns — neither callback may retain the slice. Callers that parse
+// inside validate and need no raw bytes pass consume=nil and pay zero
+// copies.
+func (f *Fetcher) fetch(ctx context.Context, url string, validate func([]byte) error, consume func([]byte)) error {
 	var lastErr error
 	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -361,27 +397,27 @@ func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]
 					f.m.backoffSeconds.Add(delay.Seconds())
 				}
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 		}
 		if err := f.throttle(ctx); err != nil {
-			return nil, err
+			return err
 		}
 		if err := f.breaker.acquire(ctx, f.opts.BreakerMaxWait); err != nil {
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 			f.m.breakerGiveUps.Inc()
 			lastErr = fmt.Errorf("%w after %v", ErrCircuitOpen, f.opts.BreakerMaxWait)
 			continue
 		}
-		body, err := f.once(ctx, url)
+		bp, err := f.once(ctx, url)
 		if f.breaker.record(breakerHealthy(err)) {
 			f.m.breakerOpens.Inc()
 		}
 		f.m.breakerState.Set(breakerStateValue(f.breaker.isOpen()))
 		if err == nil && validate != nil {
-			if verr := validate(body); verr != nil {
+			if verr := validate(*bp); verr != nil {
 				f.m.corrupt.Inc()
 				f.m.errors.Inc()
 				if !errors.Is(verr, ErrCorruptPayload) {
@@ -391,19 +427,26 @@ func (f *Fetcher) GetValidated(ctx context.Context, url string, validate func([]
 			}
 		}
 		if err == nil {
-			return body, nil
+			if consume != nil {
+				consume(*bp)
+			}
+			putReadBuf(bp)
+			return nil
+		}
+		if bp != nil {
+			putReadBuf(bp)
 		}
 		if errors.Is(err, ErrNotFound) {
-			return nil, err
+			return err
 		}
 		if ctx.Err() != nil {
 			// The caller's context expired mid-attempt; whatever error the
 			// transport dressed it in, it is terminal.
-			return nil, err
+			return err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("crawler: %s failed after %d attempts: %w", url, f.opts.Retries+1, lastErr)
+	return fmt.Errorf("crawler: %s failed after %d attempts: %w", url, f.opts.Retries+1, lastErr)
 }
 
 // breakerHealthy decides whether a response outcome counts for or against
@@ -452,7 +495,38 @@ func breakerStateValue(open bool) float64 {
 	return 0
 }
 
-func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
+// readBufPool recycles response-body read buffers across fetches. io.ReadAll
+// re-grows a fresh buffer through the whole append chain on every call; the
+// pooled buffer amortizes that to zero once warm.
+var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 32<<10); return &b }}
+
+func putReadBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	readBufPool.Put(bp)
+}
+
+// appendAll is io.ReadAll into a caller-owned buffer: appends r's bytes to
+// buf, growing as needed, with io.EOF mapped to success and every other
+// error (including io.ErrUnexpectedEOF) passed through.
+func appendAll(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if err == io.EOF {
+				return buf, nil
+			}
+			return buf, err
+		}
+	}
+}
+
+// once runs a single fetch attempt. On success the body is returned in a
+// pooled buffer which the caller must release via putReadBuf.
+func (f *Fetcher) once(ctx context.Context, url string) (*[]byte, error) {
 	if f.opts.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, f.opts.RequestTimeout)
@@ -490,22 +564,30 @@ func (f *Fetcher) once(ctx context.Context, url string) ([]byte, error) {
 	}
 	// The body read runs under the same per-attempt deadline as the dial,
 	// so a stalled transfer ends in a timeout, not a hung poll.
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	bp := readBufPool.Get().(*[]byte)
+	body, err := appendAll(io.LimitReader(resp.Body, 16<<20), (*bp)[:0])
+	*bp = body[:0] // keep the grown capacity pooled whatever happens below
 	switch {
 	case err != nil && errors.Is(err, io.ErrUnexpectedEOF):
 		f.m.errors.Inc()
 		f.m.truncated.Inc()
-		return nil, fmt.Errorf("%w: connection closed after %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
+		n := len(body)
+		putReadBuf(bp)
+		return nil, fmt.Errorf("%w: connection closed after %d of %d bytes", ErrTruncatedBody, n, resp.ContentLength)
 	case err != nil:
 		f.m.errors.Inc()
+		putReadBuf(bp)
 		return nil, err
 	case resp.ContentLength > 0 && int64(len(body)) < resp.ContentLength:
 		f.m.errors.Inc()
 		f.m.truncated.Inc()
-		return nil, fmt.Errorf("%w: got %d of %d bytes", ErrTruncatedBody, len(body), resp.ContentLength)
+		n := len(body)
+		putReadBuf(bp)
+		return nil, fmt.Errorf("%w: got %d of %d bytes", ErrTruncatedBody, n, resp.ContentLength)
 	}
 	f.m.bytes.Add(float64(len(body)))
-	return body, nil
+	*bp = body
+	return bp, nil
 }
 
 // parseRetryAfter reads a Retry-After value: delta seconds (leniently
@@ -665,26 +747,56 @@ func (b *breaker) record(healthy bool) bool {
 // wraps ErrCorruptPayload so fetch-level validation and quarantine logic
 // key off one sentinel.
 
+// The Into variants decode into caller-owned storage so the pollers can
+// reuse one decode target across pages and threads (json.Unmarshal reuses a
+// slice's backing array when the capacity suffices). The value-returning
+// wrappers remain the fuzz-target entry points.
+
+func parseListingInto(raw []byte, dst []pasteMeta) ([]pasteMeta, error) {
+	dst = dst[:0]
+	if err := json.Unmarshal(raw, &dst); err != nil {
+		return dst[:0], fmt.Errorf("bad listing: %w (%v)", ErrCorruptPayload, err)
+	}
+	return dst, nil
+}
+
+func parseCatalogInto(raw []byte, dst []catalogPage) ([]catalogPage, error) {
+	dst = dst[:0]
+	if err := json.Unmarshal(raw, &dst); err != nil {
+		return dst[:0], fmt.Errorf("bad catalog: %w (%v)", ErrCorruptPayload, err)
+	}
+	return dst, nil
+}
+
+func parseThreadInto(raw []byte, tj *threadJSON) error {
+	tj.Posts = tj.Posts[:0]
+	if err := json.Unmarshal(raw, tj); err != nil {
+		tj.Posts = tj.Posts[:0]
+		return fmt.Errorf("bad thread: %w (%v)", ErrCorruptPayload, err)
+	}
+	return nil
+}
+
 func parseListing(raw []byte) ([]pasteMeta, error) {
-	var page []pasteMeta
-	if err := json.Unmarshal(raw, &page); err != nil {
-		return nil, fmt.Errorf("bad listing: %w (%v)", ErrCorruptPayload, err)
+	page, err := parseListingInto(raw, nil)
+	if err != nil {
+		return nil, err
 	}
 	return page, nil
 }
 
 func parseCatalog(raw []byte) ([]catalogPage, error) {
-	var pages []catalogPage
-	if err := json.Unmarshal(raw, &pages); err != nil {
-		return nil, fmt.Errorf("bad catalog: %w (%v)", ErrCorruptPayload, err)
+	pages, err := parseCatalogInto(raw, nil)
+	if err != nil {
+		return nil, err
 	}
 	return pages, nil
 }
 
 func parseThread(raw []byte) (threadJSON, error) {
 	var tj threadJSON
-	if err := json.Unmarshal(raw, &tj); err != nil {
-		return threadJSON{}, fmt.Errorf("bad thread: %w (%v)", ErrCorruptPayload, err)
+	if err := parseThreadInto(raw, &tj); err != nil {
+		return threadJSON{}, err
 	}
 	return tj, nil
 }
@@ -703,6 +815,11 @@ type Pastebin struct {
 	mu     sync.Mutex
 	cursor int64
 	seen   map[string]bool
+
+	// Poll-local scratch (Poll is serial per crawler — the cursor protocol
+	// already assumes that): reused listing decode target and URL buffer.
+	pageScratch []pasteMeta
+	urlScratch  []byte
 
 	// Delta-checkpoint journal: paste keys committed since the last cut,
 	// kept only while journaling is enabled. The seen set is add-only, so
@@ -750,15 +867,27 @@ type pasteMeta struct {
 // so the returned documents are identical to a serial poll.
 func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 	var out []Doc
+	itemPrefix := c.BaseURL + "/api_scrape_item.php?i="
 	for {
 		c.mu.Lock()
 		cursor := c.cursor
 		c.mu.Unlock()
-		raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/api_scraping.php?since=%d&limit=%d", c.BaseURL, cursor, c.PageSize), validListing)
-		if err != nil {
-			return out, fmt.Errorf("crawler: %w", err)
-		}
-		page, err := parseListing(raw)
+		u := append(c.urlScratch[:0], c.BaseURL...)
+		u = append(u, "/api_scraping.php?since="...)
+		u = strconv.AppendInt(u, cursor, 10)
+		u = append(u, "&limit="...)
+		u = strconv.AppendInt(u, int64(c.PageSize), 10)
+		c.urlScratch = u
+		// The validate callback parses into the reused decode target, so the
+		// listing is decoded exactly once and the raw bytes never leave the
+		// fetcher's pooled buffer.
+		page := c.pageScratch
+		err := c.f.fetch(ctx, string(u), func(raw []byte) error {
+			var perr error
+			page, perr = parseListingInto(raw, page)
+			return perr
+		}, nil)
+		c.pageScratch = page
 		if err != nil {
 			return out, fmt.Errorf("crawler: %w", err)
 		}
@@ -778,7 +907,7 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 		c.mu.Unlock()
 
 		type fetchResult struct {
-			body    []byte
+			body    string
 			err     error
 			fetched bool
 		}
@@ -787,7 +916,7 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 			i := fetchIdx[j]
 			// Paste bodies are raw text: no structural validation is
 			// possible (any bytes are a legal paste).
-			body, err := c.f.Get(ctx, fmt.Sprintf("%s/api_scrape_item.php?i=%s", c.BaseURL, page[i].Key))
+			body, err := c.f.GetText(ctx, itemPrefix+page[i].Key)
 			results[i] = fetchResult{body: body, err: err, fetched: true}
 		})
 
@@ -804,7 +933,7 @@ func (c *Pastebin) Poll(ctx context.Context) ([]Doc, error) {
 				if res.err == nil {
 					out = append(out, Doc{
 						Site: c.SiteName, ID: m.Key, Title: m.Title,
-						Body: string(res.body), Posted: time.Unix(m.Date, 0).UTC(),
+						Body: res.body, Posted: time.Unix(m.Date, 0).UTC(),
 					})
 				}
 				// A 404 means the paste was deleted between listing and
@@ -971,6 +1100,12 @@ type Board struct {
 	lastMod  map[int64]int64 // thread no -> last_modified handled
 	seenPost map[int64]bool
 
+	// Poll-local scratch (Poll is serial per crawler): reused catalog decode
+	// target, candidate list and doc-ID build buffer.
+	catScratch  []catalogPage
+	candScratch []boardCandidate
+	idScratch   []byte
+
 	// Delta-checkpoint journal: threads whose watermark moved and posts
 	// committed since the last cut. seenPost is add-only and lastMod
 	// entries are never removed, so these two sets fully describe one
@@ -1012,6 +1147,15 @@ type threadJSON struct {
 	} `json:"posts"`
 }
 
+type boardCandidate struct {
+	no, lastMod int64
+}
+
+// threadPool recycles thread decode targets across the parallel thread
+// fetches; json.Unmarshal reuses the pooled Posts backing array, so a warm
+// poll allocates only the post strings that actually escape into Docs.
+var threadPool = sync.Pool{New: func() any { return new(threadJSON) }}
+
 // Poll fetches the catalog and re-reads every thread with new activity,
 // returning posts not seen before.
 //
@@ -1026,39 +1170,51 @@ type threadJSON struct {
 // past an unfetched document. With Options.Concurrency > 1, thread fetches
 // fan out in parallel while commits stay in catalog order.
 func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
-	raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/%s/catalog.json", c.BaseURL, c.Board), validCatalog)
-	if err != nil {
-		return nil, fmt.Errorf("crawler: %w", err)
-	}
-	pages, err := parseCatalog(raw)
+	// The validate callback parses into the reused decode target, so the
+	// catalog is decoded exactly once straight from the pooled read buffer.
+	pages := c.catScratch
+	err := c.f.fetch(ctx, c.BaseURL+"/"+c.Board+"/catalog.json", func(raw []byte) error {
+		var perr error
+		pages, perr = parseCatalogInto(raw, pages)
+		return perr
+	}, nil)
+	c.catScratch = pages
 	if err != nil {
 		return nil, fmt.Errorf("crawler: %w", err)
 	}
 	// Threads with new activity, in catalog order.
-	type candidate struct {
-		no, lastMod int64
-	}
-	var cands []candidate
+	cands := c.candScratch[:0]
 	c.mu.Lock()
 	for _, page := range pages {
 		for _, th := range page.Threads {
 			if th.LastModified > c.lastMod[th.No] {
-				cands = append(cands, candidate{no: th.No, lastMod: th.LastModified})
+				cands = append(cands, boardCandidate{no: th.No, lastMod: th.LastModified})
 			}
 		}
 	}
 	c.mu.Unlock()
+	c.candScratch = cands
 
 	type fetchResult struct {
-		tj  threadJSON
+		tj  *threadJSON
 		err error
 	}
+	threadPrefix := c.BaseURL + "/" + c.Board + "/thread/"
 	results := make([]fetchResult, len(cands))
 	parallel.ForEach(len(cands), c.f.opts.Concurrency, func(i int) {
-		results[i].tj, results[i].err = c.fetchThread(ctx, cands[i].no)
+		tj := threadPool.Get().(*threadJSON)
+		err := c.fetchThread(ctx, threadPrefix, cands[i].no, tj)
+		if err != nil {
+			threadPool.Put(tj)
+			results[i].err = err
+			return
+		}
+		results[i].tj = tj
 	})
 
 	var out []Doc
+	idPrefixLen := len(c.Board) + 1
+	c.idScratch = append(append(c.idScratch[:0], c.Board...), '-')
 	for i, cd := range cands {
 		res := results[i]
 		switch {
@@ -1081,8 +1237,9 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 			if c.journalOn {
 				c.jPosts = append(c.jPosts, p.No)
 			}
+			c.idScratch = strconv.AppendInt(c.idScratch[:idPrefixLen], p.No, 10)
 			out = append(out, Doc{
-				Site: c.SiteName, ID: fmt.Sprintf("%s-%d", c.Board, p.No),
+				Site: c.SiteName, ID: string(c.idScratch),
 				Body: p.Com, HTML: true, Posted: time.Unix(p.Time, 0).UTC(),
 			})
 		}
@@ -1091,18 +1248,19 @@ func (c *Board) Poll(ctx context.Context) ([]Doc, error) {
 			c.jThreads[cd.no] = true
 		}
 		c.mu.Unlock()
+		threadPool.Put(res.tj)
 	}
 	return out, nil
 }
 
-// fetchThread retrieves and parses one thread's JSON without touching any
-// crawler state; Poll commits the outcome.
-func (c *Board) fetchThread(ctx context.Context, no int64) (threadJSON, error) {
-	raw, err := c.f.GetValidated(ctx, fmt.Sprintf("%s/%s/thread/%d.json", c.BaseURL, c.Board, no), validThread)
-	if err != nil {
-		return threadJSON{}, err
-	}
-	return parseThread(raw)
+// fetchThread retrieves one thread's JSON into the pooled decode target
+// without touching any crawler state; Poll commits the outcome. The parse
+// happens inside the fetch's validate hook, straight off the pooled read
+// buffer, so corrupt payloads still count and retry exactly as before.
+func (c *Board) fetchThread(ctx context.Context, threadPrefix string, no int64, tj *threadJSON) error {
+	var nb [24]byte
+	u := threadPrefix + string(strconv.AppendInt(nb[:0], no, 10)) + ".json"
+	return c.f.fetch(ctx, u, func(raw []byte) error { return parseThreadInto(raw, tj) }, nil)
 }
 
 // Stats exposes the underlying fetcher's full counter snapshot.

@@ -18,6 +18,7 @@
 package dedup
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -99,7 +100,9 @@ func New() *Deduper {
 }
 
 // normalizeBody canonicalizes whitespace so trailing blanks and CRLF
-// differences do not defeat exact matching.
+// differences do not defeat exact matching. This string-materializing form
+// is the REFERENCE: the live path is bodyHash, whose single-pass
+// normalization FuzzNormalizeEquivalence holds bit-identical to this one.
 func normalizeBody(body string) string {
 	lines := strings.Split(strings.ReplaceAll(body, "\r\n", "\n"), "\n")
 	for i := range lines {
@@ -108,12 +111,52 @@ func normalizeBody(body string) string {
 	return strings.TrimSpace(strings.Join(lines, "\n"))
 }
 
+// normPool recycles the normalization scratch across Check/Peek calls.
+var normPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// bodyHash is SHA-256 over normalizeBody(body), computed in one pass into
+// pooled scratch: no line slice, no per-line strings, no joined copy. The
+// reference's stages collapse as follows: a '\r' directly before '\n'
+// is dropped (ReplaceAll "\r\n"→"\n"); runs of ' '/'\t' are held back and
+// discarded when a line ends before more content arrives (per-line
+// TrimRight " \t" — a run is contiguous in body, since '\r' and '\n'
+// terminate it); the final TrimSpace runs over the scratch bytes.
+func bodyHash(body string) [32]byte {
+	bp := normPool.Get().(*[]byte)
+	norm := (*bp)[:0]
+	wsStart := -1
+	for i := 0; i < len(body); i++ {
+		switch b := body[i]; {
+		case b == ' ' || b == '\t':
+			if wsStart < 0 {
+				wsStart = i
+			}
+		case b == '\n':
+			wsStart = -1
+			norm = append(norm, '\n')
+		case b == '\r' && i+1 < len(body) && body[i+1] == '\n':
+			// Dropped pair half; pending whitespace stays pending and
+			// dies at the '\n' that follows.
+		default:
+			if wsStart >= 0 {
+				norm = append(norm, body[wsStart:i]...)
+				wsStart = -1
+			}
+			norm = append(norm, b)
+		}
+	}
+	h := sha256.Sum256(bytes.TrimSpace(norm))
+	*bp = norm[:0]
+	normPool.Put(bp)
+	return h
+}
+
 // Check classifies a dox document and records it. accountSetKey is the
 // canonical extracted account-set identity (extract.Extraction.
 // AccountSetKey); pass "" when no accounts were extracted. It returns the
 // verdict and, for duplicates, the ID of the first-seen document.
 func (d *Deduper) Check(docID, body, accountSetKey string) (Verdict, string) {
-	h := sha256.Sum256([]byte(normalizeBody(body)))
+	h := bodyHash(body)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if first, ok := d.bodies[h]; ok {
@@ -198,7 +241,7 @@ func accountDigest(accountSetKey string) string {
 // it — used by secondary-venue analyses that must not disturb the primary
 // study's state.
 func (d *Deduper) Peek(body, accountSetKey string) (Verdict, string) {
-	h := sha256.Sum256([]byte(normalizeBody(body)))
+	h := bodyHash(body)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if first, ok := d.bodies[h]; ok {

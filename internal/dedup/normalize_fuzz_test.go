@@ -1,0 +1,75 @@
+package dedup
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+// normalizeEdgeCases are inputs that exercise every branch interaction of
+// the single-pass normalizer: CRLF pairs, lone '\r', '\r' adjacent to
+// space/tab runs, multibyte whitespace at the edges, and empty lines.
+var normalizeEdgeCases = []string{
+	"",
+	" ",
+	"\t \t",
+	"\n",
+	"\r\n",
+	"\r",
+	"\r\r\n",
+	"\r\n\r\n",
+	"a b c",
+	"a \t\r\nb",
+	"a \r \nb",
+	"x \ry",
+	"x \r",
+	"x  ",
+	"trailing line \t\nnext\t\n",
+	"  leading and trailing  \n\n mid \n",
+	" padded ",              // NBSP: TrimSpace-only whitespace
+	"line inside \r\nkept ", // multibyte mid-line survives
+	"héllo wörld \r\n çrlf ",
+	"\r\nonly pair\r\n",
+	"tab\t\r\nafter",
+	"sp \r\r\nmixed",
+	"a\n\n\nb",
+	"\t\n \n\t\n",
+}
+
+// TestBodyHashEquivalenceTable pins bodyHash to the reference normalizer
+// on the curated edge cases.
+func TestBodyHashEquivalenceTable(t *testing.T) {
+	for _, in := range normalizeEdgeCases {
+		want := sha256.Sum256([]byte(normalizeBody(in)))
+		if got := bodyHash(in); got != want {
+			t.Errorf("bodyHash(%q) = %x, reference %x (normalized %q)",
+				in, got, want, normalizeBody(in))
+		}
+	}
+}
+
+// FuzzNormalizeEquivalence holds the zero-copy bodyHash bit-identical to
+// SHA-256 over the reference normalizeBody on arbitrary input. Dedup
+// verdicts — and therefore study outputs and checkpoint bytes — hinge on
+// these hashes, so the two normalizations must never diverge.
+func FuzzNormalizeEquivalence(f *testing.F) {
+	for _, s := range normalizeEdgeCases {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want := sha256.Sum256([]byte(normalizeBody(s)))
+		if got := bodyHash(s); got != want {
+			t.Fatalf("bodyHash(%q) = %x, reference %x (normalized %q)",
+				s, got, want, normalizeBody(s))
+		}
+	})
+}
+
+// TestBodyHashAllocFree verifies the steady-state pass allocates nothing
+// once the pooled scratch has warmed up.
+func TestBodyHashAllocFree(t *testing.T) {
+	body := "Name: someone\r\nAddress:  1 Main St \t\r\n\r\n  phone 555-123-4567  "
+	bodyHash(body) // warm the pool
+	if allocs := testing.AllocsPerRun(100, func() { bodyHash(body) }); allocs > 0 {
+		t.Fatalf("bodyHash allocated %v times per run", allocs)
+	}
+}

@@ -1,7 +1,6 @@
 package dedup
 
 import (
-	"crypto/sha256"
 	"encoding/hex"
 	"sync"
 
@@ -48,7 +47,7 @@ func (d *Sharded) Shards() int { return len(d.shards) }
 // single-Deduper semantics exactly: the body is checked (and inserted)
 // first, so an account-duplicate still records its body hash.
 func (d *Sharded) Check(docID, body, accountSetKey string) (Verdict, string) {
-	h := sha256.Sum256([]byte(normalizeBody(body)))
+	h := bodyHash(body)
 	bs := d.shards[lease.ShardOf(hex.EncodeToString(h[:]), len(d.shards))]
 	if first, dup := bs.addBody(h, docID); dup {
 		d.bump(ExactDuplicate)
@@ -68,7 +67,7 @@ func (d *Sharded) Check(docID, body, accountSetKey string) (Verdict, string) {
 
 // Peek classifies without recording, against all shards.
 func (d *Sharded) Peek(body, accountSetKey string) (Verdict, string) {
-	h := sha256.Sum256([]byte(normalizeBody(body)))
+	h := bodyHash(body)
 	bs := d.shards[lease.ShardOf(hex.EncodeToString(h[:]), len(d.shards))]
 	if first, ok := bs.peekBody(h); ok {
 		return ExactDuplicate, first

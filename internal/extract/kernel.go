@@ -51,11 +51,11 @@ import (
 type anchorKind uint8
 
 const (
-	anchorHost anchorKind = iota // "facebook.com/" …: profile-URL matcher
-	anchorAlias                  // "fb", "skype name" …: labeled-line matcher
-	anchorName                   // "name": name + first-name matchers
-	anchorAge                    // "age": age matcher
-	anchorCredit                 // "dropped by" …: credit-line matcher
+	anchorHost   anchorKind = iota // "facebook.com/" …: profile-URL matcher
+	anchorAlias                    // "fb", "skype name" …: labeled-line matcher
+	anchorName                     // "name": name + first-name matchers
+	anchorAge                      // "age": age matcher
+	anchorCredit                   // "dropped by" …: credit-line matcher
 )
 
 type anchorPat struct {
@@ -167,14 +167,13 @@ var kernelPool = sync.Pool{New: func() any { return NewKernel() }}
 // to extractReference — see the package comment's equivalence contract.
 func (k *Kernel) ExtractInto(text string, e *Extraction, opts Options) {
 	resetExtraction(e)
-	if !k.foldText(text) {
+	if !k.foldScan(text) {
 		// Width-changing fold (long s, Kelvin, dotted İ, invalid UTF-8):
 		// folded offsets no longer align with the original bytes, so run
 		// the reference path instead of reasoning about remapped spans.
 		*e = *extractReference(text, opts)
 		return
 	}
-	k.hits = anchorAC.Scan(k.fold, k.hits[:0])
 	k.scanURLs(text, e)
 	k.scanLabeledLines(text, e, opts)
 	k.scanFields(text, e)
@@ -214,28 +213,65 @@ func finishExtraction(e *Extraction) {
 	}
 }
 
-// foldText builds foldLower(text) into k.fold and records the digit/@
-// prefilter flags. It reports false when some rune folds to a different
-// byte width than the original, the misalignment case ExtractInto bails
-// on.
-func (k *Kernel) foldText(text string) bool {
+// foldTab maps each ASCII byte to its lowercase fold; classTab records the
+// digit (bit 0) and '@' (bit 1) prefilter classes. Table lookups keep the
+// all-ASCII fast path of foldText down to two loads per byte.
+var foldTab, classTab [utf8.RuneSelf]byte
+
+func init() {
+	for b := 0; b < utf8.RuneSelf; b++ {
+		c := byte(b)
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		foldTab[b] = c
+	}
+	for b := '0'; b <= '9'; b++ {
+		classTab[b] = 1
+	}
+	classTab['@'] = 2
+}
+
+// foldScan builds foldLower(text) into k.fold, records the digit/@
+// prefilter flags, and runs the anchor automaton over the folded bytes —
+// all in a single pass, so the folded buffer is never traversed twice.
+// The hits land in k.hits exactly as anchorAC.Scan(k.fold, ...) would
+// report them. It reports false when some rune folds to a different byte
+// width than the original, the misalignment case ExtractInto bails on.
+func (k *Kernel) foldScan(text string) bool {
 	if cap(k.fold) < len(text)+utf8.UTFMax {
 		k.fold = make([]byte, 0, len(text)+utf8.UTFMax)
 	}
-	k.fold = k.fold[:0]
-	k.digit, k.at = false, false
-	for i := 0; i < len(text); {
+	k.hits = k.hits[:0]
+	delta, firstOut := anchorAC.DFA()
+	s := int32(0)
+	fold := k.fold[:len(text):cap(k.fold)]
+	var flags byte
+	i := 0
+	for ; i < len(text); i++ {
+		b := text[i]
+		if b >= utf8.RuneSelf {
+			break
+		}
+		fb := foldTab[b]
+		fold[i] = fb
+		flags |= classTab[b]
+		s = delta[s*256+int32(fb)]
+		if s >= firstOut {
+			k.hits = anchorAC.Emit(s, i+1, k.hits)
+		}
+	}
+	k.fold = fold[:i]
+	for i < len(text) {
 		b := text[i]
 		if b < utf8.RuneSelf {
-			switch {
-			case 'A' <= b && b <= 'Z':
-				b += 'a' - 'A'
-			case '0' <= b && b <= '9':
-				k.digit = true
-			case b == '@':
-				k.at = true
+			fb := foldTab[b]
+			k.fold = append(k.fold, fb)
+			flags |= classTab[b]
+			s = delta[s*256+int32(fb)]
+			if s >= firstOut {
+				k.hits = anchorAC.Emit(s, len(k.fold), k.hits)
 			}
-			k.fold = append(k.fold, b)
 			i++
 			continue
 		}
@@ -254,8 +290,16 @@ func (k *Kernel) foldText(text string) bool {
 		if len(k.fold)-n0 != size {
 			return false
 		}
+		for j := n0; j < len(k.fold); j++ {
+			s = delta[s*256+int32(k.fold[j])]
+			if s >= firstOut {
+				k.hits = anchorAC.Emit(s, j+1, k.hits)
+			}
+		}
 		i += size
 	}
+	k.digit = flags&1 != 0
+	k.at = flags&2 != 0
 	return true
 }
 

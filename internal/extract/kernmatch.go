@@ -114,15 +114,52 @@ func (k *Kernel) scanFields(text string, e *Extraction) {
 	if ageGate {
 		k.matchAge(text, e)
 	}
+	phoneGate, ipGate := false, false
 	if k.digit {
+		phoneGate, ipGate = digitGates(text)
+	}
+	if phoneGate {
 		k.matchPhones(text, e)
 	}
 	if k.at {
 		k.matchEmails(text, e)
 	}
-	if k.digit {
+	if ipGate {
 		k.matchIPs(text, e)
 	}
+}
+
+// digitGates refines the coarse "has a digit" flag into the cheap
+// necessary conditions of the two digit-anchored matchers, so documents
+// with incidental digits (ages, counts, years under four digits) skip
+// the per-byte phone/IP scans entirely. Every phoneRe alternative
+// contains \d{4} — four consecutive digit bytes — and every ipRe match
+// contains a digit '.' digit triple; a text lacking the condition cannot
+// match, and skipping the matcher then leaves e.Phones/e.IPs exactly as
+// the full scan would (empty in, empty out).
+func digitGates(text string) (phone, ip bool) {
+	run := 0
+	for i := 0; i < len(text); i++ {
+		if isDigitByte(text[i]) {
+			run++
+			if run >= 4 && !phone {
+				phone = true
+				if ip {
+					break
+				}
+			}
+			continue
+		}
+		if text[i] == '.' && run > 0 && !ip &&
+			i+1 < len(text) && isDigitByte(text[i+1]) {
+			ip = true
+			if phone {
+				break
+			}
+		}
+		run = 0
+	}
+	return phone, ip
 }
 
 // namePrefixes are nameRe's optional label prefixes plus the empty
@@ -298,10 +335,20 @@ func digitsN(text string, p, n int) bool {
 // (?:\+?1[-.\s]?)?\(?\d{3}\)?[-.\s]\d{3}[-.\s]?\d{4}|\+1\d{10}
 // Attempts run at every byte that could start a match ('+', '(' or a
 // digit — all other starts fail on the first regex element).
+// phoneTrig marks the bytes a phoneRe match can start with: '+', '(' or
+// a digit. A single table load replaces three compares in the hot
+// candidate loop.
+var phoneTrig = func() (t [256]bool) {
+	for b := '0'; b <= '9'; b++ {
+		t[b] = true
+	}
+	t['+'], t['('] = true, true
+	return
+}()
+
 func (k *Kernel) matchPhones(text string, e *Extraction) {
 	for p := 0; p < len(text); {
-		c := text[p]
-		if c != '+' && c != '(' && !isDigitByte(c) {
+		if !phoneTrig[text[p]] {
 			p++
 			continue
 		}

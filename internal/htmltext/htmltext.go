@@ -11,37 +11,53 @@
 // dropped wholesale, and entities are decoded. It is a single-pass scanner
 // with no allocation proportional to tag depth; malformed HTML degrades to
 // text rather than erroring, which is what a crawler needs.
+//
+// Conversion state (the output buffer, list counters) is pooled: one call
+// allocates only the returned string plus whatever html.UnescapeString
+// needs for entity-bearing text runs.
 package htmltext
 
 import (
 	"html"
 	"strings"
+	"sync"
 )
+
+// convState is one conversion's reusable scratch.
+type convState struct {
+	buf        []byte
+	ordinal    []int // per-depth ordered-list counters; 0 = unordered
+	atLineHead bool
+}
+
+var convPool = sync.Pool{New: func() any { return &convState{buf: make([]byte, 0, 4096)} }}
+
+func (st *convState) writeText(s string) {
+	if s == "" {
+		return
+	}
+	st.buf = append(st.buf, s...)
+	st.atLineHead = strings.HasSuffix(s, "\n")
+}
+
+func (st *convState) newline() {
+	if !st.atLineHead {
+		st.buf = append(st.buf, '\n')
+		st.atLineHead = true
+	}
+}
 
 // Convert renders an HTML fragment as plain text.
 func Convert(src string) string {
-	var b strings.Builder
-	b.Grow(len(src))
+	st := convPool.Get().(*convState)
+	st.buf = st.buf[:0]
+	st.ordinal = st.ordinal[:0]
+	st.atLineHead = true
 	var (
-		i          int
-		listDepth  int
-		ordinal    []int // per-depth ordered-list counters; 0 = unordered
-		skipUntil  string
-		atLineHead = true
+		i         int
+		listDepth int
+		skipUntil string
 	)
-	writeText := func(s string) {
-		if s == "" {
-			return
-		}
-		b.WriteString(s)
-		atLineHead = strings.HasSuffix(s, "\n")
-	}
-	newline := func() {
-		if !atLineHead {
-			b.WriteByte('\n')
-			atLineHead = true
-		}
-	}
 	for i < len(src) {
 		c := src[i]
 		if c != '<' {
@@ -55,7 +71,7 @@ func Convert(src string) string {
 				i += j
 			}
 			if skipUntil == "" {
-				writeText(html.UnescapeString(text))
+				st.writeText(html.UnescapeString(text))
 			}
 			continue
 		}
@@ -63,7 +79,7 @@ func Convert(src string) string {
 		if end < 0 {
 			// Unterminated tag: treat the rest as text.
 			if skipUntil == "" {
-				writeText(html.UnescapeString(src[i:]))
+				st.writeText(html.UnescapeString(src[i:]))
 			}
 			break
 		}
@@ -82,57 +98,63 @@ func Convert(src string) string {
 				skipUntil = name
 			}
 		case "br":
-			b.WriteByte('\n')
-			atLineHead = true
+			st.buf = append(st.buf, '\n')
+			st.atLineHead = true
 		case "p", "div", "tr", "h1", "h2", "h3", "h4", "h5", "h6", "table":
-			newline()
+			st.newline()
 		case "blockquote":
-			newline()
+			st.newline()
 			if !closing {
-				writeText("> ")
+				st.writeText("> ")
 			}
 		case "ul":
 			if closing {
 				if listDepth > 0 {
 					listDepth--
-					ordinal = ordinal[:listDepth]
+					st.ordinal = st.ordinal[:listDepth]
 				}
 			} else {
 				listDepth++
-				ordinal = append(ordinal, 0)
+				st.ordinal = append(st.ordinal, 0)
 			}
-			newline()
+			st.newline()
 		case "ol":
 			if closing {
 				if listDepth > 0 {
 					listDepth--
-					ordinal = ordinal[:listDepth]
+					st.ordinal = st.ordinal[:listDepth]
 				}
 			} else {
 				listDepth++
-				ordinal = append(ordinal, 1)
+				st.ordinal = append(st.ordinal, 1)
 			}
-			newline()
+			st.newline()
 		case "li":
 			if closing {
-				newline()
+				st.newline()
 				continue
 			}
-			newline()
+			st.newline()
 			indent := listDepth
 			if indent < 1 {
 				indent = 1
 			}
-			writeText(strings.Repeat("  ", indent))
-			if listDepth > 0 && ordinal[listDepth-1] > 0 {
-				writeText(itoa(ordinal[listDepth-1]) + ". ")
-				ordinal[listDepth-1]++
-			} else {
-				writeText("* ")
+			for k := 0; k < indent; k++ {
+				st.buf = append(st.buf, ' ', ' ')
 			}
+			if listDepth > 0 && st.ordinal[listDepth-1] > 0 {
+				st.buf = appendItoa(st.buf, st.ordinal[listDepth-1])
+				st.buf = append(st.buf, '.', ' ')
+				st.ordinal[listDepth-1]++
+			} else {
+				st.buf = append(st.buf, '*', ' ')
+			}
+			st.atLineHead = false
 		}
 	}
-	return collapse(b.String())
+	out := string(collapseInPlace(st.buf))
+	convPool.Put(st)
+	return out
 }
 
 // parseTag extracts the lowercase tag name and whether it is a closing tag.
@@ -153,36 +175,48 @@ func parseTag(tag string) (name string, closing bool) {
 	return strings.ToLower(strings.TrimSpace(tag)), closing
 }
 
-// collapse trims trailing spaces and folds runs of 3+ newlines to 2.
-func collapse(s string) string {
-	lines := strings.Split(s, "\n")
-	out := make([]string, 0, len(lines))
-	blank := 0
-	for _, ln := range lines {
-		ln = strings.TrimRight(ln, " \t")
-		if ln == "" {
-			blank++
-			if blank > 1 {
-				continue
+// collapseInPlace trims trailing spaces per line, folds runs of 2+ blank
+// lines to one, and drops leading/trailing blank lines — compacting the
+// buffer in place (the write cursor never passes the read cursor) instead
+// of splitting into a line slice and re-joining.
+func collapseInPlace(b []byte) []byte {
+	w := 0
+	wrote := false        // some non-blank line has been written
+	pendingBlank := false // one collapsed blank line awaits between content
+	for ls := 0; ls <= len(b); {
+		le := ls
+		for le < len(b) && b[le] != '\n' {
+			le++
+		}
+		te := le
+		for te > ls && (b[te-1] == ' ' || b[te-1] == '\t') {
+			te--
+		}
+		if te == ls {
+			if wrote {
+				pendingBlank = true
 			}
 		} else {
-			blank = 0
+			if wrote {
+				b[w] = '\n'
+				w++
+				if pendingBlank {
+					b[w] = '\n'
+					w++
+				}
+			}
+			pendingBlank = false
+			w += copy(b[w:], b[ls:te])
+			wrote = true
 		}
-		out = append(out, ln)
+		ls = le + 1
 	}
-	// Trim leading/trailing blank lines.
-	for len(out) > 0 && out[0] == "" {
-		out = out[1:]
-	}
-	for len(out) > 0 && out[len(out)-1] == "" {
-		out = out[:len(out)-1]
-	}
-	return strings.Join(out, "\n")
+	return b[:w]
 }
 
-func itoa(n int) string {
+func appendItoa(b []byte, n int) []byte {
 	if n == 0 {
-		return "0"
+		return append(b, '0')
 	}
 	var buf [20]byte
 	i := len(buf)
@@ -191,19 +225,50 @@ func itoa(n int) string {
 		buf[i] = byte('0' + n%10)
 		n /= 10
 	}
-	return string(buf[i:])
+	return append(b, buf[i:]...)
 }
+
+// htmlMarkers are the tag probes IsProbablyHTML counts, ASCII-lowercase.
+var htmlMarkers = [...]string{"<br", "<p", "<div", "<span", "<a ", "<ul", "<li", "</"}
 
 // IsProbablyHTML reports whether a document looks like HTML rather than
 // plain text, so the pipeline can decide whether conversion is needed.
+// Marker counting is ASCII-case-insensitive over the raw sample — no
+// lowercased copy is materialized, so the probe allocates nothing.
 func IsProbablyHTML(s string) bool {
 	sample := s
 	if len(sample) > 2048 {
 		sample = sample[:2048]
 	}
 	tags := 0
-	for _, marker := range []string{"<br", "<p", "<div", "<span", "<a ", "<ul", "<li", "</"} {
-		tags += strings.Count(strings.ToLower(sample), marker)
+	for _, marker := range htmlMarkers {
+		tags += countFoldASCII(sample, marker)
 	}
 	return tags >= 2
+}
+
+// countFoldASCII counts non-overlapping occurrences of the ASCII-lowercase
+// needle in s, folding A-Z in s on the fly.
+func countFoldASCII(s, needle string) int {
+	count := 0
+	for i := 0; i+len(needle) <= len(s); {
+		match := true
+		for j := 0; j < len(needle); j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+			i += len(needle)
+		} else {
+			i++
+		}
+	}
+	return count
 }

@@ -21,7 +21,6 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -68,6 +67,7 @@ type History struct {
 	nextDue  time.Time
 	endAt    time.Time // zero means the monitor-wide end
 	finished bool
+	url      string // profile URL, cached on first sweep (Ref/NumericID never change)
 }
 
 // FirstStatus returns the initial observed status.
@@ -677,21 +677,32 @@ func validProfile(body []byte) error {
 // pressure, truncation detection and the circuit breaker all apply here
 // exactly as they do to the document crawlers.
 func (m *Monitor) scrape(ctx context.Context, h *History) (status osn.Status, comments []CommentObs, activity int, defaced, found bool, err error) {
-	url := m.baseURL + "/" + h.Ref.Network.Slug() + "/" + h.Ref.Username
-	if h.NumericID > 0 {
-		url = fmt.Sprintf("%s/instagram/id/%d", m.baseURL, h.NumericID)
+	if h.url == "" {
+		// Safe to fill lazily: a handle appears at most once per sweep, so
+		// no two scrapes of the same history ever run concurrently, and the
+		// sweep barriers order this write before any later read.
+		if h.NumericID > 0 {
+			h.url = m.baseURL + "/instagram/id/" + strconv.FormatInt(h.NumericID, 10)
+		} else {
+			h.url = m.baseURL + "/" + h.Ref.Network.Slug() + "/" + h.Ref.Username
+		}
 	}
+	url := h.url
 	m.mu.Lock()
 	f := m.f
 	m.mu.Unlock()
-	body, err := f.GetValidated(ctx, url, validProfile)
+	// Parse straight out of the fetcher's pooled buffer: the page is
+	// classified and its retained captures (comment strings) copied out
+	// before the buffer is recycled, so no whole-body copy is ever made.
+	err = f.GetFunc(ctx, url, validProfile, func(body []byte) {
+		status, comments, activity, defaced = parseProfileBytes(body)
+	})
 	switch {
 	case errors.Is(err, crawler.ErrNotFound):
 		return osn.Inactive, nil, -1, false, len(h.Obs) > 0, nil
 	case err != nil:
 		return 0, nil, -1, false, false, fmt.Errorf("monitor: %s: %w", url, err)
 	}
-	status, comments, activity, defaced = parseProfile(string(body))
 	return status, comments, activity, defaced, true, nil
 }
 
@@ -699,18 +710,25 @@ func (m *Monitor) scrape(ctx context.Context, h *History) (status osn.Status, co
 // activity count and comments. It is total: any input yields a
 // classification without panicking, which the fuzz target enforces.
 func parseProfile(page string) (status osn.Status, comments []CommentObs, activity int, defaced bool) {
-	if strings.Contains(page, "This account is private.") {
+	return parseProfileBytes([]byte(page))
+}
+
+// parseProfileBytes is parseProfile over a transient byte buffer: every
+// retained capture is copied into a fresh string, so the input may be
+// recycled as soon as the call returns.
+func parseProfileBytes(page []byte) (status osn.Status, comments []CommentObs, activity int, defaced bool) {
+	if bytes.Contains(page, []byte("This account is private.")) {
 		return osn.Private, nil, -1, false
 	}
 	activity = -1
-	if mch := activityRe.FindStringSubmatch(page); mch != nil {
-		if v, err := strconv.Atoi(mch[1]); err == nil {
+	if mch := activityRe.FindSubmatch(page); mch != nil {
+		if v, err := strconv.Atoi(string(mch[1])); err == nil {
 			activity = v
 		}
 	}
-	defaced = strings.Contains(page, `class="banner"`)
-	for _, mch := range commentRe.FindAllStringSubmatch(page, -1) {
-		comments = append(comments, CommentObs{Author: mch[1], Text: mch[2]})
+	defaced = bytes.Contains(page, []byte(`class="banner"`))
+	for _, mch := range commentRe.FindAllSubmatch(page, -1) {
+		comments = append(comments, CommentObs{Author: string(mch[1]), Text: string(mch[2])})
 	}
 	return osn.Public, comments, activity, defaced
 }

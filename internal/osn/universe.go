@@ -12,10 +12,9 @@
 package osn
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -265,8 +264,9 @@ func (u *Universe) generateComments(a *Account, v *sim.Victim) {
 	n := randutil.Poisson(r, 18)
 	poolSize := 1 + n/3
 	pool := make([]string, poolSize)
+	var hb [16]byte
 	for i := range pool {
-		pool[i] = fmt.Sprintf("%s_%s", randutil.LowerWord(r, 5), shortHash(a.Ref.Key(), i))
+		pool[i] = string(appendCommenter(hb[:0], r, a.Ref.Key(), i))
 	}
 	base := simclock.Period1.Start.Add(-time.Duration(r.Intn(60)) * simclock.Day)
 	for i := 0; i < n; i++ {
@@ -296,9 +296,10 @@ func (u *Universe) addAbuseComments(a *Account, doxAt time.Time) {
 		mean = 1.5 // filters suppress most abusive comments
 	}
 	n := randutil.Poisson(r, mean)
+	var hb [16]byte
 	for i := 0; i < n; i++ {
 		a.comments = append(a.comments, Comment{
-			Author:  fmt.Sprintf("%s_%s", randutil.LowerWord(r, 5), shortHash(a.Ref.Key(), 1000+i)),
+			Author:  string(appendCommenter(hb[:0], r, a.Ref.Key(), 1000+i)),
 			Text:    randutil.Pick(r, abusiveComments),
 			Posted:  doxAt.Add(time.Duration(r.Intn(10*24)) * time.Hour),
 			Abusive: true,
@@ -319,10 +320,29 @@ func (a *Account) CommentsAt(t time.Time) []Comment {
 	return out
 }
 
-func shortHash(key string, i int) string {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%s/%d", key, i)
-	return fmt.Sprintf("%07x", h.Sum32()&0xfffffff)
+// appendCommenter appends one derived commenter handle ("word_hhhhhhh") to
+// dst: a 5-letter word from r followed by a 7-hex-digit FNV-1a tag of
+// key/i. Byte stream and draw sequence match the former
+// Sprintf("%s_%s", LowerWord(r,5), shortHash(key,i)) formulation exactly;
+// the hash folds the "%s/%d" Fprintf bytes inline.
+func appendCommenter(dst []byte, r *rand.Rand, key string, i int) []byte {
+	dst = randutil.AppendLowerWord(r, dst, 5)
+	dst = append(dst, '_')
+	h := uint32(2166136261)
+	for j := 0; j < len(key); j++ {
+		h = (h ^ uint32(key[j])) * 16777619
+	}
+	h = (h ^ '/') * 16777619
+	var ib [20]byte
+	for _, c := range strconv.AppendInt(ib[:0], int64(i), 10) {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	h &= 0xfffffff
+	const hexdig = "0123456789abcdef"
+	for s := 24; s >= 0; s -= 4 {
+		dst = append(dst, hexdig[h>>uint(s)&0xf])
+	}
+	return dst
 }
 
 var benignComments = []string{
@@ -354,12 +374,24 @@ func (u *Universe) ControlAccount(id int64) (*Account, bool) {
 	}
 	u.mu.RUnlock()
 	// Deterministic synthetic account derived from the ID: no state is
-	// stored, so the 13k-account control sample costs nothing.
-	h := fnv.New64a()
-	fmt.Fprintf(h, "ig-control-%d-%d", id, u.seed)
-	r := randutil.New(int64(h.Sum64()))
+	// stored, so the 13k-account control sample costs nothing. The seed is
+	// FNV-1a over "ig-control-<id>-<seed>", computed inline so repeated
+	// derivations allocate neither a hasher nor a 5KB rand source.
+	var kb [48]byte
+	key := strconv.AppendInt(append(kb[:0], "ig-control-"...), id, 10)
+	key = strconv.AppendInt(append(key, '-'), u.seed, 10)
+	hv := uint64(14695981039346656037)
+	for _, c := range key {
+		hv ^= uint64(c)
+		hv *= 1099511628211
+	}
+	r := randutil.Get(int64(hv))
+	defer randutil.Put(r)
 	a := &Account{
-		Ref:       netid.Ref{Network: netid.Instagram, Username: fmt.Sprintf("user%d", id)},
+		Ref: netid.Ref{
+			Network:  netid.Instagram,
+			Username: string(strconv.AppendInt(append(kb[:0], "user"...), id, 10)),
+		},
 		NumericID: id,
 		VictimID:  -1,
 	}

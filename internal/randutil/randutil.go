@@ -5,15 +5,35 @@
 package randutil
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
+	"sync"
 )
 
 // New returns a rand.Rand seeded with the given seed.
 func New(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
+
+// rngPool recycles rand.Rand instances for Get/Put. A math/rand source is
+// ~5KB of state, so call paths that derive a short-lived RNG per item
+// (synthetic control accounts, page renders) would otherwise allocate it
+// over and over.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// Get returns a pooled rand.Rand reseeded to seed. Reseeding restores the
+// exact state a fresh New(seed) would have, so the value stream is
+// identical — without the per-call source allocation. Hand the RNG back
+// with Put once no reference to it remains.
+func Get(seed int64) *rand.Rand {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(seed)
+	return r
+}
+
+// Put returns a Get RNG to the pool.
+func Put(r *rand.Rand) { rngPool.Put(r) }
 
 // Derive returns a new RNG deterministically derived from a parent RNG and a
 // label. It lets independent subsystems share one master seed without
@@ -179,18 +199,82 @@ func HexString(r *rand.Rand, n int) string {
 // Phone returns a plausible NANP-style phone number, in one of several
 // formats doxers actually use.
 func Phone(r *rand.Rand) string {
+	return string(AppendPhone(r, nil))
+}
+
+// AppendDigits appends n random decimal digits to dst. Same draw sequence
+// as Digits, without the intermediate buffer and string.
+func AppendDigits(r *rand.Rand, dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte('0'+r.Intn(10)))
+	}
+	return dst
+}
+
+// AppendLowerWord appends a random lowercase ASCII word of length n to dst.
+// Same draw sequence as LowerWord.
+func AppendLowerWord(r *rand.Rand, dst []byte, n int) []byte {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for i := 0; i < n; i++ {
+		dst = append(dst, letters[r.Intn(len(letters))])
+	}
+	return dst
+}
+
+// AppendHexString appends n random lowercase hex characters to dst. Same
+// draw sequence as HexString.
+func AppendHexString(r *rand.Rand, dst []byte, n int) []byte {
+	const hexdig = "0123456789abcdef"
+	for i := 0; i < n; i++ {
+		dst = append(dst, hexdig[r.Intn(len(hexdig))])
+	}
+	return dst
+}
+
+// AppendPad appends v zero-padded to at least width digits (fmt's %0*d for
+// non-negative v) without going through the fmt machinery.
+func AppendPad(dst []byte, v, width int) []byte {
+	digits := 1
+	for x := v; x >= 10; x /= 10 {
+		digits++
+	}
+	for ; width > digits; width-- {
+		dst = append(dst, '0')
+	}
+	return strconv.AppendInt(dst, int64(v), 10)
+}
+
+// AppendPhone appends a Phone-formatted number to dst, drawing the same
+// RNG sequence as Phone (area, exchange, line, then the format selector).
+func AppendPhone(r *rand.Rand, dst []byte) []byte {
 	area := 201 + r.Intn(780)
 	mid := 200 + r.Intn(799)
 	last := r.Intn(10000)
 	switch r.Intn(4) {
 	case 0:
-		return fmt.Sprintf("(%03d) %03d-%04d", area, mid, last)
+		dst = append(dst, '(')
+		dst = AppendPad(dst, area, 3)
+		dst = append(dst, ')', ' ')
+		dst = AppendPad(dst, mid, 3)
+		dst = append(dst, '-')
+		return AppendPad(dst, last, 4)
 	case 1:
-		return fmt.Sprintf("%03d-%03d-%04d", area, mid, last)
+		dst = AppendPad(dst, area, 3)
+		dst = append(dst, '-')
+		dst = AppendPad(dst, mid, 3)
+		dst = append(dst, '-')
+		return AppendPad(dst, last, 4)
 	case 2:
-		return fmt.Sprintf("+1%03d%03d%04d", area, mid, last)
+		dst = append(dst, '+', '1')
+		dst = AppendPad(dst, area, 3)
+		dst = AppendPad(dst, mid, 3)
+		return AppendPad(dst, last, 4)
 	default:
-		return fmt.Sprintf("%03d.%03d.%04d", area, mid, last)
+		dst = AppendPad(dst, area, 3)
+		dst = append(dst, '.')
+		dst = AppendPad(dst, mid, 3)
+		dst = append(dst, '.')
+		return AppendPad(dst, last, 4)
 	}
 }
 

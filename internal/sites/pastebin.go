@@ -9,10 +9,12 @@ package sites
 
 import (
 	"encoding/json"
-	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,10 +100,37 @@ func (p *Pastebin) Handler() http.Handler {
 	return mux
 }
 
+// queryParam returns the first value for key in a raw query string. It
+// replaces req.URL.Query().Get in the request handlers: Query() builds a
+// url.Values map per call, which at one item fetch per crawled document
+// is pure allocation churn. Escaped values fall back to QueryUnescape;
+// the plain tokens the simulated clients emit return as sub-slices.
+func queryParam(rawQuery, key string) string {
+	for len(rawQuery) > 0 {
+		part := rawQuery
+		if i := strings.IndexByte(part, '&'); i >= 0 {
+			part, rawQuery = part[:i], part[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		if len(part) <= len(key) || part[len(key)] != '=' || part[:len(key)] != key {
+			continue
+		}
+		v := part[len(key)+1:]
+		if strings.ContainsAny(v, "%+") {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u
+			}
+		}
+		return v
+	}
+	return ""
+}
+
 func (p *Pastebin) handleScrape(w http.ResponseWriter, req *http.Request) {
 	p.bumpRequests()
 	limit := 100
-	if s := req.URL.Query().Get("limit"); s != "" {
+	if s := queryParam(req.URL.RawQuery, "limit"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 1 || v > 1000 {
 			http.Error(w, "bad limit", http.StatusBadRequest)
@@ -110,7 +139,7 @@ func (p *Pastebin) handleScrape(w http.ResponseWriter, req *http.Request) {
 		limit = v
 	}
 	var since int64
-	if s := req.URL.Query().Get("since"); s != "" {
+	if s := queryParam(req.URL.RawQuery, "since"); s != "" {
 		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
 			http.Error(w, "bad since", http.StatusBadRequest)
@@ -141,7 +170,7 @@ func (p *Pastebin) handleScrape(w http.ResponseWriter, req *http.Request) {
 
 func (p *Pastebin) handleItem(w http.ResponseWriter, req *http.Request) {
 	p.bumpRequests()
-	key := req.URL.Query().Get("i")
+	key := queryParam(req.URL.RawQuery, "i")
 	if key == "" {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
@@ -160,7 +189,7 @@ func (p *Pastebin) handleItem(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, doc.Body)
+	_, _ = io.WriteString(w, doc.Body)
 }
 
 // IsDeleted reports whether the paste is gone at the given time (used by

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"compress/flate"
 	"encoding/json"
 	"errors"
@@ -42,6 +43,12 @@ type File struct {
 	logF     *os.File
 	compress bool
 	fw       *flate.Writer // reused across compressed writes
+
+	// Commit-log encoder scratch, reused across appends under mu: one
+	// buffer and one encoder instead of a fresh json.Marshal slice per
+	// entry.
+	logBuf bytes.Buffer
+	logEnc *json.Encoder
 }
 
 // OpenFile opens (creating if needed) a state directory.
@@ -318,12 +325,18 @@ func (f *File) AppendEntry(e Entry) error {
 			}
 		}
 	}
-	b, err := json.Marshal(e)
-	if err != nil {
+	// Encode into the reused buffer. json.Encoder produces exactly
+	// json.Marshal's bytes plus the trailing '\n' the log format wants
+	// (same compact form, same HTML escaping), so the on-disk encoding
+	// is unchanged — only the per-entry allocation is gone.
+	f.logBuf.Reset()
+	if f.logEnc == nil {
+		f.logEnc = json.NewEncoder(&f.logBuf)
+	}
+	if err := f.logEnc.Encode(e); err != nil {
 		return fmt.Errorf("store: encode log entry: %w", err)
 	}
-	b = append(b, '\n')
-	if _, err := f.logF.Write(b); err != nil {
+	if _, err := f.logF.Write(f.logBuf.Bytes()); err != nil {
 		return fmt.Errorf("store: append log entry: %w", err)
 	}
 	if err := f.logF.Sync(); err != nil {

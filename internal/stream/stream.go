@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"strconv"
@@ -109,11 +108,22 @@ type alertEnv struct {
 // the alert worker) persist across epochs; RunEpoch drives one virtual-
 // clock tick through them. Not safe for concurrent RunEpoch calls — the
 // study driver owns it.
+//
+// Transport is chunked: documents move between stages in pooled slices of
+// up to chunkLen items rather than one channel operation per document, so
+// the per-document synchronization cost amortizes away at high rates. The
+// chunk length and channel capacities are derived from Config.Buffer such
+// that the number of buffered documents per stage stays the documented
+// bound: chunkLen = min(64, Buffer) and capacity = Buffer/chunkLen chunks.
 type Pipeline[P any] struct {
-	cfg    Config[P]
-	in     []chan item // per-shard prepare inputs
-	out    chan result[P]
-	alerts chan alertEnv
+	cfg      Config[P]
+	chunkLen int
+	in       []chan *[]item // per-shard prepare inputs
+	out      chan *[]result[P]
+	alerts   chan alertEnv
+
+	itemChunks sync.Pool // *[]item
+	resChunks  sync.Pool // *[]result[P]
 
 	alertWG   sync.WaitGroup
 	wg        sync.WaitGroup
@@ -149,16 +159,27 @@ func New[P any](cfg Config[P]) *Pipeline[P] {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 64
 	}
-	p := &Pipeline[P]{
-		cfg:    cfg,
-		in:     make([]chan item, cfg.Shards),
-		out:    make(chan result[P], cfg.Buffer),
-		alerts: make(chan alertEnv, cfg.Buffer),
-		done:   make(chan struct{}),
-		m:      newMetrics(cfg.Telemetry),
+	chunkLen := cfg.Buffer
+	if chunkLen > 64 {
+		chunkLen = 64
 	}
+	chanCap := cfg.Buffer / chunkLen
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	p := &Pipeline[P]{
+		cfg:      cfg,
+		chunkLen: chunkLen,
+		in:       make([]chan *[]item, cfg.Shards),
+		out:      make(chan *[]result[P], chanCap),
+		alerts:   make(chan alertEnv, cfg.Buffer),
+		done:     make(chan struct{}),
+		m:        newMetrics(cfg.Telemetry),
+	}
+	p.itemChunks.New = func() any { s := make([]item, 0, chunkLen); return &s }
+	p.resChunks.New = func() any { s := make([]result[P], 0, chunkLen); return &s }
 	for i := range p.in {
-		p.in[i] = make(chan item, cfg.Buffer)
+		p.in[i] = make(chan *[]item, chanCap)
 	}
 	p.wg.Add(cfg.Shards + 1)
 	for i := range p.in {
@@ -256,63 +277,88 @@ func (p *Pipeline[P]) ReleaseLeases() {
 	p.lb = nil
 }
 
-// shardOf routes a document to its prepare worker by key hash.
+// fnv-1a constants, inlined so shardOf hashes without constructing a
+// hash.Hash32 or copying the key strings to []byte.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardOf routes a document to its prepare worker by key hash (FNV-1a over
+// "site/id", identical to hash/fnv's sum over the same bytes).
 func (p *Pipeline[P]) shardOf(doc *crawler.Doc) int {
-	h := fnv.New32a()
-	h.Write([]byte(doc.Site))
-	h.Write([]byte{'/'})
-	h.Write([]byte(doc.ID))
-	return int(h.Sum32() % uint32(len(p.in)))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(doc.Site); i++ {
+		h ^= uint32(doc.Site[i])
+		h *= fnvPrime32
+	}
+	h ^= uint32('/')
+	h *= fnvPrime32
+	for i := 0; i < len(doc.ID); i++ {
+		h ^= uint32(doc.ID[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(len(p.in)))
 }
 
-// sendDoc pushes one polled document into its shard, blocking (and
-// counting the stall) when the shard is saturated.
-func (p *Pipeline[P]) sendDoc(ctx context.Context, doc crawler.Doc) error {
-	it := item{doc: doc, seenWall: time.Now()}
-	ch := p.in[p.shardOf(&it.doc)]
-	// Count the document before the send so the increment happens-before
-	// the consumer's decrement; the gauge covers queued + in-flight and
-	// can never dip below zero.
-	p.m.queuePrepare.Add(1)
+// sendChunk pushes one chunk of polled documents into a shard, blocking
+// (and counting the stall) when the shard is saturated. The queue gauge
+// counts documents before the send so the increment happens-before the
+// consumer's decrement; the gauge covers queued + in-flight and can never
+// dip below zero.
+func (p *Pipeline[P]) sendChunk(ctx context.Context, shard int, c *[]item) error {
+	ch := p.in[shard]
+	n := float64(len(*c))
+	p.m.queuePrepare.Add(n)
 	select {
-	case ch <- it:
+	case ch <- c:
 		return nil
 	default:
 	}
 	p.m.bpPoll.Inc()
 	start := time.Now()
 	select {
-	case ch <- it:
+	case ch <- c:
 		p.m.stallPoll.Observe(time.Since(start).Seconds())
 		return nil
 	case <-ctx.Done():
-		p.m.queuePrepare.Add(-1)
+		p.m.queuePrepare.Add(-n)
 		return ctx.Err()
 	case <-p.done:
-		p.m.queuePrepare.Add(-1)
+		p.m.queuePrepare.Add(-n)
 		return ErrClosed
 	}
 }
 
-// shardLoop is one persistent prepare worker.
+// shardLoop is one persistent prepare worker: it prepares a whole input
+// chunk into a pooled result chunk, recycling the input chunk before the
+// downstream send.
 func (p *Pipeline[P]) shardLoop(w int) {
 	defer p.wg.Done()
 	for {
 		select {
-		case it := <-p.in[w]:
-			p.m.queuePrepare.Add(-1)
-			r := result[P]{it: it, pre: p.cfg.Prepare(&it.doc)}
-			p.m.queueSequencer.Add(1)
+		case ic := <-p.in[w]:
+			p.m.queuePrepare.Add(-float64(len(*ic)))
+			rp := p.resChunks.Get().(*[]result[P])
+			rc := (*rp)[:0]
+			for k := range *ic {
+				it := (*ic)[k]
+				rc = append(rc, result[P]{it: it, pre: p.cfg.Prepare(&it.doc)})
+			}
+			*rp = rc
+			*ic = (*ic)[:0]
+			p.itemChunks.Put(ic)
+			p.m.queueSequencer.Add(float64(len(rc)))
 			select {
-			case p.out <- r:
+			case p.out <- rp:
 			default:
 				p.m.bpPrepare.Inc()
 				start := time.Now()
 				select {
-				case p.out <- r:
+				case p.out <- rp:
 					p.m.stallPrepare.Observe(time.Since(start).Seconds())
 				case <-p.done:
-					p.m.queueSequencer.Add(-1)
+					p.m.queueSequencer.Add(-float64(len(rc)))
 					return
 				}
 			}
@@ -391,11 +437,38 @@ func (p *Pipeline[P]) RunEpoch(ctx context.Context, sources []Source, commit fun
 		parallel.ForEach(len(sources), p.cfg.PollParallelism, func(i int) {
 			docs, err := sources[i].Poll(ctx)
 			errs[i] = err
+			// Batch this source's documents into per-shard chunks; each
+			// chunk send covers chunkLen documents' worth of channel
+			// synchronization.
+			pending := make([]*[]item, len(p.in))
 			for j := range docs {
-				if p.sendDoc(ctx, docs[j]) != nil {
-					return // epoch cancelled; the run is aborting
+				it := item{doc: docs[j], seenWall: time.Now()}
+				sh := p.shardOf(&it.doc)
+				c := pending[sh]
+				if c == nil {
+					c = p.itemChunks.Get().(*[]item)
+					pending[sh] = c
 				}
-				pushed.Add(1)
+				*c = append(*c, it)
+				if n := len(*c); n >= p.chunkLen {
+					// Capture the length first: a sent chunk belongs to the
+					// consumer, which may recycle it immediately.
+					if p.sendChunk(ctx, sh, c) != nil {
+						return // epoch cancelled; the run is aborting
+					}
+					pushed.Add(int64(n))
+					pending[sh] = nil
+				}
+			}
+			for sh, c := range pending {
+				if c == nil {
+					continue
+				}
+				n := len(*c)
+				if p.sendChunk(ctx, sh, c) != nil {
+					return
+				}
+				pushed.Add(int64(n))
 			}
 		})
 	}()
@@ -407,9 +480,11 @@ func (p *Pipeline[P]) RunEpoch(ctx context.Context, sources []Source, commit fun
 	polling := true
 	for polling || int64(len(buf)) < pushed.Load() {
 		select {
-		case r := <-p.out:
-			p.m.queueSequencer.Add(-1)
-			buf = append(buf, r)
+		case rp := <-p.out:
+			p.m.queueSequencer.Add(-float64(len(*rp)))
+			buf = append(buf, *rp...)
+			*rp = (*rp)[:0]
+			p.resChunks.Put(rp)
 		case <-sealed:
 			polling = false
 			sealed = nil // a nil channel never fires again

@@ -1,8 +1,8 @@
 package textgen
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"doxmeter/internal/randutil"
@@ -161,45 +161,77 @@ var codeFuncs = []string{
 }
 
 func (g *Generator) codePaste(r *rand.Rand) (string, string) {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	switch r.Intn(3) {
 	case 0: // pythonish
-		b.WriteString("import os\nimport sys\nimport json\n\n")
+		b = append(b, "import os\nimport sys\nimport json\n\n"...)
 		for i := 0; i < 2+r.Intn(4); i++ {
 			fn := randutil.Pick(r, codeFuncs)
 			arg := randutil.Pick(r, codeIdents)
-			b.WriteString(fmt.Sprintf("def %s_%s(%s):\n", fn, arg, arg))
+			b = append(b, "def "...)
+			b = append(b, fn...)
+			b = append(b, '_')
+			b = append(b, arg...)
+			b = append(b, '(')
+			b = append(b, arg...)
+			b = append(b, "):\n"...)
 			for j := 0; j < 2+r.Intn(5); j++ {
-				b.WriteString(fmt.Sprintf("    %s = %s.get(%q, %d)\n",
-					randutil.Pick(r, codeIdents), arg, randutil.Pick(r, codeIdents), r.Intn(100)))
+				b = append(b, "    "...)
+				b = append(b, randutil.Pick(r, codeIdents)...)
+				b = append(b, " = "...)
+				b = append(b, arg...)
+				b = append(b, ".get("...)
+				b = strconv.AppendQuote(b, randutil.Pick(r, codeIdents))
+				b = append(b, ", "...)
+				b = strconv.AppendInt(b, int64(r.Intn(100)), 10)
+				b = append(b, ")\n"...)
 			}
-			b.WriteString(fmt.Sprintf("    return %s\n\n", arg))
+			b = append(b, "    return "...)
+			b = append(b, arg...)
+			b = append(b, "\n\n"...)
 		}
-		return "main.py", b.String()
+		return "main.py", finishBody(p, b)
 	case 1: // javascriptish
 		for i := 0; i < 2+r.Intn(4); i++ {
-			fn := randutil.Pick(r, codeFuncs)
-			b.WriteString(fmt.Sprintf("function %s%s(cb) {\n", fn, strings.Title(randutil.Pick(r, codeIdents))))
+			b = append(b, "function "...)
+			b = append(b, randutil.Pick(r, codeFuncs)...)
+			b = appendTitle(b, randutil.Pick(r, codeIdents))
+			b = append(b, "(cb) {\n"...)
 			for j := 0; j < 2+r.Intn(4); j++ {
-				b.WriteString(fmt.Sprintf("  var %s = %s[%d];\n",
-					randutil.Pick(r, codeIdents), randutil.Pick(r, codeIdents), r.Intn(20)))
+				b = append(b, "  var "...)
+				b = append(b, randutil.Pick(r, codeIdents)...)
+				b = append(b, " = "...)
+				b = append(b, randutil.Pick(r, codeIdents)...)
+				b = append(b, '[')
+				b = strconv.AppendInt(b, int64(r.Intn(20)), 10)
+				b = append(b, "];\n"...)
 			}
-			b.WriteString("  cb(null, result);\n}\n\n")
+			b = append(b, "  cb(null, result);\n}\n\n"...)
 		}
-		return "snippet.js", b.String()
+		return "snippet.js", finishBody(p, b)
 	default: // cish
-		b.WriteString("#include <stdio.h>\n#include <stdlib.h>\n\n")
+		b = append(b, "#include <stdio.h>\n#include <stdlib.h>\n\n"...)
 		for i := 0; i < 1+r.Intn(3); i++ {
-			fn := randutil.Pick(r, codeFuncs)
-			b.WriteString(fmt.Sprintf("int %s_%s(int %s) {\n", fn,
-				randutil.Pick(r, codeIdents), randutil.Pick(r, codeIdents)))
+			b = append(b, "int "...)
+			b = append(b, randutil.Pick(r, codeFuncs)...)
+			b = append(b, '_')
+			b = append(b, randutil.Pick(r, codeIdents)...)
+			b = append(b, "(int "...)
+			b = append(b, randutil.Pick(r, codeIdents)...)
+			b = append(b, ") {\n"...)
 			for j := 0; j < 2+r.Intn(5); j++ {
-				b.WriteString(fmt.Sprintf("    int %s = %d * %s;\n",
-					randutil.Pick(r, codeIdents), r.Intn(50), randutil.Pick(r, codeIdents)))
+				b = append(b, "    int "...)
+				b = append(b, randutil.Pick(r, codeIdents)...)
+				b = append(b, " = "...)
+				b = strconv.AppendInt(b, int64(r.Intn(50)), 10)
+				b = append(b, " * "...)
+				b = append(b, randutil.Pick(r, codeIdents)...)
+				b = append(b, ";\n"...)
 			}
-			b.WriteString("    return 0;\n}\n\n")
+			b = append(b, "    return 0;\n}\n\n"...)
 		}
-		return "prog.c", b.String()
+		return "prog.c", finishBody(p, b)
 	}
 }
 
@@ -213,24 +245,45 @@ var logMsgs = []string{
 }
 
 func (g *Generator) logPaste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for i := 0; i < 20+r.Intn(60); i++ {
-		b.WriteString(fmt.Sprintf("2016-%02d-%02d %02d:%02d:%02d [%s] %s (req=%s)\n",
-			1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60),
-			randutil.Pick(r, logLevels), randutil.Pick(r, logMsgs),
-			randutil.HexString(r, 8)))
+		b = append(b, "2016-"...)
+		b = randutil.AppendPad(b, 1+r.Intn(12), 2)
+		b = append(b, '-')
+		b = randutil.AppendPad(b, 1+r.Intn(28), 2)
+		b = append(b, ' ')
+		b = randutil.AppendPad(b, r.Intn(24), 2)
+		b = append(b, ':')
+		b = randutil.AppendPad(b, r.Intn(60), 2)
+		b = append(b, ':')
+		b = randutil.AppendPad(b, r.Intn(60), 2)
+		b = append(b, " ["...)
+		b = append(b, randutil.Pick(r, logLevels)...)
+		b = append(b, "] "...)
+		b = append(b, randutil.Pick(r, logMsgs)...)
+		b = append(b, " (req="...)
+		b = randutil.AppendHexString(r, b, 8)
+		b = append(b, ")\n"...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 func (g *Generator) configPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("[server]\n")
-	b.WriteString(fmt.Sprintf("port = %d\nworkers = %d\ntimeout = %d\n\n", 8000+r.Intn(2000), 1+r.Intn(16), 10+r.Intn(120)))
-	b.WriteString("[database]\n")
-	b.WriteString(fmt.Sprintf("host = db%d.internal\nname = app_production\npool = %d\n\n", r.Intn(9), 5+r.Intn(20)))
-	b.WriteString("[cache]\nbackend = redis\nttl = 3600\n")
-	return b.String()
+	p := getBody()
+	b := *p
+	b = append(b, "[server]\nport = "...)
+	b = strconv.AppendInt(b, int64(8000+r.Intn(2000)), 10)
+	b = append(b, "\nworkers = "...)
+	b = strconv.AppendInt(b, int64(1+r.Intn(16)), 10)
+	b = append(b, "\ntimeout = "...)
+	b = strconv.AppendInt(b, int64(10+r.Intn(120)), 10)
+	b = append(b, "\n\n[database]\nhost = db"...)
+	b = strconv.AppendInt(b, int64(r.Intn(9)), 10)
+	b = append(b, ".internal\nname = app_production\npool = "...)
+	b = strconv.AppendInt(b, int64(5+r.Intn(20)), 10)
+	b = append(b, "\n\n[cache]\nbackend = redis\nttl = 3600\n"...)
+	return finishBody(p, b)
 }
 
 var chatNicks = []string{"anon", "zerocool", "acid", "nikon", "dade", "kate", "cereal", "phreak", "razor", "blade"}
@@ -242,12 +295,20 @@ var chatLines = []string{
 }
 
 func (g *Generator) chatPaste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for i := 0; i < 15+r.Intn(40); i++ {
-		b.WriteString(fmt.Sprintf("[%02d:%02d] <%s> %s\n", r.Intn(24), r.Intn(60),
-			randutil.Pick(r, chatNicks), randutil.Pick(r, chatLines)))
+		b = append(b, '[')
+		b = randutil.AppendPad(b, r.Intn(24), 2)
+		b = append(b, ':')
+		b = randutil.AppendPad(b, r.Intn(60), 2)
+		b = append(b, "] <"...)
+		b = append(b, randutil.Pick(r, chatNicks)...)
+		b = append(b, "> "...)
+		b = append(b, randutil.Pick(r, chatLines)...)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 var lyricWords = []string{
@@ -257,19 +318,22 @@ var lyricWords = []string{
 }
 
 func (g *Generator) lyricsPaste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for v := 0; v < 3+r.Intn(3); v++ {
 		for l := 0; l < 4; l++ {
 			n := 4 + r.Intn(4)
-			words := make([]string, n)
-			for i := range words {
-				words[i] = randutil.Pick(r, lyricWords)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b = append(b, ' ')
+				}
+				b = append(b, randutil.Pick(r, lyricWords)...)
 			}
-			b.WriteString(strings.Join(words, " ") + "\n")
+			b = append(b, '\n')
 		}
-		b.WriteString("\n")
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 var essaySentences = []string{
@@ -286,88 +350,134 @@ var essaySentences = []string{
 }
 
 func (g *Generator) essayPaste(r *rand.Rand) string {
-	var b strings.Builder
-	for p := 0; p < 2+r.Intn(4); p++ {
+	p := getBody()
+	b := *p
+	for pg := 0; pg < 2+r.Intn(4); pg++ {
 		for s := 0; s < 3+r.Intn(5); s++ {
-			b.WriteString(randutil.Pick(r, essaySentences) + " ")
+			b = append(b, randutil.Pick(r, essaySentences)...)
+			b = append(b, ' ')
 		}
-		b.WriteString("\n\n")
+		b = append(b, "\n\n"...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }
+
+var comboDomains = []string{"gmail.com", "yahoo.com", "hotmail.com", "mail.ru"}
 
 // credDumpPaste mimics leaked email:password combo lists — a benign-class
 // paste that shares "account" vocabulary with doxes.
 func (g *Generator) credDumpPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("=== fresh combo list " + randutil.Digits(r, 4) + " ===\n")
+	p := getBody()
+	b := *p
+	b = append(b, "=== fresh combo list "...)
+	b = randutil.AppendDigits(r, b, 4)
+	b = append(b, " ===\n"...)
 	for i := 0; i < 30+r.Intn(80); i++ {
-		b.WriteString(fmt.Sprintf("%s%s@%s:%s%s\n",
-			randutil.LowerWord(r, 4+r.Intn(5)), randutil.Digits(r, 2),
-			randutil.Pick(r, []string{"gmail.com", "yahoo.com", "hotmail.com", "mail.ru"}),
-			randutil.LowerWord(r, 5+r.Intn(4)), randutil.Digits(r, 2)))
+		b = randutil.AppendLowerWord(r, b, 4+r.Intn(5))
+		b = randutil.AppendDigits(r, b, 2)
+		b = append(b, '@')
+		b = append(b, randutil.Pick(r, comboDomains)...)
+		b = append(b, ':')
+		b = randutil.AppendLowerWord(r, b, 5+r.Intn(4))
+		b = randutil.AppendDigits(r, b, 2)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
+var emailDomains = []string{"gmail.com", "yahoo.com", "aol.com", "outlook.com"}
+
 func (g *Generator) emailListPaste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for i := 0; i < 25+r.Intn(60); i++ {
-		b.WriteString(fmt.Sprintf("%s.%s@%s\n",
-			randutil.LowerWord(r, 3+r.Intn(5)), randutil.LowerWord(r, 4+r.Intn(6)),
-			randutil.Pick(r, []string{"gmail.com", "yahoo.com", "aol.com", "outlook.com"})))
+		b = randutil.AppendLowerWord(r, b, 3+r.Intn(5))
+		b = append(b, '.')
+		b = randutil.AppendLowerWord(r, b, 4+r.Intn(6))
+		b = append(b, '@')
+		b = append(b, randutil.Pick(r, emailDomains)...)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 func (g *Generator) proxyListPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("fresh socks5 checked " + randutil.Digits(r, 2) + " minutes ago\n\n")
+	p := getBody()
+	b := *p
+	b = append(b, "fresh socks5 checked "...)
+	b = randutil.AppendDigits(r, b, 2)
+	b = append(b, " minutes ago\n\n"...)
 	for i := 0; i < 30+r.Intn(70); i++ {
-		b.WriteString(fmt.Sprintf("%d.%d.%d.%d:%d\n", 1+r.Intn(222), r.Intn(256), r.Intn(256), 1+r.Intn(254), 1024+r.Intn(60000)))
+		b = strconv.AppendInt(b, int64(1+r.Intn(222)), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(r.Intn(256)), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(r.Intn(256)), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(1+r.Intn(254)), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(1024+r.Intn(60000)), 10)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 func (g *Generator) crashPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("Exception in thread \"main\" java.lang.NullPointerException\n")
+	p := getBody()
+	b := *p
+	b = append(b, "Exception in thread \"main\" java.lang.NullPointerException\n"...)
 	for i := 0; i < 8+r.Intn(20); i++ {
-		b.WriteString(fmt.Sprintf("\tat com.example.%s.%s(%s.java:%d)\n",
-			randutil.Pick(r, codeIdents), randutil.Pick(r, codeFuncs),
-			strings.Title(randutil.Pick(r, codeIdents)), 10+r.Intn(400)))
+		b = append(b, "\tat com.example."...)
+		b = append(b, randutil.Pick(r, codeIdents)...)
+		b = append(b, '.')
+		b = append(b, randutil.Pick(r, codeFuncs)...)
+		b = append(b, '(')
+		b = appendTitle(b, randutil.Pick(r, codeIdents))
+		b = append(b, ".java:"...)
+		b = strconv.AppendInt(b, int64(10+r.Intn(400)), 10)
+		b = append(b, ")\n"...)
 	}
-	b.WriteString("Caused by: java.io.IOException: connection reset\n")
-	return b.String()
+	b = append(b, "Caused by: java.io.IOException: connection reset\n"...)
+	return finishBody(p, b)
 }
 
 const base64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
 
 func (g *Generator) base64Paste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for i := 0; i < 15+r.Intn(30); i++ {
-		line := make([]byte, 64)
-		for j := range line {
-			line[j] = base64Alphabet[r.Intn(len(base64Alphabet))]
+		for j := 0; j < 64; j++ {
+			b = append(b, base64Alphabet[r.Intn(len(base64Alphabet))])
 		}
-		b.Write(line)
-		b.WriteByte('\n')
+		b = append(b, '\n')
 	}
-	b.WriteString("====\n")
-	return b.String()
+	b = append(b, "====\n"...)
+	return finishBody(p, b)
 }
 
+var gameModes = []string{"survival", "creative", "pvp", "skyblock", "factions", "minigames"}
+
 func (g *Generator) gameServerPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("best minecraft servers " + randutil.Digits(r, 4) + "\n\n")
+	p := getBody()
+	b := *p
+	b = append(b, "best minecraft servers "...)
+	b = randutil.AppendDigits(r, b, 4)
+	b = append(b, "\n\n"...)
 	for i := 0; i < 10+r.Intn(20); i++ {
-		b.WriteString(fmt.Sprintf("%s.%s.net:%d - %s, no lag, join now\n",
-			randutil.LowerWord(r, 4+r.Intn(4)), randutil.LowerWord(r, 3+r.Intn(4)),
-			25000+r.Intn(2000),
-			randutil.Pick(r, []string{"survival", "creative", "pvp", "skyblock", "factions", "minigames"})))
+		b = randutil.AppendLowerWord(r, b, 4+r.Intn(4))
+		b = append(b, '.')
+		b = randutil.AppendLowerWord(r, b, 3+r.Intn(4))
+		b = append(b, ".net:"...)
+		b = strconv.AppendInt(b, int64(25000+r.Intn(2000)), 10)
+		b = append(b, " - "...)
+		b = append(b, randutil.Pick(r, gameModes)...)
+		b = append(b, ", no lag, join now\n"...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }
+
+var formGenders = []string{"male", "female"}
 
 // selfInfoFormPaste is a voluntarily shared personal-info post rendered via
 // the shared person-form template (see form.go). It uses the same field
@@ -394,7 +504,7 @@ func (g *Generator) selfInfoFormPaste(r *rand.Rand) string {
 		f.State = rg.Name
 	}
 	if randutil.Bool(r, 0.45) {
-		f.Gender = randutil.Pick(r, []string{"male", "female"})
+		f.Gender = randutil.Pick(r, formGenders)
 	}
 	if randutil.Bool(r, 0.5) {
 		f.Email = strings.ToLower(first) + "." + strings.ToLower(last) + randutil.Digits(r, 2) + "@gmail.com"
@@ -414,36 +524,75 @@ func (g *Generator) selfInfoFormPaste(r *rand.Rand) string {
 	return renderPersonForm(r, f)
 }
 
+var charRaces = []string{"human", "elf", "dwarf", "orc", "tiefling"}
+var charClasses = []string{"wizard", "rogue", "fighter", "cleric", "bard"}
+
 // charSheetPaste is a tabletop-RPG character sheet: name, age, physical
 // traits — another dox-shaped benign population.
 func (g *Generator) charSheetPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("== Character Sheet ==\n\n")
-	b.WriteString("Name: " + strings.Title(randutil.LowerWord(r, 5)) + " " + strings.Title(randutil.LowerWord(r, 7)) + "\n")
-	b.WriteString(fmt.Sprintf("Age: %d\n", 18+r.Intn(300)))
-	b.WriteString("Race: " + randutil.Pick(r, []string{"human", "elf", "dwarf", "orc", "tiefling"}) + "\n")
-	b.WriteString("Class: " + randutil.Pick(r, []string{"wizard", "rogue", "fighter", "cleric", "bard"}) + "\n")
-	b.WriteString(fmt.Sprintf("Height: %d'%d\"  Weight: %d lbs\n", 4+r.Intn(3), r.Intn(12), 90+r.Intn(200)))
-	b.WriteString(fmt.Sprintf("STR %d DEX %d CON %d INT %d WIS %d CHA %d\n",
-		8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11), 8+r.Intn(11)))
-	b.WriteString("Backstory: " + randutil.Pick(r, essaySentences) + "\n")
-	return b.String()
+	p := getBody()
+	b := *p
+	b = append(b, "== Character Sheet ==\n\nName: "...)
+	b = appendTitleLowerWord(r, b, 5)
+	b = append(b, ' ')
+	b = appendTitleLowerWord(r, b, 7)
+	b = append(b, "\nAge: "...)
+	b = strconv.AppendInt(b, int64(18+r.Intn(300)), 10)
+	b = append(b, "\nRace: "...)
+	b = append(b, randutil.Pick(r, charRaces)...)
+	b = append(b, "\nClass: "...)
+	b = append(b, randutil.Pick(r, charClasses)...)
+	b = append(b, "\nHeight: "...)
+	b = strconv.AppendInt(b, int64(4+r.Intn(3)), 10)
+	b = append(b, '\'')
+	b = strconv.AppendInt(b, int64(r.Intn(12)), 10)
+	b = append(b, "\"  Weight: "...)
+	b = strconv.AppendInt(b, int64(90+r.Intn(200)), 10)
+	b = append(b, " lbs\nSTR "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, " DEX "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, " CON "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, " INT "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, " WIS "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, " CHA "...)
+	b = strconv.AppendInt(b, int64(8+r.Intn(11)), 10)
+	b = append(b, "\nBackstory: "...)
+	b = append(b, randutil.Pick(r, essaySentences)...)
+	b = append(b, '\n')
+	return finishBody(p, b)
 }
+
+var pastCitiesA = []string{"Houston TX", "Miami FL", "Columbus OH", "Phoenix AZ"}
+var pastCitiesB = []string{"Tulsa OK", "Reno NV", "Tampa FL", "Boise ID"}
 
 // peopleSearchPaste mimics a copy-pasted public-records lookup result —
 // name, age bracket, past cities — a benign paste that is legitimately
 // near the dox boundary.
 func (g *Generator) peopleSearchPaste(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("search results (public records, page 1)\n\n")
+	p := getBody()
+	b := *p
+	b = append(b, "search results (public records, page 1)\n\n"...)
 	for i := 0; i < 3+r.Intn(4); i++ {
-		b.WriteString(fmt.Sprintf("%s %s, age %d\n", strings.Title(randutil.LowerWord(r, 5)),
-			strings.Title(randutil.LowerWord(r, 6)), 20+r.Intn(60)))
-		b.WriteString("  Past cities: " + randutil.Pick(r, []string{"Houston TX", "Miami FL", "Columbus OH", "Phoenix AZ"}) +
-			", " + randutil.Pick(r, []string{"Tulsa OK", "Reno NV", "Tampa FL", "Boise ID"}) + "\n")
-		b.WriteString("  Possible relatives: " + strings.Title(randutil.LowerWord(r, 5)) + ", " + strings.Title(randutil.LowerWord(r, 6)) + "\n\n")
+		b = appendTitleLowerWord(r, b, 5)
+		b = append(b, ' ')
+		b = appendTitleLowerWord(r, b, 6)
+		b = append(b, ", age "...)
+		b = strconv.AppendInt(b, int64(20+r.Intn(60)), 10)
+		b = append(b, "\n  Past cities: "...)
+		b = append(b, randutil.Pick(r, pastCitiesA)...)
+		b = append(b, ", "...)
+		b = append(b, randutil.Pick(r, pastCitiesB)...)
+		b = append(b, "\n  Possible relatives: "...)
+		b = appendTitleLowerWord(r, b, 5)
+		b = append(b, ", "...)
+		b = appendTitleLowerWord(r, b, 6)
+		b = append(b, "\n\n"...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 var adLines = []string{
@@ -455,14 +604,22 @@ var adLines = []string{
 	"download now before it gets taken down",
 }
 
+var adTLDs = []string{"biz", "info", "click", "top"}
+
 func (g *Generator) adSpamPaste(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	for i := 0; i < 4+r.Intn(8); i++ {
-		b.WriteString(randutil.Pick(r, adLines) + "\n")
-		b.WriteString(fmt.Sprintf("hxxp://%s.%s/%s\n\n", randutil.LowerWord(r, 6),
-			randutil.Pick(r, []string{"biz", "info", "click", "top"}), randutil.HexString(r, 6)))
+		b = append(b, randutil.Pick(r, adLines)...)
+		b = append(b, "\nhxxp://"...)
+		b = randutil.AppendLowerWord(r, b, 6)
+		b = append(b, '.')
+		b = append(b, randutil.Pick(r, adTLDs)...)
+		b = append(b, '/')
+		b = randutil.AppendHexString(r, b, 6)
+		b = append(b, "\n\n"...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }
 
 var boardTopics = []string{
@@ -484,15 +641,21 @@ var boardReplies = []string{
 // BenignBoardPost produces a short imageboard post in HTML, as the chan
 // crawlers will receive it.
 func (g *Generator) BenignBoardPost(r *rand.Rand) string {
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	if r.Intn(3) == 0 {
-		b.WriteString(fmt.Sprintf(`<a href="#p%d" class="quotelink">&gt;&gt;%d</a><br>`, 100000+r.Intn(900000), 100000+r.Intn(900000)))
+		b = append(b, `<a href="#p`...)
+		b = strconv.AppendInt(b, int64(100000+r.Intn(900000)), 10)
+		b = append(b, `" class="quotelink">&gt;&gt;`...)
+		b = strconv.AppendInt(b, int64(100000+r.Intn(900000)), 10)
+		b = append(b, `</a><br>`...)
 	}
-	b.WriteString(randutil.Pick(r, boardLines))
-	b.WriteString(" ")
-	b.WriteString(randutil.Pick(r, boardTopics))
+	b = append(b, randutil.Pick(r, boardLines)...)
+	b = append(b, ' ')
+	b = append(b, randutil.Pick(r, boardTopics)...)
 	for i := 0; i < r.Intn(3); i++ {
-		b.WriteString("<br>" + randutil.Pick(r, boardReplies))
+		b = append(b, "<br>"...)
+		b = append(b, randutil.Pick(r, boardReplies)...)
 	}
-	return b.String()
+	return finishBody(p, b)
 }

@@ -3,6 +3,7 @@ package textgen
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"doxmeter/internal/netid"
@@ -129,6 +130,12 @@ const (
 	terseRate = 0.15
 )
 
+var dobLabels = []string{"DOB: ", "Date of Birth: ", "Born: "}
+var emailLabels = []string{"Email: ", "E-mail: ", "email; "}
+var ipLabels = []string{"IP: ", "IP Address: ", "ip-addr: "}
+var hairColors = []string{"brown", "black", "blonde", "red"}
+var criminalRecords = []string{"misdemeanor possession 2014", "DUI 2013", "shoplifting charge dropped"}
+
 // Dox renders a complete dox file for the victim. Identical victims render
 // with independently random cosmetics, but the substantive content (the
 // fields and account set) is fixed by the victim's ground truth, matching
@@ -146,10 +153,11 @@ func (g *Generator) Dox(r *rand.Rand, v *sim.Victim) *DoxRender {
 	}
 	terse := out.Style == StyleTerse
 
-	var b strings.Builder
+	p := getBody()
+	b := *p
 	if !terse {
-		b.WriteString(randutil.Pick(r, banners))
-		b.WriteString("\n\n")
+		b = append(b, randutil.Pick(r, banners)...)
+		b = append(b, "\n\n"...)
 	}
 
 	// Credits: at top ~half the time, otherwise at the bottom.
@@ -158,89 +166,144 @@ func (g *Generator) Dox(r *rand.Rand, v *sim.Victim) *DoxRender {
 	creditLine := renderCredits(r, credits)
 	topCredits := r.Intn(2) == 0 && !terse
 	if topCredits && creditLine != "" {
-		b.WriteString(creditLine + "\n\n")
+		b = append(b, creditLine...)
+		b = append(b, "\n\n"...)
 	}
 
 	// Motivation pre-script (paper §3.2: a "why I doxed this person"
 	// pre-or-postscript).
 	switch v.Motive {
 	case sim.MotiveJustice:
-		b.WriteString("Reason: " + randutil.Pick(r, justiceReasons) + "\n\n")
+		b = append(b, "Reason: "...)
+		b = append(b, randutil.Pick(r, justiceReasons)...)
+		b = append(b, "\n\n"...)
 	case sim.MotiveRevenge:
-		b.WriteString("Reason: " + randutil.Pick(r, revengeReasons) + "\n\n")
+		b = append(b, "Reason: "...)
+		b = append(b, randutil.Pick(r, revengeReasons)...)
+		b = append(b, "\n\n"...)
 	case sim.MotiveCompetitive:
-		b.WriteString("Reason: " + randutil.Pick(r, competitiveReasons) + "\n\n")
+		b = append(b, "Reason: "...)
+		b = append(b, randutil.Pick(r, competitiveReasons)...)
+		b = append(b, "\n\n"...)
 	case sim.MotivePolitical:
-		b.WriteString("Reason: " + randutil.Pick(r, politicalReasons) + "\n\n")
+		b = append(b, "Reason: "...)
+		b = append(b, randutil.Pick(r, politicalReasons)...)
+		b = append(b, "\n\n"...)
 	}
 
 	if terse {
-		b.WriteString("aka " + v.Alias + "\n")
+		b = append(b, "aka "...)
+		b = append(b, v.Alias...)
+		b = append(b, '\n')
 	} else {
-		b.WriteString("Alias: " + v.Alias + "\n")
+		b = append(b, "Alias: "...)
+		b = append(b, v.Alias...)
+		b = append(b, '\n')
 	}
-	g.renderName(r, &b, v, out)
-	g.renderAge(r, &b, v, out)
+	b = g.renderName(r, b, v, out)
+	b = g.renderAge(r, b, v, out)
 	if v.Fields.DOB {
-		b.WriteString(randutil.Pick(r, []string{"DOB: ", "Date of Birth: ", "Born: "}))
-		b.WriteString(v.DOB.Format("01/02/2006") + "\n")
+		b = append(b, randutil.Pick(r, dobLabels)...)
+		b = v.DOB.AppendFormat(b, "01/02/2006")
+		b = append(b, '\n')
 	}
 	if v.Gender != sim.GenderUnstated {
-		b.WriteString("Gender: " + strings.ToLower(v.Gender.String()) + "\n")
+		b = append(b, "Gender: "...)
+		b = appendLowerASCII(b, v.Gender.String())
+		b = append(b, '\n')
 	}
 	if v.Fields.Address {
-		g.renderAddress(r, &b, v)
+		b = g.renderAddress(r, b, v)
 	}
-	g.renderPhone(r, &b, v, out)
+	b = g.renderPhone(r, b, v, out)
 	if v.Fields.Email {
-		b.WriteString(randutil.Pick(r, []string{"Email: ", "E-mail: ", "email; "}) + v.Email + "\n")
+		b = append(b, randutil.Pick(r, emailLabels)...)
+		b = append(b, v.Email...)
+		b = append(b, '\n')
 	}
 	if v.Fields.IP {
-		b.WriteString(randutil.Pick(r, []string{"IP: ", "IP Address: ", "ip-addr: "}) + v.IP + "\n")
+		b = append(b, randutil.Pick(r, ipLabels)...)
+		b = append(b, v.IP...)
+		b = append(b, '\n')
 	}
 	if v.Fields.ISP {
-		b.WriteString("ISP: " + v.ISP + "\n")
+		b = append(b, "ISP: "...)
+		b = append(b, v.ISP...)
+		b = append(b, '\n')
 	}
 	if v.Fields.School {
-		b.WriteString("School: " + pickSchool(r) + "\n")
+		b = append(b, "School: "...)
+		b = append(b, pickSchool(r)...)
+		b = append(b, '\n')
 	}
 	if v.Fields.Family && len(v.FamilyMembers) > 0 {
-		b.WriteString("\nFamily:\n")
+		b = append(b, "\nFamily:\n"...)
 		for i, fam := range v.FamilyMembers {
-			b.WriteString(fmt.Sprintf("  %s: %s\n", familyLabels[i%len(familyLabels)], fam))
+			b = append(b, "  "...)
+			b = append(b, familyLabels[i%len(familyLabels)]...)
+			b = append(b, ": "...)
+			b = append(b, fam...)
+			b = append(b, '\n')
 		}
 	}
 	if v.Fields.Usernames {
-		b.WriteString("Other usernames: " + strings.ToLower(v.Alias) + ", " +
-			strings.ToLower(v.FirstName) + randutil.Digits(r, 2) + "\n")
+		b = append(b, "Other usernames: "...)
+		b = appendLowerASCII(b, v.Alias)
+		b = append(b, ", "...)
+		b = appendLowerASCII(b, v.FirstName)
+		b = randutil.AppendDigits(r, b, 2)
+		b = append(b, '\n')
 	}
 	if v.Fields.Passwords {
-		b.WriteString("Password (old leak): " + randutil.LowerWord(r, 6) + randutil.Digits(r, 3) + "\n")
+		b = append(b, "Password (old leak): "...)
+		b = randutil.AppendLowerWord(r, b, 6)
+		b = randutil.AppendDigits(r, b, 3)
+		b = append(b, '\n')
 	}
 	if v.Fields.Physical {
-		b.WriteString(fmt.Sprintf("Height: 5'%d\"  Weight: %d lbs  Hair: %s\n",
-			4+r.Intn(8), 120+r.Intn(100), randutil.Pick(r, []string{"brown", "black", "blonde", "red"})))
+		b = append(b, "Height: 5'"...)
+		b = strconv.AppendInt(b, int64(4+r.Intn(8)), 10)
+		b = append(b, "\"  Weight: "...)
+		b = strconv.AppendInt(b, int64(120+r.Intn(100)), 10)
+		b = append(b, " lbs  Hair: "...)
+		b = append(b, randutil.Pick(r, hairColors)...)
+		b = append(b, '\n')
 	}
 	if v.Fields.Criminal {
-		b.WriteString("Criminal record: " + randutil.Pick(r, []string{
-			"misdemeanor possession 2014", "DUI 2013", "shoplifting charge dropped"}) + "\n")
+		b = append(b, "Criminal record: "...)
+		b = append(b, randutil.Pick(r, criminalRecords)...)
+		b = append(b, '\n')
 	}
 	if v.Fields.SSN {
-		b.WriteString("SSN: " + randutil.Digits(r, 3) + "-" + randutil.Digits(r, 2) + "-" + randutil.Digits(r, 4) + "\n")
+		b = append(b, "SSN: "...)
+		b = randutil.AppendDigits(r, b, 3)
+		b = append(b, '-')
+		b = randutil.AppendDigits(r, b, 2)
+		b = append(b, '-')
+		b = randutil.AppendDigits(r, b, 4)
+		b = append(b, '\n')
 	}
 	if v.Fields.CreditCard {
-		b.WriteString("CC: 4" + randutil.Digits(r, 15) + " exp " + fmt.Sprintf("%02d/%d", 1+r.Intn(12), 17+r.Intn(4)) + "\n")
+		b = append(b, "CC: 4"...)
+		b = randutil.AppendDigits(r, b, 15)
+		b = append(b, " exp "...)
+		b = randutil.AppendPad(b, 1+r.Intn(12), 2)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(17+r.Intn(4)), 10)
+		b = append(b, '\n')
 	}
 	if v.Fields.Financial {
-		b.WriteString("Paypal: " + v.Email + "  (balance unknown)\n")
+		b = append(b, "Paypal: "...)
+		b = append(b, v.Email...)
+		b = append(b, "  (balance unknown)\n"...)
 	}
 
 	// OSN accounts.
 	if len(v.OSN) > 0 {
 		if terse {
-			b.WriteString("\n")
+			b = append(b, '\n')
 		} else {
-			b.WriteString("\nAccounts:\n")
+			b = append(b, "\nAccounts:\n"...)
 		}
 		for _, n := range netid.All() { // stable order
 			u, ok := v.OSN[n]
@@ -249,28 +312,41 @@ func (g *Generator) Dox(r *rand.Rand, v *sim.Victim) *DoxRender {
 			}
 			easy := randutil.Bool(r, easyRate[n])
 			out.EasyRendered[n] = easy
-			b.WriteString(renderOSN(r, n, u, easy) + "\n")
+			b = appendOSN(r, b, n, u, easy)
+			b = append(b, '\n')
 		}
 	}
 
 	// Community accounts (gamer/hacker) or celebrity note.
 	if len(v.CommunityAccounts) > 0 {
-		b.WriteString("\nFound on:\n")
+		b = append(b, "\nFound on:\n"...)
 		for _, acct := range v.CommunityAccounts {
-			b.WriteString(fmt.Sprintf("  %s/%s\n", acct.Site, acct.Username))
+			b = append(b, "  "...)
+			b = append(b, acct.Site...)
+			b = append(b, '/')
+			b = append(b, acct.Username...)
+			b = append(b, '\n')
 		}
 	}
 	if v.CelebrityRole != "" {
-		b.WriteString("\nYes, THAT " + v.FirstName + " — the " + v.CelebrityRole + ".\n")
+		b = append(b, "\nYes, THAT "...)
+		b = append(b, v.FirstName...)
+		b = append(b, " — the "...)
+		b = append(b, v.CelebrityRole...)
+		b = append(b, ".\n"...)
 	}
 
 	if !terse {
-		b.WriteString("\n" + randutil.Pick(r, outros) + "\n")
+		b = append(b, '\n')
+		b = append(b, randutil.Pick(r, outros)...)
+		b = append(b, '\n')
 	}
 	if !topCredits && creditLine != "" {
-		b.WriteString("\n" + creditLine + "\n")
+		b = append(b, '\n')
+		b = append(b, creditLine...)
+		b = append(b, '\n')
 	}
-	out.Body = b.String()
+	out.Body = finishBody(p, b)
 	return out
 }
 
@@ -333,81 +409,146 @@ func (g *Generator) doxForm(r *rand.Rand, v *sim.Victim, out *DoxRender) *DoxRen
 	return out
 }
 
-func (g *Generator) renderName(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+var nameLabels = []string{"Name: ", "Full Name: ", "Real name: ", "IRL Name: "}
+
+func (g *Generator) renderName(r *rand.Rand, b []byte, v *sim.Victim, out *DoxRender) []byte {
 	switch x := r.Float64(); {
 	case x < easyBothNames:
 		out.FirstNameEasy, out.LastNameEasy = true, true
-		label := randutil.Pick(r, []string{"Name: ", "Full Name: ", "Real name: ", "IRL Name: "})
-		b.WriteString(label + v.FullName() + "\n")
+		b = append(b, randutil.Pick(r, nameLabels)...)
+		b = append(b, v.FirstName...)
+		b = append(b, ' ')
+		b = append(b, v.LastName...)
+		b = append(b, '\n')
 	case x < easyBothNames+easyFirstOnly:
 		out.FirstNameEasy = true
 		switch r.Intn(2) {
 		case 0:
-			b.WriteString("Name: " + v.FirstName + " " + v.LastName[:1] + ".\n")
+			b = append(b, "Name: "...)
+			b = append(b, v.FirstName...)
+			b = append(b, ' ')
+			b = append(b, v.LastName[:1]...)
+			b = append(b, ".\n"...)
 		default:
-			b.WriteString("First name: " + v.FirstName + "\n")
+			b = append(b, "First name: "...)
+			b = append(b, v.FirstName...)
+			b = append(b, '\n')
 		}
 	default:
 		// Prose-embedded name: the reference extractor does not attempt
 		// free-text name recognition, mirroring the paper's error band.
-		b.WriteString("goes by " + v.FirstName + " " + v.LastName + " irl, ask around\n")
+		b = append(b, "goes by "...)
+		b = append(b, v.FirstName...)
+		b = append(b, ' ')
+		b = append(b, v.LastName...)
+		b = append(b, " irl, ask around\n"...)
 	}
+	return b
 }
 
 var ageWords = []string{"zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine"}
+var ageLabels = []string{"Age: ", "age; ", "Age - "}
 
-func (g *Generator) renderAge(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+func (g *Generator) renderAge(r *rand.Rand, b []byte, v *sim.Victim, out *DoxRender) []byte {
 	if randutil.Bool(r, easyAgeRate) {
 		out.AgeEasy = true
-		b.WriteString(randutil.Pick(r, []string{"Age: ", "age; ", "Age - "}) + fmt.Sprint(v.Age) + "\n")
-		return
+		b = append(b, randutil.Pick(r, ageLabels)...)
+		b = strconv.AppendInt(b, int64(v.Age), 10)
+		b = append(b, '\n')
+		return b
 	}
 	// Spelled-out age inside prose.
 	tens := v.Age / 10
 	ones := v.Age % 10
-	b.WriteString("the kid is " + ageWords[tens] + "ty " + ageWords[ones] + " years old btw\n")
+	b = append(b, "the kid is "...)
+	b = append(b, ageWords[tens]...)
+	b = append(b, "ty "...)
+	b = append(b, ageWords[ones]...)
+	b = append(b, " years old btw\n"...)
+	return b
 }
 
-func (g *Generator) renderAddress(r *rand.Rand, b *strings.Builder, v *sim.Victim) {
+func (g *Generator) renderAddress(r *rand.Rand, b []byte, v *sim.Victim) []byte {
 	zip := ""
 	if v.Fields.Zip {
 		zip = " " + v.Zip
 	}
 	switch r.Intn(3) {
 	case 0:
-		b.WriteString("Address: " + v.Street + ", " + v.City + ", " + v.Region.Code + zip + "\n")
+		b = append(b, "Address: "...)
+		b = append(b, v.Street...)
+		b = append(b, ", "...)
+		b = append(b, v.City...)
+		b = append(b, ", "...)
+		b = append(b, v.Region.Code...)
+		b = append(b, zip...)
+		b = append(b, '\n')
 	case 1:
-		b.WriteString("Address: " + v.Street + "\nCity: " + v.City + "\nState: " + v.Region.Name + "\n")
+		b = append(b, "Address: "...)
+		b = append(b, v.Street...)
+		b = append(b, "\nCity: "...)
+		b = append(b, v.City...)
+		b = append(b, "\nState: "...)
+		b = append(b, v.Region.Name...)
+		b = append(b, '\n')
 		if zip != "" {
-			b.WriteString("Zip:" + zip + "\n")
+			b = append(b, "Zip:"...)
+			b = append(b, zip...)
+			b = append(b, '\n')
 		}
 	default:
-		b.WriteString("Lives at: " + v.Street + " " + v.City + " " + v.Region.Code + zip + "\n")
+		b = append(b, "Lives at: "...)
+		b = append(b, v.Street...)
+		b = append(b, ' ')
+		b = append(b, v.City...)
+		b = append(b, ' ')
+		b = append(b, v.Region.Code...)
+		b = append(b, zip...)
+		b = append(b, '\n')
 	}
 	if v.Country != "USA" {
-		b.WriteString("Country: " + v.Country + "\n")
+		b = append(b, "Country: "...)
+		b = append(b, v.Country...)
+		b = append(b, '\n')
 	} else if r.Intn(3) == 0 {
-		b.WriteString("Country: USA\n")
+		b = append(b, "Country: USA\n"...)
 	}
+	return b
 }
 
-func (g *Generator) renderPhone(r *rand.Rand, b *strings.Builder, v *sim.Victim, out *DoxRender) {
+var phoneLabels = []string{"Phone: ", "Phone Number: ", "Cell: ", "phone; "}
+
+func (g *Generator) renderPhone(r *rand.Rand, b []byte, v *sim.Victim, out *DoxRender) []byte {
 	if !v.Fields.Phone {
-		return
+		return b
 	}
 	if randutil.Bool(r, easyPhoneRate) {
 		out.PhoneEasy = true
-		b.WriteString(randutil.Pick(r, []string{"Phone: ", "Phone Number: ", "Cell: ", "phone; "}) + v.Phone + "\n")
-		return
+		b = append(b, randutil.Pick(r, phoneLabels)...)
+		b = append(b, v.Phone...)
+		b = append(b, '\n')
+		return b
 	}
 	// Hard variants: spaced digits or prose.
 	digits := digitsOnly(v.Phone)
 	switch r.Intn(2) {
 	case 0:
-		b.WriteString("number is " + strings.Join(strings.Split(digits, ""), " ") + " hit him up\n")
+		b = append(b, "number is "...)
+		for i := 0; i < len(digits); i++ {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, digits[i])
+		}
+		b = append(b, " hit him up\n"...)
 	default:
-		b.WriteString("text him, starts with " + digits[:3] + " ends " + digits[len(digits)-2:] + " (full in thread)\n")
+		b = append(b, "text him, starts with "...)
+		b = append(b, digits[:3]...)
+		b = append(b, " ends "...)
+		b = append(b, digits[len(digits)-2:]...)
+		b = append(b, " (full in thread)\n"...)
 	}
+	return b
 }
 
 func digitsOnly(s string) string {
@@ -420,30 +561,59 @@ func digitsOnly(s string) string {
 	return b.String()
 }
 
-// renderOSN renders one account reference. Easy forms match the paper's
-// examples (1) and (2); hard forms match (3) and (4), which defeat
-// single-account extraction.
-func renderOSN(r *rand.Rand, n netid.Network, user string, easy bool) string {
+// appendOSN renders one account reference into b. Easy forms match the
+// paper's examples (1) and (2); hard forms match (3) and (4), which defeat
+// single-account extraction. Draw order matches the original renderOSN
+// (the decoy digit draws before the format selector).
+func appendOSN(r *rand.Rand, b []byte, n netid.Network, user string, easy bool) []byte {
 	if easy {
 		switch r.Intn(3) {
 		case 0:
 			if d := n.Domain(); d != "" {
-				return fmt.Sprintf("  %s: https://%s/%s", n.String(), d, user)
+				b = append(b, "  "...)
+				b = append(b, n.String()...)
+				b = append(b, ": https://"...)
+				b = append(b, d...)
+				b = append(b, '/')
+				return append(b, user...)
 			}
-			return fmt.Sprintf("  %s: %s", n.String(), user)
+			b = append(b, "  "...)
+			b = append(b, n.String()...)
+			b = append(b, ": "...)
+			return append(b, user...)
 		case 1:
-			return fmt.Sprintf("  %s: %s", n.String(), user)
+			b = append(b, "  "...)
+			b = append(b, n.String()...)
+			b = append(b, ": "...)
+			return append(b, user...)
 		default:
-			return fmt.Sprintf("  %s %s", shortLabel(n), user)
+			b = append(b, "  "...)
+			b = append(b, shortLabel(n)...)
+			b = append(b, ' ')
+			return append(b, user...)
 		}
 	}
-	decoy := user + randutil.Digits(r, 1)
+	decoyDigit := byte('0' + r.Intn(10))
 	switch r.Intn(2) {
 	case 0:
 		// Plural list with decoys: "fbs: a - b - c".
-		return fmt.Sprintf("  %ss: %s - %s - old%s", strings.ToLower(shortLabel(n)), decoy, user, randutil.Digits(r, 2))
+		b = append(b, "  "...)
+		b = appendLowerASCII(b, shortLabel(n))
+		b = append(b, "s: "...)
+		b = append(b, user...)
+		b = append(b, decoyDigit)
+		b = append(b, " - "...)
+		b = append(b, user...)
+		b = append(b, " - old"...)
+		return randutil.AppendDigits(r, b, 2)
 	default:
-		return fmt.Sprintf("  %ss; %s and %s", strings.ToLower(n.String()), decoy, user)
+		b = append(b, "  "...)
+		b = appendLowerASCII(b, n.String())
+		b = append(b, "s; "...)
+		b = append(b, user...)
+		b = append(b, decoyDigit)
+		b = append(b, " and "...)
+		return append(b, user...)
 	}
 }
 
@@ -505,6 +675,8 @@ func (g *Generator) pickCredits(r *rand.Rand) []*sim.Doxer {
 	return []*sim.Doxer{randutil.Pick(r, g.world.Doxers)}
 }
 
+var creditLeads = []string{"Dropped by", "Dox by", "Credit:", "Brought to you by"}
+
 // renderCredits renders a "dropped by" line, mixing plain aliases and
 // Twitter handles exactly as the paper's example shows.
 func renderCredits(r *rand.Rand, credits []*sim.Doxer) string {
@@ -522,7 +694,7 @@ func renderCredits(r *rand.Rand, credits []*sim.Doxer) string {
 			parts = append(parts, d.Alias)
 		}
 	}
-	lead := randutil.Pick(r, []string{"Dropped by", "Dox by", "Credit:", "Brought to you by"})
+	lead := randutil.Pick(r, creditLeads)
 	switch len(parts) {
 	case 1:
 		return lead + " " + parts[0]
@@ -534,13 +706,32 @@ func renderCredits(r *rand.Rand, credits []*sim.Doxer) string {
 	}
 }
 
+var updateLines = []string{
+	"UPDATE: he deleted his facebook lmao",
+	"UPDATE: target went private on everything within a day",
+	"UPDATE: he is begging mods to take this down",
+	"UPDATE: confirmed, number still works",
+}
+
 // NearDuplicate re-renders a previously posted dox with the non-substantive
 // changes the paper describes (§3.1.4): a repost timestamp, cosmetic banner
 // changes, or an appended "update" section. The account set is unchanged.
 func (g *Generator) NearDuplicate(r *rand.Rand, orig string) string {
 	switch r.Intn(3) {
 	case 0:
-		return "REPOST " + fmt.Sprintf("2016-%02d-%02d %02d:%02d", 1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60)) + "\n\n" + orig
+		p := getBody()
+		b := *p
+		b = append(b, "REPOST 2016-"...)
+		b = randutil.AppendPad(b, 1+r.Intn(12), 2)
+		b = append(b, '-')
+		b = randutil.AppendPad(b, 1+r.Intn(28), 2)
+		b = append(b, ' ')
+		b = randutil.AppendPad(b, r.Intn(24), 2)
+		b = append(b, ':')
+		b = randutil.AppendPad(b, r.Intn(60), 2)
+		b = append(b, "\n\n"...)
+		b = append(b, orig...)
+		return finishBody(p, b)
 	case 1:
 		// Swap the first banner line for a different one (re-rolling so
 		// the swap never no-ops), and stamp a repost marker so two swaps
@@ -548,20 +739,33 @@ func (g *Generator) NearDuplicate(r *rand.Rand, orig string) string {
 		lines := strings.SplitN(orig, "\n", 2)
 		if len(lines) == 2 {
 			for {
-				b := strings.SplitN(randutil.Pick(r, banners), "\n", 2)[0]
-				if b != lines[0] {
-					return b + "\n" + lines[1] + "\nmirror #" + randutil.Digits(r, 4) + "\n"
+				nb := strings.SplitN(randutil.Pick(r, banners), "\n", 2)[0]
+				if nb != lines[0] {
+					p := getBody()
+					b := *p
+					b = append(b, nb...)
+					b = append(b, '\n')
+					b = append(b, lines[1]...)
+					b = append(b, "\nmirror #"...)
+					b = randutil.AppendDigits(r, b, 4)
+					b = append(b, '\n')
+					return finishBody(p, b)
 				}
 			}
 		}
 		return "REPOSTING THIS\n" + orig
 	default:
-		update := randutil.Pick(r, []string{
-			"UPDATE: he deleted his facebook lmao",
-			"UPDATE: target went private on everything within a day",
-			"UPDATE: he is begging mods to take this down",
-			"UPDATE: confirmed, number still works",
-		})
-		return orig + "\n" + update + " (day " + fmt.Sprint(1+r.Intn(28)) + ", repost " + randutil.Digits(r, 3) + ")\n"
+		update := randutil.Pick(r, updateLines)
+		p := getBody()
+		b := *p
+		b = append(b, orig...)
+		b = append(b, '\n')
+		b = append(b, update...)
+		b = append(b, " (day "...)
+		b = strconv.AppendInt(b, int64(1+r.Intn(28)), 10)
+		b = append(b, ", repost "...)
+		b = randutil.AppendDigits(r, b, 3)
+		b = append(b, ")\n"...)
+		return finishBody(p, b)
 	}
 }

@@ -1,9 +1,8 @@
 package textgen
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
+	"strconv"
 
 	"doxmeter/internal/randutil"
 )
@@ -57,44 +56,74 @@ var formOutros = []string{
 
 // renderPersonForm renders the shared template.
 func renderPersonForm(r *rand.Rand, f formFill) string {
-	var b strings.Builder
-	b.WriteString(randutil.Pick(r, formIntros) + "\n\n")
+	p := getBody()
+	b := *p
+	b = append(b, randutil.Pick(r, formIntros)...)
+	b = append(b, "\n\n"...)
 	if f.Aka != "" {
-		b.WriteString("aka " + f.Aka + "\n")
+		b = append(b, "aka "...)
+		b = append(b, f.Aka...)
+		b = append(b, '\n')
 	}
-	b.WriteString("Name: " + f.First + " " + f.Last + "\n")
+	b = append(b, "Name: "...)
+	b = append(b, f.First...)
+	b = append(b, ' ')
+	b = append(b, f.Last...)
+	b = append(b, '\n')
 	if f.Age > 0 {
-		b.WriteString(fmt.Sprintf("Age: %d\n", f.Age))
+		b = append(b, "Age: "...)
+		b = strconv.AppendInt(b, int64(f.Age), 10)
+		b = append(b, '\n')
 	}
 	if f.City != "" {
-		b.WriteString("City: " + f.City + "\n")
+		b = append(b, "City: "...)
+		b = append(b, f.City...)
+		b = append(b, '\n')
 	}
 	if f.State != "" {
-		b.WriteString("State: " + f.State + "\n")
+		b = append(b, "State: "...)
+		b = append(b, f.State...)
+		b = append(b, '\n')
 	}
 	if f.Gender != "" {
-		b.WriteString("Gender: " + f.Gender + "\n")
+		b = append(b, "Gender: "...)
+		b = append(b, f.Gender...)
+		b = append(b, '\n')
 	}
 	if f.Email != "" {
-		b.WriteString("Email: " + f.Email + "\n")
+		b = append(b, "Email: "...)
+		b = append(b, f.Email...)
+		b = append(b, '\n')
 	}
 	if f.Phone != "" {
-		b.WriteString("Phone: " + f.Phone + "\n")
+		b = append(b, "Phone: "...)
+		b = append(b, f.Phone...)
+		b = append(b, '\n')
 	}
 	if f.Address != "" {
-		b.WriteString("Address: " + f.Address + "\n")
+		b = append(b, "Address: "...)
+		b = append(b, f.Address...)
+		b = append(b, '\n')
 	}
 	if f.IG != "" {
-		b.WriteString("  Instagram: " + f.IG + "\n")
+		b = append(b, "  Instagram: "...)
+		b = append(b, f.IG...)
+		b = append(b, '\n')
 	}
 	if f.Skype != "" {
-		b.WriteString("  Skype: " + f.Skype + "\n")
+		b = append(b, "  Skype: "...)
+		b = append(b, f.Skype...)
+		b = append(b, '\n')
 	}
 	if f.Hobby {
-		b.WriteString("Hobbies: " + randutil.Pick(r, formHobbies) + "\n")
+		b = append(b, "Hobbies: "...)
+		b = append(b, randutil.Pick(r, formHobbies)...)
+		b = append(b, '\n')
 	}
 	if f.Outro {
-		b.WriteString("\n" + randutil.Pick(r, formOutros) + "\n")
+		b = append(b, '\n')
+		b = append(b, randutil.Pick(r, formOutros)...)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return finishBody(p, b)
 }

@@ -1,0 +1,55 @@
+package textgen
+
+import (
+	"math/rand"
+	"sync"
+
+	"doxmeter/internal/randutil"
+)
+
+// bodyPool recycles the byte scratch the paste/dox renderers build into.
+// Renderers nest (a joke-dox paste renders a full dox inside a benign
+// paste) and generators may be driven from multiple goroutines in tests,
+// so this is a sync.Pool rather than per-generator state.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBody() *[]byte { return bodyPool.Get().(*[]byte) }
+
+// finishBody materializes the rendered bytes into the one string the caller
+// keeps, then recycles the (possibly grown) scratch.
+func finishBody(p *[]byte, b []byte) string {
+	s := string(b)
+	*p = b[:0]
+	bodyPool.Put(p)
+	return s
+}
+
+// appendTitle appends w with its first byte uppercased — strings.Title of a
+// single lowercase ASCII word, which is all the word banks here contain.
+func appendTitle(b []byte, w string) []byte {
+	b = append(b, w...)
+	b[len(b)-len(w)] -= 'a' - 'A'
+	return b
+}
+
+// appendLowerASCII appends s with ASCII uppercase folded to lowercase —
+// strings.ToLower for the ASCII-only strings the generators produce.
+func appendLowerASCII(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return b
+}
+
+// appendTitleLowerWord draws a random lowercase word of length n and appends
+// it title-cased. Same RNG draws as strings.Title(randutil.LowerWord(r, n)).
+func appendTitleLowerWord(r *rand.Rand, b []byte, n int) []byte {
+	start := len(b)
+	b = randutil.AppendLowerWord(r, b, n)
+	b[start] -= 'a' - 'A'
+	return b
+}

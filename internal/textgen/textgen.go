@@ -10,9 +10,9 @@
 package textgen
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -291,7 +291,10 @@ func (g *Generator) docID(r *rand.Rand, site Site, seq int) string {
 	if site == SitePastebin {
 		return randutil.HexString(r, 8)
 	}
-	return fmt.Sprintf("%d%06d", 1+r.Intn(8), seq)
+	var buf [16]byte
+	b := strconv.AppendInt(buf[:0], int64(1+r.Intn(8)), 10)
+	b = randutil.AppendPad(b, seq, 6)
+	return string(b)
 }
 
 func doxTitle(r *rand.Rand, v *sim.Victim) string {
@@ -309,10 +312,26 @@ func doxTitle(r *rand.Rand, v *sim.Victim) string {
 
 // toBoardHTML wraps plain dox text as an imageboard comment body: newlines
 // become <br> and angle brackets are escaped, matching what the chan APIs
-// serve and what html2text must undo.
+// serve and what html2text must undo. Single pass into pooled scratch;
+// byte-identical to escape-then-replace because no replacement emits '\n'.
 func toBoardHTML(text string) string {
-	esc := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;").Replace(text)
-	return strings.ReplaceAll(esc, "\n", "<br>")
+	p := getBody()
+	b := *p
+	for i := 0; i < len(text); i++ {
+		switch c := text[i]; c {
+		case '&':
+			b = append(b, "&amp;"...)
+		case '<':
+			b = append(b, "&lt;"...)
+		case '>':
+			b = append(b, "&gt;"...)
+		case '\n':
+			b = append(b, "<br>"...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return finishBody(p, b)
 }
 
 // TrainingExample is one labeled classifier-training document.

@@ -6,13 +6,16 @@ import (
 )
 
 // FuzzTransform checks vectorizer invariants on arbitrary input: no panic,
-// sorted indices, unit (or zero) norm.
+// sorted indices, unit (or zero) norm — and that the fused Scorer.Vector
+// path (what TransformAll/FitTransform use) is bit-identical to the
+// map-based reference Transform.
 func FuzzTransform(f *testing.F) {
 	vz := NewVectorizer(Options{})
 	vz.Fit([]string{
 		"the quick brown fox", "jumps over the lazy dog",
 		"name address phone email", "pack my box with five dozen jugs",
 	})
+	sc := vz.NewScorer()
 	for _, s := range []string{"", "the fox", "unknown terms only", "name name name"} {
 		f.Add(s)
 	}
@@ -25,6 +28,16 @@ func FuzzTransform(f *testing.F) {
 		}
 		if n := v.Norm(); len(v) > 0 && math.Abs(n-1) > 1e-9 {
 			t.Fatalf("norm = %f", n)
+		}
+		fused := sc.Vector(s)
+		if len(fused) != len(v) {
+			t.Fatalf("fused vector has %d features, reference %d", len(fused), len(v))
+		}
+		for i := range v {
+			if fused[i].Index != v[i].Index ||
+				math.Float64bits(fused[i].Value) != math.Float64bits(v[i].Value) {
+				t.Fatalf("fused[%d] = %+v, reference %+v", i, fused[i], v[i])
+			}
 		}
 	})
 }

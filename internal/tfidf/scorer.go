@@ -83,6 +83,12 @@ func (vz *Vectorizer) NewScorer() *Scorer {
 // reset clears the dense scratch by walking the touched list, so cost is
 // proportional to the previous document, not the vocabulary.
 func (s *Scorer) reset() {
+	if len(s.tf) != len(s.vz.idf) {
+		// The vectorizer was fitted after this scorer was built (a pooled
+		// pre-fit scorer): resize the dense scratch to the live vocabulary.
+		s.tf = make([]float64, len(s.vz.idf))
+		s.touched = s.touched[:0]
+	}
 	for _, idx := range s.touched {
 		s.tf[idx] = 0
 	}
@@ -91,13 +97,12 @@ func (s *Scorer) reset() {
 	s.tokens = 0
 }
 
-// addTerm folds the current token (s.tok, already lowercased) into the TF
-// scratch, plus the adjacent bigram when the vectorizer was fitted with
-// Bigrams. The vocab lookups convert the scratch buffer with string(...)
-// directly in the map index expression, which the compiler performs
-// without allocating.
-func (s *Scorer) addTerm() {
-	if idx, ok := s.vz.vocab[string(s.tok)]; ok {
+// addTerm folds a token (already lowercased) into the TF scratch, plus the
+// adjacent bigram when the vectorizer was fitted with Bigrams. The vocab
+// lookups convert the scratch buffer with string(...) directly in the map
+// index expression, which the compiler performs without allocating.
+func (s *Scorer) addTerm(tok []byte) {
+	if idx, ok := s.vz.vocab[string(tok)]; ok {
 		if s.tf[idx] == 0 {
 			s.touched = append(s.touched, idx)
 		}
@@ -107,7 +112,7 @@ func (s *Scorer) addTerm() {
 		if len(s.prev) > 0 {
 			s.bigram = append(s.bigram[:0], s.prev...)
 			s.bigram = append(s.bigram, ' ')
-			s.bigram = append(s.bigram, s.tok...)
+			s.bigram = append(s.bigram, tok...)
 			if idx, ok := s.vz.vocab[string(s.bigram)]; ok {
 				if s.tf[idx] == 0 {
 					s.touched = append(s.touched, idx)
@@ -115,34 +120,34 @@ func (s *Scorer) addTerm() {
 				s.tf[idx]++
 			}
 		}
-		s.prev = append(s.prev[:0], s.tok...)
+		s.prev = append(s.prev[:0], tok...)
 	}
 }
 
-// scan is the single-pass byte-level tokenizer. ASCII word bytes take the
-// table fast path; anything else falls back to rune decoding so the
-// \w\w+ rune-length semantics match Tokenize exactly (invalid UTF-8 decodes
-// to RuneError, which is not a word character — the same separator
-// behaviour a range loop gives the reference tokenizer). When collect is
-// true each token is folded into the TF scratch; either way s.tokens
-// counts the unigram tokens.
-func (s *Scorer) scan(doc string, collect bool) {
+// eachToken is the single-pass byte-level tokenizer shared by the scorer's
+// hot path and Fit's vocabulary pass. ASCII word bytes take the table fast
+// path; anything else falls back to rune decoding so the \w\w+ rune-length
+// semantics match Tokenize exactly, including the multibyte rune-vs-byte
+// length rule (invalid UTF-8 decodes to RuneError, which is not a word
+// character — the same separator behaviour a range loop gives the reference
+// tokenizer). fn receives each token's lowercased bytes in a scratch slice
+// valid only for the duration of the call; buf is the reusable scratch,
+// returned (possibly grown) for the caller to keep. fn must not retain or
+// let its argument escape, or the whole pass allocates.
+func eachToken(doc string, buf []byte, fn func(tok []byte)) []byte {
 	tokRunes := 0
-	s.tok = s.tok[:0]
+	tok := buf[:0]
 	flush := func() {
 		if tokRunes >= 2 {
-			s.tokens++
-			if collect {
-				s.addTerm()
-			}
+			fn(tok)
 		}
 		tokRunes = 0
-		s.tok = s.tok[:0]
+		tok = tok[:0]
 	}
 	for i := 0; i < len(doc); {
 		if b := doc[i]; b < utf8.RuneSelf {
 			if c := asciiWordLower[b]; c != 0 {
-				s.tok = append(s.tok, c)
+				tok = append(tok, c)
 				tokRunes++
 			} else if tokRunes > 0 {
 				flush()
@@ -152,7 +157,7 @@ func (s *Scorer) scan(doc string, collect bool) {
 		}
 		r, size := utf8.DecodeRuneInString(doc[i:])
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			s.tok = utf8.AppendRune(s.tok, unicode.ToLower(r))
+			tok = utf8.AppendRune(tok, unicode.ToLower(r))
 			tokRunes++
 		} else if tokRunes > 0 {
 			flush()
@@ -160,6 +165,18 @@ func (s *Scorer) scan(doc string, collect bool) {
 		i += size
 	}
 	flush()
+	return tok
+}
+
+// scan walks doc's tokens. When collect is true each token is folded into
+// the TF scratch; either way s.tokens counts the unigram tokens.
+func (s *Scorer) scan(doc string, collect bool) {
+	s.tok = eachToken(doc, s.tok, func(tok []byte) {
+		s.tokens++
+		if collect {
+			s.addTerm(tok)
+		}
+	})
 }
 
 // TokenCount returns the document's unigram token count — identical to
@@ -197,6 +214,27 @@ func (s *Scorer) DotNormalized(doc string, weights []float64) (dot float64, toke
 		}
 	}
 	return dot, s.tokens
+}
+
+// Vector materializes the document's normalized TF-IDF vector through the
+// fused scratch. The result is bit-identical to vz.Transform(doc): same
+// token set, same per-feature value expression, and the norm accumulates in
+// ascending index order exactly as the reference does after its sort. Only
+// the returned Vector allocates.
+func (s *Scorer) Vector(doc string) Vector {
+	s.reset()
+	s.scan(doc, true)
+	slices.Sort(s.touched)
+	vec := make(Vector, 0, len(s.touched))
+	for _, idx := range s.touched {
+		vec = append(vec, Feature{Index: idx, Value: s.value(idx)})
+	}
+	if n := vec.Norm(); n > 0 {
+		for i := range vec {
+			vec[i].Value /= n
+		}
+	}
+	return vec
 }
 
 // value reproduces Transform's per-feature weight for a touched index.

@@ -138,22 +138,52 @@ func (vz *Vectorizer) terms(text string) []string {
 	return out
 }
 
-// Fit learns the vocabulary and IDF weights from the corpus.
+// Fit learns the vocabulary and IDF weights from the corpus. The pass runs
+// through the byte-level scanner shared with the fused scorer, so no
+// per-token []string or ToLower copies are materialized: the only string
+// allocations are the one canonical key per distinct term. Document
+// frequency is tracked with a last-seen document index instead of a
+// per-document seen set, which counts each term at most once per document
+// exactly as the reference two-map formulation did.
 func (vz *Vectorizer) Fit(docs []string) {
-	df := make(map[string]int)
-	seen := make(map[string]bool)
-	for _, d := range docs {
-		clear(seen)
-		for _, t := range vz.terms(d) {
-			if !seen[t] {
-				seen[t] = true
-				df[t]++
+	// df is per-term document frequency, last the last-seen document index
+	// (int32: corpora are far below 2^31 documents). Stats live in one
+	// 8-byte-entry slab indexed through the map, so a first-seen term costs
+	// its canonical string plus amortized slab growth rather than a separate
+	// heap node per term.
+	type dfStat struct{ df, last int32 }
+	idx := make(map[string]int32)
+	slab := make([]dfStat, 0, 1024)
+	tok := make([]byte, 0, 64)
+	var prev, bigram []byte
+	for di, d := range docs {
+		di32 := int32(di)
+		prev = prev[:0]
+		note := func(key []byte) {
+			if i, ok := idx[string(key)]; ok {
+				if e := &slab[i]; e.last != di32 {
+					e.last = di32
+					e.df++
+				}
+				return
 			}
+			idx[string(key)] = int32(len(slab))
+			slab = append(slab, dfStat{df: 1, last: di32})
 		}
+		tok = eachToken(d, tok, func(t []byte) {
+			note(t)
+			if vz.opts.Bigrams {
+				if len(prev) > 0 {
+					bigram = append(append(append(bigram[:0], prev...), ' '), t...)
+					note(bigram)
+				}
+				prev = append(prev[:0], t...)
+			}
+		})
 	}
-	terms := make([]string, 0, len(df))
-	for t, n := range df {
-		if n >= vz.opts.MinDF {
+	terms := make([]string, 0, len(idx))
+	for t, i := range idx {
+		if int(slab[i].df) >= vz.opts.MinDF {
 			terms = append(terms, t)
 		}
 	}
@@ -164,7 +194,7 @@ func (vz *Vectorizer) Fit(docs []string) {
 	for i, t := range terms {
 		vz.vocab[t] = i
 		// Smoothed IDF, sklearn formula.
-		vz.idf[i] = math.Log(float64(1+vz.nDocs)/float64(1+df[t])) + 1
+		vz.idf[i] = math.Log(float64(1+vz.nDocs)/float64(1+slab[idx[t]].df)) + 1
 	}
 }
 
@@ -194,11 +224,14 @@ func (vz *Vectorizer) Transform(doc string) Vector {
 	return vec
 }
 
-// TransformAll vectorizes a batch.
+// TransformAll vectorizes a batch. One fused scratch (see Scorer.Vector,
+// bit-identical to Transform) is reused across the whole batch, so the
+// per-document cost is the retained Vector plus nothing.
 func (vz *Vectorizer) TransformAll(docs []string) []Vector {
 	out := make([]Vector, len(docs))
+	s := vz.NewScorer()
 	for i, d := range docs {
-		out[i] = vz.Transform(d)
+		out[i] = s.Vector(d)
 	}
 	return out
 }
